@@ -1,0 +1,40 @@
+// Ablation — Algorithm 3 generator-sample count (GSize).
+//
+// Algorithm 3 fits the Parzen distribution to GSize samples drawn from the
+// trained generator. Too few samples make the likelihood estimates noisy;
+// this sweep shows where the correct/incorrect margin stabilizes, which is
+// the cheapest knob when analysis runtime matters.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "gansec/security/analyzer.hpp"
+
+int main() {
+  using namespace gansec;
+
+  auto& exp = bench::experiment();
+
+  std::cout << "=== Ablation: Algorithm 3 GSize ===\n";
+  std::cout << "gsize\tcor\tinc\tmargin\tmost_leaky\n";
+  for (const std::size_t gsize : {10U, 25U, 50U, 100U, 200U, 400U}) {
+    security::LikelihoodConfig config;
+    config.generator_samples = gsize;
+    config.parzen_h = 0.2;
+    const security::LikelihoodAnalyzer analyzer(config, 71);
+    const security::LikelihoodResult result =
+        analyzer.analyze(exp.model, exp.test_set);
+    double cor = 0.0;
+    double inc = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) {
+      cor += result.mean_correct(c) / 3.0;
+      inc += result.mean_incorrect(c) / 3.0;
+    }
+    std::printf("%zu\t%.4f\t%.4f\t%.4f\tCond%zu\n", gsize, cor, inc,
+                cor - inc, result.most_leaky_condition() + 1);
+  }
+  std::cout << "\n(expected: the margin and the most-leaky verdict are "
+               "stable once GSize reaches ~100; below that the Parzen fit "
+               "is noisy)\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Attack-detection experiment (paper Section IV-D design goal).
+//
+// "if a designer needs to create an integrity and availability attack
+// detection model to detect attacks on individual components (X, Y or Z
+// motor) using the side-channels, he/she will be able to estimate the
+// performance of such a model using the CGAN model."
+//
+// This bench builds the likelihood-threshold detector from the trained
+// CGAN, calibrates it on benign traffic, and reports detection quality
+// against injected integrity (wrong motor runs) and availability (motor
+// stalled) attacks.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "gansec/security/detector.hpp"
+#include "gansec/security/report.hpp"
+
+int main() {
+  using namespace gansec;
+
+  auto& exp = bench::experiment();
+
+  security::DetectorConfig config;
+  config.generator_samples = 200;
+  security::AttackDetector detector(exp.model, config);
+  security::AttackInjector injector(exp.builder, 2024);
+
+  std::cerr << "[bench] calibrating on benign observations...\n";
+  detector.calibrate(
+      injector.generate(30, 0.0, security::AttackKind::kNone));
+  std::printf("alarm threshold (mean log-likelihood): %.3f\n",
+              detector.threshold());
+
+  std::cout << "\n=== Attack detection performance ===\n";
+  for (const auto kind : {security::AttackKind::kIntegrity,
+                          security::AttackKind::kAvailability,
+                          security::AttackKind::kDegradation}) {
+    std::cerr << "[bench] evaluating " << security::attack_name(kind)
+              << " attacks...\n";
+    const auto observations = injector.generate(25, 0.5, kind);
+    const security::DetectionReport report = detector.evaluate(observations);
+    std::printf("\n%s attacks:\n%s", security::attack_name(kind),
+                security::format_detection(report).c_str());
+  }
+
+  std::cout << "\n(integrity and availability attacks are gross spectral "
+               "changes and detect well; the degradation attack — a 15% "
+               "resonance detune — is near the detector's floor, an honest "
+               "limit of the pooled-microphone likelihood test)\n";
+
+  // Per-motor breakdown for availability attacks (which motor is easiest
+  // to monitor through the side channel).
+  std::cout << "\nper-motor availability detection:\n";
+  for (std::size_t label = 0; label < 3; ++label) {
+    std::vector<security::Observation> observations;
+    for (int i = 0; i < 20; ++i) {
+      observations.push_back(injector.make_observation(
+          label, security::AttackKind::kNone));
+      observations.push_back(injector.make_observation(
+          label, security::AttackKind::kAvailability));
+    }
+    const security::DetectionReport report = detector.evaluate(observations);
+    const char* names[3] = {"X", "Y", "Z"};
+    std::printf("  motor %s: accuracy %.3f, AUC %.3f\n", names[label],
+                report.accuracy, report.auc);
+  }
+  return 0;
+}

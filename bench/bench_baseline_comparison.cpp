@@ -1,0 +1,73 @@
+// Baseline comparison — what does the generative model buy?
+//
+// Section I-B motivates the GAN: "the generator, since it never sees the
+// real data[,] estimates the distribution without overfitting on the
+// currently limited data, thus providing better distribution estimation."
+// This experiment compares three attackers across data budgets:
+//
+//   * CGAN attacker    — Parzen on generator samples (the paper's method),
+//   * raw-KDE attacker — Parzen directly on the observed training data,
+//   * MLP classifier   — a discriminative softmax network.
+#include <cstdio>
+#include <iostream>
+#include <limits>
+
+#include "common.hpp"
+#include "gansec/error.hpp"
+#include "gansec/baseline/kde_classifier.hpp"
+#include "gansec/baseline/mlp_classifier.hpp"
+#include "gansec/security/confidentiality.hpp"
+
+int main() {
+  using namespace gansec;
+
+  auto& exp = bench::experiment();
+  math::Rng shuffle_rng(31337);
+  am::LabeledDataset shuffled = exp.train_set;
+  shuffled.shuffle(shuffle_rng);
+
+  std::cout << "=== Attacker comparison across data budgets ===\n";
+  std::printf("%-14s %-12s %-12s %-12s\n", "train_samples", "cgan_attacker",
+              "raw_kde", "mlp_classifier");
+  for (const std::size_t budget : {6U, 12U, 24U, 60U, 315U}) {
+    if (budget > shuffled.size()) continue;
+    const am::LabeledDataset subset = shuffled.take(budget);
+
+    // CGAN attacker (the paper's pipeline).
+    gan::Cgan model(bench::paper_topology(), 41);
+    gan::CganTrainer trainer(model, bench::paper_train_config(), 41);
+    std::cerr << "[bench] budget " << budget << ": training CGAN...\n";
+    trainer.train(subset.features, subset.conditions);
+    security::ConfidentialityConfig conf;
+    conf.generator_samples = 150;
+    const security::ConfidentialityAnalyzer analyzer(conf, 41);
+    const double cgan_acc =
+        analyzer.analyze(model, exp.test_set).attacker_accuracy;
+
+    // Raw-data Parzen attacker.
+    double kde_acc = 0.0;
+    try {
+      const baseline::KdeClassifier kde(subset, conf.parzen_h);
+      kde_acc = kde.evaluate(exp.test_set);
+    } catch (const InvalidArgumentError&) {
+      // A tiny budget may miss a class entirely.
+      kde_acc = std::numeric_limits<double>::quiet_NaN();
+    }
+
+    // Discriminative MLP.
+    baseline::MlpClassifierConfig mlp_config;
+    mlp_config.epochs = 150;
+    baseline::MlpClassifier mlp(exp.train_set.features.cols(), 3,
+                                mlp_config, 41);
+    mlp.train(subset);
+    const double mlp_acc = mlp.evaluate(exp.test_set);
+
+    std::printf("%-14zu %-12.4f %-12.4f %-12.4f\n", budget, cgan_acc,
+                kde_acc, mlp_acc);
+  }
+  std::cout << "\n(all three converge on this separable testbed at large "
+               "budgets; the interesting region is the small-budget rows, "
+               "where the CGAN's smoothing competes with raw-data KDE "
+               "overfitting)\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Extension — per-flow-pair leakage with the model store.
+//
+// Algorithm 2 trains and stores one CGAN per flow pair from Algorithm 1.
+// The paper's case study pools the five monitored emission flows into one
+// contact-microphone observation; this experiment instead trains one model
+// per monitored flow (F16-F19: near-field sensing of each motor, F20: the
+// frame) plus the pooled microphone, and reports which emission flow leaks
+// the G-code condition most — answering "is data in F1 being leaked from
+// F16/F17/F18/F19/F20?" flow by flow.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "gansec/am/printer_arch.hpp"
+#include "gansec/core/model_store.hpp"
+#include "gansec/cpps/graph.hpp"
+#include "gansec/security/confidentiality.hpp"
+
+int main() {
+  using namespace gansec;
+  namespace pf = am::printer_flows;
+
+  // Algorithm 1 selects the pairs.
+  const cpps::Architecture arch = am::make_printer_architecture();
+  const cpps::CppsGraph graph(arch);
+  const auto pairs = cpps::select_cross_domain_pairs(
+      arch,
+      cpps::generate_flow_pairs(graph, am::make_printer_historical_data()));
+
+  core::ModelStore store(std::string(bench::kCacheDir) + "/flow-pair-models");
+
+  am::DatasetConfig base = bench::paper_dataset_config();
+  base.samples_per_condition = 50;
+  base.bins = 40;
+  base.window_s = 0.2;
+  gan::CganTopology topo = bench::paper_topology();
+  topo.data_dim = base.bins;
+
+  std::cout << "=== Per-flow-pair leakage (one stored CGAN per pair) ===\n";
+  std::printf("%-10s %-10s %-18s %-10s %-8s %s\n", "pair", "sensor",
+              "emission flow", "accuracy", "mean_MI", "verdict");
+  for (const cpps::FlowPair& pair : pairs) {
+    if (pair.first != pf::kGcodeIn) continue;
+    am::DatasetConfig config = base;
+    config.channel = am::channel_for_printer_flow(pair.second);
+
+    std::cerr << "[bench] pair (" << pair.first << ", " << pair.second
+              << "): dataset + training...\n";
+    am::DatasetBuilder builder(config);
+    auto [train, test] = builder.build_split(0.7);
+
+    gan::Cgan model(topo, 63);
+    gan::TrainConfig train_config = bench::paper_train_config();
+    train_config.iterations = 1000;
+    gan::CganTrainer trainer(model, train_config, 63);
+    trainer.train(train.features, train.conditions);
+    store.save(pair, model);
+
+    security::ConfidentialityConfig conf;
+    conf.generator_samples = 150;
+    conf.mi_bins = 8;
+    const security::ConfidentialityAnalyzer analyzer(conf, 63);
+    const security::ConfidentialityReport report =
+        analyzer.analyze(model, test);
+    std::printf("(%s,%s) %-10s %-18s %-10.4f %-8.4f %s\n",
+                pair.first.c_str(), pair.second.c_str(),
+                am::emission_channel_name(config.channel),
+                arch.flow(pair.second).name.c_str(),
+                report.attacker_accuracy, report.mean_mi,
+                report.leaks() ? "LEAKS" : "safe");
+  }
+
+  std::cout << "\nstored models:\n";
+  for (const cpps::FlowPair& pair : store.list()) {
+    std::cout << "  " << core::ModelStore::key_for(pair) << ".cgan\n";
+  }
+  std::cout << "\n(expected: every motor's own emission flow leaks its "
+               "condition; the frame flow leaks via the distinct "
+               "resonances; reload any stored model with "
+               "core::ModelStore::load)\n";
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Microbenchmarks of every substrate (google-benchmark).
+//
+// Not a paper figure: this measures the throughput of the building blocks
+// so regressions in the numeric kernels are visible — GEMM, FFT, CWT,
+// G-code parsing and kinematics, CGAN train step, Parzen KDE scoring, and
+// Algorithm 1 on the case-study graph.
+#include <benchmark/benchmark.h>
+
+#include "gansec/am/acoustic.hpp"
+#include "gansec/am/gcode.hpp"
+#include "gansec/am/machine.hpp"
+#include "gansec/am/printer_arch.hpp"
+#include "gansec/cpps/graph.hpp"
+#include "gansec/dsp/binner.hpp"
+#include "gansec/dsp/cwt.hpp"
+#include "gansec/dsp/fft.hpp"
+#include "gansec/gan/trainer.hpp"
+#include "gansec/stats/kde.hpp"
+
+namespace {
+
+using namespace gansec;
+
+void BM_MatrixMatmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  math::Rng rng(1);
+  const math::Matrix a = rng.normal_matrix(n, n, 0.0F, 1.0F);
+  const math::Matrix b = rng.normal_matrix(n, n, 0.0F, 1.0F);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(math::Matrix::matmul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_MatrixMatmul)->Arg(32)->Arg(128)->Arg(256);
+
+void BM_Fft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  math::Rng rng(2);
+  std::vector<dsp::Complex> x(n);
+  for (auto& c : x) c = dsp::Complex(rng.normal(), 0.0);
+  for (auto _ : state) {
+    std::vector<dsp::Complex> copy = x;
+    dsp::fft_in_place(copy);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Fft)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_CwtBandEnergies(benchmark::State& state) {
+  const auto bins = static_cast<std::size_t>(state.range(0));
+  math::Rng rng(3);
+  std::vector<double> signal(4000);
+  for (double& v : signal) v = rng.normal();
+  const dsp::MorletCwt cwt(dsp::CwtConfig{16000.0, 6.0});
+  const dsp::FrequencyBinner binner(50.0, 5000.0, bins);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cwt.band_energies(signal, binner.centers()));
+  }
+}
+BENCHMARK(BM_CwtBandEnergies)->Arg(25)->Arg(100);
+
+void BM_GcodeParse(benchmark::State& state) {
+  const std::string program =
+      "G28\nG1 F1200 X10.5 Y-3.25 Z0.4 E1.2\nM104 S210 ; heat\n"
+      "G1 X20 (fast) Y5\nG92 E0\n";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(am::parse_gcode_program(program));
+  }
+}
+BENCHMARK(BM_GcodeParse);
+
+void BM_MachineKinematics(benchmark::State& state) {
+  const auto program = am::parse_gcode_program(
+      "G1 F1200 X10\nG1 Y10\nG1 F300 Z2\nG1 F1200 X0 Y0\n");
+  for (auto _ : state) {
+    am::MachineSimulator machine;
+    benchmark::DoNotOptimize(machine.run_program(program));
+  }
+}
+BENCHMARK(BM_MachineKinematics);
+
+void BM_AcousticSynthesis(benchmark::State& state) {
+  am::AcousticSimulator sim;
+  am::MotionSegment seg;
+  seg.step_rate[0] = 1600.0;
+  seg.duration_s = 0.25;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.synthesize_segment(seg));
+  }
+}
+BENCHMARK(BM_AcousticSynthesis);
+
+void BM_CganTrainStep(benchmark::State& state) {
+  gan::CganTopology topo;
+  topo.data_dim = 100;
+  topo.cond_dim = 3;
+  topo.generator_hidden = {128, 128};
+  topo.discriminator_hidden = {128, 128};
+  gan::Cgan model(topo, 4);
+  math::Rng rng(4);
+  const math::Matrix data = rng.uniform_matrix(128, 100, 0.0F, 1.0F);
+  math::Matrix conds(128, 3, 0.0F);
+  for (std::size_t r = 0; r < 128; ++r) conds(r, r % 3) = 1.0F;
+  gan::TrainConfig config;
+  config.batch_size = 48;
+  gan::CganTrainer trainer(model, config, 4);
+  for (auto _ : state) {
+    trainer.train_iterations(data, conds, 1);
+  }
+}
+BENCHMARK(BM_CganTrainStep);
+
+void BM_ParzenScore(benchmark::State& state) {
+  const auto samples = static_cast<std::size_t>(state.range(0));
+  math::Rng rng(5);
+  std::vector<double> xs(samples);
+  for (double& x : xs) x = rng.uniform(0.0, 1.0);
+  const stats::ParzenKde kde(std::move(xs), 0.2);
+  double probe = 0.0;
+  for (auto _ : state) {
+    probe += 0.001;
+    if (probe > 1.0) probe = 0.0;
+    benchmark::DoNotOptimize(kde.log_density(probe));
+  }
+}
+BENCHMARK(BM_ParzenScore)->Arg(100)->Arg(1000);
+
+void BM_Algorithm1(benchmark::State& state) {
+  const cpps::Architecture arch = am::make_printer_architecture();
+  const cpps::HistoricalData data = am::make_printer_historical_data();
+  for (auto _ : state) {
+    const cpps::CppsGraph graph(arch);
+    benchmark::DoNotOptimize(cpps::generate_flow_pairs(graph, data));
+  }
+}
+BENCHMARK(BM_Algorithm1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+// Shared experiment setup for the benchmark harness.
+//
+// Every bench binary reproduces one table or figure of the paper against
+// the same "paper-scale" configuration: 100 log-spaced frequency bins in
+// 50-5000 Hz, the exclusive [X,Y,Z] condition encoding, and a CGAN trained
+// with Algorithm 2. Because dataset synthesis (CWT over hundreds of
+// observations) and training dominate the runtime, the trained model,
+// datasets and scaler are cached on disk under .gansec-bench-cache/ and
+// shared across binaries; delete the directory to force a full rerun.
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "gansec/am/dataset.hpp"
+#include "gansec/am/trace_io.hpp"
+#include "gansec/gan/trainer.hpp"
+
+namespace gansec::bench {
+
+inline constexpr const char* kCacheDir = ".gansec-bench-cache";
+
+/// The case-study configuration used by all table/figure benches.
+inline am::DatasetConfig paper_dataset_config() {
+  am::DatasetConfig config;
+  config.samples_per_condition = 150;
+  config.window_s = 0.25;
+  config.bins = 100;
+  config.f_min = 50.0;
+  config.f_max = 5000.0;
+  config.acoustic.sample_rate = 16000.0;
+  config.seed = 2019;  // DATE 2019
+  return config;
+}
+
+inline gan::TrainConfig paper_train_config() {
+  gan::TrainConfig config;
+  config.iterations = 1500;
+  config.batch_size = 48;
+  return config;
+}
+
+inline gan::CganTopology paper_topology() {
+  gan::CganTopology topo;
+  topo.data_dim = 100;
+  topo.cond_dim = 3;
+  topo.noise_dim = 16;
+  topo.generator_hidden = {128, 128};
+  topo.discriminator_hidden = {128, 128};
+  return topo;
+}
+
+struct Experiment {
+  am::DatasetBuilder builder;
+  am::LabeledDataset train_set;
+  am::LabeledDataset test_set;
+  gan::Cgan model;
+
+  Experiment()
+      : builder(paper_dataset_config()), model(paper_topology(), 2019) {}
+};
+
+/// Loads the cached experiment or builds+trains it (and writes the cache).
+inline Experiment& experiment() {
+  static auto* exp = [] {
+    namespace fs = std::filesystem;
+    auto* e = new Experiment();
+    const fs::path dir(kCacheDir);
+    const fs::path train_csv = dir / "train.csv";
+    const fs::path test_csv = dir / "test.csv";
+    const fs::path scaler_txt = dir / "scaler.txt";
+    const fs::path model_txt = dir / "cgan.txt";
+    if (fs::exists(train_csv) && fs::exists(test_csv) &&
+        fs::exists(scaler_txt) && fs::exists(model_txt)) {
+      std::cerr << "[bench] loading cached experiment from " << dir << "\n";
+      e->train_set = am::load_dataset_csv_file(train_csv.string());
+      e->test_set = am::load_dataset_csv_file(test_csv.string());
+      std::ifstream scaler_in(scaler_txt);
+      e->builder.restore_scaler(dsp::MinMaxScaler::load(scaler_in));
+      e->model = gan::Cgan::load_file(model_txt.string());
+      return e;
+    }
+    std::cerr << "[bench] generating dataset (first run, ~1-2 min)...\n";
+    auto [train, test] = e->builder.build_split(0.7);
+    e->train_set = std::move(train);
+    e->test_set = std::move(test);
+    std::cerr << "[bench] training CGAN (Algorithm 2)...\n";
+    gan::CganTrainer trainer(e->model, paper_train_config(), 2019);
+    trainer.train(e->train_set.features, e->train_set.conditions);
+    fs::create_directories(dir);
+    am::save_dataset_csv_file(e->train_set, train_csv.string());
+    am::save_dataset_csv_file(e->test_set, test_csv.string());
+    std::ofstream scaler_out(scaler_txt);
+    e->builder.scaler().save(scaler_out);
+    e->model.save_file(model_txt.string());
+    std::cerr << "[bench] cached to " << dir << "\n";
+    return e;
+  }();
+  return *exp;
+}
+
+/// Writes a plot-ready data file under the cache directory and reports the
+/// path on stderr.
+inline void write_series_file(const std::string& filename,
+                              const std::string& content) {
+  namespace fs = std::filesystem;
+  fs::create_directories(kCacheDir);
+  const fs::path path = fs::path(kCacheDir) / filename;
+  std::ofstream os(path);
+  os << content;
+  std::cerr << "[bench] series written to " << path << "\n";
+}
+
+}  // namespace gansec::bench

@@ -1,0 +1,117 @@
+// Stepper-motor acoustic emission model and contact-microphone simulator.
+//
+// The paper's testbed records acoustic/vibration energy with a contact
+// microphone on the printer frame inside an anechoic chamber. Lacking that
+// dataset (it is not public), this module synthesizes the emission from
+// first-order physics:
+//
+//   * each stepping motor radiates at its step rate and the first few
+//     harmonics (magnetic detent torque ripple),
+//   * each motor excites a characteristic frame resonance whose center
+//     frequency depends on where the motor is mounted (Z via the leadscrew
+//     couples at low frequency; X/Y belt axes ring higher),
+//   * a mains hum and a broadband Gaussian noise floor model the residual
+//     environment inside the chamber.
+//
+// What matters for GAN-Sec is that the class-conditional spectral structure
+// exists and differs per motor — exactly the property the paper's attack
+// exploits.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "gansec/am/machine.hpp"
+#include "gansec/math/rng.hpp"
+
+namespace gansec::am {
+
+/// Which emission path the virtual microphone taps. The paper monitors the
+/// energy flows P2, P3, P4, P5 (motors) and P8 (frame) into the
+/// environment P9; a near-field sensor on one source isolates that flow,
+/// while the contact microphone of the testbed hears the mix.
+enum class EmissionChannel {
+  kMixed,   ///< contact microphone: every source superimposed (default)
+  kMotorX,  ///< flow F16: stepper X -> environment
+  kMotorY,  ///< flow F17: stepper Y -> environment
+  kMotorZ,  ///< flow F18: stepper Z -> environment
+  kMotorE,  ///< flow F19: extruder -> environment
+  kFrame,   ///< flow F20: frame-coupled vibration of all motors
+};
+
+const char* emission_channel_name(EmissionChannel channel);
+
+struct MotorAcousticProfile {
+  /// Coupling of this motor into the contact microphone.
+  double base_amplitude = 1.0;
+  /// Gains of harmonics 1..N of the step rate.
+  std::vector<double> harmonic_gains{1.0, 0.5, 0.25};
+  /// Frame resonance excited by this motor.
+  double resonance_hz = 1000.0;
+  double resonance_gain = 0.5;
+  /// Resonance phase-noise bandwidth (Hz) — widens the spectral line.
+  double resonance_jitter_hz = 20.0;
+};
+
+struct AcousticConfig {
+  double sample_rate = 16000.0;
+  double noise_floor = 0.02;     ///< broadband Gaussian noise stddev
+  double hum_amplitude = 0.01;   ///< mains hum amplitude
+  double hum_hz = 60.0;
+  std::array<MotorAcousticProfile, kAxisCount> motors{
+      // X: belt axis, mid-frequency frame ring.
+      MotorAcousticProfile{1.0, {1.0, 0.45, 0.20, 0.08}, 1700.0, 0.55, 25.0},
+      // Y: moves the bed mass, stronger low harmonics, lower resonance.
+      MotorAcousticProfile{1.1, {1.0, 0.60, 0.25, 0.10}, 1050.0, 0.60, 25.0},
+      // Z: leadscrew drive, strong low-frequency thud — the most
+      // distinctive signature (the paper found Cond3/Z easiest to infer).
+      MotorAcousticProfile{1.4, {1.0, 0.80, 0.50, 0.30, 0.15}, 320.0, 0.95,
+                           12.0},
+      // E: geared extruder, high-frequency whine.
+      MotorAcousticProfile{0.8, {1.0, 0.35, 0.15}, 2400.0, 0.40, 30.0},
+  };
+};
+
+class AcousticSimulator {
+ public:
+  explicit AcousticSimulator(AcousticConfig config = AcousticConfig{},
+                             std::uint64_t seed = 0xAC00571C);
+
+  const AcousticConfig& config() const { return config_; }
+
+  /// Contact-microphone waveform for one motion segment. The duration may
+  /// be overridden (e.g. to synthesize a fixed-length observation window
+  /// regardless of segment length); 0 keeps the segment duration.
+  std::vector<double> synthesize_segment(const MotionSegment& segment,
+                                         double duration_s = 0.0);
+
+  /// Waveform of a single emission channel for one motion segment. Motor
+  /// channels carry only that motor's step harmonics; the frame channel
+  /// carries every motor's resonance contribution scaled by
+  /// `frame_coupling`; kMixed equals synthesize_segment. Background noise
+  /// is always present (the sensor still sits in the chamber).
+  std::vector<double> synthesize_channel(const MotionSegment& segment,
+                                         EmissionChannel channel,
+                                         double duration_s = 0.0);
+
+  /// Concatenated waveform for a whole program.
+  std::vector<double> synthesize_program(
+      const std::vector<MotionSegment>& segments);
+
+  /// Background-only waveform (no motor running) — the "idle" class.
+  std::vector<double> synthesize_idle(double duration_s);
+
+  /// Relative strength of resonance lines on the frame channel.
+  static constexpr double kFrameCoupling = 0.8;
+
+ private:
+  void add_motor(std::vector<double>& buffer, Axis axis, double step_rate,
+                 bool harmonics, bool resonance, double resonance_scale);
+  void add_background(std::vector<double>& buffer);
+
+  AcousticConfig config_;
+  math::Rng rng_;
+};
+
+}  // namespace gansec::am

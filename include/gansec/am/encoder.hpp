@@ -1,0 +1,64 @@
+// Condition encoding of G/M-code signal flows (paper Section IV-B).
+//
+// The paper one-hot encodes which stepper motor runs between consecutive
+// G-codes G_{t-1} and G_t: X -> [1,0,0], Y -> [0,1,0], Z -> [0,0,1]. It also
+// sketches an extension to combinations: "for three physical components and
+// their combination, the one-hot encoding can be of size 2^3 = 8".
+// Both encodings are implemented here, from either a MotionSegment or a
+// consecutive command pair.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gansec/am/machine.hpp"
+#include "gansec/math/matrix.hpp"
+
+namespace gansec::am {
+
+enum class ConditionScheme {
+  kExclusiveXyz,    ///< 3-wide one-hot; exactly one of X/Y/Z must move
+  kCombinationXyz,  ///< 8-wide one-hot over the 2^3 subsets of {X,Y,Z}
+};
+
+class ConditionEncoder {
+ public:
+  explicit ConditionEncoder(
+      ConditionScheme scheme = ConditionScheme::kExclusiveXyz);
+
+  ConditionScheme scheme() const { return scheme_; }
+
+  /// Width of the produced one-hot vector (3 or 8).
+  std::size_t dimension() const;
+
+  /// Encodes a motion segment. For kExclusiveXyz exactly one of X/Y/Z must
+  /// move (throws InvalidArgumentError otherwise, matching the paper's
+  /// single-motor case study). For kCombinationXyz any subset is legal.
+  std::vector<float> encode(const MotionSegment& segment) const;
+
+  /// Encodes the delta between consecutive commands by running them through
+  /// a scratch machine: the encoding of G_t given G_{t-1} (paper's example:
+  /// G1 X5 Y5 Z5 -> G1 X10 Y5 Z5 encodes as [1,0,0]).
+  std::vector<float> encode_delta(const GcodeCommand& previous,
+                                  const GcodeCommand& current,
+                                  const PrinterConfig& config) const;
+
+  /// One-hot row as a 1 x dimension() matrix.
+  math::Matrix encode_matrix(const MotionSegment& segment) const;
+
+  /// Index of the hot element (class label).
+  std::size_t label(const MotionSegment& segment) const;
+
+  /// Human-readable name of a class label ("X", "Y", "Z" or subset names
+  /// like "X+Z", "idle").
+  std::string label_name(std::size_t label) const;
+
+  /// The canonical condition row for a class label.
+  math::Matrix condition_for_label(std::size_t label) const;
+
+ private:
+  ConditionScheme scheme_;
+};
+
+}  // namespace gansec::am

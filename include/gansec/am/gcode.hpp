@@ -1,0 +1,47 @@
+// G/M-code lexer and parser.
+//
+// "The speed and direction of all the stepper motors are controlled by
+// cyber domain instructions written with G-code ... along with M-code"
+// (paper Section IV). This parser understands the subset a Cartesian FDM
+// printer consumes: a command word (G or M plus integer code) followed by
+// parameter words (letter + number), with ';' and '(...)' comments.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gansec::am {
+
+struct GcodeCommand {
+  char letter = 'G';               ///< 'G' or 'M'
+  int code = 0;                    ///< e.g. 1 for G1, 104 for M104
+  std::map<char, double> params;   ///< parameter words (X, Y, Z, E, F, S...)
+  std::string raw;                 ///< original source line (comment-stripped)
+
+  bool has(char param) const { return params.contains(param); }
+
+  /// Parameter value or `fallback` when absent.
+  double param(char name, double fallback) const {
+    const auto it = params.find(name);
+    return it == params.end() ? fallback : it->second;
+  }
+
+  bool is(char cmd_letter, int cmd_code) const {
+    return letter == cmd_letter && code == cmd_code;
+  }
+};
+
+/// Parses one line. Throws ParseError on malformed input; returns false via
+/// the `empty` overload semantics — use parse_program for comment/blank
+/// skipping.
+GcodeCommand parse_gcode_line(const std::string& line);
+
+/// True when the line holds no command (blank or comment-only).
+bool is_blank_or_comment(const std::string& line);
+
+/// Parses a whole program, skipping blank/comment lines. Line numbers in
+/// error messages are 1-based.
+std::vector<GcodeCommand> parse_gcode_program(const std::string& text);
+
+}  // namespace gansec::am

@@ -1,0 +1,107 @@
+// Cartesian FDM printer kinematics.
+//
+// Interprets parsed G/M-code into motion segments: for each move the
+// simulator computes per-axis displacement, duration, and the stepper-motor
+// step rates — the quantities that determine the acoustic emission.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "gansec/am/gcode.hpp"
+
+namespace gansec::am {
+
+enum class Axis : std::size_t { kX = 0, kY = 1, kZ = 2, kE = 3 };
+inline constexpr std::size_t kAxisCount = 4;
+
+inline const char* axis_name(Axis a) {
+  constexpr const char* names[kAxisCount] = {"X", "Y", "Z", "E"};
+  return names[static_cast<std::size_t>(a)];
+}
+
+struct AxisConfig {
+  double steps_per_mm = 80.0;
+  double max_feedrate_mm_s = 200.0;
+};
+
+struct PrinterConfig {
+  // Typical Cartesian FDM defaults: 80 steps/mm belt-driven X/Y, 400
+  // steps/mm leadscrew Z, 95 steps/mm geared extruder.
+  std::array<AxisConfig, kAxisCount> axes{
+      AxisConfig{80.0, 200.0},   // X
+      AxisConfig{80.0, 200.0},   // Y
+      AxisConfig{400.0, 8.0},    // Z
+      AxisConfig{95.0, 60.0},    // E
+  };
+  double default_feedrate_mm_min = 1200.0;
+
+  const AxisConfig& axis(Axis a) const {
+    return axes[static_cast<std::size_t>(a)];
+  }
+};
+
+struct MachineState {
+  std::array<double, kAxisCount> position{0.0, 0.0, 0.0, 0.0};  ///< mm
+  double feedrate_mm_min = 1200.0;
+  double hotend_target_c = 0.0;
+
+  double pos(Axis a) const { return position[static_cast<std::size_t>(a)]; }
+};
+
+/// One executed command's physical effect.
+struct MotionSegment {
+  std::array<double, kAxisCount> displacement{0, 0, 0, 0};  ///< mm, net (signed)
+  /// Total distance traveled per axis in mm. Equals |displacement| for
+  /// linear moves; exceeds it for arcs (a full circle has travel but zero
+  /// net displacement). Step counts derive from travel.
+  std::array<double, kAxisCount> travel{0, 0, 0, 0};
+  std::array<double, kAxisCount> step_rate{0, 0, 0, 0};     ///< steps/s
+  double duration_s = 0.0;
+  double feedrate_mm_s = 0.0;
+  std::string source;  ///< originating G-code text
+
+  bool moves(Axis a) const {
+    return step_rate[static_cast<std::size_t>(a)] > 0.0;
+  }
+  bool is_motion() const { return duration_s > 0.0; }
+
+  /// Axes among X, Y, Z with nonzero motion (extruder excluded, matching
+  /// the paper's [X, Y, Z] condition encoding).
+  std::vector<Axis> moving_xyz_axes() const;
+};
+
+class MachineSimulator {
+ public:
+  explicit MachineSimulator(PrinterConfig config = PrinterConfig{});
+
+  const PrinterConfig& config() const { return config_; }
+  const MachineState& state() const { return state_; }
+
+  /// Executes one command and returns its motion segment. Non-motion
+  /// commands (M-codes, G90/G21, ...) return a zero-duration segment.
+  /// Unknown G-codes throw ParseError; feedrates are clamped to per-axis
+  /// limits.
+  MotionSegment apply(const GcodeCommand& command);
+
+  /// Executes a program; only segments with positive duration are returned.
+  std::vector<MotionSegment> run_program(
+      const std::vector<GcodeCommand>& program);
+
+  void reset();
+
+ private:
+  MotionSegment linear_move(const GcodeCommand& command);
+  /// G2 (clockwise) / G3 (counter-clockwise) XY-plane arc with I/J center
+  /// offsets. Travel per axis is integrated along the arc.
+  MotionSegment arc_move(const GcodeCommand& command, bool clockwise);
+  /// Shared epilogue: clamps the feedrate to axis limits based on each
+  /// axis's travel share, fills duration and step rates.
+  void finish_segment(MotionSegment& segment, double path_length);
+
+  PrinterConfig config_;
+  MachineState state_;
+};
+
+}  // namespace gansec::am

@@ -1,0 +1,58 @@
+// The case-study CPPS architecture: a Cartesian FDM 3D printer (Figure 6).
+//
+// Nodes follow the paper's labeling: cyber components C1-C4 and physical
+// components P1-P9, where C4 is the external sub-system injecting G/M-code
+// and P9 is the physical environment receiving intentional and
+// unintentional energy flows.
+#pragma once
+
+#include "gansec/am/acoustic.hpp"
+#include "gansec/cpps/algorithm1.hpp"
+#include "gansec/cpps/architecture.hpp"
+
+namespace gansec::am {
+
+/// Flow ids used by the printer architecture (stable API constants).
+namespace printer_flows {
+inline constexpr const char* kGcodeIn = "F1";          ///< C4 -> C1 signal
+inline constexpr const char* kMotionCmds = "F2";       ///< C1 -> C2 signal
+inline constexpr const char* kStepPulses = "F3";       ///< C2 -> C3 signal
+inline constexpr const char* kDriveX = "F4";           ///< C3 -> P2 energy
+inline constexpr const char* kDriveY = "F5";           ///< C3 -> P3 energy
+inline constexpr const char* kDriveZ = "F6";           ///< C3 -> P4 energy
+inline constexpr const char* kDriveE = "F7";           ///< C3 -> P5 energy
+inline constexpr const char* kLogicPower = "F8";       ///< P1 -> C1 energy
+inline constexpr const char* kMotorPower = "F9";       ///< P1 -> C3 energy
+inline constexpr const char* kHeaterPwm = "F10";       ///< C1 -> P6 signal
+inline constexpr const char* kHeat = "F11";            ///< P6 -> P7 energy
+inline constexpr const char* kVibrationX = "F12";      ///< P2 -> P8 energy
+inline constexpr const char* kVibrationY = "F13";      ///< P3 -> P8 energy
+inline constexpr const char* kVibrationZ = "F14";      ///< P4 -> P8 energy
+inline constexpr const char* kVibrationE = "F15";      ///< P5 -> P8 energy
+inline constexpr const char* kAcousticX = "F16";       ///< P2 -> P9 energy
+inline constexpr const char* kAcousticY = "F17";       ///< P3 -> P9 energy
+inline constexpr const char* kAcousticZ = "F18";       ///< P4 -> P9 energy
+inline constexpr const char* kAcousticE = "F19";       ///< P5 -> P9 energy
+inline constexpr const char* kFrameAcoustic = "F20";   ///< P8 -> P9 energy
+inline constexpr const char* kThermalEmission = "F21"; ///< P7 -> P9 energy
+inline constexpr const char* kStatusFeedback = "F22";  ///< C1 -> C4 signal
+}  // namespace printer_flows
+
+/// Builds the printer architecture of Figure 6 (plus the status-feedback
+/// loop F22 that Algorithm 1 must remove).
+cpps::Architecture make_printer_architecture();
+
+/// Historical-data coverage matching the paper's experiment: the G/M-code
+/// signal flow F1 and the five acoustic energy flows monitored between
+/// P2, P3, P4, P5, P8 and the environment P9.
+cpps::HistoricalData make_printer_historical_data();
+
+/// The acoustic energy flows monitored in the case study (F16-F20).
+std::vector<std::string> monitored_acoustic_flows();
+
+/// Emission channel observed when monitoring one of the acoustic flows:
+/// F16-F19 map to the respective motor channels, F20 to the frame channel.
+/// Throws ModelError for flows that are not monitored emissions.
+EmissionChannel channel_for_printer_flow(const std::string& flow_id);
+
+}  // namespace gansec::am

@@ -1,0 +1,38 @@
+// G-code calibration-program generation.
+//
+// The paper's training data comes from "3D objects that only move one
+// stepper motor at a time" (Section IV-B). This generator emits such
+// calibration programs: single-axis moves with randomized feedrates and
+// distances, alternating across X/Y/Z, always returning to the staging
+// position so the program stays inside the work envelope.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace gansec::am {
+
+struct CalibrationProgramConfig {
+  /// Out-and-back move pairs generated per axis.
+  std::size_t moves_per_axis = 10;
+  /// Commanded feedrate ranges (mm/s) per XYZ axis.
+  std::array<std::pair<double, double>, 3> feed_mm_s{
+      std::pair<double, double>{12.0, 35.0},
+      std::pair<double, double>{12.0, 35.0},
+      std::pair<double, double>{2.0, 6.0}};
+  double min_distance_mm = 4.0;
+  double max_distance_mm = 25.0;
+  /// Staging position the program starts from and returns to.
+  std::array<double, 3> origin_mm{20.0, 20.0, 10.0};
+  bool home_first = true;
+  std::uint64_t seed = 0xCA11B;
+};
+
+/// Generates the calibration program as G-code text. Throws
+/// InvalidArgumentError on inconsistent configuration.
+std::string make_calibration_program(
+    const CalibrationProgramConfig& config = CalibrationProgramConfig{});
+
+}  // namespace gansec::am

@@ -1,0 +1,65 @@
+// Move-boundary detection on continuous emission recordings.
+//
+// A real eavesdropper records one continuous waveform, not pre-segmented
+// per-move windows. Each G-code move has a stationary spectrum (fixed step
+// rates and resonances), so transitions between moves appear as spikes of
+// *spectral flux* — the frame-to-frame change of the normalized STFT
+// magnitude. This detector finds those spikes and returns the move
+// boundaries, turning a raw recording into the per-move windows the CGAN
+// attacker consumes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gansec/dsp/stft.hpp"
+
+namespace gansec::am {
+
+struct SegmenterConfig {
+  double sample_rate = 16000.0;
+  std::size_t frame_length = 1024;  ///< STFT frame (power of two)
+  std::size_t hop = 256;
+  /// Flux threshold as a multiple of the median flux. True move
+  /// transitions spike an order of magnitude above the noise-floor median;
+  /// 5x rejects the within-move fluctuation tail.
+  double threshold_factor = 5.0;
+  /// Minimum move duration in seconds — closer boundary candidates are
+  /// merged (keeps one boundary per transition).
+  double min_segment_s = 0.08;
+};
+
+/// A detected move: [begin, end) in samples.
+struct DetectedSegment {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  std::size_t length() const { return end - begin; }
+  bool operator==(const DetectedSegment&) const = default;
+};
+
+class MoveSegmenter {
+ public:
+  explicit MoveSegmenter(SegmenterConfig config = SegmenterConfig{});
+
+  const SegmenterConfig& config() const { return config_; }
+
+  /// Spectral flux per STFT frame (first frame has flux 0). Exposed for
+  /// testing and threshold diagnostics.
+  std::vector<double> spectral_flux(const std::vector<double>& waveform) const;
+
+  /// Boundary positions in samples (excluding 0 and waveform size).
+  std::vector<std::size_t> detect_boundaries(
+      const std::vector<double>& waveform) const;
+
+  /// Splits the waveform at the detected boundaries: always returns at
+  /// least one segment covering the whole recording.
+  std::vector<DetectedSegment> segment(
+      const std::vector<double>& waveform) const;
+
+ private:
+  SegmenterConfig config_;
+  dsp::Stft stft_;
+};
+
+}  // namespace gansec::am

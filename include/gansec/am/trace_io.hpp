@@ -1,0 +1,31 @@
+// Trace file I/O.
+//
+// CSV persistence for labeled datasets and plain-text persistence for raw
+// waveforms, so recorded traces from a real printer can be dropped into the
+// pipeline in place of the simulator.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "gansec/am/dataset.hpp"
+
+namespace gansec::am {
+
+/// CSV columns: label, cond_0..cond_{C-1}, feat_0..feat_{F-1} with a header
+/// row "label,cond...,feat...".
+void save_dataset_csv(const LabeledDataset& dataset, std::ostream& os);
+LabeledDataset load_dataset_csv(std::istream& is);
+
+void save_dataset_csv_file(const LabeledDataset& dataset,
+                           const std::string& path);
+LabeledDataset load_dataset_csv_file(const std::string& path);
+
+/// Waveform: first line "gansec-wave 1 <sample_rate> <n>", then one sample
+/// per line.
+void save_waveform(const std::vector<double>& samples, double sample_rate,
+                   std::ostream& os);
+std::pair<std::vector<double>, double> load_waveform(std::istream& is);
+
+}  // namespace gansec::am

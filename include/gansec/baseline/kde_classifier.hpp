@@ -1,0 +1,42 @@
+// Naive-Bayes Parzen classifier on raw training data — the no-GAN baseline.
+//
+// Fits one Parzen window per (class, feature) directly on the observed
+// emissions and classifies by maximum summed log density. This is what an
+// attacker without the CGAN would do; the gap to the CGAN-based attacker
+// isolates the generative model's contribution.
+#pragma once
+
+#include <vector>
+
+#include "gansec/am/dataset.hpp"
+#include "gansec/stats/kde.hpp"
+
+namespace gansec::baseline {
+
+class KdeClassifier {
+ public:
+  /// Fits per-(class, feature) Parzen models; every class present in the
+  /// dataset needs at least one sample.
+  KdeClassifier(const am::LabeledDataset& train, double bandwidth);
+
+  std::size_t classes() const { return models_.size(); }
+  std::size_t feature_dim() const { return feature_dim_; }
+  double bandwidth() const { return bandwidth_; }
+
+  /// Summed per-feature log density of one row under one class.
+  double log_likelihood(const math::Matrix& features, std::size_t row,
+                        std::size_t cls) const;
+
+  /// Argmax class per row.
+  std::vector<std::size_t> predict(const math::Matrix& features) const;
+
+  /// Fraction of correctly classified rows.
+  double evaluate(const am::LabeledDataset& data) const;
+
+ private:
+  std::size_t feature_dim_;
+  double bandwidth_;
+  std::vector<std::vector<stats::ParzenKde>> models_;  // [class][feature]
+};
+
+}  // namespace gansec::baseline

@@ -1,0 +1,57 @@
+// Supervised MLP condition classifier — a baseline the CGAN approach is
+// compared against.
+//
+// GAN-Sec's attacker infers the condition through the generator's
+// conditional distribution. The direct alternative is a discriminative
+// classifier trained on the same (emission, condition) pairs. Comparing
+// the two quantifies what the generative model buys (the paper argues the
+// generator "never sees the real data [and] estimates the distribution
+// without overfitting on the currently limited data").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gansec/am/dataset.hpp"
+#include "gansec/nn/mlp.hpp"
+
+namespace gansec::baseline {
+
+struct MlpClassifierConfig {
+  std::vector<std::size_t> hidden = {64, 64};
+  float learning_rate = 1e-3F;
+  std::size_t epochs = 200;
+  std::size_t batch_size = 32;
+  float dropout = 0.0F;
+};
+
+class MlpClassifier {
+ public:
+  MlpClassifier(std::size_t feature_dim, std::size_t classes,
+                MlpClassifierConfig config = MlpClassifierConfig{},
+                std::uint64_t seed = 0xBA5E);
+
+  std::size_t feature_dim() const { return feature_dim_; }
+  std::size_t classes() const { return classes_; }
+
+  /// Trains with Adam + softmax cross entropy; returns per-epoch mean loss.
+  std::vector<double> train(const am::LabeledDataset& data);
+
+  /// Class probabilities (rows x classes).
+  math::Matrix predict_proba(const math::Matrix& features);
+
+  /// Argmax class per row.
+  std::vector<std::size_t> predict(const math::Matrix& features);
+
+  /// Fraction of correctly classified rows.
+  double evaluate(const am::LabeledDataset& data);
+
+ private:
+  std::size_t feature_dim_;
+  std::size_t classes_;
+  MlpClassifierConfig config_;
+  nn::Mlp net_;
+  math::Rng rng_;
+};
+
+}  // namespace gansec::baseline

@@ -1,0 +1,40 @@
+// Minimal command-line flag parser for the gansec tools.
+//
+// Supports `--name value` and `--name=value` long flags plus positional
+// arguments. Unknown flags raise InvalidArgumentError so typos fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gansec::core {
+
+class Args {
+ public:
+  /// Parses argv (excluding argv[0]). `known_flags` is the allowlist of
+  /// long-flag names (without the leading "--").
+  Args(int argc, const char* const* argv,
+       const std::set<std::string>& known_flags);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool has(const std::string& flag) const { return values_.contains(flag); }
+
+  /// String value or fallback.
+  std::string get(const std::string& flag,
+                  const std::string& fallback) const;
+
+  /// Numeric accessors; throw InvalidArgumentError on malformed numbers.
+  std::int64_t get_int(const std::string& flag, std::int64_t fallback) const;
+  double get_double(const std::string& flag, double fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace gansec::core

@@ -1,0 +1,54 @@
+// Per-flow-pair CGAN repository — the "Storage" half of Algorithm 2
+// ("CGAN Model Generation and Storage").
+//
+// Algorithm 2 trains one conditional model per flow pair from Algorithm 1
+// and stores each trained generator/discriminator: "At the end, G learned
+// for each flow pair is returned and stored." The ModelStore persists
+// models keyed by flow pair in a directory, with a manifest listing the
+// stored pairs.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "gansec/cpps/flow.hpp"
+#include "gansec/gan/cgan.hpp"
+
+namespace gansec::core {
+
+class ModelStore {
+ public:
+  /// Opens (and creates if needed) the store directory.
+  explicit ModelStore(std::filesystem::path directory);
+
+  const std::filesystem::path& directory() const { return dir_; }
+
+  /// Filesystem-safe key for a pair, e.g. "F1__F16".
+  static std::string key_for(const cpps::FlowPair& pair);
+
+  /// True when a model for the pair is on disk.
+  bool contains(const cpps::FlowPair& pair) const;
+
+  /// Persists a trained model under the pair's key and updates the
+  /// manifest.
+  void save(const cpps::FlowPair& pair, const gan::Cgan& model);
+
+  /// Loads the stored model; throws IoError when absent.
+  gan::Cgan load(const cpps::FlowPair& pair) const;
+
+  /// Removes a stored model; no-op when absent.
+  void remove(const cpps::FlowPair& pair);
+
+  /// All pairs recorded in the manifest, in insertion order.
+  std::vector<cpps::FlowPair> list() const;
+
+ private:
+  std::filesystem::path model_path(const cpps::FlowPair& pair) const;
+  std::filesystem::path manifest_path() const;
+  void write_manifest(const std::vector<cpps::FlowPair>& pairs) const;
+
+  std::filesystem::path dir_;
+};
+
+}  // namespace gansec::core

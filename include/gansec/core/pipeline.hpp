@@ -1,0 +1,74 @@
+// GanSecPipeline — the end-to-end GAN-Sec methodology on the additive
+// manufacturing case study.
+//
+// One call to run() executes the whole paper:
+//   1. build the printer architecture and run Algorithm 1 (graph + flow
+//      pairs, pruned by historical-data coverage, cross-domain selection);
+//   2. generate the labeled (condition, spectrum) dataset on the simulated
+//      testbed and split train/test;
+//   3. train the CGAN with Algorithm 2;
+//   4. run Algorithm 3 and the confidentiality analysis on held-out data.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gansec/am/dataset.hpp"
+#include "gansec/am/printer_arch.hpp"
+#include "gansec/cpps/algorithm1.hpp"
+#include "gansec/gan/trainer.hpp"
+#include "gansec/security/analyzer.hpp"
+#include "gansec/security/confidentiality.hpp"
+
+namespace gansec::core {
+
+struct PipelineConfig {
+  am::DatasetConfig dataset;
+  gan::TrainConfig train;
+  security::LikelihoodConfig likelihood;
+  security::ConfidentialityConfig confidentiality;
+  double train_fraction = 0.7;
+  std::size_t noise_dim = 16;
+  std::vector<std::size_t> generator_hidden = {128, 128};
+  std::vector<std::size_t> discriminator_hidden = {128, 128};
+  bool generator_batchnorm = false;
+  std::uint64_t seed = 0x6A5EC;
+};
+
+struct PipelineResult {
+  cpps::Architecture architecture;
+  /// Flow ids removed by Algorithm 1's feedback-loop elimination.
+  std::vector<std::string> removed_feedback_flows;
+  /// FP_T restricted to cross-domain pairs (the paper's experiment).
+  std::vector<cpps::FlowPair> flow_pairs;
+  am::LabeledDataset train_set;
+  am::LabeledDataset test_set;
+  gan::Cgan model;
+  std::vector<gan::TrainRecord> history;
+  security::LikelihoodResult likelihood;
+  security::ConfidentialityReport confidentiality;
+};
+
+class GanSecPipeline {
+ public:
+  explicit GanSecPipeline(PipelineConfig config = PipelineConfig{});
+
+  const PipelineConfig& config() const { return config_; }
+
+  /// The dataset builder (valid after construction; its scaler is fitted by
+  /// run()). Exposed so attack-detection harnesses can reuse the feature
+  /// pipeline.
+  const am::DatasetBuilder& builder() const { return builder_; }
+
+  /// Executes steps 1-4 and returns everything the experiments need.
+  PipelineResult run();
+
+  /// Suggested CGAN topology for this configuration.
+  gan::CganTopology topology() const;
+
+ private:
+  PipelineConfig config_;
+  am::DatasetBuilder builder_;
+};
+
+}  // namespace gansec::core

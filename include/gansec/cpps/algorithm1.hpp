@@ -1,0 +1,52 @@
+// Algorithm 1 — CPPS graph and flow-pair generation.
+//
+// Lines 11-14 enumerate candidate flow pairs FP_F: (F_i, F_j) such that the
+// head of F_j is DFS-reachable from the tail of F_i in the (acyclic) flow
+// graph. Lines 15-17 prune FP_F to FP_T, the pairs for which historical
+// data exists.
+#pragma once
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gansec/cpps/graph.hpp"
+
+namespace gansec::cpps {
+
+/// Records which flow pairs have historical (testing / runtime) data — the
+/// `Data` input of Algorithm 1. Coverage is per ordered pair.
+class HistoricalData {
+ public:
+  /// Declares that row-aligned observations exist for (first, second).
+  void add_pair(const std::string& first, const std::string& second);
+
+  /// Declares data for a single flow; a pair is covered when both of its
+  /// flows are individually observed *or* the pair was added explicitly.
+  void add_flow(const std::string& flow_id);
+
+  bool covers(const std::string& first, const std::string& second) const;
+
+  std::size_t pair_count() const { return pairs_.size(); }
+  std::size_t flow_count() const { return flows_.size(); }
+
+ private:
+  std::set<std::pair<std::string, std::string>> pairs_;
+  std::set<std::string> flows_;
+};
+
+/// FP_F: all ordered candidate pairs (lines 11-14).
+std::vector<FlowPair> enumerate_candidate_pairs(const CppsGraph& graph);
+
+/// FP_T: candidate pairs pruned by historical-data coverage (lines 15-17).
+std::vector<FlowPair> generate_flow_pairs(const CppsGraph& graph,
+                                          const HistoricalData& data);
+
+/// Restricts a pair list to cross-domain pairs: one flow is a signal flow,
+/// the other an energy flow (the paper's Section IV-B experiment selects
+/// "only cross-domain flow pairs for security analysis").
+std::vector<FlowPair> select_cross_domain_pairs(
+    const Architecture& architecture, const std::vector<FlowPair>& pairs);
+
+}  // namespace gansec::cpps

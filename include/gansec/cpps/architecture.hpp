@@ -1,0 +1,62 @@
+// Design-time CPPS architecture description.
+//
+// This is the input to Algorithm 1: subsystems Sub, cyber components C,
+// physical components P, and the signal/energy flows among them.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gansec/cpps/component.hpp"
+#include "gansec/cpps/flow.hpp"
+
+namespace gansec::cpps {
+
+class Architecture {
+ public:
+  Architecture() = default;
+  explicit Architecture(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Registers a subsystem; ids must be unique. Returns its index.
+  std::size_t add_subsystem(const std::string& subsystem_name);
+
+  /// Adds a component. Its subsystem must already exist and its id must be
+  /// unique; throws ModelError otherwise.
+  const Component& add_component(Component component);
+
+  /// Adds a flow. Both endpoints must be registered components and the flow
+  /// id must be unique; throws ModelError otherwise.
+  const Flow& add_flow(Flow flow);
+
+  const std::vector<std::string>& subsystems() const { return subsystems_; }
+  const std::vector<Component>& components() const { return components_; }
+  const std::vector<Flow>& flows() const { return flows_; }
+
+  bool has_component(const std::string& id) const;
+  bool has_flow(const std::string& id) const;
+
+  /// Throws ModelError when the id is unknown.
+  const Component& component(const std::string& id) const;
+  const Flow& flow(const std::string& id) const;
+
+  /// All components belonging to a subsystem, in insertion order.
+  std::vector<Component> components_in(const std::string& subsystem) const;
+
+  /// All flows whose tail or head is the given component.
+  std::vector<Flow> flows_touching(const std::string& component_id) const;
+
+  /// Flows crossing the cyber/physical boundary (tail and head in different
+  /// domains) — the cross-domain edges GAN-Sec cares about.
+  std::vector<Flow> cross_domain_flows() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> subsystems_;
+  std::vector<Component> components_;
+  std::vector<Flow> flows_;
+};
+
+}  // namespace gansec::cpps

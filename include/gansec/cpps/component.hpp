@@ -1,0 +1,23 @@
+// CPPS components: cyber and physical domain nodes (paper Figure 3).
+#pragma once
+
+#include <string>
+
+namespace gansec::cpps {
+
+enum class Domain { kCyber, kPhysical };
+
+inline const char* domain_name(Domain d) {
+  return d == Domain::kCyber ? "cyber" : "physical";
+}
+
+/// One node of the CPPS decomposition. `id` is the short label used in the
+/// paper's figures ("C1", "P9"); `subsystem` names the Sub_i it belongs to.
+struct Component {
+  std::string id;
+  std::string name;
+  Domain domain = Domain::kCyber;
+  std::string subsystem;
+};
+
+}  // namespace gansec::cpps

@@ -1,0 +1,15 @@
+// Graphviz DOT export of G_CPPS (for reproducing Figure 6 visually).
+#pragma once
+
+#include <string>
+
+#include "gansec/cpps/graph.hpp"
+
+namespace gansec::cpps {
+
+/// Renders the graph in DOT: cyber components as boxes, physical components
+/// as ellipses, signal flows as solid edges, energy flows as dashed edges.
+/// Feedback flows removed by Algorithm 1 appear dotted in gray.
+std::string to_dot(const CppsGraph& graph);
+
+}  // namespace gansec::cpps

@@ -1,0 +1,38 @@
+// Signal and energy flows (paper Section I-B).
+#pragma once
+
+#include <string>
+
+namespace gansec::cpps {
+
+/// F_S (discrete cyber-domain signal) or F_E (continuous physical-domain
+/// energy).
+enum class FlowKind { kSignal, kEnergy };
+
+inline const char* flow_kind_name(FlowKind k) {
+  return k == FlowKind::kSignal ? "signal" : "energy";
+}
+
+/// A directed flow between two components. `tail` emits, `head` receives.
+struct Flow {
+  std::string id;
+  std::string name;
+  FlowKind kind = FlowKind::kSignal;
+  std::string tail;
+  std::string head;
+};
+
+/// An ordered pair of flows (F_i, F_j) selected by Algorithm 1: F_i lies
+/// upstream of F_j on a causal path (the head of F_j is reachable from the
+/// tail of F_i). Following Section II of the paper, the CGAN may model
+/// either conditional for the pair — Pr(F_i | F_j) or Pr(F_j | F_i); the
+/// case study uses Pr(downstream emission | upstream G-code), i.e.
+/// Pr(second | first).
+struct FlowPair {
+  std::string first;   ///< F_i — the upstream flow
+  std::string second;  ///< F_j — the downstream flow
+
+  bool operator==(const FlowPair&) const = default;
+};
+
+}  // namespace gansec::cpps

@@ -1,0 +1,63 @@
+// G_CPPS — the directed component/flow graph of Algorithm 1.
+//
+// The graph is built from an Architecture: nodes are components, edges are
+// flows. Following line 3 of Algorithm 1, feedback loops are removed (back
+// edges found by a deterministic DFS are dropped) so the flow graph is a
+// DAG; the removed flow ids are recorded for reporting.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gansec/cpps/architecture.hpp"
+
+namespace gansec::cpps {
+
+class CppsGraph {
+ public:
+  /// Builds the graph and removes feedback edges. The graph keeps its own
+  /// copy of the architecture, so temporaries are safe to pass.
+  explicit CppsGraph(Architecture architecture);
+
+  const Architecture& architecture() const { return arch_; }
+
+  std::size_t node_count() const { return node_ids_.size(); }
+  const std::vector<std::string>& node_ids() const { return node_ids_; }
+
+  /// Flow ids of edges retained after feedback removal, in architecture
+  /// order.
+  const std::vector<std::string>& edge_flow_ids() const { return edges_; }
+
+  /// Flow ids dropped to break cycles.
+  const std::vector<std::string>& removed_feedback_flows() const {
+    return removed_;
+  }
+
+  /// Outgoing neighbor component ids of a node (after feedback removal).
+  const std::vector<std::string>& adjacency(
+      const std::string& component_id) const;
+
+  /// True when `to` is reachable from `from` by a directed path (DFS),
+  /// including the trivial from == to case.
+  bool reachable(const std::string& from, const std::string& to) const;
+
+  /// True when the retained edge set has no directed cycle (always true by
+  /// construction; exposed for property testing).
+  bool is_acyclic() const;
+
+ private:
+  std::size_t index_of(const std::string& component_id) const;
+  void remove_feedback_edges();
+
+  Architecture arch_;
+  std::vector<std::string> node_ids_;
+  std::unordered_map<std::string, std::size_t> index_;
+  std::vector<std::vector<std::size_t>> adj_;          // retained edges
+  std::vector<std::vector<std::string>> adj_ids_;      // as component ids
+  std::vector<std::string> edges_;                     // retained flow ids
+  std::vector<std::string> removed_;                   // dropped flow ids
+};
+
+}  // namespace gansec::cpps

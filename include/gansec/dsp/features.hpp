@@ -1,0 +1,53 @@
+// Feature pipeline helpers: framing and min-max scaling.
+//
+// Implements the paper's f_X (feature construction: frame the waveform,
+// CWT each frame) and the scaling step that maps frequency magnitudes to
+// [0,1] before CGAN training (Section IV-C: "frequency magnitudes ...
+// are scaled between 0 and 1").
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "gansec/math/matrix.hpp"
+
+namespace gansec::dsp {
+
+/// Splits a signal into fixed-length frames. Frames are advanced by `hop`
+/// samples; a trailing partial frame is dropped.
+std::vector<std::vector<double>> frame_signal(
+    const std::vector<double>& signal, std::size_t frame_length,
+    std::size_t hop);
+
+/// Per-column min-max scaler mapping training data to [0,1]. Columns with
+/// zero range map to 0.5 (constant features carry no information).
+class MinMaxScaler {
+ public:
+  MinMaxScaler() = default;
+
+  /// Learns per-column minima/maxima from training data.
+  void fit(const math::Matrix& data);
+
+  /// Applies the learned transform; values outside the training range are
+  /// clamped to [0,1].
+  math::Matrix transform(const math::Matrix& data) const;
+
+  math::Matrix fit_transform(const math::Matrix& data);
+
+  /// Maps scaled values back to the original units.
+  math::Matrix inverse_transform(const math::Matrix& data) const;
+
+  bool fitted() const { return !mins_.empty(); }
+  const std::vector<float>& mins() const { return mins_; }
+  const std::vector<float>& maxs() const { return maxs_; }
+
+  void save(std::ostream& os) const;
+  static MinMaxScaler load(std::istream& is);
+
+ private:
+  std::vector<float> mins_;
+  std::vector<float> maxs_;
+};
+
+}  // namespace gansec::dsp

@@ -1,0 +1,39 @@
+// Iterative radix-2 Cooley-Tukey FFT.
+//
+// The continuous wavelet transform in this library is computed in the
+// frequency domain, so the FFT is the workhorse of the energy-flow feature
+// pipeline. Transforms operate on power-of-two lengths; helpers are provided
+// for padding.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace gansec::dsp {
+
+using Complex = std::complex<double>;
+
+bool is_power_of_two(std::size_t n);
+
+/// Smallest power of two >= n (n == 0 maps to 1).
+std::size_t next_power_of_two(std::size_t n);
+
+/// In-place forward FFT. Length must be a power of two (throws
+/// InvalidArgumentError otherwise).
+void fft_in_place(std::vector<Complex>& x);
+
+/// In-place inverse FFT (includes the 1/N normalization).
+void ifft_in_place(std::vector<Complex>& x);
+
+/// Forward FFT of a real signal, zero-padded to the next power of two.
+std::vector<Complex> fft_real(const std::vector<double>& x);
+
+/// Magnitude spectrum |X[k]| for k in [0, N/2] of a real signal
+/// (zero-padded to a power of two before transforming).
+std::vector<double> magnitude_spectrum(const std::vector<double>& x);
+
+/// Frequency in Hz of FFT bin k for a length-n transform at sample_rate.
+double bin_frequency(std::size_t k, std::size_t n, double sample_rate);
+
+}  // namespace gansec::dsp

@@ -1,0 +1,21 @@
+// Analysis window functions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gansec::dsp {
+
+enum class WindowKind { kRectangular, kHann, kHamming, kBlackman };
+
+/// Window coefficients of the given length (symmetric form).
+std::vector<double> make_window(WindowKind kind, std::size_t length);
+
+/// Multiplies signal by window elementwise; sizes must match.
+std::vector<double> apply_window(const std::vector<double>& signal,
+                                 const std::vector<double>& window);
+
+std::string window_name(WindowKind kind);
+
+}  // namespace gansec::dsp

@@ -1,0 +1,56 @@
+// GAN-Sec error hierarchy.
+//
+// All gansec libraries report failures by throwing exceptions derived from
+// gansec::Error. Each substrate has its own subclass so callers can
+// discriminate between e.g. a malformed G-code program and a dimension
+// mismatch in the neural-network stack.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gansec {
+
+/// Root of the GAN-Sec exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Shape/dimension mismatches in linear algebra and NN layers.
+class DimensionError : public Error {
+ public:
+  explicit DimensionError(const std::string& what) : Error(what) {}
+};
+
+/// Invalid argument values (negative widths, empty datasets, ...).
+class InvalidArgumentError : public Error {
+ public:
+  explicit InvalidArgumentError(const std::string& what) : Error(what) {}
+};
+
+/// Parse failures (G-code programs, trace files, serialized models).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// I/O failures (missing files, truncated streams).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// CPPS architecture inconsistencies (dangling flow endpoints, ...).
+class ModelError : public Error {
+ public:
+  explicit ModelError(const std::string& what) : Error(what) {}
+};
+
+/// Numeric failures (NaN/Inf encountered where finite values are required).
+class NumericError : public Error {
+ public:
+  explicit NumericError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace gansec

@@ -1,0 +1,86 @@
+// Conditional GAN model (paper Section I-B / Figure 2).
+//
+// The generator maps [noise Z | condition F2] -> synthetic F1 samples in
+// [0,1]^data_dim; the discriminator maps [F1 | F2] -> probability that the
+// sample came from the training data. Together they estimate Pr(F1 | F2),
+// the cross-domain conditional distribution GAN-Sec's security analysis is
+// built on.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "gansec/math/matrix.hpp"
+#include "gansec/math/rng.hpp"
+#include "gansec/nn/mlp.hpp"
+
+namespace gansec::gan {
+
+/// Network shape hyperparameters.
+struct CganTopology {
+  std::size_t data_dim = 0;   ///< dimension of F1 (e.g. 100 frequency bins)
+  std::size_t cond_dim = 0;   ///< dimension of F2 (e.g. 3 one-hot motors)
+  std::size_t noise_dim = 16; ///< dimension of the noise prior Z
+  std::vector<std::size_t> generator_hidden = {128, 128};
+  std::vector<std::size_t> discriminator_hidden = {128, 128};
+  float leaky_slope = 0.2F;        ///< LeakyReLU slope in both networks
+  float discriminator_dropout = 0.0F;
+  /// Insert batch normalization after each generator hidden layer (a
+  /// standard GAN stabilizer; never applied to the discriminator).
+  bool generator_batchnorm = false;
+};
+
+class Cgan {
+ public:
+  /// Builds and initializes both networks from the topology. All weight
+  /// randomness derives from `seed`.
+  Cgan(CganTopology topology, std::uint64_t seed = 0xC6A2);
+
+  /// Reconstructs a Cgan around externally loaded networks (deserialization
+  /// path). Network shapes must match the topology.
+  Cgan(CganTopology topology, nn::Mlp generator, nn::Mlp discriminator);
+
+  const CganTopology& topology() const { return topology_; }
+
+  nn::Mlp& generator() { return generator_; }
+  nn::Mlp& discriminator() { return discriminator_; }
+  const nn::Mlp& generator() const { return generator_; }
+
+  /// Draws an n x noise_dim standard-normal noise batch.
+  math::Matrix sample_noise(std::size_t n, math::Rng& rng) const;
+
+  /// G(Z|conds): one generated sample per condition row.
+  math::Matrix generate(const math::Matrix& conditions, math::Rng& rng);
+
+  /// G(Z|cond): `count` samples for a single 1 x cond_dim condition.
+  math::Matrix generate_for_condition(const math::Matrix& condition,
+                                      std::size_t count, math::Rng& rng);
+
+  /// D(data|conds): per-row probability that each sample is real.
+  math::Matrix discriminate(const math::Matrix& data,
+                            const math::Matrix& conditions);
+
+  /// Persists topology + both networks.
+  void save(std::ostream& os) const;
+  static Cgan load(std::istream& is);
+  void save_file(const std::string& path) const;
+  static Cgan load_file(const std::string& path);
+
+ private:
+  void validate_conditions(const math::Matrix& conditions,
+                           const char* fn) const;
+
+  CganTopology topology_;
+  nn::Mlp generator_;
+  nn::Mlp discriminator_;
+};
+
+/// Builds the generator network for a topology (exposed for tests).
+nn::Mlp build_generator(const CganTopology& topology);
+
+/// Builds the discriminator network for a topology (exposed for tests).
+nn::Mlp build_discriminator(const CganTopology& topology);
+
+}  // namespace gansec::gan

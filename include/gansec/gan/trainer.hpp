@@ -1,0 +1,114 @@
+// CGAN training loop — a faithful implementation of Algorithm 2
+// ("CGAN Model Generation and Storage") from the paper.
+//
+// Per outer iteration the trainer performs k discriminator updates
+// (stochastic gradient *ascent* on log D(f1|f2) + log(1 - D(G(z|f2)))) and
+// one generator update. The generator objective defaults to the paper's
+// original minimax form, descending log(1 - D(G(z|f2))); the non-saturating
+// alternative (-log D(G(z|f2))) from Goodfellow et al. is available for
+// tougher optimization landscapes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "gansec/gan/cgan.hpp"
+#include "gansec/nn/optimizer.hpp"
+
+namespace gansec::gan {
+
+enum class OptimizerKind { kSgd, kMomentum, kAdam };
+enum class GeneratorLoss { kOriginalMinimax, kNonSaturating };
+
+/// Adversarial objective family. kBinaryCrossEntropy is the paper's (and
+/// Goodfellow et al.'s) log-loss game; kLeastSquares is the LSGAN variant
+/// (Mao et al. 2017), which penalizes confidently-wrong discriminator
+/// outputs quadratically and often trains more stably.
+enum class AdversarialObjective { kBinaryCrossEntropy, kLeastSquares };
+
+struct TrainConfig {
+  std::size_t batch_size = 32;        ///< n in Algorithm 2
+  std::size_t discriminator_steps = 1;///< k in Algorithm 2
+  std::size_t iterations = 2000;      ///< Iter in Algorithm 2
+  float learning_rate_g = 1e-3F;
+  float learning_rate_d = 5e-4F;
+  OptimizerKind optimizer = OptimizerKind::kAdam;
+  /// Generator update rule under the BCE objective (ignored for LSGAN).
+  GeneratorLoss generator_loss = GeneratorLoss::kNonSaturating;
+  AdversarialObjective objective =
+      AdversarialObjective::kBinaryCrossEntropy;
+  /// Adam beta1; 0.5 is the standard GAN setting (Radford et al.).
+  float adam_beta1 = 0.5F;
+  /// One-sided label smoothing: the discriminator's target for real
+  /// samples (1.0 disables smoothing). Keeps D from saturating.
+  float real_label = 0.9F;
+  /// Snapshot the generator every N iterations (0 = never). Snapshots feed
+  /// the Figure 9 convergence experiment.
+  std::size_t checkpoint_every = 0;
+};
+
+/// One row of the Figure 7 training curve.
+struct TrainRecord {
+  std::size_t iteration = 0;
+  /// Reported generator loss: -mean log D(G(z|c)) (standard reporting form,
+  /// high when D rejects fakes, falls toward ln 2 at equilibrium).
+  double g_loss = 0.0;
+  /// Discriminator loss: BCE(real,1) + BCE(fake,0); low when D separates
+  /// easily, rising toward 2 ln 2 as G catches up.
+  double d_loss = 0.0;
+  /// Mean D output on real and generated samples this iteration.
+  double d_real_mean = 0.0;
+  double d_fake_mean = 0.0;
+};
+
+/// A generator snapshot taken mid-training.
+struct Checkpoint {
+  std::size_t iteration = 0;
+  nn::Mlp generator;
+};
+
+class CganTrainer {
+ public:
+  /// The trainer borrows the model; it must outlive the trainer.
+  CganTrainer(Cgan& model, TrainConfig config, std::uint64_t seed = 0x7124);
+
+  /// Runs the full config.iterations loop on the labeled dataset
+  /// (samples: N x data_dim, conditions: N x cond_dim, row-aligned).
+  void train(const math::Matrix& samples, const math::Matrix& conditions);
+
+  /// Runs `count` additional iterations; callers may interleave their own
+  /// evaluation between calls (used by the Figure 9 harness).
+  void train_iterations(const math::Matrix& samples,
+                        const math::Matrix& conditions, std::size_t count);
+
+  const std::vector<TrainRecord>& history() const { return history_; }
+  const std::vector<Checkpoint>& checkpoints() const { return checkpoints_; }
+  std::size_t iterations_done() const { return iterations_done_; }
+  const TrainConfig& config() const { return config_; }
+
+ private:
+  void validate_dataset(const math::Matrix& samples,
+                        const math::Matrix& conditions) const;
+  std::unique_ptr<nn::Optimizer> make_optimizer(
+      std::vector<nn::Parameter*> params, float lr) const;
+  /// One discriminator update; returns (loss, mean D(real), mean D(fake)).
+  void discriminator_step(const math::Matrix& samples,
+                          const math::Matrix& conditions,
+                          TrainRecord& record);
+  /// One generator update; fills record.g_loss.
+  void generator_step(const math::Matrix& last_conditions,
+                      TrainRecord& record);
+
+  Cgan& model_;
+  TrainConfig config_;
+  math::Rng rng_;
+  std::unique_ptr<nn::Optimizer> opt_g_;
+  std::unique_ptr<nn::Optimizer> opt_d_;
+  std::vector<TrainRecord> history_;
+  std::vector<Checkpoint> checkpoints_;
+  std::size_t iterations_done_ = 0;
+  math::Matrix last_batch_conditions_;
+};
+
+}  // namespace gansec::gan

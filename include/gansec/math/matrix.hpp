@@ -1,0 +1,156 @@
+// Dense row-major single-precision matrix.
+//
+// This is the numeric workhorse of the neural-network substrate. It is a
+// deliberately small, dependency-free value type: data lives in a
+// std::vector<float>, all shape errors throw gansec::DimensionError, and the
+// operations provided are exactly those the MLP/CGAN stack needs (GEMM,
+// transposition, elementwise arithmetic, broadcasting a bias row, row/column
+// reductions, slicing and stacking).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <iosfwd>
+#include <vector>
+
+namespace gansec::math {
+
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix with every element set to `fill`.
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0F);
+
+  /// Build from a nested brace list; all rows must have equal length.
+  static Matrix from_rows(
+      std::initializer_list<std::initializer_list<float>> rows);
+
+  /// Build a 1 x n row vector from a flat vector.
+  static Matrix row_vector(const std::vector<float>& values);
+
+  /// Build an n x 1 column vector from a flat vector.
+  static Matrix column_vector(const std::vector<float>& values);
+
+  /// Identity matrix of size n x n.
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  float operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked access; throws DimensionError when out of range.
+  float& at(std::size_t r, std::size_t c);
+  float at(std::size_t r, std::size_t c) const;
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// Elementwise arithmetic. Shapes must match exactly.
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  /// Scalar arithmetic.
+  Matrix& operator*=(float scalar);
+  Matrix& operator+=(float scalar);
+
+  friend Matrix operator+(Matrix lhs, const Matrix& rhs) {
+    lhs += rhs;
+    return lhs;
+  }
+  friend Matrix operator-(Matrix lhs, const Matrix& rhs) {
+    lhs -= rhs;
+    return lhs;
+  }
+  friend Matrix operator*(Matrix lhs, float scalar) {
+    lhs *= scalar;
+    return lhs;
+  }
+  friend Matrix operator*(float scalar, Matrix rhs) {
+    rhs *= scalar;
+    return rhs;
+  }
+
+  /// Elementwise (Hadamard) product.
+  static Matrix hadamard(const Matrix& a, const Matrix& b);
+
+  /// Matrix product: (m x k) * (k x n) -> (m x n).
+  static Matrix matmul(const Matrix& a, const Matrix& b);
+
+  /// a * b^T without materializing the transpose: (m x k) * (n x k)^T.
+  static Matrix matmul_transposed_b(const Matrix& a, const Matrix& b);
+
+  /// a^T * b without materializing the transpose: (k x m)^T * (k x n).
+  static Matrix matmul_transposed_a(const Matrix& a, const Matrix& b);
+
+  Matrix transposed() const;
+
+  /// Adds `row` (1 x cols) to every row of this matrix (bias broadcast).
+  Matrix& add_row_broadcast(const Matrix& row);
+
+  /// Returns a copy of row r as a 1 x cols matrix.
+  Matrix row(std::size_t r) const;
+
+  /// Overwrites row r with the 1 x cols matrix `values`.
+  void set_row(std::size_t r, const Matrix& values);
+
+  /// Column sums as a 1 x cols matrix.
+  Matrix col_sums() const;
+
+  /// Row sums as a rows x 1 matrix.
+  Matrix row_sums() const;
+
+  float sum() const;
+  float mean() const;
+  float min() const;
+  float max() const;
+
+  /// True when every element is finite (no NaN/Inf).
+  bool all_finite() const;
+
+  /// Elementwise transform; returns a new matrix.
+  Matrix map(const std::function<float(float)>& fn) const;
+
+  /// Elementwise transform in place.
+  void apply(const std::function<float(float)>& fn);
+
+  /// Columns [c_begin, c_end) as a new matrix.
+  Matrix slice_cols(std::size_t c_begin, std::size_t c_end) const;
+
+  /// Rows [r_begin, r_end) as a new matrix.
+  Matrix slice_rows(std::size_t r_begin, std::size_t r_end) const;
+
+  /// Horizontal concatenation: [a | b]; row counts must match.
+  static Matrix hstack(const Matrix& a, const Matrix& b);
+
+  /// Vertical concatenation: [a ; b]; column counts must match.
+  static Matrix vstack(const Matrix& a, const Matrix& b);
+
+  /// Gathers the given rows (in order) into a new matrix.
+  Matrix gather_rows(const std::vector<std::size_t>& indices) const;
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// Prints a matrix as rows of space-separated values (debugging aid).
+std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+}  // namespace gansec::math

@@ -1,0 +1,63 @@
+// Deterministic seeded random number generation.
+//
+// Every stochastic component in GAN-Sec (noise prior Z, weight
+// initialization, minibatch sampling, the acoustic simulator's measurement
+// noise) draws from an explicitly seeded Rng so that experiments are
+// reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "gansec/math/matrix.hpp"
+
+namespace gansec::math {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eedULL) : engine_(seed) {}
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0);
+
+  /// Standard normal scaled to N(mean, stddev^2).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t randint(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p);
+
+  /// `count` distinct indices drawn uniformly from [0, population).
+  /// Throws InvalidArgumentError when count > population.
+  std::vector<std::size_t> sample_indices(std::size_t population,
+                                          std::size_t count);
+
+  /// `count` indices drawn uniformly *with* replacement from [0, population).
+  std::vector<std::size_t> sample_indices_with_replacement(
+      std::size_t population, std::size_t count);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& values) {
+    std::shuffle(values.begin(), values.end(), engine_);
+  }
+
+  /// rows x cols matrix of U(lo, hi) draws.
+  Matrix uniform_matrix(std::size_t rows, std::size_t cols, float lo,
+                        float hi);
+
+  /// rows x cols matrix of N(mean, stddev^2) draws.
+  Matrix normal_matrix(std::size_t rows, std::size_t cols, float mean,
+                       float stddev);
+
+  /// Direct access for use with <random> distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace gansec::math

@@ -1,0 +1,39 @@
+// Descriptive statistics over double-precision samples.
+//
+// Used by the DSP feature pipeline, the Parzen KDE, and the experiment
+// harnesses. All functions throw InvalidArgumentError on empty input.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gansec::math {
+
+double mean(const std::vector<double>& xs);
+
+/// Population variance (divides by n).
+double variance(const std::vector<double>& xs);
+
+/// Sample variance (divides by n-1); requires at least two samples.
+double sample_variance(const std::vector<double>& xs);
+
+double stddev(const std::vector<double>& xs);
+
+double min_value(const std::vector<double>& xs);
+double max_value(const std::vector<double>& xs);
+
+/// Median via nth_element (copies its input).
+double median(std::vector<double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::vector<double> xs, double p);
+
+/// Pearson correlation coefficient; requires equal non-empty sizes.
+double correlation(const std::vector<double>& xs,
+                   const std::vector<double>& ys);
+
+/// Population covariance; requires equal non-empty sizes.
+double covariance(const std::vector<double>& xs,
+                  const std::vector<double>& ys);
+
+}  // namespace gansec::math

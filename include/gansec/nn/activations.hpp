@@ -1,0 +1,55 @@
+// Elementwise activation layers: ReLU, LeakyReLU, Tanh, Sigmoid.
+#pragma once
+
+#include "gansec/nn/layer.hpp"
+
+namespace gansec::nn {
+
+class Relu : public Layer {
+ public:
+  math::Matrix forward(const math::Matrix& input, bool training) override;
+  math::Matrix backward(const math::Matrix& grad_output) override;
+  std::string kind() const override { return "relu"; }
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  math::Matrix last_input_;
+};
+
+class LeakyRelu : public Layer {
+ public:
+  explicit LeakyRelu(float negative_slope = 0.2F);
+  math::Matrix forward(const math::Matrix& input, bool training) override;
+  math::Matrix backward(const math::Matrix& grad_output) override;
+  std::string kind() const override { return "leaky_relu"; }
+  std::unique_ptr<Layer> clone() const override;
+  float negative_slope() const { return slope_; }
+
+ private:
+  float slope_;
+  math::Matrix last_input_;
+};
+
+class Tanh : public Layer {
+ public:
+  math::Matrix forward(const math::Matrix& input, bool training) override;
+  math::Matrix backward(const math::Matrix& grad_output) override;
+  std::string kind() const override { return "tanh"; }
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  math::Matrix last_output_;
+};
+
+class Sigmoid : public Layer {
+ public:
+  math::Matrix forward(const math::Matrix& input, bool training) override;
+  math::Matrix backward(const math::Matrix& grad_output) override;
+  std::string kind() const override { return "sigmoid"; }
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  math::Matrix last_output_;
+};
+
+}  // namespace gansec::nn

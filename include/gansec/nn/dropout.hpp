@@ -1,0 +1,34 @@
+// Inverted dropout regularization layer.
+#pragma once
+
+#include <cstdint>
+
+#include "gansec/nn/layer.hpp"
+
+namespace gansec::nn {
+
+/// Inverted dropout: at train time each activation is zeroed with
+/// probability `rate` and survivors are scaled by 1/(1-rate) so that
+/// inference requires no rescaling. The mask RNG is owned by the layer and
+/// seeded explicitly for reproducibility.
+class Dropout : public Layer {
+ public:
+  explicit Dropout(float rate, std::uint64_t seed = 0xD20);
+
+  math::Matrix forward(const math::Matrix& input, bool training) override;
+  math::Matrix backward(const math::Matrix& grad_output) override;
+  std::string kind() const override { return "dropout"; }
+  std::unique_ptr<Layer> clone() const override;
+
+  float rate() const { return rate_; }
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  float rate_;
+  std::uint64_t seed_;
+  math::Rng rng_;
+  math::Matrix last_mask_;
+  bool last_training_ = false;
+};
+
+}  // namespace gansec::nn

@@ -1,0 +1,58 @@
+// Layer abstraction for the minimal deep-learning stack.
+//
+// GAN-Sec's CGAN (Section III, Algorithm 2 of the paper) is built from
+// multilayer perceptrons. Layers implement explicit forward/backward passes
+// over batches (rows = samples). Trainable layers expose their Parameters so
+// optimizers can update them in place.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gansec/math/matrix.hpp"
+#include "gansec/math/rng.hpp"
+
+namespace gansec::nn {
+
+/// A trainable tensor with its accumulated gradient.
+struct Parameter {
+  std::string name;
+  math::Matrix value;
+  math::Matrix grad;
+
+  Parameter(std::string param_name, math::Matrix initial)
+      : name(std::move(param_name)),
+        value(std::move(initial)),
+        grad(value.rows(), value.cols(), 0.0F) {}
+
+  void zero_grad() { grad = math::Matrix(value.rows(), value.cols(), 0.0F); }
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output for a batch (rows = samples). `training`
+  /// toggles train-time behaviour (e.g. dropout masking).
+  virtual math::Matrix forward(const math::Matrix& input, bool training) = 0;
+
+  /// Propagates the loss gradient. `grad_output` is dLoss/dOutput for the
+  /// most recent forward() batch; returns dLoss/dInput. Trainable layers
+  /// accumulate into their Parameter::grad as a side effect.
+  virtual math::Matrix backward(const math::Matrix& grad_output) = 0;
+
+  /// Trainable parameters (empty for activations).
+  virtual std::vector<Parameter*> parameters() { return {}; }
+
+  /// Re-randomizes trainable state; no-op for stateless layers.
+  virtual void init_weights(math::Rng& /*rng*/) {}
+
+  /// Stable identifier used by the serializer ("dense", "relu", ...).
+  virtual std::string kind() const = 0;
+
+  /// Deep copy (used to checkpoint the generator during training).
+  virtual std::unique_ptr<Layer> clone() const = 0;
+};
+
+}  // namespace gansec::nn

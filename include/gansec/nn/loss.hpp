@@ -1,0 +1,50 @@
+// Loss functions for batched predictions.
+//
+// Each loss provides `value` (scalar averaged over the batch) and `gradient`
+// (dLoss/dPrediction, already divided by the batch size so optimizers see a
+// per-batch-mean gradient).
+#pragma once
+
+#include "gansec/math/matrix.hpp"
+
+namespace gansec::nn {
+
+/// Binary cross entropy: -mean(t*log(p) + (1-t)*log(1-p)).
+/// Predictions are clamped to [eps, 1-eps] for numerical safety.
+class BinaryCrossEntropy {
+ public:
+  explicit BinaryCrossEntropy(float eps = 1e-7F) : eps_(eps) {}
+
+  double value(const math::Matrix& predictions,
+               const math::Matrix& targets) const;
+  math::Matrix gradient(const math::Matrix& predictions,
+                        const math::Matrix& targets) const;
+
+ private:
+  float eps_;
+};
+
+/// Softmax cross entropy over logits with one-hot targets:
+/// -mean_rows(log softmax(logits)[target]). The gradient folds the softmax
+/// Jacobian: (softmax(logits) - targets) / batch.
+class SoftmaxCrossEntropy {
+ public:
+  double value(const math::Matrix& logits,
+               const math::Matrix& one_hot_targets) const;
+  math::Matrix gradient(const math::Matrix& logits,
+                        const math::Matrix& one_hot_targets) const;
+};
+
+/// Row-wise softmax (numerically stable).
+math::Matrix softmax_rows(const math::Matrix& logits);
+
+/// Mean squared error: mean((p - t)^2).
+class MeanSquaredError {
+ public:
+  double value(const math::Matrix& predictions,
+               const math::Matrix& targets) const;
+  math::Matrix gradient(const math::Matrix& predictions,
+                        const math::Matrix& targets) const;
+};
+
+}  // namespace gansec::nn

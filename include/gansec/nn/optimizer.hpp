@@ -1,0 +1,76 @@
+// Gradient-descent optimizers operating on Parameter lists.
+//
+// Algorithm 2 of the paper alternates stochastic-gradient *ascent* on the
+// discriminator with *descent* on the generator. Both are expressed here as
+// descent on the corresponding minimization objective; the trainer forms the
+// correctly signed gradients.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gansec/nn/layer.hpp"
+
+namespace gansec::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params);
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the gradients currently accumulated in the
+  /// parameters, then leaves gradients untouched (call zero_grad()).
+  virtual void step() = 0;
+
+  /// Clears accumulated gradients on all managed parameters.
+  void zero_grad();
+
+  const std::vector<Parameter*>& params() const { return params_; }
+
+ protected:
+  std::vector<Parameter*> params_;
+};
+
+/// Plain SGD: w -= lr * g.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter*> params, float learning_rate);
+  void step() override;
+  float learning_rate() const { return lr_; }
+  void set_learning_rate(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+};
+
+/// Classical momentum: v = mu*v + g ; w -= lr * v.
+class Momentum : public Optimizer {
+ public:
+  Momentum(std::vector<Parameter*> params, float learning_rate,
+           float momentum = 0.9F);
+  void step() override;
+
+ private:
+  float lr_;
+  float mu_;
+  std::vector<math::Matrix> velocity_;
+};
+
+/// Adam (Kingma & Ba 2015) with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, float learning_rate,
+       float beta1 = 0.9F, float beta2 = 0.999F, float eps = 1e-8F);
+  void step() override;
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  std::size_t t_ = 0;
+  std::vector<math::Matrix> m_;
+  std::vector<math::Matrix> v_;
+};
+
+}  // namespace gansec::nn

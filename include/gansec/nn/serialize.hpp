@@ -1,0 +1,34 @@
+// Text (de)serialization of Mlp networks.
+//
+// Trained CGAN generators are persisted per flow pair (Algorithm 2 "Model
+// Generation and Storage"). The format is a line-oriented text format:
+//
+//   gansec-mlp 1
+//   layers <N>
+//   <layer records...>
+//   end
+//
+// Layer records: "dense <in> <out> <scheme>" followed by in*out weight
+// values and out bias values; "relu"; "leaky_relu <slope>"; "tanh";
+// "sigmoid"; "dropout <rate> <seed>".
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "gansec/nn/mlp.hpp"
+
+namespace gansec::nn {
+
+/// Writes the full network (architecture + weights) to a stream.
+void save_mlp(const Mlp& mlp, std::ostream& os);
+
+/// Reads a network written by save_mlp. Throws ParseError on malformed
+/// input and IoError on premature end of stream.
+Mlp load_mlp(std::istream& is);
+
+/// Convenience file wrappers.
+void save_mlp_file(const Mlp& mlp, const std::string& path);
+Mlp load_mlp_file(const std::string& path);
+
+}  // namespace gansec::nn

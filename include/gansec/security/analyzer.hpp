@@ -1,0 +1,70 @@
+// Algorithm 3 — the security analysis methodology.
+//
+// For every condition label C_i and frequency-feature index FtIdx, draw
+// GSize samples from the trained generator G(Z|C_i), fit a Parzen
+// Gaussian-window KDE to that feature, score every test sample, scale by h
+// (Like = exp(LogLike) * h), and average separately over test samples whose
+// true label matches C_i (AvgCorLike) and those whose label differs
+// (AvgIncLike). High correct likelihood ==> the emission leaks the
+// condition (confidentiality risk) and, dually, deviations are detectable
+// (integrity/availability monitoring).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gansec/am/dataset.hpp"
+#include "gansec/gan/cgan.hpp"
+#include "gansec/math/rng.hpp"
+
+namespace gansec::security {
+
+struct LikelihoodConfig {
+  std::size_t generator_samples = 200;  ///< GSize in Algorithm 3
+  double parzen_h = 0.2;                ///< Parzen window width h
+  /// Feature indices to analyze (FtIndices); empty means every feature.
+  std::vector<std::size_t> feature_indices;
+};
+
+/// AvgCorLike / AvgIncLike matrices of Algorithm 3, indexed
+/// [condition][feature-position] (positions follow `feature_indices`).
+struct LikelihoodResult {
+  std::vector<std::size_t> feature_indices;
+  std::vector<std::vector<double>> avg_correct;
+  std::vector<std::vector<double>> avg_incorrect;
+
+  std::size_t condition_count() const { return avg_correct.size(); }
+
+  /// Mean over features of AvgCorLike for one condition.
+  double mean_correct(std::size_t condition) const;
+  double mean_incorrect(std::size_t condition) const;
+
+  /// Condition an attacker can estimate best: the one with the largest
+  /// correct-minus-incorrect margin (Table I: Cond3/Z — its incorrect
+  /// likelihood is near zero, so observing a Z emission is unambiguous).
+  std::size_t most_leaky_condition() const;
+};
+
+class LikelihoodAnalyzer {
+ public:
+  explicit LikelihoodAnalyzer(LikelihoodConfig config,
+                              std::uint64_t seed = 0xA19003);
+
+  const LikelihoodConfig& config() const { return config_; }
+
+  /// Runs Algorithm 3 against a trained model on a held-out test set.
+  LikelihoodResult analyze(gan::Cgan& model,
+                           const am::LabeledDataset& test) const;
+
+  /// Same, but with a standalone generator network (used for mid-training
+  /// checkpoints in the Figure 9 experiment).
+  LikelihoodResult analyze_generator(nn::Mlp& generator,
+                                     const gan::CganTopology& topology,
+                                     const am::LabeledDataset& test) const;
+
+ private:
+  LikelihoodConfig config_;
+  std::uint64_t seed_;
+};
+
+}  // namespace gansec::security

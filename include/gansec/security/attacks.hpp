@@ -1,0 +1,75 @@
+// Cross-domain attack injection on the simulated printer.
+//
+// Section IV-D of the paper argues the CGAN model lets a designer estimate
+// the performance of integrity/availability attack detectors built on the
+// same side channel. This module synthesizes attacked observations:
+//
+//   * integrity attack — the executed G-code differs from the commanded
+//     G-code (a kinetic-cyber tamper): the emission comes from a different
+//     motor than the defender expects;
+//   * availability attack — a motor is jammed/stalled so the commanded
+//     move produces only background emission;
+//   * degradation attack — subtle physical tampering (worn bearing,
+//     loosened mount) shifts the motor's frame resonance; the commanded
+//     move still happens but sounds slightly wrong.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gansec/am/dataset.hpp"
+#include "gansec/math/matrix.hpp"
+
+namespace gansec::security {
+
+enum class AttackKind { kNone, kIntegrity, kAvailability, kDegradation };
+
+inline const char* attack_name(AttackKind k) {
+  switch (k) {
+    case AttackKind::kNone:
+      return "benign";
+    case AttackKind::kIntegrity:
+      return "integrity";
+    case AttackKind::kAvailability:
+      return "availability";
+    case AttackKind::kDegradation:
+      return "degradation";
+  }
+  return "unknown";
+}
+
+/// One defender-side observation: the condition the cyber domain *expects*
+/// plus the physically observed (scaled) spectrum.
+struct Observation {
+  std::size_t expected_label = 0;
+  math::Matrix features;  ///< 1 x data_dim, scaled with the training scaler
+  AttackKind attack = AttackKind::kNone;
+};
+
+class AttackInjector {
+ public:
+  /// The builder provides the feature pipeline (binner + fitted scaler) and
+  /// the machine/acoustic configuration; build() must have been called on
+  /// it already.
+  AttackInjector(const am::DatasetBuilder& builder,
+                 std::uint64_t seed = 0xA77AC8);
+
+  /// `per_label` observations per XYZ class; each is attacked with
+  /// probability `attack_fraction` using `kind`.
+  std::vector<Observation> generate(std::size_t per_label,
+                                    double attack_fraction, AttackKind kind);
+
+  /// A single observation, attacked or benign.
+  Observation make_observation(std::size_t expected_label, AttackKind kind);
+
+  /// Relative shift applied to the attacked motor's resonance frequency in
+  /// degradation attacks (0.15 = 15% detuning).
+  static constexpr double kDegradationResonanceShift = 0.15;
+
+ private:
+  const am::DatasetBuilder& builder_;
+  am::AcousticSimulator acoustics_;
+  math::Rng rng_;
+};
+
+}  // namespace gansec::security

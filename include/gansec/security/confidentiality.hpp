@@ -1,0 +1,67 @@
+// Confidentiality (side-channel leakage) analysis.
+//
+// Answers the paper's motivating question "Is data in F1 (cyber domain)
+// being leaked from F9 (physical domain)?" two ways:
+//
+//   1. an attacker classifier: predict the G-code condition from an
+//      observed emission by maximum CGAN likelihood — its accuracy above
+//      chance quantifies the breach;
+//   2. mutual information between the condition and each frequency
+//      feature of the *measured* emissions — the model-free ceiling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gansec/am/dataset.hpp"
+#include "gansec/gan/cgan.hpp"
+#include "gansec/stats/metrics.hpp"
+
+namespace gansec::security {
+
+struct ConfidentialityConfig {
+  std::size_t generator_samples = 200;
+  double parzen_h = 0.2;
+  /// Features used by the attacker classifier; empty = all.
+  std::vector<std::size_t> feature_indices;
+  /// Histogram bins for the mutual-information estimate.
+  std::size_t mi_bins = 24;
+};
+
+struct ConfidentialityReport {
+  /// Attacker's condition-inference accuracy (chance = 1 / n_conditions).
+  double attacker_accuracy = 0.0;
+  std::size_t condition_count = 0;
+  /// Per-condition recall of the attacker classifier.
+  std::vector<double> per_condition_recall;
+  /// Mutual information (nats) between condition and each feature.
+  std::vector<double> mi_per_feature;
+  double mean_mi = 0.0;
+  double max_mi = 0.0;
+  std::size_t max_mi_feature = 0;
+
+  /// True when the attacker beats chance by `margin` (default 1.5x).
+  bool leaks(double margin = 1.5) const {
+    return attacker_accuracy >
+           margin / static_cast<double>(condition_count);
+  }
+};
+
+class ConfidentialityAnalyzer {
+ public:
+  explicit ConfidentialityAnalyzer(ConfidentialityConfig config = {},
+                                   std::uint64_t seed = 0xC0F1DE);
+
+  /// Per-row most-likely condition under the CGAN (attacker inference).
+  std::vector<std::size_t> infer_conditions(
+      gan::Cgan& model, const math::Matrix& features) const;
+
+  ConfidentialityReport analyze(gan::Cgan& model,
+                                const am::LabeledDataset& test) const;
+
+ private:
+  ConfidentialityConfig config_;
+  std::uint64_t seed_;
+};
+
+}  // namespace gansec::security

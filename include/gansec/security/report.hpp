@@ -1,0 +1,31 @@
+// Text report formatting for the experiment harnesses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gansec/gan/trainer.hpp"
+#include "gansec/security/analyzer.hpp"
+#include "gansec/security/confidentiality.hpp"
+#include "gansec/security/detector.hpp"
+
+namespace gansec::security {
+
+/// Table I layout: one row per condition, Cor/Inc columns per Parzen width.
+/// `results[k]` must be the Algorithm 3 output for `widths[k]`, and
+/// likelihoods are averaged across the analyzed features.
+std::string format_table1(const std::vector<double>& widths,
+                          const std::vector<LikelihoodResult>& results);
+
+/// Figure 7 series: iteration, G loss, D loss (TSV with header).
+std::string format_training_curve(const std::vector<gan::TrainRecord>& history,
+                                  std::size_t stride = 1);
+
+/// Per-condition summary of one Algorithm 3 run.
+std::string format_likelihood_summary(const LikelihoodResult& result);
+
+std::string format_confidentiality(const ConfidentialityReport& report);
+
+std::string format_detection(const DetectionReport& report);
+
+}  // namespace gansec::security

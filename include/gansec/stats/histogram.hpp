@@ -1,0 +1,41 @@
+// Fixed-range histogram with probability-mass access.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gansec::stats {
+
+class Histogram {
+ public:
+  /// `bins` equal-width bins spanning [lo, hi). Values outside the range
+  /// clamp into the first/last bin.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+
+  /// Index of the bin containing x (clamped).
+  std::size_t bin_index(double x) const;
+
+  /// Center value of a bin.
+  double bin_center(std::size_t bin) const;
+
+  /// Probability mass per bin (empty histogram -> all zeros).
+  std::vector<double> probabilities() const;
+
+  /// Probability density per bin (mass / bin width).
+  std::vector<double> densities() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace gansec::stats

@@ -1,0 +1,56 @@
+// Classification metrics: confusion matrix, accuracy, ROC / AUC.
+//
+// Used to evaluate the attacker's G-code inference (confidentiality) and
+// the defender's likelihood-threshold attack detector (integrity /
+// availability).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gansec::stats {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t classes);
+
+  void add(std::size_t actual, std::size_t predicted);
+
+  std::size_t classes() const { return n_; }
+  std::size_t count(std::size_t actual, std::size_t predicted) const;
+  std::size_t total() const { return total_; }
+
+  double accuracy() const;
+  /// Recall of one class (diagonal / row sum); 0 when the class is absent.
+  double recall(std::size_t cls) const;
+  /// Precision of one class (diagonal / column sum); 0 when never predicted.
+  double precision(std::size_t cls) const;
+
+ private:
+  std::size_t n_;
+  std::vector<std::size_t> counts_;  // n x n row-major, rows = actual
+  std::size_t total_ = 0;
+};
+
+/// Fraction of equal entries; sizes must match and be non-empty.
+double accuracy(const std::vector<std::size_t>& predicted,
+                const std::vector<std::size_t>& actual);
+
+struct RocPoint {
+  double threshold = 0.0;
+  double tpr = 0.0;  ///< true-positive rate at score >= threshold
+  double fpr = 0.0;  ///< false-positive rate at score >= threshold
+};
+
+/// ROC curve for binary labels (true = positive) scored by `scores`
+/// (higher = more positive). Points are ordered by descending threshold and
+/// include the (0,0) and (1,1) endpoints.
+std::vector<RocPoint> roc_curve(const std::vector<double>& scores,
+                                const std::vector<bool>& labels);
+
+/// Area under the ROC curve via trapezoidal integration. Requires at least
+/// one positive and one negative label.
+double auc(const std::vector<double>& scores,
+           const std::vector<bool>& labels);
+
+}  // namespace gansec::stats

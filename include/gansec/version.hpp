@@ -1,0 +1,13 @@
+// Library version constants.
+#pragma once
+
+namespace gansec {
+
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+
+/// Human-readable version string, e.g. "1.0.0".
+inline constexpr const char* kVersionString = "1.0.0";
+
+}  // namespace gansec

@@ -1,0 +1,177 @@
+#include "gansec/am/acoustic.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "gansec/error.hpp"
+
+namespace gansec::am {
+
+AcousticSimulator::AcousticSimulator(AcousticConfig config,
+                                     std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  if (config_.sample_rate <= 0.0) {
+    throw InvalidArgumentError(
+        "AcousticSimulator: sample_rate must be positive");
+  }
+  if (config_.noise_floor < 0.0 || config_.hum_amplitude < 0.0) {
+    throw InvalidArgumentError(
+        "AcousticSimulator: noise amplitudes must be non-negative");
+  }
+  for (const MotorAcousticProfile& m : config_.motors) {
+    if (m.harmonic_gains.empty()) {
+      throw InvalidArgumentError(
+          "AcousticSimulator: motor profile needs at least one harmonic");
+    }
+  }
+}
+
+const char* emission_channel_name(EmissionChannel channel) {
+  switch (channel) {
+    case EmissionChannel::kMixed:
+      return "mixed";
+    case EmissionChannel::kMotorX:
+      return "motor-x";
+    case EmissionChannel::kMotorY:
+      return "motor-y";
+    case EmissionChannel::kMotorZ:
+      return "motor-z";
+    case EmissionChannel::kMotorE:
+      return "motor-e";
+    case EmissionChannel::kFrame:
+      return "frame";
+  }
+  return "unknown";
+}
+
+void AcousticSimulator::add_motor(std::vector<double>& buffer, Axis axis,
+                                  double step_rate, bool harmonics,
+                                  bool resonance, double resonance_scale) {
+  const MotorAcousticProfile& profile =
+      config_.motors[static_cast<std::size_t>(axis)];
+  const double fs = config_.sample_rate;
+  const double nyquist = fs / 2.0;
+  const double two_pi = 2.0 * std::numbers::pi;
+
+  // Step-rate harmonics with random starting phases: detent torque ripple.
+  for (std::size_t h = 0; harmonics && h < profile.harmonic_gains.size();
+       ++h) {
+    const double f = step_rate * static_cast<double>(h + 1);
+    if (f <= 0.0 || f >= nyquist) continue;
+    const double amp = profile.base_amplitude * profile.harmonic_gains[h];
+    const double phase = rng_.uniform(0.0, two_pi);
+    for (std::size_t i = 0; i < buffer.size(); ++i) {
+      const double t = static_cast<double>(i) / fs;
+      buffer[i] += amp * std::sin(two_pi * f * t + phase);
+    }
+  }
+
+  // Frame resonance: a sinusoid with a slow random-walk phase, which
+  // broadens the spectral line to resonance_jitter_hz.
+  if (resonance && profile.resonance_hz > 0.0 &&
+      profile.resonance_hz < nyquist && profile.resonance_gain > 0.0) {
+    const double amp =
+        profile.base_amplitude * profile.resonance_gain * resonance_scale;
+    double phase = rng_.uniform(0.0, two_pi);
+    const double jitter_step =
+        two_pi * profile.resonance_jitter_hz / std::sqrt(fs);
+    for (std::size_t i = 0; i < buffer.size(); ++i) {
+      const double t = static_cast<double>(i) / fs;
+      phase += rng_.normal(0.0, jitter_step / std::sqrt(fs));
+      buffer[i] += amp * std::sin(two_pi * profile.resonance_hz * t + phase);
+    }
+  }
+}
+
+void AcousticSimulator::add_background(std::vector<double>& buffer) {
+  const double fs = config_.sample_rate;
+  const double two_pi = 2.0 * std::numbers::pi;
+  const double hum_phase = rng_.uniform(0.0, two_pi);
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    const double t = static_cast<double>(i) / fs;
+    buffer[i] += config_.hum_amplitude *
+                 std::sin(two_pi * config_.hum_hz * t + hum_phase);
+    buffer[i] += rng_.normal(0.0, config_.noise_floor);
+  }
+}
+
+std::vector<double> AcousticSimulator::synthesize_segment(
+    const MotionSegment& segment, double duration_s) {
+  return synthesize_channel(segment, EmissionChannel::kMixed, duration_s);
+}
+
+std::vector<double> AcousticSimulator::synthesize_channel(
+    const MotionSegment& segment, EmissionChannel channel,
+    double duration_s) {
+  const double duration =
+      duration_s > 0.0 ? duration_s : segment.duration_s;
+  if (duration <= 0.0) {
+    throw InvalidArgumentError(
+        "AcousticSimulator::synthesize_channel: non-positive duration");
+  }
+  const auto n =
+      static_cast<std::size_t>(std::llround(duration * config_.sample_rate));
+  if (n == 0) {
+    throw InvalidArgumentError(
+        "AcousticSimulator::synthesize_channel: duration below one sample");
+  }
+  std::vector<double> buffer(n, 0.0);
+  for (std::size_t i = 0; i < kAxisCount; ++i) {
+    if (segment.step_rate[i] <= 0.0) continue;
+    const auto axis = static_cast<Axis>(i);
+    switch (channel) {
+      case EmissionChannel::kMixed:
+        add_motor(buffer, axis, segment.step_rate[i], /*harmonics=*/true,
+                  /*resonance=*/true, 1.0);
+        break;
+      case EmissionChannel::kFrame:
+        // The frame rings with every motor's resonance but carries little
+        // of the direct step-harmonic airborne sound.
+        add_motor(buffer, axis, segment.step_rate[i], /*harmonics=*/false,
+                  /*resonance=*/true, kFrameCoupling);
+        break;
+      case EmissionChannel::kMotorX:
+      case EmissionChannel::kMotorY:
+      case EmissionChannel::kMotorZ:
+      case EmissionChannel::kMotorE: {
+        const auto wanted = static_cast<std::size_t>(channel) -
+                            static_cast<std::size_t>(
+                                EmissionChannel::kMotorX);
+        if (wanted == i) {
+          // Near-field sensor: the motor's own harmonics dominate; its
+          // frame resonance is attenuated.
+          add_motor(buffer, axis, segment.step_rate[i], /*harmonics=*/true,
+                    /*resonance=*/true, 0.3);
+        }
+        break;
+      }
+    }
+  }
+  add_background(buffer);
+  return buffer;
+}
+
+std::vector<double> AcousticSimulator::synthesize_program(
+    const std::vector<MotionSegment>& segments) {
+  std::vector<double> out;
+  for (const MotionSegment& seg : segments) {
+    if (!seg.is_motion()) continue;
+    const std::vector<double> chunk = synthesize_segment(seg);
+    out.insert(out.end(), chunk.begin(), chunk.end());
+  }
+  return out;
+}
+
+std::vector<double> AcousticSimulator::synthesize_idle(double duration_s) {
+  if (duration_s <= 0.0) {
+    throw InvalidArgumentError(
+        "AcousticSimulator::synthesize_idle: non-positive duration");
+  }
+  const auto n = static_cast<std::size_t>(
+      std::llround(duration_s * config_.sample_rate));
+  std::vector<double> buffer(n, 0.0);
+  add_background(buffer);
+  return buffer;
+}
+
+}  // namespace gansec::am

@@ -1,0 +1,92 @@
+#include "gansec/am/encoder.hpp"
+
+#include "gansec/error.hpp"
+
+namespace gansec::am {
+
+ConditionEncoder::ConditionEncoder(ConditionScheme scheme)
+    : scheme_(scheme) {}
+
+std::size_t ConditionEncoder::dimension() const {
+  return scheme_ == ConditionScheme::kExclusiveXyz ? 3 : 8;
+}
+
+std::size_t ConditionEncoder::label(const MotionSegment& segment) const {
+  const std::vector<Axis> moving = segment.moving_xyz_axes();
+  if (scheme_ == ConditionScheme::kExclusiveXyz) {
+    if (moving.size() != 1) {
+      throw InvalidArgumentError(
+          "ConditionEncoder: exclusive scheme requires exactly one moving "
+          "XYZ axis, got " +
+          std::to_string(moving.size()) + " in '" + segment.source + "'");
+    }
+    return static_cast<std::size_t>(moving.front());
+  }
+  // Combination scheme: bit i set when axis i moves; label in [0, 7].
+  std::size_t bits = 0;
+  for (const Axis a : moving) {
+    bits |= 1U << static_cast<std::size_t>(a);
+  }
+  return bits;
+}
+
+std::vector<float> ConditionEncoder::encode(
+    const MotionSegment& segment) const {
+  std::vector<float> out(dimension(), 0.0F);
+  out[label(segment)] = 1.0F;
+  return out;
+}
+
+std::vector<float> ConditionEncoder::encode_delta(
+    const GcodeCommand& previous, const GcodeCommand& current,
+    const PrinterConfig& config) const {
+  MachineSimulator machine(config);
+  machine.apply(previous);
+  const MotionSegment segment = machine.apply(current);
+  if (!segment.is_motion()) {
+    throw InvalidArgumentError(
+        "ConditionEncoder::encode_delta: current command produces no "
+        "motion relative to the previous one");
+  }
+  return encode(segment);
+}
+
+math::Matrix ConditionEncoder::encode_matrix(
+    const MotionSegment& segment) const {
+  return math::Matrix::row_vector(encode(segment));
+}
+
+std::string ConditionEncoder::label_name(std::size_t lbl) const {
+  if (scheme_ == ConditionScheme::kExclusiveXyz) {
+    if (lbl >= 3) {
+      throw InvalidArgumentError("ConditionEncoder::label_name: label " +
+                                 std::to_string(lbl) + " out of range");
+    }
+    return axis_name(static_cast<Axis>(lbl));
+  }
+  if (lbl >= 8) {
+    throw InvalidArgumentError("ConditionEncoder::label_name: label " +
+                               std::to_string(lbl) + " out of range");
+  }
+  if (lbl == 0) return "idle";
+  std::string out;
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (lbl & (1U << i)) {
+      if (!out.empty()) out += '+';
+      out += axis_name(static_cast<Axis>(i));
+    }
+  }
+  return out;
+}
+
+math::Matrix ConditionEncoder::condition_for_label(std::size_t lbl) const {
+  if (lbl >= dimension()) {
+    throw InvalidArgumentError(
+        "ConditionEncoder::condition_for_label: label out of range");
+  }
+  math::Matrix row(1, dimension(), 0.0F);
+  row(0, lbl) = 1.0F;
+  return row;
+}
+
+}  // namespace gansec::am

@@ -1,0 +1,129 @@
+#include "gansec/am/gcode.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+#include "gansec/error.hpp"
+
+namespace gansec::am {
+
+namespace {
+
+/// Strips ';' line comments and '(...)' inline comments.
+std::string strip_comments(const std::string& line) {
+  std::string out;
+  out.reserve(line.size());
+  bool in_paren = false;
+  for (const char ch : line) {
+    if (in_paren) {
+      if (ch == ')') in_paren = false;
+      continue;
+    }
+    if (ch == '(') {
+      in_paren = true;
+      continue;
+    }
+    if (ch == ';') break;
+    out.push_back(ch);
+  }
+  return out;
+}
+
+bool is_all_space(const std::string& s) {
+  for (const char ch : s) {
+    if (!std::isspace(static_cast<unsigned char>(ch))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool is_blank_or_comment(const std::string& line) {
+  return is_all_space(strip_comments(line));
+}
+
+GcodeCommand parse_gcode_line(const std::string& line) {
+  const std::string body = strip_comments(line);
+  if (is_all_space(body)) {
+    throw ParseError("parse_gcode_line: blank/comment-only line");
+  }
+
+  GcodeCommand cmd;
+  cmd.raw = body;
+  std::istringstream is(body);
+  std::string word;
+  bool have_command = false;
+  while (is >> word) {
+    const char letter =
+        static_cast<char>(std::toupper(static_cast<unsigned char>(word[0])));
+    if (!std::isalpha(static_cast<unsigned char>(word[0]))) {
+      throw ParseError("parse_gcode_line: word '" + word +
+                       "' does not start with a letter in line '" + line +
+                       "'");
+    }
+    const std::string number = word.substr(1);
+    if (number.empty()) {
+      throw ParseError("parse_gcode_line: word '" + word +
+                       "' has no numeric value in line '" + line + "'");
+    }
+    double value = 0.0;
+    std::size_t consumed = 0;
+    try {
+      value = std::stod(number, &consumed);
+    } catch (const std::exception&) {
+      throw ParseError("parse_gcode_line: bad number in word '" + word +
+                       "' in line '" + line + "'");
+    }
+    if (consumed != number.size()) {
+      throw ParseError("parse_gcode_line: trailing junk in word '" + word +
+                       "' in line '" + line + "'");
+    }
+    if (!have_command) {
+      if (letter != 'G' && letter != 'M') {
+        throw ParseError(
+            "parse_gcode_line: line must start with a G or M word, got '" +
+            word + "'");
+      }
+      if (value != std::floor(value) || value < 0.0) {
+        throw ParseError("parse_gcode_line: command code must be a "
+                         "non-negative integer in '" +
+                         word + "'");
+      }
+      cmd.letter = letter;
+      cmd.code = static_cast<int>(value);
+      have_command = true;
+    } else {
+      if (letter == 'G' || letter == 'M') {
+        throw ParseError(
+            "parse_gcode_line: multiple commands on one line: '" + line +
+            "'");
+      }
+      if (cmd.params.contains(letter)) {
+        throw ParseError(std::string("parse_gcode_line: duplicate parameter '") +
+                         letter + "' in line '" + line + "'");
+      }
+      cmd.params[letter] = value;
+    }
+  }
+  return cmd;
+}
+
+std::vector<GcodeCommand> parse_gcode_program(const std::string& text) {
+  std::vector<GcodeCommand> out;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (is_blank_or_comment(line)) continue;
+    try {
+      out.push_back(parse_gcode_line(line));
+    } catch (const ParseError& e) {
+      throw ParseError("line " + std::to_string(line_no) + ": " + e.what());
+    }
+  }
+  return out;
+}
+
+}  // namespace gansec::am

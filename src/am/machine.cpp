@@ -1,0 +1,246 @@
+#include "gansec/am/machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "gansec/error.hpp"
+
+namespace gansec::am {
+
+std::vector<Axis> MotionSegment::moving_xyz_axes() const {
+  std::vector<Axis> out;
+  for (const Axis a : {Axis::kX, Axis::kY, Axis::kZ}) {
+    if (moves(a)) out.push_back(a);
+  }
+  return out;
+}
+
+MachineSimulator::MachineSimulator(PrinterConfig config)
+    : config_(config) {
+  for (const AxisConfig& axis : config_.axes) {
+    if (axis.steps_per_mm <= 0.0 || axis.max_feedrate_mm_s <= 0.0) {
+      throw InvalidArgumentError(
+          "MachineSimulator: axis steps_per_mm and max feedrate must be "
+          "positive");
+    }
+  }
+  reset();
+}
+
+void MachineSimulator::reset() {
+  state_ = MachineState{};
+  state_.feedrate_mm_min = config_.default_feedrate_mm_min;
+}
+
+MotionSegment MachineSimulator::apply(const GcodeCommand& command) {
+  if (command.letter == 'M') {
+    // Auxiliary machine functions: track the few that alter state we care
+    // about, accept the rest as no-ops (they produce no motor motion).
+    MotionSegment seg;
+    seg.source = command.raw;
+    if (command.code == 104 || command.code == 109) {
+      state_.hotend_target_c = command.param('S', state_.hotend_target_c);
+    }
+    return seg;
+  }
+  switch (command.code) {
+    case 0:
+    case 1:
+      return linear_move(command);
+    case 2:
+    case 3:
+      return arc_move(command, command.code == 2);
+    case 28: {
+      // Homing: model as an instantaneous reset of the XYZ position.
+      MotionSegment seg;
+      seg.source = command.raw;
+      state_.position[0] = 0.0;
+      state_.position[1] = 0.0;
+      state_.position[2] = 0.0;
+      return seg;
+    }
+    case 20:
+    case 21:
+    case 90:
+    case 91:
+    case 92: {
+      // Unit / positioning-mode selection: absolute millimeters is the only
+      // supported mode; G92 (set position) updates state directly.
+      MotionSegment seg;
+      seg.source = command.raw;
+      if (command.code == 91) {
+        throw ParseError(
+            "MachineSimulator: relative positioning (G91) is not supported");
+      }
+      if (command.code == 20) {
+        throw ParseError(
+            "MachineSimulator: inch units (G20) are not supported");
+      }
+      if (command.code == 92) {
+        const Axis all[] = {Axis::kX, Axis::kY, Axis::kZ, Axis::kE};
+        const char names[] = {'X', 'Y', 'Z', 'E'};
+        for (std::size_t i = 0; i < kAxisCount; ++i) {
+          if (command.has(names[i])) {
+            state_.position[static_cast<std::size_t>(all[i])] =
+                command.param(names[i], 0.0);
+          }
+        }
+      }
+      return seg;
+    }
+    default:
+      throw ParseError("MachineSimulator: unsupported command G" +
+                       std::to_string(command.code));
+  }
+}
+
+MotionSegment MachineSimulator::linear_move(const GcodeCommand& command) {
+  MotionSegment seg;
+  seg.source = command.raw;
+
+  if (command.has('F')) {
+    const double f = command.param('F', 0.0);
+    if (f <= 0.0) {
+      throw ParseError("MachineSimulator: non-positive feedrate in '" +
+                       command.raw + "'");
+    }
+    state_.feedrate_mm_min = f;
+  }
+
+  const char names[] = {'X', 'Y', 'Z', 'E'};
+  std::array<double, kAxisCount> target = state_.position;
+  for (std::size_t i = 0; i < kAxisCount; ++i) {
+    if (command.has(names[i])) target[i] = command.param(names[i], 0.0);
+  }
+  for (std::size_t i = 0; i < kAxisCount; ++i) {
+    seg.displacement[i] = target[i] - state_.position[i];
+  }
+
+  for (std::size_t i = 0; i < kAxisCount; ++i) {
+    seg.travel[i] = std::abs(seg.displacement[i]);
+  }
+
+  // Cartesian travel distance governs duration; a pure-extrusion move uses
+  // the filament displacement instead.
+  const double xyz = std::sqrt(seg.travel[0] * seg.travel[0] +
+                               seg.travel[1] * seg.travel[1] +
+                               seg.travel[2] * seg.travel[2]);
+  const double distance = xyz > 0.0 ? xyz : seg.travel[3];
+  if (distance <= 0.0) {
+    return seg;  // No motion (e.g. a bare "G1 F1200" feedrate change).
+  }
+
+  finish_segment(seg, distance);
+  state_.position = target;
+  return seg;
+}
+
+void MachineSimulator::finish_segment(MotionSegment& seg,
+                                      double path_length) {
+  double feed_mm_s = state_.feedrate_mm_min / 60.0;
+  // Clamp to the slowest participating axis limit so kinematics stay
+  // physical (a Z-heavy move cannot run at the XY feedrate).
+  for (std::size_t i = 0; i < kAxisCount; ++i) {
+    if (seg.travel[i] > 0.0) {
+      const double axis_fraction = seg.travel[i] / path_length;
+      feed_mm_s = std::min(
+          feed_mm_s, config_.axes[i].max_feedrate_mm_s / axis_fraction);
+    }
+  }
+  seg.feedrate_mm_s = feed_mm_s;
+  seg.duration_s = path_length / feed_mm_s;
+  for (std::size_t i = 0; i < kAxisCount; ++i) {
+    seg.step_rate[i] =
+        seg.travel[i] * config_.axes[i].steps_per_mm / seg.duration_s;
+  }
+}
+
+MotionSegment MachineSimulator::arc_move(const GcodeCommand& command,
+                                         bool clockwise) {
+  MotionSegment seg;
+  seg.source = command.raw;
+
+  if (command.has('F')) {
+    const double f = command.param('F', 0.0);
+    if (f <= 0.0) {
+      throw ParseError("MachineSimulator: non-positive feedrate in '" +
+                       command.raw + "'");
+    }
+    state_.feedrate_mm_min = f;
+  }
+  if (command.has('R')) {
+    throw ParseError(
+        "MachineSimulator: R-form arcs are not supported; use I/J");
+  }
+  if (!command.has('I') && !command.has('J')) {
+    throw ParseError("MachineSimulator: arc '" + command.raw +
+                     "' needs an I/J center offset");
+  }
+  if (command.has('Z')) {
+    throw ParseError(
+        "MachineSimulator: helical arcs (Z word) are not supported");
+  }
+
+  const double x0 = state_.position[0];
+  const double y0 = state_.position[1];
+  const double cx = x0 + command.param('I', 0.0);
+  const double cy = y0 + command.param('J', 0.0);
+  const double x1 = command.param('X', x0);
+  const double y1 = command.param('Y', y0);
+
+  const double r0 = std::hypot(x0 - cx, y0 - cy);
+  const double r1 = std::hypot(x1 - cx, y1 - cy);
+  if (r0 <= 0.0) {
+    throw ParseError("MachineSimulator: arc center coincides with start");
+  }
+  if (std::abs(r0 - r1) > 1e-6 * std::max(1.0, r0) + 1e-6) {
+    throw ParseError("MachineSimulator: arc endpoint radius mismatch in '" +
+                     command.raw + "'");
+  }
+
+  double theta0 = std::atan2(y0 - cy, x0 - cx);
+  double theta1 = std::atan2(y1 - cy, x1 - cx);
+  double sweep = theta1 - theta0;
+  constexpr double kTwoPi = 2.0 * std::numbers::pi;
+  if (clockwise) {
+    if (sweep >= -1e-12) sweep -= kTwoPi;  // full circle when endpoints meet
+  } else {
+    if (sweep <= 1e-12) sweep += kTwoPi;
+  }
+
+  seg.displacement[0] = x1 - x0;
+  seg.displacement[1] = y1 - y0;
+
+  // Integrate per-axis travel along the arc: |dx| = r |sin t| dt,
+  // |dy| = r |cos t| dt.
+  const std::size_t kSamples = 2048;
+  const double dt = sweep / static_cast<double>(kSamples);
+  double travel_x = 0.0;
+  double travel_y = 0.0;
+  for (std::size_t k = 0; k < kSamples; ++k) {
+    const double t = theta0 + (static_cast<double>(k) + 0.5) * dt;
+    travel_x += std::abs(std::sin(t));
+    travel_y += std::abs(std::cos(t));
+  }
+  seg.travel[0] = r0 * travel_x * std::abs(dt);
+  seg.travel[1] = r0 * travel_y * std::abs(dt);
+
+  const double arc_length = r0 * std::abs(sweep);
+  finish_segment(seg, arc_length);
+  state_.position[0] = x1;
+  state_.position[1] = y1;
+  return seg;
+}
+
+std::vector<MotionSegment> MachineSimulator::run_program(
+    const std::vector<GcodeCommand>& program) {
+  std::vector<MotionSegment> segments;
+  for (const GcodeCommand& cmd : program) {
+    MotionSegment seg = apply(cmd);
+    if (seg.is_motion()) segments.push_back(std::move(seg));
+  }
+  return segments;
+}
+
+}  // namespace gansec::am

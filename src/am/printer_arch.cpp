@@ -1,0 +1,123 @@
+#include "gansec/am/printer_arch.hpp"
+
+#include "gansec/error.hpp"
+
+namespace gansec::am {
+
+using cpps::Architecture;
+using cpps::Component;
+using cpps::Domain;
+using cpps::Flow;
+using cpps::FlowKind;
+
+Architecture make_printer_architecture() {
+  namespace pf = printer_flows;
+  Architecture arch("fdm-3d-printer");
+  arch.add_subsystem("network");
+  arch.add_subsystem("printer");
+  arch.add_subsystem("environment");
+
+  // Cyber components.
+  arch.add_component({"C4", "External controller", Domain::kCyber, "network"});
+  arch.add_component({"C1", "Controller board", Domain::kCyber, "printer"});
+  arch.add_component({"C2", "Motion planner", Domain::kCyber, "printer"});
+  arch.add_component({"C3", "Stepper drivers", Domain::kCyber, "printer"});
+
+  // Physical components.
+  arch.add_component({"P1", "Power supply", Domain::kPhysical, "printer"});
+  arch.add_component({"P2", "Stepper motor X", Domain::kPhysical, "printer"});
+  arch.add_component({"P3", "Stepper motor Y", Domain::kPhysical, "printer"});
+  arch.add_component({"P4", "Stepper motor Z", Domain::kPhysical, "printer"});
+  arch.add_component(
+      {"P5", "Extruder motor", Domain::kPhysical, "printer"});
+  arch.add_component({"P6", "Heater", Domain::kPhysical, "printer"});
+  arch.add_component({"P7", "Nozzle", Domain::kPhysical, "printer"});
+  arch.add_component({"P8", "Frame", Domain::kPhysical, "printer"});
+  arch.add_component(
+      {"P9", "Environment", Domain::kPhysical, "environment"});
+
+  // Signal flows (cyber domain).
+  arch.add_flow({pf::kGcodeIn, "G/M-code stream", FlowKind::kSignal, "C4",
+                 "C1"});
+  arch.add_flow({pf::kMotionCmds, "Motion commands", FlowKind::kSignal, "C1",
+                 "C2"});
+  arch.add_flow({pf::kStepPulses, "Step pulse trains", FlowKind::kSignal,
+                 "C2", "C3"});
+  arch.add_flow({pf::kHeaterPwm, "Heater PWM", FlowKind::kSignal, "C1",
+                 "P6"});
+
+  // Energy flows: drive currents, power, heat.
+  arch.add_flow({pf::kDriveX, "Drive current X", FlowKind::kEnergy, "C3",
+                 "P2"});
+  arch.add_flow({pf::kDriveY, "Drive current Y", FlowKind::kEnergy, "C3",
+                 "P3"});
+  arch.add_flow({pf::kDriveZ, "Drive current Z", FlowKind::kEnergy, "C3",
+                 "P4"});
+  arch.add_flow({pf::kDriveE, "Drive current E", FlowKind::kEnergy, "C3",
+                 "P5"});
+  arch.add_flow({pf::kLogicPower, "Logic power", FlowKind::kEnergy, "P1",
+                 "C1"});
+  arch.add_flow({pf::kMotorPower, "Motor power", FlowKind::kEnergy, "P1",
+                 "C3"});
+  arch.add_flow({pf::kHeat, "Resistive heat", FlowKind::kEnergy, "P6",
+                 "P7"});
+
+  // Mechanical coupling into the frame.
+  arch.add_flow({pf::kVibrationX, "Vibration X", FlowKind::kEnergy, "P2",
+                 "P8"});
+  arch.add_flow({pf::kVibrationY, "Vibration Y", FlowKind::kEnergy, "P3",
+                 "P8"});
+  arch.add_flow({pf::kVibrationZ, "Vibration Z", FlowKind::kEnergy, "P4",
+                 "P8"});
+  arch.add_flow({pf::kVibrationE, "Vibration E", FlowKind::kEnergy, "P5",
+                 "P8"});
+
+  // Unintentional emissions to the environment (side channels).
+  arch.add_flow({pf::kAcousticX, "Acoustic emission X", FlowKind::kEnergy,
+                 "P2", "P9"});
+  arch.add_flow({pf::kAcousticY, "Acoustic emission Y", FlowKind::kEnergy,
+                 "P3", "P9"});
+  arch.add_flow({pf::kAcousticZ, "Acoustic emission Z", FlowKind::kEnergy,
+                 "P4", "P9"});
+  arch.add_flow({pf::kAcousticE, "Acoustic emission E", FlowKind::kEnergy,
+                 "P5", "P9"});
+  arch.add_flow({pf::kFrameAcoustic, "Frame acoustic emission",
+                 FlowKind::kEnergy, "P8", "P9"});
+  arch.add_flow({pf::kThermalEmission, "Thermal emission", FlowKind::kEnergy,
+                 "P7", "P9"});
+
+  // Status feedback closes a cyber-domain loop; Algorithm 1 removes it.
+  arch.add_flow({pf::kStatusFeedback, "Status feedback", FlowKind::kSignal,
+                 "C1", "C4"});
+
+  return arch;
+}
+
+std::vector<std::string> monitored_acoustic_flows() {
+  namespace pf = printer_flows;
+  return {pf::kAcousticX, pf::kAcousticY, pf::kAcousticZ, pf::kAcousticE,
+          pf::kFrameAcoustic};
+}
+
+EmissionChannel channel_for_printer_flow(const std::string& flow_id) {
+  namespace pf = printer_flows;
+  if (flow_id == pf::kAcousticX) return EmissionChannel::kMotorX;
+  if (flow_id == pf::kAcousticY) return EmissionChannel::kMotorY;
+  if (flow_id == pf::kAcousticZ) return EmissionChannel::kMotorZ;
+  if (flow_id == pf::kAcousticE) return EmissionChannel::kMotorE;
+  if (flow_id == pf::kFrameAcoustic) return EmissionChannel::kFrame;
+  throw ModelError("channel_for_printer_flow: '" + flow_id +
+                   "' is not a monitored emission flow");
+}
+
+cpps::HistoricalData make_printer_historical_data() {
+  namespace pf = printer_flows;
+  cpps::HistoricalData data;
+  data.add_flow(pf::kGcodeIn);
+  for (const std::string& flow : monitored_acoustic_flows()) {
+    data.add_flow(flow);
+  }
+  return data;
+}
+
+}  // namespace gansec::am

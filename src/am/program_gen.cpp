@@ -1,0 +1,53 @@
+#include "gansec/am/program_gen.hpp"
+
+#include <sstream>
+
+#include "gansec/am/machine.hpp"
+#include "gansec/error.hpp"
+#include "gansec/math/rng.hpp"
+
+namespace gansec::am {
+
+std::string make_calibration_program(
+    const CalibrationProgramConfig& config) {
+  if (config.moves_per_axis == 0) {
+    throw InvalidArgumentError(
+        "make_calibration_program: moves_per_axis must be positive");
+  }
+  if (config.min_distance_mm <= 0.0 ||
+      config.max_distance_mm < config.min_distance_mm) {
+    throw InvalidArgumentError(
+        "make_calibration_program: invalid distance range");
+  }
+  for (const auto& [lo, hi] : config.feed_mm_s) {
+    if (lo <= 0.0 || hi < lo) {
+      throw InvalidArgumentError(
+          "make_calibration_program: invalid feedrate range");
+    }
+  }
+
+  math::Rng rng(config.seed);
+  std::ostringstream os;
+  os << "; GAN-Sec calibration program: single-motor moves\n";
+  if (config.home_first) os << "G28\n";
+  os << "G1 F" << config.feed_mm_s[0].second * 60.0 << " X"
+     << config.origin_mm[0] << " Y" << config.origin_mm[1] << " Z"
+     << config.origin_mm[2] << " ; stage\n";
+
+  const char names[3] = {'X', 'Y', 'Z'};
+  for (std::size_t move = 0; move < config.moves_per_axis; ++move) {
+    for (std::size_t axis = 0; axis < 3; ++axis) {
+      const double feed = rng.uniform(config.feed_mm_s[axis].first,
+                                      config.feed_mm_s[axis].second);
+      const double distance =
+          rng.uniform(config.min_distance_mm, config.max_distance_mm);
+      const double base = config.origin_mm[axis];
+      os << "G1 F" << feed * 60.0 << ' ' << names[axis]
+         << base + distance << '\n';
+      os << "G1 " << names[axis] << base << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace gansec::am

@@ -1,0 +1,127 @@
+#include "gansec/am/segmenter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gansec/error.hpp"
+#include "gansec/math/stats.hpp"
+
+namespace gansec::am {
+
+MoveSegmenter::MoveSegmenter(SegmenterConfig config)
+    : config_(config),
+      stft_(dsp::StftConfig{config.sample_rate, config.frame_length,
+                            config.hop, dsp::WindowKind::kHann}) {
+  if (config_.threshold_factor <= 1.0) {
+    throw InvalidArgumentError(
+        "MoveSegmenter: threshold_factor must exceed 1");
+  }
+  if (config_.min_segment_s <= 0.0) {
+    throw InvalidArgumentError(
+        "MoveSegmenter: min_segment_s must be positive");
+  }
+}
+
+std::vector<double> MoveSegmenter::spectral_flux(
+    const std::vector<double>& waveform) const {
+  const auto grid = stft_.spectrogram(waveform);
+  std::vector<double> flux(grid.size(), 0.0);
+  // Normalize each frame to unit energy so loudness changes do not mask
+  // spectral-shape changes, then take the L2 difference.
+  const auto normalize = [](const std::vector<double>& frame) {
+    double energy = 0.0;
+    for (const double v : frame) energy += v * v;
+    const double norm = std::sqrt(energy);
+    std::vector<double> out(frame.size(), 0.0);
+    if (norm > 1e-12) {
+      for (std::size_t i = 0; i < frame.size(); ++i) {
+        out[i] = frame[i] / norm;
+      }
+    }
+    return out;
+  };
+  std::vector<double> prev = normalize(grid[0]);
+  for (std::size_t f = 1; f < grid.size(); ++f) {
+    std::vector<double> cur = normalize(grid[f]);
+    double acc = 0.0;
+    for (std::size_t k = 0; k < cur.size(); ++k) {
+      const double d = cur[k] - prev[k];
+      acc += d * d;
+    }
+    flux[f] = std::sqrt(acc);
+    prev = std::move(cur);
+  }
+  return flux;
+}
+
+std::vector<std::size_t> MoveSegmenter::detect_boundaries(
+    const std::vector<double>& waveform) const {
+  if (waveform.empty()) {
+    throw InvalidArgumentError("MoveSegmenter: empty waveform");
+  }
+  const std::vector<double> flux = spectral_flux(waveform);
+  if (flux.size() < 3) return {};
+
+  // Robust threshold: multiple of the median flux (the floor set by noise).
+  std::vector<double> sorted(flux.begin() + 1, flux.end());
+  const double med = math::median(std::move(sorted));
+  const double threshold = config_.threshold_factor * std::max(med, 1e-9);
+
+  const auto min_gap_frames = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config_.min_segment_s *
+                                  config_.sample_rate /
+                                  static_cast<double>(config_.hop)));
+
+  // A transition smears over a few frames (the STFT window straddles it):
+  // collapse each contiguous super-threshold run to its flux peak.
+  std::vector<std::size_t> peaks;
+  std::size_t f = 1;
+  while (f < flux.size()) {
+    if (flux[f] <= threshold) {
+      ++f;
+      continue;
+    }
+    std::size_t peak = f;
+    while (f < flux.size() && flux[f] > threshold) {
+      if (flux[f] > flux[peak]) peak = f;
+      ++f;
+    }
+    peaks.push_back(peak);
+  }
+
+  // Merge peaks closer than the minimum move duration, keeping the
+  // strongest of each cluster.
+  std::vector<std::size_t> kept;
+  for (const std::size_t peak : peaks) {
+    if (!kept.empty() && peak - kept.back() < min_gap_frames) {
+      if (flux[peak] > flux[kept.back()]) kept.back() = peak;
+    } else {
+      kept.push_back(peak);
+    }
+  }
+
+  std::vector<std::size_t> boundaries;
+  for (const std::size_t peak : kept) {
+    const std::size_t sample =
+        peak * config_.hop + config_.frame_length / 2;
+    if (sample > 0 && sample < waveform.size()) {
+      boundaries.push_back(sample);
+    }
+  }
+  return boundaries;
+}
+
+std::vector<DetectedSegment> MoveSegmenter::segment(
+    const std::vector<double>& waveform) const {
+  const std::vector<std::size_t> boundaries = detect_boundaries(waveform);
+  std::vector<DetectedSegment> segments;
+  std::size_t begin = 0;
+  for (const std::size_t b : boundaries) {
+    segments.push_back(DetectedSegment{begin, b});
+    begin = b;
+  }
+  segments.push_back(DetectedSegment{begin, waveform.size()});
+  return segments;
+}
+
+}  // namespace gansec::am

@@ -1,0 +1,165 @@
+#include "gansec/am/trace_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "gansec/error.hpp"
+
+namespace gansec::am {
+
+using math::Matrix;
+
+void save_dataset_csv(const LabeledDataset& dataset, std::ostream& os) {
+  dataset.validate();
+  os << "label";
+  for (std::size_t c = 0; c < dataset.conditions.cols(); ++c) {
+    os << ",cond_" << c;
+  }
+  for (std::size_t c = 0; c < dataset.features.cols(); ++c) {
+    os << ",feat_" << c;
+  }
+  os << '\n';
+  for (std::size_t r = 0; r < dataset.size(); ++r) {
+    os << dataset.labels[r];
+    for (std::size_t c = 0; c < dataset.conditions.cols(); ++c) {
+      os << ',' << dataset.conditions(r, c);
+    }
+    for (std::size_t c = 0; c < dataset.features.cols(); ++c) {
+      os << ',' << dataset.features(r, c);
+    }
+    os << '\n';
+  }
+  if (!os) throw IoError("save_dataset_csv: stream write failure");
+}
+
+LabeledDataset load_dataset_csv(std::istream& is) {
+  std::string header;
+  if (!std::getline(is, header)) {
+    throw IoError("load_dataset_csv: empty stream");
+  }
+  // Count cond_/feat_ columns from the header.
+  std::size_t cond_cols = 0;
+  std::size_t feat_cols = 0;
+  {
+    std::istringstream hs(header);
+    std::string col;
+    bool first = true;
+    while (std::getline(hs, col, ',')) {
+      if (first) {
+        if (col != "label") {
+          throw ParseError("load_dataset_csv: first column must be 'label'");
+        }
+        first = false;
+        continue;
+      }
+      if (col.rfind("cond_", 0) == 0) {
+        ++cond_cols;
+      } else if (col.rfind("feat_", 0) == 0) {
+        ++feat_cols;
+      } else {
+        throw ParseError("load_dataset_csv: unexpected column '" + col + "'");
+      }
+    }
+  }
+  if (cond_cols == 0 || feat_cols == 0) {
+    throw ParseError("load_dataset_csv: need cond_ and feat_ columns");
+  }
+
+  std::vector<std::size_t> labels;
+  std::vector<float> cond_values;
+  std::vector<float> feat_values;
+  std::string line;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string cell;
+    if (!std::getline(ls, cell, ',')) {
+      throw ParseError("load_dataset_csv: malformed line " +
+                       std::to_string(line_no));
+    }
+    try {
+      labels.push_back(static_cast<std::size_t>(std::stoul(cell)));
+    } catch (const std::exception&) {
+      throw ParseError("load_dataset_csv: bad label at line " +
+                       std::to_string(line_no));
+    }
+    for (std::size_t c = 0; c < cond_cols + feat_cols; ++c) {
+      if (!std::getline(ls, cell, ',')) {
+        throw ParseError("load_dataset_csv: short row at line " +
+                         std::to_string(line_no));
+      }
+      try {
+        const float v = std::stof(cell);
+        (c < cond_cols ? cond_values : feat_values).push_back(v);
+      } catch (const std::exception&) {
+        throw ParseError("load_dataset_csv: bad value at line " +
+                         std::to_string(line_no));
+      }
+    }
+    if (std::getline(ls, cell, ',')) {
+      throw ParseError("load_dataset_csv: extra cells at line " +
+                       std::to_string(line_no));
+    }
+  }
+
+  const std::size_t rows = labels.size();
+  LabeledDataset out;
+  out.labels = std::move(labels);
+  out.conditions = Matrix(rows, cond_cols);
+  out.features = Matrix(rows, feat_cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cond_cols; ++c) {
+      out.conditions(r, c) = cond_values[r * cond_cols + c];
+    }
+    for (std::size_t c = 0; c < feat_cols; ++c) {
+      out.features(r, c) = feat_values[r * feat_cols + c];
+    }
+  }
+  out.validate();
+  return out;
+}
+
+void save_dataset_csv_file(const LabeledDataset& dataset,
+                           const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw IoError("save_dataset_csv_file: cannot open '" + path + "'");
+  save_dataset_csv(dataset, os);
+}
+
+LabeledDataset load_dataset_csv_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw IoError("load_dataset_csv_file: cannot open '" + path + "'");
+  return load_dataset_csv(is);
+}
+
+void save_waveform(const std::vector<double>& samples, double sample_rate,
+                   std::ostream& os) {
+  if (sample_rate <= 0.0) {
+    throw InvalidArgumentError("save_waveform: sample_rate must be positive");
+  }
+  os << "gansec-wave 1 " << sample_rate << ' ' << samples.size() << '\n';
+  for (const double s : samples) os << s << '\n';
+  if (!os) throw IoError("save_waveform: stream write failure");
+}
+
+std::pair<std::vector<double>, double> load_waveform(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  double sample_rate = 0.0;
+  std::size_t n = 0;
+  if (!(is >> magic >> version >> sample_rate >> n) ||
+      magic != "gansec-wave" || version != 1) {
+    throw ParseError("load_waveform: bad header");
+  }
+  std::vector<double> samples(n);
+  for (double& s : samples) {
+    if (!(is >> s)) throw IoError("load_waveform: truncated data");
+  }
+  return {std::move(samples), sample_rate};
+}
+
+}  // namespace gansec::am

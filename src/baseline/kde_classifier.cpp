@@ -1,0 +1,77 @@
+#include "gansec/baseline/kde_classifier.hpp"
+
+#include "gansec/error.hpp"
+#include "gansec/stats/metrics.hpp"
+
+namespace gansec::baseline {
+
+using math::Matrix;
+
+KdeClassifier::KdeClassifier(const am::LabeledDataset& train,
+                             double bandwidth)
+    : feature_dim_(train.features.cols()), bandwidth_(bandwidth) {
+  train.validate();
+  if (train.size() == 0) {
+    throw InvalidArgumentError("KdeClassifier: empty training set");
+  }
+  const std::size_t classes = train.conditions.cols();
+  models_.reserve(classes);
+  for (std::size_t cls = 0; cls < classes; ++cls) {
+    const Matrix rows = train.features_for_label(cls);
+    if (rows.rows() == 0) {
+      throw InvalidArgumentError("KdeClassifier: class " +
+                                 std::to_string(cls) + " has no samples");
+    }
+    std::vector<stats::ParzenKde> per_feature;
+    per_feature.reserve(feature_dim_);
+    for (std::size_t ft = 0; ft < feature_dim_; ++ft) {
+      std::vector<double> samples(rows.rows());
+      for (std::size_t r = 0; r < rows.rows(); ++r) {
+        samples[r] = static_cast<double>(rows(r, ft));
+      }
+      per_feature.emplace_back(std::move(samples), bandwidth_);
+    }
+    models_.push_back(std::move(per_feature));
+  }
+}
+
+double KdeClassifier::log_likelihood(const Matrix& features, std::size_t row,
+                                     std::size_t cls) const {
+  if (cls >= models_.size()) {
+    throw InvalidArgumentError("KdeClassifier: class out of range");
+  }
+  if (features.cols() != feature_dim_ || row >= features.rows()) {
+    throw DimensionError("KdeClassifier: feature shape/row mismatch");
+  }
+  double acc = 0.0;
+  for (std::size_t ft = 0; ft < feature_dim_; ++ft) {
+    acc += models_[cls][ft].log_density(
+        static_cast<double>(features(row, ft)));
+  }
+  return acc;
+}
+
+std::vector<std::size_t> KdeClassifier::predict(
+    const Matrix& features) const {
+  std::vector<std::size_t> out(features.rows());
+  for (std::size_t r = 0; r < features.rows(); ++r) {
+    std::size_t best = 0;
+    double best_ll = log_likelihood(features, r, 0);
+    for (std::size_t cls = 1; cls < models_.size(); ++cls) {
+      const double ll = log_likelihood(features, r, cls);
+      if (ll > best_ll) {
+        best_ll = ll;
+        best = cls;
+      }
+    }
+    out[r] = best;
+  }
+  return out;
+}
+
+double KdeClassifier::evaluate(const am::LabeledDataset& data) const {
+  data.validate();
+  return stats::accuracy(predict(data.features), data.labels);
+}
+
+}  // namespace gansec::baseline

@@ -1,0 +1,108 @@
+#include "gansec/baseline/mlp_classifier.hpp"
+
+#include "gansec/error.hpp"
+#include "gansec/nn/activations.hpp"
+#include "gansec/nn/dense.hpp"
+#include "gansec/nn/dropout.hpp"
+#include "gansec/nn/loss.hpp"
+#include "gansec/nn/optimizer.hpp"
+#include "gansec/stats/metrics.hpp"
+
+namespace gansec::baseline {
+
+using math::Matrix;
+
+MlpClassifier::MlpClassifier(std::size_t feature_dim, std::size_t classes,
+                             MlpClassifierConfig config, std::uint64_t seed)
+    : feature_dim_(feature_dim),
+      classes_(classes),
+      config_(std::move(config)),
+      rng_(seed) {
+  if (feature_dim == 0 || classes < 2) {
+    throw InvalidArgumentError(
+        "MlpClassifier: need features and at least two classes");
+  }
+  if (config_.hidden.empty()) {
+    throw InvalidArgumentError(
+        "MlpClassifier: need at least one hidden layer");
+  }
+  if (config_.epochs == 0 || config_.batch_size == 0) {
+    throw InvalidArgumentError(
+        "MlpClassifier: epochs and batch_size must be positive");
+  }
+  std::size_t width = feature_dim_;
+  std::uint64_t dropout_seed = seed ^ 0xD0;
+  for (const std::size_t hidden : config_.hidden) {
+    net_.emplace<nn::Dense>(width, hidden, nn::InitScheme::kHeNormal);
+    net_.emplace<nn::Relu>();
+    if (config_.dropout > 0.0F) {
+      net_.emplace<nn::Dropout>(config_.dropout, dropout_seed++);
+    }
+    width = hidden;
+  }
+  net_.emplace<nn::Dense>(width, classes_);  // logits
+  net_.init_weights(rng_);
+}
+
+std::vector<double> MlpClassifier::train(const am::LabeledDataset& data) {
+  data.validate();
+  if (data.size() == 0) {
+    throw InvalidArgumentError("MlpClassifier::train: empty dataset");
+  }
+  if (data.features.cols() != feature_dim_ ||
+      data.conditions.cols() != classes_) {
+    throw DimensionError("MlpClassifier::train: dataset shape mismatch");
+  }
+  nn::Adam adam(net_.parameters(), config_.learning_rate);
+  const nn::SoftmaxCrossEntropy loss;
+  std::vector<double> epoch_losses;
+  epoch_losses.reserve(config_.epochs);
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < data.size();
+         start += config_.batch_size) {
+      const std::size_t end =
+          std::min(start + config_.batch_size, data.size());
+      const auto idx = rng_.sample_indices_with_replacement(
+          data.size(), end - start);
+      const Matrix x = data.features.gather_rows(idx);
+      const Matrix t = data.conditions.gather_rows(idx);
+      adam.zero_grad();
+      const Matrix logits = net_.forward(x, /*training=*/true);
+      epoch_loss += loss.value(logits, t);
+      net_.backward(loss.gradient(logits, t));
+      adam.step();
+      ++batches;
+    }
+    epoch_losses.push_back(epoch_loss / static_cast<double>(batches));
+  }
+  return epoch_losses;
+}
+
+Matrix MlpClassifier::predict_proba(const Matrix& features) {
+  if (features.cols() != feature_dim_) {
+    throw DimensionError("MlpClassifier::predict_proba: width mismatch");
+  }
+  return nn::softmax_rows(net_.forward(features, /*training=*/false));
+}
+
+std::vector<std::size_t> MlpClassifier::predict(const Matrix& features) {
+  const Matrix probs = predict_proba(features);
+  std::vector<std::size_t> out(probs.rows());
+  for (std::size_t r = 0; r < probs.rows(); ++r) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < probs.cols(); ++c) {
+      if (probs(r, c) > probs(r, best)) best = c;
+    }
+    out[r] = best;
+  }
+  return out;
+}
+
+double MlpClassifier::evaluate(const am::LabeledDataset& data) {
+  data.validate();
+  return stats::accuracy(predict(data.features), data.labels);
+}
+
+}  // namespace gansec::baseline

@@ -1,0 +1,78 @@
+#include "gansec/core/args.hpp"
+
+#include <stdexcept>
+
+#include "gansec/error.hpp"
+
+namespace gansec::core {
+
+Args::Args(int argc, const char* const* argv,
+           const std::set<std::string>& known_flags) {
+  for (int i = 0; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      positional_.push_back(token);
+      continue;
+    }
+    std::string name = token.substr(2);
+    std::string value;
+    const auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    } else {
+      if (i + 1 >= argc) {
+        throw InvalidArgumentError("Args: flag --" + name +
+                                   " is missing its value");
+      }
+      value = argv[++i];
+    }
+    if (!known_flags.contains(name)) {
+      throw InvalidArgumentError("Args: unknown flag --" + name);
+    }
+    values_[name] = value;
+  }
+}
+
+std::string Args::get(const std::string& flag,
+                      const std::string& fallback) const {
+  const auto it = values_.find(flag);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Args::get_int(const std::string& flag,
+                           std::int64_t fallback) const {
+  const auto it = values_.find(flag);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const std::int64_t value = std::stoll(it->second, &consumed);
+    if (consumed != it->second.size()) {
+      throw std::invalid_argument("trailing junk");
+    }
+    return value;
+  } catch (const std::exception&) {
+    throw InvalidArgumentError("Args: flag --" + flag +
+                               " expects an integer, got '" + it->second +
+                               "'");
+  }
+}
+
+double Args::get_double(const std::string& flag, double fallback) const {
+  const auto it = values_.find(flag);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(it->second, &consumed);
+    if (consumed != it->second.size()) {
+      throw std::invalid_argument("trailing junk");
+    }
+    return value;
+  } catch (const std::exception&) {
+    throw InvalidArgumentError("Args: flag --" + flag +
+                               " expects a number, got '" + it->second +
+                               "'");
+  }
+}
+
+}  // namespace gansec::core

@@ -1,0 +1,106 @@
+#include "gansec/core/model_store.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+
+#include "gansec/error.hpp"
+
+namespace gansec::core {
+
+namespace fs = std::filesystem;
+
+ModelStore::ModelStore(fs::path directory) : dir_(std::move(directory)) {
+  if (dir_.empty()) {
+    throw InvalidArgumentError("ModelStore: empty directory path");
+  }
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    throw IoError("ModelStore: cannot create directory '" + dir_.string() +
+                  "': " + ec.message());
+  }
+}
+
+std::string ModelStore::key_for(const cpps::FlowPair& pair) {
+  if (pair.first.empty() || pair.second.empty()) {
+    throw InvalidArgumentError("ModelStore::key_for: empty flow id");
+  }
+  auto sanitize = [](const std::string& id) {
+    std::string out;
+    for (const char ch : id) {
+      out += (std::isalnum(static_cast<unsigned char>(ch)) != 0) ? ch : '-';
+    }
+    return out;
+  };
+  return sanitize(pair.first) + "__" + sanitize(pair.second);
+}
+
+fs::path ModelStore::model_path(const cpps::FlowPair& pair) const {
+  return dir_ / (key_for(pair) + ".cgan");
+}
+
+fs::path ModelStore::manifest_path() const { return dir_ / "manifest.txt"; }
+
+bool ModelStore::contains(const cpps::FlowPair& pair) const {
+  return fs::exists(model_path(pair));
+}
+
+void ModelStore::write_manifest(
+    const std::vector<cpps::FlowPair>& pairs) const {
+  std::ofstream os(manifest_path());
+  if (!os) {
+    throw IoError("ModelStore: cannot write manifest");
+  }
+  os << "gansec-model-store 1\n";
+  for (const cpps::FlowPair& pair : pairs) {
+    os << pair.first << ' ' << pair.second << '\n';
+  }
+}
+
+std::vector<cpps::FlowPair> ModelStore::list() const {
+  std::vector<cpps::FlowPair> pairs;
+  std::ifstream is(manifest_path());
+  if (!is) return pairs;  // empty store
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != "gansec-model-store" ||
+      version != 1) {
+    throw ParseError("ModelStore: corrupt manifest");
+  }
+  cpps::FlowPair pair;
+  while (is >> pair.first >> pair.second) {
+    pairs.push_back(pair);
+  }
+  return pairs;
+}
+
+void ModelStore::save(const cpps::FlowPair& pair, const gan::Cgan& model) {
+  model.save_file(model_path(pair).string());
+  std::vector<cpps::FlowPair> pairs = list();
+  if (std::find(pairs.begin(), pairs.end(), pair) == pairs.end()) {
+    pairs.push_back(pair);
+    write_manifest(pairs);
+  }
+}
+
+gan::Cgan ModelStore::load(const cpps::FlowPair& pair) const {
+  if (!contains(pair)) {
+    throw IoError("ModelStore: no stored model for pair (" + pair.first +
+                  ", " + pair.second + ")");
+  }
+  return gan::Cgan::load_file(model_path(pair).string());
+}
+
+void ModelStore::remove(const cpps::FlowPair& pair) {
+  std::error_code ec;
+  fs::remove(model_path(pair), ec);
+  std::vector<cpps::FlowPair> pairs = list();
+  const auto it = std::find(pairs.begin(), pairs.end(), pair);
+  if (it != pairs.end()) {
+    pairs.erase(it);
+    write_manifest(pairs);
+  }
+}
+
+}  // namespace gansec::core

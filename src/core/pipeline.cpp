@@ -1,0 +1,68 @@
+#include "gansec/core/pipeline.hpp"
+
+#include "gansec/cpps/graph.hpp"
+#include "gansec/error.hpp"
+
+namespace gansec::core {
+
+GanSecPipeline::GanSecPipeline(PipelineConfig config)
+    : config_(std::move(config)), builder_(config_.dataset) {
+  if (config_.train_fraction <= 0.0 || config_.train_fraction >= 1.0) {
+    throw InvalidArgumentError(
+        "PipelineConfig: train_fraction must be in (0,1)");
+  }
+}
+
+gan::CganTopology GanSecPipeline::topology() const {
+  gan::CganTopology topo;
+  topo.data_dim = config_.dataset.bins;
+  topo.cond_dim = builder_.encoder().dimension();
+  topo.noise_dim = config_.noise_dim;
+  topo.generator_hidden = config_.generator_hidden;
+  topo.discriminator_hidden = config_.discriminator_hidden;
+  topo.generator_batchnorm = config_.generator_batchnorm;
+  return topo;
+}
+
+PipelineResult GanSecPipeline::run() {
+  // Step 1 — Algorithm 1 on the case-study architecture.
+  cpps::Architecture arch = am::make_printer_architecture();
+  const cpps::CppsGraph graph(arch);
+  const cpps::HistoricalData data = am::make_printer_historical_data();
+  std::vector<cpps::FlowPair> pairs =
+      cpps::select_cross_domain_pairs(arch,
+                                      cpps::generate_flow_pairs(graph, data));
+  if (pairs.empty()) {
+    throw ModelError(
+        "GanSecPipeline: Algorithm 1 produced no cross-domain flow pairs");
+  }
+
+  // Step 2 — dataset generation on the simulated testbed.
+  auto [train_set, test_set] = builder_.build_split(config_.train_fraction);
+
+  // Step 3 — Algorithm 2: CGAN training.
+  gan::Cgan model(topology(), config_.seed);
+  gan::CganTrainer trainer(model, config_.train, config_.seed ^ 0x7EA1);
+  trainer.train(train_set.features, train_set.conditions);
+
+  // Step 4 — Algorithm 3 + confidentiality analysis on held-out data.
+  const security::LikelihoodAnalyzer analyzer(config_.likelihood,
+                                              config_.seed ^ 0xA3);
+  security::LikelihoodResult likelihood = analyzer.analyze(model, test_set);
+  const security::ConfidentialityAnalyzer conf_analyzer(
+      config_.confidentiality, config_.seed ^ 0xC0);
+  security::ConfidentialityReport confidentiality =
+      conf_analyzer.analyze(model, test_set);
+
+  return PipelineResult{std::move(arch),
+                        graph.removed_feedback_flows(),
+                        std::move(pairs),
+                        std::move(train_set),
+                        std::move(test_set),
+                        std::move(model),
+                        trainer.history(),
+                        std::move(likelihood),
+                        std::move(confidentiality)};
+}
+
+}  // namespace gansec::core

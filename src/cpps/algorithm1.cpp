@@ -1,0 +1,71 @@
+#include "gansec/cpps/algorithm1.hpp"
+
+#include "gansec/error.hpp"
+
+namespace gansec::cpps {
+
+void HistoricalData::add_pair(const std::string& first,
+                              const std::string& second) {
+  if (first.empty() || second.empty()) {
+    throw InvalidArgumentError("HistoricalData::add_pair: empty flow id");
+  }
+  pairs_.emplace(first, second);
+}
+
+void HistoricalData::add_flow(const std::string& flow_id) {
+  if (flow_id.empty()) {
+    throw InvalidArgumentError("HistoricalData::add_flow: empty flow id");
+  }
+  flows_.insert(flow_id);
+}
+
+bool HistoricalData::covers(const std::string& first,
+                            const std::string& second) const {
+  if (pairs_.contains({first, second})) return true;
+  return flows_.contains(first) && flows_.contains(second);
+}
+
+std::vector<FlowPair> enumerate_candidate_pairs(const CppsGraph& graph) {
+  const Architecture& arch = graph.architecture();
+  std::vector<FlowPair> out;
+  // Only flows retained in the acyclic graph participate.
+  const auto& edge_ids = graph.edge_flow_ids();
+  for (const std::string& fi : edge_ids) {
+    for (const std::string& fj : edge_ids) {
+      if (fi == fj) continue;
+      const Flow& first = arch.flow(fi);
+      const Flow& second = arch.flow(fj);
+      // Line 13: keep (F_i, F_j) when the head of F_j is reachable from the
+      // tail of F_i — the two flows lie on a common causal path, so one can
+      // plausibly be inferred from the other.
+      if (graph.reachable(first.tail, second.head)) {
+        out.push_back(FlowPair{fi, fj});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<FlowPair> generate_flow_pairs(const CppsGraph& graph,
+                                          const HistoricalData& data) {
+  std::vector<FlowPair> out;
+  for (const FlowPair& pair : enumerate_candidate_pairs(graph)) {
+    if (data.covers(pair.first, pair.second)) {
+      out.push_back(pair);
+    }
+  }
+  return out;
+}
+
+std::vector<FlowPair> select_cross_domain_pairs(
+    const Architecture& architecture, const std::vector<FlowPair>& pairs) {
+  std::vector<FlowPair> out;
+  for (const FlowPair& pair : pairs) {
+    const FlowKind a = architecture.flow(pair.first).kind;
+    const FlowKind b = architecture.flow(pair.second).kind;
+    if (a != b) out.push_back(pair);
+  }
+  return out;
+}
+
+}  // namespace gansec::cpps

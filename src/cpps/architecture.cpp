@@ -1,0 +1,119 @@
+#include "gansec/cpps/architecture.hpp"
+
+#include <algorithm>
+
+#include "gansec/error.hpp"
+
+namespace gansec::cpps {
+
+std::size_t Architecture::add_subsystem(const std::string& subsystem_name) {
+  if (subsystem_name.empty()) {
+    throw ModelError("Architecture: subsystem name must be non-empty");
+  }
+  if (std::find(subsystems_.begin(), subsystems_.end(), subsystem_name) !=
+      subsystems_.end()) {
+    throw ModelError("Architecture: duplicate subsystem '" + subsystem_name +
+                     "'");
+  }
+  subsystems_.push_back(subsystem_name);
+  return subsystems_.size() - 1;
+}
+
+const Component& Architecture::add_component(Component component) {
+  if (component.id.empty()) {
+    throw ModelError("Architecture: component id must be non-empty");
+  }
+  if (has_component(component.id)) {
+    throw ModelError("Architecture: duplicate component '" + component.id +
+                     "'");
+  }
+  if (std::find(subsystems_.begin(), subsystems_.end(),
+                component.subsystem) == subsystems_.end()) {
+    throw ModelError("Architecture: component '" + component.id +
+                     "' references unknown subsystem '" +
+                     component.subsystem + "'");
+  }
+  components_.push_back(std::move(component));
+  return components_.back();
+}
+
+const Flow& Architecture::add_flow(Flow flow) {
+  if (flow.id.empty()) {
+    throw ModelError("Architecture: flow id must be non-empty");
+  }
+  if (has_flow(flow.id)) {
+    throw ModelError("Architecture: duplicate flow '" + flow.id + "'");
+  }
+  if (!has_component(flow.tail)) {
+    throw ModelError("Architecture: flow '" + flow.id +
+                     "' has unknown tail '" + flow.tail + "'");
+  }
+  if (!has_component(flow.head)) {
+    throw ModelError("Architecture: flow '" + flow.id +
+                     "' has unknown head '" + flow.head + "'");
+  }
+  if (flow.tail == flow.head) {
+    throw ModelError("Architecture: flow '" + flow.id + "' is a self-loop");
+  }
+  flows_.push_back(std::move(flow));
+  return flows_.back();
+}
+
+bool Architecture::has_component(const std::string& id) const {
+  return std::any_of(components_.begin(), components_.end(),
+                     [&](const Component& c) { return c.id == id; });
+}
+
+bool Architecture::has_flow(const std::string& id) const {
+  return std::any_of(flows_.begin(), flows_.end(),
+                     [&](const Flow& f) { return f.id == id; });
+}
+
+const Component& Architecture::component(const std::string& id) const {
+  const auto it =
+      std::find_if(components_.begin(), components_.end(),
+                   [&](const Component& c) { return c.id == id; });
+  if (it == components_.end()) {
+    throw ModelError("Architecture: unknown component '" + id + "'");
+  }
+  return *it;
+}
+
+const Flow& Architecture::flow(const std::string& id) const {
+  const auto it = std::find_if(flows_.begin(), flows_.end(),
+                               [&](const Flow& f) { return f.id == id; });
+  if (it == flows_.end()) {
+    throw ModelError("Architecture: unknown flow '" + id + "'");
+  }
+  return *it;
+}
+
+std::vector<Component> Architecture::components_in(
+    const std::string& subsystem) const {
+  std::vector<Component> out;
+  for (const Component& c : components_) {
+    if (c.subsystem == subsystem) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<Flow> Architecture::flows_touching(
+    const std::string& component_id) const {
+  std::vector<Flow> out;
+  for (const Flow& f : flows_) {
+    if (f.tail == component_id || f.head == component_id) out.push_back(f);
+  }
+  return out;
+}
+
+std::vector<Flow> Architecture::cross_domain_flows() const {
+  std::vector<Flow> out;
+  for (const Flow& f : flows_) {
+    if (component(f.tail).domain != component(f.head).domain) {
+      out.push_back(f);
+    }
+  }
+  return out;
+}
+
+}  // namespace gansec::cpps

@@ -1,0 +1,35 @@
+#include "gansec/cpps/dot.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace gansec::cpps {
+
+std::string to_dot(const CppsGraph& graph) {
+  const Architecture& arch = graph.architecture();
+  std::ostringstream os;
+  os << "digraph G_CPPS {\n";
+  os << "  rankdir=LR;\n";
+  for (const Component& c : arch.components()) {
+    os << "  \"" << c.id << "\" [label=\"" << c.id << "\\n" << c.name
+       << "\", shape="
+       << (c.domain == Domain::kCyber ? "box" : "ellipse") << "];\n";
+  }
+  const auto& removed = graph.removed_feedback_flows();
+  for (const Flow& f : arch.flows()) {
+    const bool is_removed =
+        std::find(removed.begin(), removed.end(), f.id) != removed.end();
+    os << "  \"" << f.tail << "\" -> \"" << f.head << "\" [label=\"" << f.id
+       << "\"";
+    if (is_removed) {
+      os << ", style=dotted, color=gray";
+    } else if (f.kind == FlowKind::kEnergy) {
+      os << ", style=dashed";
+    }
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace gansec::cpps

@@ -1,0 +1,116 @@
+#include "gansec/cpps/graph.hpp"
+
+#include <functional>
+
+#include "gansec/error.hpp"
+
+namespace gansec::cpps {
+
+CppsGraph::CppsGraph(Architecture architecture)
+    : arch_(std::move(architecture)) {
+  // Algorithm 1 lines 4-10: add every component of every subsystem as a
+  // node, then connect nodes joined by a signal or energy flow.
+  for (const Component& c : arch_.components()) {
+    index_[c.id] = node_ids_.size();
+    node_ids_.push_back(c.id);
+  }
+  adj_.resize(node_ids_.size());
+  adj_ids_.resize(node_ids_.size());
+  remove_feedback_edges();
+}
+
+std::size_t CppsGraph::index_of(const std::string& component_id) const {
+  const auto it = index_.find(component_id);
+  if (it == index_.end()) {
+    throw ModelError("CppsGraph: unknown component '" + component_id + "'");
+  }
+  return it->second;
+}
+
+void CppsGraph::remove_feedback_edges() {
+  // Line 3 of Algorithm 1: make the flow graph acyclic. Flows are admitted
+  // in architecture order; a flow whose insertion would close a directed
+  // cycle (its head already reaches its tail) is recorded as a feedback
+  // edge and dropped. This is deterministic for a given architecture.
+  auto reaches = [this](std::size_t from, std::size_t to) {
+    if (from == to) return true;
+    std::vector<bool> seen(adj_.size(), false);
+    std::vector<std::size_t> stack{from};
+    seen[from] = true;
+    while (!stack.empty()) {
+      const std::size_t u = stack.back();
+      stack.pop_back();
+      for (const std::size_t v : adj_[u]) {
+        if (v == to) return true;
+        if (!seen[v]) {
+          seen[v] = true;
+          stack.push_back(v);
+        }
+      }
+    }
+    return false;
+  };
+
+  for (const Flow& f : arch_.flows()) {
+    const std::size_t u = index_of(f.tail);
+    const std::size_t v = index_of(f.head);
+    if (reaches(v, u)) {
+      removed_.push_back(f.id);
+      continue;
+    }
+    adj_[u].push_back(v);
+    adj_ids_[u].push_back(f.head);
+    edges_.push_back(f.id);
+  }
+}
+
+const std::vector<std::string>& CppsGraph::adjacency(
+    const std::string& component_id) const {
+  return adj_ids_[index_of(component_id)];
+}
+
+bool CppsGraph::reachable(const std::string& from,
+                          const std::string& to) const {
+  const std::size_t src = index_of(from);
+  const std::size_t dst = index_of(to);
+  if (src == dst) return true;
+  std::vector<bool> seen(adj_.size(), false);
+  std::vector<std::size_t> stack{src};
+  seen[src] = true;
+  while (!stack.empty()) {
+    const std::size_t u = stack.back();
+    stack.pop_back();
+    for (const std::size_t v : adj_[u]) {
+      if (v == dst) return true;
+      if (!seen[v]) {
+        seen[v] = true;
+        stack.push_back(v);
+      }
+    }
+  }
+  return false;
+}
+
+bool CppsGraph::is_acyclic() const {
+  enum class Color { kWhite, kGray, kBlack };
+  std::vector<Color> color(adj_.size(), Color::kWhite);
+  bool cyclic = false;
+  std::function<void(std::size_t)> dfs = [&](std::size_t u) {
+    color[u] = Color::kGray;
+    for (const std::size_t v : adj_[u]) {
+      if (cyclic) return;
+      if (color[v] == Color::kGray) {
+        cyclic = true;
+        return;
+      }
+      if (color[v] == Color::kWhite) dfs(v);
+    }
+    color[u] = Color::kBlack;
+  };
+  for (std::size_t u = 0; u < adj_.size(); ++u) {
+    if (color[u] == Color::kWhite && !cyclic) dfs(u);
+  }
+  return !cyclic;
+}
+
+}  // namespace gansec::cpps

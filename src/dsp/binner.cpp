@@ -1,0 +1,52 @@
+#include "gansec/dsp/binner.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "gansec/error.hpp"
+
+namespace gansec::dsp {
+
+FrequencyBinner::FrequencyBinner(double f_min, double f_max, std::size_t bins,
+                                 BinSpacing spacing)
+    : f_min_(f_min), f_max_(f_max), spacing_(spacing) {
+  if (f_min <= 0.0 || f_max <= f_min) {
+    throw InvalidArgumentError(
+        "FrequencyBinner: require 0 < f_min < f_max");
+  }
+  if (bins < 2) {
+    throw InvalidArgumentError("FrequencyBinner: need at least two bins");
+  }
+  centers_.resize(bins);
+  const double denom = static_cast<double>(bins - 1);
+  for (std::size_t i = 0; i < bins; ++i) {
+    const double t = static_cast<double>(i) / denom;
+    if (spacing == BinSpacing::kLogarithmic) {
+      centers_[i] = f_min * std::pow(f_max / f_min, t);
+    } else {
+      centers_[i] = f_min + t * (f_max - f_min);
+    }
+  }
+}
+
+std::size_t FrequencyBinner::nearest_bin(double frequency_hz) const {
+  if (frequency_hz <= 0.0) {
+    throw InvalidArgumentError("FrequencyBinner::nearest_bin: f <= 0");
+  }
+  std::size_t best = 0;
+  double best_dist = std::abs(centers_[0] - frequency_hz);
+  for (std::size_t i = 1; i < centers_.size(); ++i) {
+    const double dist = std::abs(centers_[i] - frequency_hz);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = i;
+    }
+  }
+  return best;
+}
+
+FrequencyBinner FrequencyBinner::paper_default() {
+  return FrequencyBinner(50.0, 5000.0, 100, BinSpacing::kLogarithmic);
+}
+
+}  // namespace gansec::dsp

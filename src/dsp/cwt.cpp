@@ -1,0 +1,96 @@
+#include "gansec/dsp/cwt.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "gansec/dsp/fft.hpp"
+#include "gansec/error.hpp"
+
+namespace gansec::dsp {
+
+MorletCwt::MorletCwt(CwtConfig config) : config_(config) {
+  if (config_.sample_rate <= 0.0) {
+    throw InvalidArgumentError("MorletCwt: sample_rate must be positive");
+  }
+  if (config_.omega0 <= 0.0) {
+    throw InvalidArgumentError("MorletCwt: omega0 must be positive");
+  }
+}
+
+double MorletCwt::scale_for_frequency(double frequency_hz) const {
+  if (frequency_hz <= 0.0) {
+    throw InvalidArgumentError(
+        "MorletCwt::scale_for_frequency: frequency must be positive");
+  }
+  if (frequency_hz >= config_.sample_rate / 2.0) {
+    throw InvalidArgumentError(
+        "MorletCwt::scale_for_frequency: frequency above Nyquist");
+  }
+  // The Morlet wavelet's frequency response peaks at s*w == omega0, so the
+  // scale matching a target frequency f is omega0 / (2*pi*f).
+  return config_.omega0 / (2.0 * std::numbers::pi * frequency_hz);
+}
+
+double MorletCwt::wavelet_fourier(double scale,
+                                  double angular_frequency) const {
+  // Analytic Morlet: psihat(w) = pi^(-1/4) * exp(-(w - omega0)^2 / 2) for
+  // w > 0, zero otherwise. The scaled wavelet contributes sqrt(s).
+  if (angular_frequency <= 0.0) return 0.0;
+  const double arg = scale * angular_frequency - config_.omega0;
+  return std::pow(std::numbers::pi, -0.25) * std::sqrt(scale) *
+         std::exp(-0.5 * arg * arg);
+}
+
+std::vector<std::vector<double>> MorletCwt::scalogram(
+    const std::vector<double>& signal,
+    const std::vector<double>& frequencies_hz) const {
+  if (signal.empty()) {
+    throw InvalidArgumentError("MorletCwt::scalogram: empty signal");
+  }
+  if (frequencies_hz.empty()) {
+    throw InvalidArgumentError("MorletCwt::scalogram: no target frequencies");
+  }
+  const std::size_t n = next_power_of_two(signal.size());
+  std::vector<Complex> spectrum(n, Complex(0.0, 0.0));
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    spectrum[i] = Complex(signal[i], 0.0);
+  }
+  fft_in_place(spectrum);
+
+  std::vector<std::vector<double>> result;
+  result.reserve(frequencies_hz.size());
+  std::vector<Complex> work(n);
+  for (const double f : frequencies_hz) {
+    const double s = scale_for_frequency(f);
+    for (std::size_t k = 0; k < n; ++k) {
+      // Angular frequency of bin k; bins above n/2 are negative frequencies
+      // which the analytic wavelet zeroes out.
+      double w = 2.0 * std::numbers::pi * static_cast<double>(k) *
+                 config_.sample_rate / static_cast<double>(n);
+      if (k > n / 2) w = 0.0;
+      work[k] = spectrum[k] * wavelet_fourier(s, w);
+    }
+    ifft_in_place(work);
+    std::vector<double> row(signal.size());
+    for (std::size_t t = 0; t < signal.size(); ++t) {
+      row[t] = std::abs(work[t]);
+    }
+    result.push_back(std::move(row));
+  }
+  return result;
+}
+
+std::vector<double> MorletCwt::band_energies(
+    const std::vector<double>& signal,
+    const std::vector<double>& frequencies_hz) const {
+  const auto grid = scalogram(signal, frequencies_hz);
+  std::vector<double> energies(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    double acc = 0.0;
+    for (const double v : grid[i]) acc += v;
+    energies[i] = acc / static_cast<double>(grid[i].size());
+  }
+  return energies;
+}
+
+}  // namespace gansec::dsp

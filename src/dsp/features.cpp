@@ -1,0 +1,125 @@
+#include "gansec/dsp/features.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "gansec/error.hpp"
+
+namespace gansec::dsp {
+
+using math::Matrix;
+
+std::vector<std::vector<double>> frame_signal(
+    const std::vector<double>& signal, std::size_t frame_length,
+    std::size_t hop) {
+  if (frame_length == 0 || hop == 0) {
+    throw InvalidArgumentError(
+        "frame_signal: frame_length and hop must be positive");
+  }
+  std::vector<std::vector<double>> frames;
+  if (signal.size() < frame_length) return frames;
+  for (std::size_t start = 0; start + frame_length <= signal.size();
+       start += hop) {
+    frames.emplace_back(signal.begin() + static_cast<std::ptrdiff_t>(start),
+                        signal.begin() +
+                            static_cast<std::ptrdiff_t>(start + frame_length));
+  }
+  return frames;
+}
+
+void MinMaxScaler::fit(const Matrix& data) {
+  if (data.rows() == 0 || data.cols() == 0) {
+    throw InvalidArgumentError("MinMaxScaler::fit: empty data");
+  }
+  mins_.assign(data.cols(), 0.0F);
+  maxs_.assign(data.cols(), 0.0F);
+  for (std::size_t c = 0; c < data.cols(); ++c) {
+    float lo = data(0, c);
+    float hi = data(0, c);
+    for (std::size_t r = 1; r < data.rows(); ++r) {
+      lo = std::min(lo, data(r, c));
+      hi = std::max(hi, data(r, c));
+    }
+    mins_[c] = lo;
+    maxs_[c] = hi;
+  }
+}
+
+Matrix MinMaxScaler::transform(const Matrix& data) const {
+  if (!fitted()) {
+    throw InvalidArgumentError("MinMaxScaler::transform: not fitted");
+  }
+  if (data.cols() != mins_.size()) {
+    throw DimensionError("MinMaxScaler::transform: column count mismatch");
+  }
+  Matrix out(data.rows(), data.cols());
+  for (std::size_t c = 0; c < data.cols(); ++c) {
+    const float range = maxs_[c] - mins_[c];
+    for (std::size_t r = 0; r < data.rows(); ++r) {
+      if (range <= 0.0F) {
+        out(r, c) = 0.5F;
+      } else {
+        out(r, c) = std::clamp((data(r, c) - mins_[c]) / range, 0.0F, 1.0F);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix MinMaxScaler::fit_transform(const Matrix& data) {
+  fit(data);
+  return transform(data);
+}
+
+Matrix MinMaxScaler::inverse_transform(const Matrix& data) const {
+  if (!fitted()) {
+    throw InvalidArgumentError(
+        "MinMaxScaler::inverse_transform: not fitted");
+  }
+  if (data.cols() != mins_.size()) {
+    throw DimensionError(
+        "MinMaxScaler::inverse_transform: column count mismatch");
+  }
+  Matrix out(data.rows(), data.cols());
+  for (std::size_t c = 0; c < data.cols(); ++c) {
+    const float range = maxs_[c] - mins_[c];
+    for (std::size_t r = 0; r < data.rows(); ++r) {
+      out(r, c) = mins_[c] + data(r, c) * range;
+    }
+  }
+  return out;
+}
+
+void MinMaxScaler::save(std::ostream& os) const {
+  if (!fitted()) {
+    throw InvalidArgumentError("MinMaxScaler::save: not fitted");
+  }
+  os.precision(9);  // exact float round trip
+  os << "gansec-scaler 1\n" << mins_.size() << '\n';
+  for (std::size_t i = 0; i < mins_.size(); ++i) {
+    os << mins_[i] << ' ' << maxs_[i] << '\n';
+  }
+  if (!os) throw IoError("MinMaxScaler::save: stream write failure");
+}
+
+MinMaxScaler MinMaxScaler::load(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  std::size_t n = 0;
+  if (!(is >> magic >> version >> n) || magic != "gansec-scaler" ||
+      version != 1) {
+    throw ParseError("MinMaxScaler::load: bad header");
+  }
+  MinMaxScaler scaler;
+  scaler.mins_.resize(n);
+  scaler.maxs_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(is >> scaler.mins_[i] >> scaler.maxs_[i])) {
+      throw IoError("MinMaxScaler::load: truncated data");
+    }
+  }
+  return scaler;
+}
+
+}  // namespace gansec::dsp

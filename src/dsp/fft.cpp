@@ -1,0 +1,94 @@
+#include "gansec/dsp/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "gansec/error.hpp"
+
+namespace gansec::dsp {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::size_t next_power_of_two(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1U;
+  return p;
+}
+
+namespace {
+
+void bit_reverse_permute(std::vector<Complex>& x) {
+  const std::size_t n = x.size();
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1U;
+    while (j & bit) {
+      j ^= bit;
+      bit >>= 1U;
+    }
+    j |= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+}
+
+void transform(std::vector<Complex>& x, bool inverse) {
+  const std::size_t n = x.size();
+  if (!is_power_of_two(n)) {
+    throw gansec::InvalidArgumentError(
+        "fft: length must be a power of two, got " + std::to_string(n));
+  }
+  bit_reverse_permute(x);
+  for (std::size_t len = 2; len <= n; len <<= 1U) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = x[i + k];
+        const Complex v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (Complex& c : x) c *= inv_n;
+  }
+}
+
+}  // namespace
+
+void fft_in_place(std::vector<Complex>& x) { transform(x, /*inverse=*/false); }
+
+void ifft_in_place(std::vector<Complex>& x) { transform(x, /*inverse=*/true); }
+
+std::vector<Complex> fft_real(const std::vector<double>& x) {
+  if (x.empty()) {
+    throw gansec::InvalidArgumentError("fft_real: empty signal");
+  }
+  std::vector<Complex> padded(next_power_of_two(x.size()), Complex(0.0, 0.0));
+  for (std::size_t i = 0; i < x.size(); ++i) padded[i] = Complex(x[i], 0.0);
+  fft_in_place(padded);
+  return padded;
+}
+
+std::vector<double> magnitude_spectrum(const std::vector<double>& x) {
+  const std::vector<Complex> spectrum = fft_real(x);
+  std::vector<double> mags(spectrum.size() / 2 + 1);
+  for (std::size_t k = 0; k < mags.size(); ++k) {
+    mags[k] = std::abs(spectrum[k]);
+  }
+  return mags;
+}
+
+double bin_frequency(std::size_t k, std::size_t n, double sample_rate) {
+  if (n == 0) {
+    throw gansec::InvalidArgumentError("bin_frequency: zero-length transform");
+  }
+  return static_cast<double>(k) * sample_rate / static_cast<double>(n);
+}
+
+}  // namespace gansec::dsp

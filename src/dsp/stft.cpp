@@ -1,0 +1,89 @@
+#include "gansec/dsp/stft.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gansec/dsp/features.hpp"
+#include "gansec/dsp/fft.hpp"
+#include "gansec/error.hpp"
+
+namespace gansec::dsp {
+
+Stft::Stft(StftConfig config) : config_(config) {
+  if (config_.sample_rate <= 0.0) {
+    throw InvalidArgumentError("Stft: sample_rate must be positive");
+  }
+  if (!is_power_of_two(config_.frame_length)) {
+    throw InvalidArgumentError("Stft: frame_length must be a power of two");
+  }
+  if (config_.hop == 0) {
+    throw InvalidArgumentError("Stft: hop must be positive");
+  }
+  window_ = make_window(config_.window, config_.frame_length);
+}
+
+double Stft::bin_frequency(std::size_t k) const {
+  return dsp::bin_frequency(k, config_.frame_length, config_.sample_rate);
+}
+
+std::vector<std::vector<double>> Stft::spectrogram(
+    const std::vector<double>& signal) const {
+  if (signal.empty()) {
+    throw InvalidArgumentError("Stft::spectrogram: empty signal");
+  }
+  std::vector<std::vector<double>> frames =
+      frame_signal(signal, config_.frame_length, config_.hop);
+  if (frames.empty()) {
+    // Shorter than one frame: zero-pad into a single frame.
+    std::vector<double> padded = signal;
+    padded.resize(config_.frame_length, 0.0);
+    frames.push_back(std::move(padded));
+  }
+  std::vector<std::vector<double>> result;
+  result.reserve(frames.size());
+  for (const auto& frame : frames) {
+    const std::vector<double> windowed = apply_window(frame, window_);
+    std::vector<Complex> spectrum(config_.frame_length);
+    for (std::size_t i = 0; i < windowed.size(); ++i) {
+      spectrum[i] = Complex(windowed[i], 0.0);
+    }
+    fft_in_place(spectrum);
+    std::vector<double> mags(config_.frame_length / 2 + 1);
+    for (std::size_t k = 0; k < mags.size(); ++k) {
+      mags[k] = std::abs(spectrum[k]);
+    }
+    result.push_back(std::move(mags));
+  }
+  return result;
+}
+
+std::vector<double> Stft::band_energies(
+    const std::vector<double>& signal,
+    const std::vector<double>& frequencies_hz) const {
+  if (frequencies_hz.empty()) {
+    throw InvalidArgumentError("Stft::band_energies: no target frequencies");
+  }
+  const double nyquist = config_.sample_rate / 2.0;
+  const double hz_per_bin =
+      config_.sample_rate / static_cast<double>(config_.frame_length);
+  std::vector<std::size_t> bins;
+  bins.reserve(frequencies_hz.size());
+  for (const double f : frequencies_hz) {
+    if (f <= 0.0 || f >= nyquist) {
+      throw InvalidArgumentError(
+          "Stft::band_energies: frequency outside (0, Nyquist)");
+    }
+    bins.push_back(static_cast<std::size_t>(std::llround(f / hz_per_bin)));
+  }
+  const auto grid = spectrogram(signal);
+  std::vector<double> energies(bins.size(), 0.0);
+  for (const auto& frame : grid) {
+    for (std::size_t i = 0; i < bins.size(); ++i) {
+      energies[i] += frame[std::min(bins[i], frame.size() - 1)];
+    }
+  }
+  for (double& e : energies) e /= static_cast<double>(grid.size());
+  return energies;
+}
+
+}  // namespace gansec::dsp

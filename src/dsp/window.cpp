@@ -1,0 +1,63 @@
+#include "gansec/dsp/window.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "gansec/error.hpp"
+
+namespace gansec::dsp {
+
+std::vector<double> make_window(WindowKind kind, std::size_t length) {
+  if (length == 0) {
+    throw InvalidArgumentError("make_window: length must be positive");
+  }
+  std::vector<double> w(length, 1.0);
+  if (length == 1 || kind == WindowKind::kRectangular) return w;
+  const double denom = static_cast<double>(length - 1);
+  for (std::size_t i = 0; i < length; ++i) {
+    const double x = static_cast<double>(i) / denom;
+    switch (kind) {
+      case WindowKind::kHann:
+        w[i] = 0.5 - 0.5 * std::cos(2.0 * std::numbers::pi * x);
+        break;
+      case WindowKind::kHamming:
+        w[i] = 0.54 - 0.46 * std::cos(2.0 * std::numbers::pi * x);
+        break;
+      case WindowKind::kBlackman:
+        w[i] = 0.42 - 0.5 * std::cos(2.0 * std::numbers::pi * x) +
+               0.08 * std::cos(4.0 * std::numbers::pi * x);
+        break;
+      case WindowKind::kRectangular:
+        break;
+    }
+  }
+  return w;
+}
+
+std::vector<double> apply_window(const std::vector<double>& signal,
+                                 const std::vector<double>& window) {
+  if (signal.size() != window.size()) {
+    throw InvalidArgumentError("apply_window: size mismatch");
+  }
+  std::vector<double> out(signal.size());
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    out[i] = signal[i] * window[i];
+  }
+  return out;
+}
+
+std::string window_name(WindowKind kind) {
+  switch (kind) {
+    case WindowKind::kRectangular:
+      return "rectangular";
+    case WindowKind::kHann:
+      return "hann";
+    case WindowKind::kHamming:
+      return "hamming";
+    case WindowKind::kBlackman:
+      return "blackman";
+  }
+  return "unknown";
+}
+
+}  // namespace gansec::dsp

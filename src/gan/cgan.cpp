@@ -1,0 +1,204 @@
+#include "gansec/gan/cgan.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "gansec/error.hpp"
+#include "gansec/nn/activations.hpp"
+#include "gansec/nn/batchnorm.hpp"
+#include "gansec/nn/dense.hpp"
+#include "gansec/nn/dropout.hpp"
+#include "gansec/nn/serialize.hpp"
+
+namespace gansec::gan {
+
+using math::Matrix;
+
+namespace {
+
+void validate_topology(const CganTopology& t) {
+  if (t.data_dim == 0 || t.cond_dim == 0 || t.noise_dim == 0) {
+    throw InvalidArgumentError(
+        "CganTopology: data_dim, cond_dim and noise_dim must be positive");
+  }
+  if (t.generator_hidden.empty() || t.discriminator_hidden.empty()) {
+    throw InvalidArgumentError(
+        "CganTopology: both networks need at least one hidden layer");
+  }
+  if (t.discriminator_dropout < 0.0F || t.discriminator_dropout >= 1.0F) {
+    throw InvalidArgumentError("CganTopology: dropout must be in [0,1)");
+  }
+}
+
+}  // namespace
+
+nn::Mlp build_generator(const CganTopology& t) {
+  nn::Mlp net;
+  std::size_t width = t.noise_dim + t.cond_dim;
+  for (std::size_t hidden : t.generator_hidden) {
+    net.emplace<nn::Dense>(width, hidden, nn::InitScheme::kHeNormal);
+    if (t.generator_batchnorm) {
+      net.emplace<nn::BatchNorm>(hidden);
+    }
+    net.emplace<nn::LeakyRelu>(t.leaky_slope);
+    width = hidden;
+  }
+  net.emplace<nn::Dense>(width, t.data_dim, nn::InitScheme::kXavierUniform);
+  // Sigmoid output keeps generated spectra in [0,1], matching the paper's
+  // min-max-scaled frequency magnitudes.
+  net.emplace<nn::Sigmoid>();
+  return net;
+}
+
+nn::Mlp build_discriminator(const CganTopology& t) {
+  nn::Mlp net;
+  std::size_t width = t.data_dim + t.cond_dim;
+  std::uint64_t dropout_seed = 0xD15C;
+  for (std::size_t hidden : t.discriminator_hidden) {
+    net.emplace<nn::Dense>(width, hidden, nn::InitScheme::kHeNormal);
+    net.emplace<nn::LeakyRelu>(t.leaky_slope);
+    if (t.discriminator_dropout > 0.0F) {
+      net.emplace<nn::Dropout>(t.discriminator_dropout, dropout_seed++);
+    }
+    width = hidden;
+  }
+  net.emplace<nn::Dense>(width, 1, nn::InitScheme::kXavierUniform);
+  net.emplace<nn::Sigmoid>();
+  return net;
+}
+
+Cgan::Cgan(CganTopology topology, std::uint64_t seed)
+    : topology_(std::move(topology)) {
+  validate_topology(topology_);
+  generator_ = build_generator(topology_);
+  discriminator_ = build_discriminator(topology_);
+  math::Rng rng(seed);
+  generator_.init_weights(rng);
+  discriminator_.init_weights(rng);
+}
+
+Cgan::Cgan(CganTopology topology, nn::Mlp generator, nn::Mlp discriminator)
+    : topology_(std::move(topology)),
+      generator_(std::move(generator)),
+      discriminator_(std::move(discriminator)) {
+  validate_topology(topology_);
+}
+
+Matrix Cgan::sample_noise(std::size_t n, math::Rng& rng) const {
+  return rng.normal_matrix(n, topology_.noise_dim, 0.0F, 1.0F);
+}
+
+void Cgan::validate_conditions(const Matrix& conditions,
+                               const char* fn) const {
+  if (conditions.cols() != topology_.cond_dim) {
+    throw DimensionError(std::string("Cgan::") + fn + ": condition width " +
+                         std::to_string(conditions.cols()) + " != " +
+                         std::to_string(topology_.cond_dim));
+  }
+  if (conditions.rows() == 0) {
+    throw InvalidArgumentError(std::string("Cgan::") + fn +
+                               ": empty condition batch");
+  }
+}
+
+Matrix Cgan::generate(const Matrix& conditions, math::Rng& rng) {
+  validate_conditions(conditions, "generate");
+  const Matrix z = sample_noise(conditions.rows(), rng);
+  return generator_.forward(Matrix::hstack(z, conditions),
+                            /*training=*/false);
+}
+
+Matrix Cgan::generate_for_condition(const Matrix& condition,
+                                    std::size_t count, math::Rng& rng) {
+  validate_conditions(condition, "generate_for_condition");
+  if (condition.rows() != 1) {
+    throw DimensionError(
+        "Cgan::generate_for_condition: expected a single condition row");
+  }
+  if (count == 0) {
+    throw InvalidArgumentError(
+        "Cgan::generate_for_condition: count must be positive");
+  }
+  Matrix conds(count, topology_.cond_dim);
+  for (std::size_t r = 0; r < count; ++r) conds.set_row(r, condition);
+  return generate(conds, rng);
+}
+
+Matrix Cgan::discriminate(const Matrix& data, const Matrix& conditions) {
+  validate_conditions(conditions, "discriminate");
+  if (data.cols() != topology_.data_dim) {
+    throw DimensionError("Cgan::discriminate: data width mismatch");
+  }
+  if (data.rows() != conditions.rows()) {
+    throw DimensionError(
+        "Cgan::discriminate: data/condition batch size mismatch");
+  }
+  return discriminator_.forward(Matrix::hstack(data, conditions),
+                                /*training=*/false);
+}
+
+void Cgan::save(std::ostream& os) const {
+  os.precision(9);  // exact float round trip
+  os << "gansec-cgan 2\n";
+  os << topology_.data_dim << ' ' << topology_.cond_dim << ' '
+     << topology_.noise_dim << ' ' << topology_.leaky_slope << ' '
+     << topology_.discriminator_dropout << ' '
+     << (topology_.generator_batchnorm ? 1 : 0) << '\n';
+  os << topology_.generator_hidden.size();
+  for (std::size_t h : topology_.generator_hidden) os << ' ' << h;
+  os << '\n';
+  os << topology_.discriminator_hidden.size();
+  for (std::size_t h : topology_.discriminator_hidden) os << ' ' << h;
+  os << '\n';
+  nn::save_mlp(generator_, os);
+  nn::save_mlp(discriminator_, os);
+}
+
+Cgan Cgan::load(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != "gansec-cgan" ||
+      (version != 1 && version != 2)) {
+    throw ParseError("Cgan::load: bad header");
+  }
+  CganTopology t;
+  if (!(is >> t.data_dim >> t.cond_dim >> t.noise_dim >> t.leaky_slope >>
+        t.discriminator_dropout)) {
+    throw ParseError("Cgan::load: malformed topology line");
+  }
+  if (version >= 2) {
+    int batchnorm = 0;
+    if (!(is >> batchnorm)) {
+      throw ParseError("Cgan::load: malformed topology line (v2)");
+    }
+    t.generator_batchnorm = batchnorm != 0;
+  }
+  auto read_hidden = [&is](std::vector<std::size_t>& out) {
+    std::size_t n = 0;
+    if (!(is >> n)) throw ParseError("Cgan::load: malformed hidden list");
+    out.resize(n);
+    for (std::size_t& h : out) {
+      if (!(is >> h)) throw ParseError("Cgan::load: malformed hidden list");
+    }
+  };
+  read_hidden(t.generator_hidden);
+  read_hidden(t.discriminator_hidden);
+  nn::Mlp g = nn::load_mlp(is);
+  nn::Mlp d = nn::load_mlp(is);
+  return Cgan(std::move(t), std::move(g), std::move(d));
+}
+
+void Cgan::save_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw IoError("Cgan::save_file: cannot open '" + path + "'");
+  save(os);
+}
+
+Cgan Cgan::load_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw IoError("Cgan::load_file: cannot open '" + path + "'");
+  return load(is);
+}
+
+}  // namespace gansec::gan

@@ -1,0 +1,217 @@
+#include "gansec/gan/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gansec/error.hpp"
+#include "gansec/nn/loss.hpp"
+
+namespace gansec::gan {
+
+using math::Matrix;
+
+namespace {
+
+constexpr float kEps = 1e-7F;
+
+double mean_log(const Matrix& probs) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    const double p = std::clamp(static_cast<double>(probs.data()[i]),
+                                static_cast<double>(kEps),
+                                1.0 - static_cast<double>(kEps));
+    acc += std::log(p);
+  }
+  return acc / static_cast<double>(probs.size());
+}
+
+}  // namespace
+
+CganTrainer::CganTrainer(Cgan& model, TrainConfig config, std::uint64_t seed)
+    : model_(model), config_(config), rng_(seed) {
+  if (config_.batch_size == 0) {
+    throw InvalidArgumentError("TrainConfig: batch_size must be positive");
+  }
+  if (config_.discriminator_steps == 0) {
+    throw InvalidArgumentError(
+        "TrainConfig: discriminator_steps must be positive");
+  }
+  if (config_.real_label <= 0.5F || config_.real_label > 1.0F) {
+    throw InvalidArgumentError(
+        "TrainConfig: real_label must be in (0.5, 1]");
+  }
+  if (config_.adam_beta1 < 0.0F || config_.adam_beta1 >= 1.0F) {
+    throw InvalidArgumentError("TrainConfig: adam_beta1 must be in [0,1)");
+  }
+  opt_g_ = make_optimizer(model_.generator().parameters(),
+                          config_.learning_rate_g);
+  opt_d_ = make_optimizer(model_.discriminator().parameters(),
+                          config_.learning_rate_d);
+}
+
+std::unique_ptr<nn::Optimizer> CganTrainer::make_optimizer(
+    std::vector<nn::Parameter*> params, float lr) const {
+  switch (config_.optimizer) {
+    case OptimizerKind::kSgd:
+      return std::make_unique<nn::Sgd>(std::move(params), lr);
+    case OptimizerKind::kMomentum:
+      return std::make_unique<nn::Momentum>(std::move(params), lr);
+    case OptimizerKind::kAdam:
+      return std::make_unique<nn::Adam>(std::move(params), lr,
+                                        config_.adam_beta1);
+  }
+  throw InvalidArgumentError("TrainConfig: unknown optimizer kind");
+}
+
+void CganTrainer::validate_dataset(const Matrix& samples,
+                                   const Matrix& conditions) const {
+  const auto& t = model_.topology();
+  if (samples.cols() != t.data_dim) {
+    throw DimensionError("CganTrainer: sample width != topology data_dim");
+  }
+  if (conditions.cols() != t.cond_dim) {
+    throw DimensionError(
+        "CganTrainer: condition width != topology cond_dim");
+  }
+  if (samples.rows() != conditions.rows()) {
+    throw DimensionError(
+        "CganTrainer: samples/conditions row count mismatch");
+  }
+  if (samples.rows() == 0) {
+    throw InvalidArgumentError("CganTrainer: empty training set");
+  }
+  if (!samples.all_finite() || !conditions.all_finite()) {
+    throw NumericError("CganTrainer: non-finite values in training data");
+  }
+}
+
+void CganTrainer::train(const Matrix& samples, const Matrix& conditions) {
+  train_iterations(samples, conditions, config_.iterations);
+}
+
+void CganTrainer::train_iterations(const Matrix& samples,
+                                   const Matrix& conditions,
+                                   std::size_t count) {
+  validate_dataset(samples, conditions);
+  for (std::size_t it = 0; it < count; ++it) {
+    TrainRecord record;
+    record.iteration = ++iterations_done_;
+    // Algorithm 2, lines 4-8: k discriminator ascent steps.
+    for (std::size_t k = 0; k < config_.discriminator_steps; ++k) {
+      discriminator_step(samples, conditions, record);
+    }
+    // Algorithm 2, lines 9-10: one generator step reusing the last f2 batch.
+    generator_step(last_batch_conditions_, record);
+    history_.push_back(record);
+    if (config_.checkpoint_every != 0 &&
+        record.iteration % config_.checkpoint_every == 0) {
+      checkpoints_.push_back(
+          Checkpoint{record.iteration, model_.generator().clone()});
+    }
+  }
+}
+
+void CganTrainer::discriminator_step(const Matrix& samples,
+                                     const Matrix& conditions,
+                                     TrainRecord& record) {
+  nn::Mlp& d = model_.discriminator();
+  nn::Mlp& g = model_.generator();
+  const std::size_t n = config_.batch_size;
+  nn::BinaryCrossEntropy bce(kEps);
+
+  // Lines 5-7: minibatch of noise plus paired (f1, f2) samples.
+  const auto idx =
+      rng_.sample_indices_with_replacement(samples.rows(), n);
+  const Matrix f1 = samples.gather_rows(idx);
+  const Matrix f2 = conditions.gather_rows(idx);
+  const Matrix z = model_.sample_noise(n, rng_);
+
+  d.zero_grad();
+
+  const bool least_squares =
+      config_.objective == AdversarialObjective::kLeastSquares;
+  nn::MeanSquaredError mse;
+
+  // Real branch: maximize log D(f1|f2) == minimize BCE(D, 1); LSGAN
+  // regresses D(real) toward the (smoothed) real label instead.
+  const Matrix d_real = d.forward(Matrix::hstack(f1, f2), /*training=*/true);
+  const Matrix ones(n, 1, config_.real_label);
+  const double loss_real = least_squares ? mse.value(d_real, ones)
+                                         : bce.value(d_real, ones);
+  d.backward(least_squares ? mse.gradient(d_real, ones)
+                           : bce.gradient(d_real, ones));
+
+  // Fake branch: maximize log(1 - D(G(z|f2))) == minimize BCE(D, 0); LSGAN
+  // regresses D(fake) toward 0. The generator is only sampled here; its
+  // gradients are discarded.
+  const Matrix fake =
+      g.forward(Matrix::hstack(z, f2), /*training=*/true);
+  const Matrix d_fake = d.forward(Matrix::hstack(fake, f2),
+                                  /*training=*/true);
+  const Matrix zeros(n, 1, 0.0F);
+  const double loss_fake = least_squares ? mse.value(d_fake, zeros)
+                                         : bce.value(d_fake, zeros);
+  d.backward(least_squares ? mse.gradient(d_fake, zeros)
+                           : bce.gradient(d_fake, zeros));
+
+  opt_d_->step();
+  d.zero_grad();
+
+  record.d_loss = loss_real + loss_fake;
+  record.d_real_mean = static_cast<double>(d_real.mean());
+  record.d_fake_mean = static_cast<double>(d_fake.mean());
+  last_batch_conditions_ = f2;
+}
+
+void CganTrainer::generator_step(const Matrix& last_conditions,
+                                 TrainRecord& record) {
+  nn::Mlp& d = model_.discriminator();
+  nn::Mlp& g = model_.generator();
+  const std::size_t n = last_conditions.rows();
+  const Matrix z = model_.sample_noise(n, rng_);
+
+  g.zero_grad();
+  d.zero_grad();
+
+  const Matrix fake =
+      g.forward(Matrix::hstack(z, last_conditions), /*training=*/true);
+  const Matrix d_fake = d.forward(Matrix::hstack(fake, last_conditions),
+                                  /*training=*/true);
+
+  // dLoss/dD(fake), per sample, averaged over the batch.
+  Matrix grad_d_out(n, 1);
+  const float fn = static_cast<float>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float p =
+        std::clamp(d_fake.data()[i], kEps, 1.0F - kEps);
+    if (config_.objective == AdversarialObjective::kLeastSquares) {
+      // LSGAN generator: L = mean (D(fake) - 1)^2; dL/dp = 2 (p - 1) / n.
+      grad_d_out.data()[i] = 2.0F * (p - 1.0F) / fn;
+    } else if (config_.generator_loss == GeneratorLoss::kOriginalMinimax) {
+      // L = mean log(1 - p); dL/dp = -1 / (1 - p) / n.
+      grad_d_out.data()[i] = -1.0F / (1.0F - p) / fn;
+    } else {
+      // L = -mean log p; dL/dp = -1 / p / n.
+      grad_d_out.data()[i] = -1.0F / p / fn;
+    }
+  }
+
+  // Backprop through D to its input, slice off the data part, then through G.
+  const Matrix grad_d_input = d.backward(grad_d_out);
+  const Matrix grad_fake =
+      grad_d_input.slice_cols(0, model_.topology().data_dim);
+  g.backward(grad_fake);
+
+  opt_g_->step();
+  g.zero_grad();
+  // D accumulated gradients during the generator pass; drop them so the next
+  // discriminator step starts clean.
+  d.zero_grad();
+
+  // Report the non-saturating form regardless of the update rule: it is the
+  // conventional curve shape (high when D rejects fakes, falling toward
+  // ln 2 ~ 0.69 at equilibrium), matching Figure 7 of the paper.
+  record.g_loss = -mean_log(d_fake);
+}
+
+}  // namespace gansec::gan

@@ -1,0 +1,91 @@
+#include "gansec/math/rng.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "gansec/error.hpp"
+
+namespace gansec::math {
+
+double Rng::uniform(double lo, double hi) {
+  if (!(lo <= hi)) {
+    throw InvalidArgumentError("Rng::uniform: lo must be <= hi");
+  }
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  if (stddev < 0.0) {
+    throw InvalidArgumentError("Rng::normal: stddev must be >= 0");
+  }
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+std::int64_t Rng::randint(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) {
+    throw InvalidArgumentError("Rng::randint: lo must be <= hi");
+  }
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p < 0.0 || p > 1.0) {
+    throw InvalidArgumentError("Rng::bernoulli: p must be in [0,1]");
+  }
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t population,
+                                             std::size_t count) {
+  if (count > population) {
+    throw InvalidArgumentError(
+        "Rng::sample_indices: count exceeds population");
+  }
+  std::vector<std::size_t> all(population);
+  std::iota(all.begin(), all.end(), 0);
+  // Partial Fisher-Yates: only the first `count` positions are finalized.
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto j = static_cast<std::size_t>(
+        randint(static_cast<std::int64_t>(i),
+                static_cast<std::int64_t>(population - 1)));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(count);
+  return all;
+}
+
+std::vector<std::size_t> Rng::sample_indices_with_replacement(
+    std::size_t population, std::size_t count) {
+  if (population == 0) {
+    throw InvalidArgumentError(
+        "Rng::sample_indices_with_replacement: empty population");
+  }
+  std::vector<std::size_t> out(count);
+  for (auto& idx : out) {
+    idx = static_cast<std::size_t>(
+        randint(0, static_cast<std::int64_t>(population - 1)));
+  }
+  return out;
+}
+
+Matrix Rng::uniform_matrix(std::size_t rows, std::size_t cols, float lo,
+                           float hi) {
+  Matrix m(rows, cols);
+  std::uniform_real_distribution<float> dist(lo, hi);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = dist(engine_);
+  return m;
+}
+
+Matrix Rng::normal_matrix(std::size_t rows, std::size_t cols, float mean,
+                          float stddev) {
+  Matrix m(rows, cols);
+  std::normal_distribution<float> dist(mean, stddev);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = dist(engine_);
+  return m;
+}
+
+}  // namespace gansec::math

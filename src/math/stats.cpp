@@ -1,0 +1,111 @@
+#include "gansec/math/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "gansec/error.hpp"
+
+namespace gansec::math {
+
+namespace {
+
+void require_non_empty(const std::vector<double>& xs, const char* fn) {
+  if (xs.empty()) {
+    throw InvalidArgumentError(std::string(fn) + ": empty input");
+  }
+}
+
+}  // namespace
+
+double mean(const std::vector<double>& xs) {
+  require_non_empty(xs, "mean");
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  require_non_empty(xs, "variance");
+  const double mu = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - mu) * (x - mu);
+  return acc / static_cast<double>(xs.size());
+}
+
+double sample_variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) {
+    throw InvalidArgumentError("sample_variance: need at least two samples");
+  }
+  const double mu = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - mu) * (x - mu);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(const std::vector<double>& xs) {
+  return std::sqrt(variance(xs));
+}
+
+double min_value(const std::vector<double>& xs) {
+  require_non_empty(xs, "min_value");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(const std::vector<double>& xs) {
+  require_non_empty(xs, "max_value");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double median(std::vector<double> xs) {
+  require_non_empty(xs, "median");
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid),
+                   xs.end());
+  const double hi = xs[mid];
+  if (xs.size() % 2 == 1) return hi;
+  const double lo =
+      *std::max_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+double percentile(std::vector<double> xs, double p) {
+  require_non_empty(xs, "percentile");
+  if (p < 0.0 || p > 100.0) {
+    throw InvalidArgumentError("percentile: p must be in [0,100]");
+  }
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs.front();
+  const double pos = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double covariance(const std::vector<double>& xs,
+                  const std::vector<double>& ys) {
+  require_non_empty(xs, "covariance");
+  if (xs.size() != ys.size()) {
+    throw InvalidArgumentError("covariance: size mismatch");
+  }
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    acc += (xs[i] - mx) * (ys[i] - my);
+  }
+  return acc / static_cast<double>(xs.size());
+}
+
+double correlation(const std::vector<double>& xs,
+                   const std::vector<double>& ys) {
+  const double cov = covariance(xs, ys);
+  const double sx = stddev(xs);
+  const double sy = stddev(ys);
+  if (sx == 0.0 || sy == 0.0) {
+    throw InvalidArgumentError("correlation: zero-variance input");
+  }
+  return cov / (sx * sy);
+}
+
+}  // namespace gansec::math

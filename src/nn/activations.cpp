@@ -1,0 +1,120 @@
+#include "gansec/nn/activations.hpp"
+
+#include <cmath>
+
+#include "gansec/error.hpp"
+
+namespace gansec::nn {
+
+using math::Matrix;
+
+namespace {
+
+void require_same_shape(const Matrix& grad, const Matrix& cached,
+                        const char* layer) {
+  if (!grad.same_shape(cached)) {
+    throw DimensionError(std::string(layer) +
+                         "::backward: gradient shape mismatch");
+  }
+}
+
+}  // namespace
+
+// ---- Relu -----------------------------------------------------------------
+
+Matrix Relu::forward(const Matrix& input, bool /*training*/) {
+  last_input_ = input;
+  return input.map([](float v) { return v > 0.0F ? v : 0.0F; });
+}
+
+Matrix Relu::backward(const Matrix& grad_output) {
+  require_same_shape(grad_output, last_input_, "Relu");
+  Matrix grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    if (last_input_.data()[i] <= 0.0F) grad.data()[i] = 0.0F;
+  }
+  return grad;
+}
+
+std::unique_ptr<Layer> Relu::clone() const {
+  return std::make_unique<Relu>();
+}
+
+// ---- LeakyRelu -------------------------------------------------------------
+
+LeakyRelu::LeakyRelu(float negative_slope) : slope_(negative_slope) {
+  if (negative_slope < 0.0F) {
+    throw InvalidArgumentError("LeakyRelu: slope must be >= 0");
+  }
+}
+
+Matrix LeakyRelu::forward(const Matrix& input, bool /*training*/) {
+  last_input_ = input;
+  const float s = slope_;
+  return input.map([s](float v) { return v > 0.0F ? v : s * v; });
+}
+
+Matrix LeakyRelu::backward(const Matrix& grad_output) {
+  require_same_shape(grad_output, last_input_, "LeakyRelu");
+  Matrix grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    if (last_input_.data()[i] <= 0.0F) grad.data()[i] *= slope_;
+  }
+  return grad;
+}
+
+std::unique_ptr<Layer> LeakyRelu::clone() const {
+  return std::make_unique<LeakyRelu>(slope_);
+}
+
+// ---- Tanh -------------------------------------------------------------------
+
+Matrix Tanh::forward(const Matrix& input, bool /*training*/) {
+  last_output_ = input.map([](float v) { return std::tanh(v); });
+  return last_output_;
+}
+
+Matrix Tanh::backward(const Matrix& grad_output) {
+  require_same_shape(grad_output, last_output_, "Tanh");
+  Matrix grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    const float y = last_output_.data()[i];
+    grad.data()[i] *= 1.0F - y * y;
+  }
+  return grad;
+}
+
+std::unique_ptr<Layer> Tanh::clone() const {
+  return std::make_unique<Tanh>();
+}
+
+// ---- Sigmoid ----------------------------------------------------------------
+
+Matrix Sigmoid::forward(const Matrix& input, bool /*training*/) {
+  last_output_ = input.map([](float v) {
+    // Numerically stable logistic: avoid overflow in exp for |v| large.
+    if (v >= 0.0F) {
+      const float e = std::exp(-v);
+      return 1.0F / (1.0F + e);
+    }
+    const float e = std::exp(v);
+    return e / (1.0F + e);
+  });
+  return last_output_;
+}
+
+Matrix Sigmoid::backward(const Matrix& grad_output) {
+  require_same_shape(grad_output, last_output_, "Sigmoid");
+  Matrix grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    const float y = last_output_.data()[i];
+    grad.data()[i] *= y * (1.0F - y);
+  }
+  return grad;
+}
+
+std::unique_ptr<Layer> Sigmoid::clone() const {
+  return std::make_unique<Sigmoid>();
+}
+
+}  // namespace gansec::nn

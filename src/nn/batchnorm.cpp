@@ -1,0 +1,150 @@
+#include "gansec/nn/batchnorm.hpp"
+
+#include <cmath>
+
+#include "gansec/error.hpp"
+
+namespace gansec::nn {
+
+using math::Matrix;
+
+BatchNorm::BatchNorm(std::size_t features, float momentum, float eps)
+    : gamma_("gamma", Matrix(1, features, 1.0F)),
+      beta_("beta", Matrix(1, features, 0.0F)),
+      momentum_(momentum),
+      eps_(eps),
+      running_mean_(1, features, 0.0F),
+      running_var_(1, features, 1.0F) {
+  if (features == 0) {
+    throw InvalidArgumentError("BatchNorm: features must be positive");
+  }
+  if (momentum <= 0.0F || momentum > 1.0F) {
+    throw InvalidArgumentError("BatchNorm: momentum must be in (0,1]");
+  }
+  if (eps <= 0.0F) {
+    throw InvalidArgumentError("BatchNorm: eps must be positive");
+  }
+}
+
+Matrix BatchNorm::forward(const Matrix& input, bool training) {
+  if (input.cols() != features()) {
+    throw DimensionError("BatchNorm::forward: feature width mismatch");
+  }
+  if (input.rows() == 0) {
+    throw InvalidArgumentError("BatchNorm::forward: empty batch");
+  }
+  last_training_ = training;
+  const std::size_t m = input.rows();
+  const std::size_t d = features();
+
+  Matrix mean(1, d, 0.0F);
+  Matrix var(1, d, 0.0F);
+  if (training) {
+    for (std::size_t c = 0; c < d; ++c) {
+      float mu = 0.0F;
+      for (std::size_t r = 0; r < m; ++r) mu += input(r, c);
+      mu /= static_cast<float>(m);
+      float v = 0.0F;
+      for (std::size_t r = 0; r < m; ++r) {
+        const float diff = input(r, c) - mu;
+        v += diff * diff;
+      }
+      v /= static_cast<float>(m);
+      mean(0, c) = mu;
+      var(0, c) = v;
+      running_mean_(0, c) =
+          (1.0F - momentum_) * running_mean_(0, c) + momentum_ * mu;
+      running_var_(0, c) =
+          (1.0F - momentum_) * running_var_(0, c) + momentum_ * v;
+    }
+  } else {
+    mean = running_mean_;
+    var = running_var_;
+  }
+
+  Matrix xhat(m, d);
+  Matrix out(m, d);
+  for (std::size_t c = 0; c < d; ++c) {
+    const float inv_std = 1.0F / std::sqrt(var(0, c) + eps_);
+    for (std::size_t r = 0; r < m; ++r) {
+      xhat(r, c) = (input(r, c) - mean(0, c)) * inv_std;
+      out(r, c) = gamma_.value(0, c) * xhat(r, c) + beta_.value(0, c);
+    }
+  }
+  last_input_ = input;
+  last_xhat_ = xhat;
+  last_mean_ = std::move(mean);
+  last_var_ = std::move(var);
+  return out;
+}
+
+Matrix BatchNorm::backward(const Matrix& grad_output) {
+  if (!grad_output.same_shape(last_xhat_)) {
+    throw DimensionError("BatchNorm::backward: gradient shape mismatch");
+  }
+  const std::size_t m = grad_output.rows();
+  const std::size_t d = features();
+  const float fm = static_cast<float>(m);
+  Matrix grad_in(m, d);
+
+  for (std::size_t c = 0; c < d; ++c) {
+    // Parameter gradients.
+    float dgamma = 0.0F;
+    float dbeta = 0.0F;
+    for (std::size_t r = 0; r < m; ++r) {
+      dgamma += grad_output(r, c) * last_xhat_(r, c);
+      dbeta += grad_output(r, c);
+    }
+    gamma_.grad(0, c) += dgamma;
+    beta_.grad(0, c) += dbeta;
+
+    const float inv_std = 1.0F / std::sqrt(last_var_(0, c) + eps_);
+    if (!last_training_) {
+      // Inference statistics are constants: dx = dy * gamma / std.
+      for (std::size_t r = 0; r < m; ++r) {
+        grad_in(r, c) = grad_output(r, c) * gamma_.value(0, c) * inv_std;
+      }
+      continue;
+    }
+    // Train-time backward through the batch statistics:
+    // dx = (gamma/std) * (dy - mean(dy) - xhat * mean(dy * xhat)).
+    float mean_dy = 0.0F;
+    float mean_dy_xhat = 0.0F;
+    for (std::size_t r = 0; r < m; ++r) {
+      mean_dy += grad_output(r, c);
+      mean_dy_xhat += grad_output(r, c) * last_xhat_(r, c);
+    }
+    mean_dy /= fm;
+    mean_dy_xhat /= fm;
+    for (std::size_t r = 0; r < m; ++r) {
+      grad_in(r, c) =
+          gamma_.value(0, c) * inv_std *
+          (grad_output(r, c) - mean_dy - last_xhat_(r, c) * mean_dy_xhat);
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Parameter*> BatchNorm::parameters() {
+  return {&gamma_, &beta_};
+}
+
+void BatchNorm::init_weights(math::Rng& /*rng*/) {
+  gamma_.value = Matrix(1, features(), 1.0F);
+  beta_.value = Matrix(1, features(), 0.0F);
+  gamma_.zero_grad();
+  beta_.zero_grad();
+  running_mean_ = Matrix(1, features(), 0.0F);
+  running_var_ = Matrix(1, features(), 1.0F);
+}
+
+std::unique_ptr<Layer> BatchNorm::clone() const {
+  auto copy = std::make_unique<BatchNorm>(features(), momentum_, eps_);
+  copy->gamma_ = gamma_;
+  copy->beta_ = beta_;
+  copy->running_mean_ = running_mean_;
+  copy->running_var_ = running_var_;
+  return copy;
+}
+
+}  // namespace gansec::nn

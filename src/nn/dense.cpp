@@ -1,0 +1,73 @@
+#include "gansec/nn/dense.hpp"
+
+#include <cmath>
+
+#include "gansec/error.hpp"
+
+namespace gansec::nn {
+
+using math::Matrix;
+
+Dense::Dense(std::size_t inputs, std::size_t outputs, InitScheme scheme)
+    : weight_("W", Matrix(inputs, outputs, 0.0F)),
+      bias_("b", Matrix(1, outputs, 0.0F)),
+      scheme_(scheme) {
+  if (inputs == 0 || outputs == 0) {
+    throw InvalidArgumentError("Dense: layer dimensions must be positive");
+  }
+}
+
+Matrix Dense::forward(const Matrix& input, bool /*training*/) {
+  if (input.cols() != inputs()) {
+    throw DimensionError("Dense::forward: input width " +
+                         std::to_string(input.cols()) + " != " +
+                         std::to_string(inputs()));
+  }
+  last_input_ = input;
+  Matrix out = Matrix::matmul(input, weight_.value);
+  out.add_row_broadcast(bias_.value);
+  return out;
+}
+
+Matrix Dense::backward(const Matrix& grad_output) {
+  if (grad_output.rows() != last_input_.rows() ||
+      grad_output.cols() != outputs()) {
+    throw DimensionError("Dense::backward: gradient shape mismatch");
+  }
+  // dL/dW = X^T * dL/dY ; dL/db = column sums ; dL/dX = dL/dY * W^T.
+  weight_.grad += Matrix::matmul_transposed_a(last_input_, grad_output);
+  bias_.grad += grad_output.col_sums();
+  return Matrix::matmul_transposed_b(grad_output, weight_.value);
+}
+
+std::vector<Parameter*> Dense::parameters() { return {&weight_, &bias_}; }
+
+void Dense::init_weights(math::Rng& rng) {
+  const auto fan_in = static_cast<float>(inputs());
+  const auto fan_out = static_cast<float>(outputs());
+  switch (scheme_) {
+    case InitScheme::kXavierUniform: {
+      const float limit = std::sqrt(6.0F / (fan_in + fan_out));
+      weight_.value =
+          rng.uniform_matrix(inputs(), outputs(), -limit, limit);
+      break;
+    }
+    case InitScheme::kHeNormal: {
+      const float sigma = std::sqrt(2.0F / fan_in);
+      weight_.value = rng.normal_matrix(inputs(), outputs(), 0.0F, sigma);
+      break;
+    }
+  }
+  bias_.value = Matrix(1, outputs(), 0.0F);
+  weight_.zero_grad();
+  bias_.zero_grad();
+}
+
+std::unique_ptr<Layer> Dense::clone() const {
+  auto copy = std::make_unique<Dense>(inputs(), outputs(), scheme_);
+  copy->weight_ = weight_;
+  copy->bias_ = bias_;
+  return copy;
+}
+
+}  // namespace gansec::nn

@@ -1,0 +1,46 @@
+#include "gansec/nn/dropout.hpp"
+
+#include "gansec/error.hpp"
+
+namespace gansec::nn {
+
+using math::Matrix;
+
+Dropout::Dropout(float rate, std::uint64_t seed)
+    : rate_(rate), seed_(seed), rng_(seed) {
+  if (rate < 0.0F || rate >= 1.0F) {
+    throw InvalidArgumentError("Dropout: rate must be in [0,1)");
+  }
+}
+
+Matrix Dropout::forward(const Matrix& input, bool training) {
+  last_training_ = training;
+  if (!training || rate_ == 0.0F) {
+    last_mask_ = Matrix();
+    return input;
+  }
+  const float keep = 1.0F - rate_;
+  const float scale = 1.0F / keep;
+  last_mask_ = Matrix(input.rows(), input.cols());
+  Matrix out = input;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const bool kept = rng_.bernoulli(keep);
+    last_mask_.data()[i] = kept ? scale : 0.0F;
+    out.data()[i] *= last_mask_.data()[i];
+  }
+  return out;
+}
+
+Matrix Dropout::backward(const Matrix& grad_output) {
+  if (!last_training_ || rate_ == 0.0F) return grad_output;
+  if (!grad_output.same_shape(last_mask_)) {
+    throw DimensionError("Dropout::backward: gradient shape mismatch");
+  }
+  return Matrix::hadamard(grad_output, last_mask_);
+}
+
+std::unique_ptr<Layer> Dropout::clone() const {
+  return std::make_unique<Dropout>(rate_, seed_);
+}
+
+}  // namespace gansec::nn

@@ -1,0 +1,119 @@
+#include "gansec/nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gansec/error.hpp"
+
+namespace gansec::nn {
+
+using math::Matrix;
+
+namespace {
+
+void require_match(const Matrix& p, const Matrix& t, const char* fn) {
+  if (!p.same_shape(t)) {
+    throw DimensionError(std::string(fn) +
+                         ": prediction/target shape mismatch");
+  }
+  if (p.empty()) {
+    throw InvalidArgumentError(std::string(fn) + ": empty batch");
+  }
+}
+
+}  // namespace
+
+double BinaryCrossEntropy::value(const Matrix& predictions,
+                                 const Matrix& targets) const {
+  require_match(predictions, targets, "BinaryCrossEntropy::value");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    const double p = std::clamp(static_cast<double>(predictions.data()[i]),
+                                static_cast<double>(eps_),
+                                1.0 - static_cast<double>(eps_));
+    const double t = targets.data()[i];
+    acc += -(t * std::log(p) + (1.0 - t) * std::log(1.0 - p));
+  }
+  return acc / static_cast<double>(predictions.size());
+}
+
+Matrix BinaryCrossEntropy::gradient(const Matrix& predictions,
+                                    const Matrix& targets) const {
+  require_match(predictions, targets, "BinaryCrossEntropy::gradient");
+  Matrix grad(predictions.rows(), predictions.cols());
+  const float n = static_cast<float>(predictions.size());
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    const float p = std::clamp(predictions.data()[i], eps_, 1.0F - eps_);
+    const float t = targets.data()[i];
+    grad.data()[i] = (p - t) / (p * (1.0F - p)) / n;
+  }
+  return grad;
+}
+
+Matrix softmax_rows(const Matrix& logits) {
+  if (logits.empty()) {
+    throw InvalidArgumentError("softmax_rows: empty input");
+  }
+  Matrix out(logits.rows(), logits.cols());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    float row_max = logits(r, 0);
+    for (std::size_t c = 1; c < logits.cols(); ++c) {
+      row_max = std::max(row_max, logits(r, c));
+    }
+    float denom = 0.0F;
+    for (std::size_t c = 0; c < logits.cols(); ++c) {
+      out(r, c) = std::exp(logits(r, c) - row_max);
+      denom += out(r, c);
+    }
+    for (std::size_t c = 0; c < logits.cols(); ++c) out(r, c) /= denom;
+  }
+  return out;
+}
+
+double SoftmaxCrossEntropy::value(const Matrix& logits,
+                                  const Matrix& one_hot_targets) const {
+  require_match(logits, one_hot_targets, "SoftmaxCrossEntropy::value");
+  const Matrix probs = softmax_rows(logits);
+  double acc = 0.0;
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    for (std::size_t c = 0; c < logits.cols(); ++c) {
+      if (one_hot_targets(r, c) > 0.0F) {
+        acc -= one_hot_targets(r, c) *
+               std::log(std::max(1e-12, static_cast<double>(probs(r, c))));
+      }
+    }
+  }
+  return acc / static_cast<double>(logits.rows());
+}
+
+Matrix SoftmaxCrossEntropy::gradient(const Matrix& logits,
+                                     const Matrix& one_hot_targets) const {
+  require_match(logits, one_hot_targets, "SoftmaxCrossEntropy::gradient");
+  Matrix grad = softmax_rows(logits);
+  grad -= one_hot_targets;
+  grad *= 1.0F / static_cast<float>(logits.rows());
+  return grad;
+}
+
+double MeanSquaredError::value(const Matrix& predictions,
+                               const Matrix& targets) const {
+  require_match(predictions, targets, "MeanSquaredError::value");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    const double d = static_cast<double>(predictions.data()[i]) -
+                     static_cast<double>(targets.data()[i]);
+    acc += d * d;
+  }
+  return acc / static_cast<double>(predictions.size());
+}
+
+Matrix MeanSquaredError::gradient(const Matrix& predictions,
+                                  const Matrix& targets) const {
+  require_match(predictions, targets, "MeanSquaredError::gradient");
+  Matrix grad = predictions;
+  grad -= targets;
+  grad *= 2.0F / static_cast<float>(predictions.size());
+  return grad;
+}
+
+}  // namespace gansec::nn

@@ -1,0 +1,188 @@
+#include "gansec/nn/serialize.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "gansec/error.hpp"
+#include "gansec/nn/activations.hpp"
+#include "gansec/nn/batchnorm.hpp"
+#include "gansec/nn/dense.hpp"
+#include "gansec/nn/dropout.hpp"
+
+namespace gansec::nn {
+
+namespace {
+
+constexpr const char* kMagic = "gansec-mlp";
+constexpr int kFormatVersion = 1;
+
+void write_matrix(const math::Matrix& m, std::ostream& os) {
+  // max_digits10 for float guarantees an exact text round trip.
+  os.precision(9);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (i != 0) os << ' ';
+    os << m.data()[i];
+  }
+  os << '\n';
+}
+
+math::Matrix read_matrix(std::istream& is, std::size_t rows,
+                         std::size_t cols) {
+  math::Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (!(is >> m.data()[i])) {
+      throw IoError("load_mlp: truncated matrix data");
+    }
+  }
+  return m;
+}
+
+int scheme_to_int(InitScheme s) {
+  return s == InitScheme::kXavierUniform ? 0 : 1;
+}
+
+InitScheme int_to_scheme(int v) {
+  switch (v) {
+    case 0:
+      return InitScheme::kXavierUniform;
+    case 1:
+      return InitScheme::kHeNormal;
+    default:
+      throw ParseError("load_mlp: unknown init scheme " + std::to_string(v));
+  }
+}
+
+}  // namespace
+
+void save_mlp(const Mlp& mlp, std::ostream& os) {
+  os.precision(9);  // exact float round trip
+  os << kMagic << ' ' << kFormatVersion << '\n';
+  os << "layers " << mlp.layer_count() << '\n';
+  for (std::size_t i = 0; i < mlp.layer_count(); ++i) {
+    const Layer& layer = mlp.layer(i);
+    const std::string kind = layer.kind();
+    if (kind == "dense") {
+      const auto& d = dynamic_cast<const Dense&>(layer);
+      os << "dense " << d.inputs() << ' ' << d.outputs() << ' '
+         << scheme_to_int(d.scheme()) << '\n';
+      write_matrix(d.weight().value, os);
+      write_matrix(d.bias().value, os);
+    } else if (kind == "leaky_relu") {
+      const auto& l = dynamic_cast<const LeakyRelu&>(layer);
+      os << "leaky_relu " << l.negative_slope() << '\n';
+    } else if (kind == "dropout") {
+      const auto& d = dynamic_cast<const Dropout&>(layer);
+      os << "dropout " << d.rate() << ' ' << d.seed() << '\n';
+    } else if (kind == "batch_norm") {
+      const auto& bn = dynamic_cast<const BatchNorm&>(layer);
+      os << "batch_norm " << bn.features() << ' ' << bn.momentum() << ' '
+         << bn.eps() << '\n';
+      write_matrix(bn.gamma().value, os);
+      write_matrix(bn.beta().value, os);
+      write_matrix(bn.running_mean(), os);
+      write_matrix(bn.running_var(), os);
+    } else {
+      os << kind << '\n';
+    }
+  }
+  os << "end\n";
+  if (!os) {
+    throw IoError("save_mlp: stream write failure");
+  }
+}
+
+Mlp load_mlp(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version)) {
+    throw IoError("load_mlp: cannot read header");
+  }
+  if (magic != kMagic) {
+    throw ParseError("load_mlp: bad magic '" + magic + "'");
+  }
+  if (version != kFormatVersion) {
+    throw ParseError("load_mlp: unsupported format version " +
+                     std::to_string(version));
+  }
+  std::string tag;
+  std::size_t n_layers = 0;
+  if (!(is >> tag >> n_layers) || tag != "layers") {
+    throw ParseError("load_mlp: expected 'layers <N>'");
+  }
+
+  Mlp mlp;
+  for (std::size_t i = 0; i < n_layers; ++i) {
+    std::string kind;
+    if (!(is >> kind)) {
+      throw IoError("load_mlp: truncated layer list");
+    }
+    if (kind == "dense") {
+      std::size_t in = 0;
+      std::size_t out = 0;
+      int scheme = 0;
+      if (!(is >> in >> out >> scheme)) {
+        throw ParseError("load_mlp: malformed dense header");
+      }
+      auto& dense = mlp.emplace<Dense>(in, out, int_to_scheme(scheme));
+      dense.weight().value = read_matrix(is, in, out);
+      dense.bias().value = read_matrix(is, 1, out);
+    } else if (kind == "relu") {
+      mlp.emplace<Relu>();
+    } else if (kind == "leaky_relu") {
+      float slope = 0.0F;
+      if (!(is >> slope)) {
+        throw ParseError("load_mlp: malformed leaky_relu record");
+      }
+      mlp.emplace<LeakyRelu>(slope);
+    } else if (kind == "tanh") {
+      mlp.emplace<Tanh>();
+    } else if (kind == "sigmoid") {
+      mlp.emplace<Sigmoid>();
+    } else if (kind == "dropout") {
+      float rate = 0.0F;
+      std::uint64_t seed = 0;
+      if (!(is >> rate >> seed)) {
+        throw ParseError("load_mlp: malformed dropout record");
+      }
+      mlp.emplace<Dropout>(rate, seed);
+    } else if (kind == "batch_norm") {
+      std::size_t features = 0;
+      float momentum = 0.0F;
+      float eps = 0.0F;
+      if (!(is >> features >> momentum >> eps)) {
+        throw ParseError("load_mlp: malformed batch_norm header");
+      }
+      auto& bn = mlp.emplace<BatchNorm>(features, momentum, eps);
+      bn.gamma().value = read_matrix(is, 1, features);
+      bn.beta().value = read_matrix(is, 1, features);
+      bn.running_mean() = read_matrix(is, 1, features);
+      bn.running_var() = read_matrix(is, 1, features);
+    } else {
+      throw ParseError("load_mlp: unknown layer kind '" + kind + "'");
+    }
+  }
+  if (!(is >> tag) || tag != "end") {
+    throw ParseError("load_mlp: missing 'end' marker");
+  }
+  return mlp;
+}
+
+void save_mlp_file(const Mlp& mlp, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    throw IoError("save_mlp_file: cannot open '" + path + "'");
+  }
+  save_mlp(mlp, os);
+}
+
+Mlp load_mlp_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw IoError("load_mlp_file: cannot open '" + path + "'");
+  }
+  return load_mlp(is);
+}
+
+}  // namespace gansec::nn

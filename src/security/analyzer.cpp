@@ -1,0 +1,149 @@
+#include "gansec/security/analyzer.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "gansec/error.hpp"
+#include "gansec/stats/kde.hpp"
+
+namespace gansec::security {
+
+using math::Matrix;
+
+double LikelihoodResult::mean_correct(std::size_t condition) const {
+  const auto& row = avg_correct.at(condition);
+  if (row.empty()) {
+    throw InvalidArgumentError("LikelihoodResult: no features analyzed");
+  }
+  return std::accumulate(row.begin(), row.end(), 0.0) /
+         static_cast<double>(row.size());
+}
+
+double LikelihoodResult::mean_incorrect(std::size_t condition) const {
+  const auto& row = avg_incorrect.at(condition);
+  if (row.empty()) {
+    throw InvalidArgumentError("LikelihoodResult: no features analyzed");
+  }
+  return std::accumulate(row.begin(), row.end(), 0.0) /
+         static_cast<double>(row.size());
+}
+
+std::size_t LikelihoodResult::most_leaky_condition() const {
+  if (avg_correct.empty()) {
+    throw InvalidArgumentError("LikelihoodResult: empty result");
+  }
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < condition_count(); ++c) {
+    if (mean_correct(c) - mean_incorrect(c) >
+        mean_correct(best) - mean_incorrect(best)) {
+      best = c;
+    }
+  }
+  return best;
+}
+
+LikelihoodAnalyzer::LikelihoodAnalyzer(LikelihoodConfig config,
+                                       std::uint64_t seed)
+    : config_(std::move(config)), seed_(seed) {
+  if (config_.generator_samples == 0) {
+    throw InvalidArgumentError(
+        "LikelihoodConfig: generator_samples must be positive");
+  }
+  if (config_.parzen_h <= 0.0) {
+    throw InvalidArgumentError("LikelihoodConfig: parzen_h must be positive");
+  }
+}
+
+LikelihoodResult LikelihoodAnalyzer::analyze(
+    gan::Cgan& model, const am::LabeledDataset& test) const {
+  return analyze_generator(model.generator(), model.topology(), test);
+}
+
+LikelihoodResult LikelihoodAnalyzer::analyze_generator(
+    nn::Mlp& generator, const gan::CganTopology& topology,
+    const am::LabeledDataset& test) const {
+  test.validate();
+  if (test.size() == 0) {
+    throw InvalidArgumentError("LikelihoodAnalyzer: empty test set");
+  }
+  if (test.features.cols() != topology.data_dim ||
+      test.conditions.cols() != topology.cond_dim) {
+    throw DimensionError(
+        "LikelihoodAnalyzer: test set does not match model topology");
+  }
+
+  std::vector<std::size_t> indices = config_.feature_indices;
+  if (indices.empty()) {
+    indices.resize(topology.data_dim);
+    std::iota(indices.begin(), indices.end(), 0);
+  }
+  for (const std::size_t idx : indices) {
+    if (idx >= topology.data_dim) {
+      throw InvalidArgumentError(
+          "LikelihoodAnalyzer: feature index out of range");
+    }
+  }
+
+  const std::size_t n_cond = topology.cond_dim;
+  LikelihoodResult result;
+  result.feature_indices = indices;
+  result.avg_correct.assign(n_cond,
+                            std::vector<double>(indices.size(), 0.0));
+  result.avg_incorrect.assign(n_cond,
+                              std::vector<double>(indices.size(), 0.0));
+
+  math::Rng rng(seed_);
+
+  // Algorithm 3 outer loop: each condition C_i.
+  for (std::size_t ci = 0; ci < n_cond; ++ci) {
+    // Line 6: X_G = GSize samples from G(Z | C_i).
+    Matrix cond(1, n_cond, 0.0F);
+    cond(0, ci) = 1.0F;
+    Matrix conds(config_.generator_samples, n_cond);
+    for (std::size_t r = 0; r < config_.generator_samples; ++r) {
+      conds.set_row(r, cond);
+    }
+    const Matrix noise =
+        rng.normal_matrix(config_.generator_samples, topology.noise_dim,
+                          0.0F, 1.0F);
+    const Matrix generated =
+        generator.forward(Matrix::hstack(noise, conds), /*training=*/false);
+
+    // Inner loop over frequency-feature indices.
+    for (std::size_t fpos = 0; fpos < indices.size(); ++fpos) {
+      const std::size_t ft = indices[fpos];
+      std::vector<double> feature_samples(config_.generator_samples);
+      for (std::size_t r = 0; r < config_.generator_samples; ++r) {
+        feature_samples[r] = static_cast<double>(generated(r, ft));
+      }
+      // Line 8: FtDistr via the Parzen Gaussian window.
+      const stats::ParzenKde distr(std::move(feature_samples),
+                                   config_.parzen_h);
+
+      double cor_like = 0.0;
+      double inc_like = 0.0;
+      std::size_t cor_num = 0;
+      std::size_t inc_num = 0;
+      // Lines 7-14: score every test sample at this feature.
+      for (std::size_t l = 0; l < test.size(); ++l) {
+        const double like = distr.scaled_likelihood(
+            static_cast<double>(test.features(l, ft)));
+        if (test.labels[l] == ci) {
+          cor_like += like;
+          ++cor_num;
+        } else {
+          inc_like += like;
+          ++inc_num;
+        }
+      }
+      // Lines 15-16: per-feature averages.
+      result.avg_correct[ci][fpos] =
+          cor_num == 0 ? 0.0 : cor_like / static_cast<double>(cor_num);
+      result.avg_incorrect[ci][fpos] =
+          inc_num == 0 ? 0.0 : inc_like / static_cast<double>(inc_num);
+    }
+  }
+  return result;
+}
+
+}  // namespace gansec::security

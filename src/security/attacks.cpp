@@ -1,0 +1,104 @@
+#include "gansec/security/attacks.hpp"
+
+#include <limits>
+
+#include "gansec/error.hpp"
+
+namespace gansec::security {
+
+using am::AcousticSimulator;
+using am::MachineSimulator;
+
+AttackInjector::AttackInjector(const am::DatasetBuilder& builder,
+                               std::uint64_t seed)
+    : builder_(builder),
+      acoustics_(builder.config().acoustic, seed ^ 0x5151ULL),
+      rng_(seed) {
+  // Fails fast when the builder has not fitted its scaler yet.
+  (void)builder_.scaler();
+  if (builder_.config().scheme != am::ConditionScheme::kExclusiveXyz) {
+    throw InvalidArgumentError(
+        "AttackInjector: only the exclusive XYZ scheme is supported");
+  }
+}
+
+Observation AttackInjector::make_observation(std::size_t expected_label,
+                                             AttackKind kind) {
+  if (expected_label >= 3) {
+    throw InvalidArgumentError("AttackInjector: label out of range");
+  }
+  const am::DatasetConfig& cfg = builder_.config();
+
+  // The label whose motion is physically executed.
+  std::size_t executed = expected_label;
+  if (kind == AttackKind::kIntegrity) {
+    // Tampered G-code: a different motor runs. Pick uniformly among the
+    // two wrong motors.
+    const std::size_t offset =
+        static_cast<std::size_t>(rng_.randint(1, 2));
+    executed = (expected_label + offset) % 3;
+  }
+
+  std::vector<double> wave;
+  if (kind == AttackKind::kAvailability) {
+    // Stalled motor: the move is commanded but nothing turns; only the
+    // chamber background reaches the microphone.
+    wave = acoustics_.synthesize_idle(cfg.window_s);
+  } else {
+    const auto& range = cfg.feed_mm_s[executed];
+    const double feed = rng_.uniform(range.first, range.second);
+    const double distance = feed * cfg.window_s * 2.0;
+    MachineSimulator machine(cfg.printer);
+    const am::GcodeCommand cmd = am::parse_gcode_line(
+        builder_.gcode_for_label(executed, feed, distance));
+    const am::MotionSegment segment = machine.apply(cmd);
+    if (kind == AttackKind::kDegradation) {
+      // Subtle physical tampering: the motor still runs but its frame
+      // resonance is detuned (worn bearing / loosened mount). Synthesize
+      // with a locally modified acoustic profile; the RNG stream is shared
+      // with the main simulator so draws stay reproducible per injector.
+      am::AcousticConfig degraded = cfg.acoustic;
+      degraded.motors[executed].resonance_hz *=
+          1.0 + kDegradationResonanceShift;
+      am::AcousticSimulator tampered(
+          degraded, static_cast<std::uint64_t>(rng_.randint(
+                        0, std::numeric_limits<std::int64_t>::max())));
+      wave = tampered.synthesize_channel(segment, cfg.channel, cfg.window_s);
+    } else {
+      wave =
+          acoustics_.synthesize_channel(segment, cfg.channel, cfg.window_s);
+    }
+  }
+
+  Observation obs;
+  obs.expected_label = expected_label;
+  obs.features = builder_.features_for_waveform(wave);
+  obs.attack = kind;
+  return obs;
+}
+
+std::vector<Observation> AttackInjector::generate(std::size_t per_label,
+                                                  double attack_fraction,
+                                                  AttackKind kind) {
+  if (attack_fraction < 0.0 || attack_fraction > 1.0) {
+    throw InvalidArgumentError(
+        "AttackInjector::generate: attack_fraction must be in [0,1]");
+  }
+  if (per_label == 0) {
+    throw InvalidArgumentError(
+        "AttackInjector::generate: per_label must be positive");
+  }
+  std::vector<Observation> out;
+  out.reserve(per_label * 3);
+  for (std::size_t label = 0; label < 3; ++label) {
+    for (std::size_t i = 0; i < per_label; ++i) {
+      const bool attacked =
+          kind != AttackKind::kNone && rng_.bernoulli(attack_fraction);
+      out.push_back(
+          make_observation(label, attacked ? kind : AttackKind::kNone));
+    }
+  }
+  return out;
+}
+
+}  // namespace gansec::security

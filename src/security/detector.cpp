@@ -1,0 +1,151 @@
+#include "gansec/security/detector.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "gansec/error.hpp"
+#include "gansec/math/stats.hpp"
+
+namespace gansec::security {
+
+using math::Matrix;
+
+AttackDetector::AttackDetector(gan::Cgan& model, DetectorConfig config,
+                               std::uint64_t seed)
+    : config_(std::move(config)) {
+  if (config_.generator_samples == 0) {
+    throw InvalidArgumentError(
+        "DetectorConfig: generator_samples must be positive");
+  }
+  if (config_.parzen_h <= 0.0) {
+    throw InvalidArgumentError("DetectorConfig: parzen_h must be positive");
+  }
+  if (config_.false_alarm_percentile < 0.0 ||
+      config_.false_alarm_percentile > 100.0) {
+    throw InvalidArgumentError(
+        "DetectorConfig: false_alarm_percentile must be in [0,100]");
+  }
+  const auto& topology = model.topology();
+  indices_ = config_.feature_indices;
+  if (indices_.empty()) {
+    indices_.resize(topology.data_dim);
+    std::iota(indices_.begin(), indices_.end(), 0);
+  }
+  for (const std::size_t idx : indices_) {
+    if (idx >= topology.data_dim) {
+      throw InvalidArgumentError("AttackDetector: feature index out of range");
+    }
+  }
+
+  math::Rng rng(seed);
+  models_.reserve(topology.cond_dim);
+  for (std::size_t ci = 0; ci < topology.cond_dim; ++ci) {
+    Matrix cond(1, topology.cond_dim, 0.0F);
+    cond(0, ci) = 1.0F;
+    const Matrix generated =
+        model.generate_for_condition(cond, config_.generator_samples, rng);
+    std::vector<stats::ParzenKde> per_feature;
+    per_feature.reserve(indices_.size());
+    for (const std::size_t ft : indices_) {
+      std::vector<double> samples(config_.generator_samples);
+      for (std::size_t r = 0; r < samples.size(); ++r) {
+        samples[r] = static_cast<double>(generated(r, ft));
+      }
+      per_feature.emplace_back(std::move(samples), config_.parzen_h);
+    }
+    models_.push_back(std::move(per_feature));
+  }
+}
+
+double AttackDetector::score(const Matrix& features,
+                             std::size_t expected_label) const {
+  if (expected_label >= models_.size()) {
+    throw InvalidArgumentError("AttackDetector::score: label out of range");
+  }
+  if (features.rows() != 1) {
+    throw DimensionError("AttackDetector::score: expected a single row");
+  }
+  const auto& per_feature = models_[expected_label];
+  double acc = 0.0;
+  for (std::size_t fpos = 0; fpos < indices_.size(); ++fpos) {
+    const double log_like = per_feature[fpos].log_density(
+        static_cast<double>(features(0, indices_[fpos])));
+    acc += std::max(log_like, kLogFloor);
+  }
+  return acc / static_cast<double>(indices_.size());
+}
+
+void AttackDetector::calibrate(const std::vector<Observation>& benign) {
+  if (benign.empty()) {
+    throw InvalidArgumentError(
+        "AttackDetector::calibrate: empty benign set");
+  }
+  std::vector<double> scores;
+  scores.reserve(benign.size());
+  for (const Observation& obs : benign) {
+    if (obs.attack != AttackKind::kNone) {
+      throw InvalidArgumentError(
+          "AttackDetector::calibrate: calibration set must be benign");
+    }
+    scores.push_back(score(obs.features, obs.expected_label));
+  }
+  threshold_ =
+      math::percentile(std::move(scores), config_.false_alarm_percentile);
+  calibrated_ = true;
+}
+
+double AttackDetector::threshold() const {
+  if (!calibrated_) {
+    throw InvalidArgumentError("AttackDetector: calibrate() first");
+  }
+  return threshold_;
+}
+
+bool AttackDetector::is_attack(const Matrix& features,
+                               std::size_t expected_label) const {
+  return score(features, expected_label) < threshold();
+}
+
+DetectionReport AttackDetector::evaluate(
+    const std::vector<Observation>& observations) const {
+  if (observations.empty()) {
+    throw InvalidArgumentError("AttackDetector::evaluate: empty set");
+  }
+  DetectionReport report;
+  std::vector<double> attack_scores;  // higher = more suspicious
+  std::vector<bool> attack_labels;
+  std::size_t correct = 0;
+  std::size_t true_pos = 0;
+  std::size_t false_pos = 0;
+  for (const Observation& obs : observations) {
+    const bool attacked = obs.attack != AttackKind::kNone;
+    const double s = score(obs.features, obs.expected_label);
+    const bool flagged = s < threshold();
+    attack_scores.push_back(-s);
+    attack_labels.push_back(attacked);
+    if (attacked) {
+      ++report.attacked;
+      if (flagged) ++true_pos;
+    } else {
+      ++report.benign;
+      if (flagged) ++false_pos;
+    }
+    if (flagged == attacked) ++correct;
+  }
+  report.accuracy =
+      static_cast<double>(correct) / static_cast<double>(observations.size());
+  report.true_positive_rate =
+      report.attacked == 0
+          ? 0.0
+          : static_cast<double>(true_pos) / static_cast<double>(report.attacked);
+  report.false_positive_rate =
+      report.benign == 0
+          ? 0.0
+          : static_cast<double>(false_pos) / static_cast<double>(report.benign);
+  if (report.attacked > 0 && report.benign > 0) {
+    report.auc = stats::auc(attack_scores, attack_labels);
+  }
+  return report;
+}
+
+}  // namespace gansec::security

@@ -1,0 +1,108 @@
+#include "gansec/security/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "gansec/error.hpp"
+
+namespace gansec::security {
+
+std::string format_table1(const std::vector<double>& widths,
+                          const std::vector<LikelihoodResult>& results) {
+  if (widths.empty() || widths.size() != results.size()) {
+    throw InvalidArgumentError("format_table1: widths/results mismatch");
+  }
+  const std::size_t n_cond = results.front().condition_count();
+  for (const LikelihoodResult& r : results) {
+    if (r.condition_count() != n_cond) {
+      throw InvalidArgumentError(
+          "format_table1: inconsistent condition counts");
+    }
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(4);
+  os << std::setw(8) << " ";
+  for (const double h : widths) {
+    std::ostringstream head;
+    head << "h=" << std::setprecision(1) << h;
+    os << " | " << std::setw(15) << head.str();
+    os << std::setprecision(4);
+  }
+  os << '\n';
+  os << std::setw(8) << " ";
+  for (std::size_t k = 0; k < widths.size(); ++k) {
+    os << " | " << std::setw(7) << "Cor" << ' ' << std::setw(7) << "Inc";
+  }
+  os << '\n';
+  for (std::size_t c = 0; c < n_cond; ++c) {
+    os << std::setw(8) << ("Cond" + std::to_string(c + 1));
+    for (const LikelihoodResult& r : results) {
+      os << " | " << std::setw(7) << r.mean_correct(c) << ' ' << std::setw(7)
+         << r.mean_incorrect(c);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string format_training_curve(const std::vector<gan::TrainRecord>& history,
+                                  std::size_t stride) {
+  if (stride == 0) {
+    throw InvalidArgumentError("format_training_curve: stride must be >= 1");
+  }
+  std::ostringstream os;
+  os << "iteration\tg_loss\td_loss\td_real\td_fake\n";
+  os << std::fixed << std::setprecision(4);
+  for (std::size_t i = 0; i < history.size(); i += stride) {
+    const gan::TrainRecord& r = history[i];
+    os << r.iteration << '\t' << r.g_loss << '\t' << r.d_loss << '\t'
+       << r.d_real_mean << '\t' << r.d_fake_mean << '\n';
+  }
+  return os.str();
+}
+
+std::string format_likelihood_summary(const LikelihoodResult& result) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(4);
+  os << "condition\tavg_correct\tavg_incorrect\tmargin\n";
+  for (std::size_t c = 0; c < result.condition_count(); ++c) {
+    const double cor = result.mean_correct(c);
+    const double inc = result.mean_incorrect(c);
+    os << "Cond" << (c + 1) << '\t' << cor << '\t' << inc << '\t'
+       << (cor - inc) << '\n';
+  }
+  os << "most leaky condition: Cond" << (result.most_leaky_condition() + 1)
+     << '\n';
+  return os.str();
+}
+
+std::string format_confidentiality(const ConfidentialityReport& report) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(4);
+  os << "attacker accuracy: " << report.attacker_accuracy << " (chance "
+     << 1.0 / static_cast<double>(report.condition_count) << ")\n";
+  for (std::size_t c = 0; c < report.per_condition_recall.size(); ++c) {
+    os << "  recall Cond" << (c + 1) << ": "
+       << report.per_condition_recall[c] << '\n';
+  }
+  os << "mutual information: mean " << report.mean_mi << " nats, max "
+     << report.max_mi << " nats at feature " << report.max_mi_feature
+     << '\n';
+  os << "verdict: " << (report.leaks() ? "LEAKS" : "no significant leak")
+     << '\n';
+  return os.str();
+}
+
+std::string format_detection(const DetectionReport& report) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(4);
+  os << "detection accuracy: " << report.accuracy << '\n'
+     << "true positive rate: " << report.true_positive_rate << '\n'
+     << "false positive rate: " << report.false_positive_rate << '\n'
+     << "AUC: " << report.auc << '\n'
+     << "observations: " << report.benign << " benign / " << report.attacked
+     << " attacked\n";
+  return os.str();
+}
+
+}  // namespace gansec::security

@@ -1,0 +1,65 @@
+#include "gansec/stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gansec/error.hpp"
+
+namespace gansec::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (!(lo < hi)) {
+    throw InvalidArgumentError("Histogram: require lo < hi");
+  }
+  if (bins == 0) {
+    throw InvalidArgumentError("Histogram: need at least one bin");
+  }
+}
+
+std::size_t Histogram::bin_index(double x) const {
+  if (!std::isfinite(x)) {
+    throw NumericError("Histogram::bin_index: non-finite value");
+  }
+  const double t = (x - lo_) / (hi_ - lo_);
+  const auto raw = static_cast<long long>(
+      std::floor(t * static_cast<double>(counts_.size())));
+  const long long clamped = std::clamp<long long>(
+      raw, 0, static_cast<long long>(counts_.size()) - 1);
+  return static_cast<std::size_t>(clamped);
+}
+
+void Histogram::add(double x) {
+  ++counts_[bin_index(x)];
+  ++total_;
+}
+
+void Histogram::add_all(const std::vector<double>& xs) {
+  for (const double x : xs) add(x);
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  if (bin >= counts_.size()) {
+    throw InvalidArgumentError("Histogram::bin_center: bin out of range");
+  }
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(bin) + 0.5) * width;
+}
+
+std::vector<double> Histogram::probabilities() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ == 0) return out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  }
+  return out;
+}
+
+std::vector<double> Histogram::densities() const {
+  std::vector<double> out = probabilities();
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (double& v : out) v /= width;
+  return out;
+}
+
+}  // namespace gansec::stats

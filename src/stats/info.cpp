@@ -1,0 +1,120 @@
+#include "gansec/stats/info.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "gansec/error.hpp"
+#include "gansec/stats/histogram.hpp"
+
+namespace gansec::stats {
+
+namespace {
+
+void validate_distribution(const std::vector<double>& p, const char* fn) {
+  if (p.empty()) {
+    throw InvalidArgumentError(std::string(fn) + ": empty distribution");
+  }
+  double sum = 0.0;
+  for (const double v : p) {
+    if (v < 0.0 || !std::isfinite(v)) {
+      throw InvalidArgumentError(std::string(fn) +
+                                 ": probabilities must be finite and >= 0");
+    }
+    sum += v;
+  }
+  if (std::abs(sum - 1.0) > 1e-6) {
+    throw InvalidArgumentError(std::string(fn) +
+                               ": probabilities must sum to 1");
+  }
+}
+
+}  // namespace
+
+double entropy(const std::vector<double>& probabilities) {
+  validate_distribution(probabilities, "entropy");
+  double h = 0.0;
+  for (const double p : probabilities) {
+    if (p > 0.0) h -= p * std::log(p);
+  }
+  return h;
+}
+
+double kl_divergence(const std::vector<double>& p,
+                     const std::vector<double>& q) {
+  validate_distribution(p, "kl_divergence");
+  validate_distribution(q, "kl_divergence");
+  if (p.size() != q.size()) {
+    throw InvalidArgumentError("kl_divergence: size mismatch");
+  }
+  double d = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] == 0.0) continue;
+    if (q[i] == 0.0) return std::numeric_limits<double>::infinity();
+    d += p[i] * std::log(p[i] / q[i]);
+  }
+  return d;
+}
+
+double js_divergence(const std::vector<double>& p,
+                     const std::vector<double>& q) {
+  validate_distribution(p, "js_divergence");
+  validate_distribution(q, "js_divergence");
+  if (p.size() != q.size()) {
+    throw InvalidArgumentError("js_divergence: size mismatch");
+  }
+  std::vector<double> m(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) m[i] = 0.5 * (p[i] + q[i]);
+  return 0.5 * kl_divergence(p, m) + 0.5 * kl_divergence(q, m);
+}
+
+double mutual_information(
+    const std::vector<std::vector<double>>& samples_per_class,
+    std::size_t bins) {
+  if (samples_per_class.size() < 2) {
+    throw InvalidArgumentError(
+        "mutual_information: need at least two classes");
+  }
+  if (bins == 0) {
+    throw InvalidArgumentError("mutual_information: need at least one bin");
+  }
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  std::size_t total = 0;
+  for (const auto& cls : samples_per_class) {
+    if (cls.empty()) {
+      throw InvalidArgumentError("mutual_information: empty class");
+    }
+    total += cls.size();
+    for (const double x : cls) {
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+  }
+  if (!(lo < hi)) {
+    // Degenerate: every observation identical; the feature carries nothing.
+    return 0.0;
+  }
+
+  // I(C; X) = H(X) - sum_c p(c) H(X | C = c), all under a shared binning.
+  Histogram joint(lo, hi, bins);
+  std::vector<Histogram> per_class;
+  per_class.reserve(samples_per_class.size());
+  for (const auto& cls : samples_per_class) {
+    Histogram h(lo, hi, bins);
+    h.add_all(cls);
+    joint.add_all(cls);
+    per_class.push_back(std::move(h));
+  }
+  const double h_x = entropy(joint.probabilities());
+  double h_x_given_c = 0.0;
+  for (std::size_t c = 0; c < per_class.size(); ++c) {
+    const double prior = static_cast<double>(samples_per_class[c].size()) /
+                         static_cast<double>(total);
+    h_x_given_c += prior * entropy(per_class[c].probabilities());
+  }
+  // Clamp tiny negative values caused by floating-point noise.
+  return std::max(0.0, h_x - h_x_given_c);
+}
+
+}  // namespace gansec::stats

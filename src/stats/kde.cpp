@@ -1,0 +1,56 @@
+#include "gansec/stats/kde.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "gansec/error.hpp"
+
+namespace gansec::stats {
+
+ParzenKde::ParzenKde(std::vector<double> samples, double bandwidth)
+    : samples_(std::move(samples)), h_(bandwidth) {
+  if (samples_.empty()) {
+    throw InvalidArgumentError("ParzenKde: empty sample set");
+  }
+  if (h_ <= 0.0) {
+    throw InvalidArgumentError("ParzenKde: bandwidth must be positive");
+  }
+  for (const double s : samples_) {
+    if (!std::isfinite(s)) {
+      throw NumericError("ParzenKde: non-finite sample");
+    }
+  }
+}
+
+double ParzenKde::log_density(double x) const {
+  if (!std::isfinite(x)) {
+    throw NumericError("ParzenKde::log_density: non-finite query");
+  }
+  // log density = logsumexp_i( -(x-xi)^2 / (2h^2) ) - log(n h sqrt(2 pi)).
+  double max_exponent = -std::numeric_limits<double>::infinity();
+  std::vector<double> exponents;
+  exponents.reserve(samples_.size());
+  const double inv_2h2 = 1.0 / (2.0 * h_ * h_);
+  for (const double s : samples_) {
+    const double d = x - s;
+    const double e = -d * d * inv_2h2;
+    exponents.push_back(e);
+    max_exponent = std::max(max_exponent, e);
+  }
+  double acc = 0.0;
+  for (const double e : exponents) acc += std::exp(e - max_exponent);
+  const double log_norm =
+      std::log(static_cast<double>(samples_.size())) + std::log(h_) +
+      0.5 * std::log(2.0 * std::numbers::pi);
+  return max_exponent + std::log(acc) - log_norm;
+}
+
+double ParzenKde::density(double x) const { return std::exp(log_density(x)); }
+
+double ParzenKde::scaled_likelihood(double x) const {
+  return density(x) * h_;
+}
+
+}  // namespace gansec::stats

@@ -1,0 +1,118 @@
+#include "gansec/stats/metrics.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "gansec/error.hpp"
+
+namespace gansec::stats {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t classes)
+    : n_(classes), counts_(classes * classes, 0) {
+  if (classes == 0) {
+    throw InvalidArgumentError("ConfusionMatrix: need at least one class");
+  }
+}
+
+void ConfusionMatrix::add(std::size_t actual, std::size_t predicted) {
+  if (actual >= n_ || predicted >= n_) {
+    throw InvalidArgumentError("ConfusionMatrix::add: class out of range");
+  }
+  ++counts_[actual * n_ + predicted];
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::count(std::size_t actual,
+                                   std::size_t predicted) const {
+  if (actual >= n_ || predicted >= n_) {
+    throw InvalidArgumentError("ConfusionMatrix::count: class out of range");
+  }
+  return counts_[actual * n_ + predicted];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) {
+    throw InvalidArgumentError("ConfusionMatrix::accuracy: no observations");
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < n_; ++i) correct += counts_[i * n_ + i];
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::recall(std::size_t cls) const {
+  std::size_t row = 0;
+  for (std::size_t j = 0; j < n_; ++j) row += count(cls, j);
+  if (row == 0) return 0.0;
+  return static_cast<double>(count(cls, cls)) / static_cast<double>(row);
+}
+
+double ConfusionMatrix::precision(std::size_t cls) const {
+  std::size_t col = 0;
+  for (std::size_t i = 0; i < n_; ++i) col += count(i, cls);
+  if (col == 0) return 0.0;
+  return static_cast<double>(count(cls, cls)) / static_cast<double>(col);
+}
+
+double accuracy(const std::vector<std::size_t>& predicted,
+                const std::vector<std::size_t>& actual) {
+  if (predicted.empty() || predicted.size() != actual.size()) {
+    throw InvalidArgumentError("accuracy: size mismatch or empty input");
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] == actual[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(predicted.size());
+}
+
+std::vector<RocPoint> roc_curve(const std::vector<double>& scores,
+                                const std::vector<bool>& labels) {
+  if (scores.empty() || scores.size() != labels.size()) {
+    throw InvalidArgumentError("roc_curve: size mismatch or empty input");
+  }
+  const auto positives = static_cast<double>(
+      std::count(labels.begin(), labels.end(), true));
+  const auto negatives = static_cast<double>(labels.size()) - positives;
+  if (positives == 0.0 || negatives == 0.0) {
+    throw InvalidArgumentError(
+        "roc_curve: need at least one positive and one negative label");
+  }
+
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+
+  std::vector<RocPoint> curve;
+  curve.push_back(RocPoint{scores[order.front()] + 1.0, 0.0, 0.0});
+  double tp = 0.0;
+  double fp = 0.0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (labels[order[i]]) {
+      tp += 1.0;
+    } else {
+      fp += 1.0;
+    }
+    // Emit a point after each group of tied scores.
+    if (i + 1 == order.size() ||
+        scores[order[i + 1]] != scores[order[i]]) {
+      curve.push_back(RocPoint{scores[order[i]], tp / positives,
+                               fp / negatives});
+    }
+  }
+  return curve;
+}
+
+double auc(const std::vector<double>& scores,
+           const std::vector<bool>& labels) {
+  const std::vector<RocPoint> curve = roc_curve(scores, labels);
+  double area = 0.0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    const double dx = curve[i].fpr - curve[i - 1].fpr;
+    area += dx * 0.5 * (curve[i].tpr + curve[i - 1].tpr);
+  }
+  return area;
+}
+
+}  // namespace gansec::stats

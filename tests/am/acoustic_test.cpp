@@ -1,0 +1,215 @@
+#include "gansec/am/acoustic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gansec/dsp/cwt.hpp"
+#include "gansec/error.hpp"
+#include "gansec/math/stats.hpp"
+
+namespace gansec::am {
+namespace {
+
+MotionSegment x_segment(double step_rate = 1600.0, double duration = 0.5) {
+  MotionSegment seg;
+  seg.step_rate[0] = step_rate;
+  seg.duration_s = duration;
+  seg.displacement[0] = 10.0;
+  seg.feedrate_mm_s = 20.0;
+  return seg;
+}
+
+TEST(AcousticSimulator, ConfigValidation) {
+  AcousticConfig config;
+  config.sample_rate = 0.0;
+  EXPECT_THROW(AcousticSimulator{config}, InvalidArgumentError);
+  config = AcousticConfig{};
+  config.noise_floor = -0.1;
+  EXPECT_THROW(AcousticSimulator{config}, InvalidArgumentError);
+  config = AcousticConfig{};
+  config.motors[0].harmonic_gains.clear();
+  EXPECT_THROW(AcousticSimulator{config}, InvalidArgumentError);
+}
+
+TEST(AcousticSimulator, WaveformLengthMatchesDuration) {
+  AcousticSimulator sim;
+  const auto wave = sim.synthesize_segment(x_segment(1600.0, 0.5));
+  EXPECT_EQ(wave.size(), 8000U);  // 0.5 s at 16 kHz
+}
+
+TEST(AcousticSimulator, DurationOverride) {
+  AcousticSimulator sim;
+  const auto wave = sim.synthesize_segment(x_segment(1600.0, 2.0), 0.25);
+  EXPECT_EQ(wave.size(), 4000U);
+}
+
+TEST(AcousticSimulator, NonPositiveDurationThrows) {
+  AcousticSimulator sim;
+  MotionSegment seg;  // zero duration
+  EXPECT_THROW(sim.synthesize_segment(seg), InvalidArgumentError);
+  EXPECT_THROW(sim.synthesize_idle(0.0), InvalidArgumentError);
+  EXPECT_THROW(sim.synthesize_idle(-1.0), InvalidArgumentError);
+}
+
+TEST(AcousticSimulator, MotorEmissionLouderThanIdle) {
+  AcousticSimulator sim;
+  const auto active = sim.synthesize_segment(x_segment());
+  const auto idle = sim.synthesize_idle(0.5);
+  double active_power = 0.0;
+  double idle_power = 0.0;
+  for (const double v : active) active_power += v * v;
+  for (const double v : idle) idle_power += v * v;
+  EXPECT_GT(active_power, 10.0 * idle_power);
+}
+
+TEST(AcousticSimulator, StepRateHarmonicPresent) {
+  AcousticConfig config;
+  config.noise_floor = 0.0;
+  config.hum_amplitude = 0.0;
+  AcousticSimulator sim(config);
+  const auto wave = sim.synthesize_segment(x_segment(1000.0, 0.5));
+  const dsp::MorletCwt cwt(dsp::CwtConfig{config.sample_rate, 6.0});
+  const auto energies =
+      cwt.band_energies(wave, {250.0, 1000.0, 4000.0});
+  EXPECT_GT(energies[1], 3.0 * energies[0]);
+  EXPECT_GT(energies[1], 3.0 * energies[2]);
+}
+
+TEST(AcousticSimulator, ResonancePresent) {
+  AcousticConfig config;
+  config.noise_floor = 0.0;
+  config.hum_amplitude = 0.0;
+  AcousticSimulator sim(config);
+  // Z motor: resonance at 320 Hz by default.
+  MotionSegment seg;
+  seg.step_rate[2] = 2000.0;
+  seg.duration_s = 0.5;
+  const auto wave = sim.synthesize_segment(seg);
+  const dsp::MorletCwt cwt(dsp::CwtConfig{config.sample_rate, 6.0});
+  const auto energies = cwt.band_energies(wave, {320.0, 700.0});
+  EXPECT_GT(energies[0], 2.0 * energies[1]);
+}
+
+TEST(AcousticSimulator, DifferentMotorsDifferentSpectra) {
+  AcousticSimulator sim;
+  MotionSegment x = x_segment(1600.0, 0.4);
+  MotionSegment z;
+  z.step_rate[2] = 2000.0;
+  z.duration_s = 0.4;
+  const auto wave_x = sim.synthesize_segment(x);
+  const auto wave_z = sim.synthesize_segment(z);
+  const dsp::MorletCwt cwt(dsp::CwtConfig{16000.0, 6.0});
+  const std::vector<double> freqs{320.0, 1700.0};
+  const auto ex = cwt.band_energies(wave_x, freqs);
+  const auto ez = cwt.band_energies(wave_z, freqs);
+  // X excites 1700 Hz frame ring; Z excites the 320 Hz thud.
+  EXPECT_GT(ex[1] / ex[0], 1.0);
+  EXPECT_GT(ez[0] / ez[1], 1.0);
+}
+
+TEST(AcousticSimulator, DeterministicForSameSeed) {
+  AcousticSimulator a(AcousticConfig{}, 42);
+  AcousticSimulator b(AcousticConfig{}, 42);
+  EXPECT_EQ(a.synthesize_segment(x_segment()),
+            b.synthesize_segment(x_segment()));
+}
+
+TEST(AcousticSimulator, DifferentSeedsDiffer) {
+  AcousticSimulator a(AcousticConfig{}, 1);
+  AcousticSimulator b(AcousticConfig{}, 2);
+  EXPECT_NE(a.synthesize_segment(x_segment()),
+            b.synthesize_segment(x_segment()));
+}
+
+TEST(AcousticSimulator, IdleContainsHumAndNoise) {
+  AcousticSimulator sim;
+  const auto idle = sim.synthesize_idle(1.0);
+  double power = 0.0;
+  for (const double v : idle) power += v * v;
+  EXPECT_GT(power, 0.0);
+  // Mean stays near zero (no DC component).
+  EXPECT_NEAR(math::mean(idle), 0.0, 0.01);
+}
+
+TEST(AcousticSimulator, ProgramConcatenatesSegments) {
+  AcousticSimulator sim;
+  std::vector<MotionSegment> segments{x_segment(1600.0, 0.25),
+                                      x_segment(1600.0, 0.5)};
+  MotionSegment no_motion;
+  segments.push_back(no_motion);  // skipped
+  const auto wave = sim.synthesize_program(segments);
+  EXPECT_EQ(wave.size(), 4000U + 8000U);
+}
+
+TEST(EmissionChannels, Names) {
+  EXPECT_STREQ(emission_channel_name(EmissionChannel::kMixed), "mixed");
+  EXPECT_STREQ(emission_channel_name(EmissionChannel::kMotorZ), "motor-z");
+  EXPECT_STREQ(emission_channel_name(EmissionChannel::kFrame), "frame");
+}
+
+TEST(EmissionChannels, MixedEqualsSegmentSynthesis) {
+  AcousticSimulator a(AcousticConfig{}, 7);
+  AcousticSimulator b(AcousticConfig{}, 7);
+  const MotionSegment seg = x_segment();
+  EXPECT_EQ(a.synthesize_segment(seg),
+            b.synthesize_channel(seg, EmissionChannel::kMixed));
+}
+
+TEST(EmissionChannels, WrongMotorChannelHearsOnlyBackground) {
+  AcousticConfig config;
+  config.noise_floor = 0.0;
+  config.hum_amplitude = 0.0;
+  AcousticSimulator sim(config);
+  // X moves, but we listen at the Y motor: silence.
+  const auto wave =
+      sim.synthesize_channel(x_segment(), EmissionChannel::kMotorY);
+  double power = 0.0;
+  for (const double v : wave) power += v * v;
+  EXPECT_NEAR(power, 0.0, 1e-18);
+}
+
+TEST(EmissionChannels, OwnMotorChannelCarriesSignal) {
+  AcousticConfig config;
+  config.noise_floor = 0.0;
+  config.hum_amplitude = 0.0;
+  AcousticSimulator sim(config);
+  const auto wave =
+      sim.synthesize_channel(x_segment(), EmissionChannel::kMotorX);
+  double power = 0.0;
+  for (const double v : wave) power += v * v;
+  EXPECT_GT(power, 1.0);
+}
+
+TEST(EmissionChannels, FrameChannelCarriesResonanceOnly) {
+  AcousticConfig config;
+  config.noise_floor = 0.0;
+  config.hum_amplitude = 0.0;
+  AcousticSimulator sim(config);
+  // Z at 2000 steps/s: harmonics at 2000+, resonance at 320 Hz. The frame
+  // channel must show the resonance but almost none of the harmonics.
+  MotionSegment seg;
+  seg.step_rate[2] = 2000.0;
+  seg.duration_s = 0.4;
+  const auto frame =
+      sim.synthesize_channel(seg, EmissionChannel::kFrame);
+  const dsp::MorletCwt cwt(dsp::CwtConfig{config.sample_rate, 6.0});
+  const auto energies = cwt.band_energies(frame, {320.0, 2000.0});
+  EXPECT_GT(energies[0], 10.0 * energies[1]);
+}
+
+TEST(AcousticSimulator, HarmonicsAboveNyquistSkipped) {
+  AcousticConfig config;
+  config.noise_floor = 0.0;
+  config.hum_amplitude = 0.0;
+  config.motors[0].resonance_gain = 0.0;
+  AcousticSimulator sim(config);
+  // Step rate so high that all harmonics alias above Nyquist: output ~ 0.
+  const auto wave = sim.synthesize_segment(x_segment(9000.0, 0.1));
+  double power = 0.0;
+  for (const double v : wave) power += v * v;
+  EXPECT_NEAR(power, 0.0, 1e-18);
+}
+
+}  // namespace
+}  // namespace gansec::am

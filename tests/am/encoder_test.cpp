@@ -1,0 +1,151 @@
+#include "gansec/am/encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gansec/error.hpp"
+#include "gansec/math/rng.hpp"
+
+namespace gansec::am {
+namespace {
+
+MotionSegment segment_for(bool x, bool y, bool z, bool e = false) {
+  MotionSegment seg;
+  seg.duration_s = 1.0;
+  if (x) seg.step_rate[0] = 100.0;
+  if (y) seg.step_rate[1] = 100.0;
+  if (z) seg.step_rate[2] = 100.0;
+  if (e) seg.step_rate[3] = 100.0;
+  return seg;
+}
+
+TEST(ConditionEncoder, ExclusiveDimension) {
+  const ConditionEncoder enc(ConditionScheme::kExclusiveXyz);
+  EXPECT_EQ(enc.dimension(), 3U);
+}
+
+TEST(ConditionEncoder, CombinationDimension) {
+  const ConditionEncoder enc(ConditionScheme::kCombinationXyz);
+  EXPECT_EQ(enc.dimension(), 8U);
+}
+
+TEST(ConditionEncoder, ExclusiveOneHot) {
+  const ConditionEncoder enc;
+  EXPECT_EQ(enc.encode(segment_for(true, false, false)),
+            (std::vector<float>{1.0F, 0.0F, 0.0F}));
+  EXPECT_EQ(enc.encode(segment_for(false, true, false)),
+            (std::vector<float>{0.0F, 1.0F, 0.0F}));
+  EXPECT_EQ(enc.encode(segment_for(false, false, true)),
+            (std::vector<float>{0.0F, 0.0F, 1.0F}));
+}
+
+TEST(ConditionEncoder, ExtruderIgnored) {
+  const ConditionEncoder enc;
+  EXPECT_EQ(enc.label(segment_for(true, false, false, true)), 0U);
+}
+
+TEST(ConditionEncoder, ExclusiveRejectsMultiAxis) {
+  const ConditionEncoder enc;
+  EXPECT_THROW(enc.encode(segment_for(true, true, false)),
+               InvalidArgumentError);
+  EXPECT_THROW(enc.encode(segment_for(false, false, false)),
+               InvalidArgumentError);
+}
+
+TEST(ConditionEncoder, CombinationBitmask) {
+  const ConditionEncoder enc(ConditionScheme::kCombinationXyz);
+  EXPECT_EQ(enc.label(segment_for(false, false, false)), 0U);
+  EXPECT_EQ(enc.label(segment_for(true, false, false)), 1U);
+  EXPECT_EQ(enc.label(segment_for(false, true, false)), 2U);
+  EXPECT_EQ(enc.label(segment_for(true, true, false)), 3U);
+  EXPECT_EQ(enc.label(segment_for(false, false, true)), 4U);
+  EXPECT_EQ(enc.label(segment_for(true, true, true)), 7U);
+  const auto onehot = enc.encode(segment_for(true, false, true));
+  ASSERT_EQ(onehot.size(), 8U);
+  EXPECT_FLOAT_EQ(onehot[5], 1.0F);
+}
+
+TEST(ConditionEncoder, PaperDeltaExample) {
+  // Paper Section IV-B: G_{t-1} = "G1 F1200 X5 Y5 Z5",
+  // G_t = "G1 F1200 X10 Y5 Z5" encodes as [1,0,0].
+  const ConditionEncoder enc;
+  const auto cond = enc.encode_delta(
+      parse_gcode_line("G1 F1200 X5 Y5 Z5"),
+      parse_gcode_line("G1 F1200 X10 Y5 Z5"), PrinterConfig{});
+  EXPECT_EQ(cond, (std::vector<float>{1.0F, 0.0F, 0.0F}));
+}
+
+TEST(ConditionEncoder, DeltaNoMotionThrows) {
+  const ConditionEncoder enc;
+  EXPECT_THROW(enc.encode_delta(parse_gcode_line("G1 F1200 X5"),
+                                parse_gcode_line("G1 F1200 X5"),
+                                PrinterConfig{}),
+               InvalidArgumentError);
+}
+
+TEST(ConditionEncoder, EncodeMatrixShape) {
+  const ConditionEncoder enc;
+  const math::Matrix row = enc.encode_matrix(segment_for(false, true, false));
+  EXPECT_EQ(row.rows(), 1U);
+  EXPECT_EQ(row.cols(), 3U);
+  EXPECT_FLOAT_EQ(row(0, 1), 1.0F);
+}
+
+TEST(ConditionEncoder, LabelNamesExclusive) {
+  const ConditionEncoder enc;
+  EXPECT_EQ(enc.label_name(0), "X");
+  EXPECT_EQ(enc.label_name(1), "Y");
+  EXPECT_EQ(enc.label_name(2), "Z");
+  EXPECT_THROW(enc.label_name(3), InvalidArgumentError);
+}
+
+TEST(ConditionEncoder, LabelNamesCombination) {
+  const ConditionEncoder enc(ConditionScheme::kCombinationXyz);
+  EXPECT_EQ(enc.label_name(0), "idle");
+  EXPECT_EQ(enc.label_name(1), "X");
+  EXPECT_EQ(enc.label_name(3), "X+Y");
+  EXPECT_EQ(enc.label_name(7), "X+Y+Z");
+  EXPECT_THROW(enc.label_name(8), InvalidArgumentError);
+}
+
+TEST(ConditionEncoder, ConditionForLabel) {
+  const ConditionEncoder enc;
+  const math::Matrix cond = enc.condition_for_label(2);
+  EXPECT_FLOAT_EQ(cond(0, 2), 1.0F);
+  EXPECT_FLOAT_EQ(cond(0, 0), 0.0F);
+  EXPECT_THROW(enc.condition_for_label(3), InvalidArgumentError);
+}
+
+// Property: encoding from randomized single-axis G-code deltas always
+// produces the one-hot of the moved axis.
+class EncoderDeltaProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EncoderDeltaProperty, RandomizedSingleAxisDeltas) {
+  math::Rng rng(static_cast<std::uint64_t>(GetParam()) * 101 + 7);
+  const ConditionEncoder enc;
+  const char axes[] = {'X', 'Y', 'Z'};
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto axis = static_cast<std::size_t>(rng.randint(0, 2));
+    const double base = rng.uniform(0.0, 50.0);
+    const double delta = rng.uniform(0.5, 20.0);
+    const std::string prev = "G1 F1200 X10 Y10 Z10";
+    std::string cur = "G1 F1200";
+    for (std::size_t a = 0; a < 3; ++a) {
+      const double value = (a == axis) ? 10.0 + delta : 10.0;
+      cur += ' ';
+      cur += axes[a];
+      cur += std::to_string(value);
+    }
+    (void)base;
+    const auto cond = enc.encode_delta(parse_gcode_line(prev),
+                                       parse_gcode_line(cur),
+                                       PrinterConfig{});
+    for (std::size_t a = 0; a < 3; ++a) {
+      EXPECT_FLOAT_EQ(cond[a], a == axis ? 1.0F : 0.0F);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncoderDeltaProperty, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace gansec::am

@@ -1,0 +1,118 @@
+// Randomized robustness tests: malformed inputs must produce typed
+// gansec exceptions, never crashes or silent acceptance of garbage.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "gansec/am/gcode.hpp"
+#include "gansec/am/machine.hpp"
+#include "gansec/am/trace_io.hpp"
+#include "gansec/error.hpp"
+#include "gansec/math/rng.hpp"
+
+namespace gansec::am {
+namespace {
+
+std::string random_line(math::Rng& rng) {
+  static const char alphabet[] =
+      "GXYZEFMS0123456789.- \t;()abcdefghijklmnop";
+  const auto len = static_cast<std::size_t>(rng.randint(0, 40));
+  std::string line;
+  for (std::size_t i = 0; i < len; ++i) {
+    line += alphabet[static_cast<std::size_t>(
+        rng.randint(0, static_cast<std::int64_t>(sizeof(alphabet) - 2)))];
+  }
+  return line;
+}
+
+class GcodeFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(GcodeFuzz, ParserNeverCrashes) {
+  math::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7001ULL + 13);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string line = random_line(rng);
+    if (is_blank_or_comment(line)) continue;
+    try {
+      const GcodeCommand cmd = parse_gcode_line(line);
+      // Accepted lines must be well-formed: a G/M command word.
+      EXPECT_TRUE(cmd.letter == 'G' || cmd.letter == 'M');
+      EXPECT_GE(cmd.code, 0);
+    } catch (const ParseError&) {
+      // Expected for malformed input.
+    }
+  }
+}
+
+TEST_P(GcodeFuzz, MachineNeverCrashesOnParsedCommands) {
+  math::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729ULL + 1);
+  MachineSimulator machine;
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string line = random_line(rng);
+    if (is_blank_or_comment(line)) continue;
+    try {
+      const GcodeCommand cmd = parse_gcode_line(line);
+      const MotionSegment seg = machine.apply(cmd);
+      // Any accepted motion must be physically sane.
+      EXPECT_GE(seg.duration_s, 0.0);
+      for (std::size_t i = 0; i < kAxisCount; ++i) {
+        EXPECT_GE(seg.step_rate[i], 0.0);
+        EXPECT_GE(seg.travel[i], 0.0);
+        EXPECT_TRUE(std::isfinite(seg.step_rate[i]));
+      }
+    } catch (const ParseError&) {
+      // Expected for malformed or unsupported commands.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GcodeFuzz, ::testing::Range(0, 8));
+
+class CsvFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CsvFuzz, LoaderNeverCrashes) {
+  math::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31ULL + 5);
+  static const char alphabet[] = "label,cond_0fe.t123\n-x ";
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto len = static_cast<std::size_t>(rng.randint(0, 120));
+    std::string text;
+    for (std::size_t i = 0; i < len; ++i) {
+      text += alphabet[static_cast<std::size_t>(rng.randint(
+          0, static_cast<std::int64_t>(sizeof(alphabet) - 2)))];
+    }
+    std::istringstream is(text);
+    try {
+      const LabeledDataset data = load_dataset_csv(is);
+      data.validate();  // anything accepted must be internally consistent
+    } catch (const Error&) {
+      // Typed failure is the expected outcome for garbage.
+    }
+  }
+}
+
+TEST_P(CsvFuzz, TruncatedValidCsvFailsCleanly) {
+  math::Rng rng(static_cast<std::uint64_t>(GetParam()) + 900);
+  LabeledDataset data;
+  data.features = math::Matrix(4, 3, 0.25F);
+  data.conditions = math::Matrix(4, 2, 0.0F);
+  for (std::size_t i = 0; i < 4; ++i) data.conditions(i, i % 2) = 1.0F;
+  data.labels = {0, 1, 0, 1};
+  std::ostringstream os;
+  save_dataset_csv(data, os);
+  const std::string full = os.str();
+  const auto cut =
+      static_cast<std::size_t>(rng.randint(1, static_cast<std::int64_t>(
+                                                  full.size() - 1)));
+  std::istringstream is(full.substr(0, cut));
+  try {
+    const LabeledDataset loaded = load_dataset_csv(is);
+    loaded.validate();  // a lucky cut at a row boundary is acceptable
+  } catch (const Error&) {
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvFuzz, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace gansec::am

@@ -1,0 +1,111 @@
+#include "gansec/am/gcode.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gansec/error.hpp"
+
+namespace gansec::am {
+namespace {
+
+TEST(GcodeParser, SimpleMove) {
+  const GcodeCommand cmd = parse_gcode_line("G1 F1200 X10 Y5 Z5");
+  EXPECT_EQ(cmd.letter, 'G');
+  EXPECT_EQ(cmd.code, 1);
+  EXPECT_DOUBLE_EQ(cmd.param('F', 0.0), 1200.0);
+  EXPECT_DOUBLE_EQ(cmd.param('X', 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(cmd.param('Y', 0.0), 5.0);
+  EXPECT_DOUBLE_EQ(cmd.param('Z', 0.0), 5.0);
+  EXPECT_FALSE(cmd.has('E'));
+  EXPECT_DOUBLE_EQ(cmd.param('E', -1.0), -1.0);
+}
+
+TEST(GcodeParser, MCode) {
+  const GcodeCommand cmd = parse_gcode_line("M104 S200");
+  EXPECT_EQ(cmd.letter, 'M');
+  EXPECT_EQ(cmd.code, 104);
+  EXPECT_DOUBLE_EQ(cmd.param('S', 0.0), 200.0);
+  EXPECT_TRUE(cmd.is('M', 104));
+  EXPECT_FALSE(cmd.is('G', 104));
+}
+
+TEST(GcodeParser, LowercaseAccepted) {
+  const GcodeCommand cmd = parse_gcode_line("g1 x5.5");
+  EXPECT_EQ(cmd.letter, 'G');
+  EXPECT_DOUBLE_EQ(cmd.param('X', 0.0), 5.5);
+}
+
+TEST(GcodeParser, NegativeAndDecimalValues) {
+  const GcodeCommand cmd = parse_gcode_line("G1 X-3.25 Y0.001 E-0.4");
+  EXPECT_DOUBLE_EQ(cmd.param('X', 0.0), -3.25);
+  EXPECT_DOUBLE_EQ(cmd.param('Y', 0.0), 0.001);
+  EXPECT_DOUBLE_EQ(cmd.param('E', 0.0), -0.4);
+}
+
+TEST(GcodeParser, SemicolonComment) {
+  const GcodeCommand cmd = parse_gcode_line("G1 X5 ; move right");
+  EXPECT_DOUBLE_EQ(cmd.param('X', 0.0), 5.0);
+  EXPECT_EQ(cmd.params.size(), 1U);
+}
+
+TEST(GcodeParser, ParenComment) {
+  const GcodeCommand cmd = parse_gcode_line("G1 (rapid) X5 (to the edge) Y2");
+  EXPECT_DOUBLE_EQ(cmd.param('X', 0.0), 5.0);
+  EXPECT_DOUBLE_EQ(cmd.param('Y', 0.0), 2.0);
+}
+
+TEST(GcodeParser, BlankAndCommentDetection) {
+  EXPECT_TRUE(is_blank_or_comment(""));
+  EXPECT_TRUE(is_blank_or_comment("   "));
+  EXPECT_TRUE(is_blank_or_comment("; pure comment"));
+  EXPECT_TRUE(is_blank_or_comment("(only parens)"));
+  EXPECT_FALSE(is_blank_or_comment("G1 X5"));
+}
+
+TEST(GcodeParser, BlankLineThrows) {
+  EXPECT_THROW(parse_gcode_line(""), ParseError);
+  EXPECT_THROW(parse_gcode_line("; nothing"), ParseError);
+}
+
+TEST(GcodeParser, MalformedWordsThrow) {
+  EXPECT_THROW(parse_gcode_line("G1 X"), ParseError);          // no number
+  EXPECT_THROW(parse_gcode_line("G1 Xabc"), ParseError);       // bad number
+  EXPECT_THROW(parse_gcode_line("G1 X5junk"), ParseError);     // trailing junk
+  EXPECT_THROW(parse_gcode_line("X5 G1"), ParseError);         // no leading cmd
+  EXPECT_THROW(parse_gcode_line("G1 G2"), ParseError);         // two commands
+  EXPECT_THROW(parse_gcode_line("G1 X5 X6"), ParseError);      // duplicate
+  EXPECT_THROW(parse_gcode_line("G1.5 X5"), ParseError);       // non-int code
+  EXPECT_THROW(parse_gcode_line("G-1"), ParseError);           // negative code
+  EXPECT_THROW(parse_gcode_line("T0"), ParseError);            // not G/M
+}
+
+TEST(GcodeParser, ProgramSkipsBlanksAndComments) {
+  const std::string program =
+      "; header comment\n"
+      "G28\n"
+      "\n"
+      "G1 F1200 X10 ; move\n"
+      "(pause)\n"
+      "M104 S200\n";
+  const auto cmds = parse_gcode_program(program);
+  ASSERT_EQ(cmds.size(), 3U);
+  EXPECT_TRUE(cmds[0].is('G', 28));
+  EXPECT_TRUE(cmds[1].is('G', 1));
+  EXPECT_TRUE(cmds[2].is('M', 104));
+}
+
+TEST(GcodeParser, ProgramErrorIncludesLineNumber) {
+  try {
+    parse_gcode_program("G28\nG1 Xbogus\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(GcodeParser, EmptyProgramOk) {
+  EXPECT_TRUE(parse_gcode_program("").empty());
+  EXPECT_TRUE(parse_gcode_program("; only comments\n\n").empty());
+}
+
+}  // namespace
+}  // namespace gansec::am

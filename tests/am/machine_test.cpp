@@ -1,0 +1,253 @@
+#include "gansec/am/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "gansec/error.hpp"
+
+namespace gansec::am {
+namespace {
+
+TEST(MachineSimulator, InvalidConfigThrows) {
+  PrinterConfig config;
+  config.axes[0].steps_per_mm = 0.0;
+  EXPECT_THROW(MachineSimulator{config}, InvalidArgumentError);
+  config = PrinterConfig{};
+  config.axes[2].max_feedrate_mm_s = -1.0;
+  EXPECT_THROW(MachineSimulator{config}, InvalidArgumentError);
+}
+
+TEST(MachineSimulator, SimpleXMove) {
+  MachineSimulator machine;
+  const MotionSegment seg =
+      machine.apply(parse_gcode_line("G1 F1200 X20"));
+  EXPECT_TRUE(seg.is_motion());
+  EXPECT_DOUBLE_EQ(seg.displacement[0], 20.0);
+  EXPECT_DOUBLE_EQ(seg.displacement[1], 0.0);
+  // F1200 mm/min = 20 mm/s over 20 mm -> 1 s.
+  EXPECT_NEAR(seg.duration_s, 1.0, 1e-12);
+  EXPECT_NEAR(seg.feedrate_mm_s, 20.0, 1e-12);
+  // 20 mm * 80 steps/mm over 1 s.
+  EXPECT_NEAR(seg.step_rate[0], 1600.0, 1e-9);
+  EXPECT_DOUBLE_EQ(seg.step_rate[1], 0.0);
+  EXPECT_DOUBLE_EQ(machine.state().pos(Axis::kX), 20.0);
+}
+
+TEST(MachineSimulator, FeedratePersistsAcrossMoves) {
+  MachineSimulator machine;
+  machine.apply(parse_gcode_line("G1 F600 X10"));
+  const MotionSegment seg = machine.apply(parse_gcode_line("G1 Y10"));
+  EXPECT_NEAR(seg.feedrate_mm_s, 10.0, 1e-12);
+}
+
+TEST(MachineSimulator, DiagonalMoveSplitsStepRates) {
+  MachineSimulator machine;
+  const MotionSegment seg =
+      machine.apply(parse_gcode_line("G1 F1200 X30 Y40"));
+  // Distance 50 mm at 20 mm/s -> 2.5 s.
+  EXPECT_NEAR(seg.duration_s, 2.5, 1e-12);
+  EXPECT_NEAR(seg.step_rate[0], 30.0 * 80.0 / 2.5, 1e-9);
+  EXPECT_NEAR(seg.step_rate[1], 40.0 * 80.0 / 2.5, 1e-9);
+  EXPECT_EQ(seg.moving_xyz_axes().size(), 2U);
+}
+
+TEST(MachineSimulator, ZMoveClampedToAxisLimit) {
+  MachineSimulator machine;  // Z limit 8 mm/s
+  const MotionSegment seg =
+      machine.apply(parse_gcode_line("G1 F6000 Z10"));
+  EXPECT_NEAR(seg.feedrate_mm_s, 8.0, 1e-12);
+  EXPECT_NEAR(seg.duration_s, 10.0 / 8.0, 1e-12);
+  EXPECT_NEAR(seg.step_rate[2], 400.0 * 8.0, 1e-9);
+}
+
+TEST(MachineSimulator, PureExtrusionUsesFilamentDistance) {
+  MachineSimulator machine;
+  const MotionSegment seg = machine.apply(parse_gcode_line("G1 F300 E5"));
+  EXPECT_TRUE(seg.is_motion());
+  EXPECT_NEAR(seg.duration_s, 1.0, 1e-12);  // 5 mm at 5 mm/s
+  EXPECT_NEAR(seg.step_rate[3], 5.0 * 95.0, 1e-9);
+  EXPECT_TRUE(seg.moving_xyz_axes().empty());
+}
+
+TEST(MachineSimulator, FeedrateOnlyLineIsNoMotion) {
+  MachineSimulator machine;
+  const MotionSegment seg = machine.apply(parse_gcode_line("G1 F900"));
+  EXPECT_FALSE(seg.is_motion());
+  EXPECT_DOUBLE_EQ(machine.state().feedrate_mm_min, 900.0);
+}
+
+TEST(MachineSimulator, NonPositiveFeedrateThrows) {
+  MachineSimulator machine;
+  EXPECT_THROW(machine.apply(parse_gcode_line("G1 F0 X5")), ParseError);
+  EXPECT_THROW(machine.apply(parse_gcode_line("G1 F-100 X5")), ParseError);
+}
+
+TEST(MachineSimulator, HomingResetsXyz) {
+  MachineSimulator machine;
+  machine.apply(parse_gcode_line("G1 F1200 X10 Y10 Z5"));
+  machine.apply(parse_gcode_line("G28"));
+  EXPECT_DOUBLE_EQ(machine.state().pos(Axis::kX), 0.0);
+  EXPECT_DOUBLE_EQ(machine.state().pos(Axis::kY), 0.0);
+  EXPECT_DOUBLE_EQ(machine.state().pos(Axis::kZ), 0.0);
+}
+
+TEST(MachineSimulator, SetPositionG92) {
+  MachineSimulator machine;
+  machine.apply(parse_gcode_line("G92 E0 X5"));
+  EXPECT_DOUBLE_EQ(machine.state().pos(Axis::kX), 5.0);
+  EXPECT_DOUBLE_EQ(machine.state().pos(Axis::kE), 0.0);
+  // A move to X10 now only travels 5 mm.
+  const MotionSegment seg = machine.apply(parse_gcode_line("G1 F1200 X10"));
+  EXPECT_DOUBLE_EQ(seg.displacement[0], 5.0);
+}
+
+TEST(MachineSimulator, McodesAreNoMotion) {
+  MachineSimulator machine;
+  const MotionSegment seg = machine.apply(parse_gcode_line("M104 S210"));
+  EXPECT_FALSE(seg.is_motion());
+  EXPECT_DOUBLE_EQ(machine.state().hotend_target_c, 210.0);
+  EXPECT_FALSE(machine.apply(parse_gcode_line("M106 S255")).is_motion());
+}
+
+TEST(MachineSimulator, UnsupportedCommandsThrow) {
+  MachineSimulator machine;
+  EXPECT_THROW(machine.apply(parse_gcode_line("G91")), ParseError);
+  EXPECT_THROW(machine.apply(parse_gcode_line("G20")), ParseError);
+  EXPECT_THROW(machine.apply(parse_gcode_line("G5 X5")), ParseError);
+}
+
+TEST(ArcMove, SemicircleTravelAndDuration) {
+  MachineSimulator machine;
+  // CCW semicircle from (0,0) to (20,0) around center (10,0): radius 10.
+  const MotionSegment seg =
+      machine.apply(parse_gcode_line("G3 F600 X20 Y0 I10 J0"));
+  EXPECT_TRUE(seg.is_motion());
+  EXPECT_NEAR(seg.displacement[0], 20.0, 1e-9);
+  EXPECT_NEAR(seg.displacement[1], 0.0, 1e-9);
+  // Along a semicircle each axis travels 2r.
+  EXPECT_NEAR(seg.travel[0], 20.0, 0.05);
+  EXPECT_NEAR(seg.travel[1], 20.0, 0.05);
+  // Arc length pi*r at 10 mm/s.
+  EXPECT_NEAR(seg.duration_s, std::numbers::pi * 10.0 / 10.0, 1e-6);
+  EXPECT_DOUBLE_EQ(machine.state().pos(Axis::kX), 20.0);
+  EXPECT_DOUBLE_EQ(machine.state().pos(Axis::kY), 0.0);
+}
+
+TEST(ArcMove, FullCircleHasTravelButNoNetDisplacement) {
+  MachineSimulator machine;
+  const MotionSegment seg =
+      machine.apply(parse_gcode_line("G2 F600 X0 Y0 I5 J0"));
+  EXPECT_NEAR(seg.displacement[0], 0.0, 1e-9);
+  EXPECT_NEAR(seg.displacement[1], 0.0, 1e-9);
+  // Each axis travels 4r over a full circle.
+  EXPECT_NEAR(seg.travel[0], 20.0, 0.05);
+  EXPECT_NEAR(seg.travel[1], 20.0, 0.05);
+  EXPECT_NEAR(seg.duration_s, 2.0 * std::numbers::pi * 5.0 / 10.0, 1e-6);
+  EXPECT_GT(seg.step_rate[0], 0.0);
+  EXPECT_GT(seg.step_rate[1], 0.0);
+}
+
+TEST(ArcMove, QuarterArcDirectionsDiffer) {
+  // CW vs CCW quarter arcs between the same endpoints sweep different
+  // angles (pi/2 vs 3pi/2) and so take different times.
+  MachineSimulator cw;
+  const MotionSegment s_cw =
+      cw.apply(parse_gcode_line("G2 F600 X10 Y-10 I0 J-10"));
+  MachineSimulator ccw;
+  const MotionSegment s_ccw =
+      ccw.apply(parse_gcode_line("G3 F600 X10 Y-10 I0 J-10"));
+  EXPECT_NEAR(s_cw.duration_s, 0.5 * std::numbers::pi * 10.0 / 10.0, 1e-6);
+  EXPECT_NEAR(s_ccw.duration_s, 1.5 * std::numbers::pi * 10.0 / 10.0, 1e-6);
+}
+
+TEST(ArcMove, StepCountsMatchTravel) {
+  MachineSimulator machine;
+  const MotionSegment seg =
+      machine.apply(parse_gcode_line("G3 F1200 X20 Y0 I10 J0"));
+  EXPECT_NEAR(seg.step_rate[0] * seg.duration_s, seg.travel[0] * 80.0, 1e-3);
+  EXPECT_NEAR(seg.step_rate[1] * seg.duration_s, seg.travel[1] * 80.0, 1e-3);
+}
+
+TEST(ArcMove, Validation) {
+  MachineSimulator machine;
+  // Missing center offset.
+  EXPECT_THROW(machine.apply(parse_gcode_line("G2 X5 Y5")), ParseError);
+  // R-form unsupported.
+  EXPECT_THROW(machine.apply(parse_gcode_line("G2 X5 Y5 R5")), ParseError);
+  // Helical arcs unsupported.
+  EXPECT_THROW(machine.apply(parse_gcode_line("G2 X5 Y5 I5 J0 Z2")),
+               ParseError);
+  // Endpoint not on the circle.
+  EXPECT_THROW(machine.apply(parse_gcode_line("G2 X7 Y0 I5 J0")),
+               ParseError);
+  // Center on the start point.
+  EXPECT_THROW(machine.apply(parse_gcode_line("G2 X5 Y0 I0 J0")),
+               ParseError);
+  // Bad feedrate.
+  EXPECT_THROW(machine.apply(parse_gcode_line("G2 F0 X0 Y0 I5 J0")),
+               ParseError);
+}
+
+TEST(ArcMove, ExercisesBothMotorsForConditionEncoding) {
+  MachineSimulator machine;
+  const MotionSegment seg =
+      machine.apply(parse_gcode_line("G2 F600 X0 Y0 I5 J0"));
+  const auto moving = seg.moving_xyz_axes();
+  ASSERT_EQ(moving.size(), 2U);
+  EXPECT_EQ(moving[0], Axis::kX);
+  EXPECT_EQ(moving[1], Axis::kY);
+}
+
+TEST(MachineSimulator, ResetRestoresDefaults) {
+  MachineSimulator machine;
+  machine.apply(parse_gcode_line("G1 F3000 X5"));
+  machine.reset();
+  EXPECT_DOUBLE_EQ(machine.state().pos(Axis::kX), 0.0);
+  EXPECT_DOUBLE_EQ(machine.state().feedrate_mm_min, 1200.0);
+}
+
+TEST(MachineSimulator, RunProgramReturnsMotionSegmentsOnly) {
+  MachineSimulator machine;
+  const auto program = parse_gcode_program(
+      "G28\nM104 S200\nG1 F1200 X10\nG1 Y10\nG1 F900\n");
+  const auto segments = machine.run_program(program);
+  ASSERT_EQ(segments.size(), 2U);
+  EXPECT_TRUE(segments[0].moves(Axis::kX));
+  EXPECT_TRUE(segments[1].moves(Axis::kY));
+}
+
+TEST(MachineSimulator, MoveToCurrentPositionIsNoMotion) {
+  MachineSimulator machine;
+  machine.apply(parse_gcode_line("G1 F1200 X10"));
+  const MotionSegment seg = machine.apply(parse_gcode_line("G1 X10"));
+  EXPECT_FALSE(seg.is_motion());
+}
+
+TEST(AxisNames, AllNamed) {
+  EXPECT_STREQ(axis_name(Axis::kX), "X");
+  EXPECT_STREQ(axis_name(Axis::kY), "Y");
+  EXPECT_STREQ(axis_name(Axis::kZ), "Z");
+  EXPECT_STREQ(axis_name(Axis::kE), "E");
+}
+
+// Kinematic invariant across feedrates: step counts equal displacement *
+// steps_per_mm regardless of speed.
+class FeedrateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FeedrateSweep, StepCountIndependentOfFeedrate) {
+  MachineSimulator machine;
+  const double feed = GetParam();
+  const MotionSegment seg = machine.apply(
+      parse_gcode_line("G1 F" + std::to_string(feed) + " X12.5"));
+  const double steps = seg.step_rate[0] * seg.duration_s;
+  EXPECT_NEAR(steps, 12.5 * 80.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Feeds, FeedrateSweep,
+                         ::testing::Values(60.0, 300.0, 1200.0, 3000.0,
+                                           12000.0));
+
+}  // namespace
+}  // namespace gansec::am

@@ -1,0 +1,117 @@
+#include "gansec/am/printer_arch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gansec/cpps/graph.hpp"
+#include "gansec/error.hpp"
+
+namespace gansec::am {
+namespace {
+
+namespace pf = printer_flows;
+
+TEST(PrinterArchitecture, ComponentInventory) {
+  const cpps::Architecture arch = make_printer_architecture();
+  EXPECT_EQ(arch.name(), "fdm-3d-printer");
+  EXPECT_EQ(arch.components().size(), 13U);  // C1-C4 + P1-P9
+  EXPECT_EQ(arch.subsystems().size(), 3U);
+  // Paper labels exist.
+  for (const char* id : {"C1", "C2", "C3", "C4"}) {
+    EXPECT_EQ(arch.component(id).domain, cpps::Domain::kCyber) << id;
+  }
+  for (const char* id :
+       {"P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9"}) {
+    EXPECT_EQ(arch.component(id).domain, cpps::Domain::kPhysical) << id;
+  }
+}
+
+TEST(PrinterArchitecture, ExternalAndEnvironmentNodes) {
+  const cpps::Architecture arch = make_printer_architecture();
+  EXPECT_EQ(arch.component("C4").subsystem, "network");
+  EXPECT_EQ(arch.component("P9").subsystem, "environment");
+}
+
+TEST(PrinterArchitecture, GcodeFlowEntersFromC4) {
+  const cpps::Architecture arch = make_printer_architecture();
+  const cpps::Flow& gcode = arch.flow(pf::kGcodeIn);
+  EXPECT_EQ(gcode.tail, "C4");
+  EXPECT_EQ(gcode.head, "C1");
+  EXPECT_EQ(gcode.kind, cpps::FlowKind::kSignal);
+}
+
+TEST(PrinterArchitecture, MonitoredFlowsTargetEnvironment) {
+  const cpps::Architecture arch = make_printer_architecture();
+  const auto monitored = monitored_acoustic_flows();
+  EXPECT_EQ(monitored.size(), 5U);  // P2, P3, P4, P5, P8 -> P9
+  for (const std::string& fid : monitored) {
+    const cpps::Flow& flow = arch.flow(fid);
+    EXPECT_EQ(flow.head, "P9") << fid;
+    EXPECT_EQ(flow.kind, cpps::FlowKind::kEnergy) << fid;
+  }
+}
+
+TEST(PrinterArchitecture, FeedbackLoopRemoved) {
+  const cpps::CppsGraph graph(make_printer_architecture());
+  const auto& removed = graph.removed_feedback_flows();
+  ASSERT_EQ(removed.size(), 1U);
+  EXPECT_EQ(removed[0], pf::kStatusFeedback);
+  EXPECT_TRUE(graph.is_acyclic());
+}
+
+TEST(PrinterArchitecture, GcodeReachesEnvironment) {
+  // The cross-domain causal path of the case study: the G-code source must
+  // reach the environment node through the motors.
+  const cpps::CppsGraph graph(make_printer_architecture());
+  EXPECT_TRUE(graph.reachable("C4", "P9"));
+  EXPECT_TRUE(graph.reachable("C4", "P2"));
+  EXPECT_TRUE(graph.reachable("C4", "P4"));
+}
+
+TEST(PrinterArchitecture, HistoricalDataMatchesCaseStudy) {
+  const cpps::HistoricalData data = make_printer_historical_data();
+  for (const std::string& fid : monitored_acoustic_flows()) {
+    EXPECT_TRUE(data.covers(fid, pf::kGcodeIn)) << fid;
+    EXPECT_TRUE(data.covers(pf::kGcodeIn, fid)) << fid;
+  }
+  EXPECT_FALSE(data.covers(pf::kHeat, pf::kGcodeIn));
+}
+
+TEST(PrinterArchitecture, ChannelMapping) {
+  EXPECT_EQ(channel_for_printer_flow(pf::kAcousticX),
+            EmissionChannel::kMotorX);
+  EXPECT_EQ(channel_for_printer_flow(pf::kAcousticY),
+            EmissionChannel::kMotorY);
+  EXPECT_EQ(channel_for_printer_flow(pf::kAcousticZ),
+            EmissionChannel::kMotorZ);
+  EXPECT_EQ(channel_for_printer_flow(pf::kAcousticE),
+            EmissionChannel::kMotorE);
+  EXPECT_EQ(channel_for_printer_flow(pf::kFrameAcoustic),
+            EmissionChannel::kFrame);
+  EXPECT_THROW(channel_for_printer_flow(pf::kGcodeIn), ModelError);
+}
+
+TEST(PrinterArchitecture, Algorithm1SelectsAcousticPairs) {
+  const cpps::Architecture arch = make_printer_architecture();
+  const cpps::CppsGraph graph(arch);
+  const auto pairs = cpps::select_cross_domain_pairs(
+      arch,
+      cpps::generate_flow_pairs(graph, make_printer_historical_data()));
+  // Pr(acoustic | G-code): the (F1 upstream, F_acoustic downstream) pair
+  // must be selected for every monitored emission flow.
+  for (const std::string& fid : monitored_acoustic_flows()) {
+    const bool found = std::any_of(
+        pairs.begin(), pairs.end(), [&](const cpps::FlowPair& p) {
+          return p.first == pf::kGcodeIn && p.second == fid;
+        });
+    EXPECT_TRUE(found) << fid;
+  }
+  // All selected pairs are signal/energy crossings.
+  for (const cpps::FlowPair& p : pairs) {
+    EXPECT_NE(arch.flow(p.first).kind, arch.flow(p.second).kind);
+  }
+}
+
+}  // namespace
+}  // namespace gansec::am

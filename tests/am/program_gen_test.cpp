@@ -1,0 +1,93 @@
+#include "gansec/am/program_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gansec/am/encoder.hpp"
+#include "gansec/am/machine.hpp"
+#include "gansec/error.hpp"
+
+namespace gansec::am {
+namespace {
+
+TEST(CalibrationProgram, ConfigValidation) {
+  CalibrationProgramConfig config;
+  config.moves_per_axis = 0;
+  EXPECT_THROW(make_calibration_program(config), InvalidArgumentError);
+  config = CalibrationProgramConfig{};
+  config.min_distance_mm = 0.0;
+  EXPECT_THROW(make_calibration_program(config), InvalidArgumentError);
+  config = CalibrationProgramConfig{};
+  config.max_distance_mm = 1.0;
+  config.min_distance_mm = 2.0;
+  EXPECT_THROW(make_calibration_program(config), InvalidArgumentError);
+  config = CalibrationProgramConfig{};
+  config.feed_mm_s[1] = {0.0, 5.0};
+  EXPECT_THROW(make_calibration_program(config), InvalidArgumentError);
+}
+
+TEST(CalibrationProgram, ParsesCleanly) {
+  const std::string text = make_calibration_program();
+  EXPECT_NO_THROW(parse_gcode_program(text));
+}
+
+TEST(CalibrationProgram, EveryMotionMovesExactlyOneMotor) {
+  CalibrationProgramConfig config;
+  config.moves_per_axis = 6;
+  const std::string text = make_calibration_program(config);
+  MachineSimulator machine;
+  const auto segments = machine.run_program(parse_gcode_program(text));
+  // Skip the staging move (the first motion), which may use several axes.
+  const ConditionEncoder encoder;
+  std::array<std::size_t, 3> per_axis{0, 0, 0};
+  for (std::size_t i = 1; i < segments.size(); ++i) {
+    const auto moving = segments[i].moving_xyz_axes();
+    ASSERT_EQ(moving.size(), 1U) << segments[i].source;
+    ++per_axis[encoder.label(segments[i])];
+  }
+  // 6 out-and-back pairs per axis = 12 single-axis segments per axis.
+  EXPECT_EQ(per_axis[0], 12U);
+  EXPECT_EQ(per_axis[1], 12U);
+  EXPECT_EQ(per_axis[2], 12U);
+}
+
+TEST(CalibrationProgram, ReturnsToOrigin) {
+  CalibrationProgramConfig config;
+  config.moves_per_axis = 3;
+  MachineSimulator machine;
+  machine.run_program(parse_gcode_program(make_calibration_program(config)));
+  EXPECT_NEAR(machine.state().pos(Axis::kX), config.origin_mm[0], 1e-9);
+  EXPECT_NEAR(machine.state().pos(Axis::kY), config.origin_mm[1], 1e-9);
+  EXPECT_NEAR(machine.state().pos(Axis::kZ), config.origin_mm[2], 1e-9);
+}
+
+TEST(CalibrationProgram, FeedratesRespectConfiguredRanges) {
+  CalibrationProgramConfig config;
+  config.moves_per_axis = 8;
+  MachineSimulator machine;
+  const auto segments = machine.run_program(
+      parse_gcode_program(make_calibration_program(config)));
+  const ConditionEncoder encoder;
+  for (std::size_t i = 1; i < segments.size(); ++i) {
+    const std::size_t axis = encoder.label(segments[i]);
+    const auto& [lo, hi] = config.feed_mm_s[axis];
+    EXPECT_GE(segments[i].feedrate_mm_s, lo - 1e-9) << segments[i].source;
+    EXPECT_LE(segments[i].feedrate_mm_s, hi + 1e-9) << segments[i].source;
+  }
+}
+
+TEST(CalibrationProgram, DeterministicForSameSeed) {
+  EXPECT_EQ(make_calibration_program(), make_calibration_program());
+  CalibrationProgramConfig other;
+  other.seed = 99;
+  EXPECT_NE(make_calibration_program(), make_calibration_program(other));
+}
+
+TEST(CalibrationProgram, NoHomeWhenDisabled) {
+  CalibrationProgramConfig config;
+  config.home_first = false;
+  const std::string text = make_calibration_program(config);
+  EXPECT_EQ(text.find("G28"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gansec::am

@@ -1,0 +1,129 @@
+#include "gansec/am/segmenter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gansec/am/acoustic.hpp"
+#include "gansec/am/gcode.hpp"
+#include "gansec/am/machine.hpp"
+#include "gansec/error.hpp"
+
+namespace gansec::am {
+namespace {
+
+SegmenterConfig fast_config() {
+  SegmenterConfig config;
+  config.sample_rate = 16000.0;
+  return config;
+}
+
+/// Continuous recording of a program plus the true boundary positions.
+std::pair<std::vector<double>, std::vector<std::size_t>> record_program(
+    const std::string& gcode, std::uint64_t seed = 5) {
+  MachineSimulator machine;
+  AcousticSimulator microphone(AcousticConfig{}, seed);
+  std::vector<double> recording;
+  std::vector<std::size_t> boundaries;
+  for (const MotionSegment& seg :
+       machine.run_program(parse_gcode_program(gcode))) {
+    const auto chunk = microphone.synthesize_segment(seg);
+    if (!recording.empty()) boundaries.push_back(recording.size());
+    recording.insert(recording.end(), chunk.begin(), chunk.end());
+  }
+  return {std::move(recording), std::move(boundaries)};
+}
+
+TEST(MoveSegmenter, ConfigValidation) {
+  SegmenterConfig config = fast_config();
+  config.threshold_factor = 1.0;
+  EXPECT_THROW(MoveSegmenter{config}, InvalidArgumentError);
+  config = fast_config();
+  config.min_segment_s = 0.0;
+  EXPECT_THROW(MoveSegmenter{config}, InvalidArgumentError);
+}
+
+TEST(MoveSegmenter, EmptyWaveformThrows) {
+  const MoveSegmenter segmenter(fast_config());
+  EXPECT_THROW(segmenter.detect_boundaries({}), InvalidArgumentError);
+}
+
+TEST(MoveSegmenter, SteadySignalHasNoBoundaries) {
+  const auto [recording, truth] =
+      record_program("G1 F1200 X40\n");  // one long move
+  const MoveSegmenter segmenter(fast_config());
+  EXPECT_TRUE(segmenter.detect_boundaries(recording).empty());
+  const auto segments = segmenter.segment(recording);
+  ASSERT_EQ(segments.size(), 1U);
+  EXPECT_EQ(segments[0].begin, 0U);
+  EXPECT_EQ(segments[0].end, recording.size());
+}
+
+TEST(MoveSegmenter, FluxSpikesAtMotorChanges) {
+  const auto [recording, truth] = record_program(
+      "G1 F1500 X30\n"
+      "G1 F300 Z5\n");
+  ASSERT_EQ(truth.size(), 1U);
+  const MoveSegmenter segmenter(fast_config());
+  const auto flux = segmenter.spectral_flux(recording);
+  // The flux maximum should sit near the true boundary frame.
+  std::size_t peak = 1;
+  for (std::size_t f = 2; f < flux.size(); ++f) {
+    if (flux[f] > flux[peak]) peak = f;
+  }
+  const double peak_sample =
+      static_cast<double>(peak) * 256.0 + 512.0;
+  EXPECT_NEAR(peak_sample, static_cast<double>(truth[0]), 2048.0);
+}
+
+TEST(MoveSegmenter, RecoversBoundariesOfMultiMoveProgram) {
+  const auto [recording, truth] = record_program(
+      "G1 F1500 X30\n"
+      "G1 F1500 Y25\n"
+      "G1 F300 Z4\n"
+      "G1 F1500 X5\n");
+  ASSERT_EQ(truth.size(), 3U);
+  const MoveSegmenter segmenter(fast_config());
+  const auto detected = segmenter.detect_boundaries(recording);
+  ASSERT_EQ(detected.size(), truth.size());
+  const double tolerance = 16000.0 * 0.1;  // 100 ms
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(detected[i]),
+                static_cast<double>(truth[i]), tolerance)
+        << "boundary " << i;
+  }
+}
+
+TEST(MoveSegmenter, SegmentsTileTheRecording) {
+  const auto [recording, truth] = record_program(
+      "G1 F1500 X20\nG1 F300 Z3\nG1 F1500 Y20\n");
+  const MoveSegmenter segmenter(fast_config());
+  const auto segments = segmenter.segment(recording);
+  ASSERT_FALSE(segments.empty());
+  EXPECT_EQ(segments.front().begin, 0U);
+  EXPECT_EQ(segments.back().end, recording.size());
+  for (std::size_t i = 1; i < segments.size(); ++i) {
+    EXPECT_EQ(segments[i].begin, segments[i - 1].end);
+    EXPECT_GT(segments[i].length(), 0U);
+  }
+}
+
+// The detector must work across feedrates (step rates shift the spectra).
+class SegmenterFeedSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SegmenterFeedSweep, XtoYBoundaryFound) {
+  const double feed = GetParam();
+  std::string program = "G1 F" + std::to_string(feed) + " X25\n";
+  program += "G1 Y25\n";
+  const auto [recording, truth] = record_program(program, 11);
+  ASSERT_EQ(truth.size(), 1U);
+  const MoveSegmenter segmenter(fast_config());
+  const auto detected = segmenter.detect_boundaries(recording);
+  ASSERT_EQ(detected.size(), 1U);
+  EXPECT_NEAR(static_cast<double>(detected[0]),
+              static_cast<double>(truth[0]), 16000.0 * 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Feeds, SegmenterFeedSweep,
+                         ::testing::Values(900.0, 1200.0, 1800.0));
+
+}  // namespace
+}  // namespace gansec::am

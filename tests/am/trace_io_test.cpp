@@ -1,0 +1,116 @@
+#include "gansec/am/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "gansec/error.hpp"
+
+namespace gansec::am {
+namespace {
+
+LabeledDataset tiny_dataset() {
+  LabeledDataset data;
+  data.features = math::Matrix::from_rows(
+      {{0.1F, 0.2F, 0.3F}, {0.4F, 0.5F, 0.6F}, {0.7F, 0.8F, 0.9F}});
+  data.conditions = math::Matrix::from_rows(
+      {{1.0F, 0.0F}, {0.0F, 1.0F}, {1.0F, 0.0F}});
+  data.labels = {0, 1, 0};
+  return data;
+}
+
+TEST(TraceIo, DatasetRoundTrip) {
+  const LabeledDataset data = tiny_dataset();
+  std::stringstream ss;
+  save_dataset_csv(data, ss);
+  const LabeledDataset loaded = load_dataset_csv(ss);
+  EXPECT_EQ(loaded.labels, data.labels);
+  EXPECT_EQ(loaded.conditions, data.conditions);
+  ASSERT_EQ(loaded.features.rows(), data.features.rows());
+  for (std::size_t i = 0; i < data.features.size(); ++i) {
+    EXPECT_NEAR(loaded.features.data()[i], data.features.data()[i], 1e-5F);
+  }
+}
+
+TEST(TraceIo, CsvHeaderFormat) {
+  std::stringstream ss;
+  save_dataset_csv(tiny_dataset(), ss);
+  std::string header;
+  std::getline(ss, header);
+  EXPECT_EQ(header, "label,cond_0,cond_1,feat_0,feat_1,feat_2");
+}
+
+TEST(TraceIo, EmptyStreamThrows) {
+  std::stringstream ss;
+  EXPECT_THROW(load_dataset_csv(ss), IoError);
+}
+
+TEST(TraceIo, BadHeaderThrows) {
+  std::stringstream ss("id,cond_0,feat_0\n");
+  EXPECT_THROW(load_dataset_csv(ss), ParseError);
+  std::stringstream ss2("label,weird_0,feat_0\n");
+  EXPECT_THROW(load_dataset_csv(ss2), ParseError);
+  std::stringstream ss3("label,cond_0\n");  // no features
+  EXPECT_THROW(load_dataset_csv(ss3), ParseError);
+}
+
+TEST(TraceIo, ShortRowThrows) {
+  std::stringstream ss("label,cond_0,feat_0\n0,1\n");
+  EXPECT_THROW(load_dataset_csv(ss), ParseError);
+}
+
+TEST(TraceIo, ExtraCellsThrow) {
+  std::stringstream ss("label,cond_0,feat_0\n0,1,0.5,9\n");
+  EXPECT_THROW(load_dataset_csv(ss), ParseError);
+}
+
+TEST(TraceIo, BadValuesThrow) {
+  std::stringstream ss("label,cond_0,feat_0\nxx,1,0.5\n");
+  EXPECT_THROW(load_dataset_csv(ss), ParseError);
+  std::stringstream ss2("label,cond_0,feat_0\n0,yy,0.5\n");
+  EXPECT_THROW(load_dataset_csv(ss2), ParseError);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/gansec_dataset.csv";
+  save_dataset_csv_file(tiny_dataset(), path);
+  const LabeledDataset loaded = load_dataset_csv_file(path);
+  EXPECT_EQ(loaded.size(), 3U);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_dataset_csv_file("/nonexistent/x.csv"), IoError);
+  EXPECT_THROW(save_dataset_csv_file(tiny_dataset(), "/nonexistent/x.csv"),
+               IoError);
+}
+
+TEST(TraceIo, WaveformRoundTrip) {
+  const std::vector<double> wave{0.1, -0.2, 0.333333, 1e-9};
+  std::stringstream ss;
+  save_waveform(wave, 16000.0, ss);
+  const auto [loaded, rate] = load_waveform(ss);
+  EXPECT_DOUBLE_EQ(rate, 16000.0);
+  ASSERT_EQ(loaded.size(), wave.size());
+  for (std::size_t i = 0; i < wave.size(); ++i) {
+    EXPECT_NEAR(loaded[i], wave[i], 1e-12);
+  }
+}
+
+TEST(TraceIo, WaveformValidation) {
+  std::stringstream ss;
+  EXPECT_THROW(save_waveform({1.0}, 0.0, ss), InvalidArgumentError);
+  std::stringstream bad("wrong 1 16000 2\n0.1\n0.2\n");
+  EXPECT_THROW(load_waveform(bad), ParseError);
+  std::stringstream truncated("gansec-wave 1 16000 5\n0.1\n");
+  EXPECT_THROW(load_waveform(truncated), IoError);
+}
+
+TEST(TraceIo, EmptyWaveformRoundTrip) {
+  std::stringstream ss;
+  save_waveform({}, 8000.0, ss);
+  const auto [loaded, rate] = load_waveform(ss);
+  EXPECT_TRUE(loaded.empty());
+  EXPECT_DOUBLE_EQ(rate, 8000.0);
+}
+
+}  // namespace
+}  // namespace gansec::am

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "gansec/baseline/kde_classifier.hpp"
+#include "gansec/baseline/mlp_classifier.hpp"
+#include "gansec/error.hpp"
+#include "gansec/math/rng.hpp"
+
+namespace gansec::baseline {
+namespace {
+
+using math::Matrix;
+using math::Rng;
+
+/// Synthetic two-feature, three-class dataset with well-separated means.
+am::LabeledDataset make_blobs(std::size_t per_class, double spread,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t n = per_class * 3;
+  am::LabeledDataset data;
+  data.features = Matrix(n, 2);
+  data.conditions = Matrix(n, 3, 0.0F);
+  data.labels.resize(n);
+  const float centers[3][2] = {{0.2F, 0.2F}, {0.8F, 0.2F}, {0.5F, 0.8F}};
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t cls = i % 3;
+    data.features(i, 0) = centers[cls][0] +
+                          static_cast<float>(rng.normal(0.0, spread));
+    data.features(i, 1) = centers[cls][1] +
+                          static_cast<float>(rng.normal(0.0, spread));
+    data.conditions(i, cls) = 1.0F;
+    data.labels[i] = cls;
+  }
+  return data;
+}
+
+TEST(MlpClassifier, ConfigValidation) {
+  EXPECT_THROW(MlpClassifier(0, 3), InvalidArgumentError);
+  EXPECT_THROW(MlpClassifier(2, 1), InvalidArgumentError);
+  MlpClassifierConfig config;
+  config.hidden.clear();
+  EXPECT_THROW(MlpClassifier(2, 3, config), InvalidArgumentError);
+  config = MlpClassifierConfig{};
+  config.epochs = 0;
+  EXPECT_THROW(MlpClassifier(2, 3, config), InvalidArgumentError);
+}
+
+TEST(MlpClassifier, RejectsMismatchedDataset) {
+  MlpClassifier classifier(2, 3);
+  am::LabeledDataset wrong = make_blobs(5, 0.05, 1);
+  wrong.features = Matrix::hstack(wrong.features, wrong.features);
+  EXPECT_THROW(classifier.train(wrong), DimensionError);
+}
+
+TEST(MlpClassifier, LearnsSeparableBlobs) {
+  const am::LabeledDataset train = make_blobs(40, 0.05, 2);
+  const am::LabeledDataset test = make_blobs(20, 0.05, 3);
+  MlpClassifierConfig config;
+  config.epochs = 120;
+  MlpClassifier classifier(2, 3, config, 7);
+  const auto losses = classifier.train(train);
+  EXPECT_EQ(losses.size(), 120U);
+  EXPECT_LT(losses.back(), losses.front());
+  EXPECT_GT(classifier.evaluate(test), 0.9);
+}
+
+TEST(MlpClassifier, PredictShapesAndProbabilities) {
+  const am::LabeledDataset train = make_blobs(20, 0.05, 4);
+  MlpClassifier classifier(2, 3, MlpClassifierConfig{}, 5);
+  classifier.train(train);
+  const Matrix probs = classifier.predict_proba(train.features);
+  EXPECT_EQ(probs.rows(), train.size());
+  EXPECT_EQ(probs.cols(), 3U);
+  for (std::size_t r = 0; r < probs.rows(); ++r) {
+    float sum = 0.0F;
+    for (std::size_t c = 0; c < 3; ++c) sum += probs(r, c);
+    EXPECT_NEAR(sum, 1.0F, 1e-5F);
+  }
+  EXPECT_THROW(classifier.predict(Matrix(1, 5)), DimensionError);
+}
+
+TEST(KdeClassifier, Validation) {
+  am::LabeledDataset empty;
+  empty.features = Matrix(0, 2);
+  empty.conditions = Matrix(0, 3);
+  EXPECT_THROW(KdeClassifier(empty, 0.1), InvalidArgumentError);
+  const am::LabeledDataset train = make_blobs(10, 0.05, 6);
+  EXPECT_THROW(KdeClassifier(train, 0.0), InvalidArgumentError);
+}
+
+TEST(KdeClassifier, MissingClassThrows) {
+  am::LabeledDataset data = make_blobs(10, 0.05, 7);
+  // Relabel everything to class 0 only; classes 1/2 end up empty but the
+  // condition matrix still declares three classes.
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data.conditions.set_row(i, Matrix::from_rows({{1.0F, 0.0F, 0.0F}}));
+    data.labels[i] = 0;
+  }
+  EXPECT_THROW(KdeClassifier(data, 0.1), InvalidArgumentError);
+}
+
+TEST(KdeClassifier, ClassifiesSeparableBlobs) {
+  const am::LabeledDataset train = make_blobs(40, 0.05, 8);
+  const am::LabeledDataset test = make_blobs(20, 0.05, 9);
+  const KdeClassifier classifier(train, 0.1);
+  EXPECT_EQ(classifier.classes(), 3U);
+  EXPECT_EQ(classifier.feature_dim(), 2U);
+  EXPECT_GT(classifier.evaluate(test), 0.95);
+}
+
+TEST(KdeClassifier, LogLikelihoodPrefersOwnClass) {
+  const am::LabeledDataset train = make_blobs(30, 0.05, 10);
+  const KdeClassifier classifier(train, 0.1);
+  // A probe at class 0's center.
+  const Matrix probe = Matrix::from_rows({{0.2F, 0.2F}});
+  const double ll0 = classifier.log_likelihood(probe, 0, 0);
+  const double ll1 = classifier.log_likelihood(probe, 0, 1);
+  const double ll2 = classifier.log_likelihood(probe, 0, 2);
+  EXPECT_GT(ll0, ll1);
+  EXPECT_GT(ll0, ll2);
+  EXPECT_THROW(classifier.log_likelihood(probe, 0, 5),
+               InvalidArgumentError);
+  EXPECT_THROW(classifier.log_likelihood(probe, 2, 0), DimensionError);
+}
+
+TEST(Classifiers, BothDegradeWithOverlap) {
+  const am::LabeledDataset train_easy = make_blobs(40, 0.03, 11);
+  const am::LabeledDataset test_easy = make_blobs(20, 0.03, 12);
+  const am::LabeledDataset train_hard = make_blobs(40, 0.4, 13);
+  const am::LabeledDataset test_hard = make_blobs(20, 0.4, 14);
+
+  const KdeClassifier kde_easy(train_easy, 0.1);
+  const KdeClassifier kde_hard(train_hard, 0.1);
+  EXPECT_GT(kde_easy.evaluate(test_easy), kde_hard.evaluate(test_hard));
+
+  MlpClassifierConfig config;
+  config.epochs = 80;
+  MlpClassifier mlp_easy(2, 3, config, 15);
+  mlp_easy.train(train_easy);
+  MlpClassifier mlp_hard(2, 3, config, 15);
+  mlp_hard.train(train_hard);
+  EXPECT_GT(mlp_easy.evaluate(test_easy), mlp_hard.evaluate(test_hard));
+}
+
+}  // namespace
+}  // namespace gansec::baseline

@@ -1,0 +1,75 @@
+#include "gansec/core/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gansec/error.hpp"
+
+namespace gansec::core {
+namespace {
+
+const std::set<std::string> kFlags = {"alpha", "count", "rate"};
+
+Args parse(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv(tokens);
+  return Args(static_cast<int>(argv.size()), argv.data(), kFlags);
+}
+
+TEST(Args, EmptyIsEmpty) {
+  const Args args = parse({});
+  EXPECT_TRUE(args.positional().empty());
+  EXPECT_FALSE(args.has("alpha"));
+  EXPECT_EQ(args.get("alpha", "dflt"), "dflt");
+}
+
+TEST(Args, SpaceSeparatedValue) {
+  const Args args = parse({"--alpha", "hello"});
+  EXPECT_TRUE(args.has("alpha"));
+  EXPECT_EQ(args.get("alpha", ""), "hello");
+}
+
+TEST(Args, EqualsSeparatedValue) {
+  const Args args = parse({"--alpha=world"});
+  EXPECT_EQ(args.get("alpha", ""), "world");
+}
+
+TEST(Args, Positionals) {
+  const Args args = parse({"first", "--alpha", "x", "second"});
+  EXPECT_EQ(args.positional(),
+            (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(Args, UnknownFlagThrows) {
+  EXPECT_THROW(parse({"--bogus", "1"}), InvalidArgumentError);
+}
+
+TEST(Args, MissingValueThrows) {
+  EXPECT_THROW(parse({"--alpha"}), InvalidArgumentError);
+}
+
+TEST(Args, IntParsing) {
+  const Args args = parse({"--count", "42"});
+  EXPECT_EQ(args.get_int("count", 0), 42);
+  EXPECT_EQ(args.get_int("rate", 7), 7);
+  EXPECT_THROW(parse({"--count", "4x"}).get_int("count", 0),
+               InvalidArgumentError);
+}
+
+TEST(Args, NegativeInt) {
+  EXPECT_EQ(parse({"--count=-3"}).get_int("count", 0), -3);
+}
+
+TEST(Args, DoubleParsing) {
+  const Args args = parse({"--rate", "0.25"});
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0.0), 0.25);
+  EXPECT_DOUBLE_EQ(args.get_double("count", 1.5), 1.5);
+  EXPECT_THROW(parse({"--rate", "abc"}).get_double("rate", 0.0),
+               InvalidArgumentError);
+}
+
+TEST(Args, LastValueWins) {
+  const Args args = parse({"--alpha", "a", "--alpha", "b"});
+  EXPECT_EQ(args.get("alpha", ""), "b");
+}
+
+}  // namespace
+}  // namespace gansec::core

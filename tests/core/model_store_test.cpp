@@ -1,0 +1,122 @@
+#include "gansec/core/model_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "gansec/error.hpp"
+
+namespace gansec::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+gan::CganTopology tiny_topology() {
+  gan::CganTopology t;
+  t.data_dim = 4;
+  t.cond_dim = 2;
+  t.noise_dim = 3;
+  t.generator_hidden = {8};
+  t.discriminator_hidden = {8};
+  return t;
+}
+
+class ModelStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) / "gansec_model_store_test";
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  fs::path dir_;
+};
+
+TEST_F(ModelStoreTest, EmptyPathThrows) {
+  EXPECT_THROW(ModelStore{fs::path{}}, InvalidArgumentError);
+}
+
+TEST_F(ModelStoreTest, CreatesDirectory) {
+  ModelStore store(dir_);
+  EXPECT_TRUE(fs::exists(dir_));
+}
+
+TEST_F(ModelStoreTest, KeyEncoding) {
+  EXPECT_EQ(ModelStore::key_for({"F1", "F16"}), "F1__F16");
+  EXPECT_EQ(ModelStore::key_for({"a/b", "c d"}), "a-b__c-d");
+  EXPECT_THROW(ModelStore::key_for({"", "F1"}), InvalidArgumentError);
+}
+
+TEST_F(ModelStoreTest, EmptyStoreLists) {
+  ModelStore store(dir_);
+  EXPECT_TRUE(store.list().empty());
+  EXPECT_FALSE(store.contains({"F1", "F16"}));
+}
+
+TEST_F(ModelStoreTest, SaveLoadRoundTrip) {
+  ModelStore store(dir_);
+  gan::Cgan model(tiny_topology(), 3);
+  const cpps::FlowPair pair{"F1", "F16"};
+  store.save(pair, model);
+  EXPECT_TRUE(store.contains(pair));
+  gan::Cgan loaded = store.load(pair);
+  math::Rng rng_a(1);
+  math::Rng rng_b(1);
+  math::Matrix cond(1, 2, 0.0F);
+  cond(0, 0) = 1.0F;
+  EXPECT_EQ(model.generate_for_condition(cond, 3, rng_a),
+            loaded.generate_for_condition(cond, 3, rng_b));
+}
+
+TEST_F(ModelStoreTest, ManifestTracksPairs) {
+  ModelStore store(dir_);
+  gan::Cgan model(tiny_topology(), 3);
+  store.save({"F1", "F16"}, model);
+  store.save({"F1", "F17"}, model);
+  store.save({"F1", "F16"}, model);  // duplicate: no double entry
+  const auto pairs = store.list();
+  ASSERT_EQ(pairs.size(), 2U);
+  EXPECT_EQ(pairs[0], (cpps::FlowPair{"F1", "F16"}));
+  EXPECT_EQ(pairs[1], (cpps::FlowPair{"F1", "F17"}));
+}
+
+TEST_F(ModelStoreTest, ManifestSurvivesReopen) {
+  {
+    ModelStore store(dir_);
+    gan::Cgan model(tiny_topology(), 3);
+    store.save({"F1", "F20"}, model);
+  }
+  ModelStore reopened(dir_);
+  ASSERT_EQ(reopened.list().size(), 1U);
+  EXPECT_TRUE(reopened.contains({"F1", "F20"}));
+  EXPECT_NO_THROW(reopened.load({"F1", "F20"}));
+}
+
+TEST_F(ModelStoreTest, LoadMissingThrows) {
+  ModelStore store(dir_);
+  EXPECT_THROW(store.load({"F1", "F16"}), IoError);
+}
+
+TEST_F(ModelStoreTest, RemoveDeletesModelAndManifestEntry) {
+  ModelStore store(dir_);
+  gan::Cgan model(tiny_topology(), 3);
+  store.save({"F1", "F16"}, model);
+  store.save({"F1", "F17"}, model);
+  store.remove({"F1", "F16"});
+  EXPECT_FALSE(store.contains({"F1", "F16"}));
+  EXPECT_TRUE(store.contains({"F1", "F17"}));
+  EXPECT_EQ(store.list().size(), 1U);
+  EXPECT_NO_THROW(store.remove({"F1", "F16"}));  // idempotent
+}
+
+TEST_F(ModelStoreTest, CorruptManifestThrows) {
+  ModelStore store(dir_);
+  {
+    std::ofstream os(dir_ / "manifest.txt");
+    os << "garbage 9\n";
+  }
+  EXPECT_THROW(store.list(), ParseError);
+}
+
+}  // namespace
+}  // namespace gansec::core

@@ -1,0 +1,111 @@
+#include "gansec/core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gansec/error.hpp"
+
+namespace gansec::core {
+namespace {
+
+PipelineConfig fast_config() {
+  PipelineConfig config;
+  config.dataset.samples_per_condition = 20;
+  config.dataset.window_s = 0.15;
+  config.dataset.bins = 20;
+  config.dataset.f_max = 4000.0;
+  config.dataset.acoustic.sample_rate = 12000.0;
+  config.train.iterations = 200;
+  config.train.batch_size = 16;
+  config.generator_hidden = {32};
+  config.discriminator_hidden = {32};
+  return config;
+}
+
+TEST(PipelineConfig, Validation) {
+  PipelineConfig config = fast_config();
+  config.train_fraction = 0.0;
+  EXPECT_THROW(GanSecPipeline{config}, InvalidArgumentError);
+  config.train_fraction = 1.0;
+  EXPECT_THROW(GanSecPipeline{config}, InvalidArgumentError);
+}
+
+TEST(GanSecPipeline, TopologyDerivedFromConfig) {
+  GanSecPipeline pipeline(fast_config());
+  const gan::CganTopology topo = pipeline.topology();
+  EXPECT_EQ(topo.data_dim, 20U);
+  EXPECT_EQ(topo.cond_dim, 3U);
+  EXPECT_EQ(topo.generator_hidden, (std::vector<std::size_t>{32}));
+}
+
+TEST(GanSecPipeline, RunProducesCompleteResult) {
+  GanSecPipeline pipeline(fast_config());
+  const PipelineResult result = pipeline.run();
+
+  // Step 1: architecture + Algorithm 1.
+  EXPECT_EQ(result.architecture.name(), "fdm-3d-printer");
+  EXPECT_EQ(result.removed_feedback_flows,
+            (std::vector<std::string>{"F22"}));
+  EXPECT_FALSE(result.flow_pairs.empty());
+
+  // Step 2: dataset split 70/30 of 60 samples.
+  EXPECT_EQ(result.train_set.size(), 42U);
+  EXPECT_EQ(result.test_set.size(), 18U);
+
+  // Step 3: training history.
+  EXPECT_EQ(result.history.size(), 200U);
+
+  // Step 4: analyses cover all three conditions.
+  EXPECT_EQ(result.likelihood.condition_count(), 3U);
+  EXPECT_EQ(result.confidentiality.condition_count, 3U);
+}
+
+TEST(GanSecPipeline, BuilderScalerFittedAfterRun) {
+  GanSecPipeline pipeline(fast_config());
+  EXPECT_THROW(pipeline.builder().scaler(), InvalidArgumentError);
+  pipeline.run();
+  EXPECT_NO_THROW(pipeline.builder().scaler());
+}
+
+TEST(GanSecPipeline, DeterministicForSameConfig) {
+  GanSecPipeline a(fast_config());
+  GanSecPipeline b(fast_config());
+  const PipelineResult ra = a.run();
+  const PipelineResult rb = b.run();
+  EXPECT_EQ(ra.train_set.features, rb.train_set.features);
+  ASSERT_EQ(ra.history.size(), rb.history.size());
+  EXPECT_DOUBLE_EQ(ra.history.back().g_loss, rb.history.back().g_loss);
+  EXPECT_DOUBLE_EQ(ra.confidentiality.attacker_accuracy,
+                   rb.confidentiality.attacker_accuracy);
+}
+
+TEST(GanSecPipeline, CombinationSchemeRuns) {
+  PipelineConfig config = fast_config();
+  config.dataset.scheme = am::ConditionScheme::kCombinationXyz;
+  config.dataset.samples_per_condition = 8;
+  GanSecPipeline pipeline(config);
+  EXPECT_EQ(pipeline.topology().cond_dim, 8U);
+  const PipelineResult result = pipeline.run();
+  EXPECT_EQ(result.likelihood.condition_count(), 8U);
+  EXPECT_EQ(result.confidentiality.condition_count, 8U);
+}
+
+TEST(GanSecPipeline, StftFeatureMethodRuns) {
+  PipelineConfig config = fast_config();
+  config.dataset.feature_method = am::FeatureMethod::kStft;
+  config.dataset.stft_frame_length = 512;
+  GanSecPipeline pipeline(config);
+  const PipelineResult result = pipeline.run();
+  EXPECT_EQ(result.likelihood.condition_count(), 3U);
+}
+
+TEST(GanSecPipeline, FlowPairsAreCrossDomain) {
+  GanSecPipeline pipeline(fast_config());
+  const PipelineResult result = pipeline.run();
+  for (const cpps::FlowPair& pair : result.flow_pairs) {
+    EXPECT_NE(result.architecture.flow(pair.first).kind,
+              result.architecture.flow(pair.second).kind);
+  }
+}
+
+}  // namespace
+}  // namespace gansec::core

@@ -1,0 +1,152 @@
+#include "gansec/cpps/algorithm1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gansec/error.hpp"
+#include "gansec/math/rng.hpp"
+
+namespace gansec::cpps {
+namespace {
+
+bool contains(const std::vector<FlowPair>& pairs, const std::string& a,
+              const std::string& b) {
+  return std::find(pairs.begin(), pairs.end(), FlowPair{a, b}) != pairs.end();
+}
+
+/// A -> B -> C, with a disconnected D -> E edge.
+Architecture two_islands() {
+  Architecture arch("islands");
+  arch.add_subsystem("s");
+  for (const char* id : {"A", "B", "C", "D", "E"}) {
+    arch.add_component({id, "n", Domain::kCyber, "s"});
+  }
+  arch.add_flow({"F1", "ab", FlowKind::kSignal, "A", "B"});
+  arch.add_flow({"F2", "bc", FlowKind::kEnergy, "B", "C"});
+  arch.add_flow({"F3", "de", FlowKind::kSignal, "D", "E"});
+  return arch;
+}
+
+TEST(HistoricalData, PairAndFlowCoverage) {
+  HistoricalData data;
+  EXPECT_FALSE(data.covers("F1", "F2"));
+  data.add_pair("F1", "F2");
+  EXPECT_TRUE(data.covers("F1", "F2"));
+  EXPECT_FALSE(data.covers("F2", "F1"));  // ordered
+  data.add_flow("F3");
+  data.add_flow("F4");
+  EXPECT_TRUE(data.covers("F3", "F4"));
+  EXPECT_TRUE(data.covers("F4", "F3"));
+  EXPECT_FALSE(data.covers("F3", "F5"));
+  EXPECT_THROW(data.add_pair("", "F1"), InvalidArgumentError);
+  EXPECT_THROW(data.add_flow(""), InvalidArgumentError);
+}
+
+TEST(Algorithm1, CandidatePairsRespectReachability) {
+  const Architecture arch = two_islands();
+  const CppsGraph graph(arch);
+  const auto pairs = enumerate_candidate_pairs(graph);
+  // (F1, F2): head of F2 = C reachable from tail of F1 = A. Yes.
+  EXPECT_TRUE(contains(pairs, "F1", "F2"));
+  // (F2, F1): head of F1 = B reachable from tail of F2 = B (trivial). Yes.
+  EXPECT_TRUE(contains(pairs, "F2", "F1"));
+  // Flows in different islands can never pair.
+  EXPECT_FALSE(contains(pairs, "F1", "F3"));
+  EXPECT_FALSE(contains(pairs, "F3", "F1"));
+  EXPECT_FALSE(contains(pairs, "F2", "F3"));
+}
+
+TEST(Algorithm1, NoSelfPairs) {
+  const CppsGraph graph(two_islands());
+  for (const FlowPair& p : enumerate_candidate_pairs(graph)) {
+    EXPECT_NE(p.first, p.second);
+  }
+}
+
+TEST(Algorithm1, DataPruning) {
+  const Architecture arch = two_islands();
+  const CppsGraph graph(arch);
+  HistoricalData data;
+  data.add_flow("F1");
+  data.add_flow("F2");
+  const auto pairs = generate_flow_pairs(graph, data);
+  EXPECT_TRUE(contains(pairs, "F1", "F2"));
+  EXPECT_TRUE(contains(pairs, "F2", "F1"));
+  // F3 has no data, so no pair involving it survives.
+  for (const FlowPair& p : pairs) {
+    EXPECT_NE(p.first, "F3");
+    EXPECT_NE(p.second, "F3");
+  }
+}
+
+TEST(Algorithm1, EmptyDataPrunesEverything) {
+  const CppsGraph graph(two_islands());
+  const HistoricalData data;
+  EXPECT_TRUE(generate_flow_pairs(graph, data).empty());
+}
+
+TEST(Algorithm1, CrossDomainSelection) {
+  const Architecture arch = two_islands();
+  const CppsGraph graph(arch);
+  HistoricalData data;
+  for (const char* f : {"F1", "F2", "F3"}) data.add_flow(f);
+  const auto all = generate_flow_pairs(graph, data);
+  const auto cross = select_cross_domain_pairs(arch, all);
+  // F1 signal, F2 energy: (F1,F2) and (F2,F1) are cross-domain pairs.
+  EXPECT_TRUE(contains(cross, "F1", "F2"));
+  EXPECT_TRUE(contains(cross, "F2", "F1"));
+  for (const FlowPair& p : cross) {
+    EXPECT_NE(arch.flow(p.first).kind, arch.flow(p.second).kind);
+  }
+}
+
+TEST(Algorithm1, RemovedFeedbackFlowsDoNotPair) {
+  Architecture arch("loop");
+  arch.add_subsystem("s");
+  arch.add_component({"A", "a", Domain::kCyber, "s"});
+  arch.add_component({"B", "b", Domain::kCyber, "s"});
+  arch.add_flow({"F1", "ab", FlowKind::kSignal, "A", "B"});
+  arch.add_flow({"F2", "ba", FlowKind::kSignal, "B", "A"});  // removed
+  const CppsGraph graph(arch);
+  const auto pairs = enumerate_candidate_pairs(graph);
+  for (const FlowPair& p : pairs) {
+    EXPECT_NE(p.first, "F2");
+    EXPECT_NE(p.second, "F2");
+  }
+}
+
+// Property over random DAG-ish graphs: every surviving pair satisfies the
+// reachability invariant from Algorithm 1 line 13.
+class Algorithm1Property : public ::testing::TestWithParam<int> {};
+
+TEST_P(Algorithm1Property, PairsSatisfyReachability) {
+  math::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919ULL + 3);
+  Architecture arch("rand");
+  arch.add_subsystem("s");
+  const std::size_t n = 5 + static_cast<std::size_t>(rng.randint(0, 5));
+  for (std::size_t i = 0; i < n; ++i) {
+    arch.add_component({"N" + std::to_string(i), "n", Domain::kCyber, "s"});
+  }
+  std::size_t fid = 0;
+  for (std::size_t e = 0; e < 2 * n; ++e) {
+    const auto u = static_cast<std::size_t>(
+        rng.randint(0, static_cast<std::int64_t>(n - 1)));
+    const auto v = static_cast<std::size_t>(
+        rng.randint(0, static_cast<std::int64_t>(n - 1)));
+    if (u == v) continue;
+    arch.add_flow({"F" + std::to_string(fid++), "e", FlowKind::kSignal,
+                   "N" + std::to_string(u), "N" + std::to_string(v)});
+  }
+  const CppsGraph graph(arch);
+  for (const FlowPair& p : enumerate_candidate_pairs(graph)) {
+    const Flow& first = arch.flow(p.first);
+    const Flow& second = arch.flow(p.second);
+    EXPECT_TRUE(graph.reachable(first.tail, second.head));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Algorithm1Property, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace gansec::cpps

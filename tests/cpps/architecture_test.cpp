@@ -1,0 +1,108 @@
+#include "gansec/cpps/architecture.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gansec/error.hpp"
+
+namespace gansec::cpps {
+namespace {
+
+Architecture tiny() {
+  Architecture arch("tiny");
+  arch.add_subsystem("s1");
+  arch.add_component({"C1", "controller", Domain::kCyber, "s1"});
+  arch.add_component({"P1", "motor", Domain::kPhysical, "s1"});
+  arch.add_flow({"F1", "drive", FlowKind::kEnergy, "C1", "P1"});
+  return arch;
+}
+
+TEST(Architecture, Name) {
+  EXPECT_EQ(tiny().name(), "tiny");
+}
+
+TEST(Architecture, DuplicateSubsystemThrows) {
+  Architecture arch;
+  arch.add_subsystem("s1");
+  EXPECT_THROW(arch.add_subsystem("s1"), ModelError);
+  EXPECT_THROW(arch.add_subsystem(""), ModelError);
+}
+
+TEST(Architecture, ComponentValidation) {
+  Architecture arch;
+  arch.add_subsystem("s1");
+  EXPECT_THROW(arch.add_component({"", "x", Domain::kCyber, "s1"}),
+               ModelError);
+  arch.add_component({"C1", "x", Domain::kCyber, "s1"});
+  EXPECT_THROW(arch.add_component({"C1", "dup", Domain::kCyber, "s1"}),
+               ModelError);
+  EXPECT_THROW(arch.add_component({"C2", "x", Domain::kCyber, "nope"}),
+               ModelError);
+}
+
+TEST(Architecture, FlowValidation) {
+  Architecture arch = tiny();
+  EXPECT_THROW(arch.add_flow({"", "x", FlowKind::kSignal, "C1", "P1"}),
+               ModelError);
+  EXPECT_THROW(arch.add_flow({"F1", "dup", FlowKind::kSignal, "C1", "P1"}),
+               ModelError);
+  EXPECT_THROW(arch.add_flow({"F2", "x", FlowKind::kSignal, "C9", "P1"}),
+               ModelError);
+  EXPECT_THROW(arch.add_flow({"F2", "x", FlowKind::kSignal, "C1", "P9"}),
+               ModelError);
+  EXPECT_THROW(arch.add_flow({"F2", "self", FlowKind::kSignal, "C1", "C1"}),
+               ModelError);
+}
+
+TEST(Architecture, Lookup) {
+  const Architecture arch = tiny();
+  EXPECT_TRUE(arch.has_component("C1"));
+  EXPECT_FALSE(arch.has_component("C9"));
+  EXPECT_TRUE(arch.has_flow("F1"));
+  EXPECT_FALSE(arch.has_flow("F9"));
+  EXPECT_EQ(arch.component("P1").name, "motor");
+  EXPECT_EQ(arch.flow("F1").kind, FlowKind::kEnergy);
+  EXPECT_THROW(arch.component("zzz"), ModelError);
+  EXPECT_THROW(arch.flow("zzz"), ModelError);
+}
+
+TEST(Architecture, ComponentsInSubsystem) {
+  Architecture arch = tiny();
+  arch.add_subsystem("s2");
+  arch.add_component({"C2", "other", Domain::kCyber, "s2"});
+  const auto in_s1 = arch.components_in("s1");
+  EXPECT_EQ(in_s1.size(), 2U);
+  const auto in_s2 = arch.components_in("s2");
+  ASSERT_EQ(in_s2.size(), 1U);
+  EXPECT_EQ(in_s2[0].id, "C2");
+}
+
+TEST(Architecture, FlowsTouching) {
+  Architecture arch = tiny();
+  arch.add_flow({"F2", "status", FlowKind::kSignal, "P1", "C1"});
+  EXPECT_EQ(arch.flows_touching("C1").size(), 2U);
+  EXPECT_EQ(arch.flows_touching("P1").size(), 2U);
+  EXPECT_TRUE(arch.flows_touching("nonexistent").empty());
+}
+
+TEST(Architecture, CrossDomainFlows) {
+  Architecture arch("x");
+  arch.add_subsystem("s");
+  arch.add_component({"C1", "a", Domain::kCyber, "s"});
+  arch.add_component({"C2", "b", Domain::kCyber, "s"});
+  arch.add_component({"P1", "c", Domain::kPhysical, "s"});
+  arch.add_flow({"F1", "cyber-only", FlowKind::kSignal, "C1", "C2"});
+  arch.add_flow({"F2", "cross", FlowKind::kEnergy, "C2", "P1"});
+  const auto cross = arch.cross_domain_flows();
+  ASSERT_EQ(cross.size(), 1U);
+  EXPECT_EQ(cross[0].id, "F2");
+}
+
+TEST(Architecture, DomainNames) {
+  EXPECT_STREQ(domain_name(Domain::kCyber), "cyber");
+  EXPECT_STREQ(domain_name(Domain::kPhysical), "physical");
+  EXPECT_STREQ(flow_kind_name(FlowKind::kSignal), "signal");
+  EXPECT_STREQ(flow_kind_name(FlowKind::kEnergy), "energy");
+}
+
+}  // namespace
+}  // namespace gansec::cpps

@@ -1,0 +1,146 @@
+#include "gansec/cpps/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "gansec/cpps/dot.hpp"
+#include "gansec/error.hpp"
+#include "gansec/math/rng.hpp"
+
+namespace gansec::cpps {
+namespace {
+
+/// A -> B -> C chain plus a C -> A feedback edge.
+Architecture chain_with_loop() {
+  Architecture arch("loop");
+  arch.add_subsystem("s");
+  arch.add_component({"A", "a", Domain::kCyber, "s"});
+  arch.add_component({"B", "b", Domain::kCyber, "s"});
+  arch.add_component({"C", "c", Domain::kPhysical, "s"});
+  arch.add_flow({"F1", "ab", FlowKind::kSignal, "A", "B"});
+  arch.add_flow({"F2", "bc", FlowKind::kEnergy, "B", "C"});
+  arch.add_flow({"F3", "ca-feedback", FlowKind::kSignal, "C", "A"});
+  return arch;
+}
+
+TEST(CppsGraph, NodesMatchComponents) {
+  const Architecture arch = chain_with_loop();
+  const CppsGraph graph(arch);
+  EXPECT_EQ(graph.node_count(), 3U);
+  EXPECT_EQ(graph.node_ids(), (std::vector<std::string>{"A", "B", "C"}));
+}
+
+TEST(CppsGraph, FeedbackEdgeRemoved) {
+  const CppsGraph graph(chain_with_loop());
+  ASSERT_EQ(graph.removed_feedback_flows().size(), 1U);
+  EXPECT_EQ(graph.removed_feedback_flows()[0], "F3");
+  EXPECT_EQ(graph.edge_flow_ids(),
+            (std::vector<std::string>{"F1", "F2"}));
+}
+
+TEST(CppsGraph, AcyclicAfterRemoval) {
+  const CppsGraph graph(chain_with_loop());
+  EXPECT_TRUE(graph.is_acyclic());
+}
+
+TEST(CppsGraph, Reachability) {
+  const CppsGraph graph(chain_with_loop());
+  EXPECT_TRUE(graph.reachable("A", "C"));
+  EXPECT_TRUE(graph.reachable("A", "B"));
+  EXPECT_TRUE(graph.reachable("A", "A"));  // trivial
+  EXPECT_FALSE(graph.reachable("C", "A"));  // feedback edge removed
+  EXPECT_FALSE(graph.reachable("B", "A"));
+  EXPECT_THROW(graph.reachable("A", "Z"), ModelError);
+}
+
+TEST(CppsGraph, Adjacency) {
+  const CppsGraph graph(chain_with_loop());
+  EXPECT_EQ(graph.adjacency("A"), (std::vector<std::string>{"B"}));
+  EXPECT_TRUE(graph.adjacency("C").empty());
+  EXPECT_THROW(graph.adjacency("Z"), ModelError);
+}
+
+TEST(CppsGraph, ParallelEdgesKept) {
+  Architecture arch("parallel");
+  arch.add_subsystem("s");
+  arch.add_component({"A", "a", Domain::kCyber, "s"});
+  arch.add_component({"B", "b", Domain::kPhysical, "s"});
+  arch.add_flow({"F1", "signal", FlowKind::kSignal, "A", "B"});
+  arch.add_flow({"F2", "energy", FlowKind::kEnergy, "A", "B"});
+  const CppsGraph graph(arch);
+  EXPECT_EQ(graph.edge_flow_ids().size(), 2U);
+  EXPECT_TRUE(graph.removed_feedback_flows().empty());
+}
+
+TEST(CppsGraph, TwoNodeCycleDropsSecondEdge) {
+  Architecture arch("two-cycle");
+  arch.add_subsystem("s");
+  arch.add_component({"A", "a", Domain::kCyber, "s"});
+  arch.add_component({"B", "b", Domain::kCyber, "s"});
+  arch.add_flow({"F1", "ab", FlowKind::kSignal, "A", "B"});
+  arch.add_flow({"F2", "ba", FlowKind::kSignal, "B", "A"});
+  const CppsGraph graph(arch);
+  EXPECT_EQ(graph.removed_feedback_flows(),
+            (std::vector<std::string>{"F2"}));
+  EXPECT_TRUE(graph.is_acyclic());
+}
+
+TEST(CppsGraph, DotExportContainsAllElements) {
+  const CppsGraph graph(chain_with_loop());
+  const std::string dot = to_dot(graph);
+  EXPECT_NE(dot.find("digraph G_CPPS"), std::string::npos);
+  EXPECT_NE(dot.find("\"A\""), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);      // cyber node
+  EXPECT_NE(dot.find("shape=ellipse"), std::string::npos);  // physical node
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);   // energy flow
+  EXPECT_NE(dot.find("style=dotted"), std::string::npos);   // removed flow
+}
+
+// Property: on random digraphs the retained edge set is always acyclic and
+// every removed edge would indeed close a cycle if re-added.
+class RandomGraphProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomGraphProperty, AlwaysAcyclicAndRemovalJustified) {
+  math::Rng rng(static_cast<std::uint64_t>(GetParam()) * 1000003ULL + 17);
+  Architecture arch("random");
+  arch.add_subsystem("s");
+  const std::size_t n = 4 + static_cast<std::size_t>(rng.randint(0, 6));
+  for (std::size_t i = 0; i < n; ++i) {
+    arch.add_component({"N" + std::to_string(i), "node",
+                        rng.bernoulli(0.5) ? Domain::kCyber
+                                           : Domain::kPhysical,
+                        "s"});
+  }
+  const std::size_t edges = n * 2;
+  std::size_t added = 0;
+  for (std::size_t e = 0; e < edges * 3 && added < edges; ++e) {
+    const auto u = static_cast<std::size_t>(
+        rng.randint(0, static_cast<std::int64_t>(n - 1)));
+    const auto v = static_cast<std::size_t>(
+        rng.randint(0, static_cast<std::int64_t>(n - 1)));
+    if (u == v) continue;
+    arch.add_flow({"F" + std::to_string(added++), "e",
+                   rng.bernoulli(0.5) ? FlowKind::kSignal
+                                      : FlowKind::kEnergy,
+                   "N" + std::to_string(u), "N" + std::to_string(v)});
+  }
+
+  const CppsGraph graph(arch);
+  EXPECT_TRUE(graph.is_acyclic());
+  EXPECT_EQ(graph.edge_flow_ids().size() +
+                graph.removed_feedback_flows().size(),
+            arch.flows().size());
+  // Every removed flow closes a cycle: its head must already reach its tail.
+  for (const std::string& fid : graph.removed_feedback_flows()) {
+    const Flow& f = arch.flow(fid);
+    EXPECT_TRUE(graph.reachable(f.head, f.tail))
+        << "removed flow " << fid << " does not close a cycle";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphProperty,
+                         ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace gansec::cpps

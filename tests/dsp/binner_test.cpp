@@ -1,0 +1,87 @@
+#include "gansec/dsp/binner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gansec/error.hpp"
+
+namespace gansec::dsp {
+namespace {
+
+TEST(FrequencyBinner, Validation) {
+  EXPECT_THROW(FrequencyBinner(0.0, 100.0, 10), InvalidArgumentError);
+  EXPECT_THROW(FrequencyBinner(-5.0, 100.0, 10), InvalidArgumentError);
+  EXPECT_THROW(FrequencyBinner(100.0, 100.0, 10), InvalidArgumentError);
+  EXPECT_THROW(FrequencyBinner(200.0, 100.0, 10), InvalidArgumentError);
+  EXPECT_THROW(FrequencyBinner(50.0, 5000.0, 1), InvalidArgumentError);
+}
+
+TEST(FrequencyBinner, PaperDefault) {
+  const FrequencyBinner binner = FrequencyBinner::paper_default();
+  EXPECT_EQ(binner.size(), 100U);
+  EXPECT_DOUBLE_EQ(binner.centers().front(), 50.0);
+  EXPECT_NEAR(binner.centers().back(), 5000.0, 1e-9);
+  EXPECT_EQ(binner.spacing(), BinSpacing::kLogarithmic);
+}
+
+TEST(FrequencyBinner, CentersMonotonic) {
+  const FrequencyBinner binner(50.0, 5000.0, 100);
+  for (std::size_t i = 1; i < binner.size(); ++i) {
+    EXPECT_GT(binner.centers()[i], binner.centers()[i - 1]);
+  }
+}
+
+TEST(FrequencyBinner, LogSpacingHasConstantRatio) {
+  const FrequencyBinner binner(100.0, 1600.0, 5);
+  const auto& c = binner.centers();
+  const double ratio = c[1] / c[0];
+  for (std::size_t i = 2; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i] / c[i - 1], ratio, 1e-9);
+  }
+  EXPECT_NEAR(ratio, 2.0, 1e-9);  // 100 -> 1600 over 4 steps = x2 per step
+}
+
+TEST(FrequencyBinner, LinearSpacingHasConstantStep) {
+  const FrequencyBinner binner(100.0, 500.0, 5, BinSpacing::kLinear);
+  const auto& c = binner.centers();
+  for (std::size_t i = 1; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i] - c[i - 1], 100.0, 1e-9);
+  }
+}
+
+TEST(FrequencyBinner, LogSpacingIsNonUniformInHz) {
+  // The paper calls the bins "non-uniformly distributed": log spacing puts
+  // more bins at low frequency.
+  const FrequencyBinner binner(50.0, 5000.0, 100);
+  const auto& c = binner.centers();
+  const double low_gap = c[1] - c[0];
+  const double high_gap = c[99] - c[98];
+  EXPECT_LT(low_gap, high_gap / 10.0);
+}
+
+TEST(FrequencyBinner, NearestBin) {
+  const FrequencyBinner binner(100.0, 500.0, 5, BinSpacing::kLinear);
+  EXPECT_EQ(binner.nearest_bin(100.0), 0U);
+  EXPECT_EQ(binner.nearest_bin(199.0), 1U);
+  EXPECT_EQ(binner.nearest_bin(500.0), 4U);
+  EXPECT_EQ(binner.nearest_bin(10000.0), 4U);  // clamps above range
+  EXPECT_EQ(binner.nearest_bin(1.0), 0U);      // clamps below range
+  EXPECT_THROW(binner.nearest_bin(0.0), InvalidArgumentError);
+}
+
+class BinnerSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BinnerSizes, EndpointsAndCount) {
+  const std::size_t bins = GetParam();
+  const FrequencyBinner binner(50.0, 5000.0, bins);
+  EXPECT_EQ(binner.size(), bins);
+  EXPECT_DOUBLE_EQ(binner.centers().front(), 50.0);
+  EXPECT_NEAR(binner.centers().back(), 5000.0, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BinnerSizes,
+                         ::testing::Values(2, 10, 50, 100, 200));
+
+}  // namespace
+}  // namespace gansec::dsp

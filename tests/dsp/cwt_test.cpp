@@ -1,0 +1,174 @@
+#include "gansec/dsp/cwt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "gansec/error.hpp"
+#include "gansec/math/rng.hpp"
+
+namespace gansec::dsp {
+namespace {
+
+std::vector<double> tone(double freq, double fs, std::size_t n,
+                         double amplitude = 1.0) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = amplitude *
+           std::sin(2.0 * std::numbers::pi * freq * static_cast<double>(i) /
+                    fs);
+  }
+  return x;
+}
+
+TEST(MorletCwt, ConfigValidation) {
+  EXPECT_THROW(MorletCwt(CwtConfig{0.0, 6.0}), InvalidArgumentError);
+  EXPECT_THROW(MorletCwt(CwtConfig{-1.0, 6.0}), InvalidArgumentError);
+  EXPECT_THROW(MorletCwt(CwtConfig{8000.0, 0.0}), InvalidArgumentError);
+}
+
+TEST(MorletCwt, ScaleForFrequency) {
+  const MorletCwt cwt(CwtConfig{8000.0, 6.0});
+  const double s = cwt.scale_for_frequency(100.0);
+  EXPECT_NEAR(s, 6.0 / (2.0 * std::numbers::pi * 100.0), 1e-12);
+  EXPECT_THROW(cwt.scale_for_frequency(0.0), InvalidArgumentError);
+  EXPECT_THROW(cwt.scale_for_frequency(-5.0), InvalidArgumentError);
+  EXPECT_THROW(cwt.scale_for_frequency(4000.0), InvalidArgumentError);
+}
+
+TEST(MorletCwt, ScaleInverselyProportionalToFrequency) {
+  const MorletCwt cwt(CwtConfig{8000.0, 6.0});
+  EXPECT_NEAR(cwt.scale_for_frequency(100.0),
+              2.0 * cwt.scale_for_frequency(200.0), 1e-12);
+}
+
+TEST(MorletCwt, EmptyInputsThrow) {
+  const MorletCwt cwt(CwtConfig{8000.0, 6.0});
+  EXPECT_THROW(cwt.scalogram({}, {100.0}), InvalidArgumentError);
+  EXPECT_THROW(cwt.scalogram({1.0, 2.0}, {}), InvalidArgumentError);
+}
+
+TEST(MorletCwt, ScalogramShape) {
+  const MorletCwt cwt(CwtConfig{8000.0, 6.0});
+  const auto x = tone(440.0, 8000.0, 1000);
+  const auto grid = cwt.scalogram(x, {100.0, 440.0, 1000.0});
+  ASSERT_EQ(grid.size(), 3U);
+  for (const auto& row : grid) {
+    EXPECT_EQ(row.size(), 1000U);
+  }
+}
+
+TEST(MorletCwt, PureToneEnergyLocalizesAtItsFrequency) {
+  const double fs = 8000.0;
+  const MorletCwt cwt(CwtConfig{fs, 6.0});
+  const auto x = tone(500.0, fs, 4096);
+  const std::vector<double> freqs{125.0, 250.0, 500.0, 1000.0, 2000.0};
+  const auto energies = cwt.band_energies(x, freqs);
+  ASSERT_EQ(energies.size(), freqs.size());
+  std::size_t peak = 0;
+  for (std::size_t i = 1; i < energies.size(); ++i) {
+    if (energies[i] > energies[peak]) peak = i;
+  }
+  EXPECT_EQ(freqs[peak], 500.0);
+  // Energy at the tone frequency dominates the farthest bands decisively.
+  EXPECT_GT(energies[2], 5.0 * energies[0]);
+  EXPECT_GT(energies[2], 5.0 * energies[4]);
+}
+
+TEST(MorletCwt, TwoTonesBothDetected) {
+  const double fs = 8000.0;
+  const MorletCwt cwt(CwtConfig{fs, 6.0});
+  auto x = tone(300.0, fs, 4096);
+  const auto y = tone(1500.0, fs, 4096, 0.8);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += y[i];
+  const std::vector<double> freqs{150.0, 300.0, 700.0, 1500.0, 3000.0};
+  const auto energies = cwt.band_energies(x, freqs);
+  EXPECT_GT(energies[1], energies[0]);
+  EXPECT_GT(energies[1], energies[2]);
+  EXPECT_GT(energies[3], energies[2]);
+  EXPECT_GT(energies[3], energies[4]);
+}
+
+TEST(MorletCwt, AmplitudeMonotonicity) {
+  const double fs = 8000.0;
+  const MorletCwt cwt(CwtConfig{fs, 6.0});
+  const std::vector<double> freqs{500.0};
+  const auto weak = cwt.band_energies(tone(500.0, fs, 2048, 0.5), freqs);
+  const auto strong = cwt.band_energies(tone(500.0, fs, 2048, 2.0), freqs);
+  EXPECT_NEAR(strong[0] / weak[0], 4.0, 0.1);
+}
+
+TEST(MorletCwt, SilenceGivesNearZeroEnergy) {
+  const MorletCwt cwt(CwtConfig{8000.0, 6.0});
+  const std::vector<double> silence(2048, 0.0);
+  const auto energies = cwt.band_energies(silence, {100.0, 1000.0});
+  EXPECT_NEAR(energies[0], 0.0, 1e-12);
+  EXPECT_NEAR(energies[1], 0.0, 1e-12);
+}
+
+TEST(MorletCwt, NoiseSpreadsAcrossBands) {
+  math::Rng rng(5);
+  std::vector<double> noise(4096);
+  for (double& v : noise) v = rng.normal();
+  const MorletCwt cwt(CwtConfig{8000.0, 6.0});
+  const std::vector<double> freqs{200.0, 800.0, 3200.0};
+  const auto energies = cwt.band_energies(noise, freqs);
+  for (const double e : energies) EXPECT_GT(e, 0.0);
+}
+
+TEST(MorletCwt, TimeLocalizationOfToneBurst) {
+  // The paper picks the CWT because it "preserves the high-frequency
+  // resolution in time-domain": a burst in the second half of the window
+  // must light up the scalogram only there.
+  const double fs = 8000.0;
+  const MorletCwt cwt(CwtConfig{fs, 6.0});
+  std::vector<double> x(4096, 0.0);
+  for (std::size_t i = 2048; i < 4096; ++i) {
+    x[i] = std::sin(2.0 * std::numbers::pi * 1000.0 *
+                    static_cast<double>(i) / fs);
+  }
+  const auto grid = cwt.scalogram(x, {1000.0});
+  double first_half = 0.0;
+  double second_half = 0.0;
+  for (std::size_t t = 0; t < 2048; ++t) first_half += grid[0][t];
+  for (std::size_t t = 2048; t < 4096; ++t) second_half += grid[0][t];
+  EXPECT_GT(second_half, 10.0 * first_half);
+}
+
+// Frequency-resolution sweep: the detected peak must track the true tone
+// frequency across the band.
+class CwtToneSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CwtToneSweep, PeakTracksTone) {
+  const double f0 = GetParam();
+  const double fs = 12000.0;
+  const MorletCwt cwt(CwtConfig{fs, 6.0});
+  const auto x = tone(f0, fs, 4096);
+  // Log grid from 50 to 5000 Hz, 40 points.
+  std::vector<double> freqs;
+  for (int i = 0; i < 40; ++i) {
+    freqs.push_back(50.0 *
+                    std::pow(5000.0 / 50.0, static_cast<double>(i) / 39.0));
+  }
+  const auto energies = cwt.band_energies(x, freqs);
+  std::size_t peak = 0;
+  for (std::size_t i = 1; i < energies.size(); ++i) {
+    if (energies[i] > energies[peak]) peak = i;
+  }
+  // Nearest grid frequency to the tone.
+  std::size_t nearest = 0;
+  for (std::size_t i = 1; i < freqs.size(); ++i) {
+    if (std::abs(freqs[i] - f0) < std::abs(freqs[nearest] - f0)) nearest = i;
+  }
+  // Allow one grid-slot tolerance (log spacing is coarse).
+  EXPECT_LE(peak > nearest ? peak - nearest : nearest - peak, 1U)
+      << "tone " << f0 << " peaked at grid " << freqs[peak];
+}
+
+INSTANTIATE_TEST_SUITE_P(Tones, CwtToneSweep,
+                         ::testing::Values(80.0, 160.0, 320.0, 640.0, 1280.0,
+                                           2560.0, 4500.0));
+
+}  // namespace
+}  // namespace gansec::dsp

@@ -1,0 +1,121 @@
+#include "gansec/dsp/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gansec/error.hpp"
+#include "gansec/math/rng.hpp"
+
+namespace gansec::dsp {
+namespace {
+
+using math::Matrix;
+
+TEST(FrameSignal, InvalidArgsThrow) {
+  EXPECT_THROW(frame_signal({1.0}, 0, 1), InvalidArgumentError);
+  EXPECT_THROW(frame_signal({1.0}, 1, 0), InvalidArgumentError);
+}
+
+TEST(FrameSignal, ShortSignalGivesNoFrames) {
+  EXPECT_TRUE(frame_signal({1.0, 2.0}, 3, 1).empty());
+}
+
+TEST(FrameSignal, NonOverlapping) {
+  const std::vector<double> x{1, 2, 3, 4, 5, 6, 7};
+  const auto frames = frame_signal(x, 3, 3);
+  ASSERT_EQ(frames.size(), 2U);  // trailing partial frame dropped
+  EXPECT_EQ(frames[0], (std::vector<double>{1, 2, 3}));
+  EXPECT_EQ(frames[1], (std::vector<double>{4, 5, 6}));
+}
+
+TEST(FrameSignal, Overlapping) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const auto frames = frame_signal(x, 3, 1);
+  ASSERT_EQ(frames.size(), 3U);
+  EXPECT_EQ(frames[1], (std::vector<double>{2, 3, 4}));
+}
+
+TEST(MinMaxScaler, NotFittedThrows) {
+  const MinMaxScaler scaler;
+  EXPECT_FALSE(scaler.fitted());
+  EXPECT_THROW(scaler.transform(Matrix(1, 1)), InvalidArgumentError);
+  EXPECT_THROW(scaler.inverse_transform(Matrix(1, 1)), InvalidArgumentError);
+}
+
+TEST(MinMaxScaler, EmptyFitThrows) {
+  MinMaxScaler scaler;
+  EXPECT_THROW(scaler.fit(Matrix()), InvalidArgumentError);
+}
+
+TEST(MinMaxScaler, MapsTrainingRangeToUnit) {
+  MinMaxScaler scaler;
+  const Matrix data = Matrix::from_rows({{0.0F, 10.0F}, {5.0F, 20.0F}});
+  const Matrix scaled = scaler.fit_transform(data);
+  EXPECT_FLOAT_EQ(scaled(0, 0), 0.0F);
+  EXPECT_FLOAT_EQ(scaled(1, 0), 1.0F);
+  EXPECT_FLOAT_EQ(scaled(0, 1), 0.0F);
+  EXPECT_FLOAT_EQ(scaled(1, 1), 1.0F);
+}
+
+TEST(MinMaxScaler, ClampsOutOfRange) {
+  MinMaxScaler scaler;
+  scaler.fit(Matrix::from_rows({{0.0F}, {10.0F}}));
+  const Matrix out = scaler.transform(Matrix::from_rows({{-5.0F}, {15.0F}}));
+  EXPECT_FLOAT_EQ(out(0, 0), 0.0F);
+  EXPECT_FLOAT_EQ(out(1, 0), 1.0F);
+}
+
+TEST(MinMaxScaler, ConstantColumnMapsToHalf) {
+  MinMaxScaler scaler;
+  scaler.fit(Matrix::from_rows({{3.0F}, {3.0F}}));
+  const Matrix out = scaler.transform(Matrix::from_rows({{3.0F}}));
+  EXPECT_FLOAT_EQ(out(0, 0), 0.5F);
+}
+
+TEST(MinMaxScaler, ColumnCountMismatchThrows) {
+  MinMaxScaler scaler;
+  scaler.fit(Matrix(2, 3, 1.0F));
+  EXPECT_THROW(scaler.transform(Matrix(2, 4)), DimensionError);
+}
+
+TEST(MinMaxScaler, InverseRecoversOriginal) {
+  math::Rng rng(3);
+  MinMaxScaler scaler;
+  const Matrix data = rng.uniform_matrix(20, 5, -10.0F, 10.0F);
+  const Matrix scaled = scaler.fit_transform(data);
+  const Matrix restored = scaler.inverse_transform(scaled);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(restored.data()[i], data.data()[i], 1e-4F);
+  }
+}
+
+TEST(MinMaxScaler, SaveLoadRoundTrip) {
+  math::Rng rng(5);
+  MinMaxScaler scaler;
+  scaler.fit(rng.uniform_matrix(10, 4, 0.0F, 100.0F));
+  std::stringstream ss;
+  scaler.save(ss);
+  const MinMaxScaler loaded = MinMaxScaler::load(ss);
+  const Matrix probe = rng.uniform_matrix(3, 4, 0.0F, 100.0F);
+  EXPECT_EQ(scaler.transform(probe), loaded.transform(probe));
+}
+
+TEST(MinMaxScaler, SaveUnfittedThrows) {
+  const MinMaxScaler scaler;
+  std::stringstream ss;
+  EXPECT_THROW(scaler.save(ss), InvalidArgumentError);
+}
+
+TEST(MinMaxScaler, LoadBadHeaderThrows) {
+  std::stringstream ss("bogus 1 3\n");
+  EXPECT_THROW(MinMaxScaler::load(ss), ParseError);
+}
+
+TEST(MinMaxScaler, LoadTruncatedThrows) {
+  std::stringstream ss("gansec-scaler 1 3\n0 1\n");
+  EXPECT_THROW(MinMaxScaler::load(ss), IoError);
+}
+
+}  // namespace
+}  // namespace gansec::dsp

@@ -1,0 +1,174 @@
+#include "gansec/dsp/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "gansec/error.hpp"
+#include "gansec/math/rng.hpp"
+
+namespace gansec::dsp {
+namespace {
+
+TEST(Fft, PowerOfTwoHelpers) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(2));
+  EXPECT_TRUE(is_power_of_two(1024));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_FALSE(is_power_of_two(1000));
+  EXPECT_EQ(next_power_of_two(0), 1U);
+  EXPECT_EQ(next_power_of_two(1), 1U);
+  EXPECT_EQ(next_power_of_two(5), 8U);
+  EXPECT_EQ(next_power_of_two(1024), 1024U);
+  EXPECT_EQ(next_power_of_two(1025), 2048U);
+}
+
+TEST(Fft, NonPowerOfTwoThrows) {
+  std::vector<Complex> x(6, Complex(1.0, 0.0));
+  EXPECT_THROW(fft_in_place(x), InvalidArgumentError);
+}
+
+TEST(Fft, EmptyRealSignalThrows) {
+  EXPECT_THROW(fft_real({}), InvalidArgumentError);
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<Complex> x(8, Complex(0.0, 0.0));
+  x[0] = Complex(1.0, 0.0);
+  fft_in_place(x);
+  for (const Complex& c : x) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, ConstantGivesDcOnly) {
+  std::vector<Complex> x(16, Complex(2.0, 0.0));
+  fft_in_place(x);
+  EXPECT_NEAR(x[0].real(), 32.0, 1e-9);
+  for (std::size_t k = 1; k < x.size(); ++k) {
+    EXPECT_NEAR(std::abs(x[k]), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, SinusoidPeaksAtItsBin) {
+  const std::size_t n = 64;
+  std::vector<double> x(n);
+  const std::size_t k0 = 5;
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(2.0 * std::numbers::pi * static_cast<double>(k0 * i) /
+                    static_cast<double>(n));
+  }
+  const std::vector<double> mags = magnitude_spectrum(x);
+  std::size_t peak = 0;
+  for (std::size_t k = 1; k < mags.size(); ++k) {
+    if (mags[k] > mags[peak]) peak = k;
+  }
+  EXPECT_EQ(peak, k0);
+  EXPECT_NEAR(mags[k0], static_cast<double>(n) / 2.0, 1e-9);
+}
+
+TEST(Fft, RoundTripRecoversSignal) {
+  math::Rng rng(3);
+  std::vector<Complex> x(128);
+  for (Complex& c : x) c = Complex(rng.normal(), rng.normal());
+  const std::vector<Complex> orig = x;
+  fft_in_place(x);
+  ifft_in_place(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(x[i].real(), orig[i].real(), 1e-9);
+    EXPECT_NEAR(x[i].imag(), orig[i].imag(), 1e-9);
+  }
+}
+
+TEST(Fft, Linearity) {
+  math::Rng rng(5);
+  const std::size_t n = 32;
+  std::vector<Complex> a(n);
+  std::vector<Complex> b(n);
+  std::vector<Complex> sum(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = Complex(rng.normal(), 0.0);
+    b[i] = Complex(rng.normal(), 0.0);
+    sum[i] = a[i] + 2.0 * b[i];
+  }
+  fft_in_place(a);
+  fft_in_place(b);
+  fft_in_place(sum);
+  for (std::size_t k = 0; k < n; ++k) {
+    const Complex expected = a[k] + 2.0 * b[k];
+    EXPECT_NEAR(std::abs(sum[k] - expected), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, ParsevalTheorem) {
+  math::Rng rng(7);
+  const std::size_t n = 256;
+  std::vector<Complex> x(n);
+  double time_energy = 0.0;
+  for (Complex& c : x) {
+    c = Complex(rng.normal(), 0.0);
+    time_energy += std::norm(c);
+  }
+  fft_in_place(x);
+  double freq_energy = 0.0;
+  for (const Complex& c : x) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy, 1e-6);
+}
+
+TEST(Fft, RealSignalHermitianSymmetry) {
+  math::Rng rng(9);
+  std::vector<double> x(64);
+  for (double& v : x) v = rng.normal();
+  const std::vector<Complex> spectrum = fft_real(x);
+  const std::size_t n = spectrum.size();
+  for (std::size_t k = 1; k < n / 2; ++k) {
+    EXPECT_NEAR(spectrum[k].real(), spectrum[n - k].real(), 1e-9);
+    EXPECT_NEAR(spectrum[k].imag(), -spectrum[n - k].imag(), 1e-9);
+  }
+}
+
+TEST(Fft, RealSignalZeroPads) {
+  std::vector<double> x(100, 1.0);  // pads to 128
+  const std::vector<Complex> spectrum = fft_real(x);
+  EXPECT_EQ(spectrum.size(), 128U);
+}
+
+TEST(Fft, BinFrequency) {
+  EXPECT_DOUBLE_EQ(bin_frequency(0, 1024, 16000.0), 0.0);
+  EXPECT_DOUBLE_EQ(bin_frequency(512, 1024, 16000.0), 8000.0);
+  EXPECT_DOUBLE_EQ(bin_frequency(64, 1024, 16000.0), 1000.0);
+  EXPECT_THROW(bin_frequency(1, 0, 16000.0), InvalidArgumentError);
+}
+
+// Parseval must hold across transform sizes.
+class FftSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizes, RoundTripAndParseval) {
+  const std::size_t n = GetParam();
+  math::Rng rng(n);
+  std::vector<Complex> x(n);
+  double time_energy = 0.0;
+  for (Complex& c : x) {
+    c = Complex(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+    time_energy += std::norm(c);
+  }
+  std::vector<Complex> y = x;
+  fft_in_place(y);
+  double freq_energy = 0.0;
+  for (const Complex& c : y) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-9 * static_cast<double>(n));
+  ifft_in_place(y);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, FftSizes,
+                         ::testing::Values(1, 2, 4, 8, 16, 64, 512, 4096));
+
+}  // namespace
+}  // namespace gansec::dsp

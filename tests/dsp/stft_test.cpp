@@ -1,0 +1,97 @@
+#include "gansec/dsp/stft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "gansec/error.hpp"
+
+namespace gansec::dsp {
+namespace {
+
+std::vector<double> tone(double freq, double fs, std::size_t n) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(2.0 * std::numbers::pi * freq * static_cast<double>(i) /
+                    fs);
+  }
+  return x;
+}
+
+TEST(Stft, ConfigValidation) {
+  EXPECT_THROW(Stft(StftConfig{0.0, 1024, 256}), InvalidArgumentError);
+  EXPECT_THROW(Stft(StftConfig{8000.0, 1000, 256}), InvalidArgumentError);
+  EXPECT_THROW(Stft(StftConfig{8000.0, 1024, 0}), InvalidArgumentError);
+}
+
+TEST(Stft, BinFrequency) {
+  const Stft stft(StftConfig{8000.0, 1024, 256});
+  EXPECT_DOUBLE_EQ(stft.bin_frequency(0), 0.0);
+  EXPECT_DOUBLE_EQ(stft.bin_frequency(512), 4000.0);
+}
+
+TEST(Stft, SpectrogramShape) {
+  const Stft stft(StftConfig{8000.0, 512, 128});
+  const auto x = tone(500.0, 8000.0, 2048);
+  const auto grid = stft.spectrogram(x);
+  // (2048 - 512) / 128 + 1 = 13 frames.
+  EXPECT_EQ(grid.size(), 13U);
+  for (const auto& frame : grid) {
+    EXPECT_EQ(frame.size(), 257U);
+  }
+}
+
+TEST(Stft, ShortSignalZeroPadsToOneFrame) {
+  const Stft stft(StftConfig{8000.0, 1024, 256});
+  const auto grid = stft.spectrogram(tone(500.0, 8000.0, 100));
+  EXPECT_EQ(grid.size(), 1U);
+}
+
+TEST(Stft, EmptySignalThrows) {
+  const Stft stft(StftConfig{8000.0, 1024, 256});
+  EXPECT_THROW(stft.spectrogram({}), InvalidArgumentError);
+}
+
+TEST(Stft, ToneLocalizesAtItsBand) {
+  const Stft stft(StftConfig{8000.0, 1024, 256});
+  const auto x = tone(500.0, 8000.0, 4096);
+  const auto energies = stft.band_energies(x, {125.0, 500.0, 2000.0});
+  EXPECT_GT(energies[1], 10.0 * energies[0]);
+  EXPECT_GT(energies[1], 10.0 * energies[2]);
+}
+
+TEST(Stft, BandEnergiesValidation) {
+  const Stft stft(StftConfig{8000.0, 1024, 256});
+  const auto x = tone(500.0, 8000.0, 2048);
+  EXPECT_THROW(stft.band_energies(x, {}), InvalidArgumentError);
+  EXPECT_THROW(stft.band_energies(x, {0.0}), InvalidArgumentError);
+  EXPECT_THROW(stft.band_energies(x, {4000.0}), InvalidArgumentError);
+}
+
+TEST(Stft, SilenceGivesZeroEnergy) {
+  const Stft stft(StftConfig{8000.0, 512, 128});
+  const std::vector<double> silence(2048, 0.0);
+  for (const double e : stft.band_energies(silence, {100.0, 1000.0})) {
+    EXPECT_NEAR(e, 0.0, 1e-12);
+  }
+}
+
+// Both time-frequency methods must agree on which of two tones is louder.
+class StftVsCwtAgreement : public ::testing::TestWithParam<double> {};
+
+TEST_P(StftVsCwtAgreement, RankingMatchesTonePlacement) {
+  const double f0 = GetParam();
+  const double fs = 12000.0;
+  const Stft stft(StftConfig{fs, 1024, 256});
+  const auto x = tone(f0, fs, 6000);
+  const std::vector<double> probes{f0, f0 * 2.7};
+  const auto energies = stft.band_energies(x, probes);
+  EXPECT_GT(energies[0], energies[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Tones, StftVsCwtAgreement,
+                         ::testing::Values(100.0, 300.0, 900.0, 2000.0));
+
+}  // namespace
+}  // namespace gansec::dsp

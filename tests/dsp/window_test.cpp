@@ -1,0 +1,87 @@
+#include "gansec/dsp/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gansec/error.hpp"
+
+namespace gansec::dsp {
+namespace {
+
+TEST(Window, ZeroLengthThrows) {
+  EXPECT_THROW(make_window(WindowKind::kHann, 0), InvalidArgumentError);
+}
+
+TEST(Window, RectangularIsAllOnes) {
+  const auto w = make_window(WindowKind::kRectangular, 16);
+  for (const double v : w) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Window, LengthOneIsOne) {
+  for (const WindowKind kind :
+       {WindowKind::kRectangular, WindowKind::kHann, WindowKind::kHamming,
+        WindowKind::kBlackman}) {
+    const auto w = make_window(kind, 1);
+    ASSERT_EQ(w.size(), 1U);
+    EXPECT_DOUBLE_EQ(w[0], 1.0);
+  }
+}
+
+TEST(Window, HannEndpointsAndPeak) {
+  const auto w = make_window(WindowKind::kHann, 65);
+  EXPECT_NEAR(w.front(), 0.0, 1e-12);
+  EXPECT_NEAR(w.back(), 0.0, 1e-12);
+  EXPECT_NEAR(w[32], 1.0, 1e-12);
+}
+
+TEST(Window, HammingEndpoints) {
+  const auto w = make_window(WindowKind::kHamming, 33);
+  EXPECT_NEAR(w.front(), 0.08, 1e-9);
+  EXPECT_NEAR(w.back(), 0.08, 1e-9);
+}
+
+TEST(Window, BlackmanEndpointsNearZero) {
+  const auto w = make_window(WindowKind::kBlackman, 33);
+  EXPECT_NEAR(w.front(), 0.0, 1e-9);
+  EXPECT_NEAR(w.back(), 0.0, 1e-9);
+}
+
+TEST(Window, Symmetry) {
+  for (const WindowKind kind :
+       {WindowKind::kHann, WindowKind::kHamming, WindowKind::kBlackman}) {
+    const auto w = make_window(kind, 64);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      EXPECT_NEAR(w[i], w[w.size() - 1 - i], 1e-12);
+    }
+  }
+}
+
+TEST(Window, ValuesWithinUnitRange) {
+  for (const WindowKind kind :
+       {WindowKind::kHann, WindowKind::kHamming, WindowKind::kBlackman}) {
+    const auto w = make_window(kind, 100);
+    for (const double v : w) {
+      EXPECT_GE(v, -1e-12);
+      EXPECT_LE(v, 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(Window, ApplyWindow) {
+  const std::vector<double> signal{1.0, 2.0, 3.0};
+  const std::vector<double> window{0.5, 1.0, 0.0};
+  const auto out = apply_window(signal, window);
+  EXPECT_DOUBLE_EQ(out[0], 0.5);
+  EXPECT_DOUBLE_EQ(out[1], 2.0);
+  EXPECT_DOUBLE_EQ(out[2], 0.0);
+  EXPECT_THROW(apply_window(signal, {1.0}), InvalidArgumentError);
+}
+
+TEST(Window, Names) {
+  EXPECT_EQ(window_name(WindowKind::kHann), "hann");
+  EXPECT_EQ(window_name(WindowKind::kRectangular), "rectangular");
+  EXPECT_EQ(window_name(WindowKind::kHamming), "hamming");
+  EXPECT_EQ(window_name(WindowKind::kBlackman), "blackman");
+}
+
+}  // namespace
+}  // namespace gansec::dsp

@@ -1,0 +1,368 @@
+#include "gansec/gan/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gansec/error.hpp"
+
+namespace gansec::gan {
+namespace {
+
+using math::Matrix;
+using math::Rng;
+
+CganTopology toy_topology() {
+  CganTopology t;
+  t.data_dim = 2;
+  t.cond_dim = 2;
+  t.noise_dim = 4;
+  t.generator_hidden = {32};
+  t.discriminator_hidden = {32};
+  return t;
+}
+
+/// Toy conditional dataset: cond [1,0] -> data near (0.2, 0.8);
+/// cond [0,1] -> data near (0.8, 0.2). Small Gaussian spread.
+void make_toy_data(std::size_t n, Matrix& data, Matrix& conds, Rng& rng) {
+  data = Matrix(n, 2);
+  conds = Matrix(n, 2, 0.0F);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool first = (i % 2 == 0);
+    conds(i, first ? 0 : 1) = 1.0F;
+    const float cx = first ? 0.2F : 0.8F;
+    const float cy = first ? 0.8F : 0.2F;
+    data(i, 0) = cx + static_cast<float>(rng.normal(0.0, 0.03));
+    data(i, 1) = cy + static_cast<float>(rng.normal(0.0, 0.03));
+  }
+}
+
+TEST(TrainConfig, Validation) {
+  Cgan model(toy_topology(), 1);
+  TrainConfig cfg;
+  cfg.batch_size = 0;
+  EXPECT_THROW(CganTrainer(model, cfg), InvalidArgumentError);
+  cfg = TrainConfig{};
+  cfg.discriminator_steps = 0;
+  EXPECT_THROW(CganTrainer(model, cfg), InvalidArgumentError);
+  cfg = TrainConfig{};
+  cfg.real_label = 0.4F;
+  EXPECT_THROW(CganTrainer(model, cfg), InvalidArgumentError);
+  cfg = TrainConfig{};
+  cfg.adam_beta1 = 1.0F;
+  EXPECT_THROW(CganTrainer(model, cfg), InvalidArgumentError);
+  cfg = TrainConfig{};
+  cfg.learning_rate_g = -1.0F;
+  EXPECT_THROW(CganTrainer(model, cfg), InvalidArgumentError);
+}
+
+TEST(CganTrainer, DatasetValidation) {
+  Cgan model(toy_topology(), 1);
+  TrainConfig cfg;
+  cfg.iterations = 1;
+  CganTrainer trainer(model, cfg);
+  EXPECT_THROW(trainer.train(Matrix(4, 3), Matrix(4, 2)), DimensionError);
+  EXPECT_THROW(trainer.train(Matrix(4, 2), Matrix(4, 3)), DimensionError);
+  EXPECT_THROW(trainer.train(Matrix(4, 2), Matrix(5, 2)), DimensionError);
+  EXPECT_THROW(trainer.train(Matrix(0, 2), Matrix(0, 2)),
+               InvalidArgumentError);
+  Matrix bad(4, 2, 1.0F);
+  bad(0, 0) = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_THROW(trainer.train(bad, Matrix(4, 2, 0.5F)), NumericError);
+}
+
+TEST(CganTrainer, HistoryLengthMatchesIterations) {
+  Cgan model(toy_topology(), 1);
+  Rng rng(2);
+  Matrix data;
+  Matrix conds;
+  make_toy_data(64, data, conds, rng);
+  TrainConfig cfg;
+  cfg.iterations = 25;
+  cfg.batch_size = 16;
+  CganTrainer trainer(model, cfg);
+  trainer.train(data, conds);
+  ASSERT_EQ(trainer.history().size(), 25U);
+  EXPECT_EQ(trainer.history().front().iteration, 1U);
+  EXPECT_EQ(trainer.history().back().iteration, 25U);
+  EXPECT_EQ(trainer.iterations_done(), 25U);
+}
+
+TEST(CganTrainer, IncrementalTrainingAccumulates) {
+  Cgan model(toy_topology(), 1);
+  Rng rng(3);
+  Matrix data;
+  Matrix conds;
+  make_toy_data(64, data, conds, rng);
+  TrainConfig cfg;
+  cfg.batch_size = 16;
+  CganTrainer trainer(model, cfg);
+  trainer.train_iterations(data, conds, 10);
+  trainer.train_iterations(data, conds, 15);
+  EXPECT_EQ(trainer.history().size(), 25U);
+  EXPECT_EQ(trainer.history().back().iteration, 25U);
+}
+
+TEST(CganTrainer, CheckpointsTaken) {
+  Cgan model(toy_topology(), 1);
+  Rng rng(4);
+  Matrix data;
+  Matrix conds;
+  make_toy_data(64, data, conds, rng);
+  TrainConfig cfg;
+  cfg.iterations = 30;
+  cfg.batch_size = 16;
+  cfg.checkpoint_every = 10;
+  CganTrainer trainer(model, cfg);
+  trainer.train(data, conds);
+  ASSERT_EQ(trainer.checkpoints().size(), 3U);
+  EXPECT_EQ(trainer.checkpoints()[0].iteration, 10U);
+  EXPECT_EQ(trainer.checkpoints()[2].iteration, 30U);
+}
+
+TEST(CganTrainer, CheckpointGeneratorIsSnapshot) {
+  Cgan model(toy_topology(), 1);
+  Rng rng(5);
+  Matrix data;
+  Matrix conds;
+  make_toy_data(64, data, conds, rng);
+  TrainConfig cfg;
+  cfg.iterations = 20;
+  cfg.batch_size = 16;
+  cfg.checkpoint_every = 10;
+  CganTrainer trainer(model, cfg);
+  trainer.train(data, conds);
+  // The first checkpoint differs from the final generator (training moved).
+  nn::Mlp snapshot = trainer.checkpoints()[0].generator.clone();
+  Matrix probe(1, 6, 0.3F);  // noise_dim + cond_dim = 6
+  const Matrix from_snapshot = snapshot.forward(probe, false);
+  const Matrix from_final = model.generator().forward(probe, false);
+  EXPECT_NE(from_snapshot, from_final);
+}
+
+TEST(CganTrainer, RecordsAreFinite) {
+  Cgan model(toy_topology(), 1);
+  Rng rng(6);
+  Matrix data;
+  Matrix conds;
+  make_toy_data(64, data, conds, rng);
+  TrainConfig cfg;
+  cfg.iterations = 50;
+  cfg.batch_size = 16;
+  CganTrainer trainer(model, cfg);
+  trainer.train(data, conds);
+  for (const TrainRecord& r : trainer.history()) {
+    EXPECT_TRUE(std::isfinite(r.g_loss));
+    EXPECT_TRUE(std::isfinite(r.d_loss));
+    EXPECT_GE(r.d_real_mean, 0.0);
+    EXPECT_LE(r.d_real_mean, 1.0);
+    EXPECT_GE(r.d_fake_mean, 0.0);
+    EXPECT_LE(r.d_fake_mean, 1.0);
+  }
+}
+
+TEST(CganTrainer, LearnsConditionalMeans) {
+  // The core behavioral test: after training, G(z | cond) must emit samples
+  // near the condition's data cluster.
+  Cgan model(toy_topology(), 7);
+  Rng rng(8);
+  Matrix data;
+  Matrix conds;
+  make_toy_data(256, data, conds, rng);
+  TrainConfig cfg;
+  cfg.iterations = 1200;
+  cfg.batch_size = 32;
+  CganTrainer trainer(model, cfg, 99);
+  trainer.train(data, conds);
+
+  Rng gen_rng(10);
+  Matrix cond_a(1, 2, 0.0F);
+  cond_a(0, 0) = 1.0F;
+  const Matrix sa = model.generate_for_condition(cond_a, 200, gen_rng);
+  Matrix cond_b(1, 2, 0.0F);
+  cond_b(0, 1) = 1.0F;
+  const Matrix sb = model.generate_for_condition(cond_b, 200, gen_rng);
+
+  const float mean_a0 = sa.slice_cols(0, 1).mean();
+  const float mean_a1 = sa.slice_cols(1, 2).mean();
+  const float mean_b0 = sb.slice_cols(0, 1).mean();
+  const float mean_b1 = sb.slice_cols(1, 2).mean();
+  EXPECT_NEAR(mean_a0, 0.2F, 0.15F);
+  EXPECT_NEAR(mean_a1, 0.8F, 0.15F);
+  EXPECT_NEAR(mean_b0, 0.8F, 0.15F);
+  EXPECT_NEAR(mean_b1, 0.2F, 0.15F);
+}
+
+TEST(CganTrainer, DeterministicForSameSeeds) {
+  Rng rng(20);
+  Matrix data;
+  Matrix conds;
+  make_toy_data(64, data, conds, rng);
+  TrainConfig cfg;
+  cfg.iterations = 30;
+  cfg.batch_size = 16;
+
+  Cgan model_a(toy_topology(), 5);
+  CganTrainer trainer_a(model_a, cfg, 77);
+  trainer_a.train(data, conds);
+
+  Cgan model_b(toy_topology(), 5);
+  CganTrainer trainer_b(model_b, cfg, 77);
+  trainer_b.train(data, conds);
+
+  ASSERT_EQ(trainer_a.history().size(), trainer_b.history().size());
+  for (std::size_t i = 0; i < trainer_a.history().size(); ++i) {
+    EXPECT_DOUBLE_EQ(trainer_a.history()[i].g_loss,
+                     trainer_b.history()[i].g_loss);
+    EXPECT_DOUBLE_EQ(trainer_a.history()[i].d_loss,
+                     trainer_b.history()[i].d_loss);
+  }
+}
+
+TEST(CganTrainer, KDiscriminatorStepsRun) {
+  // With k=3 the discriminator should dominate early (lower d_loss than a
+  // k=1 run at the same iteration count).
+  Rng rng(30);
+  Matrix data;
+  Matrix conds;
+  make_toy_data(128, data, conds, rng);
+  TrainConfig cfg1;
+  cfg1.iterations = 60;
+  cfg1.batch_size = 16;
+  cfg1.discriminator_steps = 1;
+  TrainConfig cfg3 = cfg1;
+  cfg3.discriminator_steps = 3;
+
+  Cgan model1(toy_topology(), 5);
+  CganTrainer t1(model1, cfg1, 7);
+  t1.train(data, conds);
+  Cgan model3(toy_topology(), 5);
+  CganTrainer t3(model3, cfg3, 7);
+  t3.train(data, conds);
+
+  double avg1 = 0.0;
+  double avg3 = 0.0;
+  for (std::size_t i = 30; i < 60; ++i) {
+    avg1 += t1.history()[i].d_loss;
+    avg3 += t3.history()[i].d_loss;
+  }
+  EXPECT_LT(avg3, avg1);
+}
+
+TEST(CganTrainer, OriginalMinimaxLossAlsoTrains) {
+  Cgan model(toy_topology(), 9);
+  Rng rng(31);
+  Matrix data;
+  Matrix conds;
+  make_toy_data(128, data, conds, rng);
+  TrainConfig cfg;
+  cfg.iterations = 200;
+  cfg.batch_size = 16;
+  cfg.generator_loss = GeneratorLoss::kOriginalMinimax;
+  CganTrainer trainer(model, cfg);
+  trainer.train(data, conds);
+  for (const TrainRecord& r : trainer.history()) {
+    EXPECT_TRUE(std::isfinite(r.g_loss));
+  }
+}
+
+TEST(CganTrainer, LeastSquaresObjectiveLearnsConditionalMeans) {
+  Cgan model(toy_topology(), 21);
+  Rng rng(36);
+  Matrix data;
+  Matrix conds;
+  make_toy_data(256, data, conds, rng);
+  TrainConfig cfg;
+  cfg.iterations = 1200;
+  cfg.batch_size = 32;
+  cfg.objective = AdversarialObjective::kLeastSquares;
+  CganTrainer trainer(model, cfg, 45);
+  trainer.train(data, conds);
+
+  Rng gen_rng(2);
+  Matrix cond_a(1, 2, 0.0F);
+  cond_a(0, 0) = 1.0F;
+  const Matrix sa = model.generate_for_condition(cond_a, 200, gen_rng);
+  EXPECT_NEAR(sa.slice_cols(0, 1).mean(), 0.2F, 0.15F);
+  EXPECT_NEAR(sa.slice_cols(1, 2).mean(), 0.8F, 0.15F);
+  for (const TrainRecord& r : trainer.history()) {
+    ASSERT_TRUE(std::isfinite(r.d_loss));
+    // LSGAN discriminator loss is a pair of MSE terms, bounded by ~2.
+    ASSERT_LT(r.d_loss, 2.5);
+  }
+}
+
+TEST(CganTrainer, DropoutDiscriminatorTrains) {
+  CganTopology topo = toy_topology();
+  topo.discriminator_dropout = 0.3F;
+  Cgan model(topo, 13);
+  Rng rng(35);
+  Matrix data;
+  Matrix conds;
+  make_toy_data(128, data, conds, rng);
+  TrainConfig cfg;
+  cfg.iterations = 150;
+  cfg.batch_size = 16;
+  CganTrainer trainer(model, cfg);
+  trainer.train(data, conds);
+  for (const TrainRecord& r : trainer.history()) {
+    ASSERT_TRUE(std::isfinite(r.g_loss));
+    ASSERT_TRUE(std::isfinite(r.d_loss));
+  }
+  // Dropout is a train-time-only behaviour; inference stays deterministic.
+  Rng ga(1);
+  Rng gb(1);
+  Matrix cond(1, 2, 0.0F);
+  cond(0, 0) = 1.0F;
+  EXPECT_EQ(model.generate_for_condition(cond, 4, ga),
+            model.generate_for_condition(cond, 4, gb));
+}
+
+TEST(CganTrainer, BatchnormGeneratorTrains) {
+  CganTopology topo = toy_topology();
+  topo.generator_batchnorm = true;
+  Cgan model(topo, 51);
+  Rng rng(52);
+  Matrix data;
+  Matrix conds;
+  make_toy_data(128, data, conds, rng);
+  TrainConfig cfg;
+  cfg.iterations = 200;
+  cfg.batch_size = 16;
+  CganTrainer trainer(model, cfg, 53);
+  trainer.train(data, conds);
+  for (const TrainRecord& r : trainer.history()) {
+    ASSERT_TRUE(std::isfinite(r.g_loss));
+    ASSERT_TRUE(std::isfinite(r.d_loss));
+  }
+  // Generation is deterministic at inference (running stats, no batch
+  // coupling between rows).
+  Rng ga(9);
+  Rng gb(9);
+  Matrix cond(1, 2, 0.0F);
+  cond(0, 1) = 1.0F;
+  EXPECT_EQ(model.generate_for_condition(cond, 4, ga),
+            model.generate_for_condition(cond, 4, gb));
+}
+
+TEST(CganTrainer, SgdAndMomentumOptimizersRun) {
+  Rng rng(33);
+  Matrix data;
+  Matrix conds;
+  make_toy_data(64, data, conds, rng);
+  for (const OptimizerKind kind :
+       {OptimizerKind::kSgd, OptimizerKind::kMomentum}) {
+    Cgan model(toy_topology(), 3);
+    TrainConfig cfg;
+    cfg.iterations = 20;
+    cfg.batch_size = 16;
+    cfg.optimizer = kind;
+    cfg.learning_rate_g = 0.01F;
+    cfg.learning_rate_d = 0.01F;
+    CganTrainer trainer(model, cfg);
+    EXPECT_NO_THROW(trainer.train(data, conds));
+  }
+}
+
+}  // namespace
+}  // namespace gansec::gan

@@ -1,0 +1,315 @@
+#include "gansec/math/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gansec/error.hpp"
+#include "gansec/math/rng.hpp"
+
+namespace gansec::math {
+namespace {
+
+TEST(Matrix, DefaultConstructedIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0U);
+  EXPECT_EQ(m.cols(), 0U);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, FillConstructor) {
+  Matrix m(2, 3, 1.5F);
+  EXPECT_EQ(m.rows(), 2U);
+  EXPECT_EQ(m.cols(), 3U);
+  EXPECT_EQ(m.size(), 6U);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_FLOAT_EQ(m(r, c), 1.5F);
+    }
+  }
+}
+
+TEST(Matrix, FromRows) {
+  const Matrix m = Matrix::from_rows({{1.0F, 2.0F}, {3.0F, 4.0F}});
+  EXPECT_FLOAT_EQ(m(0, 0), 1.0F);
+  EXPECT_FLOAT_EQ(m(0, 1), 2.0F);
+  EXPECT_FLOAT_EQ(m(1, 0), 3.0F);
+  EXPECT_FLOAT_EQ(m(1, 1), 4.0F);
+}
+
+TEST(Matrix, FromRowsRaggedThrows) {
+  EXPECT_THROW(Matrix::from_rows({{1.0F, 2.0F}, {3.0F}}), DimensionError);
+}
+
+TEST(Matrix, RowAndColumnVector) {
+  const Matrix r = Matrix::row_vector({1.0F, 2.0F, 3.0F});
+  EXPECT_EQ(r.rows(), 1U);
+  EXPECT_EQ(r.cols(), 3U);
+  const Matrix c = Matrix::column_vector({1.0F, 2.0F, 3.0F});
+  EXPECT_EQ(c.rows(), 3U);
+  EXPECT_EQ(c.cols(), 1U);
+  EXPECT_FLOAT_EQ(c(2, 0), 3.0F);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix i = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_FLOAT_EQ(i(r, c), r == c ? 1.0F : 0.0F);
+    }
+  }
+}
+
+TEST(Matrix, AtThrowsOutOfRange) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), DimensionError);
+  EXPECT_THROW(m.at(0, 2), DimensionError);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(Matrix, AdditionSubtraction) {
+  const Matrix a = Matrix::from_rows({{1.0F, 2.0F}, {3.0F, 4.0F}});
+  const Matrix b = Matrix::from_rows({{4.0F, 3.0F}, {2.0F, 1.0F}});
+  const Matrix sum = a + b;
+  const Matrix diff = a - b;
+  EXPECT_FLOAT_EQ(sum(0, 0), 5.0F);
+  EXPECT_FLOAT_EQ(sum(1, 1), 5.0F);
+  EXPECT_FLOAT_EQ(diff(0, 0), -3.0F);
+  EXPECT_FLOAT_EQ(diff(1, 1), 3.0F);
+}
+
+TEST(Matrix, AdditionShapeMismatchThrows) {
+  Matrix a(2, 2);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a += b, DimensionError);
+  EXPECT_THROW(a -= b, DimensionError);
+}
+
+TEST(Matrix, ScalarOps) {
+  Matrix m = Matrix::from_rows({{1.0F, -2.0F}});
+  m *= 2.0F;
+  EXPECT_FLOAT_EQ(m(0, 0), 2.0F);
+  EXPECT_FLOAT_EQ(m(0, 1), -4.0F);
+  m += 1.0F;
+  EXPECT_FLOAT_EQ(m(0, 0), 3.0F);
+  const Matrix scaled = 3.0F * m;
+  EXPECT_FLOAT_EQ(scaled(0, 0), 9.0F);
+}
+
+TEST(Matrix, Hadamard) {
+  const Matrix a = Matrix::from_rows({{1.0F, 2.0F}, {3.0F, 4.0F}});
+  const Matrix b = Matrix::from_rows({{2.0F, 0.5F}, {1.0F, -1.0F}});
+  const Matrix h = Matrix::hadamard(a, b);
+  EXPECT_FLOAT_EQ(h(0, 0), 2.0F);
+  EXPECT_FLOAT_EQ(h(0, 1), 1.0F);
+  EXPECT_FLOAT_EQ(h(1, 1), -4.0F);
+  EXPECT_THROW(Matrix::hadamard(a, Matrix(1, 2)), DimensionError);
+}
+
+TEST(Matrix, MatmulKnownValues) {
+  const Matrix a = Matrix::from_rows({{1.0F, 2.0F}, {3.0F, 4.0F}});
+  const Matrix b = Matrix::from_rows({{5.0F, 6.0F}, {7.0F, 8.0F}});
+  const Matrix p = Matrix::matmul(a, b);
+  EXPECT_FLOAT_EQ(p(0, 0), 19.0F);
+  EXPECT_FLOAT_EQ(p(0, 1), 22.0F);
+  EXPECT_FLOAT_EQ(p(1, 0), 43.0F);
+  EXPECT_FLOAT_EQ(p(1, 1), 50.0F);
+}
+
+TEST(Matrix, MatmulIdentityIsNoop) {
+  Rng rng(1);
+  const Matrix a = rng.uniform_matrix(4, 4, -1.0F, 1.0F);
+  const Matrix p = Matrix::matmul(a, Matrix::identity(4));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(p.data()[i], a.data()[i]);
+  }
+}
+
+TEST(Matrix, MatmulShapeMismatchThrows) {
+  EXPECT_THROW(Matrix::matmul(Matrix(2, 3), Matrix(2, 3)), DimensionError);
+}
+
+TEST(Matrix, MatmulTransposedVariantsAgree) {
+  Rng rng(7);
+  const Matrix a = rng.normal_matrix(3, 5, 0.0F, 1.0F);
+  const Matrix b = rng.normal_matrix(4, 5, 0.0F, 1.0F);
+  // a * b^T two ways.
+  const Matrix direct = Matrix::matmul(a, b.transposed());
+  const Matrix fused = Matrix::matmul_transposed_b(a, b);
+  ASSERT_TRUE(direct.same_shape(fused));
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(direct.data()[i], fused.data()[i], 1e-5F);
+  }
+  // a^T * c two ways.
+  const Matrix c = rng.normal_matrix(3, 2, 0.0F, 1.0F);
+  const Matrix direct2 = Matrix::matmul(a.transposed(), c);
+  const Matrix fused2 = Matrix::matmul_transposed_a(a, c);
+  ASSERT_TRUE(direct2.same_shape(fused2));
+  for (std::size_t i = 0; i < direct2.size(); ++i) {
+    EXPECT_NEAR(direct2.data()[i], fused2.data()[i], 1e-5F);
+  }
+}
+
+TEST(Matrix, TransposeInvolution) {
+  Rng rng(3);
+  const Matrix a = rng.uniform_matrix(3, 7, -2.0F, 2.0F);
+  EXPECT_EQ(a.transposed().transposed(), a);
+}
+
+TEST(Matrix, AddRowBroadcast) {
+  Matrix m(2, 3, 1.0F);
+  const Matrix row = Matrix::row_vector({1.0F, 2.0F, 3.0F});
+  m.add_row_broadcast(row);
+  EXPECT_FLOAT_EQ(m(0, 0), 2.0F);
+  EXPECT_FLOAT_EQ(m(1, 2), 4.0F);
+  EXPECT_THROW(m.add_row_broadcast(Matrix(1, 2)), DimensionError);
+}
+
+TEST(Matrix, RowGetSet) {
+  Matrix m(3, 2, 0.0F);
+  m.set_row(1, Matrix::row_vector({5.0F, 6.0F}));
+  const Matrix r = m.row(1);
+  EXPECT_FLOAT_EQ(r(0, 0), 5.0F);
+  EXPECT_FLOAT_EQ(r(0, 1), 6.0F);
+  EXPECT_THROW(m.row(3), DimensionError);
+  EXPECT_THROW(m.set_row(0, Matrix(1, 3)), DimensionError);
+}
+
+TEST(Matrix, Reductions) {
+  const Matrix m = Matrix::from_rows({{1.0F, 2.0F}, {3.0F, 4.0F}});
+  EXPECT_FLOAT_EQ(m.sum(), 10.0F);
+  EXPECT_FLOAT_EQ(m.mean(), 2.5F);
+  EXPECT_FLOAT_EQ(m.min(), 1.0F);
+  EXPECT_FLOAT_EQ(m.max(), 4.0F);
+  const Matrix cs = m.col_sums();
+  EXPECT_FLOAT_EQ(cs(0, 0), 4.0F);
+  EXPECT_FLOAT_EQ(cs(0, 1), 6.0F);
+  const Matrix rs = m.row_sums();
+  EXPECT_FLOAT_EQ(rs(0, 0), 3.0F);
+  EXPECT_FLOAT_EQ(rs(1, 0), 7.0F);
+}
+
+TEST(Matrix, EmptyReductionsThrow) {
+  const Matrix m;
+  EXPECT_THROW(m.mean(), InvalidArgumentError);
+  EXPECT_THROW(m.min(), InvalidArgumentError);
+  EXPECT_THROW(m.max(), InvalidArgumentError);
+}
+
+TEST(Matrix, AllFinite) {
+  Matrix m(1, 2, 1.0F);
+  EXPECT_TRUE(m.all_finite());
+  m(0, 1) = std::numeric_limits<float>::infinity();
+  EXPECT_FALSE(m.all_finite());
+  m(0, 1) = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_FALSE(m.all_finite());
+}
+
+TEST(Matrix, MapAndApply) {
+  const Matrix m = Matrix::from_rows({{1.0F, -2.0F}});
+  const Matrix absd = m.map([](float v) { return v < 0 ? -v : v; });
+  EXPECT_FLOAT_EQ(absd(0, 1), 2.0F);
+  Matrix n = m;
+  n.apply([](float v) { return v * 10.0F; });
+  EXPECT_FLOAT_EQ(n(0, 0), 10.0F);
+}
+
+TEST(Matrix, SliceCols) {
+  const Matrix m =
+      Matrix::from_rows({{1.0F, 2.0F, 3.0F}, {4.0F, 5.0F, 6.0F}});
+  const Matrix s = m.slice_cols(1, 3);
+  EXPECT_EQ(s.cols(), 2U);
+  EXPECT_FLOAT_EQ(s(0, 0), 2.0F);
+  EXPECT_FLOAT_EQ(s(1, 1), 6.0F);
+  EXPECT_THROW(m.slice_cols(2, 4), DimensionError);
+  EXPECT_THROW(m.slice_cols(3, 2), DimensionError);
+}
+
+TEST(Matrix, SliceRows) {
+  const Matrix m =
+      Matrix::from_rows({{1.0F, 2.0F}, {3.0F, 4.0F}, {5.0F, 6.0F}});
+  const Matrix s = m.slice_rows(1, 3);
+  EXPECT_EQ(s.rows(), 2U);
+  EXPECT_FLOAT_EQ(s(0, 0), 3.0F);
+  EXPECT_FLOAT_EQ(s(1, 1), 6.0F);
+  EXPECT_THROW(m.slice_rows(0, 4), DimensionError);
+}
+
+TEST(Matrix, Hstack) {
+  const Matrix a = Matrix::from_rows({{1.0F}, {2.0F}});
+  const Matrix b = Matrix::from_rows({{3.0F, 4.0F}, {5.0F, 6.0F}});
+  const Matrix h = Matrix::hstack(a, b);
+  EXPECT_EQ(h.rows(), 2U);
+  EXPECT_EQ(h.cols(), 3U);
+  EXPECT_FLOAT_EQ(h(0, 0), 1.0F);
+  EXPECT_FLOAT_EQ(h(0, 1), 3.0F);
+  EXPECT_FLOAT_EQ(h(1, 2), 6.0F);
+  EXPECT_THROW(Matrix::hstack(a, Matrix(3, 1)), DimensionError);
+}
+
+TEST(Matrix, Vstack) {
+  const Matrix a = Matrix::from_rows({{1.0F, 2.0F}});
+  const Matrix b = Matrix::from_rows({{3.0F, 4.0F}});
+  const Matrix v = Matrix::vstack(a, b);
+  EXPECT_EQ(v.rows(), 2U);
+  EXPECT_FLOAT_EQ(v(1, 0), 3.0F);
+  EXPECT_THROW(Matrix::vstack(a, Matrix(1, 3)), DimensionError);
+}
+
+TEST(Matrix, GatherRows) {
+  const Matrix m =
+      Matrix::from_rows({{1.0F, 1.0F}, {2.0F, 2.0F}, {3.0F, 3.0F}});
+  const Matrix g = m.gather_rows({2, 0, 2});
+  EXPECT_EQ(g.rows(), 3U);
+  EXPECT_FLOAT_EQ(g(0, 0), 3.0F);
+  EXPECT_FLOAT_EQ(g(1, 0), 1.0F);
+  EXPECT_FLOAT_EQ(g(2, 0), 3.0F);
+  EXPECT_THROW(m.gather_rows({3}), DimensionError);
+}
+
+TEST(Matrix, StreamOutput) {
+  const Matrix m = Matrix::from_rows({{1.0F, 2.0F}});
+  std::ostringstream os;
+  os << m;
+  EXPECT_EQ(os.str(), "1 2\n");
+}
+
+// Property sweep: distributivity A(B + C) == AB + AC over random shapes.
+class MatmulProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MatmulProperty, Distributive) {
+  Rng rng(GetParam());
+  const auto m = static_cast<std::size_t>(rng.randint(1, 8));
+  const auto k = static_cast<std::size_t>(rng.randint(1, 8));
+  const auto n = static_cast<std::size_t>(rng.randint(1, 8));
+  const Matrix a = rng.normal_matrix(m, k, 0.0F, 1.0F);
+  const Matrix b = rng.normal_matrix(k, n, 0.0F, 1.0F);
+  const Matrix c = rng.normal_matrix(k, n, 0.0F, 1.0F);
+  const Matrix lhs = Matrix::matmul(a, b + c);
+  const Matrix rhs = Matrix::matmul(a, b) + Matrix::matmul(a, c);
+  ASSERT_TRUE(lhs.same_shape(rhs));
+  for (std::size_t i = 0; i < lhs.size(); ++i) {
+    EXPECT_NEAR(lhs.data()[i], rhs.data()[i], 1e-4F);
+  }
+}
+
+TEST_P(MatmulProperty, TransposeOfProduct) {
+  Rng rng(GetParam() * 31 + 1);
+  const auto m = static_cast<std::size_t>(rng.randint(1, 8));
+  const auto k = static_cast<std::size_t>(rng.randint(1, 8));
+  const auto n = static_cast<std::size_t>(rng.randint(1, 8));
+  const Matrix a = rng.normal_matrix(m, k, 0.0F, 1.0F);
+  const Matrix b = rng.normal_matrix(k, n, 0.0F, 1.0F);
+  const Matrix lhs = Matrix::matmul(a, b).transposed();
+  const Matrix rhs = Matrix::matmul(b.transposed(), a.transposed());
+  ASSERT_TRUE(lhs.same_shape(rhs));
+  for (std::size_t i = 0; i < lhs.size(); ++i) {
+    EXPECT_NEAR(lhs.data()[i], rhs.data()[i], 1e-4F);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomShapes, MatmulProperty,
+                         ::testing::Range<std::size_t>(0, 12));
+
+}  // namespace
+}  // namespace gansec::math

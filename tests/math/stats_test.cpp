@@ -1,0 +1,107 @@
+#include "gansec/math/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gansec/error.hpp"
+#include "gansec/math/rng.hpp"
+
+namespace gansec::math {
+namespace {
+
+TEST(Stats, Mean) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({-5.0}), -5.0);
+  EXPECT_THROW(mean({}), InvalidArgumentError);
+}
+
+TEST(Stats, Variance) {
+  EXPECT_DOUBLE_EQ(variance({1.0, 1.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({0.0, 2.0}), 1.0);
+  EXPECT_THROW(variance({}), InvalidArgumentError);
+}
+
+TEST(Stats, SampleVariance) {
+  EXPECT_DOUBLE_EQ(sample_variance({0.0, 2.0}), 2.0);
+  EXPECT_THROW(sample_variance({1.0}), InvalidArgumentError);
+}
+
+TEST(Stats, Stddev) {
+  EXPECT_DOUBLE_EQ(stddev({0.0, 2.0}), 1.0);
+}
+
+TEST(Stats, MinMax) {
+  EXPECT_DOUBLE_EQ(min_value({3.0, -1.0, 2.0}), -1.0);
+  EXPECT_DOUBLE_EQ(max_value({3.0, -1.0, 2.0}), 3.0);
+  EXPECT_THROW(min_value({}), InvalidArgumentError);
+}
+
+TEST(Stats, MedianOdd) {
+  EXPECT_DOUBLE_EQ(median({5.0, 1.0, 3.0}), 3.0);
+}
+
+TEST(Stats, MedianEven) {
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Stats, MedianSingle) {
+  EXPECT_DOUBLE_EQ(median({7.0}), 7.0);
+}
+
+TEST(Stats, PercentileEndpoints) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);
+  EXPECT_THROW(percentile(xs, -1.0), InvalidArgumentError);
+  EXPECT_THROW(percentile(xs, 101.0), InvalidArgumentError);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 2.5);
+}
+
+TEST(Stats, CovarianceAndCorrelation) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{2.0, 4.0, 6.0};
+  EXPECT_NEAR(correlation(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg{6.0, 4.0, 2.0};
+  EXPECT_NEAR(correlation(xs, neg), -1.0, 1e-12);
+  EXPECT_THROW(covariance(xs, {1.0}), InvalidArgumentError);
+  EXPECT_THROW(correlation(xs, {1.0, 1.0, 1.0}), InvalidArgumentError);
+}
+
+TEST(Stats, CorrelationOfIndependentNearZero) {
+  Rng rng(41);
+  std::vector<double> xs(5000);
+  std::vector<double> ys(5000);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.normal();
+    ys[i] = rng.normal();
+  }
+  EXPECT_NEAR(correlation(xs, ys), 0.0, 0.05);
+}
+
+// Parameterized invariant: variance is translation-invariant and scales
+// quadratically.
+class VarianceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(VarianceProperty, TranslationAndScale) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> xs(200);
+  for (double& x : xs) x = rng.normal(0.0, 2.0);
+  const double base = variance(xs);
+  std::vector<double> shifted = xs;
+  for (double& x : shifted) x += 17.0;
+  EXPECT_NEAR(variance(shifted), base, 1e-9 * std::max(1.0, base));
+  std::vector<double> scaled = xs;
+  for (double& x : scaled) x *= 3.0;
+  EXPECT_NEAR(variance(scaled), 9.0 * base, 1e-6 * std::max(1.0, base));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VarianceProperty, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace gansec::math

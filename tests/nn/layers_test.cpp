@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gansec/error.hpp"
+#include "gansec/math/rng.hpp"
+#include "gansec/nn/activations.hpp"
+#include "gansec/nn/dense.hpp"
+#include "gansec/nn/dropout.hpp"
+
+namespace gansec::nn {
+namespace {
+
+using math::Matrix;
+using math::Rng;
+
+/// Scalar test loss: L = sum(output .* weights). dL/dOutput = weights.
+double weighted_sum(const Matrix& out, const Matrix& w) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    acc += static_cast<double>(out.data()[i]) *
+           static_cast<double>(w.data()[i]);
+  }
+  return acc;
+}
+
+/// Verifies layer.backward against central finite differences, both for
+/// the input gradient and every parameter gradient.
+void check_gradients(Layer& layer, const Matrix& input, double tol = 2e-2) {
+  Rng rng(99);
+  Matrix out = layer.forward(input, /*training=*/false);
+  const Matrix w = rng.normal_matrix(out.rows(), out.cols(), 0.0F, 1.0F);
+
+  for (Parameter* p : layer.parameters()) p->zero_grad();
+  const Matrix grad_in = layer.backward(w);
+
+  const float eps = 1e-3F;
+  // Input gradient.
+  Matrix x = input;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float orig = x.data()[i];
+    x.data()[i] = orig + eps;
+    const double up = weighted_sum(layer.forward(x, false), w);
+    x.data()[i] = orig - eps;
+    const double dn = weighted_sum(layer.forward(x, false), w);
+    x.data()[i] = orig;
+    const double numeric = (up - dn) / (2.0 * eps);
+    EXPECT_NEAR(grad_in.data()[i], numeric, tol)
+        << "input grad mismatch at " << i;
+  }
+  // Restore caches to the nominal input before parameter perturbation.
+  layer.forward(input, false);
+  const Matrix grad_in2 = layer.backward(w);
+  (void)grad_in2;
+
+  for (Parameter* p : layer.parameters()) {
+    // backward was called twice; gradients accumulated twice.
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      const float orig = p->value.data()[i];
+      p->value.data()[i] = orig + eps;
+      const double up = weighted_sum(layer.forward(input, false), w);
+      p->value.data()[i] = orig - eps;
+      const double dn = weighted_sum(layer.forward(input, false), w);
+      p->value.data()[i] = orig;
+      const double numeric = (up - dn) / (2.0 * eps);
+      EXPECT_NEAR(p->grad.data()[i] / 2.0F, numeric, tol)
+          << "param " << p->name << " grad mismatch at " << i;
+    }
+  }
+}
+
+TEST(Dense, ForwardKnownValues) {
+  Dense dense(2, 2);
+  dense.weight().value = Matrix::from_rows({{1.0F, 2.0F}, {3.0F, 4.0F}});
+  dense.bias().value = Matrix::row_vector({0.5F, -0.5F});
+  const Matrix x = Matrix::from_rows({{1.0F, 1.0F}});
+  const Matrix y = dense.forward(x, false);
+  EXPECT_FLOAT_EQ(y(0, 0), 4.5F);   // 1*1 + 1*3 + 0.5
+  EXPECT_FLOAT_EQ(y(0, 1), 5.5F);   // 1*2 + 1*4 - 0.5
+}
+
+TEST(Dense, ZeroDimensionsThrow) {
+  EXPECT_THROW(Dense(0, 4), InvalidArgumentError);
+  EXPECT_THROW(Dense(4, 0), InvalidArgumentError);
+}
+
+TEST(Dense, ForwardWidthMismatchThrows) {
+  Dense dense(3, 2);
+  EXPECT_THROW(dense.forward(Matrix(1, 4), false), DimensionError);
+}
+
+TEST(Dense, BackwardShapeMismatchThrows) {
+  Dense dense(3, 2);
+  dense.forward(Matrix(2, 3), false);
+  EXPECT_THROW(dense.backward(Matrix(2, 3)), DimensionError);
+  EXPECT_THROW(dense.backward(Matrix(1, 2)), DimensionError);
+}
+
+TEST(Dense, GradientsMatchFiniteDifferences) {
+  Rng rng(7);
+  Dense dense(4, 3);
+  dense.init_weights(rng);
+  const Matrix x = rng.normal_matrix(5, 4, 0.0F, 1.0F);
+  check_gradients(dense, x);
+}
+
+TEST(Dense, XavierInitWithinLimit) {
+  Rng rng(3);
+  Dense dense(10, 20, InitScheme::kXavierUniform);
+  dense.init_weights(rng);
+  const float limit = std::sqrt(6.0F / 30.0F);
+  EXPECT_GE(dense.weight().value.min(), -limit);
+  EXPECT_LE(dense.weight().value.max(), limit);
+  EXPECT_FLOAT_EQ(dense.bias().value.min(), 0.0F);
+  EXPECT_FLOAT_EQ(dense.bias().value.max(), 0.0F);
+}
+
+TEST(Dense, HeInitVariance) {
+  Rng rng(5);
+  Dense dense(100, 200, InitScheme::kHeNormal);
+  dense.init_weights(rng);
+  double sq = 0.0;
+  const auto& w = dense.weight().value;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    sq += static_cast<double>(w.data()[i]) * w.data()[i];
+  }
+  const double var = sq / static_cast<double>(w.size());
+  EXPECT_NEAR(var, 2.0 / 100.0, 0.004);
+}
+
+TEST(Dense, CloneIsDeepCopy) {
+  Rng rng(1);
+  Dense dense(2, 2);
+  dense.init_weights(rng);
+  auto clone = dense.clone();
+  auto* cloned = dynamic_cast<Dense*>(clone.get());
+  ASSERT_NE(cloned, nullptr);
+  EXPECT_EQ(cloned->weight().value, dense.weight().value);
+  cloned->weight().value(0, 0) += 1.0F;
+  EXPECT_NE(cloned->weight().value, dense.weight().value);
+}
+
+TEST(Relu, ForwardClampsNegatives) {
+  Relu relu;
+  const Matrix x = Matrix::from_rows({{-1.0F, 0.0F, 2.0F}});
+  const Matrix y = relu.forward(x, false);
+  EXPECT_FLOAT_EQ(y(0, 0), 0.0F);
+  EXPECT_FLOAT_EQ(y(0, 1), 0.0F);
+  EXPECT_FLOAT_EQ(y(0, 2), 2.0F);
+}
+
+TEST(Relu, GradientsMatchFiniteDifferences) {
+  Rng rng(17);
+  Relu relu;
+  // Keep inputs away from the kink at 0 for a clean finite difference.
+  Matrix x = rng.normal_matrix(3, 4, 0.0F, 1.0F);
+  x.apply([](float v) { return std::abs(v) < 0.05F ? v + 0.2F : v; });
+  check_gradients(relu, x);
+}
+
+TEST(LeakyRelu, NegativeSlope) {
+  LeakyRelu lrelu(0.1F);
+  const Matrix x = Matrix::from_rows({{-2.0F, 3.0F}});
+  const Matrix y = lrelu.forward(x, false);
+  EXPECT_FLOAT_EQ(y(0, 0), -0.2F);
+  EXPECT_FLOAT_EQ(y(0, 1), 3.0F);
+  EXPECT_THROW(LeakyRelu(-0.5F), InvalidArgumentError);
+}
+
+TEST(LeakyRelu, GradientsMatchFiniteDifferences) {
+  Rng rng(19);
+  LeakyRelu lrelu(0.2F);
+  Matrix x = rng.normal_matrix(3, 4, 0.0F, 1.0F);
+  x.apply([](float v) { return std::abs(v) < 0.05F ? v + 0.2F : v; });
+  check_gradients(lrelu, x);
+}
+
+TEST(Tanh, ForwardRange) {
+  Tanh tanh_layer;
+  const Matrix x = Matrix::from_rows({{-10.0F, 0.0F, 10.0F}});
+  const Matrix y = tanh_layer.forward(x, false);
+  EXPECT_NEAR(y(0, 0), -1.0F, 1e-4F);
+  EXPECT_FLOAT_EQ(y(0, 1), 0.0F);
+  EXPECT_NEAR(y(0, 2), 1.0F, 1e-4F);
+}
+
+TEST(Tanh, GradientsMatchFiniteDifferences) {
+  Rng rng(23);
+  Tanh tanh_layer;
+  const Matrix x = rng.normal_matrix(3, 4, 0.0F, 1.0F);
+  check_gradients(tanh_layer, x);
+}
+
+TEST(Sigmoid, ForwardValues) {
+  Sigmoid sigmoid;
+  const Matrix x = Matrix::from_rows({{0.0F, -100.0F, 100.0F}});
+  const Matrix y = sigmoid.forward(x, false);
+  EXPECT_FLOAT_EQ(y(0, 0), 0.5F);
+  EXPECT_NEAR(y(0, 1), 0.0F, 1e-6F);
+  EXPECT_NEAR(y(0, 2), 1.0F, 1e-6F);
+}
+
+TEST(Sigmoid, GradientsMatchFiniteDifferences) {
+  Rng rng(29);
+  Sigmoid sigmoid;
+  const Matrix x = rng.normal_matrix(3, 4, 0.0F, 1.0F);
+  check_gradients(sigmoid, x);
+}
+
+TEST(Dropout, EvalModePassThrough) {
+  Dropout dropout(0.5F);
+  const Matrix x = Matrix::from_rows({{1.0F, 2.0F, 3.0F}});
+  const Matrix y = dropout.forward(x, /*training=*/false);
+  EXPECT_EQ(y, x);
+}
+
+TEST(Dropout, InvalidRateThrows) {
+  EXPECT_THROW(Dropout(-0.1F), InvalidArgumentError);
+  EXPECT_THROW(Dropout(1.0F), InvalidArgumentError);
+}
+
+TEST(Dropout, TrainingZeroesApproxRate) {
+  Dropout dropout(0.3F, 77);
+  const Matrix x(1, 10000, 1.0F);
+  const Matrix y = dropout.forward(x, /*training=*/true);
+  std::size_t zeros = 0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y.data()[i] == 0.0F) ++zeros;
+    sum += y.data()[i];
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.3, 0.03);
+  // Inverted scaling preserves the expected activation magnitude.
+  EXPECT_NEAR(sum / 10000.0, 1.0, 0.05);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  Dropout dropout(0.5F, 3);
+  const Matrix x(2, 50, 1.0F);
+  const Matrix y = dropout.forward(x, true);
+  const Matrix g = dropout.backward(Matrix(2, 50, 1.0F));
+  // Gradient is zero exactly where the output was dropped.
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_FLOAT_EQ(g.data()[i], y.data()[i]);
+  }
+}
+
+TEST(Dropout, ZeroRateIsIdentityInTraining) {
+  Dropout dropout(0.0F);
+  const Matrix x = Matrix::from_rows({{1.0F, -2.0F}});
+  EXPECT_EQ(dropout.forward(x, true), x);
+  EXPECT_EQ(dropout.backward(x), x);
+}
+
+}  // namespace
+}  // namespace gansec::nn

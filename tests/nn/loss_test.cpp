@@ -1,0 +1,180 @@
+#include "gansec/nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gansec/error.hpp"
+#include "gansec/math/rng.hpp"
+
+namespace gansec::nn {
+namespace {
+
+using math::Matrix;
+using math::Rng;
+
+TEST(Bce, PerfectPredictionNearZero) {
+  const BinaryCrossEntropy bce;
+  const Matrix p = Matrix::from_rows({{0.9999F}, {0.0001F}});
+  const Matrix t = Matrix::from_rows({{1.0F}, {0.0F}});
+  EXPECT_LT(bce.value(p, t), 1e-3);
+}
+
+TEST(Bce, KnownValue) {
+  const BinaryCrossEntropy bce;
+  const Matrix p = Matrix::from_rows({{0.5F}});
+  const Matrix t = Matrix::from_rows({{1.0F}});
+  EXPECT_NEAR(bce.value(p, t), std::log(2.0), 1e-6);
+}
+
+TEST(Bce, ClampsExtremePredictions) {
+  const BinaryCrossEntropy bce;
+  const Matrix p = Matrix::from_rows({{0.0F}});
+  const Matrix t = Matrix::from_rows({{1.0F}});
+  // Without clamping this would be infinite.
+  const double v = bce.value(p, t);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GT(v, 10.0);
+}
+
+TEST(Bce, ShapeMismatchThrows) {
+  const BinaryCrossEntropy bce;
+  EXPECT_THROW(bce.value(Matrix(1, 2), Matrix(2, 1)), DimensionError);
+  EXPECT_THROW(bce.gradient(Matrix(1, 2), Matrix(2, 1)), DimensionError);
+}
+
+TEST(Bce, EmptyBatchThrows) {
+  const BinaryCrossEntropy bce;
+  EXPECT_THROW(bce.value(Matrix(), Matrix()), InvalidArgumentError);
+}
+
+TEST(Bce, GradientMatchesFiniteDifference) {
+  const BinaryCrossEntropy bce;
+  Rng rng(5);
+  Matrix p = rng.uniform_matrix(4, 2, 0.1F, 0.9F);
+  Matrix t(4, 2);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t.data()[i] = rng.bernoulli(0.5) ? 1.0F : 0.0F;
+  }
+  const Matrix grad = bce.gradient(p, t);
+  const float eps = 1e-3F;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const float orig = p.data()[i];
+    p.data()[i] = orig + eps;
+    const double up = bce.value(p, t);
+    p.data()[i] = orig - eps;
+    const double dn = bce.value(p, t);
+    p.data()[i] = orig;
+    EXPECT_NEAR(grad.data()[i], (up - dn) / (2.0 * eps), 2e-2);
+  }
+}
+
+TEST(SoftmaxRows, SumsToOne) {
+  Rng rng(9);
+  const Matrix logits = rng.normal_matrix(5, 4, 0.0F, 3.0F);
+  const Matrix probs = softmax_rows(logits);
+  for (std::size_t r = 0; r < probs.rows(); ++r) {
+    float sum = 0.0F;
+    for (std::size_t c = 0; c < probs.cols(); ++c) {
+      EXPECT_GT(probs(r, c), 0.0F);
+      sum += probs(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0F, 1e-6F);
+  }
+  EXPECT_THROW(softmax_rows(Matrix()), InvalidArgumentError);
+}
+
+TEST(SoftmaxRows, StableForLargeLogits) {
+  const Matrix logits = Matrix::from_rows({{1000.0F, 999.0F, 998.0F}});
+  const Matrix probs = softmax_rows(logits);
+  EXPECT_TRUE(probs.all_finite());
+  EXPECT_GT(probs(0, 0), probs(0, 1));
+  EXPECT_GT(probs(0, 1), probs(0, 2));
+}
+
+TEST(SoftmaxRows, UniformLogitsGiveUniformProbs) {
+  const Matrix logits(2, 4, 3.0F);
+  const Matrix probs = softmax_rows(logits);
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    EXPECT_NEAR(probs.data()[i], 0.25F, 1e-6F);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, KnownValue) {
+  const SoftmaxCrossEntropy ce;
+  const Matrix logits = Matrix::from_rows({{0.0F, 0.0F}});
+  const Matrix target = Matrix::from_rows({{1.0F, 0.0F}});
+  EXPECT_NEAR(ce.value(logits, target), std::log(2.0), 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, ConfidentCorrectIsNearZero) {
+  const SoftmaxCrossEntropy ce;
+  const Matrix logits = Matrix::from_rows({{20.0F, 0.0F, 0.0F}});
+  const Matrix target = Matrix::from_rows({{1.0F, 0.0F, 0.0F}});
+  EXPECT_LT(ce.value(logits, target), 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, GradientMatchesFiniteDifference) {
+  const SoftmaxCrossEntropy ce;
+  Rng rng(11);
+  Matrix logits = rng.normal_matrix(3, 4, 0.0F, 1.0F);
+  Matrix target(3, 4, 0.0F);
+  for (std::size_t r = 0; r < 3; ++r) {
+    target(r, static_cast<std::size_t>(rng.randint(0, 3))) = 1.0F;
+  }
+  const Matrix grad = ce.gradient(logits, target);
+  const float eps = 1e-3F;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const float orig = logits.data()[i];
+    logits.data()[i] = orig + eps;
+    const double up = ce.value(logits, target);
+    logits.data()[i] = orig - eps;
+    const double dn = ce.value(logits, target);
+    logits.data()[i] = orig;
+    EXPECT_NEAR(grad.data()[i], (up - dn) / (2.0 * eps), 2e-3);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, ShapeMismatchThrows) {
+  const SoftmaxCrossEntropy ce;
+  EXPECT_THROW(ce.value(Matrix(1, 2), Matrix(1, 3)), DimensionError);
+}
+
+TEST(Mse, KnownValue) {
+  const MeanSquaredError mse;
+  const Matrix p = Matrix::from_rows({{1.0F, 2.0F}});
+  const Matrix t = Matrix::from_rows({{0.0F, 4.0F}});
+  EXPECT_DOUBLE_EQ(mse.value(p, t), (1.0 + 4.0) / 2.0);
+}
+
+TEST(Mse, ZeroWhenEqual) {
+  const MeanSquaredError mse;
+  const Matrix p = Matrix::from_rows({{1.0F, 2.0F}});
+  EXPECT_DOUBLE_EQ(mse.value(p, p), 0.0);
+}
+
+TEST(Mse, GradientMatchesFiniteDifference) {
+  const MeanSquaredError mse;
+  Rng rng(6);
+  Matrix p = rng.normal_matrix(3, 3, 0.0F, 1.0F);
+  const Matrix t = rng.normal_matrix(3, 3, 0.0F, 1.0F);
+  const Matrix grad = mse.gradient(p, t);
+  const float eps = 1e-3F;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const float orig = p.data()[i];
+    p.data()[i] = orig + eps;
+    const double up = mse.value(p, t);
+    p.data()[i] = orig - eps;
+    const double dn = mse.value(p, t);
+    p.data()[i] = orig;
+    EXPECT_NEAR(grad.data()[i], (up - dn) / (2.0 * eps), 1e-3);
+  }
+}
+
+TEST(Mse, ShapeMismatchThrows) {
+  const MeanSquaredError mse;
+  EXPECT_THROW(mse.value(Matrix(1, 2), Matrix(1, 3)), DimensionError);
+}
+
+}  // namespace
+}  // namespace gansec::nn

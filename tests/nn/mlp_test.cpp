@@ -1,0 +1,166 @@
+#include "gansec/nn/mlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gansec/error.hpp"
+#include "gansec/math/rng.hpp"
+#include "gansec/nn/activations.hpp"
+#include "gansec/nn/dense.hpp"
+#include "gansec/nn/loss.hpp"
+#include "gansec/nn/optimizer.hpp"
+
+namespace gansec::nn {
+namespace {
+
+using math::Matrix;
+using math::Rng;
+
+Mlp make_net(Rng& rng) {
+  Mlp net;
+  net.emplace<Dense>(2, 8, InitScheme::kHeNormal);
+  net.emplace<Tanh>();
+  net.emplace<Dense>(8, 1);
+  net.emplace<Sigmoid>();
+  net.init_weights(rng);
+  return net;
+}
+
+TEST(Mlp, EmptyNetworkThrows) {
+  Mlp net;
+  EXPECT_THROW(net.forward(Matrix(1, 2), false), InvalidArgumentError);
+  EXPECT_THROW(net.backward(Matrix(1, 2)), InvalidArgumentError);
+}
+
+TEST(Mlp, AddNullThrows) {
+  Mlp net;
+  EXPECT_THROW(net.add(nullptr), InvalidArgumentError);
+}
+
+TEST(Mlp, LayerCountAndAccess) {
+  Rng rng(1);
+  Mlp net = make_net(rng);
+  EXPECT_EQ(net.layer_count(), 4U);
+  EXPECT_EQ(net.layer(0).kind(), "dense");
+  EXPECT_EQ(net.layer(3).kind(), "sigmoid");
+}
+
+TEST(Mlp, ParameterCount) {
+  Rng rng(1);
+  Mlp net = make_net(rng);
+  // (2*8 + 8) + (8*1 + 1) = 33.
+  EXPECT_EQ(net.parameter_count(), 33U);
+  EXPECT_EQ(net.parameters().size(), 4U);
+}
+
+TEST(Mlp, ForwardShape) {
+  Rng rng(2);
+  Mlp net = make_net(rng);
+  const Matrix y = net.forward(Matrix(5, 2, 0.1F), false);
+  EXPECT_EQ(y.rows(), 5U);
+  EXPECT_EQ(y.cols(), 1U);
+  EXPECT_GE(y.min(), 0.0F);
+  EXPECT_LE(y.max(), 1.0F);
+}
+
+TEST(Mlp, CloneIndependent) {
+  Rng rng(3);
+  Mlp net = make_net(rng);
+  Mlp copy = net.clone();
+  const Matrix x(1, 2, 0.5F);
+  const Matrix y0 = net.forward(x, false);
+  const Matrix y1 = copy.forward(x, false);
+  EXPECT_EQ(y0, y1);
+  // Mutate the copy; original must be unaffected.
+  copy.parameters()[0]->value(0, 0) += 10.0F;
+  const Matrix y2 = net.forward(x, false);
+  EXPECT_EQ(y0, y2);
+  const Matrix y3 = copy.forward(x, false);
+  EXPECT_NE(y0, y3);
+}
+
+TEST(Mlp, CopySemantics) {
+  Rng rng(4);
+  Mlp net = make_net(rng);
+  Mlp copied(net);  // copy ctor delegates to clone
+  const Matrix x(1, 2, -0.3F);
+  EXPECT_EQ(net.forward(x, false), copied.forward(x, false));
+  Mlp assigned;
+  assigned = net;
+  EXPECT_EQ(net.forward(x, false), assigned.forward(x, false));
+}
+
+TEST(Mlp, ZeroGradClearsAll) {
+  Rng rng(5);
+  Mlp net = make_net(rng);
+  const Matrix x(3, 2, 1.0F);
+  net.forward(x, true);
+  net.backward(Matrix(3, 1, 1.0F));
+  bool any_nonzero = false;
+  for (Parameter* p : net.parameters()) {
+    if (p->grad.sum() != 0.0F) any_nonzero = true;
+  }
+  EXPECT_TRUE(any_nonzero);
+  net.zero_grad();
+  for (Parameter* p : net.parameters()) {
+    EXPECT_FLOAT_EQ(p->grad.sum(), 0.0F);
+  }
+}
+
+TEST(Mlp, LearnsXor) {
+  // The classic non-linearly-separable sanity check for backprop.
+  Rng rng(7);
+  Mlp net;
+  net.emplace<Dense>(2, 16, InitScheme::kHeNormal);
+  net.emplace<Tanh>();
+  net.emplace<Dense>(16, 1);
+  net.emplace<Sigmoid>();
+  net.init_weights(rng);
+
+  const Matrix x = Matrix::from_rows(
+      {{0.0F, 0.0F}, {0.0F, 1.0F}, {1.0F, 0.0F}, {1.0F, 1.0F}});
+  const Matrix t = Matrix::from_rows({{0.0F}, {1.0F}, {1.0F}, {0.0F}});
+
+  Adam adam(net.parameters(), 0.05F);
+  const BinaryCrossEntropy bce;
+  for (int epoch = 0; epoch < 800; ++epoch) {
+    adam.zero_grad();
+    const Matrix y = net.forward(x, true);
+    net.backward(bce.gradient(y, t));
+    adam.step();
+  }
+  const Matrix y = net.forward(x, false);
+  EXPECT_LT(y(0, 0), 0.2F);
+  EXPECT_GT(y(1, 0), 0.8F);
+  EXPECT_GT(y(2, 0), 0.8F);
+  EXPECT_LT(y(3, 0), 0.2F);
+}
+
+TEST(Mlp, RegressionWithMse) {
+  // Fit y = 2x - 1 on [0,1].
+  Rng rng(11);
+  Mlp net;
+  net.emplace<Dense>(1, 8, InitScheme::kHeNormal);
+  net.emplace<Relu>();
+  net.emplace<Dense>(8, 1);
+  net.init_weights(rng);
+
+  Matrix x(64, 1);
+  Matrix t(64, 1);
+  for (std::size_t i = 0; i < 64; ++i) {
+    x(i, 0) = static_cast<float>(i) / 63.0F;
+    t(i, 0) = 2.0F * x(i, 0) - 1.0F;
+  }
+  Adam adam(net.parameters(), 0.02F);
+  const MeanSquaredError mse;
+  for (int epoch = 0; epoch < 600; ++epoch) {
+    adam.zero_grad();
+    const Matrix y = net.forward(x, true);
+    net.backward(mse.gradient(y, t));
+    adam.step();
+  }
+  const Matrix y = net.forward(x, false);
+  EXPECT_LT(mse.value(y, t), 1e-2);
+}
+
+}  // namespace
+}  // namespace gansec::nn

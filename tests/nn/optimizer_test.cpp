@@ -1,0 +1,190 @@
+#include "gansec/nn/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gansec/error.hpp"
+
+namespace gansec::nn {
+namespace {
+
+using math::Matrix;
+
+/// Convex quadratic f(w) = 0.5 * ||w - target||^2; gradient = w - target.
+void fill_quadratic_grad(Parameter& p, const Matrix& target) {
+  p.grad = p.value;
+  p.grad -= target;
+}
+
+Parameter make_param(float v0, float v1) {
+  return Parameter("w", Matrix::from_rows({{v0, v1}}));
+}
+
+TEST(Optimizer, NullParameterThrows) {
+  std::vector<Parameter*> params{nullptr};
+  EXPECT_THROW(Sgd(params, 0.1F), InvalidArgumentError);
+}
+
+TEST(Optimizer, ZeroGradClears) {
+  Parameter p = make_param(1.0F, 2.0F);
+  p.grad = Matrix::from_rows({{5.0F, 5.0F}});
+  Sgd sgd({&p}, 0.1F);
+  sgd.zero_grad();
+  EXPECT_FLOAT_EQ(p.grad.sum(), 0.0F);
+}
+
+TEST(Sgd, SingleStep) {
+  Parameter p = make_param(1.0F, -1.0F);
+  p.grad = Matrix::from_rows({{0.5F, -0.5F}});
+  Sgd sgd({&p}, 0.2F);
+  sgd.step();
+  EXPECT_FLOAT_EQ(p.value(0, 0), 0.9F);
+  EXPECT_FLOAT_EQ(p.value(0, 1), -0.9F);
+}
+
+TEST(Sgd, InvalidLearningRateThrows) {
+  Parameter p = make_param(0.0F, 0.0F);
+  EXPECT_THROW(Sgd({&p}, 0.0F), InvalidArgumentError);
+  EXPECT_THROW(Sgd({&p}, -1.0F), InvalidArgumentError);
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  Parameter p = make_param(10.0F, -10.0F);
+  const Matrix target = Matrix::from_rows({{3.0F, 4.0F}});
+  Sgd sgd({&p}, 0.1F);
+  for (int i = 0; i < 300; ++i) {
+    sgd.zero_grad();
+    fill_quadratic_grad(p, target);
+    sgd.step();
+  }
+  EXPECT_NEAR(p.value(0, 0), 3.0F, 1e-3F);
+  EXPECT_NEAR(p.value(0, 1), 4.0F, 1e-3F);
+}
+
+TEST(Momentum, InvalidArgsThrow) {
+  Parameter p = make_param(0.0F, 0.0F);
+  EXPECT_THROW(Momentum({&p}, 0.0F), InvalidArgumentError);
+  EXPECT_THROW(Momentum({&p}, 0.1F, 1.0F), InvalidArgumentError);
+  EXPECT_THROW(Momentum({&p}, 0.1F, -0.1F), InvalidArgumentError);
+}
+
+TEST(Momentum, FirstStepEqualsSgd) {
+  Parameter p = make_param(1.0F, 1.0F);
+  p.grad = Matrix::from_rows({{1.0F, 2.0F}});
+  Momentum momentum({&p}, 0.1F, 0.9F);
+  momentum.step();
+  EXPECT_FLOAT_EQ(p.value(0, 0), 0.9F);
+  EXPECT_FLOAT_EQ(p.value(0, 1), 0.8F);
+}
+
+TEST(Momentum, AcceleratesAlongConstantGradient) {
+  Parameter p = make_param(0.0F, 0.0F);
+  Momentum momentum({&p}, 0.1F, 0.9F);
+  float prev_delta = 0.0F;
+  float prev_value = 0.0F;
+  for (int i = 0; i < 5; ++i) {
+    momentum.zero_grad();
+    p.grad = Matrix::from_rows({{1.0F, 0.0F}});
+    momentum.step();
+    const float delta = prev_value - p.value(0, 0);
+    EXPECT_GT(delta, prev_delta);  // velocity builds up
+    prev_delta = delta;
+    prev_value = p.value(0, 0);
+  }
+}
+
+TEST(Momentum, ConvergesOnQuadratic) {
+  Parameter p = make_param(10.0F, -10.0F);
+  const Matrix target = Matrix::from_rows({{-2.0F, 5.0F}});
+  Momentum momentum({&p}, 0.05F, 0.8F);
+  for (int i = 0; i < 400; ++i) {
+    momentum.zero_grad();
+    fill_quadratic_grad(p, target);
+    momentum.step();
+  }
+  EXPECT_NEAR(p.value(0, 0), -2.0F, 1e-2F);
+  EXPECT_NEAR(p.value(0, 1), 5.0F, 1e-2F);
+}
+
+TEST(Adam, InvalidArgsThrow) {
+  Parameter p = make_param(0.0F, 0.0F);
+  EXPECT_THROW(Adam({&p}, 0.0F), InvalidArgumentError);
+  EXPECT_THROW(Adam({&p}, 0.1F, 1.0F), InvalidArgumentError);
+  EXPECT_THROW(Adam({&p}, 0.1F, 0.9F, 1.0F), InvalidArgumentError);
+}
+
+TEST(Adam, FirstStepIsLearningRateSized) {
+  Parameter p = make_param(0.0F, 0.0F);
+  p.grad = Matrix::from_rows({{100.0F, -0.001F}});
+  Adam adam({&p}, 0.1F);
+  adam.step();
+  // Bias-corrected Adam's first step magnitude ~= lr regardless of gradient
+  // scale.
+  EXPECT_NEAR(p.value(0, 0), -0.1F, 1e-3F);
+  EXPECT_NEAR(p.value(0, 1), 0.1F, 1e-2F);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Parameter p = make_param(8.0F, -3.0F);
+  const Matrix target = Matrix::from_rows({{1.0F, 2.0F}});
+  Adam adam({&p}, 0.1F);
+  for (int i = 0; i < 500; ++i) {
+    adam.zero_grad();
+    fill_quadratic_grad(p, target);
+    adam.step();
+  }
+  EXPECT_NEAR(p.value(0, 0), 1.0F, 1e-2F);
+  EXPECT_NEAR(p.value(0, 1), 2.0F, 1e-2F);
+}
+
+TEST(Adam, HandlesMultipleParameters) {
+  Parameter a = make_param(5.0F, 5.0F);
+  Parameter b = make_param(-5.0F, -5.0F);
+  const Matrix ta = Matrix::from_rows({{0.0F, 0.0F}});
+  const Matrix tb = Matrix::from_rows({{1.0F, 1.0F}});
+  Adam adam({&a, &b}, 0.1F);
+  for (int i = 0; i < 500; ++i) {
+    adam.zero_grad();
+    fill_quadratic_grad(a, ta);
+    fill_quadratic_grad(b, tb);
+    adam.step();
+  }
+  EXPECT_NEAR(a.value(0, 0), 0.0F, 1e-2F);
+  EXPECT_NEAR(b.value(0, 1), 1.0F, 1e-2F);
+}
+
+// All three optimizers must reach the optimum of the same convex problem.
+enum class Kind { kSgd, kMomentum, kAdam };
+class OptimizerConvergence : public ::testing::TestWithParam<Kind> {};
+
+TEST_P(OptimizerConvergence, ReachesOptimum) {
+  Parameter p = make_param(7.0F, -7.0F);
+  const Matrix target = Matrix::from_rows({{0.5F, -0.25F}});
+  std::unique_ptr<Optimizer> opt;
+  switch (GetParam()) {
+    case Kind::kSgd:
+      opt = std::make_unique<Sgd>(std::vector<Parameter*>{&p}, 0.1F);
+      break;
+    case Kind::kMomentum:
+      opt = std::make_unique<Momentum>(std::vector<Parameter*>{&p}, 0.05F);
+      break;
+    case Kind::kAdam:
+      opt = std::make_unique<Adam>(std::vector<Parameter*>{&p}, 0.1F);
+      break;
+  }
+  for (int i = 0; i < 800; ++i) {
+    opt->zero_grad();
+    fill_quadratic_grad(p, target);
+    opt->step();
+  }
+  EXPECT_NEAR(p.value(0, 0), 0.5F, 0.05F);
+  EXPECT_NEAR(p.value(0, 1), -0.25F, 0.05F);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, OptimizerConvergence,
+                         ::testing::Values(Kind::kSgd, Kind::kMomentum,
+                                           Kind::kAdam));
+
+}  // namespace
+}  // namespace gansec::nn

@@ -1,0 +1,118 @@
+#include "gansec/nn/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "gansec/error.hpp"
+#include "gansec/math/rng.hpp"
+#include "gansec/nn/activations.hpp"
+#include "gansec/nn/dense.hpp"
+#include "gansec/nn/dropout.hpp"
+
+namespace gansec::nn {
+namespace {
+
+using math::Matrix;
+using math::Rng;
+
+Mlp make_full_net(Rng& rng) {
+  Mlp net;
+  net.emplace<Dense>(3, 5, InitScheme::kHeNormal);
+  net.emplace<LeakyRelu>(0.15F);
+  net.emplace<Dropout>(0.25F, 42);
+  net.emplace<Dense>(5, 4);
+  net.emplace<Relu>();
+  net.emplace<Dense>(4, 2);
+  net.emplace<Tanh>();
+  net.emplace<Dense>(2, 1);
+  net.emplace<Sigmoid>();
+  net.init_weights(rng);
+  return net;
+}
+
+TEST(Serialize, RoundTripPreservesOutputs) {
+  Rng rng(13);
+  Mlp net = make_full_net(rng);
+  std::stringstream ss;
+  save_mlp(net, ss);
+  Mlp loaded = load_mlp(ss);
+  ASSERT_EQ(loaded.layer_count(), net.layer_count());
+  const Matrix x = rng.normal_matrix(4, 3, 0.0F, 1.0F);
+  EXPECT_EQ(net.forward(x, false), loaded.forward(x, false));
+}
+
+TEST(Serialize, RoundTripPreservesLayerKinds) {
+  Rng rng(17);
+  Mlp net = make_full_net(rng);
+  std::stringstream ss;
+  save_mlp(net, ss);
+  Mlp loaded = load_mlp(ss);
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    EXPECT_EQ(loaded.layer(i).kind(), net.layer(i).kind()) << "layer " << i;
+  }
+  const auto& lrelu = dynamic_cast<const LeakyRelu&>(loaded.layer(1));
+  EXPECT_FLOAT_EQ(lrelu.negative_slope(), 0.15F);
+  const auto& dropout = dynamic_cast<const Dropout&>(loaded.layer(2));
+  EXPECT_FLOAT_EQ(dropout.rate(), 0.25F);
+  EXPECT_EQ(dropout.seed(), 42U);
+}
+
+TEST(Serialize, BadMagicThrows) {
+  std::stringstream ss("not-a-model 1\n");
+  EXPECT_THROW(load_mlp(ss), ParseError);
+}
+
+TEST(Serialize, BadVersionThrows) {
+  std::stringstream ss("gansec-mlp 999\nlayers 0\nend\n");
+  EXPECT_THROW(load_mlp(ss), ParseError);
+}
+
+TEST(Serialize, TruncatedStreamThrows) {
+  Rng rng(19);
+  Mlp net = make_full_net(rng);
+  std::stringstream ss;
+  save_mlp(net, ss);
+  const std::string full = ss.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_mlp(truncated), Error);
+}
+
+TEST(Serialize, UnknownLayerKindThrows) {
+  std::stringstream ss("gansec-mlp 1\nlayers 1\nconv2d\nend\n");
+  EXPECT_THROW(load_mlp(ss), ParseError);
+}
+
+TEST(Serialize, MissingEndThrows) {
+  std::stringstream ss("gansec-mlp 1\nlayers 1\nrelu\n");
+  EXPECT_THROW(load_mlp(ss), ParseError);
+}
+
+TEST(Serialize, EmptyNetworkRoundTrips) {
+  Mlp net;
+  std::stringstream ss;
+  save_mlp(net, ss);
+  Mlp loaded = load_mlp(ss);
+  EXPECT_EQ(loaded.layer_count(), 0U);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  Rng rng(23);
+  Mlp net = make_full_net(rng);
+  const std::string path = ::testing::TempDir() + "/gansec_mlp_test.txt";
+  save_mlp_file(net, path);
+  Mlp loaded = load_mlp_file(path);
+  const Matrix x = rng.normal_matrix(2, 3, 0.0F, 1.0F);
+  EXPECT_EQ(net.forward(x, false), loaded.forward(x, false));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_mlp_file("/nonexistent/dir/model.txt"), IoError);
+  Mlp net;
+  EXPECT_THROW(save_mlp_file(net, "/nonexistent/dir/model.txt"), IoError);
+}
+
+}  // namespace
+}  // namespace gansec::nn

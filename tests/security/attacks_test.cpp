@@ -1,0 +1,170 @@
+#include "gansec/security/attacks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gansec/error.hpp"
+#include "test_fixture.hpp"
+
+namespace gansec::security {
+namespace {
+
+using testing::trained_setup;
+
+TEST(AttackInjector, RequiresFittedBuilder) {
+  am::DatasetBuilder unfitted(testing::small_dataset_config());
+  EXPECT_THROW(AttackInjector{unfitted}, InvalidArgumentError);
+}
+
+TEST(AttackInjector, GenerateValidation) {
+  auto& setup = trained_setup();
+  AttackInjector injector(setup.builder);
+  EXPECT_THROW(injector.generate(0, 0.5, AttackKind::kIntegrity),
+               InvalidArgumentError);
+  EXPECT_THROW(injector.generate(5, -0.1, AttackKind::kIntegrity),
+               InvalidArgumentError);
+  EXPECT_THROW(injector.generate(5, 1.5, AttackKind::kIntegrity),
+               InvalidArgumentError);
+  EXPECT_THROW(injector.make_observation(3, AttackKind::kNone),
+               InvalidArgumentError);
+}
+
+TEST(AttackInjector, ObservationShape) {
+  auto& setup = trained_setup();
+  AttackInjector injector(setup.builder);
+  const Observation obs = injector.make_observation(1, AttackKind::kNone);
+  EXPECT_EQ(obs.expected_label, 1U);
+  EXPECT_EQ(obs.attack, AttackKind::kNone);
+  EXPECT_EQ(obs.features.rows(), 1U);
+  EXPECT_EQ(obs.features.cols(), setup.dataset_config.bins);
+  EXPECT_GE(obs.features.min(), 0.0F);
+  EXPECT_LE(obs.features.max(), 1.0F);
+}
+
+TEST(AttackInjector, GenerateCountsAndLabels) {
+  auto& setup = trained_setup();
+  AttackInjector injector(setup.builder);
+  const auto observations = injector.generate(6, 0.5, AttackKind::kIntegrity);
+  EXPECT_EQ(observations.size(), 18U);
+  std::size_t attacked = 0;
+  std::array<std::size_t, 3> per_label{0, 0, 0};
+  for (const Observation& obs : observations) {
+    ASSERT_LT(obs.expected_label, 3U);
+    ++per_label[obs.expected_label];
+    if (obs.attack != AttackKind::kNone) ++attacked;
+  }
+  EXPECT_EQ(per_label[0], 6U);
+  EXPECT_EQ(per_label[1], 6U);
+  EXPECT_EQ(per_label[2], 6U);
+  EXPECT_GT(attacked, 0U);
+  EXPECT_LT(attacked, observations.size());
+}
+
+TEST(AttackInjector, BenignKindNeverAttacks) {
+  auto& setup = trained_setup();
+  AttackInjector injector(setup.builder);
+  for (const Observation& obs :
+       injector.generate(4, 1.0, AttackKind::kNone)) {
+    EXPECT_EQ(obs.attack, AttackKind::kNone);
+  }
+}
+
+TEST(AttackInjector, AvailabilityLooksLikeIdle) {
+  // A stalled motor produces only background emission; its features must
+  // differ strongly from a benign observation of the same label.
+  auto& setup = trained_setup();
+  AttackInjector injector(setup.builder, 5);
+  const Observation benign =
+      injector.make_observation(0, AttackKind::kNone);
+  const Observation stalled =
+      injector.make_observation(0, AttackKind::kAvailability);
+  float diff = 0.0F;
+  for (std::size_t c = 0; c < benign.features.cols(); ++c) {
+    diff += std::abs(benign.features(0, c) - stalled.features(0, c));
+  }
+  EXPECT_GT(diff / static_cast<float>(benign.features.cols()), 0.05F);
+}
+
+TEST(AttackInjector, IntegrityRunsDifferentMotor) {
+  // Integrity-attacked Z observations should spectrally resemble X or Y
+  // observations, not Z ones. Compare against class means from the dataset.
+  auto& setup = trained_setup();
+  AttackInjector injector(setup.builder, 9);
+  const auto class_mean = [&](std::size_t label) {
+    const math::Matrix rows = setup.train_set.features_for_label(label);
+    math::Matrix mean = rows.col_sums();
+    mean *= 1.0F / static_cast<float>(rows.rows());
+    return mean;
+  };
+  const math::Matrix mean_z = class_mean(2);
+  const auto dist = [](const math::Matrix& a, const math::Matrix& b) {
+    float acc = 0.0F;
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      acc += (a(0, c) - b(0, c)) * (a(0, c) - b(0, c));
+    }
+    return acc;
+  };
+  // Average over several attacked draws to suppress noise.
+  float attacked_dist = 0.0F;
+  float benign_dist = 0.0F;
+  for (int i = 0; i < 8; ++i) {
+    attacked_dist += dist(
+        injector.make_observation(2, AttackKind::kIntegrity).features,
+        mean_z);
+    benign_dist += dist(
+        injector.make_observation(2, AttackKind::kNone).features, mean_z);
+  }
+  EXPECT_GT(attacked_dist, benign_dist);
+}
+
+TEST(AttackInjector, DegradationStillRunsButSoundsDifferent) {
+  // A degraded motor still produces a strong emission (unlike a stall) but
+  // its spectrum deviates from the benign class mean.
+  auto& setup = trained_setup();
+  AttackInjector injector(setup.builder, 77);
+  const auto class_mean = [&](std::size_t label) {
+    const math::Matrix rows = setup.train_set.features_for_label(label);
+    math::Matrix mean = rows.col_sums();
+    mean *= 1.0F / static_cast<float>(rows.rows());
+    return mean;
+  };
+  const math::Matrix mean_z = class_mean(2);
+  const auto dist = [](const math::Matrix& a, const math::Matrix& b) {
+    float acc = 0.0F;
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      acc += (a(0, c) - b(0, c)) * (a(0, c) - b(0, c));
+    }
+    return acc;
+  };
+  float benign_dist = 0.0F;
+  float degraded_dist = 0.0F;
+  float degraded_energy = 0.0F;
+  for (int i = 0; i < 8; ++i) {
+    benign_dist += dist(
+        injector.make_observation(2, AttackKind::kNone).features, mean_z);
+    const Observation obs =
+        injector.make_observation(2, AttackKind::kDegradation);
+    degraded_dist += dist(obs.features, mean_z);
+    degraded_energy += obs.features.sum();
+  }
+  EXPECT_GT(degraded_dist, benign_dist);
+  // Still emitting (not a stall): substantial feature energy remains.
+  EXPECT_GT(degraded_energy / 8.0F, 1.0F);
+}
+
+TEST(AttackInjector, DeterministicForSameSeed) {
+  auto& setup = trained_setup();
+  AttackInjector a(setup.builder, 123);
+  AttackInjector b(setup.builder, 123);
+  EXPECT_EQ(a.make_observation(1, AttackKind::kIntegrity).features,
+            b.make_observation(1, AttackKind::kIntegrity).features);
+}
+
+TEST(AttackNames, AllNamed) {
+  EXPECT_STREQ(attack_name(AttackKind::kNone), "benign");
+  EXPECT_STREQ(attack_name(AttackKind::kIntegrity), "integrity");
+  EXPECT_STREQ(attack_name(AttackKind::kAvailability), "availability");
+  EXPECT_STREQ(attack_name(AttackKind::kDegradation), "degradation");
+}
+
+}  // namespace
+}  // namespace gansec::security

@@ -1,0 +1,54 @@
+// Shared trained-model fixture for the security test binary.
+//
+// Training a CGAN is the expensive part of these tests, so one small model
+// is trained once (lazily) and shared by every test in the binary.
+#pragma once
+
+#include "gansec/am/dataset.hpp"
+#include "gansec/gan/trainer.hpp"
+
+namespace gansec::security::testing {
+
+struct TrainedSetup {
+  am::DatasetConfig dataset_config;
+  am::DatasetBuilder builder;
+  am::LabeledDataset train_set;
+  am::LabeledDataset test_set;
+  gan::Cgan model;
+};
+
+inline am::DatasetConfig small_dataset_config() {
+  am::DatasetConfig config;
+  config.samples_per_condition = 40;
+  config.window_s = 0.15;
+  config.bins = 24;
+  config.f_max = 4000.0;
+  config.acoustic.sample_rate = 12000.0;
+  config.seed = 11;
+  return config;
+}
+
+/// Lazily built singleton: dataset + CGAN trained for 800 iterations.
+inline TrainedSetup& trained_setup() {
+  static TrainedSetup* setup = [] {
+    am::DatasetConfig config = small_dataset_config();
+    auto* s = new TrainedSetup{
+        config, am::DatasetBuilder(config), {}, {},
+        gan::Cgan(
+            gan::CganTopology{config.bins, 3, 8, {64, 64}, {64, 64}, 0.2F,
+                              0.0F},
+            5)};
+    auto [train, test] = s->builder.build_split(0.7);
+    s->train_set = std::move(train);
+    s->test_set = std::move(test);
+    gan::TrainConfig train_config;
+    train_config.iterations = 800;
+    train_config.batch_size = 32;
+    gan::CganTrainer trainer(s->model, train_config, 21);
+    trainer.train(s->train_set.features, s->train_set.conditions);
+    return s;
+  }();
+  return *setup;
+}
+
+}  // namespace gansec::security::testing

@@ -1,0 +1,78 @@
+#include "gansec/stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gansec/error.hpp"
+
+namespace gansec::stats {
+namespace {
+
+TEST(Histogram, Validation) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 5), InvalidArgumentError);
+  EXPECT_THROW(Histogram(2.0, 1.0, 5), InvalidArgumentError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), InvalidArgumentError);
+}
+
+TEST(Histogram, BinIndexing) {
+  const Histogram h(0.0, 10.0, 10);
+  EXPECT_EQ(h.bin_index(0.0), 0U);
+  EXPECT_EQ(h.bin_index(0.99), 0U);
+  EXPECT_EQ(h.bin_index(5.0), 5U);
+  EXPECT_EQ(h.bin_index(9.99), 9U);
+  // Clamping.
+  EXPECT_EQ(h.bin_index(-3.0), 0U);
+  EXPECT_EQ(h.bin_index(10.0), 9U);
+  EXPECT_EQ(h.bin_index(42.0), 9U);
+  EXPECT_THROW(h.bin_index(std::nan("")), NumericError);
+}
+
+TEST(Histogram, CountsAndTotal) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.1);
+  h.add(0.2);
+  h.add(0.9);
+  EXPECT_EQ(h.total(), 3U);
+  EXPECT_EQ(h.count(0), 2U);
+  EXPECT_EQ(h.count(1), 1U);
+  EXPECT_THROW(h.count(2), std::out_of_range);
+}
+
+TEST(Histogram, AddAll) {
+  Histogram h(0.0, 1.0, 4);
+  h.add_all({0.1, 0.3, 0.6, 0.9, 0.95});
+  EXPECT_EQ(h.total(), 5U);
+}
+
+TEST(Histogram, Probabilities) {
+  Histogram h(0.0, 1.0, 2);
+  h.add_all({0.1, 0.2, 0.3, 0.9});
+  const auto p = h.probabilities();
+  EXPECT_DOUBLE_EQ(p[0], 0.75);
+  EXPECT_DOUBLE_EQ(p[1], 0.25);
+}
+
+TEST(Histogram, EmptyProbabilitiesAreZero) {
+  const Histogram h(0.0, 1.0, 3);
+  for (const double p : h.probabilities()) EXPECT_DOUBLE_EQ(p, 0.0);
+}
+
+TEST(Histogram, DensitiesIntegrateToOne) {
+  Histogram h(0.0, 2.0, 8);
+  h.add_all({0.1, 0.5, 0.9, 1.1, 1.5, 1.9});
+  const auto d = h.densities();
+  double integral = 0.0;
+  for (const double v : d) integral += v * 0.25;  // bin width
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(Histogram, BinCenters) {
+  const Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 9.0);
+  EXPECT_THROW(h.bin_center(5), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace gansec::stats

@@ -1,0 +1,130 @@
+#include "gansec/stats/info.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gansec/error.hpp"
+#include "gansec/math/rng.hpp"
+
+namespace gansec::stats {
+namespace {
+
+TEST(Entropy, Validation) {
+  EXPECT_THROW(entropy({}), InvalidArgumentError);
+  EXPECT_THROW(entropy({0.5, 0.4}), InvalidArgumentError);     // sums to 0.9
+  EXPECT_THROW(entropy({-0.5, 1.5}), InvalidArgumentError);    // negative
+}
+
+TEST(Entropy, KnownValues) {
+  EXPECT_DOUBLE_EQ(entropy({1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(entropy({1.0, 0.0}), 0.0);
+  EXPECT_NEAR(entropy({0.5, 0.5}), std::log(2.0), 1e-12);
+  EXPECT_NEAR(entropy({0.25, 0.25, 0.25, 0.25}), std::log(4.0), 1e-12);
+}
+
+TEST(Entropy, UniformMaximizes) {
+  EXPECT_GT(entropy({1.0 / 3, 1.0 / 3, 1.0 / 3}),
+            entropy({0.8, 0.1, 0.1}));
+}
+
+TEST(KlDivergence, Validation) {
+  EXPECT_THROW(kl_divergence({1.0}, {0.5, 0.5}), InvalidArgumentError);
+}
+
+TEST(KlDivergence, ZeroForIdentical) {
+  const std::vector<double> p{0.2, 0.3, 0.5};
+  EXPECT_NEAR(kl_divergence(p, p), 0.0, 1e-12);
+}
+
+TEST(KlDivergence, PositiveAndAsymmetric) {
+  const std::vector<double> p{0.9, 0.1};
+  const std::vector<double> q{0.5, 0.5};
+  EXPECT_GT(kl_divergence(p, q), 0.0);
+  EXPECT_NE(kl_divergence(p, q), kl_divergence(q, p));
+}
+
+TEST(KlDivergence, InfiniteWhenSupportMismatch) {
+  EXPECT_TRUE(std::isinf(kl_divergence({0.5, 0.5}, {1.0, 0.0})));
+  // p == 0 where q > 0 contributes nothing.
+  EXPECT_NEAR(kl_divergence({1.0, 0.0}, {0.5, 0.5}), std::log(2.0), 1e-12);
+}
+
+TEST(JsDivergence, SymmetricAndBounded) {
+  const std::vector<double> p{0.9, 0.1};
+  const std::vector<double> q{0.1, 0.9};
+  const double js_pq = js_divergence(p, q);
+  EXPECT_NEAR(js_pq, js_divergence(q, p), 1e-12);
+  EXPECT_GT(js_pq, 0.0);
+  EXPECT_LE(js_pq, std::log(2.0) + 1e-12);
+  EXPECT_NEAR(js_divergence(p, p), 0.0, 1e-12);
+}
+
+TEST(JsDivergence, FiniteOnDisjointSupport) {
+  EXPECT_NEAR(js_divergence({1.0, 0.0}, {0.0, 1.0}), std::log(2.0), 1e-12);
+}
+
+TEST(MutualInformation, Validation) {
+  EXPECT_THROW(mutual_information({{1.0}}, 4), InvalidArgumentError);
+  EXPECT_THROW(mutual_information({{1.0}, {}}, 4), InvalidArgumentError);
+  EXPECT_THROW(mutual_information({{1.0}, {2.0}}, 0), InvalidArgumentError);
+}
+
+TEST(MutualInformation, ZeroForIdenticalClasses) {
+  math::Rng rng(3);
+  std::vector<double> a(500);
+  std::vector<double> b(500);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.normal();
+    b[i] = rng.normal();
+  }
+  const double mi = mutual_information({a, b}, 16);
+  EXPECT_NEAR(mi, 0.0, 0.05);
+}
+
+TEST(MutualInformation, HighForSeparatedClasses) {
+  math::Rng rng(5);
+  std::vector<double> a(500);
+  std::vector<double> b(500);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.normal(-5.0, 0.2);
+    b[i] = rng.normal(5.0, 0.2);
+  }
+  // Perfectly separable binary classes: MI -> H(C) = ln 2.
+  const double mi = mutual_information({a, b}, 32);
+  EXPECT_NEAR(mi, std::log(2.0), 0.02);
+}
+
+TEST(MutualInformation, DegenerateConstantFeatureIsZero) {
+  EXPECT_DOUBLE_EQ(
+      mutual_information({{1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}}, 8), 0.0);
+}
+
+TEST(MutualInformation, BoundedByClassEntropy) {
+  math::Rng rng(9);
+  std::vector<std::vector<double>> classes(3);
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (int i = 0; i < 300; ++i) {
+      classes[c].push_back(rng.normal(static_cast<double>(c) * 2.0, 0.5));
+    }
+  }
+  const double mi = mutual_information(classes, 24);
+  EXPECT_GE(mi, 0.0);
+  EXPECT_LE(mi, std::log(3.0) + 1e-9);
+}
+
+TEST(MutualInformation, MoreOverlapLessInformation) {
+  math::Rng rng(13);
+  const auto make_pair = [&rng](double separation) {
+    std::vector<std::vector<double>> classes(2);
+    for (int i = 0; i < 400; ++i) {
+      classes[0].push_back(rng.normal(0.0, 1.0));
+      classes[1].push_back(rng.normal(separation, 1.0));
+    }
+    return mutual_information(classes, 24);
+  };
+  EXPECT_GT(make_pair(4.0), make_pair(0.5));
+}
+
+}  // namespace
+}  // namespace gansec::stats

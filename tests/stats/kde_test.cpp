@@ -1,0 +1,125 @@
+#include "gansec/stats/kde.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "gansec/error.hpp"
+#include "gansec/math/rng.hpp"
+
+namespace gansec::stats {
+namespace {
+
+TEST(ParzenKde, Validation) {
+  EXPECT_THROW(ParzenKde({}, 0.2), InvalidArgumentError);
+  EXPECT_THROW(ParzenKde({1.0}, 0.0), InvalidArgumentError);
+  EXPECT_THROW(ParzenKde({1.0}, -0.5), InvalidArgumentError);
+  EXPECT_THROW(ParzenKde({std::nan("")}, 0.2), NumericError);
+}
+
+TEST(ParzenKde, NonFiniteQueryThrows) {
+  const ParzenKde kde({0.0}, 0.2);
+  EXPECT_THROW(kde.log_density(std::nan("")), NumericError);
+}
+
+TEST(ParzenKde, SingleSampleIsGaussianKernel) {
+  const double h = 0.3;
+  const ParzenKde kde({1.0}, h);
+  // Density at the sample equals the Gaussian peak 1/(h*sqrt(2*pi)).
+  const double peak = 1.0 / (h * std::sqrt(2.0 * std::numbers::pi));
+  EXPECT_NEAR(kde.density(1.0), peak, 1e-12);
+  // One standard deviation away: peak * exp(-1/2).
+  EXPECT_NEAR(kde.density(1.0 + h), peak * std::exp(-0.5), 1e-12);
+}
+
+TEST(ParzenKde, ScoreIsLogDensity) {
+  const ParzenKde kde({0.0, 1.0}, 0.5);
+  EXPECT_DOUBLE_EQ(kde.score(0.4), kde.log_density(0.4));
+  EXPECT_NEAR(std::exp(kde.log_density(0.4)), kde.density(0.4), 1e-12);
+}
+
+TEST(ParzenKde, ScaledLikelihoodBoundedByGaussianPeakTimesH) {
+  // exp(score) * h <= 1/sqrt(2*pi) for any Gaussian Parzen estimate.
+  math::Rng rng(3);
+  std::vector<double> samples(50);
+  for (double& s : samples) s = rng.uniform(0.0, 1.0);
+  const ParzenKde kde(samples, 0.2);
+  const double bound = 1.0 / std::sqrt(2.0 * std::numbers::pi);
+  for (double x = -0.5; x <= 1.5; x += 0.05) {
+    EXPECT_LE(kde.scaled_likelihood(x), bound + 1e-12);
+    EXPECT_GE(kde.scaled_likelihood(x), 0.0);
+  }
+}
+
+TEST(ParzenKde, DensityIntegratesToOne) {
+  math::Rng rng(5);
+  std::vector<double> samples(30);
+  for (double& s : samples) s = rng.normal(0.0, 1.0);
+  const ParzenKde kde(samples, 0.4);
+  double integral = 0.0;
+  const double dx = 0.01;
+  for (double x = -8.0; x <= 8.0; x += dx) {
+    integral += kde.density(x) * dx;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST(ParzenKde, RecoversBimodalStructure) {
+  math::Rng rng(7);
+  std::vector<double> samples;
+  for (int i = 0; i < 200; ++i) {
+    samples.push_back(rng.normal(i % 2 == 0 ? -2.0 : 2.0, 0.3));
+  }
+  const ParzenKde kde(samples, 0.3);
+  // Peaks near the two modes, valley between them.
+  EXPECT_GT(kde.density(-2.0), kde.density(0.0) * 3.0);
+  EXPECT_GT(kde.density(2.0), kde.density(0.0) * 3.0);
+}
+
+TEST(ParzenKde, MatchesAnalyticGaussianMixture) {
+  // KDE over the exact points {-1, 1} with bandwidth h equals the two-term
+  // mixture density analytically.
+  const double h = 0.7;
+  const ParzenKde kde({-1.0, 1.0}, h);
+  const auto normal_pdf = [h](double x, double mu) {
+    return std::exp(-0.5 * (x - mu) * (x - mu) / (h * h)) /
+           (h * std::sqrt(2.0 * std::numbers::pi));
+  };
+  for (double x = -3.0; x <= 3.0; x += 0.25) {
+    const double expected = 0.5 * (normal_pdf(x, -1.0) + normal_pdf(x, 1.0));
+    EXPECT_NEAR(kde.density(x), expected, 1e-12);
+  }
+}
+
+TEST(ParzenKde, FarQueryHasTinyDensity) {
+  const ParzenKde kde({0.0}, 0.1);
+  EXPECT_LT(kde.log_density(100.0), -1000.0);
+  EXPECT_DOUBLE_EQ(kde.density(100.0), 0.0);  // underflows to zero
+}
+
+TEST(ParzenKde, Accessors) {
+  const ParzenKde kde({1.0, 2.0, 3.0}, 0.25);
+  EXPECT_DOUBLE_EQ(kde.bandwidth(), 0.25);
+  EXPECT_EQ(kde.sample_count(), 3U);
+}
+
+// Wider bandwidth must flatten the estimate (lower peak, fatter tails).
+class BandwidthSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BandwidthSweep, WiderIsFlatterAtMode) {
+  const double h = GetParam();
+  math::Rng rng(11);
+  std::vector<double> samples(100);
+  for (double& s : samples) s = rng.normal(0.0, 0.2);
+  const ParzenKde narrow(samples, h);
+  const ParzenKde wide(samples, h * 4.0);
+  EXPECT_GT(narrow.density(0.0), wide.density(0.0));
+  EXPECT_LT(narrow.density(5.0), wide.density(5.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BandwidthSweep,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.4));
+
+}  // namespace
+}  // namespace gansec::stats

@@ -1,0 +1,144 @@
+#include "gansec/stats/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gansec/error.hpp"
+#include "gansec/math/rng.hpp"
+
+namespace gansec::stats {
+namespace {
+
+TEST(ConfusionMatrix, Validation) {
+  EXPECT_THROW(ConfusionMatrix{0}, InvalidArgumentError);
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.add(2, 0), InvalidArgumentError);
+  EXPECT_THROW(cm.add(0, 2), InvalidArgumentError);
+  EXPECT_THROW(cm.count(2, 0), InvalidArgumentError);
+  EXPECT_THROW(cm.accuracy(), InvalidArgumentError);  // empty
+}
+
+TEST(ConfusionMatrix, AccuracyAndCounts) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(1, 1);
+  cm.add(1, 2);
+  cm.add(2, 2);
+  EXPECT_EQ(cm.total(), 5U);
+  EXPECT_EQ(cm.count(0, 0), 2U);
+  EXPECT_EQ(cm.count(1, 2), 1U);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 4.0 / 5.0);
+}
+
+TEST(ConfusionMatrix, RecallAndPrecision) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);  // TP for class 0
+  cm.add(0, 1);  // FN for class 0
+  cm.add(1, 1);
+  cm.add(1, 1);
+  EXPECT_DOUBLE_EQ(cm.recall(0), 0.5);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 1.0);
+  EXPECT_DOUBLE_EQ(cm.precision(0), 1.0);
+  EXPECT_DOUBLE_EQ(cm.precision(1), 2.0 / 3.0);
+}
+
+TEST(ConfusionMatrix, AbsentClassHasZeroRates) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  EXPECT_DOUBLE_EQ(cm.recall(2), 0.0);
+  EXPECT_DOUBLE_EQ(cm.precision(2), 0.0);
+}
+
+TEST(Accuracy, KnownValues) {
+  EXPECT_DOUBLE_EQ(accuracy({0, 1, 2}, {0, 1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(accuracy({0, 0, 0}, {0, 1, 2}), 1.0 / 3.0);
+  EXPECT_THROW(accuracy({}, {}), InvalidArgumentError);
+  EXPECT_THROW(accuracy({0}, {0, 1}), InvalidArgumentError);
+}
+
+TEST(Roc, Validation) {
+  EXPECT_THROW(roc_curve({}, {}), InvalidArgumentError);
+  EXPECT_THROW(roc_curve({0.5}, {true, false}), InvalidArgumentError);
+  EXPECT_THROW(auc({0.5, 0.6}, {true, true}), InvalidArgumentError);
+  EXPECT_THROW(auc({0.5, 0.6}, {false, false}), InvalidArgumentError);
+}
+
+TEST(Roc, PerfectSeparationGivesUnitAuc) {
+  const std::vector<double> scores{0.9, 0.8, 0.2, 0.1};
+  const std::vector<bool> labels{true, true, false, false};
+  EXPECT_DOUBLE_EQ(auc(scores, labels), 1.0);
+}
+
+TEST(Roc, InvertedSeparationGivesZeroAuc) {
+  const std::vector<double> scores{0.1, 0.2, 0.8, 0.9};
+  const std::vector<bool> labels{true, true, false, false};
+  EXPECT_DOUBLE_EQ(auc(scores, labels), 0.0);
+}
+
+TEST(Roc, RandomScoresGiveHalfAuc) {
+  math::Rng rng(7);
+  std::vector<double> scores(4000);
+  std::vector<bool> labels(4000);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = rng.uniform();
+    labels[i] = rng.bernoulli(0.5);
+  }
+  EXPECT_NEAR(auc(scores, labels), 0.5, 0.03);
+}
+
+TEST(Roc, CurveEndpoints) {
+  const std::vector<double> scores{0.9, 0.6, 0.4, 0.2};
+  const std::vector<bool> labels{true, false, true, false};
+  const auto curve = roc_curve(scores, labels);
+  ASSERT_GE(curve.size(), 2U);
+  EXPECT_DOUBLE_EQ(curve.front().tpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().fpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().tpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().fpr, 1.0);
+}
+
+TEST(Roc, CurveMonotonic) {
+  math::Rng rng(11);
+  std::vector<double> scores(200);
+  std::vector<bool> labels(200);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    labels[i] = rng.bernoulli(0.4);
+    scores[i] = rng.normal(labels[i] ? 1.0 : 0.0, 1.0);
+  }
+  const auto curve = roc_curve(scores, labels);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].tpr, curve[i - 1].tpr);
+    EXPECT_GE(curve[i].fpr, curve[i - 1].fpr);
+  }
+}
+
+TEST(Roc, TiedScoresGrouped) {
+  const std::vector<double> scores{0.5, 0.5, 0.5, 0.5};
+  const std::vector<bool> labels{true, false, true, false};
+  const auto curve = roc_curve(scores, labels);
+  // One starting point plus a single group point.
+  EXPECT_EQ(curve.size(), 2U);
+  EXPECT_NEAR(auc(scores, labels), 0.5, 1e-12);
+}
+
+// AUC is invariant under strictly monotone score transforms.
+class AucInvariance : public ::testing::TestWithParam<int> {};
+
+TEST_P(AucInvariance, MonotoneTransform) {
+  math::Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  std::vector<double> scores(300);
+  std::vector<bool> labels(300);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    labels[i] = rng.bernoulli(0.5);
+    scores[i] = rng.normal(labels[i] ? 0.5 : 0.0, 1.0);
+  }
+  const double base = auc(scores, labels);
+  std::vector<double> transformed = scores;
+  for (double& s : transformed) s = std::exp(0.5 * s) + 3.0;
+  EXPECT_NEAR(auc(transformed, labels), base, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AucInvariance, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace gansec::stats

@@ -1,0 +1,174 @@
+// gansec — command-line front end for the GAN-Sec methodology.
+//
+// Subcommands:
+//   graph                        print G_CPPS, Algorithm 1 pairs and DOT
+//   train   --model out.cgan     build dataset, train CGAN, save model
+//   analyze --model m.cgan       Algorithm 3 + confidentiality on test data
+//   detect  --model m.cgan       calibrate + evaluate the attack detector
+//
+// Common training/dataset flags: --samples N (per condition), --bins N,
+// --window S, --iterations N, --seed N, --h W (Parzen width).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "gansec/am/printer_arch.hpp"
+#include "gansec/core/args.hpp"
+#include "gansec/core/pipeline.hpp"
+#include "gansec/cpps/dot.hpp"
+#include "gansec/error.hpp"
+#include "gansec/security/detector.hpp"
+#include "gansec/security/report.hpp"
+#include "gansec/version.hpp"
+
+namespace {
+
+using namespace gansec;
+
+const std::set<std::string> kFlags = {
+    "model", "samples", "bins", "window", "iterations", "seed", "h",
+    "scaler", "attack-fraction"};
+
+core::PipelineConfig config_from(const core::Args& args) {
+  core::PipelineConfig config;
+  config.dataset.samples_per_condition =
+      static_cast<std::size_t>(args.get_int("samples", 100));
+  config.dataset.bins = static_cast<std::size_t>(args.get_int("bins", 100));
+  config.dataset.window_s = args.get_double("window", 0.25);
+  config.dataset.seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 2019));
+  config.train.iterations =
+      static_cast<std::size_t>(args.get_int("iterations", 1500));
+  config.likelihood.parzen_h = args.get_double("h", 0.2);
+  config.seed = config.dataset.seed;
+  return config;
+}
+
+int cmd_graph() {
+  const cpps::Architecture arch = am::make_printer_architecture();
+  const cpps::CppsGraph graph(arch);
+  const auto pairs = cpps::select_cross_domain_pairs(
+      arch,
+      cpps::generate_flow_pairs(graph, am::make_printer_historical_data()));
+  std::cout << "architecture: " << arch.name() << " ("
+            << arch.components().size() << " components, "
+            << arch.flows().size() << " flows)\n";
+  std::cout << "feedback flows removed:";
+  for (const auto& f : graph.removed_feedback_flows()) std::cout << ' ' << f;
+  std::cout << "\ncross-domain flow pairs:\n";
+  for (const auto& p : pairs) {
+    std::cout << "  Pr(" << p.second << " | " << p.first << ")\n";
+  }
+  std::cout << "\n" << cpps::to_dot(graph);
+  return 0;
+}
+
+int cmd_train(const core::Args& args) {
+  const std::string model_path = args.get("model", "gansec-model.cgan");
+  const std::string scaler_path = args.get("scaler", model_path + ".scaler");
+  core::GanSecPipeline pipeline(config_from(args));
+  std::cerr << "training (this generates the dataset first)...\n";
+  core::PipelineResult result = pipeline.run();
+  result.model.save_file(model_path);
+  {
+    std::ofstream os(scaler_path);
+    if (!os) throw IoError("cannot write scaler to " + scaler_path);
+    pipeline.builder().scaler().save(os);
+  }
+  std::cout << "model written to " << model_path << "\n";
+  std::cout << "scaler written to " << scaler_path << "\n";
+  std::cout << "\ntraining summary (last iteration): g_loss="
+            << result.history.back().g_loss
+            << " d_loss=" << result.history.back().d_loss << "\n";
+  std::cout << "\n"
+            << security::format_likelihood_summary(result.likelihood);
+  return 0;
+}
+
+int cmd_analyze(const core::Args& args) {
+  const std::string model_path = args.get("model", "gansec-model.cgan");
+  gan::Cgan model = gan::Cgan::load_file(model_path);
+  core::PipelineConfig config = config_from(args);
+  config.dataset.bins = model.topology().data_dim;
+  config.dataset.seed += 1;  // fresh test data, not the training draw
+  am::DatasetBuilder builder(config.dataset);
+  std::cerr << "generating held-out test data...\n";
+  const am::LabeledDataset test = builder.build();
+
+  security::LikelihoodConfig lik;
+  lik.parzen_h = args.get_double("h", 0.2);
+  const security::LikelihoodAnalyzer analyzer(lik);
+  std::cout << security::format_likelihood_summary(
+      analyzer.analyze(model, test));
+  const security::ConfidentialityAnalyzer conf_analyzer;
+  std::cout << "\n"
+            << security::format_confidentiality(
+                   conf_analyzer.analyze(model, test));
+  return 0;
+}
+
+int cmd_detect(const core::Args& args) {
+  const std::string model_path = args.get("model", "gansec-model.cgan");
+  const std::string scaler_path = args.get("scaler", model_path + ".scaler");
+  gan::Cgan model = gan::Cgan::load_file(model_path);
+  core::PipelineConfig config = config_from(args);
+  config.dataset.bins = model.topology().data_dim;
+  am::DatasetBuilder builder(config.dataset);
+  // The detector must scale observations exactly as the training run did;
+  // a refitted scaler shifts the features relative to the generator's
+  // learned distribution. Load the scaler persisted by `train`, falling
+  // back to refitting only when it is absent.
+  if (std::ifstream scaler_in(scaler_path); scaler_in) {
+    builder.restore_scaler(dsp::MinMaxScaler::load(scaler_in));
+    std::cerr << "loaded scaler from " << scaler_path << "\n";
+  } else {
+    std::cerr << "warning: no scaler at " << scaler_path
+              << "; refitting (detection quality may degrade)\n";
+    builder.build();
+  }
+
+  security::AttackDetector detector(model, security::DetectorConfig{});
+  security::AttackInjector injector(builder);
+  detector.calibrate(
+      injector.generate(25, 0.0, security::AttackKind::kNone));
+  const double fraction = args.get_double("attack-fraction", 0.5);
+  for (const auto kind : {security::AttackKind::kIntegrity,
+                          security::AttackKind::kAvailability}) {
+    std::cout << "\n" << security::attack_name(kind) << " attacks:\n"
+              << security::format_detection(
+                     detector.evaluate(injector.generate(20, fraction,
+                                                         kind)));
+  }
+  return 0;
+}
+
+int usage() {
+  std::cout << "gansec " << kVersionString
+            << " — CGAN-based CPPS security analysis\n"
+               "usage: gansec <graph|train|analyze|detect> [flags]\n"
+               "  graph                     print G_CPPS + flow pairs + DOT\n"
+               "  train   --model out.cgan  train and persist the CGAN\n"
+               "  analyze --model m.cgan    Algorithm 3 + confidentiality\n"
+               "  detect  --model m.cgan    attack-detection evaluation\n"
+               "flags: --samples N  --bins N  --window S  --iterations N\n"
+               "       --seed N  --h W  --scaler PATH  --attack-fraction F\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) return usage();
+    const std::string command = argv[1];
+    const core::Args args(argc - 2, argv + 2, kFlags);
+    if (command == "graph") return cmd_graph();
+    if (command == "train") return cmd_train(args);
+    if (command == "analyze") return cmd_analyze(args);
+    if (command == "detect") return cmd_detect(args);
+    return usage();
+  } catch (const gansec::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
