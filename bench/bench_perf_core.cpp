@@ -10,11 +10,13 @@
 #include "gansec/am/gcode.hpp"
 #include "gansec/am/machine.hpp"
 #include "gansec/am/printer_arch.hpp"
+#include "gansec/core/execution.hpp"
 #include "gansec/cpps/graph.hpp"
 #include "gansec/dsp/binner.hpp"
 #include "gansec/dsp/cwt.hpp"
 #include "gansec/dsp/fft.hpp"
 #include "gansec/gan/trainer.hpp"
+#include "gansec/security/analyzer.hpp"
 #include "gansec/stats/kde.hpp"
 
 namespace {
@@ -33,6 +35,32 @@ void BM_MatrixMatmul(benchmark::State& state) {
                           static_cast<std::int64_t>(n * n * n));
 }
 BENCHMARK(BM_MatrixMatmul)->Arg(32)->Arg(128)->Arg(256);
+
+// GEMM thread-scaling trajectory: same product at 1/2/4/8 configured
+// threads. Results are bit-identical across the sweep (row-blocked
+// chunks, fixed accumulation order); only the wall clock should move.
+void BM_MatrixMatmulThreads(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const core::ScopedExecution scoped(
+      core::ExecutionConfig{.threads = threads});
+  math::Rng rng(1);
+  const math::Matrix a = rng.normal_matrix(n, n, 0.0F, 1.0F);
+  const math::Matrix b = rng.normal_matrix(n, n, 0.0F, 1.0F);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(math::Matrix::matmul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_MatrixMatmulThreads)
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({256, 8})
+    ->Args({512, 1})
+    ->Args({512, 8})
+    ->UseRealTime();
 
 void BM_Fft(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -127,6 +155,43 @@ void BM_ParzenScore(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ParzenScore)->Arg(100)->Arg(1000);
+
+// Algorithm 3 thread-scaling trajectory: the full analyze() pass (KDE fit
+// + scoring for every condition x feature cell) at 1/2/4/8 threads. In
+// deterministic mode the LikelihoodResult is bit-identical across the
+// sweep. Uses an untrained CGAN — generator quality is irrelevant to the
+// scoring throughput being measured.
+void BM_Algorithm3Scoring(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const core::ScopedExecution scoped(
+      core::ExecutionConfig{.threads = threads});
+  gan::CganTopology topo;
+  topo.data_dim = 100;
+  topo.cond_dim = 3;
+  topo.generator_hidden = {128, 128};
+  topo.discriminator_hidden = {128, 128};
+  gan::Cgan model(topo, 6);
+  math::Rng rng(7);
+  am::LabeledDataset test;
+  test.features = rng.uniform_matrix(240, 100, 0.0F, 1.0F);
+  test.conditions = math::Matrix(240, 3, 0.0F);
+  test.labels.resize(240);
+  for (std::size_t r = 0; r < 240; ++r) {
+    test.labels[r] = r % 3;
+    test.conditions(r, r % 3) = 1.0F;
+  }
+  security::LikelihoodConfig config;
+  config.generator_samples = 200;
+  const security::LikelihoodAnalyzer analyzer(config, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.analyze(model, test));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(3 * 100 * 240));  // cond x feature x sample
+}
+BENCHMARK(BM_Algorithm3Scoring)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
 
 void BM_Algorithm1(benchmark::State& state) {
   const cpps::Architecture arch = am::make_printer_architecture();

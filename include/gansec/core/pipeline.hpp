@@ -15,6 +15,7 @@
 
 #include "gansec/am/dataset.hpp"
 #include "gansec/am/printer_arch.hpp"
+#include "gansec/core/execution.hpp"
 #include "gansec/cpps/algorithm1.hpp"
 #include "gansec/gan/trainer.hpp"
 #include "gansec/security/analyzer.hpp"
@@ -33,6 +34,9 @@ struct PipelineConfig {
   std::vector<std::size_t> discriminator_hidden = {128, 128};
   bool generator_batchnorm = false;
   std::uint64_t seed = 0x6A5EC;
+  /// Parallel-execution knobs, installed (scoped) for the duration of
+  /// run() / run_flow_pairs(). Defaults: auto thread count, deterministic.
+  ExecutionConfig execution;
 };
 
 struct PipelineResult {
@@ -49,6 +53,32 @@ struct PipelineResult {
   security::ConfidentialityReport confidentiality;
 };
 
+/// One flow pair's trained model and Algorithm 3 analysis from
+/// run_flow_pairs(). `seed` is the splitmix-derived per-pair seed — a pure
+/// function of (PipelineConfig::seed, pair index), never of scheduling.
+struct FlowPairOutcome {
+  cpps::FlowPair pair;
+  std::uint64_t seed = 0;
+  gan::Cgan model;
+  std::vector<gan::TrainRecord> history;
+  security::LikelihoodResult likelihood;
+};
+
+/// Result of the per-flow-pair model sweep (Algorithm 1's FP_T, one CGAN
+/// per pair, trained concurrently).
+struct FlowPairSweep {
+  cpps::Architecture architecture;
+  std::vector<std::string> removed_feedback_flows;
+  am::LabeledDataset train_set;
+  am::LabeledDataset test_set;
+  /// One outcome per cross-domain flow pair, in Algorithm 1 order.
+  std::vector<FlowPairOutcome> outcomes;
+
+  /// Index of the pair whose model leaks its condition hardest (largest
+  /// mean correct-minus-incorrect likelihood margin).
+  std::size_t most_leaky_pair() const;
+};
+
 class GanSecPipeline {
  public:
   explicit GanSecPipeline(PipelineConfig config = PipelineConfig{});
@@ -62,6 +92,14 @@ class GanSecPipeline {
 
   /// Executes steps 1-4 and returns everything the experiments need.
   PipelineResult run();
+
+  /// Algorithm 1's full per-flow-pair sweep: trains one CGAN per
+  /// cross-domain flow pair *concurrently* (pairs fan out across the
+  /// thread pool; each pair's nested linear algebra then runs inline on
+  /// its worker). Every pair draws from its own splitmix-derived Rng
+  /// stream, so the outcomes are bit-identical regardless of thread count
+  /// or scheduling order.
+  FlowPairSweep run_flow_pairs();
 
   /// Suggested CGAN topology for this configuration.
   gan::CganTopology topology() const;

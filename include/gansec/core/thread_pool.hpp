@@ -1,0 +1,74 @@
+// Fixed-size worker pool with a blocking parallel_for.
+//
+// This is the execution substrate behind every parallel path in gansec:
+// row-blocked GEMM (math::Matrix), per-feature Algorithm 3 scoring
+// (security::LikelihoodAnalyzer) and the per-flow-pair model sweep
+// (core::GanSecPipeline::run_flow_pairs). Design constraints, in order:
+//
+//  1. Determinism: parallel_for partitions [begin, end) into fixed-size
+//     chunks whose boundaries depend only on the range and the grain —
+//     never on the worker count or on scheduling. Kernels that write
+//     disjoint ranges therefore produce bit-identical results at any
+//     thread count.
+//  2. Exception safety: the first exception thrown by any chunk is
+//     captured and rethrown on the calling thread after the loop drains.
+//  3. Nesting: a parallel_for issued from inside a worker runs serially
+//     inline, so nested parallelism can never deadlock the pool.
+//
+// The calling thread participates in chunk execution, so a pool with W
+// workers gives W+1-way parallelism and a pool with zero workers degrades
+// to a plain serial loop.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gansec::core {
+
+class ThreadPool {
+ public:
+  /// Chunk body: processes indices [chunk_begin, chunk_end).
+  using ChunkFn = std::function<void(std::size_t, std::size_t)>;
+
+  /// Spawns `workers` threads (0 is valid: everything runs on the caller).
+  explicit ThreadPool(std::size_t workers);
+
+  /// Joins all workers; pending submitted tasks are still executed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// Enqueues a fire-and-forget task. Safe to call from worker threads
+  /// (the task is queued, never executed inline, so no deadlock).
+  void submit(std::function<void()> task);
+
+  /// Runs `body` over [begin, end) split into ceil(n / grain) chunks and
+  /// blocks until every chunk finished. Chunk boundaries are a pure
+  /// function of (begin, end, grain). The caller executes chunks alongside
+  /// the workers. Rethrows the first chunk exception after completion.
+  /// Called from a worker thread (nested), runs serially inline.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const ChunkFn& body);
+
+  /// True when the current thread is one of this process's pool workers.
+  static bool on_worker_thread();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace gansec::core

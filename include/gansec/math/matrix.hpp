@@ -87,13 +87,18 @@ class Matrix {
   /// Elementwise (Hadamard) product.
   static Matrix hadamard(const Matrix& a, const Matrix& b);
 
-  /// Matrix product: (m x k) * (k x n) -> (m x n).
+  /// Matrix product: (m x k) * (k x n) -> (m x n). Above a size threshold
+  /// the product is row-blocked across the process-wide thread pool (see
+  /// core::ExecutionConfig); each output element is still accumulated in a
+  /// fixed order, so results are bit-identical at any thread count.
   static Matrix matmul(const Matrix& a, const Matrix& b);
 
   /// a * b^T without materializing the transpose: (m x k) * (n x k)^T.
+  /// Parallel above the same threshold as matmul, with the same exactness.
   static Matrix matmul_transposed_b(const Matrix& a, const Matrix& b);
 
   /// a^T * b without materializing the transpose: (k x m)^T * (k x n).
+  /// Parallel above the same threshold as matmul, with the same exactness.
   static Matrix matmul_transposed_a(const Matrix& a, const Matrix& b);
 
   Matrix transposed() const;

@@ -60,4 +60,11 @@ class Rng {
   std::mt19937_64 engine_;
 };
 
+/// SplitMix64-derived child seed: a pure function of (seed, stream) with
+/// full avalanche, so independent RNG streams can be handed to concurrent
+/// workers (one stream per flow pair, per checkpoint, ...) and the results
+/// stay independent of scheduling order. stream 0, 1, 2, ... give unrelated
+/// seeds even for adjacent base seeds.
+std::uint64_t split_seed(std::uint64_t seed, std::uint64_t stream);
+
 }  // namespace gansec::math

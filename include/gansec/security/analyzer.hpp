@@ -45,6 +45,10 @@ struct LikelihoodResult {
   std::size_t most_leaky_condition() const;
 };
 
+/// Runs Algorithm 3. The per-feature KDE fits and test-sample scoring fan
+/// out across the process-wide thread pool (each of the 100 frequency bins
+/// is independent); all generator sampling happens serially first, so the
+/// resulting likelihoods are bit-identical at any thread count.
 class LikelihoodAnalyzer {
  public:
   explicit LikelihoodAnalyzer(LikelihoodConfig config,

@@ -20,7 +20,10 @@ class ParzenKde {
   double bandwidth() const { return h_; }
   std::size_t sample_count() const { return samples_.size(); }
 
-  /// Log density at x (log-sum-exp, numerically stable).
+  /// Log density at x (log-sum-exp, numerically stable). Always finite:
+  /// when every kernel underflows (x far from all samples, or h -> 0 with
+  /// x off-sample) the result clamps to the most negative finite double
+  /// rather than -inf or NaN, so exp() of it is exactly 0.
   double log_density(double x) const;
 
   /// Density at x.

@@ -1,9 +1,34 @@
 #include "gansec/core/pipeline.hpp"
 
+#include <limits>
+#include <optional>
+#include <utility>
+
 #include "gansec/cpps/graph.hpp"
 #include "gansec/error.hpp"
 
 namespace gansec::core {
+
+std::size_t FlowPairSweep::most_leaky_pair() const {
+  if (outcomes.empty()) {
+    throw InvalidArgumentError("FlowPairSweep: no outcomes");
+  }
+  std::size_t best = 0;
+  double best_margin = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const security::LikelihoodResult& lik = outcomes[i].likelihood;
+    double margin = 0.0;
+    for (std::size_t c = 0; c < lik.condition_count(); ++c) {
+      margin += lik.mean_correct(c) - lik.mean_incorrect(c);
+    }
+    margin /= static_cast<double>(lik.condition_count());
+    if (margin > best_margin) {
+      best_margin = margin;
+      best = i;
+    }
+  }
+  return best;
+}
 
 GanSecPipeline::GanSecPipeline(PipelineConfig config)
     : config_(std::move(config)), builder_(config_.dataset) {
@@ -25,6 +50,7 @@ gan::CganTopology GanSecPipeline::topology() const {
 }
 
 PipelineResult GanSecPipeline::run() {
+  const ScopedExecution scoped(config_.execution);
   // Step 1 — Algorithm 1 on the case-study architecture.
   cpps::Architecture arch = am::make_printer_architecture();
   const cpps::CppsGraph graph(arch);
@@ -63,6 +89,59 @@ PipelineResult GanSecPipeline::run() {
                         trainer.history(),
                         std::move(likelihood),
                         std::move(confidentiality)};
+}
+
+FlowPairSweep GanSecPipeline::run_flow_pairs() {
+  const ScopedExecution scoped(config_.execution);
+  // Steps 1-2 as in run(): Algorithm 1 + one shared labeled dataset. The
+  // case-study testbed observes a single mixed emission channel, so every
+  // pair's CGAN trains against the same (condition, spectrum) corpus; what
+  // varies per pair is the model instance and its private Rng streams.
+  cpps::Architecture arch = am::make_printer_architecture();
+  const cpps::CppsGraph graph(arch);
+  const cpps::HistoricalData data = am::make_printer_historical_data();
+  std::vector<cpps::FlowPair> pairs =
+      cpps::select_cross_domain_pairs(arch,
+                                      cpps::generate_flow_pairs(graph, data));
+  if (pairs.empty()) {
+    throw ModelError(
+        "GanSecPipeline: Algorithm 1 produced no cross-domain flow pairs");
+  }
+  auto [train_set, test_set] = builder_.build_split(config_.train_fraction);
+
+  const gan::CganTopology topo = topology();
+  // Staged through optionals because Cgan has no default constructor;
+  // every slot is filled exactly once by exactly one chunk.
+  std::vector<std::optional<FlowPairOutcome>> staged(pairs.size());
+  parallel_for(0, pairs.size(), 1, [&](std::size_t p0, std::size_t p1) {
+    for (std::size_t p = p0; p < p1; ++p) {
+      // All randomness below derives from the pair index, never from the
+      // worker the pair landed on — this is the scheduling-independence
+      // contract run_flow_pairs() advertises.
+      const std::uint64_t pair_seed = math::split_seed(config_.seed, p);
+      gan::Cgan model(topo, pair_seed);
+      gan::CganTrainer trainer(model, config_.train,
+                               math::split_seed(pair_seed, 1));
+      trainer.train(train_set.features, train_set.conditions);
+      const security::LikelihoodAnalyzer analyzer(
+          config_.likelihood, math::split_seed(pair_seed, 2));
+      security::LikelihoodResult likelihood =
+          analyzer.analyze(model, test_set);
+      staged[p] = FlowPairOutcome{pairs[p], pair_seed, std::move(model),
+                                  trainer.history(), std::move(likelihood)};
+    }
+  });
+
+  FlowPairSweep sweep{std::move(arch),
+                      graph.removed_feedback_flows(),
+                      std::move(train_set),
+                      std::move(test_set),
+                      {}};
+  sweep.outcomes.reserve(staged.size());
+  for (auto& outcome : staged) {
+    sweep.outcomes.push_back(std::move(*outcome));
+  }
+  return sweep;
 }
 
 }  // namespace gansec::core

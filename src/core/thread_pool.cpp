@@ -1,0 +1,137 @@
+#include "gansec/core/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <utility>
+
+#include "gansec/error.hpp"
+
+namespace gansec::core {
+
+namespace {
+
+// Set for the lifetime of each worker thread; parallel_for uses it to run
+// nested loops inline instead of re-entering the queue (deadlock guard).
+thread_local bool t_on_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+bool ThreadPool::on_worker_thread() { return t_on_worker; }
+
+void ThreadPool::worker_loop() {
+  t_on_worker = true;
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (!task) {
+    throw InvalidArgumentError("ThreadPool::submit: empty task");
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      throw InvalidArgumentError("ThreadPool::submit: pool is shut down");
+    }
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              std::size_t grain, const ChunkFn& body) {
+  if (!body) {
+    throw InvalidArgumentError("ThreadPool::parallel_for: empty body");
+  }
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  const std::size_t n = end - begin;
+  // Serial fast paths: single chunk, no workers, or nested inside a worker
+  // (running inline keeps nesting deadlock-free by construction).
+  if (n <= grain || workers_.empty() || t_on_worker) {
+    body(begin, end);
+    return;
+  }
+
+  // Chunk layout is a pure function of (begin, end, grain): chunk c covers
+  // [begin + c*grain, min(begin + (c+1)*grain, end)). Workers and the
+  // caller race on an atomic cursor for *which* chunk to run next, but the
+  // chunks themselves never change — this is what makes results of
+  // disjoint-write kernels independent of scheduling.
+  struct LoopState {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t grain = 1;
+    std::size_t chunks = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mu;
+    std::condition_variable all_done;
+    std::exception_ptr error;  // first failure wins; guarded by mu
+    ChunkFn body;
+  };
+  auto state = std::make_shared<LoopState>();
+  state->begin = begin;
+  state->end = end;
+  state->grain = grain;
+  state->chunks = (n + grain - 1) / grain;
+  state->body = body;
+
+  const auto run_chunks = [state] {
+    while (true) {
+      const std::size_t c = state->next.fetch_add(1);
+      if (c >= state->chunks) break;
+      const std::size_t lo = state->begin + c * state->grain;
+      const std::size_t hi = std::min(lo + state->grain, state->end);
+      try {
+        state->body(lo, hi);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(state->mu);
+        if (!state->error) state->error = std::current_exception();
+      }
+      if (state->done.fetch_add(1) + 1 == state->chunks) {
+        const std::lock_guard<std::mutex> lock(state->mu);
+        state->all_done.notify_all();
+      }
+    }
+  };
+
+  // One helper task per worker (capped at the chunk count); late arrivals
+  // find the cursor exhausted and return immediately.
+  const std::size_t helpers = std::min(workers_.size(), state->chunks - 1);
+  for (std::size_t h = 0; h < helpers; ++h) submit(run_chunks);
+  run_chunks();  // the caller is the final lane
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->all_done.wait(
+      lock, [&] { return state->done.load() == state->chunks; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace gansec::core

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "gansec/core/execution.hpp"
 #include "gansec/error.hpp"
 
 namespace gansec::math {
@@ -18,6 +19,27 @@ namespace {
   oss << "Matrix::" << op << ": shape mismatch (" << a.rows() << "x"
       << a.cols() << " vs " << b.rows() << "x" << b.cols() << ")";
   throw DimensionError(oss.str());
+}
+
+// GEMMs below this many multiply-adds (m*k*n) are not worth dispatching to
+// the pool: a 64^3 product runs in tens of microseconds, comparable to the
+// cost of waking workers.
+constexpr std::size_t kGemmParallelMinFlops = std::size_t{1} << 18;
+
+// Rows of output per chunk. Row-blocked chunking keeps each output element
+// computed wholly by one thread with k-ascending accumulation, so parallel
+// results are bit-identical to the serial path at any thread count.
+constexpr std::size_t kGemmRowGrain = 8;
+
+// Dispatches a row-range kernel serially or through the global pool.
+template <typename Kernel>
+void gemm_dispatch(std::size_t out_rows, std::size_t flops,
+                   const Kernel& kernel) {
+  if (flops >= kGemmParallelMinFlops) {
+    core::parallel_for(0, out_rows, kGemmRowGrain, kernel);
+  } else {
+    kernel(0, out_rows);
+  }
 }
 
 }  // namespace
@@ -107,51 +129,63 @@ Matrix Matrix::matmul(const Matrix& a, const Matrix& b) {
   if (a.cols_ != b.rows_) throw_shape("matmul", a, b);
   Matrix out(a.rows_, b.cols_, 0.0F);
   // ikj loop order keeps the inner loop streaming over contiguous rows.
-  for (std::size_t i = 0; i < a.rows_; ++i) {
-    const float* arow = a.data() + i * a.cols_;
-    float* orow = out.data() + i * b.cols_;
-    for (std::size_t k = 0; k < a.cols_; ++k) {
-      const float aik = arow[k];
-      if (aik == 0.0F) continue;
-      const float* brow = b.data() + k * b.cols_;
-      for (std::size_t j = 0; j < b.cols_; ++j) {
-        orow[j] += aik * brow[j];
+  // Chunks own disjoint output-row blocks, so the parallel path is exact.
+  gemm_dispatch(a.rows_, a.rows_ * a.cols_ * b.cols_,
+                [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const float* arow = a.data() + i * a.cols_;
+      float* orow = out.data() + i * b.cols_;
+      for (std::size_t k = 0; k < a.cols_; ++k) {
+        const float aik = arow[k];
+        if (aik == 0.0F) continue;
+        const float* brow = b.data() + k * b.cols_;
+        for (std::size_t j = 0; j < b.cols_; ++j) {
+          orow[j] += aik * brow[j];
+        }
       }
     }
-  }
+  });
   return out;
 }
 
 Matrix Matrix::matmul_transposed_b(const Matrix& a, const Matrix& b) {
   if (a.cols_ != b.cols_) throw_shape("matmul_transposed_b", a, b);
   Matrix out(a.rows_, b.rows_, 0.0F);
-  for (std::size_t i = 0; i < a.rows_; ++i) {
-    const float* arow = a.data() + i * a.cols_;
-    for (std::size_t j = 0; j < b.rows_; ++j) {
-      const float* brow = b.data() + j * b.cols_;
-      float acc = 0.0F;
-      for (std::size_t k = 0; k < a.cols_; ++k) acc += arow[k] * brow[k];
-      out(i, j) = acc;
+  gemm_dispatch(a.rows_, a.rows_ * a.cols_ * b.rows_,
+                [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const float* arow = a.data() + i * a.cols_;
+      for (std::size_t j = 0; j < b.rows_; ++j) {
+        const float* brow = b.data() + j * b.cols_;
+        float acc = 0.0F;
+        for (std::size_t k = 0; k < a.cols_; ++k) acc += arow[k] * brow[k];
+        out(i, j) = acc;
+      }
     }
-  }
+  });
   return out;
 }
 
 Matrix Matrix::matmul_transposed_a(const Matrix& a, const Matrix& b) {
   if (a.rows_ != b.rows_) throw_shape("matmul_transposed_a", a, b);
   Matrix out(a.cols_, b.cols_, 0.0F);
-  for (std::size_t k = 0; k < a.rows_; ++k) {
-    const float* arow = a.data() + k * a.cols_;
-    const float* brow = b.data() + k * b.cols_;
-    for (std::size_t i = 0; i < a.cols_; ++i) {
-      const float aki = arow[i];
-      if (aki == 0.0F) continue;
+  // Output-row blocking (i indexes a's columns). Relative to the serial
+  // (k,i,j) ordering this hoists i outermost, but each out(i,j) still
+  // accumulates over k in ascending order, so results stay bit-identical.
+  gemm_dispatch(a.cols_, a.rows_ * a.cols_ * b.cols_,
+                [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
       float* orow = out.data() + i * b.cols_;
-      for (std::size_t j = 0; j < b.cols_; ++j) {
-        orow[j] += aki * brow[j];
+      for (std::size_t k = 0; k < a.rows_; ++k) {
+        const float aki = a.data()[k * a.cols_ + i];
+        if (aki == 0.0F) continue;
+        const float* brow = b.data() + k * b.cols_;
+        for (std::size_t j = 0; j < b.cols_; ++j) {
+          orow[j] += aki * brow[j];
+        }
       }
     }
-  }
+  });
   return out;
 }
 

@@ -88,4 +88,13 @@ Matrix Rng::normal_matrix(std::size_t rows, std::size_t cols, float mean,
   return m;
 }
 
+std::uint64_t split_seed(std::uint64_t seed, std::uint64_t stream) {
+  // SplitMix64 finalizer (Steele et al., "Fast splittable pseudorandom
+  // number generators") applied to the stream-th point of seed's sequence.
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace gansec::math

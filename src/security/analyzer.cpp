@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "gansec/core/execution.hpp"
 #include "gansec/error.hpp"
 #include "gansec/stats/kde.hpp"
 
@@ -109,39 +110,46 @@ LikelihoodResult LikelihoodAnalyzer::analyze_generator(
     const Matrix generated =
         generator.forward(Matrix::hstack(noise, conds), /*training=*/false);
 
-    // Inner loop over frequency-feature indices.
-    for (std::size_t fpos = 0; fpos < indices.size(); ++fpos) {
-      const std::size_t ft = indices[fpos];
-      std::vector<double> feature_samples(config_.generator_samples);
-      for (std::size_t r = 0; r < config_.generator_samples; ++r) {
-        feature_samples[r] = static_cast<double>(generated(r, ft));
-      }
-      // Line 8: FtDistr via the Parzen Gaussian window.
-      const stats::ParzenKde distr(std::move(feature_samples),
-                                   config_.parzen_h);
-
-      double cor_like = 0.0;
-      double inc_like = 0.0;
-      std::size_t cor_num = 0;
-      std::size_t inc_num = 0;
-      // Lines 7-14: score every test sample at this feature.
-      for (std::size_t l = 0; l < test.size(); ++l) {
-        const double like = distr.scaled_likelihood(
-            static_cast<double>(test.features(l, ft)));
-        if (test.labels[l] == ci) {
-          cor_like += like;
-          ++cor_num;
-        } else {
-          inc_like += like;
-          ++inc_num;
+    // Inner loop over frequency-feature indices. Every feature's KDE fit
+    // and scoring pass is independent and writes only its own [ci][fpos]
+    // slots, so the loop fans out across the pool; test samples are always
+    // scored in ascending order within a feature, keeping the likelihoods
+    // bit-identical at any thread count. All rng draws happened above.
+    core::parallel_for(0, indices.size(), 1, [&](std::size_t f0,
+                                                 std::size_t f1) {
+      for (std::size_t fpos = f0; fpos < f1; ++fpos) {
+        const std::size_t ft = indices[fpos];
+        std::vector<double> feature_samples(config_.generator_samples);
+        for (std::size_t r = 0; r < config_.generator_samples; ++r) {
+          feature_samples[r] = static_cast<double>(generated(r, ft));
         }
+        // Line 8: FtDistr via the Parzen Gaussian window.
+        const stats::ParzenKde distr(std::move(feature_samples),
+                                     config_.parzen_h);
+
+        double cor_like = 0.0;
+        double inc_like = 0.0;
+        std::size_t cor_num = 0;
+        std::size_t inc_num = 0;
+        // Lines 7-14: score every test sample at this feature.
+        for (std::size_t l = 0; l < test.size(); ++l) {
+          const double like = distr.scaled_likelihood(
+              static_cast<double>(test.features(l, ft)));
+          if (test.labels[l] == ci) {
+            cor_like += like;
+            ++cor_num;
+          } else {
+            inc_like += like;
+            ++inc_num;
+          }
+        }
+        // Lines 15-16: per-feature averages.
+        result.avg_correct[ci][fpos] =
+            cor_num == 0 ? 0.0 : cor_like / static_cast<double>(cor_num);
+        result.avg_incorrect[ci][fpos] =
+            inc_num == 0 ? 0.0 : inc_like / static_cast<double>(inc_num);
       }
-      // Lines 15-16: per-feature averages.
-      result.avg_correct[ci][fpos] =
-          cor_num == 0 ? 0.0 : cor_like / static_cast<double>(cor_num);
-      result.avg_incorrect[ci][fpos] =
-          inc_num == 0 ? 0.0 : inc_like / static_cast<double>(inc_num);
-    }
+    });
   }
   return result;
 }

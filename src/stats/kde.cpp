@@ -14,8 +14,9 @@ ParzenKde::ParzenKde(std::vector<double> samples, double bandwidth)
   if (samples_.empty()) {
     throw InvalidArgumentError("ParzenKde: empty sample set");
   }
-  if (h_ <= 0.0) {
-    throw InvalidArgumentError("ParzenKde: bandwidth must be positive");
+  if (h_ <= 0.0 || !std::isfinite(h_)) {
+    throw InvalidArgumentError(
+        "ParzenKde: bandwidth must be positive and finite");
   }
   for (const double s : samples_) {
     if (!std::isfinite(s)) {
@@ -32,18 +33,39 @@ double ParzenKde::log_density(double x) const {
   double max_exponent = -std::numeric_limits<double>::infinity();
   std::vector<double> exponents;
   exponents.reserve(samples_.size());
+  // inv_2h2 overflows to +inf when h is subnormal-tiny; the guards below
+  // keep every exponent well-defined instead of letting 0 * inf or
+  // inf * 0 poison the logsumexp with NaN.
   const double inv_2h2 = 1.0 / (2.0 * h_ * h_);
   for (const double s : samples_) {
     const double d = x - s;
-    const double e = -d * d * inv_2h2;
+    double e;
+    if (d == 0.0) {
+      e = 0.0;  // query on a sample: kernel peak, even when inv_2h2 = inf
+    } else {
+      e = -d * d * inv_2h2;
+      if (std::isnan(e)) {
+        // d^2 overflowed while inv_2h2 underflowed (astronomical spread
+        // with a huge h): evaluate the exponent via the stable ratio form.
+        const double t = d / h_;
+        e = -0.5 * t * t;
+      }
+    }
     exponents.push_back(e);
     max_exponent = std::max(max_exponent, e);
   }
-  double acc = 0.0;
-  for (const double e : exponents) acc += std::exp(e - max_exponent);
   const double log_norm =
       std::log(static_cast<double>(samples_.size())) + std::log(h_) +
       0.5 * std::log(2.0 * std::numbers::pi);
+  if (max_exponent == -std::numeric_limits<double>::infinity()) {
+    // Every kernel underflowed (x astronomically far from all samples, or
+    // h -> 0 with x off-sample). exp(e - max) would be exp(NaN); clamp to
+    // the most negative finite log instead so callers never see NaN or
+    // -inf: density() and scaled_likelihood() underflow cleanly to 0.
+    return -std::numeric_limits<double>::max();
+  }
+  double acc = 0.0;
+  for (const double e : exponents) acc += std::exp(e - max_exponent);
   return max_exponent + std::log(acc) - log_norm;
 }
 

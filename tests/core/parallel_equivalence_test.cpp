@@ -1,0 +1,238 @@
+// Serial-vs-parallel equivalence and determinism harness.
+//
+// The parallel engine's contract (DESIGN.md "Parallel execution") is that
+// parallelism is an implementation detail: GEMM, Algorithm 3 and the
+// flow-pair sweep must produce the same numbers at any thread count. These
+// tests pin that contract — GEMM elementwise within 1e-5 of the forced
+// serial path (in practice bit-identical, which is asserted too),
+// Algorithm 3 likelihoods bit-identical in deterministic mode, and
+// run_flow_pairs() histories identical across scheduling orders.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "gansec/core/execution.hpp"
+#include "gansec/core/pipeline.hpp"
+#include "gansec/gan/cgan.hpp"
+#include "gansec/math/matrix.hpp"
+#include "gansec/math/rng.hpp"
+#include "gansec/security/analyzer.hpp"
+
+namespace gansec::core {
+namespace {
+
+using math::Matrix;
+
+// Shapes large enough (96*80*64 multiply-adds) to cross the GEMM
+// parallel-dispatch threshold, with k-dimension ragged against the grain.
+struct GemmOperands {
+  Matrix a;       // 96 x 80
+  Matrix b;       // 80 x 64
+  Matrix a_t;     // 80 x 96  (for matmul_transposed_a)
+  Matrix b_t;     // 64 x 80  (for matmul_transposed_b)
+};
+
+GemmOperands make_operands() {
+  math::Rng rng(0x6E44);
+  GemmOperands ops;
+  ops.a = rng.normal_matrix(96, 80, 0.0F, 1.0F);
+  ops.b = rng.normal_matrix(80, 64, 0.0F, 1.0F);
+  ops.a_t = ops.a.transposed();
+  ops.b_t = ops.b.transposed();
+  return ops;
+}
+
+void expect_close(const Matrix& got, const Matrix& want, const char* what) {
+  ASSERT_TRUE(got.same_shape(want)) << what;
+  for (std::size_t r = 0; r < got.rows(); ++r) {
+    for (std::size_t c = 0; c < got.cols(); ++c) {
+      EXPECT_NEAR(got(r, c), want(r, c), 1e-5F)
+          << what << " at (" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(ParallelEquivalence, GemmMatchesSerialAcrossThreadCounts) {
+  const GemmOperands ops = make_operands();
+
+  ExecutionConfig serial;
+  serial.force_serial = true;
+  Matrix ref_mm, ref_ta, ref_tb;
+  {
+    const ScopedExecution scoped(serial);
+    ref_mm = Matrix::matmul(ops.a, ops.b);
+    ref_ta = Matrix::matmul_transposed_a(ops.a_t, ops.b);
+    ref_tb = Matrix::matmul_transposed_b(ops.a, ops.b_t);
+  }
+
+  for (const std::size_t threads : {1U, 2U, 8U}) {
+    ExecutionConfig config;
+    config.threads = threads;
+    const ScopedExecution scoped(config);
+    const Matrix mm = Matrix::matmul(ops.a, ops.b);
+    const Matrix ta = Matrix::matmul_transposed_a(ops.a_t, ops.b);
+    const Matrix tb = Matrix::matmul_transposed_b(ops.a, ops.b_t);
+    expect_close(mm, ref_mm, "matmul");
+    expect_close(ta, ref_ta, "matmul_transposed_a");
+    expect_close(tb, ref_tb, "matmul_transposed_b");
+    // The row-blocked kernels keep per-element accumulation order fixed,
+    // so the 1e-5 tolerance above is slack: results are bit-identical.
+    EXPECT_EQ(mm, ref_mm);
+    EXPECT_EQ(ta, ref_ta);
+    EXPECT_EQ(tb, ref_tb);
+  }
+}
+
+TEST(ParallelEquivalence, GemmExactForNonDeterministicChunking) {
+  // deterministic=false lets the engine coarsen chunk layout per thread
+  // count; row-blocked GEMM must still be exact because no chunk-level
+  // reduction exists.
+  const GemmOperands ops = make_operands();
+  ExecutionConfig serial;
+  serial.force_serial = true;
+  Matrix ref;
+  {
+    const ScopedExecution scoped(serial);
+    ref = Matrix::matmul(ops.a, ops.b);
+  }
+  ExecutionConfig config;
+  config.threads = 8;
+  config.deterministic = false;
+  const ScopedExecution scoped(config);
+  EXPECT_EQ(Matrix::matmul(ops.a, ops.b), ref);
+}
+
+am::LabeledDataset synthetic_test_set(std::size_t n, std::size_t data_dim,
+                                      std::size_t cond_dim) {
+  math::Rng rng(0x7357);
+  am::LabeledDataset test;
+  test.features = rng.uniform_matrix(n, data_dim, 0.0F, 1.0F);
+  test.conditions = Matrix(n, cond_dim, 0.0F);
+  test.labels.resize(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    test.labels[r] = r % cond_dim;
+    test.conditions(r, r % cond_dim) = 1.0F;
+  }
+  return test;
+}
+
+TEST(ParallelEquivalence, Algorithm3BitIdenticalAcrossThreadCounts) {
+  gan::CganTopology topo;
+  topo.data_dim = 24;
+  topo.cond_dim = 3;
+  topo.noise_dim = 8;
+  topo.generator_hidden = {16};
+  topo.discriminator_hidden = {16};
+  gan::Cgan model(topo, 0xBEE5);
+  const am::LabeledDataset test = synthetic_test_set(60, 24, 3);
+
+  security::LikelihoodConfig lik;
+  lik.generator_samples = 50;
+  const security::LikelihoodAnalyzer analyzer(lik, 0xA19);
+
+  ExecutionConfig serial;
+  serial.force_serial = true;
+  security::LikelihoodResult reference;
+  {
+    const ScopedExecution scoped(serial);
+    reference = analyzer.analyze(model, test);
+  }
+
+  for (const std::size_t threads : {1U, 2U, 8U}) {
+    ExecutionConfig config;
+    config.threads = threads;
+    config.deterministic = true;
+    const ScopedExecution scoped(config);
+    const security::LikelihoodResult got = analyzer.analyze(model, test);
+    ASSERT_EQ(got.feature_indices, reference.feature_indices);
+    ASSERT_EQ(got.avg_correct.size(), reference.avg_correct.size());
+    for (std::size_t c = 0; c < reference.avg_correct.size(); ++c) {
+      // Bit-identical, not merely close: EXPECT_EQ on the raw doubles.
+      EXPECT_EQ(got.avg_correct[c], reference.avg_correct[c])
+          << "threads=" << threads << " condition=" << c;
+      EXPECT_EQ(got.avg_incorrect[c], reference.avg_incorrect[c])
+          << "threads=" << threads << " condition=" << c;
+    }
+  }
+}
+
+PipelineConfig sweep_config(std::size_t threads) {
+  PipelineConfig config;
+  config.dataset.samples_per_condition = 12;
+  config.dataset.window_s = 0.15;
+  config.dataset.bins = 16;
+  config.dataset.f_max = 4000.0;
+  config.dataset.acoustic.sample_rate = 12000.0;
+  config.train.iterations = 30;
+  config.train.batch_size = 8;
+  config.generator_hidden = {16};
+  config.discriminator_hidden = {16};
+  config.execution.threads = threads;
+  return config;
+}
+
+TEST(ParallelEquivalence, FlowPairSweepIndependentOfScheduling) {
+  // Two full sweeps with the same seed but different thread counts: each
+  // pair derives its Rng streams from (seed, pair index), so per-pair
+  // TrainRecord histories must match regardless of which worker trained
+  // which pair in which order.
+  GanSecPipeline first(sweep_config(2));
+  GanSecPipeline second(sweep_config(8));
+  const FlowPairSweep sa = first.run_flow_pairs();
+  const FlowPairSweep sb = second.run_flow_pairs();
+
+  ASSERT_FALSE(sa.outcomes.empty());
+  ASSERT_EQ(sa.outcomes.size(), sb.outcomes.size());
+  EXPECT_EQ(sa.train_set.features, sb.train_set.features);
+  for (std::size_t p = 0; p < sa.outcomes.size(); ++p) {
+    const FlowPairOutcome& oa = sa.outcomes[p];
+    const FlowPairOutcome& ob = sb.outcomes[p];
+    EXPECT_EQ(oa.pair, ob.pair);
+    EXPECT_EQ(oa.seed, ob.seed);
+    ASSERT_EQ(oa.history.size(), ob.history.size());
+    for (std::size_t i = 0; i < oa.history.size(); ++i) {
+      EXPECT_EQ(oa.history[i].iteration, ob.history[i].iteration);
+      EXPECT_EQ(oa.history[i].g_loss, ob.history[i].g_loss)
+          << "pair " << p << " iteration " << i;
+      EXPECT_EQ(oa.history[i].d_loss, ob.history[i].d_loss)
+          << "pair " << p << " iteration " << i;
+      EXPECT_EQ(oa.history[i].d_real_mean, ob.history[i].d_real_mean);
+      EXPECT_EQ(oa.history[i].d_fake_mean, ob.history[i].d_fake_mean);
+    }
+    for (std::size_t c = 0; c < oa.likelihood.condition_count(); ++c) {
+      EXPECT_EQ(oa.likelihood.avg_correct[c], ob.likelihood.avg_correct[c]);
+      EXPECT_EQ(oa.likelihood.avg_incorrect[c],
+                ob.likelihood.avg_incorrect[c]);
+    }
+  }
+  EXPECT_EQ(sa.most_leaky_pair(), sb.most_leaky_pair());
+}
+
+TEST(ParallelEquivalence, FlowPairSeedsAreDistinctPerPair) {
+  GanSecPipeline pipeline(sweep_config(4));
+  const FlowPairSweep sweep = pipeline.run_flow_pairs();
+  for (std::size_t i = 0; i < sweep.outcomes.size(); ++i) {
+    EXPECT_EQ(sweep.outcomes[i].seed,
+              math::split_seed(sweep_config(4).seed, i));
+    for (std::size_t j = i + 1; j < sweep.outcomes.size(); ++j) {
+      EXPECT_NE(sweep.outcomes[i].seed, sweep.outcomes[j].seed);
+    }
+  }
+}
+
+TEST(SplitSeed, PureAndAvalanching) {
+  EXPECT_EQ(math::split_seed(42, 0), math::split_seed(42, 0));
+  EXPECT_NE(math::split_seed(42, 0), math::split_seed(42, 1));
+  EXPECT_NE(math::split_seed(42, 0), math::split_seed(43, 0));
+  // Adjacent base seeds with the same stream land far apart (avalanche):
+  // at least a quarter of the 64 bits must differ.
+  const std::uint64_t diff =
+      math::split_seed(1000, 5) ^ math::split_seed(1001, 5);
+  int bits = 0;
+  for (std::uint64_t m = diff; m != 0; m >>= 1) bits += static_cast<int>(m & 1);
+  EXPECT_GE(bits, 16);
+}
+
+}  // namespace
+}  // namespace gansec::core

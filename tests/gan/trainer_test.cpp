@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
+#include "gansec/core/execution.hpp"
 #include "gansec/error.hpp"
 
 namespace gansec::gan {
@@ -216,6 +218,46 @@ TEST(CganTrainer, DeterministicForSameSeeds) {
                      trainer_b.history()[i].g_loss);
     EXPECT_DOUBLE_EQ(trainer_a.history()[i].d_loss,
                      trainer_b.history()[i].d_loss);
+  }
+}
+
+TEST(CganTrainer, DeterministicAcrossThreadCounts) {
+  // Training runs GEMMs through the parallel engine; the row-blocked
+  // kernels keep accumulation order fixed, so the full history must be
+  // bit-identical whether the pool has 1 lane or 8.
+  Rng rng(21);
+  Matrix data;
+  Matrix conds;
+  make_toy_data(64, data, conds, rng);
+  TrainConfig cfg;
+  cfg.iterations = 30;
+  cfg.batch_size = 16;
+  // Wide hidden layer so discriminator/generator GEMMs cross the parallel
+  // dispatch threshold instead of silently staying on the serial path.
+  CganTopology topo = toy_topology();
+  topo.generator_hidden = {96};
+  topo.discriminator_hidden = {96};
+
+  std::vector<std::vector<TrainRecord>> histories;
+  for (const std::size_t threads : {1U, 2U, 8U}) {
+    core::ExecutionConfig exec;
+    exec.threads = threads;
+    const core::ScopedExecution scoped(exec);
+    Cgan model(topo, 5);
+    CganTrainer trainer(model, cfg, 77);
+    trainer.train(data, conds);
+    histories.push_back(trainer.history());
+  }
+  for (std::size_t t = 1; t < histories.size(); ++t) {
+    ASSERT_EQ(histories[t].size(), histories[0].size());
+    for (std::size_t i = 0; i < histories[0].size(); ++i) {
+      EXPECT_EQ(histories[t][i].g_loss, histories[0][i].g_loss)
+          << "run " << t << " iteration " << i;
+      EXPECT_EQ(histories[t][i].d_loss, histories[0][i].d_loss)
+          << "run " << t << " iteration " << i;
+      EXPECT_EQ(histories[t][i].d_real_mean, histories[0][i].d_real_mean);
+      EXPECT_EQ(histories[t][i].d_fake_mean, histories[0][i].d_fake_mean);
+    }
   }
 }
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numbers>
 
 #include "gansec/error.hpp"
@@ -15,6 +16,9 @@ TEST(ParzenKde, Validation) {
   EXPECT_THROW(ParzenKde({}, 0.2), InvalidArgumentError);
   EXPECT_THROW(ParzenKde({1.0}, 0.0), InvalidArgumentError);
   EXPECT_THROW(ParzenKde({1.0}, -0.5), InvalidArgumentError);
+  EXPECT_THROW(ParzenKde({1.0}, std::numeric_limits<double>::infinity()),
+               InvalidArgumentError);
+  EXPECT_THROW(ParzenKde({1.0}, std::nan("")), InvalidArgumentError);
   EXPECT_THROW(ParzenKde({std::nan("")}, 0.2), NumericError);
 }
 
@@ -96,6 +100,85 @@ TEST(ParzenKde, FarQueryHasTinyDensity) {
   const ParzenKde kde({0.0}, 0.1);
   EXPECT_LT(kde.log_density(100.0), -1000.0);
   EXPECT_DOUBLE_EQ(kde.density(100.0), 0.0);  // underflows to zero
+}
+
+// Edge-case regressions: every query on a valid estimator must produce a
+// finite log-density. Before the clamping fix, complete kernel underflow
+// made the log-sum-exp compute exp(-inf - -inf) = exp(nan) and the whole
+// Algorithm 3 likelihood table turned to NaN.
+TEST(ParzenKde, ExtremeFarQueryIsFiniteNotNan) {
+  const ParzenKde kde({0.0}, 0.1);
+  // d^2 still representable (1e60): a huge negative but finite exponent.
+  const double ld_big = kde.log_density(1e30);
+  EXPECT_TRUE(std::isfinite(ld_big));
+  EXPECT_LT(ld_big, -1e60);
+  // d^2 overflows to +inf (1e400): every kernel exponent is -inf and the
+  // log-sum-exp clamps instead of computing exp(-inf - -inf) = NaN.
+  const double ld_inf = kde.log_density(1e200);
+  EXPECT_FALSE(std::isnan(ld_inf));
+  EXPECT_TRUE(std::isfinite(ld_inf));
+  EXPECT_DOUBLE_EQ(ld_inf, -std::numeric_limits<double>::max());
+  EXPECT_DOUBLE_EQ(kde.density(1e200), 0.0);
+  EXPECT_DOUBLE_EQ(kde.scaled_likelihood(1e200), 0.0);
+}
+
+TEST(ParzenKde, TinyBandwidthOffSampleIsFiniteNotNan) {
+  // h -> 0: 1/(2h^2) overflows to +inf, so off-sample exponents become
+  // -inf for every kernel. Must clamp, not NaN.
+  const ParzenKde kde({0.5}, 1e-300);
+  const double off = kde.log_density(0.6);
+  EXPECT_FALSE(std::isnan(off));
+  EXPECT_TRUE(std::isfinite(off));
+  EXPECT_DOUBLE_EQ(off, -std::numeric_limits<double>::max());
+  // Exactly on the sample d == 0 would multiply 0 * inf without the guard;
+  // the log-density is the (large but finite) kernel peak log(1/(h*s2pi)).
+  const double on = kde.log_density(0.5);
+  EXPECT_FALSE(std::isnan(on));
+  EXPECT_TRUE(std::isfinite(on));
+  EXPECT_NEAR(on, -std::log(1e-300 * std::sqrt(2.0 * std::numbers::pi)),
+              1e-6);
+}
+
+TEST(ParzenKde, HugeBandwidthHugeDistanceIsFiniteNotNan) {
+  // The opposite pathology: d^2 overflows to +inf while 1/(2h^2)
+  // underflows to 0 — inf * 0 = NaN on the fast path. The fallback
+  // recomputes the exponent as -(d/h)^2/2, which is representable.
+  const ParzenKde kde({0.0}, 1e160);
+  const double near_ld = kde.log_density(1e160);  // d/h = 1: a real value
+  EXPECT_FALSE(std::isnan(near_ld));
+  EXPECT_TRUE(std::isfinite(near_ld));
+  EXPECT_NEAR(near_ld, -0.5 - std::log(1e160 * std::sqrt(2.0 * std::numbers::pi)),
+              1e-6);
+  const double far_ld = kde.log_density(1e200);  // d/h = 1e40: underflows
+  EXPECT_FALSE(std::isnan(far_ld));
+  EXPECT_TRUE(std::isfinite(far_ld));
+}
+
+TEST(ParzenKde, SingleSampleGoldenValues) {
+  // Hand-computed golden values for a single kernel at mu=2, h=0.5:
+  // log p(x) = -0.5*((x-2)/0.5)^2 - log(0.5*sqrt(2*pi)).
+  const ParzenKde kde({2.0}, 0.5);
+  const double log_norm = std::log(0.5 * std::sqrt(2.0 * std::numbers::pi));
+  EXPECT_NEAR(kde.log_density(2.0), -log_norm, 1e-12);
+  EXPECT_NEAR(kde.log_density(2.5), -0.5 - log_norm, 1e-12);
+  EXPECT_NEAR(kde.log_density(3.0), -2.0 - log_norm, 1e-12);
+  EXPECT_NEAR(kde.log_density(0.0), -8.0 - log_norm, 1e-12);
+  EXPECT_NEAR(kde.scaled_likelihood(2.0),
+              0.5 / (0.5 * std::sqrt(2.0 * std::numbers::pi)), 1e-12);
+}
+
+TEST(ParzenKde, MixtureGoldenValues) {
+  // Three-kernel mixture at {-1, 0, 3} with h = 0.8, scored at x = 0.5:
+  // p = (1/3) * sum_i N(0.5; mu_i, 0.8^2), reduced by hand to exponents
+  // {-1.7578125, -0.1953125, -4.8828125} over norm 0.8*sqrt(2*pi).
+  const ParzenKde kde({-1.0, 0.0, 3.0}, 0.8);
+  const double norm = 0.8 * std::sqrt(2.0 * std::numbers::pi);
+  const double expected =
+      (std::exp(-1.7578125) + std::exp(-0.1953125) + std::exp(-4.8828125)) /
+      (3.0 * norm);
+  EXPECT_NEAR(kde.density(0.5), expected, 1e-14);
+  EXPECT_NEAR(kde.log_density(0.5), std::log(expected), 1e-12);
+  EXPECT_NEAR(kde.scaled_likelihood(0.5), expected * 0.8, 1e-14);
 }
 
 TEST(ParzenKde, Accessors) {

@@ -11,9 +11,11 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <string>
 
 #include "gansec/am/printer_arch.hpp"
 #include "gansec/core/args.hpp"
+#include "gansec/core/execution.hpp"
 #include "gansec/core/pipeline.hpp"
 #include "gansec/cpps/dot.hpp"
 #include "gansec/error.hpp"
@@ -27,10 +29,18 @@ using namespace gansec;
 
 const std::set<std::string> kFlags = {
     "model", "samples", "bins", "window", "iterations", "seed", "h",
-    "scaler", "attack-fraction"};
+    "scaler", "attack-fraction", "threads"};
 
 core::PipelineConfig config_from(const core::Args& args) {
   core::PipelineConfig config;
+  // 0 = auto (hardware concurrency); results are thread-count-invariant,
+  // see the determinism contract in DESIGN.md "Parallel execution".
+  const int threads = args.get_int("threads", 0);
+  if (threads < 0) {
+    throw InvalidArgumentError("--threads must be >= 0, got " +
+                               std::to_string(threads));
+  }
+  config.execution.threads = static_cast<std::size_t>(threads);
   config.dataset.samples_per_condition =
       static_cast<std::size_t>(args.get_int("samples", 100));
   config.dataset.bins = static_cast<std::size_t>(args.get_int("bins", 100));
@@ -89,6 +99,9 @@ int cmd_analyze(const core::Args& args) {
   const std::string model_path = args.get("model", "gansec-model.cgan");
   gan::Cgan model = gan::Cgan::load_file(model_path);
   core::PipelineConfig config = config_from(args);
+  // analyze/detect run outside GanSecPipeline::run(), so install the
+  // execution knobs (--threads) for the analyzers here.
+  const core::ScopedExecution scoped(config.execution);
   config.dataset.bins = model.topology().data_dim;
   config.dataset.seed += 1;  // fresh test data, not the training draw
   am::DatasetBuilder builder(config.dataset);
@@ -112,6 +125,7 @@ int cmd_detect(const core::Args& args) {
   const std::string scaler_path = args.get("scaler", model_path + ".scaler");
   gan::Cgan model = gan::Cgan::load_file(model_path);
   core::PipelineConfig config = config_from(args);
+  const core::ScopedExecution scoped(config.execution);
   config.dataset.bins = model.topology().data_dim;
   am::DatasetBuilder builder(config.dataset);
   // The detector must scale observations exactly as the training run did;
@@ -151,7 +165,9 @@ int usage() {
                "  analyze --model m.cgan    Algorithm 3 + confidentiality\n"
                "  detect  --model m.cgan    attack-detection evaluation\n"
                "flags: --samples N  --bins N  --window S  --iterations N\n"
-               "       --seed N  --h W  --scaler PATH  --attack-fraction F\n";
+               "       --seed N  --h W  --scaler PATH  --attack-fraction F\n"
+               "       --threads N  (0 = all cores; results are identical\n"
+               "                     at any thread count)\n";
   return 2;
 }
 
