@@ -16,6 +16,9 @@
 #include "gansec/dsp/cwt.hpp"
 #include "gansec/dsp/fft.hpp"
 #include "gansec/gan/trainer.hpp"
+#include "gansec/obs/log.hpp"
+#include "gansec/obs/metrics.hpp"
+#include "gansec/obs/trace.hpp"
 #include "gansec/security/analyzer.hpp"
 #include "gansec/stats/kde.hpp"
 
@@ -192,6 +195,77 @@ void BM_Algorithm3Scoring(benchmark::State& state) {
 }
 BENCHMARK(BM_Algorithm3Scoring)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// Observability disabled-path costs. The contract (DESIGN.md
+// "Observability") is that instrumentation left in hot code costs a few
+// nanoseconds when the level/switch gates it off: one relaxed atomic load
+// plus a branch, with field expressions never evaluated.
+void BM_ObsLogDisabled(benchmark::State& state) {
+  const obs::LogLevel saved = obs::log_level();
+  obs::set_log_level(obs::LogLevel::kOff);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    ++i;
+    GANSEC_LOG_DEBUG("disabled hot-path statement", {"i", i},
+                     {"ratio", 0.25});
+    benchmark::DoNotOptimize(i);
+  }
+  obs::set_log_level(saved);
+}
+BENCHMARK(BM_ObsLogDisabled);
+
+void BM_ObsSpanDisabled(benchmark::State& state) {
+  const bool saved = obs::tracing_enabled();
+  obs::set_tracing(false);
+  for (auto _ : state) {
+    GANSEC_SPAN("disabled span");
+    benchmark::ClobberMemory();
+  }
+  obs::set_tracing(saved);
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
+void BM_ObsCounterAdd(benchmark::State& state) {
+  // The always-on cost of a cached counter update (relaxed fetch_add).
+  static obs::Counter& c = obs::counter("bench.counter_add");
+  for (auto _ : state) {
+    c.add();
+  }
+  benchmark::DoNotOptimize(c.value());
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  static obs::Histogram& h =
+      obs::histogram("bench.histogram_observe",
+                     {0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0, 8.0});
+  double x = 0.0;
+  for (auto _ : state) {
+    x += 0.37;
+    if (x > 8.5) x = 0.0;
+    h.observe(x);
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+void BM_ObsLogEnabledNullSink(benchmark::State& state) {
+  // Upper bound on the formatting cost of an enabled record: full field
+  // capture and dispatch into a sink that discards it.
+  const obs::LogLevel saved_level = obs::log_level();
+  const std::shared_ptr<obs::LogSink> saved_sink = obs::log_sink();
+  obs::set_log_level(obs::LogLevel::kTrace);
+  obs::set_log_sink(std::make_shared<obs::NullSink>());
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    ++i;
+    GANSEC_LOG_DEBUG("enabled statement", {"i", i}, {"ratio", 0.25},
+                     {"tag", "bench"});
+  }
+  obs::set_log_sink(saved_sink);
+  obs::set_log_level(saved_level);
+}
+BENCHMARK(BM_ObsLogEnabledNullSink);
 
 void BM_Algorithm1(benchmark::State& state) {
   const cpps::Architecture arch = am::make_printer_architecture();

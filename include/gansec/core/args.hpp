@@ -1,7 +1,8 @@
 // Minimal command-line flag parser for the gansec tools.
 //
-// Supports `--name value` and `--name=value` long flags plus positional
-// arguments. Unknown flags raise InvalidArgumentError so typos fail loudly.
+// Supports `--name value` and `--name=value` long flags, presence-only
+// boolean flags, and positional arguments. Unknown flags raise
+// InvalidArgumentError so typos fail loudly.
 #pragma once
 
 #include <cstdint>
@@ -16,9 +17,12 @@ namespace gansec::core {
 class Args {
  public:
   /// Parses argv (excluding argv[0]). `known_flags` is the allowlist of
-  /// long-flag names (without the leading "--").
+  /// long-flag names (without the leading "--"). Flags also listed in
+  /// `bool_flags` consume no value: bare `--flag` stores "true", while the
+  /// explicit forms `--flag=true` / `--flag=false` still work.
   Args(int argc, const char* const* argv,
-       const std::set<std::string>& known_flags);
+       const std::set<std::string>& known_flags,
+       const std::set<std::string>& bool_flags = {});
 
   const std::vector<std::string>& positional() const { return positional_; }
 
@@ -31,6 +35,10 @@ class Args {
   /// Numeric accessors; throw InvalidArgumentError on malformed numbers.
   std::int64_t get_int(const std::string& flag, std::int64_t fallback) const;
   double get_double(const std::string& flag, double fallback) const;
+
+  /// Boolean accessor: absent -> fallback, "true"/"1" -> true,
+  /// "false"/"0" -> false, anything else throws InvalidArgumentError.
+  bool get_bool(const std::string& flag, bool fallback) const;
 
  private:
   std::map<std::string, std::string> values_;

@@ -22,6 +22,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -62,10 +63,17 @@ class ThreadPool {
   static bool on_worker_thread();
 
  private:
+  /// A queued task plus its enqueue timestamp (trace clock, µs) — feeds
+  /// the pool.queue_wait_us gauge when the task is dequeued.
+  struct Pending {
+    std::function<void()> fn;
+    std::uint64_t enqueued_us = 0;
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Pending> queue_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;

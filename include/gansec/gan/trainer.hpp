@@ -11,10 +11,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "gansec/gan/cgan.hpp"
 #include "gansec/nn/optimizer.hpp"
+#include "gansec/obs/metrics.hpp"
 
 namespace gansec::gan {
 
@@ -46,6 +48,13 @@ struct TrainConfig {
   /// Snapshot the generator every N iterations (0 = never). Snapshots feed
   /// the Figure 9 convergence experiment.
   std::size_t checkpoint_every = 0;
+  /// Observability scope: the trainer appends per-iteration losses to the
+  /// series `<metrics_scope>.g_loss` / `<metrics_scope>.d_loss`. Give each
+  /// concurrent trainer its own scope (run_flow_pairs derives
+  /// "gan.train.pair<p>") so series stay per-producer and appends never
+  /// contend. The shared distribution histograms (gan.train.*) are always
+  /// global and merge safely across trainers.
+  std::string metrics_scope = "gan.train";
 };
 
 /// One row of the Figure 7 training curve.
@@ -102,6 +111,9 @@ class CganTrainer {
 
   Cgan& model_;
   TrainConfig config_;
+  /// Cached observability handles (registry-owned, process lifetime).
+  obs::Series* series_g_loss_ = nullptr;
+  obs::Series* series_d_loss_ = nullptr;
   math::Rng rng_;
   std::unique_ptr<nn::Optimizer> opt_g_;
   std::unique_ptr<nn::Optimizer> opt_d_;

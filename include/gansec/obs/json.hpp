@@ -1,0 +1,25 @@
+// Minimal JSON utilities shared by the observability sinks and their
+// tests: string escaping, safe number formatting, and a full-grammar
+// syntax validator (no DOM — the emitters write JSON directly and the
+// tests only need "does this parse, and does it mention X").
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace gansec::obs {
+
+/// Escapes for inclusion inside a JSON string literal (quotes, backslash,
+/// control characters as \uXXXX). Does not add surrounding quotes.
+std::string json_escape(std::string_view text);
+
+/// Renders a double as a JSON token: shortest round-trip decimal for
+/// finite values, `null` for NaN/inf (JSON has no non-finite numbers).
+std::string json_number(double value);
+
+/// Strict RFC 8259 syntax check of one complete JSON value. On failure
+/// returns false and, when `error` is non-null, stores a short reason
+/// with the byte offset.
+bool json_valid(std::string_view text, std::string* error = nullptr);
+
+}  // namespace gansec::obs

@@ -1,0 +1,195 @@
+// Structured, leveled logging for every gansec layer.
+//
+// Call sites use the GANSEC_LOG_* macros with a static message and a short
+// list of key=value fields:
+//
+//   GANSEC_LOG_INFO("training started", {"pairs", pairs.size()},
+//                   {"iterations", config.iterations});
+//
+// Design constraints, in order:
+//
+//  1. Near-zero cost when disabled: a call site below the compile-time
+//     floor (GANSEC_LOG_COMPILE_LEVEL) vanishes entirely; one at or above
+//     it but below the runtime level costs a single relaxed atomic load —
+//     field expressions are never evaluated.
+//  2. Thread safety: records are formatted on the calling thread and
+//     handed to one process-wide sink whose write path is serialized, so
+//     lines from concurrent flow-pair training never interleave.
+//  3. Machine parseability: the JSON-lines sink emits one self-contained
+//     JSON object per record (`--log-json` in the CLI); the text sink is
+//     the human-facing `ts LEVEL msg key=value ...` form.
+//
+// The runtime level is initialized from the GANSEC_LOG_LEVEL environment
+// variable (trace|debug|info|warn|error|off) before main() runs.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace gansec::obs {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// "trace", "debug", ... (lowercase, stable — part of the sink formats).
+std::string_view log_level_name(LogLevel level);
+
+/// Parses a level name (case-insensitive); throws InvalidArgumentError on
+/// anything that is not trace|debug|info|warn|error|off.
+LogLevel parse_log_level(std::string_view name);
+
+/// One key=value field attached to a record. Values are captured by value
+/// (numbers, bools) or by view (strings — the referenced storage only
+/// needs to live until the log statement's full expression ends, which
+/// covers temporaries passed inline).
+struct LogField {
+  enum class Kind { kInt, kUint, kDouble, kBool, kString };
+
+  std::string_view key;
+  Kind kind = Kind::kInt;
+  std::int64_t int_value = 0;
+  std::uint64_t uint_value = 0;
+  double double_value = 0.0;
+  bool bool_value = false;
+  std::string_view string_value;
+
+  LogField(std::string_view k, int v)
+      : key(k), kind(Kind::kInt), int_value(v) {}
+  LogField(std::string_view k, long v)
+      : key(k), kind(Kind::kInt), int_value(v) {}
+  LogField(std::string_view k, long long v)
+      : key(k), kind(Kind::kInt), int_value(v) {}
+  LogField(std::string_view k, unsigned v)
+      : key(k), kind(Kind::kUint), uint_value(v) {}
+  LogField(std::string_view k, unsigned long v)
+      : key(k), kind(Kind::kUint), uint_value(v) {}
+  LogField(std::string_view k, unsigned long long v)
+      : key(k), kind(Kind::kUint), uint_value(v) {}
+  LogField(std::string_view k, double v)
+      : key(k), kind(Kind::kDouble), double_value(v) {}
+  LogField(std::string_view k, float v)
+      : key(k), kind(Kind::kDouble), double_value(v) {}
+  LogField(std::string_view k, bool v)
+      : key(k), kind(Kind::kBool), bool_value(v) {}
+  LogField(std::string_view k, std::string_view v)
+      : key(k), kind(Kind::kString), string_value(v) {}
+  LogField(std::string_view k, const char* v)
+      : key(k), kind(Kind::kString), string_value(v) {}
+  LogField(std::string_view k, const std::string& v)
+      : key(k), kind(Kind::kString), string_value(v) {}
+};
+
+/// A fully captured record as handed to the sink. Views point into the
+/// call site's storage; sinks must consume them synchronously.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  /// Wall-clock milliseconds since the Unix epoch (observability metadata
+  /// only — never feeds any computation, so the no-wall-clock-entropy rule
+  /// for the numeric code does not apply here).
+  std::uint64_t unix_ms = 0;
+  std::string_view message;
+  const LogField* fields = nullptr;
+  std::size_t field_count = 0;
+};
+
+/// Sink interface. write() may be called concurrently; implementations
+/// serialize internally.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void write(const LogRecord& record) = 0;
+};
+
+/// Human-readable lines: `<unix_ms> LEVEL message key=value ...`
+/// (string values are quoted only when they contain spaces or '=').
+class TextSink : public LogSink {
+ public:
+  explicit TextSink(std::ostream& os) : os_(&os) {}
+  void write(const LogRecord& record) override;
+
+ private:
+  std::ostream* os_;
+  std::mutex mu_;
+};
+
+/// JSON-lines: one object per record with "ts", "level", "msg" plus one
+/// member per field. Always valid JSON (strings escaped, non-finite
+/// numbers emitted as null).
+class JsonLinesSink : public LogSink {
+ public:
+  explicit JsonLinesSink(std::ostream& os) : os_(&os) {}
+  void write(const LogRecord& record) override;
+
+ private:
+  std::ostream* os_;
+  std::mutex mu_;
+};
+
+/// Discards everything — the disabled-sink baseline for benchmarks.
+class NullSink : public LogSink {
+ public:
+  void write(const LogRecord&) override {}
+};
+
+/// Runtime level control (relaxed atomic; safe from any thread).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+inline bool log_enabled(LogLevel level);
+
+/// Replaces the process-wide sink (default: TextSink on std::clog).
+/// Shared ownership so in-flight writes on other threads stay valid.
+void set_log_sink(std::shared_ptr<LogSink> sink);
+std::shared_ptr<LogSink> log_sink();
+
+/// Formats and dispatches one record. Call through the macros so disabled
+/// statements never evaluate their fields.
+void log_emit(LogLevel level, std::string_view message,
+              std::initializer_list<LogField> fields);
+
+namespace detail {
+/// The runtime level cell, exposed so log_enabled inlines to one load.
+std::int32_t atomic_level_load();
+}  // namespace detail
+
+inline bool log_enabled(LogLevel level) {
+  return static_cast<std::int32_t>(level) >= detail::atomic_level_load();
+}
+
+}  // namespace gansec::obs
+
+/// Statements below this level are compiled out entirely (0 = trace keeps
+/// everything; 2 would strip trace+debug from the binary).
+#ifndef GANSEC_LOG_COMPILE_LEVEL
+#define GANSEC_LOG_COMPILE_LEVEL 0
+#endif
+
+#define GANSEC_LOG_AT(lvl, msg, ...)                                      \
+  do {                                                                    \
+    if constexpr (static_cast<int>(lvl) >= GANSEC_LOG_COMPILE_LEVEL) {    \
+      if (::gansec::obs::log_enabled(lvl)) {                              \
+        ::gansec::obs::log_emit((lvl), (msg), {__VA_ARGS__});             \
+      }                                                                   \
+    }                                                                     \
+  } while (0)
+
+#define GANSEC_LOG_TRACE(...) \
+  GANSEC_LOG_AT(::gansec::obs::LogLevel::kTrace, __VA_ARGS__)
+#define GANSEC_LOG_DEBUG(...) \
+  GANSEC_LOG_AT(::gansec::obs::LogLevel::kDebug, __VA_ARGS__)
+#define GANSEC_LOG_INFO(...) \
+  GANSEC_LOG_AT(::gansec::obs::LogLevel::kInfo, __VA_ARGS__)
+#define GANSEC_LOG_WARN(...) \
+  GANSEC_LOG_AT(::gansec::obs::LogLevel::kWarn, __VA_ARGS__)
+#define GANSEC_LOG_ERROR(...) \
+  GANSEC_LOG_AT(::gansec::obs::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,92 @@
+// RAII trace spans with chrome://tracing export.
+//
+// GANSEC_SPAN("pipeline.train") opens a span that closes at scope exit;
+// nested spans nest naturally in the exported timeline because chrome's
+// trace viewer (and Perfetto) reconstructs the stack from per-thread
+// (ts, dur) containment of "X" complete events.
+//
+// Cost model: tracing is off by default; a disabled span is one relaxed
+// atomic load in the constructor and one branch in the destructor — no
+// clock reads, no allocation. When enabled, each span costs two
+// steady_clock reads and one push into a per-thread buffer (a mutex that
+// is only ever contended by a trace flush), so enabling tracing never
+// serializes the parallel engine and cannot perturb any computed result —
+// the serial-vs-parallel equivalence guarantees hold with tracing on.
+//
+// Span names must be string literals (or otherwise outlive the recorder):
+// events store the pointer, not a copy.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gansec::obs {
+
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t ts_us = 0;   ///< start, microseconds since the trace epoch
+  std::uint64_t dur_us = 0;
+  std::uint32_t tid = 0;     ///< stable small id assigned per thread
+};
+
+/// Global on/off switch (relaxed atomic). Enabling mid-run is fine; spans
+/// already open stay unrecorded.
+void set_tracing(bool enabled);
+bool tracing_enabled();
+
+/// Microseconds since the process-wide trace epoch (steady clock).
+std::uint64_t trace_now_us();
+
+/// Snapshot of every recorded event, merged across threads and sorted by
+/// start time.
+std::vector<TraceEvent> trace_events();
+
+/// Drops all recorded events (buffers stay registered).
+void clear_trace();
+
+/// Writes {"traceEvents":[...]} in chrome://tracing / Perfetto format.
+void write_chrome_trace(std::ostream& os);
+void write_chrome_trace_file(const std::string& path);  ///< throws IoError
+
+namespace detail {
+void record_span(const char* name, std::uint64_t start_us,
+                 std::uint64_t end_us);
+}  // namespace detail
+
+class Span {
+ public:
+  explicit Span(const char* name)
+      : name_(name), active_(tracing_enabled()) {
+    if (active_) start_us_ = trace_now_us();
+  }
+
+  ~Span() { end(); }
+
+  /// Closes the span early (for sequential stage timing without nesting
+  /// scopes). Idempotent.
+  void end() {
+    if (active_) {
+      active_ = false;
+      detail::record_span(name_, start_us_, trace_now_us());
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t start_us_ = 0;
+  bool active_;
+};
+
+}  // namespace gansec::obs
+
+#define GANSEC_OBS_CONCAT_INNER(a, b) a##b
+#define GANSEC_OBS_CONCAT(a, b) GANSEC_OBS_CONCAT_INNER(a, b)
+
+/// Opens a span covering the rest of the enclosing scope.
+#define GANSEC_SPAN(name) \
+  ::gansec::obs::Span GANSEC_OBS_CONCAT(gansec_span_, __LINE__)(name)

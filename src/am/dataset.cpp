@@ -5,6 +5,9 @@
 #include <sstream>
 
 #include "gansec/error.hpp"
+#include "gansec/obs/log.hpp"
+#include "gansec/obs/metrics.hpp"
+#include "gansec/obs/trace.hpp"
 
 namespace gansec::am {
 
@@ -144,6 +147,7 @@ std::vector<double> DatasetBuilder::synthesize_observation(
 }
 
 LabeledDataset DatasetBuilder::build() {
+  GANSEC_SPAN("am.dataset.build");
   const std::size_t cond_dim = encoder_.dimension();
   // Exclusive scheme: labels 0..2. Combination scheme: all 8 subsets
   // including idle.
@@ -181,6 +185,11 @@ LabeledDataset DatasetBuilder::build() {
   out.conditions = std::move(conditions);
   out.labels = std::move(labels);
   out.validate();
+  static obs::Counter& observations = obs::counter("am.dataset.observations");
+  observations.add(total);
+  GANSEC_LOG_DEBUG("am.dataset.build.done", {"rows", total},
+                   {"bins", binner_.size()}, {"cond_dim", cond_dim},
+                   {"classes", class_labels.size()});
   return out;
 }
 

@@ -7,7 +7,8 @@
 namespace gansec::core {
 
 Args::Args(int argc, const char* const* argv,
-           const std::set<std::string>& known_flags) {
+           const std::set<std::string>& known_flags,
+           const std::set<std::string>& bool_flags) {
   for (int i = 0; i < argc; ++i) {
     const std::string token = argv[i];
     if (token.rfind("--", 0) != 0) {
@@ -20,6 +21,8 @@ Args::Args(int argc, const char* const* argv,
     if (eq != std::string::npos) {
       value = name.substr(eq + 1);
       name = name.substr(0, eq);
+    } else if (bool_flags.contains(name)) {
+      value = "true";  // presence alone turns a boolean flag on
     } else {
       if (i + 1 >= argc) {
         throw InvalidArgumentError("Args: flag --" + name +
@@ -27,7 +30,7 @@ Args::Args(int argc, const char* const* argv,
       }
       value = argv[++i];
     }
-    if (!known_flags.contains(name)) {
+    if (!known_flags.contains(name) && !bool_flags.contains(name)) {
       throw InvalidArgumentError("Args: unknown flag --" + name);
     }
     values_[name] = value;
@@ -73,6 +76,15 @@ double Args::get_double(const std::string& flag, double fallback) const {
                                " expects a number, got '" + it->second +
                                "'");
   }
+}
+
+bool Args::get_bool(const std::string& flag, bool fallback) const {
+  const auto it = values_.find(flag);
+  if (it == values_.end()) return fallback;
+  if (it->second == "true" || it->second == "1") return true;
+  if (it->second == "false" || it->second == "0") return false;
+  throw InvalidArgumentError("Args: flag --" + flag +
+                             " expects true/false, got '" + it->second + "'");
 }
 
 }  // namespace gansec::core

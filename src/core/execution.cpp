@@ -4,6 +4,8 @@
 #include <memory>
 #include <mutex>
 
+#include "gansec/obs/metrics.hpp"
+
 namespace gansec::core {
 
 namespace {
@@ -73,6 +75,10 @@ void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
     // deterministic mode forbids.
     grain = std::max(grain, n / (threads * 4) + 1);
   }
+  // Counted only when the loop actually fans out — the serial fast path
+  // above is the GEMM hot path and stays instrumentation-free.
+  static obs::Counter& dispatched = obs::counter("exec.parallel_for_dispatched");
+  dispatched.add();
   global_pool().parallel_for(begin, end, grain, body);
 }
 

@@ -6,8 +6,20 @@
 
 #include "gansec/cpps/graph.hpp"
 #include "gansec/error.hpp"
+#include "gansec/obs/log.hpp"
+#include "gansec/obs/metrics.hpp"
+#include "gansec/obs/trace.hpp"
 
 namespace gansec::core {
+
+namespace {
+
+obs::Counter& pairs_trained_counter() {
+  static obs::Counter& c = obs::counter("pipeline.pairs_trained");
+  return c;
+}
+
+}  // namespace
 
 std::size_t FlowPairSweep::most_leaky_pair() const {
   if (outcomes.empty()) {
@@ -51,7 +63,13 @@ gan::CganTopology GanSecPipeline::topology() const {
 
 PipelineResult GanSecPipeline::run() {
   const ScopedExecution scoped(config_.execution);
+  GANSEC_SPAN("pipeline.run");
+  GANSEC_LOG_INFO("pipeline.run.start",
+                  {"threads", resolved_threads(config_.execution)},
+                  {"iterations", config_.train.iterations},
+                  {"seed", config_.seed});
   // Step 1 — Algorithm 1 on the case-study architecture.
+  obs::Span span_alg1("pipeline.algorithm1");
   cpps::Architecture arch = am::make_printer_architecture();
   const cpps::CppsGraph graph(arch);
   const cpps::HistoricalData data = am::make_printer_historical_data();
@@ -62,16 +80,22 @@ PipelineResult GanSecPipeline::run() {
     throw ModelError(
         "GanSecPipeline: Algorithm 1 produced no cross-domain flow pairs");
   }
+  span_alg1.end();
 
   // Step 2 — dataset generation on the simulated testbed.
+  obs::Span span_dataset("pipeline.dataset");
   auto [train_set, test_set] = builder_.build_split(config_.train_fraction);
+  span_dataset.end();
 
   // Step 3 — Algorithm 2: CGAN training.
+  obs::Span span_train("pipeline.train");
   gan::Cgan model(topology(), config_.seed);
   gan::CganTrainer trainer(model, config_.train, config_.seed ^ 0x7EA1);
   trainer.train(train_set.features, train_set.conditions);
+  span_train.end();
 
   // Step 4 — Algorithm 3 + confidentiality analysis on held-out data.
+  obs::Span span_analyze("pipeline.analyze");
   const security::LikelihoodAnalyzer analyzer(config_.likelihood,
                                               config_.seed ^ 0xA3);
   security::LikelihoodResult likelihood = analyzer.analyze(model, test_set);
@@ -79,6 +103,10 @@ PipelineResult GanSecPipeline::run() {
       config_.confidentiality, config_.seed ^ 0xC0);
   security::ConfidentialityReport confidentiality =
       conf_analyzer.analyze(model, test_set);
+  span_analyze.end();
+  GANSEC_LOG_INFO("pipeline.run.done", {"flow_pairs", pairs.size()},
+                  {"train_rows", train_set.size()},
+                  {"test_rows", test_set.size()});
 
   return PipelineResult{std::move(arch),
                         graph.removed_feedback_flows(),
@@ -93,6 +121,7 @@ PipelineResult GanSecPipeline::run() {
 
 FlowPairSweep GanSecPipeline::run_flow_pairs() {
   const ScopedExecution scoped(config_.execution);
+  GANSEC_SPAN("pipeline.flow_pair_sweep");
   // Steps 1-2 as in run(): Algorithm 1 + one shared labeled dataset. The
   // case-study testbed observes a single mixed emission channel, so every
   // pair's CGAN trains against the same (condition, spectrum) corpus; what
@@ -109,28 +138,45 @@ FlowPairSweep GanSecPipeline::run_flow_pairs() {
   }
   auto [train_set, test_set] = builder_.build_split(config_.train_fraction);
 
+  GANSEC_LOG_INFO("pipeline.flow_pair_sweep.start",
+                  {"pairs", pairs.size()},
+                  {"threads", resolved_threads(config_.execution)},
+                  {"iterations", config_.train.iterations});
   const gan::CganTopology topo = topology();
   // Staged through optionals because Cgan has no default constructor;
   // every slot is filled exactly once by exactly one chunk.
   std::vector<std::optional<FlowPairOutcome>> staged(pairs.size());
   parallel_for(0, pairs.size(), 1, [&](std::size_t p0, std::size_t p1) {
     for (std::size_t p = p0; p < p1; ++p) {
+      GANSEC_SPAN("pipeline.flow_pair");
       // All randomness below derives from the pair index, never from the
       // worker the pair landed on — this is the scheduling-independence
       // contract run_flow_pairs() advertises.
       const std::uint64_t pair_seed = math::split_seed(config_.seed, p);
       gan::Cgan model(topo, pair_seed);
-      gan::CganTrainer trainer(model, config_.train,
+      gan::TrainConfig train_config = config_.train;
+      // Per-pair series scope so concurrent trainers never interleave
+      // appends within one series (each stays sorted by iteration).
+      train_config.metrics_scope = "gan.train.pair" + std::to_string(p);
+      gan::CganTrainer trainer(model, train_config,
                                math::split_seed(pair_seed, 1));
       trainer.train(train_set.features, train_set.conditions);
       const security::LikelihoodAnalyzer analyzer(
           config_.likelihood, math::split_seed(pair_seed, 2));
       security::LikelihoodResult likelihood =
           analyzer.analyze(model, test_set);
+      const double final_g_loss =
+          trainer.history().empty() ? 0.0 : trainer.history().back().g_loss;
       staged[p] = FlowPairOutcome{pairs[p], pair_seed, std::move(model),
                                   trainer.history(), std::move(likelihood)};
+      pairs_trained_counter().add();
+      GANSEC_LOG_DEBUG("pipeline.flow_pair.done", {"pair", p},
+                       {"first", pairs[p].first},
+                       {"second", pairs[p].second},
+                       {"final_g_loss", final_g_loss});
     }
   });
+  GANSEC_LOG_INFO("pipeline.flow_pair_sweep.done", {"pairs", pairs.size()});
 
   FlowPairSweep sweep{std::move(arch),
                       graph.removed_feedback_flows(),

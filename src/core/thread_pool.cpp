@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "gansec/error.hpp"
+#include "gansec/obs/metrics.hpp"
+#include "gansec/obs/trace.hpp"
 
 namespace gansec::core {
 
@@ -14,6 +16,28 @@ namespace {
 // Set for the lifetime of each worker thread; parallel_for uses it to run
 // nested loops inline instead of re-entering the queue (deadlock guard).
 thread_local bool t_on_worker = false;
+
+// Pool metrics, registered once. References stay valid for the process
+// lifetime (the registry is leaked), so the worker threads can update
+// them even while static destructors join the global pool.
+obs::Counter& tasks_executed_counter() {
+  static obs::Counter& c = obs::counter("pool.tasks_executed");
+  return c;
+}
+
+obs::Counter& tasks_submitted_counter() {
+  static obs::Counter& c = obs::counter("pool.tasks_submitted");
+  return c;
+}
+
+// Queue wait of the most recently dequeued task, in microseconds. A gauge
+// (not a histogram) because the interesting signal is "is the queue
+// backing up right now"; the per-task values are too scheduler-noisy to
+// aggregate meaningfully.
+obs::Gauge& queue_wait_gauge() {
+  static obs::Gauge& g = obs::gauge("pool.queue_wait_us");
+  return g;
+}
 
 }  // namespace
 
@@ -38,7 +62,7 @@ bool ThreadPool::on_worker_thread() { return t_on_worker; }
 void ThreadPool::worker_loop() {
   t_on_worker = true;
   while (true) {
-    std::function<void()> task;
+    Pending task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -46,7 +70,11 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    const std::uint64_t now = obs::trace_now_us();
+    queue_wait_gauge().set(static_cast<double>(
+        now >= task.enqueued_us ? now - task.enqueued_us : 0));
+    task.fn();
+    tasks_executed_counter().add();
   }
 }
 
@@ -59,9 +87,10 @@ void ThreadPool::submit(std::function<void()> task) {
     if (stop_) {
       throw InvalidArgumentError("ThreadPool::submit: pool is shut down");
     }
-    queue_.push_back(std::move(task));
+    queue_.push_back(Pending{std::move(task), obs::trace_now_us()});
   }
   cv_.notify_one();
+  tasks_submitted_counter().add();
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,

@@ -5,6 +5,7 @@
 
 #include "gansec/dsp/fft.hpp"
 #include "gansec/error.hpp"
+#include "gansec/obs/trace.hpp"
 
 namespace gansec::dsp {
 
@@ -83,6 +84,7 @@ std::vector<std::vector<double>> MorletCwt::scalogram(
 std::vector<double> MorletCwt::band_energies(
     const std::vector<double>& signal,
     const std::vector<double>& frequencies_hz) const {
+  GANSEC_SPAN("dsp.cwt.band_energies");
   const auto grid = scalogram(signal, frequencies_hz);
   std::vector<double> energies(grid.size());
   for (std::size_t i = 0; i < grid.size(); ++i) {

@@ -6,6 +6,7 @@
 #include "gansec/dsp/features.hpp"
 #include "gansec/dsp/fft.hpp"
 #include "gansec/error.hpp"
+#include "gansec/obs/trace.hpp"
 
 namespace gansec::dsp {
 
@@ -60,6 +61,7 @@ std::vector<std::vector<double>> Stft::spectrogram(
 std::vector<double> Stft::band_energies(
     const std::vector<double>& signal,
     const std::vector<double>& frequencies_hz) const {
+  GANSEC_SPAN("dsp.stft.band_energies");
   if (frequencies_hz.empty()) {
     throw InvalidArgumentError("Stft::band_energies: no target frequencies");
   }

@@ -5,6 +5,8 @@
 
 #include "gansec/error.hpp"
 #include "gansec/nn/loss.hpp"
+#include "gansec/obs/log.hpp"
+#include "gansec/obs/trace.hpp"
 
 namespace gansec::gan {
 
@@ -13,6 +15,41 @@ using math::Matrix;
 namespace {
 
 constexpr float kEps = 1e-7F;
+
+// Distribution histograms shared by every trainer in the process (the
+// flow-pair sweep trains many concurrently; the buckets are atomic so
+// cross-trainer merging is free). Bucket edges follow the loss dynamics:
+// d_loss lives in [0, 2 ln 2] at equilibrium and spikes toward ~32 when D
+// collapses; g_loss spikes toward -log(eps) ~ 16; D outputs are
+// probabilities.
+obs::Histogram& d_loss_histogram() {
+  static obs::Histogram& h = obs::histogram(
+      "gan.train.d_loss", {0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0, 8.0});
+  return h;
+}
+
+obs::Histogram& g_loss_histogram() {
+  static obs::Histogram& h = obs::histogram(
+      "gan.train.g_loss", {0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0, 8.0, 16.0});
+  return h;
+}
+
+obs::Histogram& d_real_histogram() {
+  static obs::Histogram& h = obs::histogram(
+      "gan.train.d_real", {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9});
+  return h;
+}
+
+obs::Histogram& d_fake_histogram() {
+  static obs::Histogram& h = obs::histogram(
+      "gan.train.d_fake", {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9});
+  return h;
+}
+
+obs::Counter& iterations_counter() {
+  static obs::Counter& c = obs::counter("gan.train.iterations");
+  return c;
+}
 
 double mean_log(const Matrix& probs) {
   double acc = 0.0;
@@ -43,6 +80,11 @@ CganTrainer::CganTrainer(Cgan& model, TrainConfig config, std::uint64_t seed)
   if (config_.adam_beta1 < 0.0F || config_.adam_beta1 >= 1.0F) {
     throw InvalidArgumentError("TrainConfig: adam_beta1 must be in [0,1)");
   }
+  if (config_.metrics_scope.empty()) {
+    throw InvalidArgumentError("TrainConfig: metrics_scope must be non-empty");
+  }
+  series_g_loss_ = &obs::series(config_.metrics_scope + ".g_loss");
+  series_d_loss_ = &obs::series(config_.metrics_scope + ".d_loss");
   opt_g_ = make_optimizer(model_.generator().parameters(),
                           config_.learning_rate_g);
   opt_d_ = make_optimizer(model_.discriminator().parameters(),
@@ -93,7 +135,9 @@ void CganTrainer::train_iterations(const Matrix& samples,
                                    const Matrix& conditions,
                                    std::size_t count) {
   validate_dataset(samples, conditions);
+  GANSEC_SPAN("gan.train");
   for (std::size_t it = 0; it < count; ++it) {
+    GANSEC_SPAN("gan.iteration");
     TrainRecord record;
     record.iteration = ++iterations_done_;
     // Algorithm 2, lines 4-8: k discriminator ascent steps.
@@ -103,11 +147,30 @@ void CganTrainer::train_iterations(const Matrix& samples,
     // Algorithm 2, lines 9-10: one generator step reusing the last f2 batch.
     generator_step(last_batch_conditions_, record);
     history_.push_back(record);
+    const auto step = static_cast<double>(record.iteration);
+    d_loss_histogram().observe(record.d_loss);
+    g_loss_histogram().observe(record.g_loss);
+    d_real_histogram().observe(record.d_real_mean);
+    d_fake_histogram().observe(record.d_fake_mean);
+    series_d_loss_->append(step, record.d_loss);
+    series_g_loss_->append(step, record.g_loss);
+    iterations_counter().add();
+    GANSEC_LOG_TRACE("gan.train.iteration", {"scope", config_.metrics_scope},
+                     {"iter", record.iteration}, {"g_loss", record.g_loss},
+                     {"d_loss", record.d_loss},
+                     {"d_real", record.d_real_mean},
+                     {"d_fake", record.d_fake_mean});
     if (config_.checkpoint_every != 0 &&
         record.iteration % config_.checkpoint_every == 0) {
       checkpoints_.push_back(
           Checkpoint{record.iteration, model_.generator().clone()});
     }
+  }
+  if (!history_.empty()) {
+    GANSEC_LOG_DEBUG("gan.train.done", {"scope", config_.metrics_scope},
+                     {"iterations", iterations_done_},
+                     {"g_loss", history_.back().g_loss},
+                     {"d_loss", history_.back().d_loss});
   }
 }
 

@@ -1,0 +1,175 @@
+#include "gansec/obs/log.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "gansec/error.hpp"
+#include "gansec/obs/json.hpp"
+
+namespace gansec::obs {
+
+namespace {
+
+std::uint64_t wall_clock_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+// Logger globals. The sink holder is intentionally leaked (never
+// destroyed) so instrumented code running during static destruction —
+// e.g. the global thread pool joining its workers — can still log.
+struct SinkHolder {
+  std::mutex mu;
+  std::shared_ptr<LogSink> sink = std::make_shared<TextSink>(std::clog);
+};
+
+SinkHolder& sink_holder() {
+  static SinkHolder* holder = new SinkHolder();
+  return *holder;
+}
+
+std::atomic<std::int32_t>& level_cell() {
+  static std::atomic<std::int32_t> level{[] {
+    // One-time env override, evaluated before the first log statement.
+    if (const char* env = std::getenv("GANSEC_LOG_LEVEL")) {
+      try {
+        return static_cast<std::int32_t>(parse_log_level(env));
+      } catch (const Error&) {
+        // A bad env value must not crash the process; fall through.
+      }
+    }
+    return static_cast<std::int32_t>(LogLevel::kInfo);
+  }()};
+  return level;
+}
+
+std::string render_value(const LogField& f, bool json) {
+  switch (f.kind) {
+    case LogField::Kind::kInt: return std::to_string(f.int_value);
+    case LogField::Kind::kUint: return std::to_string(f.uint_value);
+    case LogField::Kind::kDouble: return json_number(f.double_value);
+    case LogField::Kind::kBool: return f.bool_value ? "true" : "false";
+    case LogField::Kind::kString:
+      if (json) {
+        return '"' + json_escape(f.string_value) + '"';
+      }
+      if (f.string_value.find_first_of(" =\"") != std::string_view::npos) {
+        return '"' + json_escape(f.string_value) + '"';
+      }
+      return std::string(f.string_value);
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+LogLevel parse_log_level(std::string_view name) {
+  std::string lower(name);
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  for (const LogLevel level :
+       {LogLevel::kTrace, LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+        LogLevel::kError, LogLevel::kOff}) {
+    if (lower == log_level_name(level)) return level;
+  }
+  throw InvalidArgumentError(
+      "parse_log_level: expected trace|debug|info|warn|error|off, got '" +
+      std::string(name) + "'");
+}
+
+void TextSink::write(const LogRecord& record) {
+  // Format outside the lock; only the stream write is serialized.
+  std::ostringstream line;
+  line << record.unix_ms << ' ';
+  std::string level(log_level_name(record.level));
+  for (char& c : level) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  line << level << ' ' << record.message;
+  for (std::size_t i = 0; i < record.field_count; ++i) {
+    const LogField& f = record.fields[i];
+    line << ' ' << f.key << '=' << render_value(f, /*json=*/false);
+  }
+  line << '\n';
+  const std::string text = line.str();
+  const std::lock_guard<std::mutex> lock(mu_);
+  *os_ << text << std::flush;
+}
+
+void JsonLinesSink::write(const LogRecord& record) {
+  std::ostringstream line;
+  line << "{\"ts\":" << record.unix_ms << ",\"level\":\""
+       << log_level_name(record.level) << "\",\"msg\":\""
+       << json_escape(record.message) << '"';
+  for (std::size_t i = 0; i < record.field_count; ++i) {
+    const LogField& f = record.fields[i];
+    line << ",\"" << json_escape(f.key)
+         << "\":" << render_value(f, /*json=*/true);
+  }
+  line << "}\n";
+  const std::string text = line.str();
+  const std::lock_guard<std::mutex> lock(mu_);
+  *os_ << text << std::flush;
+}
+
+void set_log_level(LogLevel level) {
+  level_cell().store(static_cast<std::int32_t>(level),
+                     std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(level_cell().load(std::memory_order_relaxed));
+}
+
+namespace detail {
+std::int32_t atomic_level_load() {
+  return level_cell().load(std::memory_order_relaxed);
+}
+}  // namespace detail
+
+void set_log_sink(std::shared_ptr<LogSink> sink) {
+  if (!sink) sink = std::make_shared<NullSink>();
+  SinkHolder& holder = sink_holder();
+  const std::lock_guard<std::mutex> lock(holder.mu);
+  holder.sink = std::move(sink);
+}
+
+std::shared_ptr<LogSink> log_sink() {
+  SinkHolder& holder = sink_holder();
+  const std::lock_guard<std::mutex> lock(holder.mu);
+  return holder.sink;
+}
+
+void log_emit(LogLevel level, std::string_view message,
+              std::initializer_list<LogField> fields) {
+  LogRecord record;
+  record.level = level;
+  record.unix_ms = wall_clock_ms();
+  record.message = message;
+  record.fields = fields.begin();
+  record.field_count = fields.size();
+  // Copy the shared_ptr, then write outside the holder lock so a slow
+  // sink never blocks set_log_sink().
+  log_sink()->write(record);
+}
+
+}  // namespace gansec::obs

@@ -1,0 +1,247 @@
+#include "gansec/obs/metrics.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "gansec/error.hpp"
+#include "gansec/obs/json.hpp"
+
+namespace gansec::obs {
+
+void Gauge::add(double delta) {
+  double cur = v_.load(std::memory_order_relaxed);
+  while (!v_.compare_exchange_weak(cur, cur + delta,
+                                   std::memory_order_relaxed)) {
+  }
+}
+
+namespace {
+
+void atomic_accumulate(std::atomic<double>& cell, double delta) {
+  double cur = cell.load(std::memory_order_relaxed);
+  while (!cell.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& cell, double x) {
+  double cur = cell.load(std::memory_order_relaxed);
+  while (x < cur &&
+         !cell.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& cell, double x) {
+  double cur = cell.load(std::memory_order_relaxed);
+  while (x > cur &&
+         !cell.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(bounds_.size() + 1),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  if (bounds_.empty()) {
+    throw InvalidArgumentError("Histogram: at least one bucket bound");
+  }
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw InvalidArgumentError(
+          "Histogram: bucket bounds must be strictly ascending");
+    }
+  }
+}
+
+void Histogram::observe(double x) {
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), x);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_accumulate(sum_, x);
+  atomic_min(min_, x);
+  atomic_max(max_, x);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.reserve(buckets_.size());
+  for (const auto& b : buckets_) {
+    snap.counts.push_back(b.load(std::memory_order_relaxed));
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = snap.count == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+  snap.max = snap.count == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+void Series::append(double step, double value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  points_.emplace_back(step, value);
+}
+
+std::vector<std::pair<double, double>> Series::points() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return points_;
+}
+
+std::size_t Series::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return points_.size();
+}
+
+void Series::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  // Intentionally leaked: instrumented code may run during static
+  // destruction (global thread pool teardown) and must be able to touch
+  // its cached metric references safely.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+template <typename T, typename... Args>
+T& MetricsRegistry::find_or_add(NameMap<T>& map, std::string_view name,
+                                Args&&... args) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, value] : map) {
+    if (key == name) return *value;
+  }
+  map.emplace_back(std::string(name),
+                   std::make_unique<T>(std::forward<Args>(args)...));
+  return *map.back().second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return find_or_add(counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return find_or_add(gauges_, name);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  return find_or_add(histograms_, name, std::move(bounds));
+}
+
+Series& MetricsRegistry::series(std::string_view name) {
+  return find_or_add(series_, name);
+}
+
+std::string MetricsRegistry::to_json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << '{';
+
+  os << "\"counters\":{";
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    if (i != 0) os << ',';
+    os << '"' << json_escape(counters_[i].first)
+       << "\":" << counters_[i].second->value();
+  }
+  os << "},";
+
+  os << "\"gauges\":{";
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    if (i != 0) os << ',';
+    os << '"' << json_escape(gauges_[i].first)
+       << "\":" << json_number(gauges_[i].second->value());
+  }
+  os << "},";
+
+  os << "\"histograms\":{";
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    if (i != 0) os << ',';
+    const Histogram::Snapshot snap = histograms_[i].second->snapshot();
+    os << '"' << json_escape(histograms_[i].first) << "\":{";
+    os << "\"count\":" << snap.count << ",\"sum\":" << json_number(snap.sum)
+       << ",\"min\":" << json_number(snap.min)
+       << ",\"max\":" << json_number(snap.max) << ",\"bounds\":[";
+    for (std::size_t b = 0; b < snap.bounds.size(); ++b) {
+      if (b != 0) os << ',';
+      os << json_number(snap.bounds[b]);
+    }
+    os << "],\"counts\":[";
+    for (std::size_t b = 0; b < snap.counts.size(); ++b) {
+      if (b != 0) os << ',';
+      os << snap.counts[b];
+    }
+    os << "]}";
+  }
+  os << "},";
+
+  os << "\"series\":{";
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    if (i != 0) os << ',';
+    os << '"' << json_escape(series_[i].first) << "\":[";
+    const auto points = series_[i].second->points();
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      if (p != 0) os << ',';
+      os << '[' << json_number(points[p].first) << ','
+         << json_number(points[p].second) << ']';
+    }
+    os << ']';
+  }
+  os << '}';
+
+  os << '}';
+  return os.str();
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, s] : series_) s->reset();
+}
+
+Counter& counter(std::string_view name) {
+  return MetricsRegistry::instance().counter(name);
+}
+
+Gauge& gauge(std::string_view name) {
+  return MetricsRegistry::instance().gauge(name);
+}
+
+Histogram& histogram(std::string_view name, std::vector<double> bounds) {
+  return MetricsRegistry::instance().histogram(name, std::move(bounds));
+}
+
+Series& series(std::string_view name) {
+  return MetricsRegistry::instance().series(name);
+}
+
+void write_metrics_json_file(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    throw IoError("write_metrics_json_file: cannot open " + path);
+  }
+  os << MetricsRegistry::instance().to_json() << '\n';
+  if (!os) {
+    throw IoError("write_metrics_json_file: write failed for " + path);
+  }
+}
+
+}  // namespace gansec::obs

@@ -1,0 +1,157 @@
+#include "gansec/obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+#include "gansec/error.hpp"
+#include "gansec/obs/json.hpp"
+
+namespace gansec::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+// Per-thread event buffer. Spans push onto their own thread's buffer;
+// the buffer mutex exists only to synchronize with snapshot/clear, so it
+// is uncontended on the recording path.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+};
+
+// Buffer registry, intentionally leaked: pool worker threads may record
+// their final spans while static destructors run.
+struct BufferRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::uint32_t next_tid = 1;
+};
+
+BufferRegistry& registry() {
+  static BufferRegistry* reg = new BufferRegistry();
+  return *reg;
+}
+
+ThreadBuffer& this_thread_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto buf = std::make_shared<ThreadBuffer>();
+    BufferRegistry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mu);
+    buf->tid = reg.next_tid++;
+    reg.buffers.push_back(buf);
+    return buf;
+  }();
+  return *buffer;
+}
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+// Touch the epoch at static-init time so the first trace_now_us() is not
+// racing to initialize it (function statics are thread-safe anyway; this
+// just pins t=0 to process start).
+[[maybe_unused]] const std::chrono::steady_clock::time_point g_epoch_init =
+    trace_epoch();
+
+}  // namespace
+
+void set_tracing(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool tracing_enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+std::uint64_t trace_now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - trace_epoch())
+          .count());
+}
+
+namespace detail {
+
+void record_span(const char* name, std::uint64_t start_us,
+                 std::uint64_t end_us) {
+  ThreadBuffer& buf = this_thread_buffer();
+  TraceEvent event;
+  event.name = name;
+  event.ts_us = start_us;
+  event.dur_us = end_us >= start_us ? end_us - start_us : 0;
+  const std::lock_guard<std::mutex> lock(buf.mu);
+  event.tid = buf.tid;
+  buf.events.push_back(event);
+}
+
+}  // namespace detail
+
+std::vector<TraceEvent> trace_events() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    BufferRegistry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mu);
+    buffers = reg.buffers;
+  }
+  std::vector<TraceEvent> all;
+  for (const auto& buf : buffers) {
+    const std::lock_guard<std::mutex> lock(buf->mu);
+    all.insert(all.end(), buf->events.begin(), buf->events.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              // Longer event first at equal start: the parent must precede
+              // its children for stack reconstruction.
+              if (a.dur_us != b.dur_us) return a.dur_us > b.dur_us;
+              return a.tid < b.tid;
+            });
+  return all;
+}
+
+void clear_trace() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    BufferRegistry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mu);
+    buffers = reg.buffers;
+  }
+  for (const auto& buf : buffers) {
+    const std::lock_guard<std::mutex> lock(buf->mu);
+    buf->events.clear();
+  }
+}
+
+void write_chrome_trace(std::ostream& os) {
+  const std::vector<TraceEvent> events = trace_events();
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << json_escape(e.name)
+       << "\",\"cat\":\"gansec\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid
+       << ",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us << '}';
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void write_chrome_trace_file(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    throw IoError("write_chrome_trace_file: cannot open " + path);
+  }
+  write_chrome_trace(os);
+  if (!os) {
+    throw IoError("write_chrome_trace_file: write failed for " + path);
+  }
+}
+
+}  // namespace gansec::obs

@@ -5,11 +5,42 @@
 
 #include "gansec/core/execution.hpp"
 #include "gansec/error.hpp"
+#include "gansec/obs/log.hpp"
+#include "gansec/obs/metrics.hpp"
+#include "gansec/obs/trace.hpp"
 #include "gansec/stats/kde.hpp"
 
 namespace gansec::security {
 
 using math::Matrix;
+
+namespace {
+
+// Per-feature average scaled likelihoods (density * h), which for the
+// Gaussian window live in [0, 1/sqrt(2 pi) ~ 0.399] per kernel and in
+// practice land well below that once averaged across off-peak samples.
+// Correct-label and incorrect-label averages go to separate histograms so
+// a metrics snapshot alone shows the Table 3 separation.
+obs::Histogram& correct_likelihood_histogram() {
+  static obs::Histogram& h = obs::histogram(
+      "alg3.likelihood.correct",
+      {0.0001, 0.001, 0.01, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4});
+  return h;
+}
+
+obs::Histogram& incorrect_likelihood_histogram() {
+  static obs::Histogram& h = obs::histogram(
+      "alg3.likelihood.incorrect",
+      {0.0001, 0.001, 0.01, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4});
+  return h;
+}
+
+obs::Counter& conditions_counter() {
+  static obs::Counter& c = obs::counter("alg3.conditions_analyzed");
+  return c;
+}
+
+}  // namespace
 
 double LikelihoodResult::mean_correct(std::size_t condition) const {
   const auto& row = avg_correct.at(condition);
@@ -95,8 +126,10 @@ LikelihoodResult LikelihoodAnalyzer::analyze_generator(
 
   math::Rng rng(seed_);
 
+  GANSEC_SPAN("alg3.analyze");
   // Algorithm 3 outer loop: each condition C_i.
   for (std::size_t ci = 0; ci < n_cond; ++ci) {
+    GANSEC_SPAN("alg3.condition");
     // Line 6: X_G = GSize samples from G(Z | C_i).
     Matrix cond(1, n_cond, 0.0F);
     cond(0, ci) = 1.0F;
@@ -148,8 +181,22 @@ LikelihoodResult LikelihoodAnalyzer::analyze_generator(
             cor_num == 0 ? 0.0 : cor_like / static_cast<double>(cor_num);
         result.avg_incorrect[ci][fpos] =
             inc_num == 0 ? 0.0 : inc_like / static_cast<double>(inc_num);
+        // Histogram buckets are atomic, so observing from parallel chunks
+        // is safe and — being order-free counts — keeps the analysis
+        // bit-identical at any thread count.
+        correct_likelihood_histogram().observe(result.avg_correct[ci][fpos]);
+        incorrect_likelihood_histogram().observe(
+            result.avg_incorrect[ci][fpos]);
       }
     });
+    conditions_counter().add();
+  }
+  if (n_cond > 0 && !indices.empty()) {
+    GANSEC_LOG_DEBUG("alg3.analyze.done", {"conditions", n_cond},
+                     {"features", indices.size()},
+                     {"generator_samples", config_.generator_samples},
+                     {"mean_correct_c0", result.mean_correct(0)},
+                     {"mean_incorrect_c0", result.mean_incorrect(0)});
   }
   return result;
 }

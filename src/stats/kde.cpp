@@ -6,6 +6,7 @@
 #include <numbers>
 
 #include "gansec/error.hpp"
+#include "gansec/obs/metrics.hpp"
 
 namespace gansec::stats {
 
@@ -62,6 +63,11 @@ double ParzenKde::log_density(double x) const {
     // h -> 0 with x off-sample). exp(e - max) would be exp(NaN); clamp to
     // the most negative finite log instead so callers never see NaN or
     // -inf: density() and scaled_likelihood() underflow cleanly to 0.
+    // Counted because a nonzero rate on real data means the bandwidth is
+    // pathological for the feature scale — the Algorithm 3 happy path
+    // must never hit this (asserted by the KDE golden tests).
+    static obs::Counter& clamps = obs::counter("stats.kde.log_density_clamped");
+    clamps.add();
     return -std::numeric_limits<double>::max();
   }
   double acc = 0.0;

@@ -71,5 +71,49 @@ TEST(Args, LastValueWins) {
   EXPECT_EQ(args.get("alpha", ""), "b");
 }
 
+const std::set<std::string> kBoolFlags = {"verbose"};
+
+Args parse_with_bools(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv(tokens);
+  return Args(static_cast<int>(argv.size()), argv.data(), kFlags, kBoolFlags);
+}
+
+TEST(Args, BoolFlagPresenceConsumesNoValue) {
+  const Args args = parse_with_bools({"--verbose", "positional"});
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  // The following token stays positional instead of being eaten as a value.
+  EXPECT_EQ(args.positional(),
+            (std::vector<std::string>{"positional"}));
+}
+
+TEST(Args, BoolFlagAbsentUsesFallback) {
+  const Args args = parse_with_bools({});
+  EXPECT_FALSE(args.get_bool("verbose", false));
+  EXPECT_TRUE(args.get_bool("verbose", true));
+}
+
+TEST(Args, BoolFlagExplicitForms) {
+  EXPECT_TRUE(parse_with_bools({"--verbose=true"}).get_bool("verbose", false));
+  EXPECT_TRUE(parse_with_bools({"--verbose=1"}).get_bool("verbose", false));
+  EXPECT_FALSE(
+      parse_with_bools({"--verbose=false"}).get_bool("verbose", true));
+  EXPECT_FALSE(parse_with_bools({"--verbose=0"}).get_bool("verbose", true));
+  EXPECT_THROW(parse_with_bools({"--verbose=yes"}).get_bool("verbose", false),
+               InvalidArgumentError);
+}
+
+TEST(Args, BoolFlagsDoNotWeakenValidation) {
+  // Unknown flags still fail loudly with a bool set installed.
+  EXPECT_THROW(parse_with_bools({"--bogus"}), InvalidArgumentError);
+  // Value flags still require their value.
+  EXPECT_THROW(parse_with_bools({"--alpha"}), InvalidArgumentError);
+}
+
+TEST(Args, GetBoolOnValueFlag) {
+  EXPECT_TRUE(parse({"--alpha", "true"}).get_bool("alpha", false));
+  EXPECT_THROW(parse({"--alpha", "maybe"}).get_bool("alpha", false),
+               InvalidArgumentError);
+}
+
 }  // namespace
 }  // namespace gansec::core

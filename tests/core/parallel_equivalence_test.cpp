@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <vector>
 
 #include "gansec/core/execution.hpp"
@@ -17,6 +18,8 @@
 #include "gansec/gan/cgan.hpp"
 #include "gansec/math/matrix.hpp"
 #include "gansec/math/rng.hpp"
+#include "gansec/obs/log.hpp"
+#include "gansec/obs/trace.hpp"
 #include "gansec/security/analyzer.hpp"
 
 namespace gansec::core {
@@ -207,6 +210,53 @@ TEST(ParallelEquivalence, FlowPairSweepIndependentOfScheduling) {
     }
   }
   EXPECT_EQ(sa.most_leaky_pair(), sb.most_leaky_pair());
+}
+
+TEST(ParallelEquivalence, InstrumentationDoesNotPerturbResults) {
+  // The observability layer must be read-only with respect to the
+  // computation: with tracing on and the log level at its most verbose,
+  // per-pair histories must stay bit-identical to an uninstrumented
+  // baseline at every thread count.
+  GanSecPipeline baseline_pipeline(sweep_config(1));
+  const FlowPairSweep baseline = baseline_pipeline.run_flow_pairs();
+  ASSERT_FALSE(baseline.outcomes.empty());
+
+  const bool tracing_was = obs::tracing_enabled();
+  const obs::LogLevel level_was = obs::log_level();
+  const std::shared_ptr<obs::LogSink> sink_was = obs::log_sink();
+  obs::set_tracing(true);
+  obs::set_log_level(obs::LogLevel::kTrace);
+  obs::set_log_sink(std::make_shared<obs::NullSink>());
+
+  for (const std::size_t threads : {1U, 2U, 8U}) {
+    GanSecPipeline pipeline(sweep_config(threads));
+    const FlowPairSweep got = pipeline.run_flow_pairs();
+    ASSERT_EQ(got.outcomes.size(), baseline.outcomes.size());
+    for (std::size_t p = 0; p < got.outcomes.size(); ++p) {
+      ASSERT_EQ(got.outcomes[p].history.size(),
+                baseline.outcomes[p].history.size());
+      for (std::size_t i = 0; i < got.outcomes[p].history.size(); ++i) {
+        EXPECT_EQ(got.outcomes[p].history[i].g_loss,
+                  baseline.outcomes[p].history[i].g_loss)
+            << "threads=" << threads << " pair=" << p << " iter=" << i;
+        EXPECT_EQ(got.outcomes[p].history[i].d_loss,
+                  baseline.outcomes[p].history[i].d_loss)
+            << "threads=" << threads << " pair=" << p << " iter=" << i;
+      }
+      for (std::size_t c = 0;
+           c < got.outcomes[p].likelihood.condition_count(); ++c) {
+        EXPECT_EQ(got.outcomes[p].likelihood.avg_correct[c],
+                  baseline.outcomes[p].likelihood.avg_correct[c]);
+        EXPECT_EQ(got.outcomes[p].likelihood.avg_incorrect[c],
+                  baseline.outcomes[p].likelihood.avg_incorrect[c]);
+      }
+    }
+  }
+
+  obs::set_tracing(tracing_was);
+  obs::set_log_level(level_was);
+  obs::set_log_sink(sink_was);
+  obs::clear_trace();
 }
 
 TEST(ParallelEquivalence, FlowPairSeedsAreDistinctPerPair) {

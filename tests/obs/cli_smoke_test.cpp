@@ -1,0 +1,109 @@
+// Tier-1 smoke test: drives the real gansec CLI binary with the full
+// observability flag set and validates every emitted artifact — JSON-lines
+// logs on stderr, a chrome://tracing span file, and a metrics snapshot.
+//
+// The binary path is injected at configure time via GANSEC_CLI_PATH so the
+// test works from any build directory.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gansec/obs/json.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path);
+  EXPECT_TRUE(is.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return buffer.str();
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+std::string temp_path(const std::string& name) {
+  const char* tmp = std::getenv("TMPDIR");
+  return std::string(tmp != nullptr ? tmp : "/tmp") + "/" + name;
+}
+
+TEST(CliSmoke, SweepWithFullObservability) {
+  const std::string trace_path = temp_path("gansec_smoke_trace.json");
+  const std::string metrics_path = temp_path("gansec_smoke_metrics.json");
+  const std::string log_path = temp_path("gansec_smoke_log.jsonl");
+  const std::string out_path = temp_path("gansec_smoke_stdout.txt");
+
+  // Tiny configuration: 5 flow pairs x 4 iterations finishes in seconds.
+  const std::string command = std::string(GANSEC_CLI_PATH) +
+                              " sweep --samples 6 --bins 8 --window 0.05"
+                              " --iterations 4 --threads 2"
+                              " --log-level debug --log-json"
+                              " --trace-out " + trace_path +
+                              " --metrics-out " + metrics_path + " > " +
+                              out_path + " 2> " + log_path;
+  const int rc = std::system(command.c_str());
+  ASSERT_EQ(rc, 0) << "command failed: " << command;
+
+  // stdout: the human-facing margin table.
+  const std::string stdout_text = read_file(out_path);
+  EXPECT_NE(stdout_text.find("flow-pair sweep:"), std::string::npos);
+  EXPECT_NE(stdout_text.find("most leaky pair:"), std::string::npos);
+
+  // stderr: every line is a self-contained JSON object.
+  const auto log_lines = lines_of(read_file(log_path));
+  ASSERT_FALSE(log_lines.empty());
+  for (const auto& line : log_lines) {
+    std::string error;
+    EXPECT_TRUE(gansec::obs::json_valid(line, &error))
+        << line << ": " << error;
+  }
+  const std::string all_logs = read_file(log_path);
+  EXPECT_NE(all_logs.find("\"msg\":\"pipeline.flow_pair_sweep.start\""),
+            std::string::npos);
+  EXPECT_NE(all_logs.find("\"msg\":\"gan.train.done\""), std::string::npos);
+
+  // Trace file: valid JSON containing the expected nested spans.
+  const std::string trace = read_file(trace_path);
+  std::string error;
+  ASSERT_TRUE(gansec::obs::json_valid(trace, &error)) << error;
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  for (const char* span :
+       {"pipeline.flow_pair_sweep", "pipeline.flow_pair", "gan.train",
+        "gan.iteration", "alg3.analyze", "am.dataset.build"}) {
+    EXPECT_NE(trace.find(std::string("\"") + span + "\""), std::string::npos)
+        << "missing span " << span;
+  }
+
+  // Metrics snapshot: valid JSON with the cross-layer metric names.
+  const std::string metrics = read_file(metrics_path);
+  ASSERT_TRUE(gansec::obs::json_valid(metrics, &error)) << error;
+  for (const char* name :
+       {"pipeline.pairs_trained", "gan.train.iterations", "gan.train.d_loss",
+        "gan.train.pair0.g_loss", "alg3.likelihood.correct",
+        "alg3.likelihood.incorrect", "pool.tasks_executed",
+        "am.dataset.observations"}) {
+    EXPECT_NE(metrics.find(std::string("\"") + name + "\""),
+              std::string::npos)
+        << "missing metric " << name;
+  }
+
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+  std::remove(log_path.c_str());
+  std::remove(out_path.c_str());
+}
+
+}  // namespace

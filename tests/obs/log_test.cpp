@@ -1,0 +1,138 @@
+#include "gansec/obs/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gansec/error.hpp"
+#include "gansec/obs/json.hpp"
+
+namespace gansec::obs {
+namespace {
+
+// Saves and restores the global logger state so tests never leak their
+// sink/level into the rest of the suite.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_level_ = log_level();
+    saved_sink_ = log_sink();
+  }
+  void TearDown() override {
+    set_log_level(saved_level_);
+    set_log_sink(saved_sink_);
+  }
+
+ private:
+  LogLevel saved_level_ = LogLevel::kInfo;
+  std::shared_ptr<LogSink> saved_sink_;
+};
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST_F(LogTest, LevelNamesRoundTrip) {
+  for (const LogLevel level :
+       {LogLevel::kTrace, LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+        LogLevel::kError, LogLevel::kOff}) {
+    EXPECT_EQ(parse_log_level(log_level_name(level)), level);
+  }
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);  // case-insensitive
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::kWarn);
+  EXPECT_THROW(parse_log_level("verbose"), InvalidArgumentError);
+  EXPECT_THROW(parse_log_level(""), InvalidArgumentError);
+}
+
+TEST_F(LogTest, RuntimeLevelFilters) {
+  std::ostringstream os;
+  set_log_sink(std::make_shared<TextSink>(os));
+  set_log_level(LogLevel::kWarn);
+  GANSEC_LOG_DEBUG("dropped debug");
+  GANSEC_LOG_INFO("dropped info");
+  GANSEC_LOG_WARN("kept warn");
+  GANSEC_LOG_ERROR("kept error");
+  const auto lines = lines_of(os.str());
+  ASSERT_EQ(lines.size(), 2U);
+  EXPECT_NE(lines[0].find("WARN kept warn"), std::string::npos);
+  EXPECT_NE(lines[1].find("ERROR kept error"), std::string::npos);
+}
+
+TEST_F(LogTest, DisabledStatementNeverEvaluatesFields) {
+  set_log_sink(std::make_shared<NullSink>());
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  const auto expensive = [&] {
+    ++evaluations;
+    return 42;
+  };
+  GANSEC_LOG_INFO("below level", {"cost", expensive()});
+  EXPECT_EQ(evaluations, 0);
+  GANSEC_LOG_ERROR("at level", {"cost", expensive()});
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LogTest, TextSinkFormat) {
+  std::ostringstream os;
+  set_log_sink(std::make_shared<TextSink>(os));
+  set_log_level(LogLevel::kInfo);
+  GANSEC_LOG_INFO("msg", {"n", 7}, {"x", 1.5}, {"flag", true},
+                  {"who", "plain"}, {"quoted", "a b=c"});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("INFO msg"), std::string::npos);
+  EXPECT_NE(out.find("n=7"), std::string::npos);
+  EXPECT_NE(out.find("x=1.5"), std::string::npos);
+  EXPECT_NE(out.find("flag=true"), std::string::npos);
+  EXPECT_NE(out.find("who=plain"), std::string::npos);
+  // Strings containing spaces or '=' are quoted.
+  EXPECT_NE(out.find("quoted=\"a b=c\""), std::string::npos);
+}
+
+TEST_F(LogTest, JsonSinkEmitsValidJsonLines) {
+  std::ostringstream os;
+  set_log_sink(std::make_shared<JsonLinesSink>(os));
+  set_log_level(LogLevel::kDebug);
+  GANSEC_LOG_DEBUG("first", {"count", 3U}, {"ratio", 0.25});
+  GANSEC_LOG_INFO("needs \"escaping\"\n", {"path", "a\\b"});
+  const auto lines = lines_of(os.str());
+  ASSERT_EQ(lines.size(), 2U);
+  for (const auto& line : lines) {
+    std::string error;
+    EXPECT_TRUE(json_valid(line, &error)) << line << ": " << error;
+  }
+  EXPECT_NE(lines[0].find("\"msg\":\"first\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"level\":\"debug\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"count\":3"), std::string::npos);
+  EXPECT_NE(lines[1].find("needs \\\"escaping\\\"\\n"), std::string::npos);
+  EXPECT_NE(lines[1].find("a\\\\b"), std::string::npos);
+}
+
+TEST_F(LogTest, JsonSinkNonFiniteBecomesNull) {
+  std::ostringstream os;
+  set_log_sink(std::make_shared<JsonLinesSink>(os));
+  set_log_level(LogLevel::kInfo);
+  GANSEC_LOG_INFO("nan", {"bad", std::numeric_limits<double>::quiet_NaN()});
+  std::string error;
+  const auto lines = lines_of(os.str());
+  ASSERT_EQ(lines.size(), 1U);
+  EXPECT_TRUE(json_valid(lines[0], &error)) << error;
+  EXPECT_NE(lines[0].find("\"bad\":null"), std::string::npos);
+}
+
+TEST_F(LogTest, OffDisablesEverything) {
+  std::ostringstream os;
+  set_log_sink(std::make_shared<TextSink>(os));
+  set_log_level(LogLevel::kOff);
+  GANSEC_LOG_ERROR("even errors");
+  EXPECT_TRUE(os.str().empty());
+}
+
+}  // namespace
+}  // namespace gansec::obs

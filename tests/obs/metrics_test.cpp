@@ -1,0 +1,143 @@
+#include "gansec/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "gansec/error.hpp"
+#include "gansec/obs/json.hpp"
+
+namespace gansec::obs {
+namespace {
+
+TEST(Metrics, CounterBasics) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0U);
+  c.add();
+  c.add(9);
+  EXPECT_EQ(c.value(), 10U);
+  c.reset();
+  EXPECT_EQ(c.value(), 0U);
+}
+
+TEST(Metrics, GaugeSetAndAdd) {
+  Gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Metrics, HistogramBucketsExactly) {
+  // Exactly representable doubles so bucket edges are unambiguous.
+  Histogram h({1.0, 2.0, 4.0});
+  for (const double x : {0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 100.0}) h.observe(x);
+  const Histogram::Snapshot s = h.snapshot();
+  ASSERT_EQ(s.counts.size(), 4U);
+  // Bucket i covers [bounds[i-1], bounds[i]): upper edges are exclusive.
+  EXPECT_EQ(s.counts[0], 1U);  // 0.5
+  EXPECT_EQ(s.counts[1], 2U);  // 1.0, 1.5
+  EXPECT_EQ(s.counts[2], 2U);  // 2.0, 3.0
+  EXPECT_EQ(s.counts[3], 2U);  // 4.0, 100.0 overflow
+  EXPECT_EQ(s.count, 7U);
+  EXPECT_DOUBLE_EQ(s.sum, 0.5 + 1.0 + 1.5 + 2.0 + 3.0 + 4.0 + 100.0);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+}
+
+TEST(Metrics, HistogramRejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), InvalidArgumentError);
+  EXPECT_THROW(Histogram({2.0, 1.0}), InvalidArgumentError);
+  EXPECT_THROW(Histogram({1.0, 1.0}), InvalidArgumentError);
+}
+
+TEST(Metrics, SeriesKeepsOrder) {
+  Series s;
+  s.append(1.0, 10.0);
+  s.append(2.0, 20.0);
+  const auto pts = s.points();
+  ASSERT_EQ(pts.size(), 2U);
+  EXPECT_DOUBLE_EQ(pts[0].second, 10.0);
+  EXPECT_DOUBLE_EQ(pts[1].second, 20.0);
+}
+
+TEST(Metrics, RegistryReturnsSameObjectForSameName) {
+  Counter& a = counter("test.same_object");
+  Counter& b = counter("test.same_object");
+  EXPECT_EQ(&a, &b);
+  Histogram& h1 = histogram("test.same_hist", {1.0, 2.0});
+  // Re-registration with different bounds keeps the first bounds.
+  Histogram& h2 = histogram("test.same_hist", {5.0, 6.0, 7.0});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Metrics, ResetKeepsReferencesValid) {
+  Counter& c = counter("test.reset_ref");
+  c.add(5);
+  MetricsRegistry::instance().reset();
+  EXPECT_EQ(c.value(), 0U);
+  c.add(2);  // reference still live after reset
+  EXPECT_EQ(c.value(), 2U);
+}
+
+// Satellite: N threads hammer one counter and one histogram; totals must
+// be exact (no lost updates). Runs clean under TSan.
+TEST(Metrics, ConcurrentUpdatesAreExact) {
+  Counter& c = counter("test.concurrent_counter");
+  Histogram& h = histogram("test.concurrent_hist", {1.0, 2.0, 3.0});
+  Gauge& g = gauge("test.concurrent_gauge");
+  c.reset();
+  h.reset();
+  g.reset();
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+        // Exactly representable values spread across all four buckets.
+        h.observe(static_cast<double>((t + i) % 4) + 0.5);
+        g.add(1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  constexpr std::uint64_t kTotal =
+      static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(c.value(), kTotal);
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, kTotal);
+  std::uint64_t bucket_sum = 0;
+  for (const std::uint64_t n : s.counts) bucket_sum += n;
+  EXPECT_EQ(bucket_sum, kTotal);
+  // Each residue class 0..3 is hit exactly kTotal/4 times.
+  for (const std::uint64_t n : s.counts) EXPECT_EQ(n, kTotal / 4);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 3.5);
+  EXPECT_DOUBLE_EQ(g.value(), static_cast<double>(kTotal));
+}
+
+TEST(Metrics, ToJsonIsValid) {
+  counter("test.json_counter").add(3);
+  gauge("test.json_gauge").set(1.25);
+  histogram("test.json_hist", {1.0, 2.0}).observe(1.5);
+  series("test.json_series").append(1.0, 0.5);
+  const std::string json = MetricsRegistry::instance().to_json();
+  std::string error;
+  EXPECT_TRUE(json_valid(json, &error)) << error;
+  EXPECT_NE(json.find("\"test.json_counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_series\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gansec::obs

@@ -1,0 +1,124 @@
+#include "gansec/obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "gansec/core/execution.hpp"
+#include "gansec/obs/json.hpp"
+
+namespace gansec::obs {
+namespace {
+
+// Every test restores the global tracing switch and drops its events so
+// suites can run in any order.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_ = tracing_enabled();
+    set_tracing(false);
+    clear_trace();
+  }
+  void TearDown() override {
+    clear_trace();
+    set_tracing(saved_);
+  }
+
+ private:
+  bool saved_ = false;
+};
+
+std::size_t count_named(const std::vector<TraceEvent>& events,
+                        const std::string& name) {
+  return static_cast<std::size_t>(
+      std::count_if(events.begin(), events.end(), [&](const TraceEvent& e) {
+        return name == e.name;
+      }));
+}
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  {
+    GANSEC_SPAN("trace_test.disabled");
+  }
+  EXPECT_TRUE(trace_events().empty());
+}
+
+TEST_F(TraceTest, NestedSpansAreContained) {
+  set_tracing(true);
+  {
+    GANSEC_SPAN("trace_test.outer");
+    {
+      GANSEC_SPAN("trace_test.inner");
+    }
+  }
+  const auto events = trace_events();
+  ASSERT_EQ(events.size(), 2U);
+  // Sorted by start time: outer first, inner nested within it.
+  const TraceEvent& outer = events[0];
+  const TraceEvent& inner = events[1];
+  EXPECT_STREQ(outer.name, "trace_test.outer");
+  EXPECT_STREQ(inner.name, "trace_test.inner");
+  EXPECT_GE(inner.ts_us, outer.ts_us);
+  EXPECT_LE(inner.ts_us + inner.dur_us, outer.ts_us + outer.dur_us);
+  EXPECT_EQ(inner.tid, outer.tid);
+}
+
+TEST_F(TraceTest, ManualEndIsIdempotent) {
+  set_tracing(true);
+  {
+    Span span("trace_test.manual");
+    span.end();
+    span.end();  // second close records nothing
+  }  // destructor records nothing either
+  EXPECT_EQ(count_named(trace_events(), "trace_test.manual"), 1U);
+}
+
+TEST_F(TraceTest, SpansInsideParallelForAllRecorded) {
+  set_tracing(true);
+  constexpr std::size_t kItems = 64;
+  const core::ScopedExecution scoped([] {
+    core::ExecutionConfig config;
+    config.threads = 4;
+    return config;
+  }());
+  core::parallel_for(0, kItems, 1, [](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      GANSEC_SPAN("trace_test.chunk_item");
+    }
+  });
+  // Exactly one event per item regardless of which worker ran it.
+  EXPECT_EQ(count_named(trace_events(), "trace_test.chunk_item"), kItems);
+}
+
+TEST_F(TraceTest, ClearDropsEvents) {
+  set_tracing(true);
+  {
+    GANSEC_SPAN("trace_test.cleared");
+  }
+  ASSERT_FALSE(trace_events().empty());
+  clear_trace();
+  EXPECT_TRUE(trace_events().empty());
+}
+
+TEST_F(TraceTest, ChromeTraceJsonIsValid) {
+  set_tracing(true);
+  {
+    GANSEC_SPAN("trace_test.export");
+    {
+      GANSEC_SPAN("trace_test.export_child");
+    }
+  }
+  std::ostringstream os;
+  write_chrome_trace(os);
+  const std::string json = os.str();
+  std::string error;
+  EXPECT_TRUE(json_valid(json, &error)) << error;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_test.export\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gansec::obs

@@ -3,14 +3,24 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <numbers>
 
 #include "gansec/error.hpp"
 #include "gansec/math/rng.hpp"
+#include "gansec/obs/metrics.hpp"
 
 namespace gansec::stats {
 namespace {
+
+// The complete-underflow clamp in log_density is counted; the happy path
+// must never take it (a nonzero rate means the bandwidth is pathological
+// for the feature scale).
+obs::Counter& clamp_counter() {
+  static obs::Counter& c = obs::counter("stats.kde.log_density_clamped");
+  return c;
+}
 
 TEST(ParzenKde, Validation) {
   EXPECT_THROW(ParzenKde({}, 0.2), InvalidArgumentError);
@@ -157,6 +167,7 @@ TEST(ParzenKde, HugeBandwidthHugeDistanceIsFiniteNotNan) {
 TEST(ParzenKde, SingleSampleGoldenValues) {
   // Hand-computed golden values for a single kernel at mu=2, h=0.5:
   // log p(x) = -0.5*((x-2)/0.5)^2 - log(0.5*sqrt(2*pi)).
+  const std::uint64_t clamps_before = clamp_counter().value();
   const ParzenKde kde({2.0}, 0.5);
   const double log_norm = std::log(0.5 * std::sqrt(2.0 * std::numbers::pi));
   EXPECT_NEAR(kde.log_density(2.0), -log_norm, 1e-12);
@@ -165,12 +176,15 @@ TEST(ParzenKde, SingleSampleGoldenValues) {
   EXPECT_NEAR(kde.log_density(0.0), -8.0 - log_norm, 1e-12);
   EXPECT_NEAR(kde.scaled_likelihood(2.0),
               0.5 / (0.5 * std::sqrt(2.0 * std::numbers::pi)), 1e-12);
+  // Happy path: none of these queries may hit the underflow clamp.
+  EXPECT_EQ(clamp_counter().value(), clamps_before);
 }
 
 TEST(ParzenKde, MixtureGoldenValues) {
   // Three-kernel mixture at {-1, 0, 3} with h = 0.8, scored at x = 0.5:
   // p = (1/3) * sum_i N(0.5; mu_i, 0.8^2), reduced by hand to exponents
   // {-1.7578125, -0.1953125, -4.8828125} over norm 0.8*sqrt(2*pi).
+  const std::uint64_t clamps_before = clamp_counter().value();
   const ParzenKde kde({-1.0, 0.0, 3.0}, 0.8);
   const double norm = 0.8 * std::sqrt(2.0 * std::numbers::pi);
   const double expected =
@@ -179,6 +193,20 @@ TEST(ParzenKde, MixtureGoldenValues) {
   EXPECT_NEAR(kde.density(0.5), expected, 1e-14);
   EXPECT_NEAR(kde.log_density(0.5), std::log(expected), 1e-12);
   EXPECT_NEAR(kde.scaled_likelihood(0.5), expected * 0.8, 1e-14);
+  EXPECT_EQ(clamp_counter().value(), clamps_before);
+}
+
+TEST(ParzenKde, UnderflowClampIsCounted) {
+  const std::uint64_t before = clamp_counter().value();
+  const ParzenKde kde({0.5}, 1e-300);
+  // Off-sample query with a tiny bandwidth: every kernel underflows, the
+  // clamp fires, and the counter records it.
+  EXPECT_DOUBLE_EQ(kde.log_density(0.6),
+                   -std::numeric_limits<double>::max());
+  EXPECT_EQ(clamp_counter().value(), before + 1);
+  // On-sample query takes the kernel-peak path: no clamp.
+  (void)kde.log_density(0.5);
+  EXPECT_EQ(clamp_counter().value(), before + 1);
 }
 
 TEST(ParzenKde, Accessors) {

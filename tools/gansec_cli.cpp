@@ -5,12 +5,18 @@
 //   train   --model out.cgan     build dataset, train CGAN, save model
 //   analyze --model m.cgan       Algorithm 3 + confidentiality on test data
 //   detect  --model m.cgan       calibrate + evaluate the attack detector
+//   sweep                        one CGAN per Algorithm 1 flow pair
 //
 // Common training/dataset flags: --samples N (per condition), --bins N,
 // --window S, --iterations N, --seed N, --h W (Parzen width).
+//
+// Observability flags (all commands): --log-level L, --log-json,
+// --trace-out trace.json, --metrics-out metrics.json. Logs go to stderr;
+// result output stays on stdout, byte-identical at any thread count.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "gansec/am/printer_arch.hpp"
@@ -19,6 +25,9 @@
 #include "gansec/core/pipeline.hpp"
 #include "gansec/cpps/dot.hpp"
 #include "gansec/error.hpp"
+#include "gansec/obs/log.hpp"
+#include "gansec/obs/metrics.hpp"
+#include "gansec/obs/trace.hpp"
 #include "gansec/security/detector.hpp"
 #include "gansec/security/report.hpp"
 #include "gansec/version.hpp"
@@ -29,7 +38,40 @@ using namespace gansec;
 
 const std::set<std::string> kFlags = {
     "model", "samples", "bins", "window", "iterations", "seed", "h",
-    "scaler", "attack-fraction", "threads"};
+    "scaler", "attack-fraction", "threads", "log-level", "trace-out",
+    "metrics-out"};
+
+const std::set<std::string> kBoolFlags = {"log-json"};
+
+// Installs the observability knobs before the command runs. The log level
+// flag overrides GANSEC_LOG_LEVEL only when present, so the env default
+// still works for flagless runs.
+void apply_observability(const core::Args& args) {
+  if (args.has("log-level")) {
+    obs::set_log_level(obs::parse_log_level(args.get("log-level", "info")));
+  }
+  if (args.get_bool("log-json", false)) {
+    obs::set_log_sink(std::make_shared<obs::JsonLinesSink>(std::clog));
+  }
+  if (args.has("trace-out")) {
+    obs::set_tracing(true);
+  }
+}
+
+// Writes the trace / metrics artifacts after the command finishes.
+void finish_observability(const core::Args& args) {
+  const std::string trace_path = args.get("trace-out", "");
+  if (!trace_path.empty()) {
+    obs::write_chrome_trace_file(trace_path);
+    GANSEC_LOG_INFO("trace.written", {"path", trace_path},
+                    {"events", obs::trace_events().size()});
+  }
+  const std::string metrics_path = args.get("metrics-out", "");
+  if (!metrics_path.empty()) {
+    obs::write_metrics_json_file(metrics_path);
+    GANSEC_LOG_INFO("metrics.written", {"path", metrics_path});
+  }
+}
 
 core::PipelineConfig config_from(const core::Args& args) {
   core::PipelineConfig config;
@@ -77,7 +119,8 @@ int cmd_train(const core::Args& args) {
   const std::string model_path = args.get("model", "gansec-model.cgan");
   const std::string scaler_path = args.get("scaler", model_path + ".scaler");
   core::GanSecPipeline pipeline(config_from(args));
-  std::cerr << "training (this generates the dataset first)...\n";
+  GANSEC_LOG_INFO("cli.train.start", {"model", model_path},
+                  {"note", "dataset is generated first"});
   core::PipelineResult result = pipeline.run();
   result.model.save_file(model_path);
   {
@@ -105,7 +148,8 @@ int cmd_analyze(const core::Args& args) {
   config.dataset.bins = model.topology().data_dim;
   config.dataset.seed += 1;  // fresh test data, not the training draw
   am::DatasetBuilder builder(config.dataset);
-  std::cerr << "generating held-out test data...\n";
+  GANSEC_LOG_INFO("cli.analyze.start", {"model", model_path},
+                  {"note", "generating held-out test data"});
   const am::LabeledDataset test = builder.build();
 
   security::LikelihoodConfig lik;
@@ -134,10 +178,10 @@ int cmd_detect(const core::Args& args) {
   // back to refitting only when it is absent.
   if (std::ifstream scaler_in(scaler_path); scaler_in) {
     builder.restore_scaler(dsp::MinMaxScaler::load(scaler_in));
-    std::cerr << "loaded scaler from " << scaler_path << "\n";
+    GANSEC_LOG_INFO("cli.detect.scaler_loaded", {"path", scaler_path});
   } else {
-    std::cerr << "warning: no scaler at " << scaler_path
-              << "; refitting (detection quality may degrade)\n";
+    GANSEC_LOG_WARN("cli.detect.scaler_missing", {"path", scaler_path},
+                    {"note", "refitting; detection quality may degrade"});
     builder.build();
   }
 
@@ -156,18 +200,49 @@ int cmd_detect(const core::Args& args) {
   return 0;
 }
 
+int cmd_sweep(const core::Args& args) {
+  core::GanSecPipeline pipeline(config_from(args));
+  const core::FlowPairSweep sweep = pipeline.run_flow_pairs();
+  std::cout << "flow-pair sweep: " << sweep.outcomes.size()
+            << " cross-domain pairs, one CGAN each\n";
+  std::cout << "pair  margin      Pr(F_j | F_i)\n";
+  for (std::size_t i = 0; i < sweep.outcomes.size(); ++i) {
+    const core::FlowPairOutcome& out = sweep.outcomes[i];
+    const security::LikelihoodResult& lik = out.likelihood;
+    double margin = 0.0;
+    for (std::size_t c = 0; c < lik.condition_count(); ++c) {
+      margin += lik.mean_correct(c) - lik.mean_incorrect(c);
+    }
+    margin /= static_cast<double>(lik.condition_count());
+    std::printf("%4zu  %+.6f   Pr(%s | %s)\n", i, margin,
+                out.pair.second.c_str(), out.pair.first.c_str());
+  }
+  const std::size_t leaky = sweep.most_leaky_pair();
+  std::cout << "most leaky pair: #" << leaky << " Pr("
+            << sweep.outcomes[leaky].pair.second << " | "
+            << sweep.outcomes[leaky].pair.first << ")\n";
+  return 0;
+}
+
 int usage() {
   std::cout << "gansec " << kVersionString
             << " — CGAN-based CPPS security analysis\n"
-               "usage: gansec <graph|train|analyze|detect> [flags]\n"
+               "usage: gansec <graph|train|analyze|detect|sweep> [flags]\n"
                "  graph                     print G_CPPS + flow pairs + DOT\n"
                "  train   --model out.cgan  train and persist the CGAN\n"
                "  analyze --model m.cgan    Algorithm 3 + confidentiality\n"
                "  detect  --model m.cgan    attack-detection evaluation\n"
+               "  sweep                     one CGAN per Algorithm 1 pair,\n"
+               "                            leakage margin table\n"
                "flags: --samples N  --bins N  --window S  --iterations N\n"
                "       --seed N  --h W  --scaler PATH  --attack-fraction F\n"
                "       --threads N  (0 = all cores; results are identical\n"
-               "                     at any thread count)\n";
+               "                     at any thread count)\n"
+               "observability:\n"
+               "       --log-level trace|debug|info|warn|error|off\n"
+               "       --log-json                JSON-lines logs on stderr\n"
+               "       --trace-out trace.json    chrome://tracing spans\n"
+               "       --metrics-out m.json      metrics registry snapshot\n";
   return 2;
 }
 
@@ -177,13 +252,26 @@ int main(int argc, char** argv) {
   try {
     if (argc < 2) return usage();
     const std::string command = argv[1];
-    const core::Args args(argc - 2, argv + 2, kFlags);
-    if (command == "graph") return cmd_graph();
-    if (command == "train") return cmd_train(args);
-    if (command == "analyze") return cmd_analyze(args);
-    if (command == "detect") return cmd_detect(args);
-    return usage();
+    const core::Args args(argc - 2, argv + 2, kFlags, kBoolFlags);
+    apply_observability(args);
+    int rc = 2;
+    if (command == "graph") {
+      rc = cmd_graph();
+    } else if (command == "train") {
+      rc = cmd_train(args);
+    } else if (command == "analyze") {
+      rc = cmd_analyze(args);
+    } else if (command == "detect") {
+      rc = cmd_detect(args);
+    } else if (command == "sweep") {
+      rc = cmd_sweep(args);
+    } else {
+      return usage();
+    }
+    finish_observability(args);
+    return rc;
   } catch (const gansec::Error& e) {
+    GANSEC_LOG_ERROR("cli.fatal", {"what", e.what()});
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
