@@ -6,6 +6,10 @@
 // Algorithm 1 on the case-study graph.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "gansec/am/acoustic.hpp"
 #include "gansec/am/gcode.hpp"
 #include "gansec/am/machine.hpp"
@@ -21,6 +25,31 @@
 #include "gansec/obs/trace.hpp"
 #include "gansec/security/analyzer.hpp"
 #include "gansec/stats/kde.hpp"
+
+// Process-wide heap instrumentation for the allocation benchmarks below.
+// Replacing the global operator new/delete pair lets BM_CganTrainStep
+// report allocations per training iteration — the regression signal for
+// the zero-allocation substrate (destination-passing kernels + workspace
+// arenas). Relaxed atomics keep the probe cheap enough to leave on for
+// every benchmark in this binary.
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+std::atomic<std::uint64_t> g_heap_bytes{0};
+
+void* counted_alloc(std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_heap_bytes.fetch_add(n, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -138,9 +167,28 @@ void BM_CganTrainStep(benchmark::State& state) {
   gan::TrainConfig config;
   config.batch_size = 48;
   gan::CganTrainer trainer(model, config, 4);
+  // Warm the per-thread workspace arenas and layer buffers so the timed
+  // region measures the steady state the substrate guarantees, not the
+  // first-pass growth.
+  trainer.train_iterations(data, conds, 5);
+  const std::uint64_t allocs_before =
+      g_heap_allocs.load(std::memory_order_relaxed);
+  const std::uint64_t bytes_before =
+      g_heap_bytes.load(std::memory_order_relaxed);
   for (auto _ : state) {
     trainer.train_iterations(data, conds, 1);
   }
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["allocs_per_iter"] = benchmark::Counter(
+      static_cast<double>(g_heap_allocs.load(std::memory_order_relaxed) -
+                          allocs_before) /
+      iters);
+  state.counters["alloc_bytes_per_iter"] = benchmark::Counter(
+      static_cast<double>(g_heap_bytes.load(std::memory_order_relaxed) -
+                          bytes_before) /
+      iters);
+  // items/sec == training iterations per second.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_CganTrainStep);
 

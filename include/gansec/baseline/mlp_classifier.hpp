@@ -52,6 +52,10 @@ class MlpClassifier {
   MlpClassifierConfig config_;
   nn::Mlp net_;
   math::Rng rng_;
+  // Minibatch scratch, reused across batches/epochs.
+  std::vector<std::size_t> idx_;
+  math::Matrix x_;
+  math::Matrix t_;
 };
 
 }  // namespace gansec::baseline

@@ -58,6 +58,15 @@ class Cgan {
   math::Matrix generate_for_condition(const math::Matrix& condition,
                                       std::size_t count, math::Rng& rng);
 
+  /// Zero-copy variants: identical draws and values, but the returned
+  /// reference is the generator's own output buffer — valid until the next
+  /// generator forward pass. Scratch comes from the calling thread's
+  /// Workspace, so steady-state calls allocate nothing.
+  const math::Matrix& generate_view(const math::Matrix& conditions,
+                                    math::Rng& rng);
+  const math::Matrix& generate_for_condition_view(
+      const math::Matrix& condition, std::size_t count, math::Rng& rng);
+
   /// D(data|conds): per-row probability that each sample is real.
   math::Matrix discriminate(const math::Matrix& data,
                             const math::Matrix& conditions);

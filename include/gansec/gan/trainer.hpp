@@ -120,7 +120,12 @@ class CganTrainer {
   std::vector<TrainRecord> history_;
   std::vector<Checkpoint> checkpoints_;
   std::size_t iterations_done_ = 0;
+  /// Conditions of the most recent minibatch, copied out of workspace
+  /// scratch because the generator step runs after the discriminator
+  /// step's scope has closed. Capacity is reused across iterations.
   math::Matrix last_batch_conditions_;
+  /// Minibatch index scratch, reused across iterations.
+  std::vector<std::size_t> idx_;
 };
 
 }  // namespace gansec::gan

@@ -56,6 +56,19 @@ class Matrix {
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
 
+  /// Reshapes to rows x cols, reusing the existing heap buffer whenever its
+  /// capacity suffices (the destination-passing kernels rely on this for
+  /// zero-allocation steady states). Existing elements are preserved in
+  /// linear order up to min(old, new) size; any new tail elements are
+  /// zero. Not a view: data stays owned and contiguous.
+  void resize(std::size_t rows, std::size_t cols);
+
+  /// Sets every element to `value`.
+  void fill(float value);
+
+  /// Elements the underlying buffer can hold without reallocating.
+  std::size_t capacity() const { return data_.capacity(); }
+
   bool same_shape(const Matrix& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_;
   }
@@ -85,12 +98,14 @@ class Matrix {
   }
 
   /// Elementwise (Hadamard) product.
+  /// Thin wrapper over math::hadamard_into (see math/kernels.hpp).
   static Matrix hadamard(const Matrix& a, const Matrix& b);
 
   /// Matrix product: (m x k) * (k x n) -> (m x n). Above a size threshold
   /// the product is row-blocked across the process-wide thread pool (see
   /// core::ExecutionConfig); each output element is still accumulated in a
   /// fixed order, so results are bit-identical at any thread count.
+  /// Thin wrapper over math::matmul_into (see math/kernels.hpp).
   static Matrix matmul(const Matrix& a, const Matrix& b);
 
   /// a * b^T without materializing the transpose: (m x k) * (n x k)^T.

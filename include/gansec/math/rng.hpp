@@ -39,6 +39,13 @@ class Rng {
   std::vector<std::size_t> sample_indices_with_replacement(
       std::size_t population, std::size_t count);
 
+  /// Destination-passing form of sample_indices_with_replacement: fills
+  /// `out` (resized to `count`) with the exact same draw sequence, reusing
+  /// its capacity across calls.
+  void sample_indices_with_replacement_into(std::vector<std::size_t>& out,
+                                            std::size_t population,
+                                            std::size_t count);
+
   /// Fisher-Yates shuffle.
   template <typename T>
   void shuffle(std::vector<T>& values) {
@@ -52,6 +59,15 @@ class Rng {
   /// rows x cols matrix of N(mean, stddev^2) draws.
   Matrix normal_matrix(std::size_t rows, std::size_t cols, float mean,
                        float stddev);
+
+  /// Destination-passing form of uniform_matrix: resizes `out` and fills
+  /// it with the exact same draw sequence (bit-identical stream).
+  void fill_uniform(Matrix& out, std::size_t rows, std::size_t cols,
+                    float lo, float hi);
+
+  /// Destination-passing form of normal_matrix (bit-identical stream).
+  void fill_normal(Matrix& out, std::size_t rows, std::size_t cols,
+                   float mean, float stddev);
 
   /// Direct access for use with <random> distributions.
   std::mt19937_64& engine() { return engine_; }

@@ -1,4 +1,9 @@
 // Elementwise activation layers: ReLU, LeakyReLU, Tanh, Sigmoid.
+//
+// All four derivatives are recoverable from the forward *output* (for the
+// ReLU family, sign(y) == sign(x)), so the layers cache only their output
+// buffer — no input copy — and reuse the same out/grad buffers across
+// iterations.
 #pragma once
 
 #include "gansec/nn/layer.hpp"
@@ -7,49 +12,57 @@ namespace gansec::nn {
 
 class Relu : public Layer {
  public:
-  math::Matrix forward(const math::Matrix& input, bool training) override;
-  math::Matrix backward(const math::Matrix& grad_output) override;
+  const math::Matrix& forward(const math::Matrix& input,
+                              bool training) override;
+  const math::Matrix& backward(const math::Matrix& grad_output) override;
   std::string kind() const override { return "relu"; }
   std::unique_ptr<Layer> clone() const override;
 
  private:
-  math::Matrix last_input_;
+  math::Matrix out_;
+  math::Matrix grad_in_;
 };
 
 class LeakyRelu : public Layer {
  public:
   explicit LeakyRelu(float negative_slope = 0.2F);
-  math::Matrix forward(const math::Matrix& input, bool training) override;
-  math::Matrix backward(const math::Matrix& grad_output) override;
+  const math::Matrix& forward(const math::Matrix& input,
+                              bool training) override;
+  const math::Matrix& backward(const math::Matrix& grad_output) override;
   std::string kind() const override { return "leaky_relu"; }
   std::unique_ptr<Layer> clone() const override;
   float negative_slope() const { return slope_; }
 
  private:
   float slope_;
-  math::Matrix last_input_;
+  math::Matrix out_;
+  math::Matrix grad_in_;
 };
 
 class Tanh : public Layer {
  public:
-  math::Matrix forward(const math::Matrix& input, bool training) override;
-  math::Matrix backward(const math::Matrix& grad_output) override;
+  const math::Matrix& forward(const math::Matrix& input,
+                              bool training) override;
+  const math::Matrix& backward(const math::Matrix& grad_output) override;
   std::string kind() const override { return "tanh"; }
   std::unique_ptr<Layer> clone() const override;
 
  private:
-  math::Matrix last_output_;
+  math::Matrix out_;
+  math::Matrix grad_in_;
 };
 
 class Sigmoid : public Layer {
  public:
-  math::Matrix forward(const math::Matrix& input, bool training) override;
-  math::Matrix backward(const math::Matrix& grad_output) override;
+  const math::Matrix& forward(const math::Matrix& input,
+                              bool training) override;
+  const math::Matrix& backward(const math::Matrix& grad_output) override;
   std::string kind() const override { return "sigmoid"; }
   std::unique_ptr<Layer> clone() const override;
 
  private:
-  math::Matrix last_output_;
+  math::Matrix out_;
+  math::Matrix grad_in_;
 };
 
 }  // namespace gansec::nn

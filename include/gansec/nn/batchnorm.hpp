@@ -14,8 +14,9 @@ class BatchNorm : public Layer {
   explicit BatchNorm(std::size_t features, float momentum = 0.1F,
                      float eps = 1e-5F);
 
-  math::Matrix forward(const math::Matrix& input, bool training) override;
-  math::Matrix backward(const math::Matrix& grad_output) override;
+  const math::Matrix& forward(const math::Matrix& input,
+                              bool training) override;
+  const math::Matrix& backward(const math::Matrix& grad_output) override;
   std::vector<Parameter*> parameters() override;
   void init_weights(math::Rng& rng) override;
   std::string kind() const override { return "batch_norm"; }
@@ -42,12 +43,15 @@ class BatchNorm : public Layer {
   math::Matrix running_mean_;  // 1 x features
   math::Matrix running_var_;   // 1 x features
 
-  // Forward cache for backward.
-  math::Matrix last_input_;
+  // Forward cache for backward, plus reusable result buffers. The input
+  // itself is never needed by backward (xhat carries everything), so it is
+  // not copied.
   math::Matrix last_xhat_;
   math::Matrix last_mean_;
   math::Matrix last_var_;
   bool last_training_ = false;
+  math::Matrix out_;
+  math::Matrix grad_in_;
 };
 
 }  // namespace gansec::nn

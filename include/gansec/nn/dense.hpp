@@ -18,8 +18,9 @@ class Dense : public Layer {
   Dense(std::size_t inputs, std::size_t outputs,
         InitScheme scheme = InitScheme::kXavierUniform);
 
-  math::Matrix forward(const math::Matrix& input, bool training) override;
-  math::Matrix backward(const math::Matrix& grad_output) override;
+  const math::Matrix& forward(const math::Matrix& input,
+                              bool training) override;
+  const math::Matrix& backward(const math::Matrix& grad_output) override;
   std::vector<Parameter*> parameters() override;
   void init_weights(math::Rng& rng) override;
   std::string kind() const override { return "dense"; }
@@ -38,7 +39,15 @@ class Dense : public Layer {
   Parameter weight_;  // inputs x outputs
   Parameter bias_;    // 1 x outputs
   InitScheme scheme_;
-  math::Matrix last_input_;
+  // Borrowed view of the last forward() input (no copy). The batch-size
+  // cache lets backward() validate shapes without touching the pointer,
+  // which may dangle if the caller passed a temporary.
+  const math::Matrix* last_input_ = nullptr;
+  std::size_t last_input_rows_ = 0;
+  math::Matrix out_;            // forward result
+  math::Matrix grad_in_;        // backward result
+  math::Matrix wgrad_scratch_;  // X^T * dL/dY before accumulation
+  math::Matrix bgrad_scratch_;  // column sums before accumulation
 };
 
 }  // namespace gansec::nn

@@ -15,8 +15,11 @@ class Dropout : public Layer {
  public:
   explicit Dropout(float rate, std::uint64_t seed = 0xD20);
 
-  math::Matrix forward(const math::Matrix& input, bool training) override;
-  math::Matrix backward(const math::Matrix& grad_output) override;
+  /// In eval mode (or with rate 0) dropout is the identity and the
+  /// returned reference is `input` itself — no copy is made.
+  const math::Matrix& forward(const math::Matrix& input,
+                              bool training) override;
+  const math::Matrix& backward(const math::Matrix& grad_output) override;
   std::string kind() const override { return "dropout"; }
   std::unique_ptr<Layer> clone() const override;
 
@@ -29,6 +32,8 @@ class Dropout : public Layer {
   math::Rng rng_;
   math::Matrix last_mask_;
   bool last_training_ = false;
+  math::Matrix out_;
+  math::Matrix grad_in_;
 };
 
 }  // namespace gansec::nn

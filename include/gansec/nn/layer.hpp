@@ -26,7 +26,11 @@ struct Parameter {
         value(std::move(initial)),
         grad(value.rows(), value.cols(), 0.0F) {}
 
-  void zero_grad() { grad = math::Matrix(value.rows(), value.cols(), 0.0F); }
+  /// Zeroes the gradient in place, reusing its existing storage.
+  void zero_grad() {
+    grad.resize(value.rows(), value.cols());
+    grad.fill(0.0F);
+  }
 };
 
 class Layer {
@@ -35,12 +39,21 @@ class Layer {
 
   /// Computes the layer output for a batch (rows = samples). `training`
   /// toggles train-time behaviour (e.g. dropout masking).
-  virtual math::Matrix forward(const math::Matrix& input, bool training) = 0;
+  ///
+  /// Returns a reference to a buffer owned by the layer (or, for pass-through
+  /// layers like eval-mode Dropout, to `input` itself). The reference stays
+  /// valid until the next forward() call on this layer; copy it if you need
+  /// the values across calls. Layers may also keep a borrowed pointer to
+  /// `input` until the matching backward() — keep the input alive (and
+  /// unmodified) across the forward/backward pair.
+  virtual const math::Matrix& forward(const math::Matrix& input,
+                                      bool training) = 0;
 
   /// Propagates the loss gradient. `grad_output` is dLoss/dOutput for the
-  /// most recent forward() batch; returns dLoss/dInput. Trainable layers
-  /// accumulate into their Parameter::grad as a side effect.
-  virtual math::Matrix backward(const math::Matrix& grad_output) = 0;
+  /// most recent forward() batch; returns dLoss/dInput as a reference to a
+  /// layer-owned buffer (valid until the next backward() call). Trainable
+  /// layers accumulate into their Parameter::grad as a side effect.
+  virtual const math::Matrix& backward(const math::Matrix& grad_output) = 0;
 
   /// Trainable parameters (empty for activations).
   virtual std::vector<Parameter*> parameters() { return {}; }

@@ -19,6 +19,9 @@ class BinaryCrossEntropy {
                const math::Matrix& targets) const;
   math::Matrix gradient(const math::Matrix& predictions,
                         const math::Matrix& targets) const;
+  /// Destination-passing gradient: writes into `out` (resized in place).
+  void gradient_into(math::Matrix& out, const math::Matrix& predictions,
+                     const math::Matrix& targets) const;
 
  private:
   float eps_;
@@ -45,6 +48,9 @@ class MeanSquaredError {
                const math::Matrix& targets) const;
   math::Matrix gradient(const math::Matrix& predictions,
                         const math::Matrix& targets) const;
+  /// Destination-passing gradient: writes into `out` (resized in place).
+  void gradient_into(math::Matrix& out, const math::Matrix& predictions,
+                     const math::Matrix& targets) const;
 };
 
 }  // namespace gansec::nn

@@ -38,12 +38,16 @@ class Mlp {
   Layer& layer(std::size_t i) { return *layers_.at(i); }
   const Layer& layer(std::size_t i) const { return *layers_.at(i); }
 
-  /// Full forward pass over a batch (rows = samples).
-  math::Matrix forward(const math::Matrix& input, bool training = false);
+  /// Full forward pass over a batch (rows = samples). Returns a reference
+  /// to the last layer's output buffer — valid until the next forward()
+  /// through this network; copy it to keep values across calls.
+  const math::Matrix& forward(const math::Matrix& input,
+                              bool training = false);
 
-  /// Full backward pass; returns dLoss/dInput and accumulates parameter
-  /// gradients. Must follow a forward() with the same batch.
-  math::Matrix backward(const math::Matrix& grad_output);
+  /// Full backward pass; returns dLoss/dInput (a reference to the first
+  /// layer's gradient buffer) and accumulates parameter gradients. Must
+  /// follow a forward() with the same batch.
+  const math::Matrix& backward(const math::Matrix& grad_output);
 
   /// All trainable parameters in layer order.
   std::vector<Parameter*> parameters();

@@ -43,11 +43,15 @@ class Counter {
   std::atomic<std::uint64_t> v_{0};
 };
 
-/// Last-observed value. set() is an atomic store; add() a CAS loop.
+/// Last-observed value. set() is an atomic store; add() and set_max()
+/// are CAS loops.
 class Gauge {
  public:
   void set(double v) { v_.store(v, std::memory_order_relaxed); }
   void add(double delta);
+  /// Monotonic high-water update: raises the gauge to `candidate` if (and
+  /// only if) it exceeds the current value; safe from concurrent writers.
+  void set_max(double candidate);
   double value() const { return v_.load(std::memory_order_relaxed); }
   void reset() { set(0.0); }
 

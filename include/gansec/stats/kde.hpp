@@ -3,7 +3,9 @@
 // Algorithm 3 of the paper fits a "Parzen Gaussian Window" distribution to
 // generator samples per frequency feature and scores test samples with it
 // (the sklearn-style `score` returning a log-likelihood, then
-// Like = exp(LogLike) * h). This class reproduces those semantics.
+// Like = exp(LogLike) * h). ParzenKde owns its samples; ParzenScorer is the
+// non-owning view the scoring hot loop uses over caller-managed buffers
+// (e.g. per-thread workspace scratch) — both produce identical values.
 #pragma once
 
 #include <cstddef>
@@ -11,19 +13,23 @@
 
 namespace gansec::stats {
 
-class ParzenKde {
+/// Non-owning Parzen Gaussian-window scorer over a borrowed sample buffer.
+/// The buffer must stay alive (and unmodified) for the scorer's lifetime.
+class ParzenScorer {
  public:
-  /// Fits the estimator: density(x) = (1/n) sum_i N(x; sample_i, h^2).
-  /// Throws InvalidArgumentError on empty samples or non-positive h.
-  ParzenKde(std::vector<double> samples, double bandwidth);
+  /// Validates on construction: throws InvalidArgumentError on an empty
+  /// buffer or non-positive/non-finite h, NumericError on non-finite
+  /// samples.
+  ParzenScorer(const double* samples, std::size_t count, double bandwidth);
 
   double bandwidth() const { return h_; }
-  std::size_t sample_count() const { return samples_.size(); }
+  std::size_t sample_count() const { return count_; }
 
-  /// Log density at x (log-sum-exp, numerically stable). Always finite:
-  /// when every kernel underflows (x far from all samples, or h -> 0 with
-  /// x off-sample) the result clamps to the most negative finite double
-  /// rather than -inf or NaN, so exp() of it is exactly 0.
+  /// Log density at x (two-pass log-sum-exp, numerically stable, no
+  /// allocation). Always finite: when every kernel underflows (x far from
+  /// all samples, or h -> 0 with x off-sample) the result clamps to the
+  /// most negative finite double rather than -inf or NaN, so exp() of it
+  /// is exactly 0.
   double log_density(double x) const;
 
   /// Density at x.
@@ -39,8 +45,39 @@ class ParzenKde {
   double scaled_likelihood(double x) const;
 
  private:
-  std::vector<double> samples_;
+  const double* samples_;
+  std::size_t count_;
   double h_;
+};
+
+/// Owning variant: copies/moves the samples in and scores through a
+/// ParzenScorer view of them.
+class ParzenKde {
+ public:
+  /// Fits the estimator: density(x) = (1/n) sum_i N(x; sample_i, h^2).
+  /// Throws InvalidArgumentError on empty samples or non-positive h.
+  ParzenKde(std::vector<double> samples, double bandwidth);
+
+  // Movable (the scorer's pointer follows the vector's heap buffer) but not
+  // copyable: a copied scorer would still view the source's samples.
+  ParzenKde(ParzenKde&&) noexcept = default;
+  ParzenKde& operator=(ParzenKde&&) noexcept = default;
+  ParzenKde(const ParzenKde&) = delete;
+  ParzenKde& operator=(const ParzenKde&) = delete;
+
+  double bandwidth() const { return scorer_.bandwidth(); }
+  std::size_t sample_count() const { return samples_.size(); }
+
+  double log_density(double x) const { return scorer_.log_density(x); }
+  double density(double x) const { return scorer_.density(x); }
+  double score(double x) const { return scorer_.score(x); }
+  double scaled_likelihood(double x) const {
+    return scorer_.scaled_likelihood(x);
+  }
+
+ private:
+  std::vector<double> samples_;
+  ParzenScorer scorer_;
 };
 
 }  // namespace gansec::stats

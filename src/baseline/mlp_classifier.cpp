@@ -1,6 +1,7 @@
 #include "gansec/baseline/mlp_classifier.hpp"
 
 #include "gansec/error.hpp"
+#include "gansec/math/kernels.hpp"
 #include "gansec/nn/activations.hpp"
 #include "gansec/nn/dense.hpp"
 #include "gansec/nn/dropout.hpp"
@@ -64,14 +65,14 @@ std::vector<double> MlpClassifier::train(const am::LabeledDataset& data) {
          start += config_.batch_size) {
       const std::size_t end =
           std::min(start + config_.batch_size, data.size());
-      const auto idx = rng_.sample_indices_with_replacement(
-          data.size(), end - start);
-      const Matrix x = data.features.gather_rows(idx);
-      const Matrix t = data.conditions.gather_rows(idx);
+      rng_.sample_indices_with_replacement_into(idx_, data.size(),
+                                                end - start);
+      math::gather_rows_into(x_, data.features, idx_);
+      math::gather_rows_into(t_, data.conditions, idx_);
       adam.zero_grad();
-      const Matrix logits = net_.forward(x, /*training=*/true);
-      epoch_loss += loss.value(logits, t);
-      net_.backward(loss.gradient(logits, t));
+      const Matrix& logits = net_.forward(x_, /*training=*/true);
+      epoch_loss += loss.value(logits, t_);
+      net_.backward(loss.gradient(logits, t_));
       adam.step();
       ++batches;
     }

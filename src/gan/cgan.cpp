@@ -5,6 +5,8 @@
 #include <ostream>
 
 #include "gansec/error.hpp"
+#include "gansec/math/kernels.hpp"
+#include "gansec/math/workspace.hpp"
 #include "gansec/nn/activations.hpp"
 #include "gansec/nn/batchnorm.hpp"
 #include "gansec/nn/dense.hpp"
@@ -103,14 +105,29 @@ void Cgan::validate_conditions(const Matrix& conditions,
 }
 
 Matrix Cgan::generate(const Matrix& conditions, math::Rng& rng) {
+  return generate_view(conditions, rng);
+}
+
+const Matrix& Cgan::generate_view(const Matrix& conditions, math::Rng& rng) {
   validate_conditions(conditions, "generate");
-  const Matrix z = sample_noise(conditions.rows(), rng);
-  return generator_.forward(Matrix::hstack(z, conditions),
-                            /*training=*/false);
+  auto& ws = math::Workspace::local();
+  const math::Workspace::Scope scope(ws);
+  Matrix& z = ws.acquire(conditions.rows(), topology_.noise_dim);
+  rng.fill_normal(z, conditions.rows(), topology_.noise_dim, 0.0F, 1.0F);
+  Matrix& g_in = ws.acquire(conditions.rows(),
+                            topology_.noise_dim + topology_.cond_dim);
+  math::hstack_into(g_in, z, conditions);
+  return generator_.forward(g_in, /*training=*/false);
 }
 
 Matrix Cgan::generate_for_condition(const Matrix& condition,
                                     std::size_t count, math::Rng& rng) {
+  return generate_for_condition_view(condition, count, rng);
+}
+
+const Matrix& Cgan::generate_for_condition_view(const Matrix& condition,
+                                                std::size_t count,
+                                                math::Rng& rng) {
   validate_conditions(condition, "generate_for_condition");
   if (condition.rows() != 1) {
     throw DimensionError(
@@ -120,9 +137,11 @@ Matrix Cgan::generate_for_condition(const Matrix& condition,
     throw InvalidArgumentError(
         "Cgan::generate_for_condition: count must be positive");
   }
-  Matrix conds(count, topology_.cond_dim);
+  auto& ws = math::Workspace::local();
+  const math::Workspace::Scope scope(ws);
+  Matrix& conds = ws.acquire(count, topology_.cond_dim);
   for (std::size_t r = 0; r < count; ++r) conds.set_row(r, condition);
-  return generate(conds, rng);
+  return generate_view(conds, rng);
 }
 
 Matrix Cgan::discriminate(const Matrix& data, const Matrix& conditions) {
@@ -134,8 +153,12 @@ Matrix Cgan::discriminate(const Matrix& data, const Matrix& conditions) {
     throw DimensionError(
         "Cgan::discriminate: data/condition batch size mismatch");
   }
-  return discriminator_.forward(Matrix::hstack(data, conditions),
-                                /*training=*/false);
+  auto& ws = math::Workspace::local();
+  const math::Workspace::Scope scope(ws);
+  Matrix& d_in = ws.acquire(data.rows(),
+                            topology_.data_dim + topology_.cond_dim);
+  math::hstack_into(d_in, data, conditions);
+  return discriminator_.forward(d_in, /*training=*/false);
 }
 
 void Cgan::save(std::ostream& os) const {

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "gansec/error.hpp"
+#include "gansec/math/kernels.hpp"
+#include "gansec/math/workspace.hpp"
 #include "gansec/nn/loss.hpp"
 #include "gansec/obs/log.hpp"
 #include "gansec/obs/trace.hpp"
@@ -182,48 +184,72 @@ void CganTrainer::discriminator_step(const Matrix& samples,
   const std::size_t n = config_.batch_size;
   nn::BinaryCrossEntropy bce(kEps);
 
-  // Lines 5-7: minibatch of noise plus paired (f1, f2) samples.
-  const auto idx =
-      rng_.sample_indices_with_replacement(samples.rows(), n);
-  const Matrix f1 = samples.gather_rows(idx);
-  const Matrix f2 = conditions.gather_rows(idx);
-  const Matrix z = model_.sample_noise(n, rng_);
+  auto& ws = math::Workspace::local();
+  const math::Workspace::Scope scope(ws);
 
-  d.zero_grad();
+  // Lines 5-7: minibatch of noise plus paired (f1, f2) samples. Same rng
+  // draw order as always: indices, then noise.
+  rng_.sample_indices_with_replacement_into(idx_, samples.rows(), n);
+  Matrix& f1 = ws.acquire(n, samples.cols());
+  math::gather_rows_into(f1, samples, idx_);
+  Matrix& f2 = ws.acquire(n, conditions.cols());
+  math::gather_rows_into(f2, conditions, idx_);
+  Matrix& z = ws.acquire(n, model_.topology().noise_dim);
+  rng_.fill_normal(z, n, model_.topology().noise_dim, 0.0F, 1.0F);
+
+  opt_d_->zero_grad();
 
   const bool least_squares =
       config_.objective == AdversarialObjective::kLeastSquares;
   nn::MeanSquaredError mse;
 
+  Matrix& targets = ws.acquire(n, 1);
+  Matrix& grad_loss = ws.acquire(n, 1);
+
   // Real branch: maximize log D(f1|f2) == minimize BCE(D, 1); LSGAN
-  // regresses D(real) toward the (smoothed) real label instead.
-  const Matrix d_real = d.forward(Matrix::hstack(f1, f2), /*training=*/true);
-  const Matrix ones(n, 1, config_.real_label);
-  const double loss_real = least_squares ? mse.value(d_real, ones)
-                                         : bce.value(d_real, ones);
-  d.backward(least_squares ? mse.gradient(d_real, ones)
-                           : bce.gradient(d_real, ones));
+  // regresses D(real) toward the (smoothed) real label instead. The real
+  // branch's loss, gradient, and mean are all taken before the fake branch
+  // runs: d_real is a view of D's output buffer, which the second forward
+  // pass below overwrites.
+  Matrix& d_real_in = ws.acquire(n, f1.cols() + f2.cols());
+  math::hstack_into(d_real_in, f1, f2);
+  const Matrix& d_real = d.forward(d_real_in, /*training=*/true);
+  targets.fill(config_.real_label);
+  const double loss_real = least_squares ? mse.value(d_real, targets)
+                                         : bce.value(d_real, targets);
+  record.d_real_mean = static_cast<double>(d_real.mean());
+  if (least_squares) {
+    mse.gradient_into(grad_loss, d_real, targets);
+  } else {
+    bce.gradient_into(grad_loss, d_real, targets);
+  }
+  d.backward(grad_loss);
 
   // Fake branch: maximize log(1 - D(G(z|f2))) == minimize BCE(D, 0); LSGAN
   // regresses D(fake) toward 0. The generator is only sampled here; its
   // gradients are discarded.
-  const Matrix fake =
-      g.forward(Matrix::hstack(z, f2), /*training=*/true);
-  const Matrix d_fake = d.forward(Matrix::hstack(fake, f2),
-                                  /*training=*/true);
-  const Matrix zeros(n, 1, 0.0F);
-  const double loss_fake = least_squares ? mse.value(d_fake, zeros)
-                                         : bce.value(d_fake, zeros);
-  d.backward(least_squares ? mse.gradient(d_fake, zeros)
-                           : bce.gradient(d_fake, zeros));
+  Matrix& g_in = ws.acquire(n, z.cols() + f2.cols());
+  math::hstack_into(g_in, z, f2);
+  const Matrix& fake = g.forward(g_in, /*training=*/true);
+  Matrix& d_fake_in = ws.acquire(n, fake.cols() + f2.cols());
+  math::hstack_into(d_fake_in, fake, f2);
+  const Matrix& d_fake = d.forward(d_fake_in, /*training=*/true);
+  targets.fill(0.0F);
+  const double loss_fake = least_squares ? mse.value(d_fake, targets)
+                                         : bce.value(d_fake, targets);
+  record.d_fake_mean = static_cast<double>(d_fake.mean());
+  if (least_squares) {
+    mse.gradient_into(grad_loss, d_fake, targets);
+  } else {
+    bce.gradient_into(grad_loss, d_fake, targets);
+  }
+  d.backward(grad_loss);
 
   opt_d_->step();
-  d.zero_grad();
+  opt_d_->zero_grad();
 
   record.d_loss = loss_real + loss_fake;
-  record.d_real_mean = static_cast<double>(d_real.mean());
-  record.d_fake_mean = static_cast<double>(d_fake.mean());
-  last_batch_conditions_ = f2;
+  math::copy_into(last_batch_conditions_, f2);
 }
 
 void CganTrainer::generator_step(const Matrix& last_conditions,
@@ -231,18 +257,25 @@ void CganTrainer::generator_step(const Matrix& last_conditions,
   nn::Mlp& d = model_.discriminator();
   nn::Mlp& g = model_.generator();
   const std::size_t n = last_conditions.rows();
-  const Matrix z = model_.sample_noise(n, rng_);
 
-  g.zero_grad();
-  d.zero_grad();
+  auto& ws = math::Workspace::local();
+  const math::Workspace::Scope scope(ws);
 
-  const Matrix fake =
-      g.forward(Matrix::hstack(z, last_conditions), /*training=*/true);
-  const Matrix d_fake = d.forward(Matrix::hstack(fake, last_conditions),
-                                  /*training=*/true);
+  Matrix& z = ws.acquire(n, model_.topology().noise_dim);
+  rng_.fill_normal(z, n, model_.topology().noise_dim, 0.0F, 1.0F);
+
+  opt_g_->zero_grad();
+  opt_d_->zero_grad();
+
+  Matrix& g_in = ws.acquire(n, z.cols() + last_conditions.cols());
+  math::hstack_into(g_in, z, last_conditions);
+  const Matrix& fake = g.forward(g_in, /*training=*/true);
+  Matrix& d_fake_in = ws.acquire(n, fake.cols() + last_conditions.cols());
+  math::hstack_into(d_fake_in, fake, last_conditions);
+  const Matrix& d_fake = d.forward(d_fake_in, /*training=*/true);
 
   // dLoss/dD(fake), per sample, averaged over the batch.
-  Matrix grad_d_out(n, 1);
+  Matrix& grad_d_out = ws.acquire(n, 1);
   const float fn = static_cast<float>(n);
   for (std::size_t i = 0; i < n; ++i) {
     const float p =
@@ -259,22 +292,24 @@ void CganTrainer::generator_step(const Matrix& last_conditions,
     }
   }
 
+  // Report the non-saturating form regardless of the update rule: it is the
+  // conventional curve shape (high when D rejects fakes, falling toward
+  // ln 2 ~ 0.69 at equilibrium), matching Figure 7 of the paper. Taken
+  // before the backward passes reuse any buffers d_fake could alias.
+  record.g_loss = -mean_log(d_fake);
+
   // Backprop through D to its input, slice off the data part, then through G.
-  const Matrix grad_d_input = d.backward(grad_d_out);
-  const Matrix grad_fake =
-      grad_d_input.slice_cols(0, model_.topology().data_dim);
+  const Matrix& grad_d_input = d.backward(grad_d_out);
+  Matrix& grad_fake = ws.acquire(n, model_.topology().data_dim);
+  math::slice_cols_into(grad_fake, grad_d_input, 0,
+                        model_.topology().data_dim);
   g.backward(grad_fake);
 
   opt_g_->step();
-  g.zero_grad();
+  opt_g_->zero_grad();
   // D accumulated gradients during the generator pass; drop them so the next
   // discriminator step starts clean.
-  d.zero_grad();
-
-  // Report the non-saturating form regardless of the update rule: it is the
-  // conventional curve shape (high when D rejects fakes, falling toward
-  // ln 2 ~ 0.69 at equilibrium), matching Figure 7 of the paper.
-  record.g_loss = -mean_log(d_fake);
+  opt_d_->zero_grad();
 }
 
 }  // namespace gansec::gan

@@ -6,8 +6,8 @@
 #include <ostream>
 #include <sstream>
 
-#include "gansec/core/execution.hpp"
 #include "gansec/error.hpp"
+#include "gansec/math/kernels.hpp"
 
 namespace gansec::math {
 
@@ -21,31 +21,20 @@ namespace {
   throw DimensionError(oss.str());
 }
 
-// GEMMs below this many multiply-adds (m*k*n) are not worth dispatching to
-// the pool: a 64^3 product runs in tens of microseconds, comparable to the
-// cost of waking workers.
-constexpr std::size_t kGemmParallelMinFlops = std::size_t{1} << 18;
-
-// Rows of output per chunk. Row-blocked chunking keeps each output element
-// computed wholly by one thread with k-ascending accumulation, so parallel
-// results are bit-identical to the serial path at any thread count.
-constexpr std::size_t kGemmRowGrain = 8;
-
-// Dispatches a row-range kernel serially or through the global pool.
-template <typename Kernel>
-void gemm_dispatch(std::size_t out_rows, std::size_t flops,
-                   const Kernel& kernel) {
-  if (flops >= kGemmParallelMinFlops) {
-    core::parallel_for(0, out_rows, kGemmRowGrain, kernel);
-  } else {
-    kernel(0, out_rows);
-  }
-}
-
 }  // namespace
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, float fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
+void Matrix::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
 
 Matrix Matrix::from_rows(
     std::initializer_list<std::initializer_list<float>> rows) {
@@ -117,75 +106,26 @@ Matrix& Matrix::operator+=(float scalar) {
 }
 
 Matrix Matrix::hadamard(const Matrix& a, const Matrix& b) {
-  if (!a.same_shape(b)) throw_shape("hadamard", a, b);
-  Matrix out = a;
-  for (std::size_t i = 0; i < out.data_.size(); ++i) {
-    out.data_[i] *= b.data_[i];
-  }
+  Matrix out;
+  hadamard_into(out, a, b);
   return out;
 }
 
 Matrix Matrix::matmul(const Matrix& a, const Matrix& b) {
-  if (a.cols_ != b.rows_) throw_shape("matmul", a, b);
-  Matrix out(a.rows_, b.cols_, 0.0F);
-  // ikj loop order keeps the inner loop streaming over contiguous rows.
-  // Chunks own disjoint output-row blocks, so the parallel path is exact.
-  gemm_dispatch(a.rows_, a.rows_ * a.cols_ * b.cols_,
-                [&](std::size_t r0, std::size_t r1) {
-    for (std::size_t i = r0; i < r1; ++i) {
-      const float* arow = a.data() + i * a.cols_;
-      float* orow = out.data() + i * b.cols_;
-      for (std::size_t k = 0; k < a.cols_; ++k) {
-        const float aik = arow[k];
-        if (aik == 0.0F) continue;
-        const float* brow = b.data() + k * b.cols_;
-        for (std::size_t j = 0; j < b.cols_; ++j) {
-          orow[j] += aik * brow[j];
-        }
-      }
-    }
-  });
+  Matrix out;
+  matmul_into(out, a, b);
   return out;
 }
 
 Matrix Matrix::matmul_transposed_b(const Matrix& a, const Matrix& b) {
-  if (a.cols_ != b.cols_) throw_shape("matmul_transposed_b", a, b);
-  Matrix out(a.rows_, b.rows_, 0.0F);
-  gemm_dispatch(a.rows_, a.rows_ * a.cols_ * b.rows_,
-                [&](std::size_t r0, std::size_t r1) {
-    for (std::size_t i = r0; i < r1; ++i) {
-      const float* arow = a.data() + i * a.cols_;
-      for (std::size_t j = 0; j < b.rows_; ++j) {
-        const float* brow = b.data() + j * b.cols_;
-        float acc = 0.0F;
-        for (std::size_t k = 0; k < a.cols_; ++k) acc += arow[k] * brow[k];
-        out(i, j) = acc;
-      }
-    }
-  });
+  Matrix out;
+  matmul_transposed_b_into(out, a, b);
   return out;
 }
 
 Matrix Matrix::matmul_transposed_a(const Matrix& a, const Matrix& b) {
-  if (a.rows_ != b.rows_) throw_shape("matmul_transposed_a", a, b);
-  Matrix out(a.cols_, b.cols_, 0.0F);
-  // Output-row blocking (i indexes a's columns). Relative to the serial
-  // (k,i,j) ordering this hoists i outermost, but each out(i,j) still
-  // accumulates over k in ascending order, so results stay bit-identical.
-  gemm_dispatch(a.cols_, a.rows_ * a.cols_ * b.cols_,
-                [&](std::size_t r0, std::size_t r1) {
-    for (std::size_t i = r0; i < r1; ++i) {
-      float* orow = out.data() + i * b.cols_;
-      for (std::size_t k = 0; k < a.rows_; ++k) {
-        const float aki = a.data()[k * a.cols_ + i];
-        if (aki == 0.0F) continue;
-        const float* brow = b.data() + k * b.cols_;
-        for (std::size_t j = 0; j < b.cols_; ++j) {
-          orow[j] += aki * brow[j];
-        }
-      }
-    }
-  });
+  Matrix out;
+  matmul_transposed_a_into(out, a, b);
   return out;
 }
 
@@ -292,14 +232,8 @@ void Matrix::apply(const std::function<float(float)>& fn) {
 }
 
 Matrix Matrix::slice_cols(std::size_t c_begin, std::size_t c_end) const {
-  if (c_begin > c_end || c_end > cols_) {
-    throw DimensionError("Matrix::slice_cols: invalid column range");
-  }
-  Matrix out(rows_, c_end - c_begin);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const float* src = data() + r * cols_ + c_begin;
-    std::copy(src, src + out.cols_, out.data() + r * out.cols_);
-  }
+  Matrix out;
+  slice_cols_into(out, *this, c_begin, c_end);
   return out;
 }
 
@@ -315,14 +249,8 @@ Matrix Matrix::slice_rows(std::size_t r_begin, std::size_t r_end) const {
 }
 
 Matrix Matrix::hstack(const Matrix& a, const Matrix& b) {
-  if (a.rows_ != b.rows_) throw_shape("hstack", a, b);
-  Matrix out(a.rows_, a.cols_ + b.cols_);
-  for (std::size_t r = 0; r < a.rows_; ++r) {
-    std::copy(a.data() + r * a.cols_, a.data() + (r + 1) * a.cols_,
-              out.data() + r * out.cols_);
-    std::copy(b.data() + r * b.cols_, b.data() + (r + 1) * b.cols_,
-              out.data() + r * out.cols_ + a.cols_);
-  }
+  Matrix out;
+  hstack_into(out, a, b);
   return out;
 }
 
@@ -336,15 +264,8 @@ Matrix Matrix::vstack(const Matrix& a, const Matrix& b) {
 }
 
 Matrix Matrix::gather_rows(const std::vector<std::size_t>& indices) const {
-  Matrix out(indices.size(), cols_);
-  for (std::size_t i = 0; i < indices.size(); ++i) {
-    const std::size_t r = indices[i];
-    if (r >= rows_) {
-      throw DimensionError("Matrix::gather_rows: row index out of range");
-    }
-    std::copy(data() + r * cols_, data() + (r + 1) * cols_,
-              out.data() + i * cols_);
-  }
+  Matrix out;
+  gather_rows_into(out, *this, indices);
   return out;
 }
 

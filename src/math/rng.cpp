@@ -60,32 +60,51 @@ std::vector<std::size_t> Rng::sample_indices(std::size_t population,
 
 std::vector<std::size_t> Rng::sample_indices_with_replacement(
     std::size_t population, std::size_t count) {
+  std::vector<std::size_t> out;
+  sample_indices_with_replacement_into(out, population, count);
+  return out;
+}
+
+void Rng::sample_indices_with_replacement_into(std::vector<std::size_t>& out,
+                                               std::size_t population,
+                                               std::size_t count) {
   if (population == 0) {
     throw InvalidArgumentError(
         "Rng::sample_indices_with_replacement: empty population");
   }
-  std::vector<std::size_t> out(count);
+  out.resize(count);
   for (auto& idx : out) {
     idx = static_cast<std::size_t>(
         randint(0, static_cast<std::int64_t>(population - 1)));
   }
-  return out;
 }
 
 Matrix Rng::uniform_matrix(std::size_t rows, std::size_t cols, float lo,
                            float hi) {
-  Matrix m(rows, cols);
-  std::uniform_real_distribution<float> dist(lo, hi);
-  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = dist(engine_);
+  Matrix m;
+  fill_uniform(m, rows, cols, lo, hi);
   return m;
 }
 
 Matrix Rng::normal_matrix(std::size_t rows, std::size_t cols, float mean,
                           float stddev) {
-  Matrix m(rows, cols);
-  std::normal_distribution<float> dist(mean, stddev);
-  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = dist(engine_);
+  Matrix m;
+  fill_normal(m, rows, cols, mean, stddev);
   return m;
+}
+
+void Rng::fill_uniform(Matrix& out, std::size_t rows, std::size_t cols,
+                       float lo, float hi) {
+  out.resize(rows, cols);
+  std::uniform_real_distribution<float> dist(lo, hi);
+  for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] = dist(engine_);
+}
+
+void Rng::fill_normal(Matrix& out, std::size_t rows, std::size_t cols,
+                      float mean, float stddev) {
+  out.resize(rows, cols);
+  std::normal_distribution<float> dist(mean, stddev);
+  for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] = dist(engine_);
 }
 
 std::uint64_t split_seed(std::uint64_t seed, std::uint64_t stream) {

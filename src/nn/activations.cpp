@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "gansec/error.hpp"
+#include "gansec/math/kernels.hpp"
 
 namespace gansec::nn {
 
@@ -22,18 +23,21 @@ void require_same_shape(const Matrix& grad, const Matrix& cached,
 
 // ---- Relu -----------------------------------------------------------------
 
-Matrix Relu::forward(const Matrix& input, bool /*training*/) {
-  last_input_ = input;
-  return input.map([](float v) { return v > 0.0F ? v : 0.0F; });
+const Matrix& Relu::forward(const Matrix& input, bool /*training*/) {
+  math::transform_into(out_, input,
+                       [](float v) { return v > 0.0F ? v : 0.0F; });
+  return out_;
 }
 
-Matrix Relu::backward(const Matrix& grad_output) {
-  require_same_shape(grad_output, last_input_, "Relu");
-  Matrix grad = grad_output;
-  for (std::size_t i = 0; i < grad.size(); ++i) {
-    if (last_input_.data()[i] <= 0.0F) grad.data()[i] = 0.0F;
+const Matrix& Relu::backward(const Matrix& grad_output) {
+  require_same_shape(grad_output, out_, "Relu");
+  // y > 0 exactly when x > 0, so the output alone determines the mask.
+  grad_in_.resize(grad_output.rows(), grad_output.cols());
+  for (std::size_t i = 0; i < grad_in_.size(); ++i) {
+    grad_in_.data()[i] =
+        out_.data()[i] > 0.0F ? grad_output.data()[i] : 0.0F;
   }
-  return grad;
+  return grad_in_;
 }
 
 std::unique_ptr<Layer> Relu::clone() const {
@@ -48,19 +52,23 @@ LeakyRelu::LeakyRelu(float negative_slope) : slope_(negative_slope) {
   }
 }
 
-Matrix LeakyRelu::forward(const Matrix& input, bool /*training*/) {
-  last_input_ = input;
+const Matrix& LeakyRelu::forward(const Matrix& input, bool /*training*/) {
   const float s = slope_;
-  return input.map([s](float v) { return v > 0.0F ? v : s * v; });
+  math::transform_into(out_, input,
+                       [s](float v) { return v > 0.0F ? v : s * v; });
+  return out_;
 }
 
-Matrix LeakyRelu::backward(const Matrix& grad_output) {
-  require_same_shape(grad_output, last_input_, "LeakyRelu");
-  Matrix grad = grad_output;
-  for (std::size_t i = 0; i < grad.size(); ++i) {
-    if (last_input_.data()[i] <= 0.0F) grad.data()[i] *= slope_;
+const Matrix& LeakyRelu::backward(const Matrix& grad_output) {
+  require_same_shape(grad_output, out_, "LeakyRelu");
+  // With slope >= 0, y = s*x preserves sign (and -0 stays <= 0), so
+  // y > 0 exactly when x > 0 — same mask the input would give.
+  grad_in_.resize(grad_output.rows(), grad_output.cols());
+  for (std::size_t i = 0; i < grad_in_.size(); ++i) {
+    const float g = grad_output.data()[i];
+    grad_in_.data()[i] = out_.data()[i] > 0.0F ? g : g * slope_;
   }
-  return grad;
+  return grad_in_;
 }
 
 std::unique_ptr<Layer> LeakyRelu::clone() const {
@@ -69,19 +77,19 @@ std::unique_ptr<Layer> LeakyRelu::clone() const {
 
 // ---- Tanh -------------------------------------------------------------------
 
-Matrix Tanh::forward(const Matrix& input, bool /*training*/) {
-  last_output_ = input.map([](float v) { return std::tanh(v); });
-  return last_output_;
+const Matrix& Tanh::forward(const Matrix& input, bool /*training*/) {
+  math::transform_into(out_, input, [](float v) { return std::tanh(v); });
+  return out_;
 }
 
-Matrix Tanh::backward(const Matrix& grad_output) {
-  require_same_shape(grad_output, last_output_, "Tanh");
-  Matrix grad = grad_output;
-  for (std::size_t i = 0; i < grad.size(); ++i) {
-    const float y = last_output_.data()[i];
-    grad.data()[i] *= 1.0F - y * y;
+const Matrix& Tanh::backward(const Matrix& grad_output) {
+  require_same_shape(grad_output, out_, "Tanh");
+  grad_in_.resize(grad_output.rows(), grad_output.cols());
+  for (std::size_t i = 0; i < grad_in_.size(); ++i) {
+    const float y = out_.data()[i];
+    grad_in_.data()[i] = grad_output.data()[i] * (1.0F - y * y);
   }
-  return grad;
+  return grad_in_;
 }
 
 std::unique_ptr<Layer> Tanh::clone() const {
@@ -90,8 +98,8 @@ std::unique_ptr<Layer> Tanh::clone() const {
 
 // ---- Sigmoid ----------------------------------------------------------------
 
-Matrix Sigmoid::forward(const Matrix& input, bool /*training*/) {
-  last_output_ = input.map([](float v) {
+const Matrix& Sigmoid::forward(const Matrix& input, bool /*training*/) {
+  math::transform_into(out_, input, [](float v) {
     // Numerically stable logistic: avoid overflow in exp for |v| large.
     if (v >= 0.0F) {
       const float e = std::exp(-v);
@@ -100,17 +108,17 @@ Matrix Sigmoid::forward(const Matrix& input, bool /*training*/) {
     const float e = std::exp(v);
     return e / (1.0F + e);
   });
-  return last_output_;
+  return out_;
 }
 
-Matrix Sigmoid::backward(const Matrix& grad_output) {
-  require_same_shape(grad_output, last_output_, "Sigmoid");
-  Matrix grad = grad_output;
-  for (std::size_t i = 0; i < grad.size(); ++i) {
-    const float y = last_output_.data()[i];
-    grad.data()[i] *= y * (1.0F - y);
+const Matrix& Sigmoid::backward(const Matrix& grad_output) {
+  require_same_shape(grad_output, out_, "Sigmoid");
+  grad_in_.resize(grad_output.rows(), grad_output.cols());
+  for (std::size_t i = 0; i < grad_in_.size(); ++i) {
+    const float y = out_.data()[i];
+    grad_in_.data()[i] = grad_output.data()[i] * (y * (1.0F - y));
   }
-  return grad;
+  return grad_in_;
 }
 
 std::unique_ptr<Layer> Sigmoid::clone() const {

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "gansec/error.hpp"
+#include "gansec/math/kernels.hpp"
 
 namespace gansec::nn {
 
@@ -26,7 +27,7 @@ BatchNorm::BatchNorm(std::size_t features, float momentum, float eps)
   }
 }
 
-Matrix BatchNorm::forward(const Matrix& input, bool training) {
+const Matrix& BatchNorm::forward(const Matrix& input, bool training) {
   if (input.cols() != features()) {
     throw DimensionError("BatchNorm::forward: feature width mismatch");
   }
@@ -37,9 +38,9 @@ Matrix BatchNorm::forward(const Matrix& input, bool training) {
   const std::size_t m = input.rows();
   const std::size_t d = features();
 
-  Matrix mean(1, d, 0.0F);
-  Matrix var(1, d, 0.0F);
   if (training) {
+    last_mean_.resize(1, d);
+    last_var_.resize(1, d);
     for (std::size_t c = 0; c < d; ++c) {
       float mu = 0.0F;
       for (std::size_t r = 0; r < m; ++r) mu += input(r, c);
@@ -50,42 +51,39 @@ Matrix BatchNorm::forward(const Matrix& input, bool training) {
         v += diff * diff;
       }
       v /= static_cast<float>(m);
-      mean(0, c) = mu;
-      var(0, c) = v;
+      last_mean_(0, c) = mu;
+      last_var_(0, c) = v;
       running_mean_(0, c) =
           (1.0F - momentum_) * running_mean_(0, c) + momentum_ * mu;
       running_var_(0, c) =
           (1.0F - momentum_) * running_var_(0, c) + momentum_ * v;
     }
   } else {
-    mean = running_mean_;
-    var = running_var_;
+    math::copy_into(last_mean_, running_mean_);
+    math::copy_into(last_var_, running_var_);
   }
 
-  Matrix xhat(m, d);
-  Matrix out(m, d);
+  last_xhat_.resize(m, d);
+  out_.resize(m, d);
   for (std::size_t c = 0; c < d; ++c) {
-    const float inv_std = 1.0F / std::sqrt(var(0, c) + eps_);
+    const float inv_std = 1.0F / std::sqrt(last_var_(0, c) + eps_);
     for (std::size_t r = 0; r < m; ++r) {
-      xhat(r, c) = (input(r, c) - mean(0, c)) * inv_std;
-      out(r, c) = gamma_.value(0, c) * xhat(r, c) + beta_.value(0, c);
+      last_xhat_(r, c) = (input(r, c) - last_mean_(0, c)) * inv_std;
+      out_(r, c) = gamma_.value(0, c) * last_xhat_(r, c) + beta_.value(0, c);
     }
   }
-  last_input_ = input;
-  last_xhat_ = xhat;
-  last_mean_ = std::move(mean);
-  last_var_ = std::move(var);
-  return out;
+  return out_;
 }
 
-Matrix BatchNorm::backward(const Matrix& grad_output) {
+const Matrix& BatchNorm::backward(const Matrix& grad_output) {
   if (!grad_output.same_shape(last_xhat_)) {
     throw DimensionError("BatchNorm::backward: gradient shape mismatch");
   }
   const std::size_t m = grad_output.rows();
   const std::size_t d = features();
   const float fm = static_cast<float>(m);
-  Matrix grad_in(m, d);
+  grad_in_.resize(m, d);
+  Matrix& grad_in = grad_in_;
 
   for (std::size_t c = 0; c < d; ++c) {
     // Parameter gradients.
@@ -122,7 +120,7 @@ Matrix BatchNorm::backward(const Matrix& grad_output) {
           (grad_output(r, c) - mean_dy - last_xhat_(r, c) * mean_dy_xhat);
     }
   }
-  return grad_in;
+  return grad_in_;
 }
 
 std::vector<Parameter*> BatchNorm::parameters() {

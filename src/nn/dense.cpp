@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "gansec/error.hpp"
+#include "gansec/math/kernels.hpp"
 
 namespace gansec::nn {
 
@@ -17,27 +18,33 @@ Dense::Dense(std::size_t inputs, std::size_t outputs, InitScheme scheme)
   }
 }
 
-Matrix Dense::forward(const Matrix& input, bool /*training*/) {
+const Matrix& Dense::forward(const Matrix& input, bool /*training*/) {
   if (input.cols() != inputs()) {
     throw DimensionError("Dense::forward: input width " +
                          std::to_string(input.cols()) + " != " +
                          std::to_string(inputs()));
   }
-  last_input_ = input;
-  Matrix out = Matrix::matmul(input, weight_.value);
-  out.add_row_broadcast(bias_.value);
-  return out;
+  last_input_ = &input;
+  last_input_rows_ = input.rows();
+  math::matmul_into(out_, input, weight_.value);
+  out_.add_row_broadcast(bias_.value);
+  return out_;
 }
 
-Matrix Dense::backward(const Matrix& grad_output) {
-  if (grad_output.rows() != last_input_.rows() ||
+const Matrix& Dense::backward(const Matrix& grad_output) {
+  if (grad_output.rows() != last_input_rows_ ||
       grad_output.cols() != outputs()) {
     throw DimensionError("Dense::backward: gradient shape mismatch");
   }
   // dL/dW = X^T * dL/dY ; dL/db = column sums ; dL/dX = dL/dY * W^T.
-  weight_.grad += Matrix::matmul_transposed_a(last_input_, grad_output);
-  bias_.grad += grad_output.col_sums();
-  return Matrix::matmul_transposed_b(grad_output, weight_.value);
+  // Each product lands in a reused scratch first, then accumulates, so the
+  // float rounding order matches grad += full_product exactly.
+  math::matmul_transposed_a_into(wgrad_scratch_, *last_input_, grad_output);
+  weight_.grad += wgrad_scratch_;
+  math::col_sums_into(bgrad_scratch_, grad_output);
+  bias_.grad += bgrad_scratch_;
+  math::matmul_transposed_b_into(grad_in_, grad_output, weight_.value);
+  return grad_in_;
 }
 
 std::vector<Parameter*> Dense::parameters() { return {&weight_, &bias_}; }

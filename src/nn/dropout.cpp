@@ -1,6 +1,7 @@
 #include "gansec/nn/dropout.hpp"
 
 #include "gansec/error.hpp"
+#include "gansec/math/kernels.hpp"
 
 namespace gansec::nn {
 
@@ -13,30 +14,31 @@ Dropout::Dropout(float rate, std::uint64_t seed)
   }
 }
 
-Matrix Dropout::forward(const Matrix& input, bool training) {
+const Matrix& Dropout::forward(const Matrix& input, bool training) {
   last_training_ = training;
   if (!training || rate_ == 0.0F) {
-    last_mask_ = Matrix();
-    return input;
+    last_mask_.resize(0, 0);
+    return input;  // identity: pass the caller's buffer straight through
   }
   const float keep = 1.0F - rate_;
   const float scale = 1.0F / keep;
-  last_mask_ = Matrix(input.rows(), input.cols());
-  Matrix out = input;
-  for (std::size_t i = 0; i < out.size(); ++i) {
+  last_mask_.resize(input.rows(), input.cols());
+  out_.resize(input.rows(), input.cols());
+  for (std::size_t i = 0; i < out_.size(); ++i) {
     const bool kept = rng_.bernoulli(keep);
     last_mask_.data()[i] = kept ? scale : 0.0F;
-    out.data()[i] *= last_mask_.data()[i];
+    out_.data()[i] = input.data()[i] * last_mask_.data()[i];
   }
-  return out;
+  return out_;
 }
 
-Matrix Dropout::backward(const Matrix& grad_output) {
+const Matrix& Dropout::backward(const Matrix& grad_output) {
   if (!last_training_ || rate_ == 0.0F) return grad_output;
   if (!grad_output.same_shape(last_mask_)) {
     throw DimensionError("Dropout::backward: gradient shape mismatch");
   }
-  return Matrix::hadamard(grad_output, last_mask_);
+  math::hadamard_into(grad_in_, grad_output, last_mask_);
+  return grad_in_;
 }
 
 std::unique_ptr<Layer> Dropout::clone() const {

@@ -39,15 +39,21 @@ double BinaryCrossEntropy::value(const Matrix& predictions,
 
 Matrix BinaryCrossEntropy::gradient(const Matrix& predictions,
                                     const Matrix& targets) const {
+  Matrix grad;
+  gradient_into(grad, predictions, targets);
+  return grad;
+}
+
+void BinaryCrossEntropy::gradient_into(Matrix& out, const Matrix& predictions,
+                                       const Matrix& targets) const {
   require_match(predictions, targets, "BinaryCrossEntropy::gradient");
-  Matrix grad(predictions.rows(), predictions.cols());
+  out.resize(predictions.rows(), predictions.cols());
   const float n = static_cast<float>(predictions.size());
   for (std::size_t i = 0; i < predictions.size(); ++i) {
     const float p = std::clamp(predictions.data()[i], eps_, 1.0F - eps_);
     const float t = targets.data()[i];
-    grad.data()[i] = (p - t) / (p * (1.0F - p)) / n;
+    out.data()[i] = (p - t) / (p * (1.0F - p)) / n;
   }
-  return grad;
 }
 
 Matrix softmax_rows(const Matrix& logits) {
@@ -109,11 +115,20 @@ double MeanSquaredError::value(const Matrix& predictions,
 
 Matrix MeanSquaredError::gradient(const Matrix& predictions,
                                   const Matrix& targets) const {
-  require_match(predictions, targets, "MeanSquaredError::gradient");
-  Matrix grad = predictions;
-  grad -= targets;
-  grad *= 2.0F / static_cast<float>(predictions.size());
+  Matrix grad;
+  gradient_into(grad, predictions, targets);
   return grad;
+}
+
+void MeanSquaredError::gradient_into(Matrix& out, const Matrix& predictions,
+                                     const Matrix& targets) const {
+  require_match(predictions, targets, "MeanSquaredError::gradient");
+  const float scale = 2.0F / static_cast<float>(predictions.size());
+  out.resize(predictions.rows(), predictions.cols());
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    out.data()[i] =
+        (predictions.data()[i] - targets.data()[i]) * scale;
+  }
 }
 
 }  // namespace gansec::nn

@@ -14,26 +14,26 @@ Layer& Mlp::add(std::unique_ptr<Layer> layer) {
   return *layers_.back();
 }
 
-Matrix Mlp::forward(const Matrix& input, bool training) {
+const Matrix& Mlp::forward(const Matrix& input, bool training) {
   if (layers_.empty()) {
     throw InvalidArgumentError("Mlp::forward: network has no layers");
   }
-  Matrix x = input;
+  const Matrix* x = &input;
   for (auto& layer : layers_) {
-    x = layer->forward(x, training);
+    x = &layer->forward(*x, training);
   }
-  return x;
+  return *x;
 }
 
-Matrix Mlp::backward(const Matrix& grad_output) {
+const Matrix& Mlp::backward(const Matrix& grad_output) {
   if (layers_.empty()) {
     throw InvalidArgumentError("Mlp::backward: network has no layers");
   }
-  Matrix g = grad_output;
+  const Matrix* g = &grad_output;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    g = (*it)->backward(g);
+    g = &(*it)->backward(*g);
   }
-  return g;
+  return *g;
 }
 
 std::vector<Parameter*> Mlp::parameters() {

@@ -17,6 +17,14 @@ void Gauge::add(double delta) {
   }
 }
 
+void Gauge::set_max(double candidate) {
+  double cur = v_.load(std::memory_order_relaxed);
+  while (candidate > cur &&
+         !v_.compare_exchange_weak(cur, candidate,
+                                   std::memory_order_relaxed)) {
+  }
+}
+
 namespace {
 
 void atomic_accumulate(std::atomic<double>& cell, double delta) {

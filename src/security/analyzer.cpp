@@ -5,6 +5,8 @@
 
 #include "gansec/core/execution.hpp"
 #include "gansec/error.hpp"
+#include "gansec/math/kernels.hpp"
+#include "gansec/math/workspace.hpp"
 #include "gansec/obs/log.hpp"
 #include "gansec/obs/metrics.hpp"
 #include "gansec/obs/trace.hpp"
@@ -127,38 +129,48 @@ LikelihoodResult LikelihoodAnalyzer::analyze_generator(
   math::Rng rng(seed_);
 
   GANSEC_SPAN("alg3.analyze");
+  // Per-condition scratch comes from this thread's workspace: the same
+  // slots are rewound and reused every outer iteration.
+  auto& ws = math::Workspace::local();
   // Algorithm 3 outer loop: each condition C_i.
   for (std::size_t ci = 0; ci < n_cond; ++ci) {
     GANSEC_SPAN("alg3.condition");
+    const math::Workspace::Scope scope(ws);
     // Line 6: X_G = GSize samples from G(Z | C_i).
-    Matrix cond(1, n_cond, 0.0F);
-    cond(0, ci) = 1.0F;
-    Matrix conds(config_.generator_samples, n_cond);
+    Matrix& conds = ws.acquire(config_.generator_samples, n_cond, true);
     for (std::size_t r = 0; r < config_.generator_samples; ++r) {
-      conds.set_row(r, cond);
+      conds(r, ci) = 1.0F;
     }
-    const Matrix noise =
-        rng.normal_matrix(config_.generator_samples, topology.noise_dim,
-                          0.0F, 1.0F);
-    const Matrix generated =
-        generator.forward(Matrix::hstack(noise, conds), /*training=*/false);
+    Matrix& noise = ws.acquire(config_.generator_samples, topology.noise_dim);
+    rng.fill_normal(noise, config_.generator_samples, topology.noise_dim,
+                    0.0F, 1.0F);
+    Matrix& g_in =
+        ws.acquire(config_.generator_samples, topology.noise_dim + n_cond);
+    math::hstack_into(g_in, noise, conds);
+    const Matrix& generated = generator.forward(g_in, /*training=*/false);
 
     // Inner loop over frequency-feature indices. Every feature's KDE fit
     // and scoring pass is independent and writes only its own [ci][fpos]
     // slots, so the loop fans out across the pool; test samples are always
     // scored in ascending order within a feature, keeping the likelihoods
     // bit-identical at any thread count. All rng draws happened above.
+    // Each pool worker gathers into its own thread-local workspace buffer.
     core::parallel_for(0, indices.size(), 1, [&](std::size_t f0,
                                                  std::size_t f1) {
+      auto& worker_ws = math::Workspace::local();
+      const math::Workspace::Scope worker_scope(worker_ws);
+      std::vector<double>& feature_samples =
+          worker_ws.acquire_doubles(config_.generator_samples);
       for (std::size_t fpos = f0; fpos < f1; ++fpos) {
         const std::size_t ft = indices[fpos];
-        std::vector<double> feature_samples(config_.generator_samples);
         for (std::size_t r = 0; r < config_.generator_samples; ++r) {
           feature_samples[r] = static_cast<double>(generated(r, ft));
         }
-        // Line 8: FtDistr via the Parzen Gaussian window.
-        const stats::ParzenKde distr(std::move(feature_samples),
-                                     config_.parzen_h);
+        // Line 8: FtDistr via the Parzen Gaussian window (a non-owning
+        // view over this worker's scratch).
+        const stats::ParzenScorer distr(feature_samples.data(),
+                                        feature_samples.size(),
+                                        config_.parzen_h);
 
         double cor_like = 0.0;
         double inc_like = 0.0;

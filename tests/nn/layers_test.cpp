@@ -96,6 +96,18 @@ TEST(Dense, BackwardShapeMismatchThrows) {
   EXPECT_THROW(dense.backward(Matrix(1, 2)), DimensionError);
 }
 
+TEST(Dense, BackwardColumnMismatchThrows) {
+  // The gradient's width must equal the layer's output width even when
+  // the row count matches the cached batch size.
+  Dense dense(4, 3);
+  const Matrix x(5, 4);
+  dense.forward(x, false);
+  EXPECT_THROW(dense.backward(Matrix(5, 2)), DimensionError);
+  EXPECT_THROW(dense.backward(Matrix(5, 4)), DimensionError);
+  // The matching shape passes.
+  EXPECT_NO_THROW(dense.backward(Matrix(5, 3)));
+}
+
 TEST(Dense, GradientsMatchFiniteDifferences) {
   Rng rng(7);
   Dense dense(4, 3);
