@@ -15,6 +15,7 @@
 int main() {
   using namespace gansec;
 
+  bench::BenchReporter reporter("ablation_data_budget");
   auto& exp = bench::experiment();
 
   std::cout << "=== Ablation: training-data budget ===\n";
@@ -34,7 +35,7 @@ int main() {
     trainer.train(subset.features, subset.conditions);
 
     security::LikelihoodConfig lik;
-    lik.generator_samples = 150;
+    lik.generator_samples = bench::smoke() ? 50 : 150;
     const security::LikelihoodAnalyzer analyzer(lik, 3);
     const security::LikelihoodResult result =
         analyzer.analyze(model, exp.test_set);
@@ -46,15 +47,21 @@ int main() {
     }
 
     security::ConfidentialityConfig conf;
-    conf.generator_samples = 150;
+    conf.generator_samples = bench::smoke() ? 50 : 150;
     const security::ConfidentialityAnalyzer conf_analyzer(conf, 3);
     const security::ConfidentialityReport report =
         conf_analyzer.analyze(model, exp.test_set);
 
     std::printf("%zu\t%.4f\t%.4f\t%.4f\t%.4f\n", budget, cor, inc,
                 cor - inc, report.attacker_accuracy);
+    reporter.add_metric("budget" + std::to_string(budget) + ".margin",
+                        cor - inc, bench::Direction::kHigherIsBetter);
+    reporter.add_metric(
+        "budget" + std::to_string(budget) + ".attacker_accuracy",
+        report.attacker_accuracy, bench::Direction::kHigherIsBetter);
   }
   std::cout << "\n(expected: margin and attacker accuracy grow with the "
                "data budget — more capable attackers leak more)\n";
+  reporter.write();
   return 0;
 }

@@ -13,6 +13,7 @@
 int main() {
   using namespace gansec;
 
+  bench::BenchReporter reporter("ablation_gsize");
   auto& exp = bench::experiment();
 
   std::cout << "=== Ablation: Algorithm 3 GSize ===\n";
@@ -32,9 +33,12 @@ int main() {
     }
     std::printf("%zu\t%.4f\t%.4f\t%.4f\tCond%zu\n", gsize, cor, inc,
                 cor - inc, result.most_leaky_condition() + 1);
+    reporter.add_metric("gsize" + std::to_string(gsize) + ".margin",
+                        cor - inc, bench::Direction::kHigherIsBetter);
   }
   std::cout << "\n(expected: the margin and the most-leaky verdict are "
                "stable once GSize reaches ~100; below that the Parzen fit "
                "is noisy)\n";
+  reporter.write();
   return 0;
 }

@@ -13,6 +13,7 @@
 int main() {
   using namespace gansec;
 
+  bench::BenchReporter reporter("ablation_kstep");
   auto& exp = bench::experiment();
 
   std::cout << "=== Ablation: discriminator steps k ===\n";
@@ -51,8 +52,13 @@ int main() {
     }
     std::printf("%zu\t%.4f\t%.4f\t%.3f\t%.4f\t%.4f\t%.4f\n", k, late_g,
                 late_d, late_fake, cor, inc, cor - inc);
+    reporter.add_metric("k" + std::to_string(k) + ".margin", cor - inc,
+                        bench::Direction::kHigherIsBetter);
+    reporter.add_metric("k" + std::to_string(k) + ".d_fake", late_fake,
+                        bench::Direction::kTwoSided);
   }
   std::cout << "\n(higher margin = better learned conditional; k trades "
                "discriminator sharpness against generator signal)\n";
+  reporter.write();
   return 0;
 }

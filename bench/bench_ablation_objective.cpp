@@ -14,6 +14,7 @@
 int main() {
   using namespace gansec;
 
+  bench::BenchReporter reporter("ablation_objective");
   auto& exp = bench::experiment();
 
   std::cout << "=== Ablation: adversarial objective ===\n";
@@ -35,12 +36,13 @@ int main() {
 
     double late_fake = 0.0;
     const auto& history = trainer.history();
-    for (std::size_t i = history.size() - 100; i < history.size(); ++i) {
-      late_fake += history[i].d_fake_mean / 100.0;
+    const std::size_t window = std::min<std::size_t>(100, history.size());
+    for (std::size_t i = history.size() - window; i < history.size(); ++i) {
+      late_fake += history[i].d_fake_mean / static_cast<double>(window);
     }
 
     security::LikelihoodConfig lik;
-    lik.generator_samples = 150;
+    lik.generator_samples = bench::smoke() ? 50 : 150;
     const security::LikelihoodAnalyzer analyzer(lik, 91);
     const security::LikelihoodResult result =
         analyzer.analyze(model, exp.test_set);
@@ -52,15 +54,24 @@ int main() {
     }
 
     security::ConfidentialityConfig conf;
-    conf.generator_samples = 150;
+    conf.generator_samples = bench::smoke() ? 50 : 150;
     const security::ConfidentialityAnalyzer conf_analyzer(conf, 91);
     const double acc =
         conf_analyzer.analyze(model, exp.test_set).attacker_accuracy;
 
     std::printf("%-14s %-8.4f %-8.4f %-8.4f %-10.4f %-8.3f\n", name, cor,
                 inc, cor - inc, acc, late_fake);
+    const std::string prefix =
+        objective == gan::AdversarialObjective::kBinaryCrossEntropy
+            ? "bce"
+            : "lsgan";
+    reporter.add_metric(prefix + ".margin", cor - inc,
+                        bench::Direction::kHigherIsBetter);
+    reporter.add_metric(prefix + ".attacker_accuracy", acc,
+                        bench::Direction::kHigherIsBetter);
   }
   std::cout << "\n(both objectives should learn the conditional; LSGAN "
                "tends toward smoother D outputs)\n";
+  reporter.write();
   return 0;
 }

@@ -14,18 +14,25 @@
 int main() {
   using namespace gansec;
 
+  bench::BenchReporter reporter("ablation_snr");
+
   // Reduced scale: this ablation regenerates the dataset per noise level.
   am::DatasetConfig base = bench::paper_dataset_config();
-  base.samples_per_condition = 60;
-  base.bins = 48;
-  base.window_s = 0.2;
+  if (!bench::smoke()) {
+    base.samples_per_condition = 60;
+    base.bins = 48;
+    base.window_s = 0.2;
+  }
 
   gan::CganTopology topo = bench::paper_topology();
   topo.data_dim = base.bins;
 
   std::cout << "=== Ablation: chamber noise floor vs leakage ===\n";
   std::cout << "noise_floor\tattacker_accuracy\tmean_mi\tmax_mi\tverdict\n";
-  for (const double noise : {0.02, 0.5, 2.0, 8.0, 20.0}) {
+  const std::vector<double> noise_levels =
+      bench::smoke() ? std::vector<double>{0.02, 20.0}
+                     : std::vector<double>{0.02, 0.5, 2.0, 8.0, 20.0};
+  for (const double noise : noise_levels) {
     am::DatasetConfig config = base;
     config.acoustic.noise_floor = noise;
     std::cerr << "[bench] noise floor " << noise
@@ -35,12 +42,12 @@ int main() {
 
     gan::Cgan model(topo, 23);
     gan::TrainConfig train_config = bench::paper_train_config();
-    train_config.iterations = 1000;
+    if (!bench::smoke()) train_config.iterations = 1000;
     gan::CganTrainer trainer(model, train_config, 23);
     trainer.train(train.features, train.conditions);
 
     security::ConfidentialityConfig conf;
-    conf.generator_samples = 150;
+    conf.generator_samples = bench::smoke() ? 50 : 150;
     // Few bins: the binned MI estimator's positive bias grows with
     // bins/sample, which would mask the collapse this sweep looks for.
     conf.mi_bins = 8;
@@ -50,8 +57,15 @@ int main() {
     std::printf("%.2f\t%.4f\t%.4f\t%.4f\t%s\n", noise,
                 report.attacker_accuracy, report.mean_mi, report.max_mi,
                 report.leaks() ? "LEAKS" : "safe");
+    const std::string prefix = "noise" + std::to_string(noise);
+    reporter.add_metric(prefix + ".attacker_accuracy",
+                        report.attacker_accuracy,
+                        bench::Direction::kTwoSided);
+    reporter.add_metric(prefix + ".mean_mi", report.mean_mi,
+                        bench::Direction::kTwoSided);
   }
   std::cout << "\n(expected: accuracy falls toward chance 0.333 and MI "
                "toward 0 as the noise floor swamps the motor emissions)\n";
+  reporter.write();
   return 0;
 }

@@ -19,18 +19,23 @@
 int main() {
   using namespace gansec;
 
+  bench::BenchReporter reporter("attack_detection");
   auto& exp = bench::experiment();
+  const std::size_t calib_n = bench::smoke() ? 6 : 30;
+  const std::size_t eval_n = bench::smoke() ? 6 : 25;
 
   security::DetectorConfig config;
-  config.generator_samples = 200;
+  config.generator_samples = bench::smoke() ? 50 : 200;
   security::AttackDetector detector(exp.model, config);
   security::AttackInjector injector(exp.builder, 2024);
 
   std::cerr << "[bench] calibrating on benign observations...\n";
   detector.calibrate(
-      injector.generate(30, 0.0, security::AttackKind::kNone));
+      injector.generate(calib_n, 0.0, security::AttackKind::kNone));
   std::printf("alarm threshold (mean log-likelihood): %.3f\n",
               detector.threshold());
+  reporter.add_metric("threshold", detector.threshold(),
+                      bench::Direction::kTwoSided);
 
   std::cout << "\n=== Attack detection performance ===\n";
   for (const auto kind : {security::AttackKind::kIntegrity,
@@ -38,10 +43,15 @@ int main() {
                           security::AttackKind::kDegradation}) {
     std::cerr << "[bench] evaluating " << security::attack_name(kind)
               << " attacks...\n";
-    const auto observations = injector.generate(25, 0.5, kind);
+    const auto observations = injector.generate(eval_n, 0.5, kind);
     const security::DetectionReport report = detector.evaluate(observations);
     std::printf("\n%s attacks:\n%s", security::attack_name(kind),
                 security::format_detection(report).c_str());
+    const std::string prefix = security::attack_name(kind);
+    reporter.add_metric(prefix + ".accuracy", report.accuracy,
+                        bench::Direction::kHigherIsBetter);
+    reporter.add_metric(prefix + ".auc", report.auc,
+                        bench::Direction::kHigherIsBetter);
   }
 
   std::cout << "\n(integrity and availability attacks are gross spectral "
@@ -52,9 +62,10 @@ int main() {
   // Per-motor breakdown for availability attacks (which motor is easiest
   // to monitor through the side channel).
   std::cout << "\nper-motor availability detection:\n";
+  const int per_motor_n = bench::smoke() ? 4 : 20;
   for (std::size_t label = 0; label < 3; ++label) {
     std::vector<security::Observation> observations;
-    for (int i = 0; i < 20; ++i) {
+    for (int i = 0; i < per_motor_n; ++i) {
       observations.push_back(injector.make_observation(
           label, security::AttackKind::kNone));
       observations.push_back(injector.make_observation(
@@ -64,6 +75,10 @@ int main() {
     const char* names[3] = {"X", "Y", "Z"};
     std::printf("  motor %s: accuracy %.3f, AUC %.3f\n", names[label],
                 report.accuracy, report.auc);
+    reporter.add_metric(std::string("availability.motor_") + names[label] +
+                            ".auc",
+                        report.auc, bench::Direction::kHigherIsBetter);
   }
+  reporter.write();
   return 0;
 }

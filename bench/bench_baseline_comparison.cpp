@@ -21,6 +21,7 @@
 int main() {
   using namespace gansec;
 
+  bench::BenchReporter reporter("baseline_comparison");
   auto& exp = bench::experiment();
   math::Rng shuffle_rng(31337);
   am::LabeledDataset shuffled = exp.train_set;
@@ -39,7 +40,7 @@ int main() {
     std::cerr << "[bench] budget " << budget << ": training CGAN...\n";
     trainer.train(subset.features, subset.conditions);
     security::ConfidentialityConfig conf;
-    conf.generator_samples = 150;
+    conf.generator_samples = bench::smoke() ? 50 : 150;
     const security::ConfidentialityAnalyzer analyzer(conf, 41);
     const double cgan_acc =
         analyzer.analyze(model, exp.test_set).attacker_accuracy;
@@ -56,7 +57,7 @@ int main() {
 
     // Discriminative MLP.
     baseline::MlpClassifierConfig mlp_config;
-    mlp_config.epochs = 150;
+    mlp_config.epochs = bench::smoke() ? 5 : 150;
     baseline::MlpClassifier mlp(exp.train_set.features.cols(), 3,
                                 mlp_config, 41);
     mlp.train(subset);
@@ -64,10 +65,13 @@ int main() {
 
     std::printf("%-14zu %-12.4f %-12.4f %-12.4f\n", budget, cgan_acc,
                 kde_acc, mlp_acc);
+    reporter.add_metric("budget" + std::to_string(budget) + ".cgan_accuracy",
+                        cgan_acc, bench::Direction::kHigherIsBetter);
   }
   std::cout << "\n(all three converge on this separable testbed at large "
                "budgets; the interesting region is the small-budget rows, "
                "where the CGAN's smoothing competes with raw-data KDE "
                "overfitting)\n";
+  reporter.write();
   return 0;
 }

@@ -18,11 +18,14 @@
 int main() {
   using namespace gansec;
 
+  bench::BenchReporter reporter("ext_combination_encoding");
   am::DatasetConfig config = bench::paper_dataset_config();
   config.scheme = am::ConditionScheme::kCombinationXyz;
-  config.samples_per_condition = 50;
-  config.bins = 60;
-  config.window_s = 0.2;
+  if (!bench::smoke()) {
+    config.samples_per_condition = 50;
+    config.bins = 60;
+    config.window_s = 0.2;
+  }
   std::cerr << "[bench] generating 8-class combination dataset...\n";
   am::DatasetBuilder builder(config);
   auto [train, test] = builder.build_split(0.7);
@@ -32,13 +35,15 @@ int main() {
   topo.cond_dim = 8;
   gan::Cgan model(topo, 8);
   gan::TrainConfig train_config = bench::paper_train_config();
-  train_config.iterations = 2000;  // 8 classes need more coverage
+  if (!bench::smoke()) {
+    train_config.iterations = 2000;  // 8 classes need more coverage
+  }
   std::cerr << "[bench] training 8-condition CGAN...\n";
   gan::CganTrainer trainer(model, train_config, 8);
   trainer.train(train.features, train.conditions);
 
   security::ConfidentialityConfig conf;
-  conf.generator_samples = 150;
+  conf.generator_samples = bench::smoke() ? 50 : 150;
   const security::ConfidentialityAnalyzer analyzer(conf, 8);
   const auto predicted = analyzer.infer_conditions(model, test.features);
 
@@ -71,5 +76,8 @@ int main() {
   }
   std::cout << "\n(expected: far above 0.125 chance; confusions cluster "
                "between subsets sharing motors, e.g. X+Z vs X+Y+Z)\n";
+  reporter.add_metric("attacker_accuracy", confusion.accuracy(),
+                      bench::Direction::kHigherIsBetter);
+  reporter.write();
   return 0;
 }

@@ -27,12 +27,15 @@ int main() {
       arch,
       cpps::generate_flow_pairs(graph, am::make_printer_historical_data()));
 
-  core::ModelStore store(std::string(bench::kCacheDir) + "/flow-pair-models");
+  bench::BenchReporter reporter("ext_flow_pair_leakage");
+  core::ModelStore store(bench::cache_dir() + "/flow-pair-models");
 
   am::DatasetConfig base = bench::paper_dataset_config();
-  base.samples_per_condition = 50;
-  base.bins = 40;
-  base.window_s = 0.2;
+  if (!bench::smoke()) {
+    base.samples_per_condition = 50;
+    base.bins = 40;
+    base.window_s = 0.2;
+  }
   gan::CganTopology topo = bench::paper_topology();
   topo.data_dim = base.bins;
 
@@ -51,13 +54,13 @@ int main() {
 
     gan::Cgan model(topo, 63);
     gan::TrainConfig train_config = bench::paper_train_config();
-    train_config.iterations = 1000;
+    if (!bench::smoke()) train_config.iterations = 1000;
     gan::CganTrainer trainer(model, train_config, 63);
     trainer.train(train.features, train.conditions);
     store.save(pair, model);
 
     security::ConfidentialityConfig conf;
-    conf.generator_samples = 150;
+    conf.generator_samples = bench::smoke() ? 50 : 150;
     conf.mi_bins = 8;
     const security::ConfidentialityAnalyzer analyzer(conf, 63);
     const security::ConfidentialityReport report =
@@ -68,6 +71,9 @@ int main() {
                 arch.flow(pair.second).name.c_str(),
                 report.attacker_accuracy, report.mean_mi,
                 report.leaks() ? "LEAKS" : "safe");
+    reporter.add_metric(pair.second + ".attacker_accuracy",
+                        report.attacker_accuracy,
+                        bench::Direction::kHigherIsBetter);
   }
 
   std::cout << "\nstored models:\n";
@@ -78,5 +84,6 @@ int main() {
                "condition; the frame flow leaks via the distinct "
                "resonances; reload any stored model with "
                "core::ModelStore::load)\n";
+  reporter.write();
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "common.hpp"
 #include "gansec/am/printer_arch.hpp"
 #include "gansec/cpps/dot.hpp"
 #include "gansec/cpps/graph.hpp"
@@ -14,6 +15,7 @@
 int main() {
   using namespace gansec;
 
+  bench::BenchReporter reporter("fig6_graph");
   const cpps::Architecture arch = am::make_printer_architecture();
   const cpps::CppsGraph graph(arch);
 
@@ -59,5 +61,16 @@ int main() {
   }
 
   std::cout << "\n--- Graphviz DOT ---\n" << cpps::to_dot(graph);
+
+  reporter.add_metric("flow_pairs.candidates",
+                      static_cast<double>(candidates.size()),
+                      bench::Direction::kTwoSided);
+  reporter.add_metric("flow_pairs.pruned", static_cast<double>(pruned.size()),
+                      bench::Direction::kTwoSided);
+  reporter.add_metric("flow_pairs.cross_domain",
+                      static_cast<double>(cross.size()),
+                      bench::Direction::kTwoSided);
+  reporter.add_check("graph_acyclic", graph.is_acyclic());
+  reporter.write();
   return 0;
 }

@@ -17,6 +17,7 @@
 int main() {
   using namespace gansec;
 
+  bench::BenchReporter reporter("fig7_training_loss");
   auto& exp = bench::experiment();  // cached dataset (training state unused)
 
   gan::Cgan model(bench::paper_topology(), 7);
@@ -46,27 +47,44 @@ int main() {
   };
   const std::size_t n = history.size();
   const std::size_t smooth = 25;
-  std::size_t d_min_at = 0;
-  double d_min = 1e9;
-  for (std::size_t i = 0; i + smooth < n / 2; ++i) {
-    const double m = window_mean(i, i + smooth, false);
-    if (m < d_min) {
-      d_min = m;
-      d_min_at = i;
+  // The smoothed-window shape analysis needs a real training run; a smoke
+  // run's handful of iterations cannot support it.
+  if (n >= 400) {
+    std::size_t d_min_at = 0;
+    double d_min = 1e9;
+    for (std::size_t i = 0; i + smooth < n / 2; ++i) {
+      const double m = window_mean(i, i + smooth, false);
+      if (m < d_min) {
+        d_min = m;
+        d_min_at = i;
+      }
     }
-  }
-  const double g_peak = window_mean(d_min_at, d_min_at + smooth, true);
-  const double g_late = window_mean(n - 200, n, true);
-  const double d_late = window_mean(n - 200, n, false);
+    const double g_peak = window_mean(d_min_at, d_min_at + smooth, true);
+    const double g_late = window_mean(n - 200, n, true);
+    const double d_late = window_mean(n - 200, n, false);
 
-  std::printf("\nshape check (paper: G high & D low early, then G falls "
-              "and D rises):\n");
-  std::printf("  D-winning phase around iteration %zu\n", d_min_at);
-  std::printf("  G loss: %.4f there -> %.4f last 200 iters %s\n", g_peak,
-              g_late, g_late < g_peak ? "(falls, OK)" : "(!)");
-  std::printf("  D loss: %.4f there -> %.4f last 200 iters %s\n", d_min,
-              d_late, d_late > d_min ? "(rises, OK)" : "(!)");
+    std::printf("\nshape check (paper: G high & D low early, then G falls "
+                "and D rises):\n");
+    std::printf("  D-winning phase around iteration %zu\n", d_min_at);
+    std::printf("  G loss: %.4f there -> %.4f last 200 iters %s\n", g_peak,
+                g_late, g_late < g_peak ? "(falls, OK)" : "(!)");
+    std::printf("  D loss: %.4f there -> %.4f last 200 iters %s\n", d_min,
+                d_late, d_late > d_min ? "(rises, OK)" : "(!)");
+    reporter.add_metric("g_loss.late_mean", g_late,
+                        bench::Direction::kTwoSided);
+    reporter.add_metric("d_loss.late_mean", d_late,
+                        bench::Direction::kTwoSided);
+    reporter.add_check("g_loss_falls", g_late < g_peak);
+    reporter.add_check("d_loss_rises", d_late > d_min);
+  } else {
+    std::printf("\n(history too short for the shape check — smoke run)\n");
+  }
   std::printf("  final D(real)=%.3f D(fake)=%.3f (equilibrium ~0.5/0.5)\n",
               history.back().d_real_mean, history.back().d_fake_mean);
+  reporter.add_metric("d_real.final", history.back().d_real_mean,
+                      bench::Direction::kTwoSided);
+  reporter.add_metric("d_fake.final", history.back().d_fake_mean,
+                      bench::Direction::kTwoSided);
+  reporter.write();
   return 0;
 }

@@ -16,11 +16,12 @@
 int main() {
   using namespace gansec;
 
+  bench::BenchReporter reporter("fig9_likelihood_convergence");
   auto& exp = bench::experiment();
 
   gan::Cgan model(bench::paper_topology(), 9);
   gan::TrainConfig train_config = bench::paper_train_config();
-  train_config.checkpoint_every = 150;
+  train_config.checkpoint_every = bench::smoke() ? 2 : 150;
   gan::CganTrainer trainer(model, train_config, 9);
   std::cerr << "[bench] training with checkpoints for Figure 9...\n";
   trainer.train(exp.train_set.features, exp.train_set.conditions);
@@ -63,5 +64,16 @@ int main() {
               last_cor > first_cor ? "(improves, OK)" : "(!)");
   std::printf("  final separation: correct %.4f vs incorrect %.4f %s\n",
               last_cor, last_inc, last_cor > last_inc ? "(OK)" : "(!)");
+  reporter.add_metric("cond1.first_correct", first_cor,
+                      bench::Direction::kTwoSided);
+  reporter.add_metric("cond1.last_correct", last_cor,
+                      bench::Direction::kHigherIsBetter);
+  reporter.add_metric("cond1.last_incorrect", last_inc,
+                      bench::Direction::kLowerIsBetter);
+  if (!bench::smoke()) {
+    reporter.add_check("correct_improves", last_cor > first_cor);
+    reporter.add_check("correct_separates", last_cor > last_inc);
+  }
+  reporter.write();
   return 0;
 }

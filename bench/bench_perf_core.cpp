@@ -9,7 +9,10 @@
 #include <atomic>
 #include <cstdlib>
 #include <new>
+#include <string>
+#include <vector>
 
+#include "common.hpp"
 #include "gansec/am/acoustic.hpp"
 #include "gansec/am/gcode.hpp"
 #include "gansec/am/machine.hpp"
@@ -325,6 +328,77 @@ void BM_Algorithm1(benchmark::State& state) {
 }
 BENCHMARK(BM_Algorithm1);
 
+// Console output plus a copy of every per-iteration run, so main() can
+// export BENCH_perf_core.json after the suite finishes. Aggregate rows
+// (mean/median/stddev of repetitions) are skipped — the artifact carries
+// the plain measurement the diff tool expects.
+class ArtifactCollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type == Run::RT_Iteration && !run.error_occurred) {
+        runs_.push_back(run);
+      }
+    }
+  }
+
+  const std::vector<Run>& runs() const { return runs_; }
+
+ private:
+  std::vector<Run> runs_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  gansec::bench::BenchReporter artifact("perf_core");
+
+  std::vector<char*> args(argv, argv + argc);
+  // Smoke mode trims to the fast microbenches at a tiny min_time so the
+  // `bench-smoke` ctest finishes in seconds; explicit flags still win.
+  std::string smoke_min_time = "--benchmark_min_time=0.01";
+  std::string smoke_filter =
+      "--benchmark_filter=^BM_(MatrixMatmul/32|Fft/1024|CwtBandEnergies/25|"
+      "GcodeParse|MachineKinematics|AcousticSynthesis|CganTrainStep|"
+      "ParzenScore/100|ObsLogDisabled|ObsSpanDisabled|ObsCounterAdd|"
+      "ObsHistogramObserve|ObsLogEnabledNullSink|Algorithm1)$";
+  if (gansec::bench::smoke()) {
+    bool has_min_time = false;
+    bool has_filter = false;
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg(argv[i]);
+      has_min_time |= arg.rfind("--benchmark_min_time", 0) == 0;
+      has_filter |= arg.rfind("--benchmark_filter", 0) == 0;
+    }
+    if (!has_min_time) args.push_back(smoke_min_time.data());
+    if (!has_filter) args.push_back(smoke_filter.data());
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+
+  ArtifactCollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  for (const auto& run : reporter.runs()) {
+    const std::string name = run.benchmark_name();
+    const double ns_per_iter =
+        run.real_accumulated_time / static_cast<double>(run.iterations) *
+        1e9;
+    artifact.add_metric(name + ".ns_per_iter", ns_per_iter,
+                        gansec::bench::Direction::kLowerIsBetter);
+    for (const auto& [counter_name, counter] : run.counters) {
+      const bool rate = counter_name.find("per_second") != std::string::npos;
+      artifact.add_metric(name + "." + counter_name,
+                          static_cast<double>(counter.value),
+                          rate ? gansec::bench::Direction::kHigherIsBetter
+                               : gansec::bench::Direction::kLowerIsBetter);
+    }
+  }
+  artifact.write();
+  return 0;
+}

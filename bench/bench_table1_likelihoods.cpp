@@ -19,6 +19,7 @@
 int main() {
   using namespace gansec;
 
+  bench::BenchReporter reporter("table1_likelihoods");
   auto& exp = bench::experiment();
   const std::vector<double> widths{0.2, 0.4, 0.6, 0.8, 1.0};
 
@@ -101,5 +102,30 @@ int main() {
   const double inc_10 = single[4].mean_incorrect(0);
   std::printf("  Inc grows with h (Cond1): %.4f -> %.4f %s\n", inc_02,
               inc_10, inc_10 > inc_02 ? "(OK)" : "(!)");
+
+  for (std::size_t c = 0; c < 3; ++c) {
+    reporter.add_metric("h0.2.cond" + std::to_string(c + 1) + ".cor",
+                        single[0].mean_correct(c),
+                        bench::Direction::kTwoSided);
+    reporter.add_metric("h0.2.cond" + std::to_string(c + 1) + ".inc",
+                        single[0].mean_incorrect(c),
+                        bench::Direction::kTwoSided);
+  }
+  double cor_mean = 0.0;
+  double inc_mean = 0.0;
+  for (std::size_t c = 0; c < 3; ++c) {
+    cor_mean += single[0].mean_correct(c) / 3.0;
+    inc_mean += single[0].mean_incorrect(c) / 3.0;
+  }
+  reporter.add_metric("h0.2.avg_correct", cor_mean,
+                      bench::Direction::kHigherIsBetter);
+  reporter.add_metric("h0.2.avg_incorrect", inc_mean,
+                      bench::Direction::kLowerIsBetter);
+  reporter.add_metric("h0.2.margin", cor_mean - inc_mean,
+                      bench::Direction::kHigherIsBetter);
+  reporter.add_check("cor_beats_inc", cor_beats_inc);
+  reporter.add_check("most_leaky_is_cond3", leaky == 2);
+  reporter.add_check("inc_grows_with_h", inc_10 > inc_02);
+  reporter.write();
   return 0;
 }

@@ -18,6 +18,7 @@
 #include "gansec/core/execution.hpp"
 #include "gansec/cpps/algorithm1.hpp"
 #include "gansec/gan/trainer.hpp"
+#include "gansec/obs/report.hpp"
 #include "gansec/security/analyzer.hpp"
 #include "gansec/security/confidentiality.hpp"
 
@@ -103,6 +104,10 @@ class GanSecPipeline {
 
   /// Suggested CGAN topology for this configuration.
   gan::CganTopology topology() const;
+
+  /// Records the resolved configuration and every derived RNG seed into a
+  /// run report, so the artifact alone suffices to re-run the experiment.
+  void describe(obs::RunReport& report) const;
 
  private:
   PipelineConfig config_;

@@ -91,19 +91,71 @@ class Histogram {
   std::atomic<double> max_;
 };
 
-/// Append-only (step, value) time series (e.g. per-iteration losses).
-/// Mutex-guarded: intended for one producer at low frequency.
+/// Percentile roll-up of one histogram snapshot — what run reports and
+/// bench artifacts export instead of raw buckets. All fields are 0 when
+/// the histogram is empty.
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Prometheus-style quantile estimate from bucket counts: locates the
+/// bucket containing rank q*count and interpolates linearly inside it,
+/// clamping the first/last buckets to the observed min/max. `q` must be
+/// in [0, 1]; the estimate's error is bounded by the bucket width.
+double histogram_percentile(const Histogram::Snapshot& snapshot, double q);
+
+HistogramSummary summarize(const Histogram::Snapshot& snapshot);
+
+/// (step, value) time series (e.g. per-iteration losses). Mutex-guarded:
+/// intended for one producer at low frequency.
+///
+/// Memory is bounded: each series is a ring buffer of at most
+/// `capacity()` points (default `default_series_capacity()`, settable
+/// per series). When full, appends overwrite the oldest point; every
+/// overwritten point is counted in `dropped()` and in the process-wide
+/// `obs.series.dropped_points` counter, so long sweeps cannot grow the
+/// registry without bound — and the loss is observable, never silent.
 class Series {
  public:
+  Series();
+
   void append(double step, double value);
+  /// Retained points, oldest first (producer order).
   std::vector<std::pair<double, double>> points() const;
   std::size_t size() const;
+  /// Points overwritten by the ring since construction / reset().
+  std::uint64_t dropped() const;
+
+  std::size_t capacity() const;
+  /// Re-caps the ring (0 is invalid). Shrinking drops the oldest points,
+  /// counting them as dropped.
+  void set_capacity(std::size_t capacity);
+
   void reset();
 
  private:
+  /// Rotates points_ so index 0 is the oldest point (head_ becomes 0).
+  void linearize_locked();
+
   mutable std::mutex mu_;
   std::vector<std::pair<double, double>> points_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;  ///< index of the oldest point once the ring wraps
+  std::uint64_t dropped_ = 0;
 };
+
+/// Process-wide default ring capacity for newly created Series (initial
+/// value 65536 points ≈ 1 MiB per series). Thread-safe; affects only
+/// series created after the call.
+void set_default_series_capacity(std::size_t capacity);
+std::size_t default_series_capacity();
 
 /// Name-keyed registry. Lookups register on first use and always return
 /// the same object for the same name; a histogram re-registered with

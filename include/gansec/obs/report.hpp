@@ -1,0 +1,153 @@
+// Run reports: one schema-versioned JSON artifact per pipeline/CLI run.
+//
+// A RunReport makes a run self-describing and re-runnable: it snapshots
+// the command and argv, every RNG seed, the resolved configuration, the
+// build provenance (git SHA, build type, compiler, flags), host facts,
+// wall-clock per pipeline phase (aggregated from the trace-span recorder),
+// arbitrary result sections (e.g. Algorithm 3 likelihoods), and the final
+// metrics-registry dump with p50/p95/p99 histogram summaries. The paper's
+// Algorithm 3 numbers only mean something relative to the seed/config that
+// produced them — the report pins both to the output.
+//
+// Companion facilities keep artifacts usable when runs do not end well:
+//  * register_artifact_flush() arms a best-effort atexit + SIGINT/SIGTERM
+//    flusher so a crashed run still leaves its metrics/trace files;
+//  * ProgressReporter logs a one-line metrics snapshot every N seconds
+//    during long trainings (`--progress` in the CLI).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gansec::obs {
+
+/// Schema identifier embedded in every report ("schema" member). Bump the
+/// suffix on breaking layout changes; gansec_benchdiff checks it.
+inline constexpr const char* kRunReportSchema = "gansec.run_report.v1";
+
+/// Build provenance captured at configure/compile time. `git_sha` is
+/// "unknown" when the source tree was built outside a git checkout.
+struct BuildInfo {
+  std::string version;     ///< gansec::kVersionString
+  std::string git_sha;     ///< short HEAD SHA at configure time
+  std::string build_type;  ///< CMAKE_BUILD_TYPE
+  std::string compiler;    ///< id + version
+  std::string flags;       ///< effective optimization/arch flags
+};
+
+const BuildInfo& build_info();
+
+/// Appends `{"version":...,"git_sha":...,...}` for `info` to `os` — shared
+/// by run reports and bench artifacts so both carry identical provenance.
+std::string build_info_json(const BuildInfo& info);
+
+/// Host facts worth pinning to a performance number.
+struct HostInfo {
+  std::string hostname;
+  std::string os;
+  unsigned hardware_concurrency = 0;
+};
+
+HostInfo host_info();
+
+class RunReport {
+ public:
+  /// `command` names the run (CLI subcommand, test harness, ...).
+  explicit RunReport(std::string command);
+
+  /// Records the raw argv (excluding argv[0]) for reproducibility.
+  void set_argv(int argc, const char* const* argv);
+
+  /// Resolved configuration entries, in insertion order.
+  void add_config(std::string_view key, double value);
+  void add_config(std::string_view key, std::int64_t value);
+  void add_config(std::string_view key, std::uint64_t value);
+  void add_config(std::string_view key, bool value);
+  void add_config(std::string_view key, std::string_view value);
+
+  /// Every RNG seed that fed the run, by role ("pipeline", "dataset", ...).
+  void add_seed(std::string_view name, std::uint64_t seed);
+
+  /// Scalar result ("likelihood.margin", ...) or a pre-rendered JSON value
+  /// (must be one complete RFC 8259 value — validated at write time).
+  void add_result(std::string_view key, double value);
+  void add_result_json(std::string_view key, std::string json_value);
+
+  /// Aggregates the trace recorder's span events into per-phase wall-clock
+  /// totals: one entry per distinct span name with {count, total_ms,
+  /// mean_ms}. Requires tracing to have been enabled for the run (the CLI
+  /// turns it on whenever --report-out is given); without events the
+  /// "phases" section is simply empty.
+  void capture_phases_from_trace();
+
+  /// Embeds the full metrics-registry snapshot (histograms carry
+  /// mean/p50/p95/p99 summaries).
+  void capture_metrics();
+
+  /// One complete JSON object (ends without a newline); always valid.
+  std::string to_json() const;
+
+  /// to_json() + newline written to `path`; throws IoError on failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  struct ConfigEntry {
+    std::string key;
+    std::string json_value;  ///< pre-rendered token/value
+  };
+  struct PhaseEntry {
+    std::string name;
+    std::uint64_t count = 0;
+    double total_ms = 0.0;
+  };
+
+  std::string command_;
+  std::vector<std::string> argv_;
+  std::vector<ConfigEntry> config_;
+  std::vector<std::pair<std::string, std::uint64_t>> seeds_;
+  std::vector<ConfigEntry> results_;
+  std::vector<PhaseEntry> phases_;
+  std::string metrics_json_;  ///< empty until capture_metrics()
+};
+
+/// Artifact paths the process should still write if it exits abnormally.
+/// Empty members are skipped. register_artifact_flush() installs (once)
+/// a std::atexit hook plus SIGINT/SIGTERM handlers that write the trace
+/// and metrics files and flush the log streams, unless
+/// mark_artifacts_flushed() ran first (the normal-exit path). The signal
+/// path is best-effort by design: writing JSON is not async-signal-safe,
+/// but a mostly-written artifact from a dying run beats an empty one.
+struct ArtifactPaths {
+  std::string trace_path;
+  std::string metrics_path;
+};
+
+void register_artifact_flush(ArtifactPaths paths);
+void mark_artifacts_flushed();
+
+/// Forces the registered artifacts out immediately (no-op when nothing is
+/// registered or they were already flushed). Returns true if files were
+/// written. Exposed for the exit-flush tests; the handlers call this.
+bool flush_artifacts_now();
+
+/// Background interval logger for long trainings: every `interval_s`
+/// seconds emits one GANSEC_LOG_INFO("progress", ...) line with the
+/// training iteration count, iterations/s and samples/s since the last
+/// tick, and the p50 of the D/G loss histograms. Reads metrics only —
+/// never perturbs any computation. The thread stops in the destructor.
+class ProgressReporter {
+ public:
+  explicit ProgressReporter(double interval_s);
+  ~ProgressReporter();
+
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace gansec::obs

@@ -24,6 +24,11 @@ std::string format_training_curve(const std::vector<gan::TrainRecord>& history,
 /// Per-condition summary of one Algorithm 3 run.
 std::string format_likelihood_summary(const LikelihoodResult& result);
 
+/// One complete JSON value for a run report's "results" section:
+/// per-condition mean correct/incorrect likelihoods and margins, the
+/// analyzed feature indices, and the most-leaky condition index.
+std::string likelihood_to_json(const LikelihoodResult& result);
+
 std::string format_confidentiality(const ConfidentialityReport& report);
 
 std::string format_detection(const DetectionReport& report);

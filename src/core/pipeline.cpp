@@ -50,6 +50,37 @@ GanSecPipeline::GanSecPipeline(PipelineConfig config)
   }
 }
 
+void GanSecPipeline::describe(obs::RunReport& report) const {
+  report.add_config("samples_per_condition",
+                    static_cast<std::uint64_t>(
+                        config_.dataset.samples_per_condition));
+  report.add_config("bins", static_cast<std::uint64_t>(config_.dataset.bins));
+  report.add_config("window_s", config_.dataset.window_s);
+  report.add_config("iterations",
+                    static_cast<std::uint64_t>(config_.train.iterations));
+  report.add_config("batch_size",
+                    static_cast<std::uint64_t>(config_.train.batch_size));
+  report.add_config("discriminator_steps",
+                    static_cast<std::uint64_t>(
+                        config_.train.discriminator_steps));
+  report.add_config("parzen_h", config_.likelihood.parzen_h);
+  report.add_config("train_fraction", config_.train_fraction);
+  report.add_config("noise_dim",
+                    static_cast<std::uint64_t>(config_.noise_dim));
+  report.add_config("threads",
+                    static_cast<std::uint64_t>(
+                        resolved_threads(config_.execution)));
+  report.add_config("deterministic", config_.execution.deterministic);
+  // The derived seeds mirror run(): model init, trainer stream, analyzer
+  // stream, confidentiality stream.
+  report.add_seed("pipeline", config_.seed);
+  report.add_seed("dataset", config_.dataset.seed);
+  report.add_seed("model_init", config_.seed);
+  report.add_seed("trainer", config_.seed ^ 0x7EA1);
+  report.add_seed("likelihood", config_.seed ^ 0xA3);
+  report.add_seed("confidentiality", config_.seed ^ 0xC0);
+}
+
 gan::CganTopology GanSecPipeline::topology() const {
   gan::CganTopology topo;
   topo.data_dim = config_.dataset.bins;

@@ -1,6 +1,7 @@
 #include "gansec/gan/trainer.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "gansec/error.hpp"
@@ -51,6 +52,23 @@ obs::Histogram& d_fake_histogram() {
 obs::Counter& iterations_counter() {
   static obs::Counter& c = obs::counter("gan.train.iterations");
   return c;
+}
+
+// Training-set rows consumed (batch per discriminator step + generator
+// step); the CLI's --progress reporter derives samples/s from this.
+obs::Counter& samples_counter() {
+  static obs::Counter& c = obs::counter("gan.train.samples");
+  return c;
+}
+
+// Per-iteration wall clock in microseconds; the run report's histogram
+// summary turns this into p50/p95/p99 iteration latency.
+obs::Histogram& iter_us_histogram() {
+  static obs::Histogram& h = obs::histogram(
+      "gan.train.iter_us",
+      {50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0, 25000.0,
+       50000.0, 100000.0, 250000.0, 1000000.0});
+  return h;
 }
 
 double mean_log(const Matrix& probs) {
@@ -140,6 +158,7 @@ void CganTrainer::train_iterations(const Matrix& samples,
   GANSEC_SPAN("gan.train");
   for (std::size_t it = 0; it < count; ++it) {
     GANSEC_SPAN("gan.iteration");
+    const auto iter_start = std::chrono::steady_clock::now();
     TrainRecord record;
     record.iteration = ++iterations_done_;
     // Algorithm 2, lines 4-8: k discriminator ascent steps.
@@ -157,6 +176,12 @@ void CganTrainer::train_iterations(const Matrix& samples,
     series_d_loss_->append(step, record.d_loss);
     series_g_loss_->append(step, record.g_loss);
     iterations_counter().add();
+    samples_counter().add(config_.batch_size *
+                          (config_.discriminator_steps + 1));
+    iter_us_histogram().observe(
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - iter_start)
+            .count());
     GANSEC_LOG_TRACE("gan.train.iteration", {"scope", config_.metrics_scope},
                      {"iter", record.iteration}, {"g_loss", record.g_loss},
                      {"d_loss", record.d_loss},

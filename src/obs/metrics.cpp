@@ -100,14 +100,103 @@ void Histogram::reset() {
              std::memory_order_relaxed);
 }
 
+double histogram_percentile(const Histogram::Snapshot& snapshot, double q) {
+  if (q < 0.0 || q > 1.0) {
+    throw InvalidArgumentError("histogram_percentile: q must be in [0,1]");
+  }
+  if (snapshot.count == 0) return 0.0;
+  if (q <= 0.0) return snapshot.min;
+  if (q >= 1.0) return snapshot.max;
+  // Rank of the target observation (1-based, linear between neighbors).
+  const double target = q * static_cast<double>(snapshot.count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < snapshot.counts.size(); ++b) {
+    const std::uint64_t in_bucket = snapshot.counts[b];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      // Interpolate inside bucket b, whose value range is
+      // [bounds[b-1], bounds[b]) — clamped to the observed min/max so the
+      // open-ended first and overflow buckets stay finite.
+      double lo = b == 0 ? snapshot.min : snapshot.bounds[b - 1];
+      double hi = b == snapshot.bounds.size() ? snapshot.max
+                                              : snapshot.bounds[b];
+      lo = std::max(lo, snapshot.min);
+      hi = std::min(hi, snapshot.max);
+      if (hi <= lo) return lo;
+      const double fraction =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::min(fraction, 1.0);
+    }
+    cumulative += in_bucket;
+  }
+  return snapshot.max;
+}
+
+HistogramSummary summarize(const Histogram::Snapshot& snapshot) {
+  HistogramSummary summary;
+  summary.count = snapshot.count;
+  if (snapshot.count == 0) return summary;
+  summary.sum = snapshot.sum;
+  summary.mean = snapshot.sum / static_cast<double>(snapshot.count);
+  summary.min = snapshot.min;
+  summary.max = snapshot.max;
+  summary.p50 = histogram_percentile(snapshot, 0.50);
+  summary.p95 = histogram_percentile(snapshot, 0.95);
+  summary.p99 = histogram_percentile(snapshot, 0.99);
+  return summary;
+}
+
+namespace {
+
+std::atomic<std::size_t> g_default_series_capacity{65536};
+
+// Process-wide count of ring-buffer overwrites across every series.
+// Resolved lazily (and outside any Series mutex — the registry lock and a
+// series lock must never be acquired in inverted order).
+Counter& series_dropped_counter() {
+  static Counter& c = counter("obs.series.dropped_points");
+  return c;
+}
+
+}  // namespace
+
+void set_default_series_capacity(std::size_t capacity) {
+  if (capacity == 0) {
+    throw InvalidArgumentError(
+        "set_default_series_capacity: capacity must be positive");
+  }
+  g_default_series_capacity.store(capacity, std::memory_order_relaxed);
+}
+
+std::size_t default_series_capacity() {
+  return g_default_series_capacity.load(std::memory_order_relaxed);
+}
+
+Series::Series() : capacity_(default_series_capacity()) {}
+
 void Series::append(double step, double value) {
+  Counter& dropped_metric = series_dropped_counter();
   const std::lock_guard<std::mutex> lock(mu_);
-  points_.emplace_back(step, value);
+  if (points_.size() < capacity_) {
+    points_.emplace_back(step, value);
+    return;
+  }
+  points_[head_] = {step, value};
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+  dropped_metric.add();
 }
 
 std::vector<std::pair<double, double>> Series::points() const {
   const std::lock_guard<std::mutex> lock(mu_);
-  return points_;
+  std::vector<std::pair<double, double>> out;
+  out.reserve(points_.size());
+  out.insert(out.end(), points_.begin() + static_cast<std::ptrdiff_t>(head_),
+             points_.end());
+  out.insert(out.end(), points_.begin(),
+             points_.begin() + static_cast<std::ptrdiff_t>(head_));
+  return out;
 }
 
 std::size_t Series::size() const {
@@ -115,9 +204,46 @@ std::size_t Series::size() const {
   return points_.size();
 }
 
+std::uint64_t Series::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::size_t Series::capacity() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void Series::linearize_locked() {
+  if (head_ == 0) return;
+  std::rotate(points_.begin(),
+              points_.begin() + static_cast<std::ptrdiff_t>(head_),
+              points_.end());
+  head_ = 0;
+}
+
+void Series::set_capacity(std::size_t capacity) {
+  if (capacity == 0) {
+    throw InvalidArgumentError("Series: capacity must be positive");
+  }
+  Counter& dropped_metric = series_dropped_counter();
+  const std::lock_guard<std::mutex> lock(mu_);
+  linearize_locked();
+  if (points_.size() > capacity) {
+    const std::size_t excess = points_.size() - capacity;
+    points_.erase(points_.begin(),
+                  points_.begin() + static_cast<std::ptrdiff_t>(excess));
+    dropped_ += excess;
+    dropped_metric.add(excess);
+  }
+  capacity_ = capacity;
+}
+
 void Series::reset() {
   const std::lock_guard<std::mutex> lock(mu_);
   points_.clear();
+  head_ = 0;
+  dropped_ = 0;
 }
 
 MetricsRegistry& MetricsRegistry::instance() {
@@ -182,10 +308,15 @@ std::string MetricsRegistry::to_json() const {
   for (std::size_t i = 0; i < histograms_.size(); ++i) {
     if (i != 0) os << ',';
     const Histogram::Snapshot snap = histograms_[i].second->snapshot();
+    const HistogramSummary summary = summarize(snap);
     os << '"' << json_escape(histograms_[i].first) << "\":{";
     os << "\"count\":" << snap.count << ",\"sum\":" << json_number(snap.sum)
        << ",\"min\":" << json_number(snap.min)
-       << ",\"max\":" << json_number(snap.max) << ",\"bounds\":[";
+       << ",\"max\":" << json_number(snap.max)
+       << ",\"mean\":" << json_number(summary.mean)
+       << ",\"p50\":" << json_number(summary.p50)
+       << ",\"p95\":" << json_number(summary.p95)
+       << ",\"p99\":" << json_number(summary.p99) << ",\"bounds\":[";
     for (std::size_t b = 0; b < snap.bounds.size(); ++b) {
       if (b != 0) os << ',';
       os << json_number(snap.bounds[b]);

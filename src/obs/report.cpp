@@ -1,0 +1,368 @@
+#include "gansec/obs/report.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "gansec/error.hpp"
+#include "gansec/obs/json.hpp"
+#include "gansec/obs/log.hpp"
+#include "gansec/obs/metrics.hpp"
+#include "gansec/obs/trace.hpp"
+#include "gansec/version.hpp"
+
+// Build provenance is injected by src/obs/CMakeLists.txt; the fallbacks
+// keep non-CMake builds (IDE indexers, single-file checks) compiling.
+#ifndef GANSEC_BUILD_GIT_SHA
+#define GANSEC_BUILD_GIT_SHA "unknown"
+#endif
+#ifndef GANSEC_BUILD_TYPE
+#define GANSEC_BUILD_TYPE "unknown"
+#endif
+#ifndef GANSEC_BUILD_COMPILER
+#define GANSEC_BUILD_COMPILER "unknown"
+#endif
+#ifndef GANSEC_BUILD_FLAGS
+#define GANSEC_BUILD_FLAGS ""
+#endif
+
+namespace gansec::obs {
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{kVersionString, GANSEC_BUILD_GIT_SHA,
+                              GANSEC_BUILD_TYPE, GANSEC_BUILD_COMPILER,
+                              GANSEC_BUILD_FLAGS};
+  return info;
+}
+
+std::string build_info_json(const BuildInfo& info) {
+  std::ostringstream os;
+  os << "{\"version\":\"" << json_escape(info.version) << "\",\"git_sha\":\""
+     << json_escape(info.git_sha) << "\",\"build_type\":\""
+     << json_escape(info.build_type) << "\",\"compiler\":\""
+     << json_escape(info.compiler) << "\",\"flags\":\""
+     << json_escape(info.flags) << "\"}";
+  return os.str();
+}
+
+HostInfo host_info() {
+  HostInfo info;
+  char name[256] = {0};
+  if (::gethostname(name, sizeof(name) - 1) == 0) info.hostname = name;
+#if defined(__linux__)
+  info.os = "linux";
+#elif defined(__APPLE__)
+  info.os = "darwin";
+#else
+  info.os = "unknown";
+#endif
+  info.hardware_concurrency = std::thread::hardware_concurrency();
+  return info;
+}
+
+RunReport::RunReport(std::string command) : command_(std::move(command)) {}
+
+void RunReport::set_argv(int argc, const char* const* argv) {
+  argv_.assign(argv, argv + argc);
+}
+
+namespace {
+
+std::string quoted(std::string_view s) {
+  return '"' + json_escape(s) + '"';
+}
+
+}  // namespace
+
+void RunReport::add_config(std::string_view key, double value) {
+  config_.push_back({std::string(key), json_number(value)});
+}
+
+void RunReport::add_config(std::string_view key, std::int64_t value) {
+  config_.push_back({std::string(key), std::to_string(value)});
+}
+
+void RunReport::add_config(std::string_view key, std::uint64_t value) {
+  config_.push_back({std::string(key), std::to_string(value)});
+}
+
+void RunReport::add_config(std::string_view key, bool value) {
+  config_.push_back({std::string(key), value ? "true" : "false"});
+}
+
+void RunReport::add_config(std::string_view key, std::string_view value) {
+  config_.push_back({std::string(key), quoted(value)});
+}
+
+void RunReport::add_seed(std::string_view name, std::uint64_t seed) {
+  seeds_.emplace_back(std::string(name), seed);
+}
+
+void RunReport::add_result(std::string_view key, double value) {
+  results_.push_back({std::string(key), json_number(value)});
+}
+
+void RunReport::add_result_json(std::string_view key,
+                                std::string json_value) {
+  std::string error;
+  if (!json_valid(json_value, &error)) {
+    throw InvalidArgumentError("RunReport::add_result_json(" +
+                               std::string(key) + "): " + error);
+  }
+  results_.push_back({std::string(key), std::move(json_value)});
+}
+
+void RunReport::capture_phases_from_trace() {
+  // Aggregate by span name, keeping first-seen order (== chronological
+  // order of each phase's first occurrence, since trace_events() sorts by
+  // start time).
+  phases_.clear();
+  std::map<std::string_view, std::size_t> index;
+  for (const TraceEvent& event : trace_events()) {
+    const auto [it, inserted] =
+        index.emplace(event.name, phases_.size());
+    if (inserted) phases_.push_back({event.name, 0, 0.0});
+    PhaseEntry& phase = phases_[it->second];
+    phase.count += 1;
+    phase.total_ms += static_cast<double>(event.dur_us) / 1000.0;
+  }
+}
+
+void RunReport::capture_metrics() {
+  metrics_json_ = MetricsRegistry::instance().to_json();
+}
+
+std::string RunReport::to_json() const {
+  const auto unix_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  std::ostringstream os;
+  os << "{\"schema\":" << quoted(kRunReportSchema);
+  os << ",\"command\":" << quoted(command_);
+  os << ",\"created_unix_ms\":" << unix_ms;
+
+  os << ",\"argv\":[";
+  for (std::size_t i = 0; i < argv_.size(); ++i) {
+    if (i != 0) os << ',';
+    os << quoted(argv_[i]);
+  }
+  os << ']';
+
+  os << ",\"build\":" << build_info_json(build_info());
+
+  const HostInfo host = host_info();
+  os << ",\"host\":{\"hostname\":" << quoted(host.hostname)
+     << ",\"os\":" << quoted(host.os)
+     << ",\"hardware_concurrency\":" << host.hardware_concurrency << '}';
+
+  os << ",\"config\":{";
+  for (std::size_t i = 0; i < config_.size(); ++i) {
+    if (i != 0) os << ',';
+    os << quoted(config_[i].key) << ':' << config_[i].json_value;
+  }
+  os << '}';
+
+  os << ",\"seeds\":{";
+  for (std::size_t i = 0; i < seeds_.size(); ++i) {
+    if (i != 0) os << ',';
+    os << quoted(seeds_[i].first) << ':' << seeds_[i].second;
+  }
+  os << '}';
+
+  os << ",\"phases\":[";
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    if (i != 0) os << ',';
+    const PhaseEntry& phase = phases_[i];
+    const double mean_ms =
+        phase.count == 0 ? 0.0
+                         : phase.total_ms / static_cast<double>(phase.count);
+    os << "{\"name\":" << quoted(phase.name) << ",\"count\":" << phase.count
+       << ",\"total_ms\":" << json_number(phase.total_ms)
+       << ",\"mean_ms\":" << json_number(mean_ms) << '}';
+  }
+  os << ']';
+
+  os << ",\"results\":{";
+  for (std::size_t i = 0; i < results_.size(); ++i) {
+    if (i != 0) os << ',';
+    os << quoted(results_[i].key) << ':' << results_[i].json_value;
+  }
+  os << '}';
+
+  os << ",\"metrics\":"
+     << (metrics_json_.empty() ? "null" : metrics_json_);
+  os << '}';
+  return os.str();
+}
+
+void RunReport::write_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw IoError("RunReport: cannot open " + path);
+  os << to_json() << '\n';
+  if (!os) throw IoError("RunReport: write failed for " + path);
+}
+
+// ---------------------------------------------------------------------------
+// Abnormal-termination flush.
+
+namespace {
+
+std::mutex g_flush_mu;
+ArtifactPaths g_flush_paths;
+bool g_flush_registered = false;
+std::atomic<bool> g_flushed{false};
+// Reentrancy guard shared by the atexit and signal paths (a signal can
+// land while atexit runs).
+std::atomic_flag g_flush_in_progress = ATOMIC_FLAG_INIT;
+
+void flush_for_exit() noexcept {
+  // Swallow everything: this runs during teardown, possibly from a signal
+  // handler — an exception or second fault here must not mask the exit.
+  try {
+    flush_artifacts_now();
+  } catch (...) {
+  }
+  std::clog.flush();
+  std::cerr.flush();
+}
+
+extern "C" void gansec_obs_signal_flush(int sig) {
+  flush_for_exit();
+  // Re-deliver with the default disposition so the exit status still says
+  // "killed by signal" to the parent.
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+}  // namespace
+
+bool flush_artifacts_now() {
+  if (g_flushed.load(std::memory_order_acquire)) return false;
+  if (g_flush_in_progress.test_and_set(std::memory_order_acquire)) {
+    return false;
+  }
+  ArtifactPaths paths;
+  {
+    const std::lock_guard<std::mutex> lock(g_flush_mu);
+    paths = g_flush_paths;
+  }
+  bool wrote = false;
+  if (!paths.trace_path.empty()) {
+    try {
+      write_chrome_trace_file(paths.trace_path);
+      wrote = true;
+    } catch (...) {
+    }
+  }
+  if (!paths.metrics_path.empty()) {
+    try {
+      write_metrics_json_file(paths.metrics_path);
+      wrote = true;
+    } catch (...) {
+    }
+  }
+  g_flushed.store(true, std::memory_order_release);
+  g_flush_in_progress.clear(std::memory_order_release);
+  return wrote;
+}
+
+void register_artifact_flush(ArtifactPaths paths) {
+  const std::lock_guard<std::mutex> lock(g_flush_mu);
+  g_flush_paths = std::move(paths);
+  g_flushed.store(false, std::memory_order_release);
+  if (g_flush_registered) return;
+  g_flush_registered = true;
+  std::atexit(flush_for_exit);
+  // Only take over terminating dispositions; leave handlers someone else
+  // installed (test harnesses, debuggers) alone.
+  for (const int sig : {SIGINT, SIGTERM}) {
+    if (std::signal(sig, gansec_obs_signal_flush) != SIG_DFL) {
+      std::signal(sig, SIG_DFL);
+      std::signal(sig, gansec_obs_signal_flush);
+    }
+  }
+}
+
+void mark_artifacts_flushed() {
+  g_flushed.store(true, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// Progress reporter.
+
+struct ProgressReporter::Impl {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool stop = false;
+  double interval_s;
+  std::thread thread;
+
+  explicit Impl(double s) : interval_s(s) {}
+
+  void loop() {
+    Counter& iterations = counter("gan.train.iterations");
+    Counter& samples = counter("gan.train.samples");
+    // Bounds must match the trainer's registrations exactly — the registry
+    // keeps the first registration's bounds, and the reporter may resolve
+    // these before the first training iteration does.
+    Histogram& g_loss = histogram(
+        "gan.train.g_loss", {0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0, 8.0, 16.0});
+    Histogram& d_loss = histogram(
+        "gan.train.d_loss", {0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0, 8.0});
+    std::uint64_t last_iters = iterations.value();
+    std::uint64_t last_samples = samples.value();
+    std::unique_lock<std::mutex> lock(mu);
+    while (!stop) {
+      const auto wait =
+          std::chrono::duration<double>(interval_s);
+      if (cv.wait_for(lock, wait, [this] { return stop; })) break;
+      const std::uint64_t iters = iterations.value();
+      const std::uint64_t processed = samples.value();
+      const double iters_per_s =
+          static_cast<double>(iters - last_iters) / interval_s;
+      const double samples_per_s =
+          static_cast<double>(processed - last_samples) / interval_s;
+      last_iters = iters;
+      last_samples = processed;
+      const HistogramSummary g = summarize(g_loss.snapshot());
+      const HistogramSummary d = summarize(d_loss.snapshot());
+      GANSEC_LOG_INFO("progress", {"iterations", iters},
+                      {"iters_per_s", iters_per_s},
+                      {"samples_per_s", samples_per_s},
+                      {"g_loss_p50", g.p50}, {"d_loss_p50", d.p50});
+    }
+  }
+};
+
+ProgressReporter::ProgressReporter(double interval_s)
+    : impl_(new Impl(interval_s)) {
+  if (!(interval_s > 0.0)) {
+    delete impl_;
+    throw InvalidArgumentError(
+        "ProgressReporter: interval must be positive seconds");
+  }
+  impl_->thread = std::thread([impl = impl_] { impl->loop(); });
+}
+
+ProgressReporter::~ProgressReporter() {
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->cv.notify_all();
+  impl_->thread.join();
+  delete impl_;
+}
+
+}  // namespace gansec::obs

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "gansec/error.hpp"
+#include "gansec/obs/json.hpp"
 
 namespace gansec::security {
 
@@ -73,6 +74,32 @@ std::string format_likelihood_summary(const LikelihoodResult& result) {
   }
   os << "most leaky condition: Cond" << (result.most_leaky_condition() + 1)
      << '\n';
+  return os.str();
+}
+
+std::string likelihood_to_json(const LikelihoodResult& result) {
+  std::ostringstream os;
+  os << "{\"conditions\":[";
+  for (std::size_t c = 0; c < result.condition_count(); ++c) {
+    if (c != 0) os << ',';
+    const double cor = result.mean_correct(c);
+    const double inc = result.mean_incorrect(c);
+    os << "{\"mean_correct\":" << obs::json_number(cor)
+       << ",\"mean_incorrect\":" << obs::json_number(inc)
+       << ",\"margin\":" << obs::json_number(cor - inc) << '}';
+  }
+  os << "],\"feature_indices\":[";
+  for (std::size_t i = 0; i < result.feature_indices.size(); ++i) {
+    if (i != 0) os << ',';
+    os << result.feature_indices[i];
+  }
+  os << "],\"most_leaky_condition\":";
+  if (result.condition_count() == 0) {
+    os << "null";
+  } else {
+    os << result.most_leaky_condition();
+  }
+  os << '}';
   return os.str();
 }
 

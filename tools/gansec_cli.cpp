@@ -11,8 +11,12 @@
 // --window S, --iterations N, --seed N, --h W (Parzen width).
 //
 // Observability flags (all commands): --log-level L, --log-json,
-// --trace-out trace.json, --metrics-out metrics.json. Logs go to stderr;
-// result output stays on stdout, byte-identical at any thread count.
+// --trace-out trace.json, --metrics-out metrics.json,
+// --report-out run.json (schema-versioned run report; implies tracing),
+// --progress S (one progress log line every S seconds). Logs go to
+// stderr; result output stays on stdout, byte-identical at any thread
+// count. An atexit + SIGINT/SIGTERM flusher writes the trace/metrics
+// artifacts even when a run dies early.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -27,6 +31,7 @@
 #include "gansec/error.hpp"
 #include "gansec/obs/log.hpp"
 #include "gansec/obs/metrics.hpp"
+#include "gansec/obs/report.hpp"
 #include "gansec/obs/trace.hpp"
 #include "gansec/security/detector.hpp"
 #include "gansec/security/report.hpp"
@@ -39,13 +44,18 @@ using namespace gansec;
 const std::set<std::string> kFlags = {
     "model", "samples", "bins", "window", "iterations", "seed", "h",
     "scaler", "attack-fraction", "threads", "log-level", "trace-out",
-    "metrics-out"};
+    "metrics-out", "report-out", "progress"};
 
 const std::set<std::string> kBoolFlags = {"log-json"};
 
+core::PipelineConfig config_from(const core::Args& args);
+
 // Installs the observability knobs before the command runs. The log level
 // flag overrides GANSEC_LOG_LEVEL only when present, so the env default
-// still works for flagless runs.
+// still works for flagless runs. --report-out implies tracing (phase
+// wall-clock comes from the span recorder). When any artifact path is
+// given, an atexit + SIGINT/SIGTERM flusher is armed so a run that dies
+// early still leaves its trace/metrics files behind.
 void apply_observability(const core::Args& args) {
   if (args.has("log-level")) {
     obs::set_log_level(obs::parse_log_level(args.get("log-level", "info")));
@@ -53,12 +63,18 @@ void apply_observability(const core::Args& args) {
   if (args.get_bool("log-json", false)) {
     obs::set_log_sink(std::make_shared<obs::JsonLinesSink>(std::clog));
   }
-  if (args.has("trace-out")) {
+  if (args.has("trace-out") || args.has("report-out")) {
     obs::set_tracing(true);
+  }
+  const std::string trace_path = args.get("trace-out", "");
+  const std::string metrics_path = args.get("metrics-out", "");
+  if (!trace_path.empty() || !metrics_path.empty()) {
+    obs::register_artifact_flush({trace_path, metrics_path});
   }
 }
 
-// Writes the trace / metrics artifacts after the command finishes.
+// Writes the trace / metrics artifacts after the command finishes, then
+// disarms the abnormal-exit flusher.
 void finish_observability(const core::Args& args) {
   const std::string trace_path = args.get("trace-out", "");
   if (!trace_path.empty()) {
@@ -71,6 +87,21 @@ void finish_observability(const core::Args& args) {
     obs::write_metrics_json_file(metrics_path);
     GANSEC_LOG_INFO("metrics.written", {"path", metrics_path});
   }
+  obs::mark_artifacts_flushed();
+}
+
+// Echoes the shared dataset/training flags into the report; commands with
+// a pipeline instead call GanSecPipeline::describe() for the full set.
+void describe_common_config(const core::Args& args, obs::RunReport& report) {
+  const core::PipelineConfig config = config_from(args);
+  report.add_config("samples_per_condition",
+                    static_cast<std::uint64_t>(
+                        config.dataset.samples_per_condition));
+  report.add_config("bins",
+                    static_cast<std::uint64_t>(config.dataset.bins));
+  report.add_config("window_s", config.dataset.window_s);
+  report.add_config("parzen_h", config.likelihood.parzen_h);
+  report.add_seed("dataset", config.dataset.seed);
 }
 
 core::PipelineConfig config_from(const core::Args& args) {
@@ -96,12 +127,19 @@ core::PipelineConfig config_from(const core::Args& args) {
   return config;
 }
 
-int cmd_graph() {
+int cmd_graph(obs::RunReport* report) {
   const cpps::Architecture arch = am::make_printer_architecture();
   const cpps::CppsGraph graph(arch);
   const auto pairs = cpps::select_cross_domain_pairs(
       arch,
       cpps::generate_flow_pairs(graph, am::make_printer_historical_data()));
+  if (report != nullptr) {
+    report->add_result("components",
+                       static_cast<double>(arch.components().size()));
+    report->add_result("flows", static_cast<double>(arch.flows().size()));
+    report->add_result("cross_domain_pairs",
+                       static_cast<double>(pairs.size()));
+  }
   std::cout << "architecture: " << arch.name() << " ("
             << arch.components().size() << " components, "
             << arch.flows().size() << " flows)\n";
@@ -115,13 +153,23 @@ int cmd_graph() {
   return 0;
 }
 
-int cmd_train(const core::Args& args) {
+int cmd_train(const core::Args& args, obs::RunReport* report) {
   const std::string model_path = args.get("model", "gansec-model.cgan");
   const std::string scaler_path = args.get("scaler", model_path + ".scaler");
   core::GanSecPipeline pipeline(config_from(args));
   GANSEC_LOG_INFO("cli.train.start", {"model", model_path},
                   {"note", "dataset is generated first"});
   core::PipelineResult result = pipeline.run();
+  if (report != nullptr) {
+    pipeline.describe(*report);
+    report->add_config("model", model_path);
+    report->add_result("g_loss_final", result.history.back().g_loss);
+    report->add_result("d_loss_final", result.history.back().d_loss);
+    report->add_result_json("likelihood",
+                            security::likelihood_to_json(result.likelihood));
+    report->add_result("attacker_accuracy",
+                       result.confidentiality.attacker_accuracy);
+  }
   result.model.save_file(model_path);
   {
     std::ofstream os(scaler_path);
@@ -138,7 +186,7 @@ int cmd_train(const core::Args& args) {
   return 0;
 }
 
-int cmd_analyze(const core::Args& args) {
+int cmd_analyze(const core::Args& args, obs::RunReport* report) {
   const std::string model_path = args.get("model", "gansec-model.cgan");
   gan::Cgan model = gan::Cgan::load_file(model_path);
   core::PipelineConfig config = config_from(args);
@@ -155,16 +203,25 @@ int cmd_analyze(const core::Args& args) {
   security::LikelihoodConfig lik;
   lik.parzen_h = args.get_double("h", 0.2);
   const security::LikelihoodAnalyzer analyzer(lik);
-  std::cout << security::format_likelihood_summary(
-      analyzer.analyze(model, test));
+  const security::LikelihoodResult likelihood = analyzer.analyze(model, test);
+  std::cout << security::format_likelihood_summary(likelihood);
   const security::ConfidentialityAnalyzer conf_analyzer;
-  std::cout << "\n"
-            << security::format_confidentiality(
-                   conf_analyzer.analyze(model, test));
+  const security::ConfidentialityReport conf =
+      conf_analyzer.analyze(model, test);
+  std::cout << "\n" << security::format_confidentiality(conf);
+  if (report != nullptr) {
+    describe_common_config(args, *report);
+    report->add_config("model", model_path);
+    report->add_result_json("likelihood",
+                            security::likelihood_to_json(likelihood));
+    report->add_result("attacker_accuracy", conf.attacker_accuracy);
+    report->add_result("mean_mi", conf.mean_mi);
+    report->add_result("max_mi", conf.max_mi);
+  }
   return 0;
 }
 
-int cmd_detect(const core::Args& args) {
+int cmd_detect(const core::Args& args, obs::RunReport* report) {
   const std::string model_path = args.get("model", "gansec-model.cgan");
   const std::string scaler_path = args.get("scaler", model_path + ".scaler");
   gan::Cgan model = gan::Cgan::load_file(model_path);
@@ -190,19 +247,48 @@ int cmd_detect(const core::Args& args) {
   detector.calibrate(
       injector.generate(25, 0.0, security::AttackKind::kNone));
   const double fraction = args.get_double("attack-fraction", 0.5);
+  if (report != nullptr) {
+    describe_common_config(args, *report);
+    report->add_config("model", model_path);
+    report->add_config("attack_fraction", fraction);
+  }
   for (const auto kind : {security::AttackKind::kIntegrity,
                           security::AttackKind::kAvailability}) {
+    const security::DetectionReport detection =
+        detector.evaluate(injector.generate(20, fraction, kind));
     std::cout << "\n" << security::attack_name(kind) << " attacks:\n"
-              << security::format_detection(
-                     detector.evaluate(injector.generate(20, fraction,
-                                                         kind)));
+              << security::format_detection(detection);
+    if (report != nullptr) {
+      const std::string prefix =
+          std::string("detect.") + security::attack_name(kind);
+      report->add_result(prefix + ".accuracy", detection.accuracy);
+      report->add_result(prefix + ".auc", detection.auc);
+      report->add_result(prefix + ".tpr", detection.true_positive_rate);
+      report->add_result(prefix + ".fpr", detection.false_positive_rate);
+    }
   }
   return 0;
 }
 
-int cmd_sweep(const core::Args& args) {
+int cmd_sweep(const core::Args& args, obs::RunReport* report) {
   core::GanSecPipeline pipeline(config_from(args));
   const core::FlowPairSweep sweep = pipeline.run_flow_pairs();
+  if (report != nullptr) {
+    pipeline.describe(*report);
+    report->add_result("pairs",
+                       static_cast<double>(sweep.outcomes.size()));
+    report->add_result("most_leaky_pair",
+                       static_cast<double>(sweep.most_leaky_pair()));
+    for (std::size_t i = 0; i < sweep.outcomes.size(); ++i) {
+      const security::LikelihoodResult& lik = sweep.outcomes[i].likelihood;
+      double margin = 0.0;
+      for (std::size_t c = 0; c < lik.condition_count(); ++c) {
+        margin += lik.mean_correct(c) - lik.mean_incorrect(c);
+      }
+      margin /= static_cast<double>(lik.condition_count());
+      report->add_result("pair." + std::to_string(i) + ".margin", margin);
+    }
+  }
   std::cout << "flow-pair sweep: " << sweep.outcomes.size()
             << " cross-domain pairs, one CGAN each\n";
   std::cout << "pair  margin      Pr(F_j | F_i)\n";
@@ -242,7 +328,12 @@ int usage() {
                "       --log-level trace|debug|info|warn|error|off\n"
                "       --log-json                JSON-lines logs on stderr\n"
                "       --trace-out trace.json    chrome://tracing spans\n"
-               "       --metrics-out m.json      metrics registry snapshot\n";
+               "       --metrics-out m.json      metrics registry snapshot\n"
+               "       --report-out run.json     schema-versioned run report\n"
+               "                                 (seeds, config, git SHA,\n"
+               "                                 phase times, percentiles)\n"
+               "       --progress S              progress log line every S\n"
+               "                                 seconds during training\n";
   return 2;
 }
 
@@ -254,19 +345,39 @@ int main(int argc, char** argv) {
     const std::string command = argv[1];
     const core::Args args(argc - 2, argv + 2, kFlags, kBoolFlags);
     apply_observability(args);
+
+    const std::string report_path = args.get("report-out", "");
+    std::unique_ptr<obs::RunReport> report;
+    if (!report_path.empty()) {
+      report = std::make_unique<obs::RunReport>(command);
+      report->set_argv(argc - 1, argv + 1);
+    }
+    std::unique_ptr<obs::ProgressReporter> progress;
+    if (args.has("progress")) {
+      progress = std::make_unique<obs::ProgressReporter>(
+          args.get_double("progress", 10.0));
+    }
+
     int rc = 2;
     if (command == "graph") {
-      rc = cmd_graph();
+      rc = cmd_graph(report.get());
     } else if (command == "train") {
-      rc = cmd_train(args);
+      rc = cmd_train(args, report.get());
     } else if (command == "analyze") {
-      rc = cmd_analyze(args);
+      rc = cmd_analyze(args, report.get());
     } else if (command == "detect") {
-      rc = cmd_detect(args);
+      rc = cmd_detect(args, report.get());
     } else if (command == "sweep") {
-      rc = cmd_sweep(args);
+      rc = cmd_sweep(args, report.get());
     } else {
       return usage();
+    }
+    progress.reset();
+    if (report != nullptr) {
+      report->capture_phases_from_trace();
+      report->capture_metrics();
+      report->write_file(report_path);
+      GANSEC_LOG_INFO("report.written", {"path", report_path});
     }
     finish_observability(args);
     return rc;
