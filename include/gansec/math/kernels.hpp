@@ -66,6 +66,8 @@ void slice_cols_into(Matrix& out, const Matrix& src, std::size_t c_begin,
 /// Copies src into out (capacity-reusing; equivalent to out = src).
 void copy_into(Matrix& out, const Matrix& src);
 
+// gansec-lint: hot-path
+
 /// out[i] = fn(in[i]) for every element, index-ascending. `out` may alias
 /// `in`. The functor is a template parameter, not std::function, so the
 /// per-element call inlines — this replaces Matrix::map/apply on hot paths.
@@ -85,5 +87,7 @@ void transform_in_place(Matrix& m, Fn&& fn) {
   const std::size_t n = m.size();
   for (std::size_t i = 0; i < n; ++i) dst[i] = fn(dst[i]);
 }
+
+// gansec-lint: end-hot-path
 
 }  // namespace gansec::math

@@ -47,35 +47,41 @@ std::int64_t Args::get_int(const std::string& flag,
                            std::int64_t fallback) const {
   const auto it = values_.find(flag);
   if (it == values_.end()) return fallback;
+  std::size_t consumed = 0;
+  std::int64_t value = 0;
+  bool parsed = false;
   try {
-    std::size_t consumed = 0;
-    const std::int64_t value = std::stoll(it->second, &consumed);
-    if (consumed != it->second.size()) {
-      throw std::invalid_argument("trailing junk");
-    }
-    return value;
+    value = std::stoll(it->second, &consumed);
+    parsed = consumed == it->second.size();  // reject trailing junk
   } catch (const std::exception&) {
+    parsed = false;
+  }
+  if (!parsed) {
     throw InvalidArgumentError("Args: flag --" + flag +
                                " expects an integer, got '" + it->second +
                                "'");
   }
+  return value;
 }
 
 double Args::get_double(const std::string& flag, double fallback) const {
   const auto it = values_.find(flag);
   if (it == values_.end()) return fallback;
+  std::size_t consumed = 0;
+  double value = 0.0;
+  bool parsed = false;
   try {
-    std::size_t consumed = 0;
-    const double value = std::stod(it->second, &consumed);
-    if (consumed != it->second.size()) {
-      throw std::invalid_argument("trailing junk");
-    }
-    return value;
+    value = std::stod(it->second, &consumed);
+    parsed = consumed == it->second.size();  // reject trailing junk
   } catch (const std::exception&) {
+    parsed = false;
+  }
+  if (!parsed) {
     throw InvalidArgumentError("Args: flag --" + flag +
                                " expects a number, got '" + it->second +
                                "'");
   }
+  return value;
 }
 
 bool Args::get_bool(const std::string& flag, bool fallback) const {

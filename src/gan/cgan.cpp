@@ -108,6 +108,8 @@ Matrix Cgan::generate(const Matrix& conditions, math::Rng& rng) {
   return generate_view(conditions, rng);
 }
 
+// gansec-lint: hot-path
+
 const Matrix& Cgan::generate_view(const Matrix& conditions, math::Rng& rng) {
   validate_conditions(conditions, "generate");
   auto& ws = math::Workspace::local();
@@ -119,6 +121,8 @@ const Matrix& Cgan::generate_view(const Matrix& conditions, math::Rng& rng) {
   math::hstack_into(g_in, z, conditions);
   return generator_.forward(g_in, /*training=*/false);
 }
+
+// gansec-lint: end-hot-path
 
 Matrix Cgan::generate_for_condition(const Matrix& condition,
                                     std::size_t count, math::Rng& rng) {

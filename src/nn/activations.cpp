@@ -23,6 +23,8 @@ void require_same_shape(const Matrix& grad, const Matrix& cached,
 
 // ---- Relu -----------------------------------------------------------------
 
+// gansec-lint: hot-path
+
 const Matrix& Relu::forward(const Matrix& input, bool /*training*/) {
   math::transform_into(out_, input,
                        [](float v) { return v > 0.0F ? v : 0.0F; });
@@ -40,6 +42,8 @@ const Matrix& Relu::backward(const Matrix& grad_output) {
   return grad_in_;
 }
 
+// gansec-lint: end-hot-path
+
 std::unique_ptr<Layer> Relu::clone() const {
   return std::make_unique<Relu>();
 }
@@ -51,6 +55,8 @@ LeakyRelu::LeakyRelu(float negative_slope) : slope_(negative_slope) {
     throw InvalidArgumentError("LeakyRelu: slope must be >= 0");
   }
 }
+
+// gansec-lint: hot-path
 
 const Matrix& LeakyRelu::forward(const Matrix& input, bool /*training*/) {
   const float s = slope_;
@@ -71,11 +77,15 @@ const Matrix& LeakyRelu::backward(const Matrix& grad_output) {
   return grad_in_;
 }
 
+// gansec-lint: end-hot-path
+
 std::unique_ptr<Layer> LeakyRelu::clone() const {
   return std::make_unique<LeakyRelu>(slope_);
 }
 
 // ---- Tanh -------------------------------------------------------------------
+
+// gansec-lint: hot-path
 
 const Matrix& Tanh::forward(const Matrix& input, bool /*training*/) {
   math::transform_into(out_, input, [](float v) { return std::tanh(v); });
@@ -92,11 +102,15 @@ const Matrix& Tanh::backward(const Matrix& grad_output) {
   return grad_in_;
 }
 
+// gansec-lint: end-hot-path
+
 std::unique_ptr<Layer> Tanh::clone() const {
   return std::make_unique<Tanh>();
 }
 
 // ---- Sigmoid ----------------------------------------------------------------
+
+// gansec-lint: hot-path
 
 const Matrix& Sigmoid::forward(const Matrix& input, bool /*training*/) {
   math::transform_into(out_, input, [](float v) {
@@ -120,6 +134,8 @@ const Matrix& Sigmoid::backward(const Matrix& grad_output) {
   }
   return grad_in_;
 }
+
+// gansec-lint: end-hot-path
 
 std::unique_ptr<Layer> Sigmoid::clone() const {
   return std::make_unique<Sigmoid>();

@@ -27,6 +27,8 @@ BatchNorm::BatchNorm(std::size_t features, float momentum, float eps)
   }
 }
 
+// gansec-lint: hot-path
+
 const Matrix& BatchNorm::forward(const Matrix& input, bool training) {
   if (input.cols() != features()) {
     throw DimensionError("BatchNorm::forward: feature width mismatch");
@@ -122,6 +124,8 @@ const Matrix& BatchNorm::backward(const Matrix& grad_output) {
   }
   return grad_in_;
 }
+
+// gansec-lint: end-hot-path
 
 std::vector<Parameter*> BatchNorm::parameters() {
   return {&gamma_, &beta_};

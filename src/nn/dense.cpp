@@ -18,6 +18,10 @@ Dense::Dense(std::size_t inputs, std::size_t outputs, InitScheme scheme)
   }
 }
 
+// Forward/backward run once per training iteration on buffers owned by the
+// layer; after warm-up every resize lands in existing capacity.
+// gansec-lint: hot-path
+
 const Matrix& Dense::forward(const Matrix& input, bool /*training*/) {
   if (input.cols() != inputs()) {
     throw DimensionError("Dense::forward: input width " +
@@ -46,6 +50,8 @@ const Matrix& Dense::backward(const Matrix& grad_output) {
   math::matmul_transposed_b_into(grad_in_, grad_output, weight_.value);
   return grad_in_;
 }
+
+// gansec-lint: end-hot-path
 
 std::vector<Parameter*> Dense::parameters() { return {&weight_, &bias_}; }
 

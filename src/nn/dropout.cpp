@@ -14,6 +14,8 @@ Dropout::Dropout(float rate, std::uint64_t seed)
   }
 }
 
+// gansec-lint: hot-path
+
 const Matrix& Dropout::forward(const Matrix& input, bool training) {
   last_training_ = training;
   if (!training || rate_ == 0.0F) {
@@ -40,6 +42,8 @@ const Matrix& Dropout::backward(const Matrix& grad_output) {
   math::hadamard_into(grad_in_, grad_output, last_mask_);
   return grad_in_;
 }
+
+// gansec-lint: end-hot-path
 
 std::unique_ptr<Layer> Dropout::clone() const {
   return std::make_unique<Dropout>(rate_, seed_);

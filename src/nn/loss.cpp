@@ -23,6 +23,11 @@ void require_match(const Matrix& p, const Matrix& t, const char* fn) {
 
 }  // namespace
 
+// value() and gradient_into() run every training iteration. The
+// Matrix-returning gradient() wrappers allocate by design and are the
+// cold-path convenience API, so they sit outside the hot regions.
+// gansec-lint: hot-path
+
 double BinaryCrossEntropy::value(const Matrix& predictions,
                                  const Matrix& targets) const {
   require_match(predictions, targets, "BinaryCrossEntropy::value");
@@ -37,12 +42,16 @@ double BinaryCrossEntropy::value(const Matrix& predictions,
   return acc / static_cast<double>(predictions.size());
 }
 
+// gansec-lint: end-hot-path
+
 Matrix BinaryCrossEntropy::gradient(const Matrix& predictions,
                                     const Matrix& targets) const {
   Matrix grad;
   gradient_into(grad, predictions, targets);
   return grad;
 }
+
+// gansec-lint: hot-path
 
 void BinaryCrossEntropy::gradient_into(Matrix& out, const Matrix& predictions,
                                        const Matrix& targets) const {
@@ -55,6 +64,8 @@ void BinaryCrossEntropy::gradient_into(Matrix& out, const Matrix& predictions,
     out.data()[i] = (p - t) / (p * (1.0F - p)) / n;
   }
 }
+
+// gansec-lint: end-hot-path
 
 Matrix softmax_rows(const Matrix& logits) {
   if (logits.empty()) {
@@ -101,6 +112,8 @@ Matrix SoftmaxCrossEntropy::gradient(const Matrix& logits,
   return grad;
 }
 
+// gansec-lint: hot-path
+
 double MeanSquaredError::value(const Matrix& predictions,
                                const Matrix& targets) const {
   require_match(predictions, targets, "MeanSquaredError::value");
@@ -113,12 +126,16 @@ double MeanSquaredError::value(const Matrix& predictions,
   return acc / static_cast<double>(predictions.size());
 }
 
+// gansec-lint: end-hot-path
+
 Matrix MeanSquaredError::gradient(const Matrix& predictions,
                                   const Matrix& targets) const {
   Matrix grad;
   gradient_into(grad, predictions, targets);
   return grad;
 }
+
+// gansec-lint: hot-path
 
 void MeanSquaredError::gradient_into(Matrix& out, const Matrix& predictions,
                                      const Matrix& targets) const {
@@ -130,5 +147,7 @@ void MeanSquaredError::gradient_into(Matrix& out, const Matrix& predictions,
         (predictions.data()[i] - targets.data()[i]) * scale;
   }
 }
+
+// gansec-lint: end-hot-path
 
 }  // namespace gansec::nn

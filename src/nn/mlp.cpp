@@ -14,6 +14,8 @@ Layer& Mlp::add(std::unique_ptr<Layer> layer) {
   return *layers_.back();
 }
 
+// gansec-lint: hot-path
+
 const Matrix& Mlp::forward(const Matrix& input, bool training) {
   if (layers_.empty()) {
     throw InvalidArgumentError("Mlp::forward: network has no layers");
@@ -35,6 +37,8 @@ const Matrix& Mlp::backward(const Matrix& grad_output) {
   }
   return *g;
 }
+
+// gansec-lint: end-hot-path
 
 std::vector<Parameter*> Mlp::parameters() {
   std::vector<Parameter*> out;

@@ -231,7 +231,7 @@ void flush_for_exit() noexcept {
   // handler — an exception or second fault here must not mask the exit.
   try {
     flush_artifacts_now();
-  } catch (...) {
+  } catch (...) {  // gansec-lint: allow(error-swallow)
   }
   std::clog.flush();
   std::cerr.flush();
@@ -258,18 +258,20 @@ bool flush_artifacts_now() {
     paths = g_flush_paths;
   }
   bool wrote = false;
+  // Both writes are best-effort by design: a failed artifact on the way
+  // out must not abort teardown or mask the real exit status.
   if (!paths.trace_path.empty()) {
     try {
       write_chrome_trace_file(paths.trace_path);
       wrote = true;
-    } catch (...) {
+    } catch (...) {  // gansec-lint: allow(error-swallow)
     }
   }
   if (!paths.metrics_path.empty()) {
     try {
       write_metrics_json_file(paths.metrics_path);
       wrote = true;
-    } catch (...) {
+    } catch (...) {  // gansec-lint: allow(error-swallow)
     }
   }
   g_flushed.store(true, std::memory_order_release);

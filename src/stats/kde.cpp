@@ -52,6 +52,10 @@ ParzenScorer::ParzenScorer(const double* samples, std::size_t count,
   }
 }
 
+// Called once per query point per condition in Algorithm 3's scoring loop;
+// the two-pass logsumexp exists precisely to avoid an exponent buffer.
+// gansec-lint: hot-path
+
 double ParzenScorer::log_density(double x) const {
   if (!std::isfinite(x)) {
     throw NumericError("ParzenKde::log_density: non-finite query");
@@ -96,6 +100,8 @@ double ParzenScorer::density(double x) const {
 double ParzenScorer::scaled_likelihood(double x) const {
   return density(x) * h_;
 }
+
+// gansec-lint: end-hot-path
 
 ParzenKde::ParzenKde(std::vector<double> samples, double bandwidth)
     : samples_(std::move(samples)),

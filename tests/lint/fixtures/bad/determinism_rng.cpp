@@ -1,0 +1,16 @@
+// Fixture: every banned nondeterminism source. Expected:
+// determinism-rng at lines 10, 11, 12, 13.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+inline unsigned bad_entropy() {
+  std::random_device rd;
+  std::srand(rd());
+  const int noise = rand();
+  return static_cast<unsigned>(std::time(nullptr)) + noise;
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: iterating an unordered container (range-for and explicit
+// iterators). Expected: determinism-unordered at lines 11, 14.
+#include <unordered_map>
+
+namespace fixture {
+
+inline int bad_iteration() {
+  std::unordered_map<int, int> counts;
+  counts[1] = 2;
+  int total = 0;
+  for (const auto& kv : counts) total += kv.second;
+  // Explicit iterator form is just as order-dependent.
+  int first = 0;
+  auto it = counts.begin();
+  if (it != counts.end()) first = it->second;
+  return total + first;
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: malformed directives. Expected: lint-directive at lines
+// 7 (unknown directive), 9 (allow of an unknown rule), 11 (end without
+// begin), plus line 13 (hot-path never closed).
+#include <cstddef>
+
+namespace fixture {
+// gansec-lint: frobnicate
+
+// gansec-lint: allow(not-a-rule)
+inline std::size_t noop() { return 0; }
+// gansec-lint: end-hot-path
+
+// gansec-lint: hot-path
+inline std::size_t still_open() { return 1; }
+
+}  // namespace fixture

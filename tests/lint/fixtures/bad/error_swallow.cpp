@@ -1,0 +1,15 @@
+// Fixture: catch (...) with no rethrow/capture swallows the error.
+// Expected: error-swallow at line 10.
+#include "gansec/error.hpp"
+
+namespace fixture {
+
+inline int swallow(int (*risky)()) {
+  try {
+    return risky();
+  } catch (...) {
+    return -1;
+  }
+}
+
+}  // namespace fixture

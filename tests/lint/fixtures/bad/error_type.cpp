@@ -1,0 +1,12 @@
+// Fixture: library code must throw gansec::Error subclasses.
+// Expected: error-type at lines 8, 9.
+#include <stdexcept>
+
+namespace fixture {
+
+inline void bad_throws(int which) {
+  if (which == 0) throw std::runtime_error("fixture: boom");
+  if (which == 1) throw "fixture: a string literal is not an error type";
+}
+
+}  // namespace fixture

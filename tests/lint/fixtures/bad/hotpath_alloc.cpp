@@ -1,0 +1,20 @@
+// Fixture: every flavor of hot-path allocation the lint must catch.
+// Expected: hotpath-alloc at lines 10, 11, 12, 13.
+#include <cstdlib>
+#include <vector>
+
+namespace fixture {
+
+// gansec-lint: hot-path
+inline float* bad_alloc_calls(std::vector<float>& sink) {
+  float* raw = new float[16];
+  void* c = std::malloc(64);
+  std::vector<float> local(16, 0.0F);
+  sink.push_back(1.0F);
+  static_cast<void>(c);
+  static_cast<void>(local);
+  return raw;
+}
+// gansec-lint: end-hot-path
+
+}  // namespace fixture

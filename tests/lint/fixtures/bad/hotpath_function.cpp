@@ -1,0 +1,13 @@
+// Fixture: std::function on a hot path (type-erased calls allocate and
+// cannot inline). Expected: hotpath-function at line 8.
+#include <functional>
+
+namespace fixture {
+
+// gansec-lint: hot-path
+inline float apply(const std::function<float(float)>& fn, float v) {
+  return fn(v);
+}
+// gansec-lint: end-hot-path
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: allocating Matrix value calls where a `_into` kernel exists.
+// Expected: hotpath-kernel at lines 9, 10.
+#include "gansec/math/matrix.hpp"
+
+namespace fixture {
+
+// gansec-lint: hot-path
+inline gansec::math::Matrix bad(const gansec::math::Matrix& a) {
+  gansec::math::Matrix t = a.transposed();
+  return gansec::math::Matrix::matmul(a, t);
+}
+// gansec-lint: end-hot-path
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: literal names that are not dot-namespaced lowercase.
+// Expected: obs-name-format at lines 8, 9.
+#include "gansec/obs/metrics.hpp"
+
+namespace fixture {
+
+inline void record() {
+  obs::counter("FixtureHits").add();
+  obs::gauge("nodots").set(1.0);
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: a metric name built at runtime defeats the manifest
+// cross-check. Expected: obs-name-literal at line 8.
+#include "gansec/obs/metrics.hpp"
+
+namespace fixture {
+
+inline void record(const std::string& scope) {
+  obs::counter(scope + ".hits").add();
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: a well-formed registration that the manifest does not list.
+// Expected (with fixtures/manifest_good.txt): obs-manifest at line 8.
+#include "gansec/obs/metrics.hpp"
+
+namespace fixture {
+
+inline void record() {
+  obs::gauge("fixture.unlisted.depth").set(3.0);
+}
+
+}  // namespace fixture

@@ -1,0 +1,5 @@
+// Fixture: module nn (layer 3) including gan (layer 4) is an upward edge.
+// Expected: layering at line 3.
+#include "gansec/gan/cgan.hpp"
+
+int fixture_layering_upward() { return 0; }

@@ -1,0 +1,5 @@
+// Fixture: stats and nn share layer 3; lateral includes are forbidden.
+// Expected: layering at line 3.
+#include "gansec/nn/mlp.hpp"
+
+int fixture_layering_lateral() { return 0; }

@@ -1,0 +1,6 @@
+// Fixture: half of an alpha -> beta -> alpha include cycle between two
+// modules the DAG does not know (unknown modules skip the layer check but
+// still feed cycle detection). Expected (with b.cpp): layer-cycle.
+#include "gansec/beta/b.hpp"
+
+int fixture_cycle_a() { return 0; }

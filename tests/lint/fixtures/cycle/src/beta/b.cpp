@@ -1,0 +1,4 @@
+// Fixture: second half of the alpha <-> beta cycle.
+#include "gansec/alpha/a.hpp"
+
+int fixture_cycle_b() { return 0; }

@@ -1,0 +1,9 @@
+// Fixture: randomness derived from the run seed (math::Rng) is the
+// compliant pattern. Expected diagnostics: none.
+#include "gansec/math/rng.hpp"
+
+namespace fixture {
+
+inline float draw(gansec::math::Rng& rng) { return rng.uniform(0.0F, 1.0F); }
+
+}  // namespace fixture

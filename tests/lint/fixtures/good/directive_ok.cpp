@@ -1,0 +1,22 @@
+// Fixture: well-formed directives — a paired hot-path region, an allow()
+// suppressing a violation on the same line, and an allow() on the line
+// above its violation. Expected diagnostics: none (2 suppressions used).
+#include <stdexcept>
+
+namespace fixture {
+
+// gansec-lint: hot-path
+inline float identity(float v) { return v; }
+// gansec-lint: end-hot-path
+
+inline void suppressed(int which) {
+  if (which == 0) {
+    throw std::runtime_error("boom");  // gansec-lint: allow(error-type)
+  }
+  if (which == 1) {
+    // gansec-lint: allow(error-type)
+    throw std::runtime_error("boom again");
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: compliant error discipline — catch (...) that rethrows, and
+// gansec::Error subclasses thrown. Expected diagnostics: none.
+#include "gansec/error.hpp"
+
+namespace fixture {
+
+inline void guarded(bool bad) {
+  try {
+    if (bad) throw gansec::InvalidArgumentError("fixture: bad input");
+  } catch (...) {
+    throw;
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: a compliant hot-path region — destination-passing kernels,
+// caller-owned buffers, no heap traffic. Expected diagnostics: none.
+#include "gansec/math/kernels.hpp"
+
+namespace fixture {
+
+// gansec-lint: hot-path
+void step(gansec::math::Matrix& out, const gansec::math::Matrix& a,
+          const gansec::math::Matrix& b, std::vector<float>& scratch) {
+  gansec::math::matmul_into(out, a, b);
+  gansec::math::hadamard_into(out, out, b);
+  scratch.resize(out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) scratch[i] = out.data()[i];
+}
+// gansec-lint: end-hot-path
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: literal, dot-namespaced metric names listed in the manifest
+// (fixtures/manifest_good.txt). Expected diagnostics: none.
+#include "gansec/obs/metrics.hpp"
+
+namespace fixture {
+
+inline void record() {
+  static gansec::obs::Counter& hits = obs::counter("fixture.good.hits");
+  hits.add();
+  obs::histogram("fixture.good.latency_us").observe(1.0);
+}
+
+}  // namespace fixture

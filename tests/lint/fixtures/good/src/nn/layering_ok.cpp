@@ -1,0 +1,5 @@
+// Fixture: module nn (layer 3) including math (layer 2) is a downward
+// edge the DAG allows. Expected diagnostics: none.
+#include "gansec/math/matrix.hpp"
+
+int fixture_layering_ok() { return 0; }

@@ -1,0 +1,314 @@
+// gansec_lint rule-engine tests, driven by the checked-in fixture corpus
+// under tests/lint/fixtures/: every rule has a clean snippet that must
+// produce no diagnostics and at least one bad snippet whose exact rule id,
+// file, and line the linter must report. A final set of tests drives the
+// real gansec_lint binary (GANSEC_LINT_PATH) and validates its
+// gansec.lint.v1 JSON artifact with gansec_benchdiff --check.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gansec/obs/json.hpp"
+#include "lint.hpp"
+
+namespace {
+
+using gansec::lint::Diagnostic;
+using gansec::lint::Linter;
+using gansec::lint::Options;
+
+std::string fixture_path(const std::string& relative) {
+  return std::string(GANSEC_LINT_FIXTURES) + "/" + relative;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path);
+  EXPECT_TRUE(is.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return buffer.str();
+}
+
+/// Lints the given fixture files (relative to the corpus root) in one
+/// Linter instance and returns it with finish() already applied.
+Linter lint_fixtures(const std::vector<std::string>& relatives,
+                     const std::string& manifest_relative = "") {
+  Options options;
+  if (!manifest_relative.empty()) {
+    options.manifest_path = fixture_path(manifest_relative);
+  }
+  Linter linter(options);
+  for (const std::string& rel : relatives) {
+    const std::string path = fixture_path(rel);
+    linter.check_file(path, read_file(path));
+  }
+  linter.finish();
+  return linter;
+}
+
+struct ExpectedDiag {
+  std::string rule;
+  std::size_t line;
+};
+
+/// Asserts the diagnostics are exactly `expected`, in order, all
+/// attributed to a file whose path ends with `file_suffix`.
+void expect_exact(const Linter& linter,
+                  const std::vector<ExpectedDiag>& expected,
+                  const std::string& file_suffix) {
+  const auto& diags = linter.diagnostics();
+  ASSERT_EQ(diags.size(), expected.size()) << [&] {
+    std::ostringstream os;
+    for (const Diagnostic& d : diags) {
+      os << "\n  " << d.file << ":" << d.line << ": [" << d.rule << "] "
+         << d.message;
+    }
+    return os.str();
+  }();
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(diags[i].rule, expected[i].rule) << "diagnostic " << i;
+    EXPECT_EQ(diags[i].line, expected[i].line) << "diagnostic " << i;
+    EXPECT_TRUE(diags[i].file.size() >= file_suffix.size() &&
+                diags[i].file.compare(diags[i].file.size() -
+                                          file_suffix.size(),
+                                      file_suffix.size(), file_suffix) == 0)
+        << diags[i].file << " does not end with " << file_suffix;
+  }
+}
+
+// ---- Layering ---------------------------------------------------------------
+
+TEST(LintLayering, DownwardIncludeIsClean) {
+  const Linter linter = lint_fixtures({"good/src/nn/layering_ok.cpp"});
+  expect_exact(linter, {}, "");
+}
+
+TEST(LintLayering, UpwardIncludeIsFlagged) {
+  const Linter linter = lint_fixtures({"bad/src/nn/layering_upward.cpp"});
+  expect_exact(linter, {{"layering", 3}}, "layering_upward.cpp");
+}
+
+TEST(LintLayering, LateralIncludeIsFlagged) {
+  const Linter linter = lint_fixtures({"bad/src/stats/layering_lateral.cpp"});
+  expect_exact(linter, {{"layering", 3}}, "layering_lateral.cpp");
+}
+
+TEST(LintLayering, ModuleCycleIsDetected) {
+  const Linter linter =
+      lint_fixtures({"cycle/src/alpha/a.cpp", "cycle/src/beta/b.cpp"});
+  const auto& diags = linter.diagnostics();
+  ASSERT_EQ(diags.size(), 1U);
+  EXPECT_EQ(diags[0].rule, "layer-cycle");
+  EXPECT_NE(diags[0].message.find("alpha"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("beta"), std::string::npos);
+}
+
+TEST(LintLayering, AcyclicUnknownModulesAreClean) {
+  // alpha -> beta alone (no reverse edge) must not report a cycle.
+  const Linter linter = lint_fixtures({"cycle/src/alpha/a.cpp"});
+  expect_exact(linter, {}, "");
+}
+
+// ---- Hot-path allocation discipline -----------------------------------------
+
+TEST(LintHotPath, CompliantRegionIsClean) {
+  const Linter linter = lint_fixtures({"good/hotpath_ok.cpp"});
+  expect_exact(linter, {}, "");
+}
+
+TEST(LintHotPath, AllocationsAreFlagged) {
+  const Linter linter = lint_fixtures({"bad/hotpath_alloc.cpp"});
+  expect_exact(linter,
+               {{"hotpath-alloc", 10},
+                {"hotpath-alloc", 11},
+                {"hotpath-alloc", 12},
+                {"hotpath-alloc", 13}},
+               "hotpath_alloc.cpp");
+}
+
+TEST(LintHotPath, StdFunctionIsFlagged) {
+  const Linter linter = lint_fixtures({"bad/hotpath_function.cpp"});
+  expect_exact(linter, {{"hotpath-function", 8}}, "hotpath_function.cpp");
+}
+
+TEST(LintHotPath, ValueKernelCallsAreFlagged) {
+  const Linter linter = lint_fixtures({"bad/hotpath_kernel.cpp"});
+  expect_exact(linter, {{"hotpath-kernel", 9}, {"hotpath-kernel", 10}},
+               "hotpath_kernel.cpp");
+}
+
+// ---- Determinism ------------------------------------------------------------
+
+TEST(LintDeterminism, SeededRngIsClean) {
+  const Linter linter = lint_fixtures({"good/determinism_ok.cpp"});
+  expect_exact(linter, {}, "");
+}
+
+TEST(LintDeterminism, BannedEntropySourcesAreFlagged) {
+  const Linter linter = lint_fixtures({"bad/determinism_rng.cpp"});
+  expect_exact(linter,
+               {{"determinism-rng", 10},
+                {"determinism-rng", 11},
+                {"determinism-rng", 12},
+                {"determinism-rng", 13}},
+               "determinism_rng.cpp");
+}
+
+TEST(LintDeterminism, UnorderedIterationIsFlagged) {
+  const Linter linter = lint_fixtures({"bad/determinism_unordered.cpp"});
+  expect_exact(linter,
+               {{"determinism-unordered", 11}, {"determinism-unordered", 14}},
+               "determinism_unordered.cpp");
+}
+
+// ---- Observability hygiene --------------------------------------------------
+
+TEST(LintObs, LiteralNamesListedInManifestAreClean) {
+  const Linter linter =
+      lint_fixtures({"good/obs_ok.cpp"}, "manifest_good.txt");
+  expect_exact(linter, {}, "");
+}
+
+TEST(LintObs, DynamicNameIsFlagged) {
+  const Linter linter = lint_fixtures({"bad/obs_literal.cpp"});
+  expect_exact(linter, {{"obs-name-literal", 8}}, "obs_literal.cpp");
+}
+
+TEST(LintObs, MalformedNamesAreFlagged) {
+  const Linter linter = lint_fixtures({"bad/obs_format.cpp"});
+  expect_exact(linter, {{"obs-name-format", 8}, {"obs-name-format", 9}},
+               "obs_format.cpp");
+}
+
+TEST(LintObs, UnlistedRegistrationIsFlagged) {
+  const Linter linter = lint_fixtures(
+      {"good/obs_ok.cpp", "bad/obs_manifest.cpp"}, "manifest_good.txt");
+  expect_exact(linter, {{"obs-manifest", 8}}, "obs_manifest.cpp");
+}
+
+TEST(LintObs, StaleManifestEntryIsFlagged) {
+  const Linter linter =
+      lint_fixtures({"good/obs_ok.cpp"}, "manifest_stale.txt");
+  expect_exact(linter, {{"obs-manifest", 4}}, "manifest_stale.txt");
+}
+
+TEST(LintObs, MalformedManifestIsFlagged) {
+  const Linter linter =
+      lint_fixtures({"good/obs_ok.cpp"}, "manifest_bad.txt");
+  // Lines 3 and 4 are malformed; with no valid entries left, both of
+  // obs_ok.cpp's registrations are unlisted.
+  const auto& diags = linter.diagnostics();
+  ASSERT_EQ(diags.size(), 4U);
+  for (const Diagnostic& d : diags) EXPECT_EQ(d.rule, "obs-manifest");
+  EXPECT_EQ(diags[0].line, 3U);
+  EXPECT_EQ(diags[1].line, 4U);
+}
+
+// ---- Error discipline -------------------------------------------------------
+
+TEST(LintErrors, RethrowingCatchAllIsClean) {
+  const Linter linter = lint_fixtures({"good/error_ok.cpp"});
+  expect_exact(linter, {}, "");
+}
+
+TEST(LintErrors, SwallowedCatchAllIsFlagged) {
+  const Linter linter = lint_fixtures({"bad/error_swallow.cpp"});
+  expect_exact(linter, {{"error-swallow", 10}}, "error_swallow.cpp");
+}
+
+TEST(LintErrors, ForeignThrowTypesAreFlagged) {
+  const Linter linter = lint_fixtures({"bad/error_type.cpp"});
+  expect_exact(linter, {{"error-type", 8}, {"error-type", 9}},
+               "error_type.cpp");
+}
+
+// ---- Directives and suppression ---------------------------------------------
+
+TEST(LintDirectives, AllowSuppressesSameAndPrecedingLine) {
+  const Linter linter = lint_fixtures({"good/directive_ok.cpp"});
+  expect_exact(linter, {}, "");
+  EXPECT_EQ(linter.suppressions_used(), 2U);
+}
+
+TEST(LintDirectives, MalformedDirectivesAreFlagged) {
+  const Linter linter = lint_fixtures({"bad/directive_unknown.cpp"});
+  expect_exact(linter,
+               {{"lint-directive", 7},
+                {"lint-directive", 9},
+                {"lint-directive", 11},
+                {"lint-directive", 13}},
+               "directive_unknown.cpp");
+}
+
+TEST(LintDirectives, DirectiveInsideStringLiteralIsIgnored) {
+  Linter linter(Options{});
+  // The marker only counts inside comments; string content is inert.
+  linter.check_file("tools/sample.cpp",
+                    "const char* s = \"// gansec-lint: hot-path\";\n"
+                    "int* leak = new int(3);\n");
+  linter.finish();
+  EXPECT_TRUE(linter.diagnostics().empty());
+}
+
+// ---- CLI + artifact round trip ----------------------------------------------
+
+std::string temp_path(const std::string& name) {
+  const char* tmp = std::getenv("TMPDIR");
+  return std::string(tmp != nullptr ? tmp : "/tmp") + "/" + name;
+}
+
+int exit_code(int system_status) {
+#if defined(_WIN32)
+  return system_status;
+#else
+  return (system_status >> 8) & 0xFF;
+#endif
+}
+
+TEST(LintCli, CleanCorpusProducesValidArtifact) {
+  const std::string artifact = temp_path("gansec_lint_fixture_artifact.json");
+  const std::string command = std::string(GANSEC_LINT_PATH) + " --manifest " +
+                              fixture_path("manifest_good.txt") + " --json " +
+                              artifact + " --quiet " + fixture_path("good");
+  ASSERT_EQ(exit_code(std::system(command.c_str())), 0)
+      << "command failed: " << command;
+
+  // The artifact is schema-valid JSON with bench-style provenance...
+  const gansec::obs::JsonValue root = gansec::obs::parse_json_file(artifact);
+  ASSERT_TRUE(root.is_object());
+  const auto* schema = root.find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->as_string(), "gansec.lint.v1");
+  const auto* violations =
+      root.find_path({"metrics", "lint.violations", "value"});
+  ASSERT_NE(violations, nullptr);
+  EXPECT_EQ(violations->as_number(), 0.0);
+  const auto* sha = root.find_path({"build", "git_sha"});
+  ASSERT_NE(sha, nullptr);
+  EXPECT_TRUE(sha->is_string());
+
+  // ...that the perf-gate tool accepts as-is.
+  const std::string check =
+      std::string(GANSEC_BENCHDIFF_PATH) + " --check " + artifact;
+  EXPECT_EQ(exit_code(std::system(check.c_str())), 0)
+      << "command failed: " << check;
+}
+
+TEST(LintCli, BadCorpusExitsOne) {
+  const std::string out = temp_path("gansec_lint_fixture_bad.txt");
+  const std::string command = std::string(GANSEC_LINT_PATH) + " " +
+                              fixture_path("bad") + " > " + out;
+  ASSERT_EQ(exit_code(std::system(command.c_str())), 1)
+      << "command: " << command;
+  const std::string text = read_file(out);
+  for (const char* rule :
+       {"hotpath-alloc", "determinism-rng", "error-type", "layering"}) {
+    EXPECT_NE(text.find(rule), std::string::npos) << rule;
+  }
+}
+
+}  // namespace

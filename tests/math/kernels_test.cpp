@@ -76,8 +76,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(GemmShape{1, 1, 1}, GemmShape{1, 3, 7},
                       GemmShape{7, 3, 1}, GemmShape{8, 8, 8},
                       GemmShape{5, 9, 13}, GemmShape{17, 6, 11}),
-    [](const ::testing::TestParamInfo<GemmShape>& info) {
-      const auto& s = info.param;
+    [](const ::testing::TestParamInfo<GemmShape>& param_info) {
+      const auto& s = param_info.param;
       return std::to_string(s.m) + "x" + std::to_string(s.k) + "x" +
              std::to_string(s.n);
     });

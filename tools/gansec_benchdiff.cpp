@@ -6,9 +6,11 @@
 //   gansec_benchdiff --check <artifact.json>
 //
 // Compares the named metrics of two artifacts produced by the same bench
-// binary (schema "gansec.bench.v1") or two run reports
-// ("gansec.run_report.v1", whose scalar "results" entries are compared
-// two-sided). Each bench metric carries its own regression direction:
+// binary (schema "gansec.bench.v1"), two lint artifacts ("gansec.lint.v1",
+// same metric shape as bench — file/violation/suppression counts), or two
+// run reports ("gansec.run_report.v1", whose scalar "results" entries are
+// compared two-sided). Each bench metric carries its own regression
+// direction:
 //
 //   lower_is_better  — regression when candidate > baseline * (1 + R)
 //   higher_is_better — regression when candidate < baseline * (1 - R)
@@ -37,6 +39,7 @@ namespace {
 using gansec::obs::JsonValue;
 
 constexpr const char* kBenchSchema = "gansec.bench.v1";
+constexpr const char* kLintSchema = "gansec.lint.v1";
 constexpr const char* kRunReportSchema = "gansec.run_report.v1";
 
 struct Metric {
@@ -74,7 +77,9 @@ std::vector<Metric> extract_metrics(const JsonValue& root,
                                     const std::string& schema,
                                     const std::string& path) {
   std::vector<Metric> metrics;
-  if (schema == kBenchSchema) {
+  // Lint artifacts deliberately share the bench metric shape so the same
+  // extraction (and diffing) applies.
+  if (schema == kBenchSchema || schema == kLintSchema) {
     const JsonValue* map = root.find("metrics");
     if (map == nullptr || !map->is_object()) {
       throw gansec::ParseError(path + ": missing object member \"metrics\"");
@@ -115,15 +120,15 @@ std::vector<Metric> extract_metrics(const JsonValue& root,
     return metrics;
   }
   throw gansec::ParseError(path + ": unsupported schema \"" + schema +
-                           "\" (expected " + kBenchSchema + " or " +
-                           kRunReportSchema + ')');
+                           "\" (expected " + kBenchSchema + ", " +
+                           kLintSchema + " or " + kRunReportSchema + ')');
 }
 
 /// Structural validation beyond extract_metrics: the provenance members
 /// every artifact must carry so a diff can be traced back to a build.
 void check_artifact(const JsonValue& root, const std::string& schema,
                     const std::string& path) {
-  if (schema == kBenchSchema) {
+  if (schema == kBenchSchema || schema == kLintSchema) {
     for (const char* member : {"name", "build", "host", "wall_ms"}) {
       if (root.find(member) == nullptr) {
         throw gansec::ParseError(path + ": missing member \"" +

@@ -1,0 +1,195 @@
+// gansec_lint — project-invariant static analysis over the gansec tree.
+//
+// Usage:
+//   gansec_lint [--manifest FILE] [--json OUT] [--quiet] <path>...
+//
+// Paths are files or directories (recursed for .hpp/.h/.cpp/.cc/.cxx).
+// Diagnostics print as "file:line: [rule] message". With --json, the run
+// also writes a schema-versioned "gansec.lint.v1" artifact carrying the
+// same provenance members as bench artifacts (build, host, wall_ms) plus
+// the full violations list — gansec_benchdiff --check validates it, and
+// two lint artifacts diff like bench artifacts (violations are
+// lower_is_better).
+//
+// Exit codes: 0 = clean, 1 = violations, 2 = usage/IO error.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gansec/error.hpp"
+#include "gansec/obs/json.hpp"
+#include "gansec/obs/report.hpp"
+#include "lint.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using gansec::lint::Diagnostic;
+using gansec::lint::Linter;
+
+[[noreturn]] void usage_error(const char* message) {
+  std::fprintf(stderr,
+               "gansec_lint: %s\n"
+               "usage: gansec_lint [--manifest FILE] [--json OUT] [--quiet] "
+               "<path>...\n",
+               message);
+  std::exit(2);
+}
+
+bool lintable(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc" ||
+         ext == ".cxx";
+}
+
+/// Expands files/directories into a sorted, de-duplicated file list so
+/// diagnostics are emitted in a stable order on every host.
+std::vector<std::string> collect_files(const std::vector<std::string>& roots) {
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    const fs::path p(root);
+    if (fs::is_directory(p)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p)) {
+        if (entry.is_regular_file() && lintable(entry.path())) {
+          files.push_back(entry.path().generic_string());
+        }
+      }
+    } else if (fs::is_regular_file(p)) {
+      files.push_back(p.generic_string());
+    } else {
+      throw gansec::IoError("gansec_lint: no such file or directory: " +
+                            root);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw gansec::IoError("gansec_lint: cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string artifact_json(const Linter& linter, double wall_ms) {
+  using gansec::obs::json_escape;
+  using gansec::obs::json_number;
+  const auto unix_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  std::string json = "{\"schema\":\"gansec.lint.v1\"";
+  json += ",\"name\":\"gansec_lint\"";
+  json += ",\"created_unix_ms\":" + std::to_string(unix_ms);
+  json += ",\"build\":" +
+          gansec::obs::build_info_json(gansec::obs::build_info());
+  const gansec::obs::HostInfo host = gansec::obs::host_info();
+  json += ",\"host\":{\"hostname\":\"" + json_escape(host.hostname) +
+          "\",\"os\":\"" + json_escape(host.os) +
+          "\",\"hardware_concurrency\":" +
+          std::to_string(host.hardware_concurrency) + '}';
+  json += ",\"wall_ms\":" + json_number(wall_ms);
+  json += ",\"metrics\":{";
+  json += "\"lint.files\":{\"value\":" +
+          std::to_string(linter.files_checked()) +
+          ",\"direction\":\"two_sided\"}";
+  json += ",\"lint.violations\":{\"value\":" +
+          std::to_string(linter.diagnostics().size()) +
+          ",\"direction\":\"lower_is_better\"}";
+  json += ",\"lint.suppressions\":{\"value\":" +
+          std::to_string(linter.suppressions_used()) +
+          ",\"direction\":\"lower_is_better\"}";
+  json += "},\"checks\":{\"clean\":";
+  json += linter.diagnostics().empty() ? "true" : "false";
+  json += "},\"violations\":[";
+  for (std::size_t i = 0; i < linter.diagnostics().size(); ++i) {
+    const Diagnostic& d = linter.diagnostics()[i];
+    if (i != 0) json += ',';
+    json += "{\"rule\":\"" + json_escape(d.rule) + "\",\"file\":\"" +
+            json_escape(d.file) + "\",\"line\":" + std::to_string(d.line) +
+            ",\"message\":\"" + json_escape(d.message) + "\"}";
+  }
+  json += "]}";
+  std::string error;
+  if (!gansec::obs::json_valid(json, &error)) {
+    throw gansec::InvalidArgumentError(
+        "gansec_lint: artifact is not valid JSON: " + error);
+  }
+  return json;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string manifest_path;
+  std::string json_path;
+  bool quiet = false;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    if (arg == "--manifest") {
+      if (i + 1 >= argc) usage_error("--manifest needs a file");
+      manifest_path = argv[++i];
+    } else if (arg == "--json") {
+      if (i + 1 >= argc) usage_error("--json needs a file");
+      json_path = argv[++i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage_error("help");
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage_error("unknown flag");
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) usage_error("expected at least one path");
+
+  try {
+    const auto start = std::chrono::steady_clock::now();
+    Linter linter(gansec::lint::Options{manifest_path});
+    for (const std::string& file : collect_files(roots)) {
+      linter.check_file(file, read_file(file));
+    }
+    linter.finish();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+
+    if (!quiet) {
+      for (const Diagnostic& d : linter.diagnostics()) {
+        std::printf("%s:%zu: [%s] %s\n", d.file.c_str(), d.line,
+                    d.rule.c_str(), d.message.c_str());
+      }
+      std::printf(
+          "gansec_lint: %zu file(s), %zu violation(s), %zu suppression(s)\n",
+          linter.files_checked(), linter.diagnostics().size(),
+          linter.suppressions_used());
+    }
+    if (!json_path.empty()) {
+      const fs::path out(json_path);
+      if (out.has_parent_path()) fs::create_directories(out.parent_path());
+      std::ofstream file(out);
+      if (!file) {
+        throw gansec::IoError("gansec_lint: cannot write " + json_path);
+      }
+      file << artifact_json(linter, wall_ms) << '\n';
+    }
+    return linter.diagnostics().empty() ? 0 : 1;
+  } catch (const gansec::Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gansec_lint: %s\n", e.what());
+    return 2;
+  }
+}

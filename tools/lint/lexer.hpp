@@ -1,0 +1,197 @@
+// Minimal C++ lexer for gansec_lint.
+//
+// This is deliberately not a compiler front end: gansec_lint checks
+// project conventions (include layering, hot-path allocation discipline,
+// determinism bans, observability naming, error discipline) that are all
+// expressible over a token stream plus comment directives. Tokenizing —
+// instead of regexing raw text — is what keeps the rules from firing
+// inside string literals and comments, and lets rules reason about
+// adjacency ("identifier followed by '('", "previous significant token is
+// '::'") without false matches.
+//
+// Recognized token kinds: identifiers/keywords, numbers, string literals
+// (including raw strings), character literals, preprocessor directives
+// (one token per logical line, continuations folded), punctuation
+// (one token per character except the multi-char operators the rules care
+// about), and comments. Comments are preserved as tokens because lint
+// directives (`// gansec-lint: ...`) live in them.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gansec::lint {
+
+enum class TokKind {
+  kIdentifier,   // foo, std, operator keywords, ...
+  kNumber,       // 0x1F, 1.5e3, 42
+  kString,       // "..." or R"(...)" (prefix included in text)
+  kChar,         // 'a'
+  kPreprocessor, // whole logical #... line, continuations folded
+  kComment,      // // ... or /* ... */ (delimiters included in text)
+  kPunct,        // everything else, one char except :: < > etc. kept as-is
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  std::size_t line = 0;  // 1-based line of the token's first character
+};
+
+/// Tokenizes `source`. Never throws on malformed input: unterminated
+/// literals/comments are closed at end of file so lint can still run over
+/// fixture snippets and mid-edit sources.
+inline std::vector<Token> tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+  std::size_t line = 1;
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  auto peek = [&](std::size_t off) -> char {
+    return i + off < n ? source[i + off] : '\0';
+  };
+  auto is_ident_start = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  auto is_ident_char = [&](char c) {
+    return is_ident_start(c) || (c >= '0' && c <= '9');
+  };
+  auto count_lines = [&](std::string_view text) {
+    for (char c : text) {
+      if (c == '\n') ++line;
+    }
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    const std::size_t tok_line = line;
+    // Comments.
+    if (c == '/' && peek(1) == '/') {
+      std::size_t j = i;
+      while (j < n && source[j] != '\n') ++j;
+      tokens.push_back({TokKind::kComment,
+                        std::string(source.substr(i, j - i)), tok_line});
+      i = j;
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(source[j] == '*' && source[j + 1] == '/')) ++j;
+      j = (j + 1 < n) ? j + 2 : n;
+      std::string_view text = source.substr(i, j - i);
+      tokens.push_back({TokKind::kComment, std::string(text), tok_line});
+      count_lines(text);
+      i = j;
+      at_line_start = false;
+      continue;
+    }
+    // Preprocessor directive: '#' first on the line; swallow continuations.
+    if (c == '#' && at_line_start) {
+      std::size_t j = i;
+      while (j < n) {
+        if (source[j] == '\n' && (j == 0 || source[j - 1] != '\\')) break;
+        ++j;
+      }
+      std::string_view text = source.substr(i, j - i);
+      tokens.push_back({TokKind::kPreprocessor, std::string(text), tok_line});
+      count_lines(text);
+      i = j;
+      continue;
+    }
+    at_line_start = false;
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && peek(1) == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && source[j] != '(' && source[j] != '\n' &&
+             delim.size() < 16) {
+        delim += source[j++];
+      }
+      if (j < n && source[j] == '(') {
+        const std::string closer = ")" + delim + "\"";
+        const std::size_t end = source.find(closer, j + 1);
+        j = end == std::string_view::npos ? n : end + closer.size();
+        std::string_view text = source.substr(i, j - i);
+        tokens.push_back({TokKind::kString, std::string(text), tok_line});
+        count_lines(text);
+        i = j;
+        continue;
+      }
+      // Not actually a raw string ("R" then junk); fall through as ident.
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && source[j] != quote && source[j] != '\n') {
+        j += (source[j] == '\\' && j + 1 < n) ? 2 : 1;
+      }
+      if (j < n && source[j] == quote) ++j;
+      tokens.push_back({quote == '"' ? TokKind::kString : TokKind::kChar,
+                        std::string(source.substr(i, j - i)), tok_line});
+      i = j;
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && is_ident_char(source[j])) ++j;
+      tokens.push_back({TokKind::kIdentifier,
+                        std::string(source.substr(i, j - i)), tok_line});
+      i = j;
+      continue;
+    }
+    if (c >= '0' && c <= '9') {
+      std::size_t j = i + 1;
+      // pp-number: digits, idents, dots, and exponent signs glue together.
+      while (j < n &&
+             (is_ident_char(source[j]) || source[j] == '.' ||
+              ((source[j] == '+' || source[j] == '-') &&
+               (source[j - 1] == 'e' || source[j - 1] == 'E' ||
+                source[j - 1] == 'p' || source[j - 1] == 'P')))) {
+        ++j;
+      }
+      tokens.push_back({TokKind::kNumber,
+                        std::string(source.substr(i, j - i)), tok_line});
+      i = j;
+      continue;
+    }
+    // Multi-char punctuation the rules rely on; everything else single-char.
+    if (c == ':' && peek(1) == ':') {
+      tokens.push_back({TokKind::kPunct, "::", tok_line});
+      i += 2;
+      continue;
+    }
+    if (c == '.' && peek(1) == '.' && peek(2) == '.') {
+      tokens.push_back({TokKind::kPunct, "...", tok_line});
+      i += 3;
+      continue;
+    }
+    if (c == '-' && peek(1) == '>') {
+      tokens.push_back({TokKind::kPunct, "->", tok_line});
+      i += 2;
+      continue;
+    }
+    if (c == '&' && peek(1) == '&') {
+      tokens.push_back({TokKind::kPunct, "&&", tok_line});
+      i += 2;
+      continue;
+    }
+    tokens.push_back({TokKind::kPunct, std::string(1, c), tok_line});
+    ++i;
+  }
+  return tokens;
+}
+
+}  // namespace gansec::lint

@@ -1,0 +1,678 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "lexer.hpp"
+
+namespace gansec::lint {
+
+namespace {
+
+// ---- Layering DAG ----------------------------------------------------------
+//
+// The declared module DAG (DESIGN.md "Static analysis & invariants"):
+//
+//   obs -> exec -> math -> {nn, stats, dsp} -> {gan, cpps, am}
+//       -> {security, baseline} -> core
+//
+// A module may include its own headers and any strictly lower layer.
+// Lateral includes (same layer, different module) and upward includes are
+// violations. `exec` is a virtual module: the execution substrate
+// (core/execution.hpp, core/thread_pool.hpp and their sources) lives under
+// the core/ directory because its types are in namespace gansec::core, but
+// the build layers it *below* math so the GEMM kernels can dispatch
+// through it (see src/core/CMakeLists.txt).
+struct LayerEntry {
+  const char* module;
+  int layer;
+};
+
+constexpr LayerEntry kLayers[] = {
+    {"obs", 0},     {"exec", 1},     {"math", 2}, {"nn", 3},
+    {"stats", 3},   {"dsp", 3},      {"gan", 4},  {"cpps", 4},
+    {"am", 4},      {"security", 5}, {"baseline", 5}, {"core", 6},
+};
+
+// Declared intra-layer edges the DAG text above cannot express. am -> cpps
+// mirrors gansec_am's PUBLIC link on gansec_cpps: the AM substrate builds
+// the cpps::Architecture that Algorithm 1 consumes.
+constexpr std::pair<const char*, const char*> kExtraEdges[] = {
+    {"am", "cpps"},
+};
+
+int layer_of(std::string_view module) {
+  for (const LayerEntry& e : kLayers) {
+    if (module == e.module) return e.layer;
+  }
+  return -1;  // unknown module: exempt from the DAG, still cycle-checked
+}
+
+bool extra_edge_allowed(std::string_view from, std::string_view to) {
+  for (const auto& [f, t] : kExtraEdges) {
+    if (from == f && to == t) return true;
+  }
+  return false;
+}
+
+// Headers physically under core/ that belong to the virtual exec module.
+bool is_exec_path(std::string_view path) {
+  for (const char* stem :
+       {"core/execution.hpp", "core/thread_pool.hpp", "core/execution.cpp",
+        "core/thread_pool.cpp"}) {
+    if (path.size() >= std::string_view(stem).size() &&
+        path.substr(path.size() - std::string_view(stem).size()) == stem) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Module of a scanned file: the component after "include/gansec/" or
+/// "src/", empty for unlayered files (top-level headers, tools, tests).
+std::string module_of_source(std::string_view path) {
+  if (is_exec_path(path)) return "exec";
+  const auto component_after = [&](std::string_view marker) -> std::string {
+    const std::size_t at = path.rfind(marker);
+    if (at == std::string_view::npos) return "";
+    const std::size_t start = at + marker.size();
+    const std::size_t slash = path.find('/', start);
+    if (slash == std::string_view::npos) return "";  // top-level file
+    return std::string(path.substr(start, slash - start));
+  };
+  std::string mod = component_after("include/gansec/");
+  if (!mod.empty()) return mod;
+  return component_after("src/");
+}
+
+/// Module of an include target ("gansec/math/matrix.hpp" -> "math");
+/// empty for top-level headers (gansec/error.hpp) which any layer may use.
+std::string module_of_target(std::string_view include_path) {
+  if (is_exec_path(include_path)) return "exec";
+  constexpr std::string_view prefix = "gansec/";
+  if (include_path.substr(0, prefix.size()) != prefix) return "";
+  const std::string_view rest = include_path.substr(prefix.size());
+  const std::size_t slash = rest.find('/');
+  if (slash == std::string_view::npos) return "";
+  return std::string(rest.substr(0, slash));
+}
+
+// ---- Token-set tables ------------------------------------------------------
+
+const std::set<std::string_view> kOwningContainers = {
+    "vector", "string", "wstring", "basic_string", "map", "multimap",
+    "set", "multiset", "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset", "deque", "list", "forward_list", "stringstream",
+    "ostringstream", "istringstream", "valarray",
+};
+
+const std::set<std::string_view> kAllocCalls = {
+    "malloc", "calloc", "realloc", "aligned_alloc", "strdup",
+    "make_unique", "make_shared",
+};
+
+const std::set<std::string_view> kGrowthCalls = {"push_back", "emplace_back"};
+
+// Matrix value-API members with destination-passing `_into` siblings (or a
+// zero-allocation equivalent); calling them on a hot path re-allocates the
+// result every iteration.
+const std::set<std::string_view> kValueKernels = {
+    "matmul", "matmul_transposed_a", "matmul_transposed_b", "hadamard",
+    "hstack", "vstack", "map", "apply", "transposed", "slice_cols",
+    "slice_rows", "gather_rows", "col_sums", "row_sums", "row", "from_rows",
+    "identity",
+};
+
+const std::set<std::string_view> kUnorderedTypes = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset",
+};
+
+const std::set<std::string_view> kMetricFns = {"counter", "gauge",
+                                               "histogram", "series"};
+
+const char* const kKnownRules[] = {
+    "layering",        "layer-cycle",      "hotpath-alloc",
+    "hotpath-function", "hotpath-kernel",  "determinism-rng",
+    "determinism-unordered", "obs-name-literal", "obs-name-format",
+    "obs-manifest",    "error-swallow",    "error-type",
+    "lint-directive",
+};
+
+/// Dot-namespaced lowercase: [a-z0-9_]+(\.[a-z0-9_]+)+ — at least two
+/// segments so every name carries its subsystem namespace.
+bool valid_metric_name(std::string_view name) {
+  std::size_t segments = 0;
+  std::size_t seg_len = 0;
+  for (char c : name) {
+    if (c == '.') {
+      if (seg_len == 0) return false;
+      ++segments;
+      seg_len = 0;
+      continue;
+    }
+    const bool ok =
+        (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (!ok) return false;
+    ++seg_len;
+  }
+  if (seg_len == 0) return false;
+  return segments + 1 >= 2;
+}
+
+std::string strip_quotes(std::string_view literal) {
+  if (literal.size() >= 2 && literal.front() == '"' &&
+      literal.back() == '"') {
+    return std::string(literal.substr(1, literal.size() - 2));
+  }
+  return std::string(literal);
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) {
+    --e;
+  }
+  return std::string(s.substr(b, e - b));
+}
+
+struct HotRegion {
+  std::size_t begin_line = 0;
+  std::size_t end_line = 0;  // inclusive; SIZE_MAX when unclosed
+};
+
+}  // namespace
+
+Linter::Linter(Options options) : options_(std::move(options)) {}
+
+bool Linter::known_rule(std::string_view rule) {
+  for (const char* r : kKnownRules) {
+    if (rule == r) return true;
+  }
+  return false;
+}
+
+void Linter::check_file(const std::string& path, std::string_view source) {
+  ++files_checked_;
+  const std::vector<Token> tokens = tokenize(source);
+
+  // ---- Pass 0: directives (allow map, hot-path regions) --------------------
+  std::map<std::size_t, std::set<std::string>> allows;  // line -> rules
+  std::vector<HotRegion> regions;
+  std::vector<Diagnostic> pending;
+  const auto emit = [&](const char* rule, std::size_t line,
+                        std::string message) {
+    pending.push_back({rule, path, line, std::move(message)});
+  };
+
+  bool region_open = false;
+  for (const Token& tok : tokens) {
+    if (tok.kind != TokKind::kComment) continue;
+    const std::size_t at = tok.text.find("gansec-lint:");
+    if (at == std::string::npos) continue;
+    std::string body = trim(std::string_view(tok.text).substr(
+        at + std::string_view("gansec-lint:").size()));
+    // Block comments carry a trailing delimiter; line comments do not.
+    if (body.size() >= 2 && body.substr(body.size() - 2) == "*/") {
+      body = trim(std::string_view(body).substr(0, body.size() - 2));
+    }
+    if (body == "hot-path") {
+      if (region_open) {
+        emit("lint-directive", tok.line,
+             "hot-path region opened while the previous one is still open");
+      } else {
+        regions.push_back({tok.line, static_cast<std::size_t>(-1)});
+        region_open = true;
+      }
+    } else if (body == "end-hot-path") {
+      if (!region_open) {
+        emit("lint-directive", tok.line,
+             "end-hot-path without a matching hot-path");
+      } else {
+        regions.back().end_line = tok.line;
+        region_open = false;
+      }
+    } else if (body.size() > 7 && body.substr(0, 6) == "allow(" &&
+               body.back() == ')') {
+      std::stringstream list(body.substr(6, body.size() - 7));
+      std::string rule;
+      while (std::getline(list, rule, ',')) {
+        rule = trim(rule);
+        if (!known_rule(rule)) {
+          emit("lint-directive", tok.line,
+               "allow() names unknown rule '" + rule + "'");
+          continue;
+        }
+        allows[tok.line].insert(rule);
+      }
+    } else {
+      emit("lint-directive", tok.line,
+           "unknown gansec-lint directive '" + body + "'");
+    }
+  }
+  if (region_open) {
+    emit("lint-directive", regions.back().begin_line,
+         "hot-path region is never closed (missing end-hot-path)");
+  }
+  const auto in_hot_region = [&](std::size_t line) {
+    for (const HotRegion& r : regions) {
+      if (line >= r.begin_line && line <= r.end_line) return true;
+    }
+    return false;
+  };
+
+  // ---- Pass 1: layering (preprocessor tokens) ------------------------------
+  const std::string source_module = module_of_source(path);
+  for (const Token& tok : tokens) {
+    if (tok.kind != TokKind::kPreprocessor) continue;
+    const std::size_t quote = tok.text.find("#include \"");
+    if (quote == std::string::npos) continue;
+    const std::size_t begin = quote + std::string_view("#include \"").size();
+    const std::size_t end = tok.text.find('"', begin);
+    if (end == std::string::npos) continue;
+    const std::string target_path = tok.text.substr(begin, end - begin);
+    const std::string target = module_of_target(target_path);
+    if (target.empty() || source_module.empty() || target == source_module) {
+      continue;
+    }
+    // Record the first site of each module edge for cycle detection.
+    const bool seen = std::any_of(
+        edges_.begin(), edges_.end(), [&](const IncludeEdge& e) {
+          return e.from == source_module && e.to == target;
+        });
+    if (!seen) edges_.push_back({source_module, target, path, tok.line});
+
+    const int from_layer = layer_of(source_module);
+    const int to_layer = layer_of(target);
+    if (from_layer < 0 || to_layer < 0) continue;  // cycle check only
+    if (to_layer < from_layer) continue;           // downward: allowed
+    if (extra_edge_allowed(source_module, target)) continue;
+    emit("layering", tok.line,
+         "module '" + source_module + "' (layer " +
+             std::to_string(from_layer) + ") must not include '" +
+             target_path + "' from module '" + target + "' (layer " +
+             std::to_string(to_layer) + "): " +
+             (to_layer == from_layer ? "lateral" : "upward") +
+             " edge violates the declared DAG");
+  }
+
+  // ---- Significant-token stream for the remaining rules --------------------
+  std::vector<const Token*> sig;
+  sig.reserve(tokens.size());
+  for (const Token& tok : tokens) {
+    if (tok.kind == TokKind::kComment ||
+        tok.kind == TokKind::kPreprocessor) {
+      continue;
+    }
+    sig.push_back(&tok);
+  }
+  const auto text = [&](std::size_t i) -> std::string_view {
+    return i < sig.size() ? std::string_view(sig[i]->text)
+                          : std::string_view();
+  };
+  const auto kind = [&](std::size_t i) {
+    return i < sig.size() ? sig[i]->kind : TokKind::kPunct;
+  };
+  const auto prev_text = [&](std::size_t i) -> std::string_view {
+    return i == 0 ? std::string_view() : std::string_view(sig[i - 1]->text);
+  };
+  // Skips a balanced template argument list starting at `i` (which must be
+  // '<'); returns the index one past the closing '>'. Unbalanced input
+  // returns the end of the stream.
+  const auto skip_template_args = [&](std::size_t i) {
+    std::size_t depth = 0;
+    while (i < sig.size()) {
+      if (text(i) == "<") ++depth;
+      if (text(i) == ">") {
+        if (--depth == 0) return i + 1;
+      }
+      if (text(i) == ";") return i;  // not a template list after all
+      ++i;
+    }
+    return i;
+  };
+
+  // ---- Pass 2: unordered-container declarations ----------------------------
+  std::set<std::string> unordered_vars;
+  for (std::size_t i = 0; i + 1 < sig.size(); ++i) {
+    if (kind(i) != TokKind::kIdentifier ||
+        kUnorderedTypes.count(text(i)) == 0 || prev_text(i) != "::") {
+      continue;
+    }
+    std::size_t j = i + 1;
+    if (text(j) == "<") j = skip_template_args(j);
+    while (text(j) == "&" || text(j) == "&&" || text(j) == "*" ||
+           text(j) == "const") {
+      ++j;
+    }
+    if (kind(j) == TokKind::kIdentifier) {
+      unordered_vars.insert(std::string(text(j)));
+    }
+  }
+
+  // ---- Pass 3: token rules -------------------------------------------------
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    const Token& tok = *sig[i];
+    if (tok.kind != TokKind::kIdentifier) continue;
+    const std::string_view id = tok.text;
+    const std::string_view prev = prev_text(i);
+    const std::string_view next = text(i + 1);
+    const bool hot = in_hot_region(tok.line);
+
+    // Hot-path allocation discipline.
+    if (hot) {
+      if (id == "new" && prev != "operator") {
+        // Any expression-context `new` allocates; only `operator new`
+        // declarations (none expected on hot paths) are exempt.
+        emit("hotpath-alloc", tok.line,
+             "operator new inside a hot-path region");
+      } else if (kAllocCalls.count(id) != 0 &&
+                 (next == "(" || next == "<")) {
+        emit("hotpath-alloc", tok.line,
+             "allocating call '" + std::string(id) +
+                 "' inside a hot-path region");
+      } else if (kGrowthCalls.count(id) != 0 &&
+                 (prev == "." || prev == "->") && next == "(") {
+        emit("hotpath-alloc", tok.line,
+             "container growth '" + std::string(id) +
+                 "' inside a hot-path region (acquire workspace capacity "
+                 "up front)");
+      } else if (id == "std" && next == "::" &&
+                 text(i + 2) == "function") {
+        emit("hotpath-function", tok.line,
+             "std::function inside a hot-path region (type-erased calls "
+             "allocate and cannot inline; take a template parameter)");
+      } else if (id == "std" && next == "::" &&
+                 kOwningContainers.count(text(i + 2)) != 0) {
+        std::size_t j = i + 3;
+        if (text(j) == "<") j = skip_template_args(j);
+        if (text(j) != "&" && text(j) != "&&" && text(j) != "*") {
+          emit("hotpath-alloc", tok.line,
+               "owning std::" + std::string(text(i + 2)) +
+                   " constructed inside a hot-path region");
+        }
+        i = j - 1;  // do not re-scan the template arguments
+      } else if (kValueKernels.count(id) != 0 &&
+                 (prev == "." || prev == "->" || prev == "::") &&
+                 next == "(") {
+        emit("hotpath-kernel", tok.line,
+             "allocating Matrix value call '" + std::string(id) +
+                 "' inside a hot-path region (use the '_into' kernel)");
+      }
+    }
+
+    // Determinism: banned randomness/time sources, anywhere in the file.
+    if (id == "random_device") {
+      emit("determinism-rng", tok.line,
+           "std::random_device is nondeterministic; derive streams from "
+           "the run seed via math::Rng");
+    } else if ((id == "rand" || id == "srand" || id == "time") &&
+               next == "(" && prev != "." && prev != "->" &&
+               (prev != "::" || (i >= 2 && text(i - 2) == "std"))) {
+      emit("determinism-rng", tok.line,
+           "'" + std::string(id) +
+               "()' breaks reproducibility; derive values from the run "
+               "seed (math::Rng) or the trace clock (obs)");
+    }
+
+    // Determinism: unordered-container iteration.
+    if (id == "for" && next == "(") {
+      std::size_t depth = 0;
+      std::size_t colon = 0;
+      std::size_t close = 0;
+      for (std::size_t j = i + 1; j < sig.size(); ++j) {
+        if (text(j) == "(") ++depth;
+        if (text(j) == ")" && --depth == 0) {
+          close = j;
+          break;
+        }
+        if (text(j) == ":" && depth == 1 && colon == 0) colon = j;
+      }
+      if (colon != 0 && close > colon) {
+        std::string_view range_var;
+        for (std::size_t j = colon + 1; j < close; ++j) {
+          if (kind(j) == TokKind::kIdentifier) range_var = text(j);
+        }
+        if (!range_var.empty() &&
+            unordered_vars.count(std::string(range_var)) != 0) {
+          emit("determinism-unordered", tok.line,
+               "iteration over unordered container '" +
+                   std::string(range_var) +
+                   "': order is implementation-defined and must not reach "
+                   "serialized output or metrics dumps");
+        }
+      }
+    } else if (unordered_vars.count(std::string(id)) != 0 &&
+               (next == "." || next == "->") &&
+               (text(i + 2) == "begin" || text(i + 2) == "cbegin" ||
+                text(i + 2) == "rbegin")) {
+      emit("determinism-unordered", tok.line,
+           "iterator over unordered container '" + std::string(id) +
+               "': order is implementation-defined and must not reach "
+               "serialized output or metrics dumps");
+    }
+
+    // Observability hygiene: obs::{counter,gauge,histogram,series}("...")
+    // and obs::Span / GANSEC_SPAN names.
+    std::size_t name_at = 0;  // significant index of the name argument
+    std::string kind_name;
+    if (id == "obs" && next == "::" && prev != "." && prev != "->") {
+      const std::string_view fn = text(i + 2);
+      if (kMetricFns.count(fn) != 0 && text(i + 3) == "(") {
+        name_at = i + 4;
+        kind_name = std::string(fn);
+      } else if (fn == "Span") {
+        std::size_t j = i + 3;
+        if (kind(j) == TokKind::kIdentifier) ++j;  // variable name
+        if (text(j) == "(") {
+          name_at = j + 1;
+          kind_name = "span";
+        }
+      }
+    } else if (id == "GANSEC_SPAN" && next == "(") {
+      name_at = i + 2;
+      kind_name = "span";
+    }
+    if (name_at != 0) {
+      if (kind(name_at) != TokKind::kString) {
+        emit("obs-name-literal", tok.line,
+             kind_name + " name must be a string literal so the manifest "
+                         "cross-check can see it");
+      } else {
+        const std::string name = strip_quotes(text(name_at));
+        if (!valid_metric_name(name)) {
+          emit("obs-name-format", tok.line,
+               kind_name + " name '" + name +
+                   "' must be dot-namespaced lowercase "
+                   "([a-z0-9_]+(.[a-z0-9_]+)+)");
+        }
+        registrations_.push_back({kind_name, name, path, tok.line});
+      }
+    }
+
+    // Error discipline.
+    if (id == "catch" && next == "(" && text(i + 2) == "...") {
+      std::size_t j = i + 3;
+      while (j < sig.size() && text(j) != "{") ++j;
+      std::size_t depth = 0;
+      bool handles = false;
+      for (; j < sig.size(); ++j) {
+        if (text(j) == "{") ++depth;
+        if (text(j) == "}" && --depth == 0) break;
+        if (text(j) == "throw" || text(j) == "current_exception") {
+          handles = true;
+        }
+      }
+      if (!handles) {
+        emit("error-swallow", tok.line,
+             "catch (...) swallows the error: rethrow, capture "
+             "std::current_exception, or suppress with a comment "
+             "explaining why losing it is safe");
+      }
+    } else if (id == "throw") {
+      if (next == "std" && text(i + 2) == "::") {
+        emit("error-type", tok.line,
+             "library code must throw gansec::Error subclasses, not "
+             "std::" + std::string(text(i + 3)));
+      } else if (kind(i + 1) == TokKind::kString ||
+                 kind(i + 1) == TokKind::kChar ||
+                 kind(i + 1) == TokKind::kNumber) {
+        emit("error-type", tok.line,
+             "library code must throw gansec::Error subclasses, not "
+             "literals");
+      }
+    }
+  }
+
+  // ---- Apply suppressions --------------------------------------------------
+  for (Diagnostic& d : pending) {
+    bool suppressed = false;
+    for (std::size_t line : {d.line, d.line == 0 ? d.line : d.line - 1}) {
+      const auto it = allows.find(line);
+      if (it != allows.end() && it->second.count(d.rule) != 0) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (suppressed) {
+      ++suppressions_used_;
+    } else {
+      diagnostics_.push_back(std::move(d));
+    }
+  }
+}
+
+void Linter::finish() {
+  // ---- Module-cycle detection over the observed include edges --------------
+  std::set<std::string> modules;
+  for (const IncludeEdge& e : edges_) {
+    modules.insert(e.from);
+    modules.insert(e.to);
+  }
+  // Iterative grey/black DFS; module graphs are tiny. One diagnostic per
+  // detected back edge, attributed to the include site that closed the
+  // cycle.
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  const IncludeEdge* back_edge = nullptr;
+  std::string cycle_text;
+  for (const std::string& root : modules) {
+    if (color[root] != 0 || back_edge != nullptr) continue;
+    // Each frame: (node, index of the next outgoing edge to try).
+    std::vector<std::pair<std::string, std::size_t>> stack;
+    stack.emplace_back(root, 0);
+    color[root] = 1;
+    while (!stack.empty() && back_edge == nullptr) {
+      auto& [node, next_edge] = stack.back();
+      bool descended = false;
+      for (std::size_t k = next_edge; k < edges_.size(); ++k) {
+        const IncludeEdge& e = edges_[k];
+        if (e.from != node) continue;
+        if (color[e.to] == 1) {
+          back_edge = &e;
+          cycle_text = e.to;
+          bool in_cycle = false;
+          for (const auto& [name, unused] : stack) {
+            (void)unused;
+            if (name == e.to) in_cycle = true;
+            if (in_cycle && name != e.to) cycle_text += " -> " + name;
+          }
+          cycle_text += " -> " + e.to;
+          break;
+        }
+        if (color[e.to] == 0) {
+          next_edge = k + 1;
+          color[e.to] = 1;
+          stack.emplace_back(e.to, 0);
+          descended = true;
+          break;
+        }
+      }
+      if (back_edge != nullptr) break;
+      if (!descended) {
+        color[node] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  if (back_edge != nullptr) {
+    diagnostics_.push_back(
+        {"layer-cycle", back_edge->file, back_edge->line,
+         "module include cycle: " + cycle_text});
+  }
+
+  // ---- Manifest cross-check ------------------------------------------------
+  if (options_.manifest_path.empty()) return;
+  std::ifstream in(options_.manifest_path);
+  if (!in) {
+    diagnostics_.push_back({"obs-manifest", options_.manifest_path, 0,
+                            "manifest file cannot be opened"});
+    return;
+  }
+  struct ManifestEntry {
+    std::string kind;
+    std::string name;
+    std::size_t line;
+    bool seen = false;
+  };
+  std::vector<ManifestEntry> manifest;
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    std::stringstream fields(raw);
+    std::string kind_field;
+    std::string name_field;
+    std::string extra;
+    if (!(fields >> kind_field)) continue;  // blank/comment line
+    if (!(fields >> name_field) || (fields >> extra)) {
+      diagnostics_.push_back(
+          {"obs-manifest", options_.manifest_path, line_no,
+           "manifest line must be '<kind> <name>'"});
+      continue;
+    }
+    if (kind_field != "counter" && kind_field != "gauge" &&
+        kind_field != "histogram" && kind_field != "series" &&
+        kind_field != "span") {
+      diagnostics_.push_back(
+          {"obs-manifest", options_.manifest_path, line_no,
+           "unknown metric kind '" + kind_field + "'"});
+      continue;
+    }
+    manifest.push_back({kind_field, name_field, line_no});
+  }
+  for (const Registration& reg : registrations_) {
+    bool found = false;
+    for (ManifestEntry& entry : manifest) {
+      if (entry.kind == reg.kind && entry.name == reg.name) {
+        entry.seen = true;
+        found = true;
+      }
+    }
+    if (!found) {
+      diagnostics_.push_back(
+          {"obs-manifest", reg.file, reg.line,
+           reg.kind + " '" + reg.name +
+               "' is not in the metrics manifest (add it to keep the "
+               "dashboard namespace reviewed)"});
+    }
+  }
+  for (const ManifestEntry& entry : manifest) {
+    if (!entry.seen) {
+      diagnostics_.push_back(
+          {"obs-manifest", options_.manifest_path, entry.line,
+           entry.kind + " '" + entry.name +
+               "' is in the manifest but no scanned source registers it "
+               "(stale entry?)"});
+    }
+  }
+}
+
+}  // namespace gansec::lint

@@ -1,0 +1,102 @@
+// gansec_lint rule engine: project-invariant static analysis.
+//
+// The linter checks conventions that generic tools cannot express because
+// they are *this repo's* contracts (see DESIGN.md "Static analysis &
+// invariants" for the catalog and rationale):
+//
+//   layering              upward/lateral #include against the declared
+//                         module DAG obs -> exec -> math -> {nn,stats,dsp}
+//                         -> {gan,cpps,am} -> {security,baseline} -> core
+//   layer-cycle           cyclic include edges between modules the DAG
+//                         does not rank (fixture/unknown modules)
+//   hotpath-alloc         heap allocation inside a `// gansec-lint:
+//                         hot-path` region (new/malloc/make_unique, owning
+//                         container construction, push_back/emplace_back)
+//   hotpath-function      std::function inside a hot-path region
+//   hotpath-kernel        allocating Matrix value-API call (no `_into`
+//                         sibling used) inside a hot-path region
+//   determinism-rng       std::random_device, rand()/srand(), time()-based
+//                         seeding anywhere in library code
+//   determinism-unordered iteration over std::unordered_{map,set} (their
+//                         order is implementation-defined, so it must not
+//                         feed serialized output or metrics dumps)
+//   obs-name-literal      metric/span name that is not a string literal
+//   obs-name-format       metric/span name that is not dot-namespaced
+//                         lowercase ([a-z0-9_]+(\.[a-z0-9_]+)+)
+//   obs-manifest          metric/span literal missing from the manifest,
+//                         or a stale manifest entry no source registers
+//   error-swallow         catch (...) that neither rethrows nor captures
+//                         std::current_exception
+//   error-type            throwing a std:: type or a literal instead of a
+//                         gansec::Error subclass
+//   lint-directive        malformed `// gansec-lint:` directive (unknown
+//                         verb or unknown rule name in allow())
+//
+// Any diagnostic is suppressible at its site with
+// `// gansec-lint: allow(<rule>[, <rule>...])` on the same or preceding
+// line. Hot-path regions open with `// gansec-lint: hot-path` and close
+// with `// gansec-lint: end-hot-path`.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gansec::lint {
+
+struct Diagnostic {
+  std::string rule;
+  std::string file;
+  std::size_t line = 0;
+  std::string message;
+};
+
+struct Options {
+  /// Path to the metric/span manifest (`<kind> <name>` lines). Empty
+  /// disables the obs-manifest cross-check (obs-name-* still run).
+  std::string manifest_path;
+};
+
+class Linter {
+ public:
+  explicit Linter(Options options);
+
+  /// Lints one file. `path` is the name diagnostics carry (as given on
+  /// the command line); `source` is the file contents.
+  void check_file(const std::string& path, std::string_view source);
+
+  /// Cross-file checks: manifest reconciliation and module-cycle
+  /// detection. Call once, after the last check_file().
+  void finish();
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  std::size_t files_checked() const { return files_checked_; }
+  std::size_t suppressions_used() const { return suppressions_used_; }
+
+  /// True when `rule` is one of the rule ids listed above.
+  static bool known_rule(std::string_view rule);
+
+ private:
+  struct Registration {  // one literal metric/span name in the source
+    std::string kind;    // counter | gauge | histogram | series | span
+    std::string name;
+    std::string file;
+    std::size_t line = 0;
+  };
+  struct IncludeEdge {  // first observed include site for a module pair
+    std::string from;
+    std::string to;
+    std::string file;
+    std::size_t line = 0;
+  };
+
+  Options options_;
+  std::vector<Diagnostic> diagnostics_;
+  std::vector<Registration> registrations_;
+  std::vector<IncludeEdge> edges_;
+  std::size_t files_checked_ = 0;
+  std::size_t suppressions_used_ = 0;
+};
+
+}  // namespace gansec::lint

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# quickcheck — the full local correctness-gate matrix in one command.
+#
+#   tools/quickcheck.sh [--jobs N] [--skip-tsan] [--skip-asan]
+#
+# Runs, per preset (release, asan, tsan): configure, build, and the full
+# ctest suite; then the `lint` and `bench-smoke` ctest labels on the
+# release tree. Prints a pass/fail summary table and exits non-zero if
+# anything failed. Designed to be what you run before pushing.
+set -u
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+RUN_ASAN=1
+RUN_TSAN=1
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --jobs) JOBS="$2"; shift 2 ;;
+    --skip-asan) RUN_ASAN=0; shift ;;
+    --skip-tsan) RUN_TSAN=0; shift ;;
+    *) echo "quickcheck: unknown argument '$1'" >&2; exit 2 ;;
+  esac
+done
+
+STEPS=()
+RESULTS=()
+SECONDS_SPENT=()
+
+run_step() {
+  # run_step <name> <cmd...>
+  local name="$1"; shift
+  local start end
+  echo
+  echo "==== ${name}: $*"
+  start=$(date +%s)
+  if "$@"; then
+    RESULTS+=("PASS")
+  else
+    RESULTS+=("FAIL")
+  fi
+  end=$(date +%s)
+  STEPS+=("${name}")
+  SECONDS_SPENT+=("$((end - start))")
+}
+
+preset_suite() {
+  # preset_suite <preset>
+  local preset="$1"
+  run_step "${preset}/configure" cmake --preset "${preset}"
+  run_step "${preset}/build" cmake --build --preset "${preset}" -j "${JOBS}"
+  run_step "${preset}/test" ctest --preset "${preset}" -j "${JOBS}"
+}
+
+preset_suite release
+[ "${RUN_ASAN}" = 1 ] && preset_suite asan
+[ "${RUN_TSAN}" = 1 ] && preset_suite tsan
+
+# Label gates run on the release tree (the lint and bench binaries there).
+run_step "lint-label" ctest --test-dir build -L lint --output-on-failure
+run_step "bench-smoke" ctest --test-dir build -L bench-smoke --output-on-failure
+
+echo
+echo "==== quickcheck summary"
+printf '%-20s %-6s %8s\n' "step" "result" "seconds"
+FAILURES=0
+for i in "${!STEPS[@]}"; do
+  printf '%-20s %-6s %8s\n' "${STEPS[$i]}" "${RESULTS[$i]}" "${SECONDS_SPENT[$i]}"
+  [ "${RESULTS[$i]}" = "FAIL" ] && FAILURES=$((FAILURES + 1))
+done
+echo
+if [ "${FAILURES}" -gt 0 ]; then
+  echo "quickcheck: ${FAILURES} step(s) FAILED"
+  exit 1
+fi
+echo "quickcheck: all steps passed"
