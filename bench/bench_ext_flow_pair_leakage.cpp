@@ -1,4 +1,4 @@
-// Extension — per-flow-pair leakage with the model store.
+// Extension — per-flow-pair leakage with the model registry.
 //
 // Algorithm 2 trains and stores one CGAN per flow pair from Algorithm 1.
 // The paper's case study pools the five monitored emission flows into one
@@ -12,7 +12,7 @@
 
 #include "common.hpp"
 #include "gansec/am/printer_arch.hpp"
-#include "gansec/core/model_store.hpp"
+#include "gansec/model/registry.hpp"
 #include "gansec/cpps/graph.hpp"
 #include "gansec/security/confidentiality.hpp"
 
@@ -28,7 +28,7 @@ int main() {
       cpps::generate_flow_pairs(graph, am::make_printer_historical_data()));
 
   bench::BenchReporter reporter("ext_flow_pair_leakage");
-  core::ModelStore store(bench::cache_dir() + "/flow-pair-models");
+  model::ModelRegistry registry(bench::cache_dir() + "/flow-pair-models");
 
   am::DatasetConfig base = bench::paper_dataset_config();
   if (!bench::smoke()) {
@@ -57,7 +57,7 @@ int main() {
     if (!bench::smoke()) train_config.iterations = 1000;
     gan::CganTrainer trainer(model, train_config, 63);
     trainer.train(train.features, train.conditions);
-    store.save(pair, model);
+    registry.save(pair, model);
 
     security::ConfidentialityConfig conf;
     conf.generator_samples = bench::smoke() ? 50 : 150;
@@ -77,13 +77,13 @@ int main() {
   }
 
   std::cout << "\nstored models:\n";
-  for (const cpps::FlowPair& pair : store.list()) {
-    std::cout << "  " << core::ModelStore::key_for(pair) << ".cgan\n";
+  for (const auto& entry : registry.entries()) {
+    std::cout << "  " << entry.file << "\n";
   }
   std::cout << "\n(expected: every motor's own emission flow leaks its "
                "condition; the frame flow leaks via the distinct "
                "resonances; reload any stored model with "
-               "core::ModelStore::load)\n";
+               "model::ModelRegistry::load_latest)\n";
   reporter.write();
   return 0;
 }

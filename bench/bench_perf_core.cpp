@@ -6,8 +6,11 @@
 // Algorithm 1 on the case-study graph.
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdlib>
+#include <filesystem>
 #include <new>
 #include <string>
 #include <vector>
@@ -23,6 +26,7 @@
 #include "gansec/dsp/cwt.hpp"
 #include "gansec/dsp/fft.hpp"
 #include "gansec/gan/trainer.hpp"
+#include "gansec/model/serialize.hpp"
 #include "gansec/obs/log.hpp"
 #include "gansec/obs/metrics.hpp"
 #include "gansec/obs/trace.hpp"
@@ -210,6 +214,63 @@ void BM_ParzenScore(benchmark::State& state) {
 }
 BENCHMARK(BM_ParzenScore)->Arg(100)->Arg(1000);
 
+// gansec.model.v1 checkpoint throughput on a serving-sized CGAN. Save is
+// serialize (meta render + payload copy + CRC) plus the atomic
+// write-rename; Load is the full paranoid path — read, CRC sweep, meta
+// parse, tensor directory validation, weight materialization. The
+// bytes_per_second counter is the headline metric; the artifact tags it
+// higher-is-better so gansec_benchdiff flags slowdowns directionally.
+
+// PID-unique scratch path: parallel ctest can run several bench
+// processes in smoke mode at once, and a shared fixed name would race
+// (one process removes the file while another is still loading it).
+std::filesystem::path checkpoint_scratch(const char* tag) {
+  return std::filesystem::temp_directory_path() /
+         ("gansec_bench_ckpt_" + std::string(tag) + "_" +
+          std::to_string(::getpid()) + ".gsm");
+}
+
+void BM_CheckpointSave(benchmark::State& state) {
+  gan::CganTopology topo;
+  topo.data_dim = 100;
+  topo.cond_dim = 3;
+  topo.generator_hidden = {128, 128};
+  topo.discriminator_hidden = {128, 128};
+  const gan::Cgan model(topo, 4);
+  const std::filesystem::path path = checkpoint_scratch("save");
+  for (auto _ : state) {
+    model::save_cgan_checkpoint(model, path.string());
+    benchmark::ClobberMemory();
+  }
+  const auto bytes =
+      static_cast<std::int64_t>(std::filesystem::file_size(path));
+  std::filesystem::remove(path);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          bytes);
+}
+BENCHMARK(BM_CheckpointSave);
+
+void BM_CheckpointLoad(benchmark::State& state) {
+  gan::CganTopology topo;
+  topo.data_dim = 100;
+  topo.cond_dim = 3;
+  topo.generator_hidden = {128, 128};
+  topo.discriminator_hidden = {128, 128};
+  const gan::Cgan model(topo, 4);
+  const std::filesystem::path path = checkpoint_scratch("load");
+  model::save_cgan_checkpoint(model, path.string());
+  const auto bytes =
+      static_cast<std::int64_t>(std::filesystem::file_size(path));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model::load_cgan_checkpoint_file(path.string()));
+  }
+  std::filesystem::remove(path);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          bytes);
+}
+BENCHMARK(BM_CheckpointLoad);
+
 // Algorithm 3 thread-scaling trajectory: the full analyze() pass (KDE fit
 // + scoring for every condition x feature cell) at 1/2/4/8 threads. In
 // deterministic mode the LikelihoodResult is bit-identical across the
@@ -361,7 +422,8 @@ int main(int argc, char** argv) {
   std::string smoke_filter =
       "--benchmark_filter=^BM_(MatrixMatmul/32|Fft/1024|CwtBandEnergies/25|"
       "GcodeParse|MachineKinematics|AcousticSynthesis|CganTrainStep|"
-      "ParzenScore/100|ObsLogDisabled|ObsSpanDisabled|ObsCounterAdd|"
+      "ParzenScore/100|CheckpointSave|CheckpointLoad|"
+      "ObsLogDisabled|ObsSpanDisabled|ObsCounterAdd|"
       "ObsHistogramObserve|ObsLogEnabledNullSink|Algorithm1)$";
   if (gansec::bench::smoke()) {
     bool has_min_time = false;

@@ -18,6 +18,7 @@
 #include "gansec/core/execution.hpp"
 #include "gansec/cpps/algorithm1.hpp"
 #include "gansec/gan/trainer.hpp"
+#include "gansec/model/registry.hpp"
 #include "gansec/obs/report.hpp"
 #include "gansec/security/analyzer.hpp"
 #include "gansec/security/confidentiality.hpp"
@@ -101,6 +102,13 @@ class GanSecPipeline {
   /// stream, so the outcomes are bit-identical regardless of thread count
   /// or scheduling order.
   FlowPairSweep run_flow_pairs();
+
+  /// Persists every trained per-pair model of a sweep into the registry
+  /// (one new generation per pair, atomic publish). This is Algorithm 2's
+  /// closing line — "G learned for each flow pair is returned and stored"
+  /// — and returns the manifest entries created, in sweep order.
+  static std::vector<model::ModelRegistry::Entry> save_sweep(
+      const FlowPairSweep& sweep, model::ModelRegistry& registry);
 
   /// Suggested CGAN topology for this configuration.
   gan::CganTopology topology() const;

@@ -47,6 +47,7 @@ class Cgan {
   nn::Mlp& generator() { return generator_; }
   nn::Mlp& discriminator() { return discriminator_; }
   const nn::Mlp& generator() const { return generator_; }
+  const nn::Mlp& discriminator() const { return discriminator_; }
 
   /// Draws an n x noise_dim standard-normal noise batch.
   math::Matrix sample_noise(std::size_t n, math::Rng& rng) const;

@@ -96,6 +96,23 @@ class CganTrainer {
   std::size_t iterations_done() const { return iterations_done_; }
   const TrainConfig& config() const { return config_; }
 
+  /// The borrowed model (generator + discriminator weights).
+  Cgan& model() { return model_; }
+  const Cgan& model() const { return model_; }
+
+  /// Mutable training state, exposed for exact-resume checkpointing
+  /// (model::save_trainer_checkpoint / restore_trainer_state): the
+  /// minibatch/noise RNG cursor, both optimizers' internal moments, and
+  /// the iteration counter. Restoring all of them makes a resumed run
+  /// bit-identical to an uninterrupted one.
+  math::Rng& rng() { return rng_; }
+  const math::Rng& rng() const { return rng_; }
+  nn::Optimizer& optimizer_g() { return *opt_g_; }
+  const nn::Optimizer& optimizer_g() const { return *opt_g_; }
+  nn::Optimizer& optimizer_d() { return *opt_d_; }
+  const nn::Optimizer& optimizer_d() const { return *opt_d_; }
+  void set_iterations_done(std::size_t n) { iterations_done_ = n; }
+
  private:
   void validate_dataset(const math::Matrix& samples,
                         const math::Matrix& conditions) const;

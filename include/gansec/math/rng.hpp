@@ -72,6 +72,13 @@ class Rng {
   /// Direct access for use with <random> distributions.
   std::mt19937_64& engine() { return engine_; }
 
+  /// Serializes the engine's exact position in its stream (the standard
+  /// textual mt19937_64 state). restore_state() resumes the identical
+  /// draw sequence — the "RNG cursor" persisted by training checkpoints.
+  /// Throws ParseError when `state` is not a valid engine state.
+  std::string save_state() const;
+  void restore_state(const std::string& state);
+
  private:
   std::mt19937_64 engine_;
 };

@@ -1,0 +1,107 @@
+// Per-flow-pair model registry — the "Storage" half of Algorithm 2
+// ("CGAN Model Generation and Storage"), v2.
+//
+// Algorithm 2 trains one conditional model per flow pair from Algorithm 1
+// and stores each trained generator/discriminator: "At the end, G learned
+// for each flow pair is returned and stored." The registry keeps those
+// models as gansec.model.v1 checkpoints in one directory:
+//
+//   <dir>/manifest.json          "gansec.registry.v2" manifest
+//   <dir>/<key>.g<N>.gsm         checkpoint for generation N of a pair
+//
+// Each save creates a NEW generation (monotonic per-pair counter — no
+// timestamps, so concurrent sweeps with fixed seeds stay byte-for-byte
+// reproducible) and both the checkpoint and the manifest are written
+// atomically (tmp + rename), so a reader never observes a half-written
+// file and a crashed save leaves the previous generation intact. Serving
+// processes hot-swap by re-calling load_latest: the manifest flips to the
+// new generation only after its checkpoint is fully on disk.
+//
+// The manifest records each entry's byte size, CRC32 and builder git SHA;
+// load cross-checks size and CRC against the checkpoint's own header, so
+// a swapped or corrupted file fails typed even when the file is itself a
+// well-formed checkpoint.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "gansec/cpps/flow.hpp"
+#include "gansec/gan/cgan.hpp"
+
+namespace gansec::model {
+
+/// Manifest schema identifier.
+inline constexpr const char* kRegistrySchema = "gansec.registry.v2";
+
+/// Checkpoint file extension used by the registry (and the CLI).
+inline constexpr const char* kCheckpointExtension = ".gsm";
+
+class ModelRegistry {
+ public:
+  /// One manifest record: a (pair, generation) -> file binding plus the
+  /// integrity facts load verifies.
+  struct Entry {
+    cpps::FlowPair pair;
+    std::string file;            ///< filename relative to the directory
+    std::uint64_t generation = 0;
+    std::uint64_t bytes = 0;     ///< checkpoint file size
+    std::uint32_t crc32 = 0;     ///< checkpoint header CRC (meta+payload)
+    std::string git_sha;         ///< builder provenance
+  };
+
+  /// Opens (and creates if needed) the registry directory. Keeps the
+  /// newest `retain_generations` generations per pair (older checkpoints
+  /// are pruned on save); must be >= 1.
+  explicit ModelRegistry(std::filesystem::path directory,
+                         std::size_t retain_generations = 2);
+
+  const std::filesystem::path& directory() const { return dir_; }
+  std::size_t retain_generations() const { return retain_; }
+
+  /// Filesystem-safe key for a pair, e.g. "F1__F16".
+  static std::string key_for(const cpps::FlowPair& pair);
+
+  /// True when at least one generation for the pair is registered.
+  bool contains(const cpps::FlowPair& pair) const;
+
+  /// Newest registered generation for the pair (0 when none).
+  std::uint64_t latest_generation(const cpps::FlowPair& pair) const;
+
+  /// Persists a trained model as the pair's next generation: atomic
+  /// checkpoint write, then atomic manifest update, then pruning of
+  /// generations beyond the retention window. Returns the new entry.
+  Entry save(const cpps::FlowPair& pair, const gan::Cgan& model);
+
+  /// Loads the newest generation; throws IoError when the pair has no
+  /// registered model and ParseError when the checkpoint on disk does not
+  /// match its manifest record (size/CRC).
+  gan::Cgan load(const cpps::FlowPair& pair) const;
+  /// Serving-path alias of load(): re-call to pick up a hot-swapped model.
+  gan::Cgan load_latest(const cpps::FlowPair& pair) const;
+  /// Loads a specific generation; throws IoError when absent.
+  gan::Cgan load_generation(const cpps::FlowPair& pair,
+                            std::uint64_t generation) const;
+
+  /// Removes every generation for the pair; no-op when absent.
+  void remove(const cpps::FlowPair& pair);
+
+  /// Distinct pairs in first-registered order.
+  std::vector<cpps::FlowPair> list() const;
+
+  /// All manifest records in manifest order.
+  std::vector<Entry> entries() const;
+
+ private:
+  std::vector<Entry> read_manifest() const;
+  void write_manifest(const std::vector<Entry>& entries) const;
+  gan::Cgan load_entry(const Entry& entry) const;
+  std::filesystem::path manifest_path() const;
+
+  std::filesystem::path dir_;
+  std::size_t retain_;
+};
+
+}  // namespace gansec::model

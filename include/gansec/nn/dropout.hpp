@@ -26,6 +26,11 @@ class Dropout : public Layer {
   float rate() const { return rate_; }
   std::uint64_t seed() const { return seed_; }
 
+  /// The mask RNG, exposed so training checkpoints can persist/restore
+  /// its exact cursor (a reseeded mask stream would diverge on resume).
+  math::Rng& mask_rng() { return rng_; }
+  const math::Rng& mask_rng() const { return rng_; }
+
  private:
   float rate_;
   std::uint64_t seed_;

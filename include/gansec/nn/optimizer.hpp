@@ -50,6 +50,11 @@ class Momentum : public Optimizer {
            float momentum = 0.9F);
   void step() override;
 
+  /// Internal state, exposed for exact-resume checkpointing (one velocity
+  /// matrix per managed parameter, parameter order).
+  const std::vector<math::Matrix>& velocity() const { return velocity_; }
+  std::vector<math::Matrix>& velocity() { return velocity_; }
+
  private:
   float lr_;
   float mu_;
@@ -62,6 +67,16 @@ class Adam : public Optimizer {
   Adam(std::vector<Parameter*> params, float learning_rate,
        float beta1 = 0.9F, float beta2 = 0.999F, float eps = 1e-8F);
   void step() override;
+
+  /// Internal state, exposed for exact-resume checkpointing: the bias-
+  /// correction step count and the first/second moment estimates (one
+  /// matrix per managed parameter, parameter order).
+  std::size_t step_count() const { return t_; }
+  void set_step_count(std::size_t t) { t_ = t; }
+  const std::vector<math::Matrix>& moment1() const { return m_; }
+  std::vector<math::Matrix>& moment1() { return m_; }
+  const std::vector<math::Matrix>& moment2() const { return v_; }
+  std::vector<math::Matrix>& moment2() { return v_; }
 
  private:
   float lr_;

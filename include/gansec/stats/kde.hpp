@@ -24,6 +24,9 @@ class ParzenScorer {
 
   double bandwidth() const { return h_; }
   std::size_t sample_count() const { return count_; }
+  /// The borrowed sample buffer (exposed so checkpoints can persist the
+  /// estimator and tests can assert zero-copy rebinding).
+  const double* samples() const { return samples_; }
 
   /// Log density at x (two-pass log-sum-exp, numerically stable, no
   /// allocation). Always finite: when every kernel underflows (x far from

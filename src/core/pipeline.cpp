@@ -42,6 +42,16 @@ std::size_t FlowPairSweep::most_leaky_pair() const {
   return best;
 }
 
+std::vector<model::ModelRegistry::Entry> GanSecPipeline::save_sweep(
+    const FlowPairSweep& sweep, model::ModelRegistry& registry) {
+  std::vector<model::ModelRegistry::Entry> entries;
+  entries.reserve(sweep.outcomes.size());
+  for (const FlowPairOutcome& outcome : sweep.outcomes) {
+    entries.push_back(registry.save(outcome.pair, outcome.model));
+  }
+  return entries;
+}
+
 GanSecPipeline::GanSecPipeline(PipelineConfig config)
     : config_(std::move(config)), builder_(config_.dataset) {
   if (config_.train_fraction <= 0.0 || config_.train_fraction >= 1.0) {

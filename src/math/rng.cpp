@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <sstream>
 
 #include "gansec/error.hpp"
 
@@ -105,6 +106,22 @@ void Rng::fill_normal(Matrix& out, std::size_t rows, std::size_t cols,
   out.resize(rows, cols);
   std::normal_distribution<float> dist(mean, stddev);
   for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] = dist(engine_);
+}
+
+std::string Rng::save_state() const {
+  std::ostringstream os;
+  os << engine_;
+  return os.str();
+}
+
+void Rng::restore_state(const std::string& state) {
+  std::istringstream is(state);
+  std::mt19937_64 engine;
+  is >> engine;
+  if (is.fail()) {
+    throw ParseError("Rng::restore_state: malformed engine state");
+  }
+  engine_ = engine;
 }
 
 std::uint64_t split_seed(std::uint64_t seed, std::uint64_t stream) {

@@ -1,0 +1,583 @@
+#include "gansec/model/checkpoint.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+
+#include "gansec/error.hpp"
+#include "gansec/obs/report.hpp"
+
+namespace gansec::model {
+
+namespace {
+
+// Positions inside the 64-byte header (see checkpoint.hpp for the map).
+constexpr std::size_t kOffMagic = 0;
+constexpr std::size_t kOffVersion = 8;
+constexpr std::size_t kOffHeaderBytes = 12;
+constexpr std::size_t kOffMetaOffset = 16;
+constexpr std::size_t kOffMetaBytes = 24;
+constexpr std::size_t kOffPayloadOffset = 32;
+constexpr std::size_t kOffPayloadBytes = 40;
+constexpr std::size_t kOffCrc = 48;
+constexpr std::size_t kOffReserved = 52;
+constexpr std::size_t kOffFileBytes = 56;
+
+std::size_t align_up(std::size_t n) {
+  return (n + kTensorAlignment - 1) / kTensorAlignment * kTensorAlignment;
+}
+
+// Explicit little-endian encode/decode so the on-disk layout is
+// host-independent.
+void put_u32(std::string& out, std::size_t at, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out[at + static_cast<std::size_t>(i)] =
+        static_cast<char>((v >> (8 * i)) & 0xFFU);
+  }
+}
+
+void put_u64(std::string& out, std::size_t at, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out[at + static_cast<std::size_t>(i)] =
+        static_cast<char>((v >> (8 * i)) & 0xFFU);
+  }
+}
+
+std::uint32_t get_u32(std::string_view in, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) |
+        static_cast<std::uint8_t>(in[at + static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(std::string_view in, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) |
+        static_cast<std::uint8_t>(in[at + static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t n = 0; n < 256; ++n) {
+      std::uint32_t c = n;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+      }
+      t[n] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t bytes,
+                    std::uint32_t seed) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFU;
+  const auto& table = crc_table();
+  for (std::size_t i = 0; i < bytes; ++i) {
+    c = table[(c ^ p[i]) & 0xFFU] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFU;
+}
+
+std::size_t dtype_bytes(Dtype dtype) {
+  switch (dtype) {
+    case Dtype::kF32:
+      return 4;
+    case Dtype::kF64:
+      return 8;
+    case Dtype::kU8:
+      return 1;
+  }
+  throw InvalidArgumentError("dtype_bytes: unknown dtype");
+}
+
+std::string_view dtype_name(Dtype dtype) {
+  switch (dtype) {
+    case Dtype::kF32:
+      return "f32";
+    case Dtype::kF64:
+      return "f64";
+    case Dtype::kU8:
+      return "u8";
+  }
+  throw InvalidArgumentError("dtype_name: unknown dtype");
+}
+
+Dtype dtype_from_name(std::string_view name) {
+  if (name == "f32") return Dtype::kF32;
+  if (name == "f64") return Dtype::kF64;
+  if (name == "u8") return Dtype::kU8;
+  throw ParseError("checkpoint: unknown tensor dtype '" + std::string(name) +
+                   "'");
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointWriter
+
+CheckpointWriter::CheckpointWriter(std::string kind)
+    : kind_(std::move(kind)) {
+  if (kind_.empty()) {
+    throw InvalidArgumentError("CheckpointWriter: empty kind");
+  }
+}
+
+void CheckpointWriter::add_attr(std::string_view key,
+                                std::string_view value) {
+  attrs_.push_back(
+      {std::string(key), '"' + obs::json_escape(value) + '"'});
+}
+
+void CheckpointWriter::add_attr(std::string_view key, double value) {
+  attrs_.push_back({std::string(key), obs::json_number(value)});
+}
+
+void CheckpointWriter::add_attr(std::string_view key, std::uint64_t value) {
+  attrs_.push_back({std::string(key), std::to_string(value)});
+}
+
+void CheckpointWriter::add_attr(std::string_view key, bool value) {
+  attrs_.push_back({std::string(key), value ? "true" : "false"});
+}
+
+void CheckpointWriter::add_attr_json(std::string_view key,
+                                     std::string json_value) {
+  std::string error;
+  if (!obs::json_valid(json_value, &error)) {
+    throw InvalidArgumentError("CheckpointWriter: attr '" +
+                               std::string(key) +
+                               "' is not valid JSON: " + error);
+  }
+  attrs_.push_back({std::string(key), std::move(json_value)});
+}
+
+void CheckpointWriter::add_seed(std::string_view name, std::uint64_t seed) {
+  seeds_.emplace_back(std::string(name), seed);
+}
+
+void CheckpointWriter::add_tensor(std::string_view name, Dtype dtype,
+                                  std::uint64_t rows, std::uint64_t cols,
+                                  const void* data, std::size_t bytes) {
+  if (name.empty()) {
+    throw InvalidArgumentError("CheckpointWriter: empty tensor name");
+  }
+  for (const TensorInfo& t : tensors_) {
+    if (t.name == name) {
+      throw InvalidArgumentError("CheckpointWriter: duplicate tensor '" +
+                                 std::string(name) + "'");
+    }
+  }
+  if (rows * cols * dtype_bytes(dtype) != bytes) {
+    throw InvalidArgumentError(
+        "CheckpointWriter: tensor '" + std::string(name) +
+        "' byte size does not match rows*cols*sizeof(dtype)");
+  }
+  // Pad the payload so this tensor starts on an alignment boundary; the
+  // directory offset then inherits the 64-byte guarantee.
+  payload_.resize(align_up(payload_.size()), '\0');
+  TensorInfo info;
+  info.name = std::string(name);
+  info.dtype = dtype;
+  info.rows = rows;
+  info.cols = cols;
+  info.offset = payload_.size();
+  info.bytes = bytes;
+  payload_.append(static_cast<const char*>(data), bytes);
+  tensors_.push_back(std::move(info));
+}
+
+void CheckpointWriter::add_matrix(std::string_view name,
+                                  const math::Matrix& m) {
+  add_tensor(name, Dtype::kF32, m.rows(), m.cols(), m.data(),
+             m.size() * sizeof(float));
+}
+
+void CheckpointWriter::add_f64(std::string_view name, const double* data,
+                               std::size_t count) {
+  add_tensor(name, Dtype::kF64, 1, count, data, count * sizeof(double));
+}
+
+void CheckpointWriter::add_bytes(std::string_view name,
+                                 std::string_view bytes) {
+  add_tensor(name, Dtype::kU8, 1, bytes.size(), bytes.data(), bytes.size());
+}
+
+std::string CheckpointWriter::to_bytes() const {
+  // Meta block: schema + kind + provenance + attrs + tensor directory.
+  std::string meta = "{\"schema\":\"";
+  meta += kCheckpointSchema;
+  meta += "\",\"kind\":\"" + obs::json_escape(kind_) + '"';
+  meta += ",\"provenance\":";
+  std::string prov = obs::build_info_json(obs::build_info());
+  // Fold the seeds into the provenance object: ...,"seeds":{...}}.
+  prov.pop_back();
+  prov += ",\"seeds\":{";
+  for (std::size_t i = 0; i < seeds_.size(); ++i) {
+    if (i != 0) prov += ',';
+    prov += '"' + obs::json_escape(seeds_[i].first) +
+            "\":" + std::to_string(seeds_[i].second);
+  }
+  prov += "}}";
+  meta += prov;
+  meta += ",\"attrs\":{";
+  for (std::size_t i = 0; i < attrs_.size(); ++i) {
+    if (i != 0) meta += ',';
+    meta += '"' + obs::json_escape(attrs_[i].key) +
+            "\":" + attrs_[i].json_value;
+  }
+  meta += "},\"tensors\":[";
+  for (std::size_t i = 0; i < tensors_.size(); ++i) {
+    const TensorInfo& t = tensors_[i];
+    if (i != 0) meta += ',';
+    meta += "{\"name\":\"" + obs::json_escape(t.name) + "\",\"dtype\":\"";
+    meta += dtype_name(t.dtype);
+    meta += "\",\"rows\":" + std::to_string(t.rows);
+    meta += ",\"cols\":" + std::to_string(t.cols);
+    meta += ",\"offset\":" + std::to_string(t.offset);
+    meta += ",\"bytes\":" + std::to_string(t.bytes);
+    meta += '}';
+  }
+  meta += "]}";
+  std::string error;
+  if (!obs::json_valid(meta, &error)) {
+    throw InvalidArgumentError(
+        "CheckpointWriter: meta block is not valid JSON: " + error);
+  }
+
+  const std::size_t meta_offset = kHeaderBytes;
+  const std::size_t payload_offset = align_up(meta_offset + meta.size());
+  const std::size_t total = payload_offset + payload_.size();
+
+  std::string out(total, '\0');
+  std::memcpy(out.data() + kOffMagic, kCheckpointMagic,
+              sizeof(kCheckpointMagic));
+  put_u32(out, kOffVersion, kCheckpointVersion);
+  put_u32(out, kOffHeaderBytes, static_cast<std::uint32_t>(kHeaderBytes));
+  put_u64(out, kOffMetaOffset, meta_offset);
+  put_u64(out, kOffMetaBytes, meta.size());
+  put_u64(out, kOffPayloadOffset, payload_offset);
+  put_u64(out, kOffPayloadBytes, payload_.size());
+  put_u32(out, kOffReserved, 0);
+  put_u64(out, kOffFileBytes, total);
+  std::memcpy(out.data() + meta_offset, meta.data(), meta.size());
+  std::memcpy(out.data() + payload_offset, payload_.data(),
+              payload_.size());
+  put_u32(out, kOffCrc,
+          crc32(out.data() + meta_offset, total - meta_offset));
+  return out;
+}
+
+void CheckpointWriter::write_file(const std::string& path) const {
+  const std::string bytes = to_bytes();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      throw IoError("CheckpointWriter: cannot open '" + tmp + "'");
+    }
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!os) {
+      throw IoError("CheckpointWriter: write failed for '" + tmp + "'");
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw IoError("CheckpointWriter: cannot rename '" + tmp + "' to '" +
+                  path + "'");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointReader
+
+CheckpointReader CheckpointReader::from_bytes(std::string_view bytes) {
+  if (bytes.size() < kHeaderBytes) {
+    throw IoError("checkpoint: truncated header (" +
+                  std::to_string(bytes.size()) + " of " +
+                  std::to_string(kHeaderBytes) + " bytes)");
+  }
+  if (std::memcmp(bytes.data() + kOffMagic, kCheckpointMagic,
+                  sizeof(kCheckpointMagic)) != 0) {
+    throw ParseError("checkpoint: bad magic (not a gansec.model file)");
+  }
+  const std::uint32_t version = get_u32(bytes, kOffVersion);
+  if (version != kCheckpointVersion) {
+    throw ParseError("checkpoint: unsupported schema version " +
+                     std::to_string(version) + " (this build reads v" +
+                     std::to_string(kCheckpointVersion) + ")");
+  }
+  if (get_u32(bytes, kOffHeaderBytes) != kHeaderBytes) {
+    throw ParseError("checkpoint: header size field mismatch");
+  }
+  const std::uint64_t meta_offset = get_u64(bytes, kOffMetaOffset);
+  const std::uint64_t meta_bytes = get_u64(bytes, kOffMetaBytes);
+  const std::uint64_t payload_offset = get_u64(bytes, kOffPayloadOffset);
+  const std::uint64_t payload_bytes = get_u64(bytes, kOffPayloadBytes);
+  const std::uint64_t file_bytes = get_u64(bytes, kOffFileBytes);
+  if (file_bytes != bytes.size()) {
+    throw IoError("checkpoint: truncated file (header claims " +
+                  std::to_string(file_bytes) + " bytes, got " +
+                  std::to_string(bytes.size()) + ")");
+  }
+  // All offset arithmetic below is guarded against overflow by checking
+  // each region against the (already validated) total size first.
+  if (meta_offset != kHeaderBytes || meta_bytes > bytes.size() ||
+      meta_offset > bytes.size() - meta_bytes) {
+    throw ParseError("checkpoint: meta block out of range");
+  }
+  if (payload_offset % kTensorAlignment != 0) {
+    throw ParseError("checkpoint: payload offset not 64-byte aligned");
+  }
+  if (payload_bytes > bytes.size() ||
+      payload_offset > bytes.size() - payload_bytes ||
+      payload_offset < meta_offset + meta_bytes ||
+      payload_offset + payload_bytes != bytes.size()) {
+    throw ParseError("checkpoint: payload region out of range");
+  }
+  const std::uint32_t want_crc = get_u32(bytes, kOffCrc);
+  const std::uint32_t got_crc =
+      crc32(bytes.data() + meta_offset, bytes.size() - meta_offset);
+  if (want_crc != got_crc) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%08x, header says %08x", got_crc,
+                  want_crc);
+    throw ParseError(std::string("checkpoint: CRC32 mismatch (payload is ") +
+                     buf + ") — file is corrupt");
+  }
+
+  CheckpointReader reader;
+  reader.meta_ = obs::parse_json(
+      std::string_view(bytes.data() + meta_offset, meta_bytes));
+  if (!reader.meta_.is_object()) {
+    throw ParseError("checkpoint: meta block is not a JSON object");
+  }
+  const obs::JsonValue* schema = reader.meta_.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kCheckpointSchema) {
+    throw ParseError("checkpoint: meta schema is not '" +
+                     std::string(kCheckpointSchema) + "'");
+  }
+  const obs::JsonValue* kind = reader.meta_.find("kind");
+  if (kind == nullptr || !kind->is_string() || kind->as_string().empty()) {
+    throw ParseError("checkpoint: meta is missing a string 'kind'");
+  }
+  if (reader.meta_.find("provenance") == nullptr) {
+    throw ParseError("checkpoint: meta is missing 'provenance'");
+  }
+  reader.kind_ = kind->as_string();
+
+  const obs::JsonValue* dir = reader.meta_.find("tensors");
+  if (dir == nullptr || !dir->is_array()) {
+    throw ParseError("checkpoint: meta is missing the tensor directory");
+  }
+  for (const obs::JsonValue& entry : dir->as_array()) {
+    if (!entry.is_object()) {
+      throw ParseError("checkpoint: tensor directory entry is not an object");
+    }
+    const obs::JsonValue* name = entry.find("name");
+    const obs::JsonValue* dtype = entry.find("dtype");
+    const obs::JsonValue* rows = entry.find("rows");
+    const obs::JsonValue* cols = entry.find("cols");
+    const obs::JsonValue* offset = entry.find("offset");
+    const obs::JsonValue* tbytes = entry.find("bytes");
+    if (name == nullptr || !name->is_string() || dtype == nullptr ||
+        !dtype->is_string() || rows == nullptr || !rows->is_number() ||
+        cols == nullptr || !cols->is_number() || offset == nullptr ||
+        !offset->is_number() || tbytes == nullptr || !tbytes->is_number()) {
+      throw ParseError("checkpoint: malformed tensor directory entry");
+    }
+    TensorInfo info;
+    info.name = name->as_string();
+    info.dtype = dtype_from_name(dtype->as_string());
+    // Artifact-scale tensors fit doubles exactly; negative or fractional
+    // values are corruption.
+    auto to_u64 = [](double v, const char* field) {
+      if (v < 0 || v != static_cast<double>(static_cast<std::uint64_t>(v))) {
+        throw ParseError(std::string("checkpoint: tensor ") + field +
+                         " is not a non-negative integer");
+      }
+      return static_cast<std::uint64_t>(v);
+    };
+    info.rows = to_u64(rows->as_number(), "rows");
+    info.cols = to_u64(cols->as_number(), "cols");
+    info.offset = to_u64(offset->as_number(), "offset");
+    info.bytes = to_u64(tbytes->as_number(), "bytes");
+    if (info.offset % kTensorAlignment != 0) {
+      throw ParseError("checkpoint: tensor '" + info.name +
+                       "' offset is not 64-byte aligned");
+    }
+    if (info.bytes != info.rows * info.cols * dtype_bytes(info.dtype)) {
+      throw ParseError("checkpoint: tensor '" + info.name +
+                       "' byte size does not match its shape");
+    }
+    if (info.offset > payload_bytes ||
+        info.bytes > payload_bytes - info.offset) {
+      throw ParseError("checkpoint: tensor '" + info.name +
+                       "' extends past the payload region");
+    }
+    for (const TensorInfo& seen : reader.tensors_) {
+      if (seen.name == info.name) {
+        throw ParseError("checkpoint: duplicate tensor '" + info.name +
+                         "' in directory");
+      }
+    }
+    reader.tensors_.push_back(std::move(info));
+  }
+
+  // Keep the bytes in an aligned buffer so payload views are themselves
+  // 64-byte aligned (payload_offset is a multiple of the alignment).
+  auto* buf = static_cast<std::byte*>(::operator new[](
+      bytes.size(), std::align_val_t{kTensorAlignment}));
+  reader.data_.reset(buf);
+  std::memcpy(buf, bytes.data(), bytes.size());
+  reader.file_bytes_ = bytes.size();
+  reader.payload_offset_ = payload_offset;
+  reader.payload_bytes_ = payload_bytes;
+  reader.meta_bytes_ = meta_bytes;
+  reader.version_ = version;
+  reader.crc_ = want_crc;
+  return reader;
+}
+
+CheckpointReader CheckpointReader::from_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw IoError("checkpoint: cannot open '" + path + "'");
+  }
+  std::string bytes((std::istreambuf_iterator<char>(is)),
+                    std::istreambuf_iterator<char>());
+  if (is.bad()) {
+    throw IoError("checkpoint: read failed for '" + path + "'");
+  }
+  return from_bytes(bytes);
+}
+
+const TensorInfo& CheckpointReader::tensor(std::string_view name) const {
+  for (const TensorInfo& t : tensors_) {
+    if (t.name == name) return t;
+  }
+  throw ParseError("checkpoint: no tensor named '" + std::string(name) +
+                   "'");
+}
+
+bool CheckpointReader::has_tensor(std::string_view name) const {
+  for (const TensorInfo& t : tensors_) {
+    if (t.name == name) return true;
+  }
+  return false;
+}
+
+const std::byte* CheckpointReader::tensor_data(const TensorInfo& info) const {
+  return data_.get() + payload_offset_ + info.offset;
+}
+
+std::pair<const float*, std::size_t> CheckpointReader::f32_view(
+    std::string_view name) const {
+  const TensorInfo& info = tensor(name);
+  if (info.dtype != Dtype::kF32) {
+    throw ParseError("checkpoint: tensor '" + std::string(name) +
+                     "' is not f32");
+  }
+  return {reinterpret_cast<const float*>(tensor_data(info)),
+          static_cast<std::size_t>(info.rows * info.cols)};
+}
+
+std::pair<const double*, std::size_t> CheckpointReader::f64_view(
+    std::string_view name) const {
+  const TensorInfo& info = tensor(name);
+  if (info.dtype != Dtype::kF64) {
+    throw ParseError("checkpoint: tensor '" + std::string(name) +
+                     "' is not f64");
+  }
+  return {reinterpret_cast<const double*>(tensor_data(info)),
+          static_cast<std::size_t>(info.rows * info.cols)};
+}
+
+std::string_view CheckpointReader::bytes_view(std::string_view name) const {
+  const TensorInfo& info = tensor(name);
+  if (info.dtype != Dtype::kU8) {
+    throw ParseError("checkpoint: tensor '" + std::string(name) +
+                     "' is not u8");
+  }
+  return {reinterpret_cast<const char*>(tensor_data(info)),
+          static_cast<std::size_t>(info.bytes)};
+}
+
+math::Matrix CheckpointReader::read_matrix(std::string_view name) const {
+  const TensorInfo& info = tensor(name);
+  if (info.dtype != Dtype::kF32) {
+    throw ParseError("checkpoint: tensor '" + std::string(name) +
+                     "' is not f32");
+  }
+  math::Matrix m(static_cast<std::size_t>(info.rows),
+                 static_cast<std::size_t>(info.cols));
+  std::memcpy(m.data(), tensor_data(info),
+              static_cast<std::size_t>(info.bytes));
+  return m;
+}
+
+namespace {
+
+const obs::JsonValue& attr_or_throw(const obs::JsonValue* attrs,
+                                    std::string_view key) {
+  const obs::JsonValue* v =
+      attrs == nullptr ? nullptr : attrs->find(key);
+  if (v == nullptr) {
+    throw ParseError("checkpoint: missing attr '" + std::string(key) + "'");
+  }
+  return *v;
+}
+
+}  // namespace
+
+std::string CheckpointReader::attr_string(std::string_view key) const {
+  const obs::JsonValue& v = attr_or_throw(attrs(), key);
+  if (!v.is_string()) {
+    throw ParseError("checkpoint: attr '" + std::string(key) +
+                     "' is not a string");
+  }
+  return v.as_string();
+}
+
+double CheckpointReader::attr_number(std::string_view key) const {
+  const obs::JsonValue& v = attr_or_throw(attrs(), key);
+  if (!v.is_number()) {
+    throw ParseError("checkpoint: attr '" + std::string(key) +
+                     "' is not a number");
+  }
+  return v.as_number();
+}
+
+std::uint64_t CheckpointReader::attr_u64(std::string_view key) const {
+  const double v = attr_number(key);
+  if (v < 0 || v != static_cast<double>(static_cast<std::uint64_t>(v))) {
+    throw ParseError("checkpoint: attr '" + std::string(key) +
+                     "' is not a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+bool CheckpointReader::attr_bool(std::string_view key) const {
+  const obs::JsonValue& v = attr_or_throw(attrs(), key);
+  if (!v.is_bool()) {
+    throw ParseError("checkpoint: attr '" + std::string(key) +
+                     "' is not a bool");
+  }
+  return v.as_bool();
+}
+
+}  // namespace gansec::model

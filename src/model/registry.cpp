@@ -1,0 +1,317 @@
+#include "gansec/model/registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <utility>
+
+#include "gansec/error.hpp"
+#include "gansec/model/checkpoint.hpp"
+#include "gansec/model/serialize.hpp"
+#include "gansec/obs/metrics.hpp"
+#include "gansec/obs/report.hpp"
+
+namespace gansec::model {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+obs::Counter& saves_counter() {
+  static obs::Counter& c = obs::counter("model.registry.saves");
+  return c;
+}
+
+obs::Counter& loads_counter() {
+  static obs::Counter& c = obs::counter("model.registry.loads");
+  return c;
+}
+
+std::uint64_t json_u64(const obs::JsonValue& object, std::string_view key) {
+  const obs::JsonValue* v = object.find(key);
+  if (v == nullptr || !v->is_number()) {
+    throw ParseError("registry: manifest entry member '" + std::string(key) +
+                     "' is missing or not a number");
+  }
+  const double d = v->as_number();
+  if (d < 0 || d != static_cast<double>(static_cast<std::uint64_t>(d))) {
+    throw ParseError("registry: manifest entry member '" + std::string(key) +
+                     "' is not a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(d);
+}
+
+std::string json_string(const obs::JsonValue& object, std::string_view key) {
+  const obs::JsonValue* v = object.find(key);
+  if (v == nullptr || !v->is_string()) {
+    throw ParseError("registry: manifest entry member '" + std::string(key) +
+                     "' is missing or not a string");
+  }
+  return v->as_string();
+}
+
+}  // namespace
+
+ModelRegistry::ModelRegistry(fs::path directory,
+                             std::size_t retain_generations)
+    : dir_(std::move(directory)), retain_(retain_generations) {
+  if (dir_.empty()) {
+    throw InvalidArgumentError("ModelRegistry: empty directory path");
+  }
+  if (retain_ == 0) {
+    throw InvalidArgumentError(
+        "ModelRegistry: retain_generations must be >= 1");
+  }
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    throw IoError("ModelRegistry: cannot create directory '" +
+                  dir_.string() + "': " + ec.message());
+  }
+}
+
+std::string ModelRegistry::key_for(const cpps::FlowPair& pair) {
+  if (pair.first.empty() || pair.second.empty()) {
+    throw InvalidArgumentError("ModelRegistry::key_for: empty flow id");
+  }
+  auto sanitize = [](const std::string& id) {
+    std::string out;
+    for (const char ch : id) {
+      out += (std::isalnum(static_cast<unsigned char>(ch)) != 0) ? ch : '-';
+    }
+    return out;
+  };
+  return sanitize(pair.first) + "__" + sanitize(pair.second);
+}
+
+fs::path ModelRegistry::manifest_path() const {
+  return dir_ / "manifest.json";
+}
+
+std::vector<ModelRegistry::Entry> ModelRegistry::read_manifest() const {
+  const fs::path path = manifest_path();
+  std::error_code ec;
+  if (!fs::exists(path, ec)) return {};  // empty registry
+  const obs::JsonValue root = obs::parse_json_file(path.string());
+  const obs::JsonValue* schema = root.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kRegistrySchema) {
+    throw ParseError("registry: manifest schema is not '" +
+                     std::string(kRegistrySchema) + "'");
+  }
+  const obs::JsonValue* items = root.find("entries");
+  if (items == nullptr || !items->is_array()) {
+    throw ParseError("registry: manifest has no 'entries' array");
+  }
+  std::vector<Entry> entries;
+  entries.reserve(items->as_array().size());
+  for (const obs::JsonValue& item : items->as_array()) {
+    if (!item.is_object()) {
+      throw ParseError("registry: manifest entry is not an object");
+    }
+    Entry e;
+    e.pair.first = json_string(item, "first");
+    e.pair.second = json_string(item, "second");
+    e.file = json_string(item, "file");
+    e.generation = json_u64(item, "generation");
+    e.bytes = json_u64(item, "bytes");
+    e.crc32 = static_cast<std::uint32_t>(json_u64(item, "crc32"));
+    e.git_sha = json_string(item, "git_sha");
+    if (e.generation == 0) {
+      throw ParseError("registry: manifest entry has generation 0");
+    }
+    // Filenames are registry-generated; anything with a path separator is
+    // tampering, and following it would escape the directory.
+    if (e.file.empty() || e.file.find('/') != std::string::npos ||
+        e.file.find('\\') != std::string::npos) {
+      throw ParseError("registry: manifest entry has an invalid filename '" +
+                       e.file + "'");
+    }
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+void ModelRegistry::write_manifest(const std::vector<Entry>& entries) const {
+  std::string out = "{\"schema\":\"";
+  out += kRegistrySchema;
+  out += "\",\"entries\":[";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    if (i != 0) out += ',';
+    out += "{\"first\":\"" + obs::json_escape(e.pair.first) +
+           "\",\"second\":\"" + obs::json_escape(e.pair.second) +
+           "\",\"file\":\"" + obs::json_escape(e.file) +
+           "\",\"generation\":" + std::to_string(e.generation) +
+           ",\"bytes\":" + std::to_string(e.bytes) +
+           ",\"crc32\":" + std::to_string(e.crc32) + ",\"git_sha\":\"" +
+           obs::json_escape(e.git_sha) + "\"}";
+  }
+  out += "]}";
+  const fs::path path = manifest_path();
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      throw IoError("ModelRegistry: cannot open '" + tmp.string() + "'");
+    }
+    os << out;
+    if (!os) {
+      throw IoError("ModelRegistry: manifest write failed");
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw IoError("ModelRegistry: cannot publish manifest: " + ec.message());
+  }
+}
+
+bool ModelRegistry::contains(const cpps::FlowPair& pair) const {
+  return latest_generation(pair) != 0;
+}
+
+std::uint64_t ModelRegistry::latest_generation(
+    const cpps::FlowPair& pair) const {
+  std::uint64_t latest = 0;
+  for (const Entry& e : read_manifest()) {
+    if (e.pair == pair) latest = std::max(latest, e.generation);
+  }
+  return latest;
+}
+
+ModelRegistry::Entry ModelRegistry::save(const cpps::FlowPair& pair,
+                                         const gan::Cgan& model) {
+  std::vector<Entry> entries = read_manifest();
+  std::uint64_t latest = 0;
+  for (const Entry& e : entries) {
+    if (e.pair == pair) latest = std::max(latest, e.generation);
+  }
+
+  Entry entry;
+  entry.pair = pair;
+  entry.generation = latest + 1;
+  entry.file = key_for(pair) + ".g" + std::to_string(entry.generation) +
+               kCheckpointExtension;
+  entry.git_sha = obs::build_info().git_sha;
+
+  const fs::path file_path = dir_ / entry.file;
+  CheckpointWriter writer = make_cgan_writer(model);
+  writer.write_file(file_path.string());
+  // Record the integrity facts from the file just published, not from a
+  // second serialization: what load verifies is exactly what landed.
+  const CheckpointReader written =
+      CheckpointReader::from_file(file_path.string());
+  entry.bytes = written.file_bytes();
+  entry.crc32 = written.crc();
+
+  // Publish the new generation, then prune beyond the retention window
+  // (oldest first). The manifest flips only after the checkpoint is fully
+  // on disk, so a concurrent load_latest never sees a partial file.
+  entries.push_back(entry);
+  std::vector<const Entry*> mine;
+  for (const Entry& e : entries) {
+    if (e.pair == pair) mine.push_back(&e);
+  }
+  std::vector<std::string> doomed;
+  if (mine.size() > retain_) {
+    std::sort(mine.begin(), mine.end(), [](const Entry* a, const Entry* b) {
+      return a->generation < b->generation;
+    });
+    for (std::size_t i = 0; i + retain_ < mine.size(); ++i) {
+      doomed.push_back(mine[i]->file);
+    }
+    entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                 [&](const Entry& e) {
+                                   return std::find(doomed.begin(),
+                                                    doomed.end(), e.file) !=
+                                          doomed.end();
+                                 }),
+                  entries.end());
+  }
+  write_manifest(entries);
+  for (const std::string& file : doomed) {
+    std::error_code ec;
+    fs::remove(dir_ / file, ec);  // best effort; the manifest is truth
+  }
+  saves_counter().add();
+  return entry;
+}
+
+gan::Cgan ModelRegistry::load_entry(const Entry& entry) const {
+  const fs::path path = dir_ / entry.file;
+  const CheckpointReader reader = CheckpointReader::from_file(path.string());
+  if (reader.file_bytes() != entry.bytes || reader.crc() != entry.crc32) {
+    throw ParseError("registry: checkpoint '" + entry.file +
+                     "' does not match its manifest record (size/CRC) — "
+                     "file was swapped or corrupted");
+  }
+  gan::Cgan model = load_cgan_checkpoint(reader);
+  loads_counter().add();
+  return model;
+}
+
+gan::Cgan ModelRegistry::load(const cpps::FlowPair& pair) const {
+  const Entry* best = nullptr;
+  const std::vector<Entry> entries = read_manifest();
+  for (const Entry& e : entries) {
+    if (e.pair == pair &&
+        (best == nullptr || e.generation > best->generation)) {
+      best = &e;
+    }
+  }
+  if (best == nullptr) {
+    throw IoError("ModelRegistry: no stored model for pair (" + pair.first +
+                  ", " + pair.second + ")");
+  }
+  return load_entry(*best);
+}
+
+gan::Cgan ModelRegistry::load_latest(const cpps::FlowPair& pair) const {
+  return load(pair);
+}
+
+gan::Cgan ModelRegistry::load_generation(const cpps::FlowPair& pair,
+                                         std::uint64_t generation) const {
+  for (const Entry& e : read_manifest()) {
+    if (e.pair == pair && e.generation == generation) {
+      return load_entry(e);
+    }
+  }
+  throw IoError("ModelRegistry: no generation " + std::to_string(generation) +
+                " for pair (" + pair.first + ", " + pair.second + ")");
+}
+
+void ModelRegistry::remove(const cpps::FlowPair& pair) {
+  std::vector<Entry> entries = read_manifest();
+  std::vector<std::string> doomed;
+  for (const Entry& e : entries) {
+    if (e.pair == pair) doomed.push_back(e.file);
+  }
+  if (doomed.empty()) return;
+  entries.erase(std::remove_if(entries.begin(), entries.end(),
+                               [&](const Entry& e) { return e.pair == pair; }),
+                entries.end());
+  write_manifest(entries);
+  for (const std::string& file : doomed) {
+    std::error_code ec;
+    fs::remove(dir_ / file, ec);
+  }
+}
+
+std::vector<cpps::FlowPair> ModelRegistry::list() const {
+  std::vector<cpps::FlowPair> pairs;
+  for (const Entry& e : read_manifest()) {
+    if (std::find(pairs.begin(), pairs.end(), e.pair) == pairs.end()) {
+      pairs.push_back(e.pair);
+    }
+  }
+  return pairs;
+}
+
+std::vector<ModelRegistry::Entry> ModelRegistry::entries() const {
+  return read_manifest();
+}
+
+}  // namespace gansec::model

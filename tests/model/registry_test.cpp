@@ -1,0 +1,265 @@
+// ModelRegistry battery: the "Storage" half of Algorithm 2. Covers the
+// whole ModelStore-era contract (key encoding, manifest persistence,
+// round trips, removal) plus the v2 guarantees — generations, retention
+// pruning, hot-swap load_latest, manifest/checkpoint cross-checks and
+// path-traversal rejection.
+#include "gansec/model/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "gansec/error.hpp"
+#include "gansec/math/rng.hpp"
+#include "gansec/model/checkpoint.hpp"
+
+namespace gansec::model {
+namespace {
+
+namespace fs = std::filesystem;
+
+gan::CganTopology tiny_topology() {
+  gan::CganTopology t;
+  t.data_dim = 4;
+  t.cond_dim = 2;
+  t.noise_dim = 3;
+  t.generator_hidden = {8};
+  t.discriminator_hidden = {8};
+  return t;
+}
+
+/// First generated row for a fixed condition/seed — a cheap model
+/// fingerprint for distinguishing generations.
+math::Matrix fingerprint(gan::Cgan& model) {
+  math::Rng rng(1);
+  math::Matrix cond(1, 2, 0.0F);
+  cond(0, 0) = 1.0F;
+  return model.generate_for_condition(cond, 3, rng);
+}
+
+class ModelRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // One directory per test: gtest_discover_tests runs each TEST_F as its
+    // own ctest entry, so parallel ctest means parallel processes — a
+    // shared directory would race on SetUp's remove_all.
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::path(::testing::TempDir()) /
+           (std::string("gansec_registry_") + info->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  fs::path dir_;
+};
+
+TEST_F(ModelRegistryTest, EmptyPathThrows) {
+  EXPECT_THROW(ModelRegistry{fs::path{}}, InvalidArgumentError);
+}
+
+TEST_F(ModelRegistryTest, ZeroRetentionThrows) {
+  EXPECT_THROW(ModelRegistry(dir_, 0), InvalidArgumentError);
+}
+
+TEST_F(ModelRegistryTest, CreatesDirectory) {
+  ModelRegistry registry(dir_);
+  EXPECT_TRUE(fs::exists(dir_));
+}
+
+TEST_F(ModelRegistryTest, KeyEncoding) {
+  EXPECT_EQ(ModelRegistry::key_for({"F1", "F16"}), "F1__F16");
+  EXPECT_EQ(ModelRegistry::key_for({"a/b", "c d"}), "a-b__c-d");
+  EXPECT_THROW(ModelRegistry::key_for({"", "F1"}), InvalidArgumentError);
+}
+
+TEST_F(ModelRegistryTest, EmptyRegistryLists) {
+  ModelRegistry registry(dir_);
+  EXPECT_TRUE(registry.list().empty());
+  EXPECT_TRUE(registry.entries().empty());
+  EXPECT_FALSE(registry.contains({"F1", "F16"}));
+  EXPECT_EQ(registry.latest_generation({"F1", "F16"}), 0U);
+}
+
+TEST_F(ModelRegistryTest, SaveLoadRoundTrip) {
+  ModelRegistry registry(dir_);
+  gan::Cgan model(tiny_topology(), 3);
+  const cpps::FlowPair pair{"F1", "F16"};
+  const ModelRegistry::Entry entry = registry.save(pair, model);
+  EXPECT_TRUE(registry.contains(pair));
+  EXPECT_EQ(entry.generation, 1U);
+  EXPECT_EQ(entry.file, "F1__F16.g1.gsm");
+  EXPECT_GT(entry.bytes, kHeaderBytes);
+  gan::Cgan loaded = registry.load(pair);
+  EXPECT_EQ(fingerprint(model), fingerprint(loaded));
+}
+
+TEST_F(ModelRegistryTest, SavedEntryMatchesOnDiskCheckpoint) {
+  ModelRegistry registry(dir_);
+  gan::Cgan model(tiny_topology(), 3);
+  const ModelRegistry::Entry entry = registry.save({"F1", "F16"}, model);
+  const CheckpointReader reader =
+      CheckpointReader::from_file((dir_ / entry.file).string());
+  EXPECT_EQ(reader.file_bytes(), entry.bytes);
+  EXPECT_EQ(reader.crc(), entry.crc32);
+  EXPECT_EQ(reader.kind(), "cgan");
+}
+
+TEST_F(ModelRegistryTest, GenerationsIncrementAndPrune) {
+  ModelRegistry registry(dir_, /*retain_generations=*/2);
+  gan::Cgan model(tiny_topology(), 3);
+  const cpps::FlowPair pair{"F1", "F16"};
+  registry.save(pair, model);
+  registry.save(pair, model);
+  registry.save(pair, model);
+  EXPECT_EQ(registry.latest_generation(pair), 3U);
+  // Retention keeps generations 2 and 3; generation 1 is gone from both
+  // the manifest and the disk.
+  const auto entries = registry.entries();
+  ASSERT_EQ(entries.size(), 2U);
+  EXPECT_EQ(entries[0].generation, 2U);
+  EXPECT_EQ(entries[1].generation, 3U);
+  EXPECT_FALSE(fs::exists(dir_ / "F1__F16.g1.gsm"));
+  EXPECT_TRUE(fs::exists(dir_ / "F1__F16.g2.gsm"));
+  EXPECT_TRUE(fs::exists(dir_ / "F1__F16.g3.gsm"));
+  EXPECT_NO_THROW(registry.load_generation(pair, 2));
+  EXPECT_THROW(registry.load_generation(pair, 1), IoError);
+}
+
+TEST_F(ModelRegistryTest, HotSwapLoadLatestPicksUpNewGenerations) {
+  ModelRegistry registry(dir_);
+  const cpps::FlowPair pair{"F1", "F16"};
+  gan::Cgan first(tiny_topology(), 3);
+  registry.save(pair, first);
+  gan::Cgan served_v1 = registry.load_latest(pair);
+  EXPECT_EQ(fingerprint(served_v1), fingerprint(first));
+
+  // A retrain publishes generation 2; re-calling load_latest (the serving
+  // path) observes it without reopening the registry.
+  gan::Cgan second(tiny_topology(), 99);
+  registry.save(pair, second);
+  gan::Cgan served_v2 = registry.load_latest(pair);
+  EXPECT_EQ(fingerprint(served_v2), fingerprint(second));
+  EXPECT_NE(fingerprint(served_v2), fingerprint(first));
+}
+
+TEST_F(ModelRegistryTest, ManifestTracksDistinctPairs) {
+  ModelRegistry registry(dir_);
+  gan::Cgan model(tiny_topology(), 3);
+  registry.save({"F1", "F16"}, model);
+  registry.save({"F1", "F17"}, model);
+  registry.save({"F1", "F16"}, model);  // second generation, same pair
+  const auto pairs = registry.list();
+  ASSERT_EQ(pairs.size(), 2U);
+  EXPECT_EQ(pairs[0], (cpps::FlowPair{"F1", "F16"}));
+  EXPECT_EQ(pairs[1], (cpps::FlowPair{"F1", "F17"}));
+}
+
+TEST_F(ModelRegistryTest, ManifestSurvivesReopen) {
+  {
+    ModelRegistry registry(dir_);
+    gan::Cgan model(tiny_topology(), 3);
+    registry.save({"F1", "F20"}, model);
+  }
+  ModelRegistry reopened(dir_);
+  ASSERT_EQ(reopened.list().size(), 1U);
+  EXPECT_TRUE(reopened.contains({"F1", "F20"}));
+  EXPECT_NO_THROW(reopened.load({"F1", "F20"}));
+}
+
+TEST_F(ModelRegistryTest, LoadMissingThrows) {
+  ModelRegistry registry(dir_);
+  EXPECT_THROW(registry.load({"F1", "F16"}), IoError);
+  EXPECT_THROW(registry.load_latest({"F1", "F16"}), IoError);
+}
+
+TEST_F(ModelRegistryTest, RemoveDeletesAllGenerations) {
+  ModelRegistry registry(dir_);
+  gan::Cgan model(tiny_topology(), 3);
+  registry.save({"F1", "F16"}, model);
+  registry.save({"F1", "F16"}, model);
+  registry.save({"F1", "F17"}, model);
+  registry.remove({"F1", "F16"});
+  EXPECT_FALSE(registry.contains({"F1", "F16"}));
+  EXPECT_TRUE(registry.contains({"F1", "F17"}));
+  EXPECT_EQ(registry.list().size(), 1U);
+  EXPECT_FALSE(fs::exists(dir_ / "F1__F16.g1.gsm"));
+  EXPECT_FALSE(fs::exists(dir_ / "F1__F16.g2.gsm"));
+  EXPECT_NO_THROW(registry.remove({"F1", "F16"}));  // idempotent
+}
+
+TEST_F(ModelRegistryTest, CorruptManifestThrows) {
+  ModelRegistry registry(dir_);
+  {
+    std::ofstream os(dir_ / "manifest.json");
+    os << "garbage 9\n";
+  }
+  EXPECT_THROW(registry.list(), ParseError);
+}
+
+TEST_F(ModelRegistryTest, WrongManifestSchemaThrows) {
+  ModelRegistry registry(dir_);
+  {
+    std::ofstream os(dir_ / "manifest.json");
+    os << R"({"schema":"gansec.registry.v1","entries":[]})";
+  }
+  EXPECT_THROW(registry.entries(), ParseError);
+}
+
+TEST_F(ModelRegistryTest, PathTraversalFilenameRejected) {
+  ModelRegistry registry(dir_);
+  {
+    std::ofstream os(dir_ / "manifest.json");
+    os << R"({"schema":"gansec.registry.v2","entries":[{"first":"F1",)"
+       << R"("second":"F16","file":"../evil.gsm","generation":1,)"
+       << R"("bytes":1,"crc32":0,"git_sha":"x"}]})";
+  }
+  EXPECT_THROW(registry.entries(), ParseError);
+  EXPECT_THROW(registry.load({"F1", "F16"}), ParseError);
+}
+
+TEST_F(ModelRegistryTest, TruncatedCheckpointFailsTyped) {
+  ModelRegistry registry(dir_);
+  gan::Cgan model(tiny_topology(), 3);
+  const ModelRegistry::Entry entry = registry.save({"F1", "F16"}, model);
+  fs::resize_file(dir_ / entry.file, entry.bytes / 2);
+  EXPECT_THROW(registry.load({"F1", "F16"}), Error);
+}
+
+TEST_F(ModelRegistryTest, SwappedCheckpointFailsManifestCrossCheck) {
+  // A well-formed checkpoint of the WRONG model must still fail: the
+  // manifest records size+CRC of the published file, and load cross-checks
+  // them before deserializing.
+  ModelRegistry registry(dir_);
+  gan::Cgan model_a(tiny_topology(), 3);
+  gan::Cgan model_b(tiny_topology(), 99);
+  const ModelRegistry::Entry entry_a = registry.save({"F1", "F16"}, model_a);
+  const ModelRegistry::Entry entry_b = registry.save({"F2", "F17"}, model_b);
+  fs::copy_file(dir_ / entry_b.file, dir_ / entry_a.file,
+                fs::copy_options::overwrite_existing);
+  try {
+    registry.load({"F1", "F16"});
+    FAIL() << "swapped checkpoint loaded";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("does not match its manifest"),
+              std::string::npos)
+        << e.what();
+  }
+  // The untouched pair still loads.
+  EXPECT_NO_THROW(registry.load({"F2", "F17"}));
+}
+
+TEST_F(ModelRegistryTest, SaveLeavesNoTempFiles) {
+  ModelRegistry registry(dir_);
+  gan::Cgan model(tiny_topology(), 3);
+  registry.save({"F1", "F16"}, model);
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    EXPECT_EQ(entry.path().extension() == ".tmp", false)
+        << entry.path().string();
+  }
+}
+
+}  // namespace
+}  // namespace gansec::model

@@ -7,10 +7,11 @@
 //
 // Compares the named metrics of two artifacts produced by the same bench
 // binary (schema "gansec.bench.v1"), two lint artifacts ("gansec.lint.v1",
-// same metric shape as bench — file/violation/suppression counts), or two
-// run reports ("gansec.run_report.v1", whose scalar "results" entries are
-// compared two-sided). Each bench metric carries its own regression
-// direction:
+// same metric shape as bench — file/violation/suppression counts), two
+// checkpoint-verification artifacts ("gansec.ckpt.v1", emitted by
+// gansec_ckpt verify, same metric shape), or two run reports
+// ("gansec.run_report.v1", whose scalar "results" entries are compared
+// two-sided). Each bench metric carries its own regression direction:
 //
 //   lower_is_better  — regression when candidate > baseline * (1 + R)
 //   higher_is_better — regression when candidate < baseline * (1 - R)
@@ -40,6 +41,7 @@ using gansec::obs::JsonValue;
 
 constexpr const char* kBenchSchema = "gansec.bench.v1";
 constexpr const char* kLintSchema = "gansec.lint.v1";
+constexpr const char* kCkptSchema = "gansec.ckpt.v1";
 constexpr const char* kRunReportSchema = "gansec.run_report.v1";
 
 struct Metric {
@@ -77,9 +79,10 @@ std::vector<Metric> extract_metrics(const JsonValue& root,
                                     const std::string& schema,
                                     const std::string& path) {
   std::vector<Metric> metrics;
-  // Lint artifacts deliberately share the bench metric shape so the same
-  // extraction (and diffing) applies.
-  if (schema == kBenchSchema || schema == kLintSchema) {
+  // Lint and checkpoint-verification artifacts deliberately share the
+  // bench metric shape so the same extraction (and diffing) applies.
+  if (schema == kBenchSchema || schema == kLintSchema ||
+      schema == kCkptSchema) {
     const JsonValue* map = root.find("metrics");
     if (map == nullptr || !map->is_object()) {
       throw gansec::ParseError(path + ": missing object member \"metrics\"");
@@ -121,14 +124,16 @@ std::vector<Metric> extract_metrics(const JsonValue& root,
   }
   throw gansec::ParseError(path + ": unsupported schema \"" + schema +
                            "\" (expected " + kBenchSchema + ", " +
-                           kLintSchema + " or " + kRunReportSchema + ')');
+                           kLintSchema + ", " + kCkptSchema + " or " +
+                           kRunReportSchema + ')');
 }
 
 /// Structural validation beyond extract_metrics: the provenance members
 /// every artifact must carry so a diff can be traced back to a build.
 void check_artifact(const JsonValue& root, const std::string& schema,
                     const std::string& path) {
-  if (schema == kBenchSchema || schema == kLintSchema) {
+  if (schema == kBenchSchema || schema == kLintSchema ||
+      schema == kCkptSchema) {
     for (const char* member : {"name", "build", "host", "wall_ms"}) {
       if (root.find(member) == nullptr) {
         throw gansec::ParseError(path + ": missing member \"" +

@@ -18,6 +18,7 @@
 // count. An atexit + SIGINT/SIGTERM flusher writes the trace/metrics
 // artifacts even when a run dies early.
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -29,6 +30,9 @@
 #include "gansec/core/pipeline.hpp"
 #include "gansec/cpps/dot.hpp"
 #include "gansec/error.hpp"
+#include "gansec/model/checkpoint.hpp"
+#include "gansec/model/registry.hpp"
+#include "gansec/model/serialize.hpp"
 #include "gansec/obs/log.hpp"
 #include "gansec/obs/metrics.hpp"
 #include "gansec/obs/report.hpp"
@@ -42,8 +46,8 @@ namespace {
 using namespace gansec;
 
 const std::set<std::string> kFlags = {
-    "model", "samples", "bins", "window", "iterations", "seed", "h",
-    "scaler", "attack-fraction", "threads", "log-level", "trace-out",
+    "model", "registry", "samples", "bins", "window", "iterations", "seed",
+    "h", "scaler", "attack-fraction", "threads", "log-level", "trace-out",
     "metrics-out", "report-out", "progress"};
 
 const std::set<std::string> kBoolFlags = {"log-json"};
@@ -102,6 +106,36 @@ void describe_common_config(const core::Args& args, obs::RunReport& report) {
   report.add_config("window_s", config.dataset.window_s);
   report.add_config("parzen_h", config.likelihood.parzen_h);
   report.add_seed("dataset", config.dataset.seed);
+}
+
+// True when `path` holds a gansec.model.v1 binary checkpoint (sniffs the
+// 8-byte magic), false for the legacy text format or anything else.
+bool is_checkpoint_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  char magic[sizeof(model::kCheckpointMagic)] = {};
+  if (!is.read(magic, sizeof(magic))) return false;
+  return std::memcmp(magic, model::kCheckpointMagic, sizeof(magic)) == 0;
+}
+
+// Loads a model from either format: binary checkpoints are detected by
+// magic, everything else goes through the legacy text loader.
+gan::Cgan load_model(const std::string& path) {
+  if (is_checkpoint_file(path)) {
+    return model::load_cgan_checkpoint_file(path);
+  }
+  return gan::Cgan::load_file(path);
+}
+
+// Saves in the format the filename asks for: `.gsm` selects the binary
+// gansec.model.v1 checkpoint, anything else the legacy text format.
+void save_model(const gan::Cgan& m, const std::string& path) {
+  const std::string ext = model::kCheckpointExtension;
+  if (path.size() >= ext.size() &&
+      path.compare(path.size() - ext.size(), ext.size(), ext) == 0) {
+    model::save_cgan_checkpoint(m, path);
+  } else {
+    m.save_file(path);
+  }
 }
 
 core::PipelineConfig config_from(const core::Args& args) {
@@ -170,7 +204,7 @@ int cmd_train(const core::Args& args, obs::RunReport* report) {
     report->add_result("attacker_accuracy",
                        result.confidentiality.attacker_accuracy);
   }
-  result.model.save_file(model_path);
+  save_model(result.model, model_path);
   {
     std::ofstream os(scaler_path);
     if (!os) throw IoError("cannot write scaler to " + scaler_path);
@@ -188,7 +222,7 @@ int cmd_train(const core::Args& args, obs::RunReport* report) {
 
 int cmd_analyze(const core::Args& args, obs::RunReport* report) {
   const std::string model_path = args.get("model", "gansec-model.cgan");
-  gan::Cgan model = gan::Cgan::load_file(model_path);
+  gan::Cgan model = load_model(model_path);
   core::PipelineConfig config = config_from(args);
   // analyze/detect run outside GanSecPipeline::run(), so install the
   // execution knobs (--threads) for the analyzers here.
@@ -224,7 +258,7 @@ int cmd_analyze(const core::Args& args, obs::RunReport* report) {
 int cmd_detect(const core::Args& args, obs::RunReport* report) {
   const std::string model_path = args.get("model", "gansec-model.cgan");
   const std::string scaler_path = args.get("scaler", model_path + ".scaler");
-  gan::Cgan model = gan::Cgan::load_file(model_path);
+  gan::Cgan model = load_model(model_path);
   core::PipelineConfig config = config_from(args);
   const core::ScopedExecution scoped(config.execution);
   config.dataset.bins = model.topology().data_dim;
@@ -273,6 +307,17 @@ int cmd_detect(const core::Args& args, obs::RunReport* report) {
 int cmd_sweep(const core::Args& args, obs::RunReport* report) {
   core::GanSecPipeline pipeline(config_from(args));
   const core::FlowPairSweep sweep = pipeline.run_flow_pairs();
+  if (args.has("registry")) {
+    model::ModelRegistry registry(args.get("registry", ""));
+    const auto entries = core::GanSecPipeline::save_sweep(sweep, registry);
+    for (const auto& e : entries) {
+      std::cout << "stored " << e.file << " (generation " << e.generation
+                << ")\n";
+    }
+    GANSEC_LOG_INFO("cli.sweep.registry",
+                    {"dir", registry.directory().string()},
+                    {"models", entries.size()});
+  }
   if (report != nullptr) {
     pipeline.describe(*report);
     report->add_result("pairs",
@@ -320,6 +365,11 @@ int usage() {
                "  detect  --model m.cgan    attack-detection evaluation\n"
                "  sweep                     one CGAN per Algorithm 1 pair,\n"
                "                            leakage margin table\n"
+               "model files: *.gsm selects the gansec.model.v1 binary\n"
+               "  checkpoint; other extensions use the legacy text format.\n"
+               "  analyze/detect auto-detect the format by magic.\n"
+               "  sweep --registry DIR      store every pair's model in a\n"
+               "                            versioned ModelRegistry\n"
                "flags: --samples N  --bins N  --window S  --iterations N\n"
                "       --seed N  --h W  --scaler PATH  --attack-fraction F\n"
                "       --threads N  (0 = all cores; results are identical\n"

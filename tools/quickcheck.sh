@@ -5,8 +5,10 @@
 #
 # Runs, per preset (release, asan, tsan): configure, build, and the full
 # ctest suite; then the `lint` and `bench-smoke` ctest labels on the
-# release tree. Prints a pass/fail summary table and exits non-zero if
-# anything failed. Designed to be what you run before pushing.
+# release tree and the `ckpt` checkpoint-format battery on the asan tree
+# (the format's corruption guarantees are proven under ASan). Prints a
+# pass/fail summary table and exits non-zero if anything failed. Designed
+# to be what you run before pushing.
 set -u
 
 cd "$(dirname "$0")/.."
@@ -59,6 +61,13 @@ preset_suite release
 # Label gates run on the release tree (the lint and bench binaries there).
 run_step "lint-label" ctest --test-dir build -L lint --output-on-failure
 run_step "bench-smoke" ctest --test-dir build -L bench-smoke --output-on-failure
+# The checkpoint battery's acceptance bar is "typed errors, never UB" —
+# run it under ASan when that tree exists, else fall back to release.
+if [ "${RUN_ASAN}" = 1 ]; then
+  run_step "ckpt-asan" ctest --test-dir build-asan -L ckpt --output-on-failure
+else
+  run_step "ckpt-label" ctest --test-dir build -L ckpt --output-on-failure
+fi
 
 echo
 echo "==== quickcheck summary"
