@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <new>
@@ -29,6 +30,7 @@
 #include "gansec/model/serialize.hpp"
 #include "gansec/obs/log.hpp"
 #include "gansec/obs/metrics.hpp"
+#include "gansec/obs/prof.hpp"
 #include "gansec/obs/trace.hpp"
 #include "gansec/security/analyzer.hpp"
 #include "gansec/stats/kde.hpp"
@@ -198,6 +200,42 @@ void BM_CganTrainStep(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_CganTrainStep);
+
+// BM_CganTrainStep with the sampling profiler armed at its default
+// 99 Hz — the live-introspection overhead gate. main() joins this
+// against the unprofiled run into `profiler.overhead_pct` (contract:
+// <= 2% at full scale) and records how much of the profile the offline
+// symbolizer resolved (contract: >= 80%).
+void BM_CganTrainStepProfiled(benchmark::State& state) {
+  gan::CganTopology topo;
+  topo.data_dim = 100;
+  topo.cond_dim = 3;
+  topo.generator_hidden = {128, 128};
+  topo.discriminator_hidden = {128, 128};
+  gan::Cgan model(topo, 4);
+  math::Rng rng(4);
+  const math::Matrix data = rng.uniform_matrix(128, 100, 0.0F, 1.0F);
+  math::Matrix conds(128, 3, 0.0F);
+  for (std::size_t r = 0; r < 128; ++r) conds(r, r % 3) = 1.0F;
+  gan::TrainConfig config;
+  config.batch_size = 48;
+  gan::CganTrainer trainer(model, config, 4);
+  trainer.train_iterations(data, conds, 5);
+
+  obs::prof::SamplingProfiler& profiler =
+      obs::prof::SamplingProfiler::instance();
+  profiler.start(obs::prof::ProfileConfig{});  // 99 Hz, backtrace unwinder
+  for (auto _ : state) {
+    trainer.train_iterations(data, conds, 1);
+  }
+  const obs::prof::ProfileReport report = profiler.stop();
+  state.counters["prof_samples"] =
+      benchmark::Counter(static_cast<double>(report.samples));
+  state.counters["prof_symbolized_fraction"] =
+      benchmark::Counter(report.symbolized_fraction);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CganTrainStepProfiled);
 
 void BM_ParzenScore(benchmark::State& state) {
   const auto samples = static_cast<std::size_t>(state.range(0));
@@ -422,6 +460,7 @@ int main(int argc, char** argv) {
   std::string smoke_filter =
       "--benchmark_filter=^BM_(MatrixMatmul/32|Fft/1024|CwtBandEnergies/25|"
       "GcodeParse|MachineKinematics|AcousticSynthesis|CganTrainStep|"
+      "CganTrainStepProfiled|"
       "ParzenScore/100|CheckpointSave|CheckpointLoad|"
       "ObsLogDisabled|ObsSpanDisabled|ObsCounterAdd|"
       "ObsHistogramObserve|ObsLogEnabledNullSink|Algorithm1)$";
@@ -446,6 +485,9 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
 
+  double base_ns = 0.0;
+  double profiled_ns = 0.0;
+  double symbolized_fraction = -1.0;
   for (const auto& run : reporter.runs()) {
     const std::string name = run.benchmark_name();
     const double ns_per_iter =
@@ -453,7 +495,20 @@ int main(int argc, char** argv) {
         1e9;
     artifact.add_metric(name + ".ns_per_iter", ns_per_iter,
                         gansec::bench::Direction::kLowerIsBetter);
+    if (name == "BM_CganTrainStep") base_ns = ns_per_iter;
+    if (name == "BM_CganTrainStepProfiled") profiled_ns = ns_per_iter;
     for (const auto& [counter_name, counter] : run.counters) {
+      // prof_samples scales with run duration and prof_symbolized_fraction
+      // is covered by the directional profiler.* metrics below; exporting
+      // either per-benchmark would hand benchdiff a misleading direction.
+      if (counter_name == "prof_samples" ||
+          counter_name == "prof_symbolized_fraction") {
+        if (name == "BM_CganTrainStepProfiled" &&
+            counter_name == "prof_symbolized_fraction") {
+          symbolized_fraction = static_cast<double>(counter.value);
+        }
+        continue;
+      }
       const bool rate = counter_name.find("per_second") != std::string::npos;
       artifact.add_metric(name + "." + counter_name,
                           static_cast<double>(counter.value),
@@ -461,6 +516,34 @@ int main(int argc, char** argv) {
                                : gansec::bench::Direction::kLowerIsBetter);
     }
   }
+
+  // Live-introspection overhead gate: profiling a train step at 99 Hz
+  // must cost <= 2% and the profile must be >= 80% symbolized. Smoke
+  // runs are too short for either number to mean anything, so the gate
+  // only trips at full scale; the artifact records the measurement in
+  // both modes.
+  bool gate_failed = false;
+  if (base_ns > 0.0 && profiled_ns > 0.0) {
+    const double overhead_pct = 100.0 * (profiled_ns - base_ns) / base_ns;
+    // The diffable metric is the ratio (~1.0), not the percentage: a
+    // near-zero percentage makes every relative comparison explode.
+    artifact.add_metric("profiler.overhead_ratio", profiled_ns / base_ns,
+                        gansec::bench::Direction::kLowerIsBetter);
+    artifact.add_metric("profiler.symbolized_fraction", symbolized_fraction,
+                        gansec::bench::Direction::kHigherIsBetter);
+    const bool overhead_ok = gansec::bench::smoke() || overhead_pct <= 2.0;
+    const bool symbolized_ok =
+        gansec::bench::smoke() || symbolized_fraction >= 0.8;
+    artifact.add_check("profiler.overhead_within_2pct", overhead_ok);
+    artifact.add_check("profiler.symbolized_at_least_80pct", symbolized_ok);
+    if (!overhead_ok || !symbolized_ok) {
+      std::fprintf(stderr,
+                   "[bench] FAIL: profiler gate (overhead %.2f%%, "
+                   "symbolized %.2f)\n",
+                   overhead_pct, symbolized_fraction);
+      gate_failed = true;
+    }
+  }
   artifact.write();
-  return 0;
+  return gate_failed ? 1 : 0;
 }

@@ -1,0 +1,55 @@
+// Dependency-free HTTP/1.1 exposition server (POSIX sockets) for live
+// introspection. Serves:
+//   GET /metrics   OpenMetrics text exposition of the metrics registry
+//   GET /healthz   "ok" (liveness)
+//   GET /profilez  collapsed-stack snapshot of the running profiler
+//                  (empty body when the profiler is off)
+//
+// Scope: one accept thread handling one connection at a time, bound to
+// 127.0.0.1 by default — this is an operator scrape endpoint for
+// gansec_top / curl / a local Prometheus agent, not a general web
+// server. Each response closes the connection (Connection: close),
+// which keeps the loop allocation-simple and is exactly how scrapers
+// use it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace gansec::obs {
+
+class MetricsServer {
+ public:
+  struct Config {
+    std::string bind_address = "127.0.0.1";
+    /// TCP port; 0 picks an ephemeral port (read it back via port()).
+    std::uint16_t port = 0;
+  };
+
+  /// Binds and starts the accept thread; throws IoError when the
+  /// socket cannot be bound (address in use, privileged port, ...).
+  explicit MetricsServer(Config config);
+  ~MetricsServer();  ///< stops and joins
+
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  /// The bound port (resolved even when Config::port was 0).
+  std::uint16_t port() const;
+  /// Total requests answered (including 404s).
+  std::uint64_t requests_served() const;
+  void stop();  ///< idempotent
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Minimal HTTP GET helper for gansec_top and the quickcheck script's
+/// self-test: fetches http://host:port/path and returns the response
+/// body. Throws IoError on connect/read failure or non-200 status.
+std::string http_get(const std::string& host, std::uint16_t port,
+                     const std::string& path, double timeout_s = 2.0);
+
+}  // namespace gansec::obs

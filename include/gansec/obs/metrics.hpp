@@ -133,6 +133,11 @@ class Series {
   /// Points overwritten by the ring since construction / reset().
   std::uint64_t dropped() const;
 
+  /// Registration name, set once by the registry so diagnostics (the
+  /// first-drop warning) can say which series started losing points.
+  void set_name(std::string name);
+  const std::string& name() const { return name_; }
+
   std::size_t capacity() const;
   /// Re-caps the ring (0 is invalid). Shrinking drops the oldest points,
   /// counting them as dropped.
@@ -145,10 +150,12 @@ class Series {
   void linearize_locked();
 
   mutable std::mutex mu_;
+  std::string name_;
   std::vector<std::pair<double, double>> points_;
   std::size_t capacity_;
   std::size_t head_ = 0;  ///< index of the oldest point once the ring wraps
   std::uint64_t dropped_ = 0;
+  bool drop_warned_ = false;  ///< first-drop warning already emitted
 };
 
 /// Process-wide default ring capacity for newly created Series (initial
@@ -156,6 +163,17 @@ class Series {
 /// series created after the call.
 void set_default_series_capacity(std::size_t capacity);
 std::size_t default_series_capacity();
+
+/// Point-in-time copy of every registered metric, in registration order.
+/// Series are exported as their retained points; exposition formats that
+/// have no series notion (OpenMetrics) simply skip them.
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+  std::vector<std::pair<std::string, std::vector<std::pair<double, double>>>>
+      series;
+};
 
 /// Name-keyed registry. Lookups register on first use and always return
 /// the same object for the same name; a histogram re-registered with
@@ -168,6 +186,11 @@ class MetricsRegistry {
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name, std::vector<double> bounds);
   Series& series(std::string_view name);
+
+  /// Consistent-enough copy of every metric (each cell individually
+  /// atomic) — the input to render_openmetrics() and anything else that
+  /// wants the whole registry without holding its lock.
+  RegistrySnapshot snapshot() const;
 
   /// Full snapshot as one JSON object:
   /// {"counters":{...},"gauges":{...},"histograms":{...},"series":{...}}.

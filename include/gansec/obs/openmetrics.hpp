@@ -1,0 +1,61 @@
+// OpenMetrics text exposition for the metrics registry, plus the small
+// parser that `gansec_top` and the round-trip tests use to read it back.
+//
+// Name mapping (documented in DESIGN.md "Live introspection"): the
+// registry's dot-namespaced names (`gan.train.iterations`) become
+// OpenMetrics names by replacing every character outside
+// [a-zA-Z0-9_:] with '_' (`gan_train_iterations`); a leading digit gets
+// a '_' prefix. Counters are suffixed `_total`; histograms expand to
+// cumulative `_bucket{le="..."}` samples plus `_sum` and `_count`.
+// Series have no OpenMetrics equivalent and are skipped — they remain
+// visible through the JSON metrics artifact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gansec/obs/metrics.hpp"
+
+namespace gansec::obs {
+
+/// Registry name -> OpenMetrics metric name (see mapping above).
+std::string openmetrics_name(std::string_view name);
+
+/// Renders a registry snapshot as an OpenMetrics text exposition:
+/// `# TYPE` lines, samples, and the mandatory terminal `# EOF\n`.
+/// Families appear in registration order (counters, then gauges, then
+/// histograms). Non-finite gauge values are emitted as OpenMetrics
+/// `NaN` / `+Inf` / `-Inf` literals.
+std::string render_openmetrics(const RegistrySnapshot& snapshot);
+
+/// One parsed sample line: `name{labels} value`.
+struct OpenMetricsSample {
+  std::string name;  ///< full sample name (incl. _total/_bucket/... suffix)
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0.0;
+};
+
+/// One metric family: the `# TYPE` declaration plus its samples.
+struct OpenMetricsFamily {
+  std::string name;  ///< family name from the # TYPE line
+  std::string type;  ///< "counter" | "gauge" | "histogram" | "unknown"
+  std::vector<OpenMetricsSample> samples;
+};
+
+/// Parses an OpenMetrics text exposition. Validates enough to be a real
+/// round-trip check: every sample line must parse (name, optional
+/// well-formed label set, finite-or-special value), every sample must
+/// belong to the most recent `# TYPE` family or start an implicit
+/// "unknown" family, and the input must end with `# EOF`. Throws
+/// gansec::ParseError with a line number on violation.
+std::vector<OpenMetricsFamily> parse_openmetrics(std::string_view text);
+
+/// Convenience for gansec_top: finds `sample_name` (exact sample name,
+/// e.g. "proc_rss_bytes" or "gan_train_iterations_total") across all
+/// families and returns its value, or `fallback` when absent.
+double openmetrics_value(const std::vector<OpenMetricsFamily>& families,
+                         std::string_view sample_name, double fallback = 0.0);
+
+}  // namespace gansec::obs

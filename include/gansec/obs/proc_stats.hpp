@@ -1,0 +1,82 @@
+// Resource telemetry from /proc/self: RSS, fault counts, CPU time, and
+// thread-level CPU usage, sampled periodically into the metrics
+// registry by a background thread (ResourceSampler).
+//
+// Exported metrics (all registered in tools/metrics_manifest.txt):
+//   gauge  proc.rss_bytes              resident set size
+//   gauge  proc.vm_bytes               virtual memory size
+//   gauge  proc.minor_faults           cumulative minor faults
+//   gauge  proc.major_faults           cumulative major faults
+//   gauge  proc.utime_seconds          cumulative user CPU time
+//   gauge  proc.stime_seconds          cumulative system CPU time
+//   gauge  proc.cpu_percent            process CPU% over the last interval
+//   gauge  proc.top_thread_cpu_percent hottest single thread's CPU%
+//   gauge  proc.threads                thread count
+//   gauge  proc.alloc_bytes_per_s      workspace-arena allocation rate
+//   series proc.rss_bytes / proc.cpu_percent  (step = seconds since start)
+//
+// On non-Linux hosts /proc is absent; read_proc_self() returns a
+// zeroed snapshot with `valid == false` and the sampler idles without
+// erroring, so the library stays portable even though the numbers are
+// Linux-only.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace gansec::obs {
+
+/// One parse of /proc/self/stat + /proc/self/status.
+struct ProcSnapshot {
+  bool valid = false;           ///< false when /proc is unreadable
+  std::uint64_t rss_bytes = 0;  ///< resident set size
+  std::uint64_t vm_bytes = 0;   ///< virtual memory size
+  std::uint64_t minor_faults = 0;
+  std::uint64_t major_faults = 0;
+  double utime_seconds = 0.0;  ///< cumulative user-mode CPU time
+  double stime_seconds = 0.0;  ///< cumulative kernel-mode CPU time
+  long threads = 0;
+};
+
+/// Reads and parses /proc/self/stat once. Never throws: on any read or
+/// parse failure the result has `valid == false`.
+ProcSnapshot read_proc_self();
+
+/// Parses one /proc/<pid>/stat (or task/<tid>/stat) line. Exposed for
+/// tests; `valid == false` on malformed input. Handles the kernel's
+/// "comm can contain spaces and parens" trap by splitting after the
+/// *last* ')'.
+ProcSnapshot parse_proc_stat_line(const std::string& line);
+
+/// Background thread that samples /proc/self (and /proc/self/task for
+/// the hottest single thread) every `interval_s`, publishing the
+/// gauges/series listed above. Rate metrics (cpu_percent,
+/// alloc_bytes_per_s, top_thread_cpu_percent) are deltas over the last
+/// interval and need two samples before they are meaningful.
+class ResourceSampler {
+ public:
+  struct Config {
+    double interval_s = 0.5;  ///< sampling period
+  };
+
+  explicit ResourceSampler(Config config);
+  ~ResourceSampler();  ///< stops and joins the sampling thread
+
+  ResourceSampler(const ResourceSampler&) = delete;
+  ResourceSampler& operator=(const ResourceSampler&) = delete;
+
+  /// Takes one sample immediately (also called by the background loop).
+  /// Safe to call from tests without start().
+  void sample_once();
+
+  void start();
+  void stop();
+  bool running() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace gansec::obs

@@ -1,0 +1,138 @@
+// Sampling CPU profiler: SIGPROF via setitimer(ITIMER_PROF), an
+// async-signal-safe handler that appends raw program counters to a
+// preallocated slot array, and offline symbolization (dladdr +
+// __cxa_demangle) into collapsed-stack ("folded") output compatible
+// with flamegraph.pl, plus a schema-versioned `gansec.profile.v1` JSON
+// artifact with per-phase attribution joined against trace spans.
+//
+// Signal-safety contract (enforced by the gansec_lint `signal-unsafe`
+// rule over the signal-context regions marked in prof.cpp): the
+// SIGPROF handler may only touch preallocated memory, relaxed/release
+// atomics, and the async-signal-safe subset — no allocation, no
+// locks, no iostreams, no string building. Everything expensive
+// (symbolization, aggregation, JSON) happens offline in stop() or
+// snapshot_report().
+//
+// Sample timestamps share trace_now_us()'s clock and epoch, so a
+// profile joins exactly against trace spans: each sample is attributed
+// to the innermost (shortest) span whose [start, end) interval
+// contains it, or to "(untraced)" when no span covers it.
+//
+// The profiler takes over SIGPROF for the life of the process; the
+// handler is installed once and disarmed (not uninstalled) on stop()
+// so a late-delivered signal can never hit SIG_DFL (which terminates).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gansec::obs::prof {
+
+/// Hard cap on recorded stack depth per sample (deeper frames are
+/// truncated at the root end — the leaf frames are always kept).
+inline constexpr int kMaxDepth = 64;
+
+struct ProfileConfig {
+  /// Sampling rate in CPU-time Hz. Valid range [1, 1000].
+  double hz = 99.0;
+  /// Slot-array capacity; samples past this are counted as dropped
+  /// (prof.samples_dropped), never overwritten — committed samples are
+  /// immutable, which is what makes concurrent /profilez reads safe.
+  /// 32768 slots at 99 Hz is ~5.5 minutes of profile.
+  std::size_t max_samples = 1u << 15;
+  /// Recorded frames per sample, clamped to [1, kMaxDepth].
+  int max_depth = kMaxDepth;
+
+  enum class Unwinder {
+    /// backtrace(3): works regardless of -fomit-frame-pointer (uses
+    /// unwind tables); warmed up at start() so the handler never takes
+    /// libgcc's one-time init path. Default.
+    kBacktrace,
+    /// Raw frame-pointer chain walk: cheaper per sample but requires
+    /// -fno-omit-frame-pointer to see anything past the leaf; the walk
+    /// sanity-checks alignment/monotonicity/stride, so on an
+    /// FP-omitting build it degrades to leaf-only samples rather than
+    /// crashing (best effort).
+    kFramePointer,
+  };
+  Unwinder unwinder = Unwinder::kBacktrace;
+};
+
+/// Aggregated, symbolized result of one profiling session.
+struct ProfileReport {
+  double hz = 0.0;
+  double duration_s = 0.0;           ///< wall time between start and stop
+  std::uint64_t samples = 0;         ///< committed samples
+  std::uint64_t dropped = 0;         ///< lost to a full slot array
+  /// Total frames across all samples, counted after tidy_frames() (root
+  /// scaffolding trimmed, unresolved same-module runs collapsed).
+  std::uint64_t frames = 0;
+  std::uint64_t symbolized_frames = 0;  ///< frames with a resolved symbol
+  /// symbolized_frames / frames (0 when no frames).
+  double symbolized_fraction = 0.0;
+  /// Folded stack ("root;mid;leaf") -> sample count, descending count.
+  std::vector<std::pair<std::string, std::uint64_t>> stacks;
+  /// Trace-span name -> samples attributed, descending count. Samples
+  /// outside every span land in "(untraced)".
+  std::vector<std::pair<std::string, std::uint64_t>> phases;
+};
+
+/// One frame of a sample after offline symbolization, root-first.
+struct Frame {
+  std::string name;        ///< demangled symbol, "module`+0xOFF", or "(unknown)"
+  bool symbolized = false; ///< a real symbol name was resolved
+  std::string module;      ///< basename of the containing object, "" if unknown
+};
+
+/// Post-processing applied to each sample's root-first frame list before
+/// folding and before the symbolized-frame accounting:
+///   1. Root trim: process/thread startup scaffolding — every frame outer
+///      than the first symbolized frame that is not `_start` or
+///      `__libc_start_main` — is dropped, so folded stacks begin at
+///      main() (or the thread entry). If the whole stack would be
+///      trimmed, it is kept untouched instead.
+///   2. Module collapse: a run of two or more consecutive unresolved
+///      frames from the same shared object (internal frames of a
+///      library shipped without symbols) becomes a single "[module]"
+///      placeholder frame, the same convention perf uses for unknown
+///      regions. A lone unresolved frame keeps its precise
+///      "module`+0xOFF" name.
+std::vector<Frame> tidy_frames(std::vector<Frame> frames);
+
+/// flamegraph.pl input: one "stack count\n" line per folded stack.
+std::string to_folded(const ProfileReport& report);
+
+/// gansec.profile.v1 JSON artifact (always valid JSON).
+std::string to_json(const ProfileReport& report);
+
+/// Process-wide profiler (ITIMER_PROF is per-process, so there can be
+/// only one). start() throws InvalidArgumentError on a bad config or
+/// when already running.
+class SamplingProfiler {
+ public:
+  static SamplingProfiler& instance();
+
+  void start(const ProfileConfig& config);
+  /// Disarms the timer, waits for in-flight handlers, symbolizes, and
+  /// aggregates. Throws InvalidArgumentError when not running.
+  ProfileReport stop();
+  /// Symbolizes the samples committed so far WITHOUT stopping — the
+  /// /profilez endpoint. Returns an empty report when not running.
+  ProfileReport snapshot_report() const;
+
+  bool running() const;
+  std::uint64_t samples_captured() const;
+
+ private:
+  SamplingProfiler() = default;
+};
+
+/// Writes to_folded() to `folded_path` and, when `json_path` is
+/// non-empty, to_json() to `json_path`. Throws IoError on failure.
+void write_profile_files(const ProfileReport& report,
+                         const std::string& folded_path,
+                         const std::string& json_path);
+
+}  // namespace gansec::obs::prof

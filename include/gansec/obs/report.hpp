@@ -127,9 +127,17 @@ struct ArtifactPaths {
 void register_artifact_flush(ArtifactPaths paths);
 void mark_artifacts_flushed();
 
+/// Atomically claims the one permitted flush (an exchange on the once
+/// flag). Returns true exactly once per register_artifact_flush() cycle;
+/// the winner is responsible for writing the artifacts. This is what
+/// makes signal-then-exit (and exit-then-signal) single-flush: the
+/// normal-exit writer and the signal/atexit path race on this claim, and
+/// the loser does nothing.
+bool claim_artifact_flush();
+
 /// Forces the registered artifacts out immediately (no-op when nothing is
-/// registered or they were already flushed). Returns true if files were
-/// written. Exposed for the exit-flush tests; the handlers call this.
+/// registered or the flush was already claimed). Returns true if files
+/// were written. Exposed for the exit-flush tests; the handlers call this.
 bool flush_artifacts_now();
 
 /// Background interval logger for long trainings: every `interval_s`

@@ -26,10 +26,24 @@ obs::Gauge& high_water_gauge() {
   return g;
 }
 
+obs::Counter& arenas_counter() {
+  static obs::Counter& c = obs::counter("math.workspace.arenas");
+  return c;
+}
+
 }  // namespace
 
 Workspace& Workspace::local() {
+  // Count live per-thread arenas once at creation: together with
+  // high_water_bytes this bounds total arena memory
+  // (arenas × high_water), which the resource sampler exposes alongside
+  // proc.rss_bytes for live sizing.
   thread_local Workspace ws;
+  thread_local const bool counted = [] {
+    arenas_counter().add();
+    return true;
+  }();
+  (void)counted;
   return ws;
 }
 

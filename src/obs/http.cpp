@@ -1,0 +1,254 @@
+#include "gansec/obs/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "gansec/error.hpp"
+#include "gansec/obs/metrics.hpp"
+#include "gansec/obs/openmetrics.hpp"
+#include "gansec/obs/prof.hpp"
+
+namespace gansec::obs {
+namespace {
+
+constexpr const char* kOpenMetricsContentType =
+    "application/openmetrics-text; version=1.0.0; charset=utf-8";
+
+std::string build_response(int status, const char* reason,
+                           const char* content_type,
+                           const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // client went away; nothing useful to do
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads until the end of the request headers ("\r\n\r\n") or the
+/// buffer cap; GET requests have no body we care about.
+std::string read_request(int fd) {
+  std::string request;
+  char buf[2048];
+  while (request.size() < 16 * 1024) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+    if (request.find("\r\n\r\n") != std::string::npos) break;
+  }
+  return request;
+}
+
+/// "GET /metrics HTTP/1.1" -> "/metrics" ("" on anything unparsable).
+std::string request_path(const std::string& request) {
+  if (request.compare(0, 4, "GET ") != 0) return "";
+  const std::size_t path_start = 4;
+  const std::size_t path_end = request.find(' ', path_start);
+  if (path_end == std::string::npos) return "";
+  std::string path = request.substr(path_start, path_end - path_start);
+  const std::size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+  return path;
+}
+
+}  // namespace
+
+struct MetricsServer::Impl {
+  int listen_fd = -1;
+  std::uint16_t bound_port = 0;
+  std::atomic<bool> stop{false};
+  std::thread thread;
+  Counter& requests = obs::counter("obs.http.requests");
+  std::atomic<std::uint64_t> served{0};
+
+  void serve_connection(int fd) {
+    const std::string request = read_request(fd);
+    const std::string path = request_path(request);
+    std::string response;
+    if (path == "/metrics") {
+      const std::string body =
+          render_openmetrics(MetricsRegistry::instance().snapshot());
+      response = build_response(200, "OK", kOpenMetricsContentType, body);
+    } else if (path == "/healthz") {
+      response = build_response(200, "OK", "text/plain; charset=utf-8", "ok\n");
+    } else if (path == "/profilez") {
+      const prof::ProfileReport report =
+          prof::SamplingProfiler::instance().snapshot_report();
+      response = build_response(200, "OK", "text/plain; charset=utf-8",
+                                prof::to_folded(report));
+    } else if (path.empty()) {
+      response = build_response(400, "Bad Request",
+                                "text/plain; charset=utf-8", "bad request\n");
+    } else {
+      response = build_response(404, "Not Found", "text/plain; charset=utf-8",
+                                "not found\n");
+    }
+    send_all(fd, response);
+    requests.add();
+    served.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void loop() {
+    while (!stop.load(std::memory_order_acquire)) {
+      struct pollfd pfd;
+      pfd.fd = listen_fd;
+      pfd.events = POLLIN;
+      pfd.revents = 0;
+      const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+      if (ready <= 0) continue;  // timeout or EINTR: re-check stop flag
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      // A stalled client must not wedge the accept loop (and stop()).
+      struct timeval tv;
+      tv.tv_sec = 2;
+      tv.tv_usec = 0;
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+      serve_connection(fd);
+      ::close(fd);
+    }
+  }
+};
+
+MetricsServer::MetricsServer(Config config) : impl_(std::make_unique<Impl>()) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw gansec::IoError("metrics server: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config.port);
+  if (::inet_pton(AF_INET, config.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw gansec::InvalidArgumentError("metrics server: bad bind address '" +
+                                       config.bind_address + "'");
+  }
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw gansec::IoError("metrics server: cannot bind " +
+                          config.bind_address + ":" +
+                          std::to_string(config.port) + " (" +
+                          std::strerror(err) + ")");
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    throw gansec::IoError("metrics server: listen() failed");
+  }
+  struct sockaddr_in bound;
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound), &len) !=
+      0) {
+    ::close(fd);
+    throw gansec::IoError("metrics server: getsockname() failed");
+  }
+  impl_->listen_fd = fd;
+  impl_->bound_port = ntohs(bound.sin_port);
+  impl_->thread = std::thread([impl = impl_.get()] { impl->loop(); });
+}
+
+MetricsServer::~MetricsServer() { stop(); }
+
+std::uint16_t MetricsServer::port() const { return impl_->bound_port; }
+
+std::uint64_t MetricsServer::requests_served() const {
+  return impl_->served.load(std::memory_order_relaxed);
+}
+
+void MetricsServer::stop() {
+  if (impl_->stop.exchange(true, std::memory_order_acq_rel)) return;
+  if (impl_->thread.joinable()) impl_->thread.join();
+  if (impl_->listen_fd >= 0) {
+    ::close(impl_->listen_fd);
+    impl_->listen_fd = -1;
+  }
+}
+
+std::string http_get(const std::string& host, std::uint16_t port,
+                     const std::string& path, double timeout_s) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw gansec::IoError("http_get: socket() failed");
+  struct timeval tv;
+  tv.tv_sec = static_cast<time_t>(timeout_s);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_s - tv.tv_sec) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw gansec::InvalidArgumentError("http_get: bad host '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    throw gansec::IoError("http_get: cannot connect to " + host + ":" +
+                          std::to_string(port) + " (" + std::strerror(err) +
+                          ")");
+  }
+  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  send_all(fd, request);
+
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw gansec::IoError("http_get: read failed from " + host + ":" +
+                            std::to_string(port));
+    }
+    if (n == 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const std::size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    throw gansec::IoError("http_get: malformed response (no header end)");
+  }
+  const std::size_t status_pos = response.find(' ');
+  if (status_pos == std::string::npos ||
+      response.compare(status_pos + 1, 3, "200") != 0) {
+    throw gansec::IoError("http_get: non-200 response for " + path + ": " +
+                          response.substr(0, response.find("\r\n")));
+  }
+  return response.substr(header_end + 4);
+}
+
+}  // namespace gansec::obs

@@ -7,6 +7,7 @@
 
 #include "gansec/error.hpp"
 #include "gansec/obs/json.hpp"
+#include "gansec/obs/log.hpp"
 
 namespace gansec::obs {
 
@@ -177,17 +178,43 @@ std::size_t default_series_capacity() {
 
 Series::Series() : capacity_(default_series_capacity()) {}
 
+void Series::set_name(std::string name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  name_ = std::move(name);
+}
+
 void Series::append(double step, double value) {
   Counter& dropped_metric = series_dropped_counter();
-  const std::lock_guard<std::mutex> lock(mu_);
-  if (points_.size() < capacity_) {
-    points_.emplace_back(step, value);
-    return;
+  bool warn_now = false;
+  std::string warn_name;
+  std::size_t warn_capacity = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (points_.size() < capacity_) {
+      points_.emplace_back(step, value);
+      return;
+    }
+    points_[head_] = {step, value};
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+    if (!drop_warned_) {
+      drop_warned_ = true;
+      warn_now = true;
+      warn_name = name_;
+      warn_capacity = capacity_;
+    }
   }
-  points_[head_] = {step, value};
-  head_ = (head_ + 1) % capacity_;
-  ++dropped_;
   dropped_metric.add();
+  // Rate-limited by construction: exactly one warning per series lifetime
+  // (reset() re-arms it), emitted outside the series lock so the sink
+  // cannot deadlock against a concurrent points() walk.
+  if (warn_now) {
+    GANSEC_LOG_WARN("obs.series.dropping_points",
+                    {"series", warn_name.empty() ? "<unnamed>" : warn_name},
+                    {"capacity", warn_capacity},
+                    {"note", "ring is full; oldest points are overwritten "
+                             "(raise set_default_series_capacity)"});
+  }
 }
 
 std::vector<std::pair<double, double>> Series::points() const {
@@ -229,16 +256,20 @@ void Series::set_capacity(std::size_t capacity) {
     throw InvalidArgumentError("Series: capacity must be positive");
   }
   Counter& dropped_metric = series_dropped_counter();
-  const std::lock_guard<std::mutex> lock(mu_);
-  linearize_locked();
-  if (points_.size() > capacity) {
-    const std::size_t excess = points_.size() - capacity;
-    points_.erase(points_.begin(),
-                  points_.begin() + static_cast<std::ptrdiff_t>(excess));
-    dropped_ += excess;
-    dropped_metric.add(excess);
+  std::size_t excess = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    linearize_locked();
+    if (points_.size() > capacity) {
+      excess = points_.size() - capacity;
+      points_.erase(points_.begin(),
+                    points_.begin() + static_cast<std::ptrdiff_t>(excess));
+      dropped_ += excess;
+      drop_warned_ = true;  // an explicit shrink is its own acknowledgement
+    }
+    capacity_ = capacity;
   }
-  capacity_ = capacity;
+  if (excess != 0) dropped_metric.add(excess);
 }
 
 void Series::reset() {
@@ -246,6 +277,7 @@ void Series::reset() {
   points_.clear();
   head_ = 0;
   dropped_ = 0;
+  drop_warned_ = false;
 }
 
 MetricsRegistry& MetricsRegistry::instance() {
@@ -282,7 +314,38 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 }
 
 Series& MetricsRegistry::series(std::string_view name) {
-  return find_or_add(series_, name);
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, value] : series_) {
+    if (key == name) return *value;
+  }
+  series_.emplace_back(std::string(name), std::make_unique<Series>());
+  Series& s = *series_.back().second;
+  // Stamp the registration name so the first-drop warning can say which
+  // series started losing points.
+  s.set_name(std::string(name));
+  return s;
+}
+
+RegistrySnapshot MetricsRegistry::snapshot() const {
+  RegistrySnapshot snap;
+  const std::lock_guard<std::mutex> lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace_back(name, h->snapshot());
+  }
+  snap.series.reserve(series_.size());
+  for (const auto& [name, s] : series_) {
+    snap.series.emplace_back(name, s->points());
+  }
+  return snap;
 }
 
 std::string MetricsRegistry::to_json() const {

@@ -1,0 +1,258 @@
+#include "gansec/obs/openmetrics.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "gansec/error.hpp"
+
+namespace gansec::obs {
+namespace {
+
+bool valid_name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+/// Shortest round-trip-exact decimal for a sample value. OpenMetrics
+/// wants NaN/+Inf/-Inf spelled as literals, not IEEE printf output.
+std::string format_value(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  // %.17g is always round-trip exact for double; try %.15g first for
+  // compact output and keep it when it parses back identically.
+  std::snprintf(buf, sizeof buf, "%.15g", v);
+  if (std::strtod(buf, nullptr) != v) {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  return buf;
+}
+
+std::string format_count(std::uint64_t v) { return std::to_string(v); }
+
+void append_family_header(std::string& out, const std::string& name,
+                          const char* type) {
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+void append_sample(std::string& out, const std::string& name,
+                   const std::string& value) {
+  out += name;
+  out += ' ';
+  out += value;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string openmetrics_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    out += valid_name_char(c) ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string render_openmetrics(const RegistrySnapshot& snapshot) {
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string om = openmetrics_name(name);
+    append_family_header(out, om, "counter");
+    append_sample(out, om + "_total", format_count(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string om = openmetrics_name(name);
+    append_family_header(out, om, "gauge");
+    append_sample(out, om, format_value(value));
+  }
+  for (const auto& [name, snap] : snapshot.histograms) {
+    const std::string om = openmetrics_name(name);
+    append_family_header(out, om, "histogram");
+    // Cumulative buckets: each le="edge" sample counts everything at or
+    // below that edge; the +Inf bucket equals the total count.
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < snap.bounds.size(); ++i) {
+      cumulative += i < snap.counts.size() ? snap.counts[i] : 0;
+      out += om;
+      out += "_bucket{le=\"";
+      out += format_value(snap.bounds[i]);
+      out += "\"} ";
+      out += format_count(cumulative);
+      out += '\n';
+    }
+    out += om;
+    out += "_bucket{le=\"+Inf\"} ";
+    out += format_count(snap.count);
+    out += '\n';
+    append_sample(out, om + "_sum", format_value(snap.sum));
+    append_sample(out, om + "_count", format_count(snap.count));
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+namespace {
+
+[[noreturn]] void parse_fail(std::size_t line_no, const std::string& what) {
+  throw gansec::ParseError("openmetrics line " + std::to_string(line_no) +
+                           ": " + what);
+}
+
+/// Parses `{k="v",k2="v2"}` starting at text[pos] == '{'. Advances pos
+/// past the closing brace.
+std::vector<std::pair<std::string, std::string>> parse_labels(
+    std::string_view line, std::size_t& pos, std::size_t line_no) {
+  std::vector<std::pair<std::string, std::string>> labels;
+  ++pos;  // consume '{'
+  while (pos < line.size() && line[pos] != '}') {
+    std::string key;
+    while (pos < line.size() && valid_name_char(line[pos])) key += line[pos++];
+    if (key.empty() || pos >= line.size() || line[pos] != '=') {
+      parse_fail(line_no, "malformed label key");
+    }
+    ++pos;  // '='
+    if (pos >= line.size() || line[pos] != '"') {
+      parse_fail(line_no, "label value must be quoted");
+    }
+    ++pos;  // opening quote
+    std::string value;
+    while (pos < line.size() && line[pos] != '"') {
+      if (line[pos] == '\\') {
+        ++pos;
+        if (pos >= line.size()) parse_fail(line_no, "dangling escape");
+        switch (line[pos]) {
+          case 'n': value += '\n'; break;
+          case '\\': value += '\\'; break;
+          case '"': value += '"'; break;
+          default: parse_fail(line_no, "unknown escape in label value");
+        }
+        ++pos;
+      } else {
+        value += line[pos++];
+      }
+    }
+    if (pos >= line.size()) parse_fail(line_no, "unterminated label value");
+    ++pos;  // closing quote
+    labels.emplace_back(std::move(key), std::move(value));
+    if (pos < line.size() && line[pos] == ',') ++pos;
+  }
+  if (pos >= line.size()) parse_fail(line_no, "unterminated label set");
+  ++pos;  // '}'
+  return labels;
+}
+
+double parse_value(std::string_view token, std::size_t line_no) {
+  if (token == "NaN") return std::numeric_limits<double>::quiet_NaN();
+  if (token == "+Inf") return std::numeric_limits<double>::infinity();
+  if (token == "-Inf") return -std::numeric_limits<double>::infinity();
+  const std::string buf(token);
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end == buf.c_str() || *end != '\0') {
+    parse_fail(line_no, "bad sample value '" + buf + "'");
+  }
+  return v;
+}
+
+/// True when `sample` belongs to family `family`: equal, or extended by
+/// one of the OpenMetrics suffixes.
+bool in_family(const std::string& sample, const std::string& family) {
+  if (sample == family) return true;
+  if (sample.size() <= family.size() ||
+      sample.compare(0, family.size(), family) != 0) {
+    return false;
+  }
+  const std::string_view suffix(sample.c_str() + family.size());
+  return suffix == "_total" || suffix == "_bucket" || suffix == "_sum" ||
+         suffix == "_count" || suffix == "_created";
+}
+
+}  // namespace
+
+std::vector<OpenMetricsFamily> parse_openmetrics(std::string_view text) {
+  std::vector<OpenMetricsFamily> families;
+  bool saw_eof = false;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    const std::string_view line = text.substr(
+        start, nl == std::string_view::npos ? text.size() - start : nl - start);
+    start = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    if (saw_eof) parse_fail(line_no, "content after # EOF");
+    if (line[0] == '#') {
+      if (line == "# EOF") {
+        saw_eof = true;
+        continue;
+      }
+      // "# TYPE <name> <type>" — other comment forms (# HELP, # UNIT)
+      // are tolerated and ignored.
+      constexpr std::string_view kType = "# TYPE ";
+      if (line.substr(0, kType.size()) == kType) {
+        std::istringstream rest{std::string(line.substr(kType.size()))};
+        OpenMetricsFamily family;
+        if (!(rest >> family.name >> family.type)) {
+          parse_fail(line_no, "malformed # TYPE line");
+        }
+        families.push_back(std::move(family));
+      }
+      continue;
+    }
+    // Sample line: name[{labels}] value [timestamp]
+    std::size_t pos = 0;
+    OpenMetricsSample sample;
+    while (pos < line.size() && valid_name_char(line[pos])) {
+      sample.name += line[pos++];
+    }
+    if (sample.name.empty()) parse_fail(line_no, "missing sample name");
+    if (pos < line.size() && line[pos] == '{') {
+      sample.labels = parse_labels(line, pos, line_no);
+    }
+    if (pos >= line.size() || line[pos] != ' ') {
+      parse_fail(line_no, "missing value separator");
+    }
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    std::size_t value_end = pos;
+    while (value_end < line.size() && line[value_end] != ' ') ++value_end;
+    sample.value = parse_value(line.substr(pos, value_end - pos), line_no);
+    if (families.empty() || !in_family(sample.name, families.back().name)) {
+      OpenMetricsFamily implicit;
+      implicit.name = sample.name;
+      implicit.type = "unknown";
+      families.push_back(std::move(implicit));
+    }
+    families.back().samples.push_back(std::move(sample));
+  }
+  if (!saw_eof) {
+    parse_fail(line_no, "missing terminal # EOF");
+  }
+  return families;
+}
+
+double openmetrics_value(const std::vector<OpenMetricsFamily>& families,
+                         std::string_view sample_name, double fallback) {
+  for (const auto& family : families) {
+    for (const auto& sample : family.samples) {
+      if (sample.name == sample_name) return sample.value;
+    }
+  }
+  return fallback;
+}
+
+}  // namespace gansec::obs

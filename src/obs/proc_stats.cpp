@@ -1,0 +1,243 @@
+#include "gansec/obs/proc_stats.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "gansec/obs/metrics.hpp"
+#include "gansec/obs/trace.hpp"
+
+namespace gansec::obs {
+namespace {
+
+double clock_ticks_per_second() {
+  static const double ticks = [] {
+    const long v = ::sysconf(_SC_CLK_TCK);
+    return v > 0 ? static_cast<double>(v) : 100.0;
+  }();
+  return ticks;
+}
+
+std::uint64_t page_size_bytes() {
+  static const std::uint64_t bytes = [] {
+    const long v = ::sysconf(_SC_PAGESIZE);
+    return v > 0 ? static_cast<std::uint64_t>(v) : 4096u;
+  }();
+  return bytes;
+}
+
+bool read_whole_file(const char* path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return !out.empty();
+}
+
+}  // namespace
+
+ProcSnapshot parse_proc_stat_line(const std::string& line) {
+  ProcSnapshot snap;
+  // Format: pid (comm) state ppid ... — comm may contain spaces and ')',
+  // so split on the LAST ')' and tokenize the remainder. Field numbers
+  // below are the 1-based indices from proc(5); after the comm split the
+  // remainder starts at field 3 (state).
+  const std::size_t close = line.rfind(')');
+  if (close == std::string::npos || close + 2 > line.size()) return snap;
+  std::istringstream rest(line.substr(close + 1));
+  std::vector<std::string> fields;
+  std::string tok;
+  while (rest >> tok) fields.push_back(tok);
+  // Need up to field 24 (rss) => 22 tokens after state-relative offset.
+  if (fields.size() < 22) return snap;
+  // fields[0] is field 3 (state); field N lives at fields[N - 3].
+  const auto u64 = [&](int field_no) {
+    return std::strtoull(fields[static_cast<std::size_t>(field_no - 3)].c_str(),
+                         nullptr, 10);
+  };
+  const double ticks = clock_ticks_per_second();
+  snap.minor_faults = u64(10);
+  snap.major_faults = u64(12);
+  snap.utime_seconds = static_cast<double>(u64(14)) / ticks;
+  snap.stime_seconds = static_cast<double>(u64(15)) / ticks;
+  snap.threads = static_cast<long>(u64(20));
+  snap.vm_bytes = u64(23);
+  snap.rss_bytes = u64(24) * page_size_bytes();
+  snap.valid = true;
+  return snap;
+}
+
+ProcSnapshot read_proc_self() {
+  std::string stat;
+  if (!read_whole_file("/proc/self/stat", stat)) return {};
+  return parse_proc_stat_line(stat);
+}
+
+namespace {
+
+/// Cumulative CPU seconds per live thread, keyed by tid. Missing /proc
+/// yields an empty map.
+std::unordered_map<long, double> read_per_thread_cpu() {
+  std::unordered_map<long, double> cpu;
+  std::error_code ec;
+  std::filesystem::directory_iterator it("/proc/self/task", ec);
+  if (ec) return cpu;
+  for (const auto& entry : it) {
+    const std::string tid_str = entry.path().filename().string();
+    char* end = nullptr;
+    const long tid = std::strtol(tid_str.c_str(), &end, 10);
+    if (end == tid_str.c_str() || *end != '\0') continue;
+    std::string stat;
+    if (!read_whole_file((entry.path() / "stat").c_str(), stat)) continue;
+    const ProcSnapshot snap = parse_proc_stat_line(stat);
+    if (snap.valid) cpu[tid] = snap.utime_seconds + snap.stime_seconds;
+  }
+  return cpu;
+}
+
+}  // namespace
+
+struct ResourceSampler::Impl {
+  Config config;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool stop_requested = false;
+  std::thread thread;
+  std::atomic<bool> running{false};
+
+  // Previous-sample state for rate computations (sampler thread only,
+  // or the caller of sample_once() in tests — never both concurrently).
+  bool have_prev = false;
+  double prev_wall_s = 0.0;
+  double prev_cpu_s = 0.0;
+  std::uint64_t prev_alloc_bytes = 0;
+  std::unordered_map<long, double> prev_thread_cpu;
+  double start_wall_s = 0.0;
+
+  // Cached metric references — resolved once, updated lock-free.
+  Gauge& rss = obs::gauge("proc.rss_bytes");
+  Gauge& vm = obs::gauge("proc.vm_bytes");
+  Gauge& minflt = obs::gauge("proc.minor_faults");
+  Gauge& majflt = obs::gauge("proc.major_faults");
+  Gauge& utime = obs::gauge("proc.utime_seconds");
+  Gauge& stime = obs::gauge("proc.stime_seconds");
+  Gauge& cpu_pct = obs::gauge("proc.cpu_percent");
+  Gauge& top_thread_pct = obs::gauge("proc.top_thread_cpu_percent");
+  Gauge& threads_g = obs::gauge("proc.threads");
+  Gauge& alloc_rate = obs::gauge("proc.alloc_bytes_per_s");
+  Series& rss_series = obs::series("proc.rss_bytes");
+  Series& cpu_series = obs::series("proc.cpu_percent");
+  // Written by every Workspace arena on each acquire; read here to
+  // derive bytes/s. Name shared with src/math/workspace.cpp.
+  Counter& workspace_alloc = obs::counter("math.workspace.alloc_bytes");
+
+  explicit Impl(Config c) : config(c) {}
+
+  static double wall_seconds() {
+    return static_cast<double>(trace_now_us()) * 1e-6;
+  }
+
+  void sample() {
+    const ProcSnapshot snap = read_proc_self();
+    if (!snap.valid) return;
+    const double now = wall_seconds();
+    rss.set(static_cast<double>(snap.rss_bytes));
+    vm.set(static_cast<double>(snap.vm_bytes));
+    minflt.set(static_cast<double>(snap.minor_faults));
+    majflt.set(static_cast<double>(snap.major_faults));
+    utime.set(snap.utime_seconds);
+    stime.set(snap.stime_seconds);
+    threads_g.set(static_cast<double>(snap.threads));
+
+    std::unordered_map<long, double> thread_cpu = read_per_thread_cpu();
+    const double cpu_now = snap.utime_seconds + snap.stime_seconds;
+    const std::uint64_t alloc_now = workspace_alloc.value();
+    if (have_prev) {
+      const double dt = now - prev_wall_s;
+      if (dt > 1e-6) {
+        cpu_pct.set(100.0 * (cpu_now - prev_cpu_s) / dt);
+        alloc_rate.set(static_cast<double>(alloc_now - prev_alloc_bytes) / dt);
+        double top = 0.0;
+        // Order-independent max reduction; never serialized.
+        // gansec-lint: allow(determinism-unordered)
+        for (const auto& [tid, cum] : thread_cpu) {
+          const auto it = prev_thread_cpu.find(tid);
+          const double delta = it == prev_thread_cpu.end() ? cum : cum - it->second;
+          if (delta > top) top = delta;
+        }
+        top_thread_pct.set(100.0 * top / dt);
+      }
+    } else {
+      start_wall_s = now;
+    }
+    rss_series.append(now - start_wall_s, static_cast<double>(snap.rss_bytes));
+    cpu_series.append(now - start_wall_s, cpu_pct.value());
+    prev_wall_s = now;
+    prev_cpu_s = cpu_now;
+    prev_alloc_bytes = alloc_now;
+    prev_thread_cpu = std::move(thread_cpu);
+    have_prev = true;
+  }
+
+  void loop() {
+    sample();
+    std::unique_lock<std::mutex> lock(mu);
+    while (!stop_requested) {
+      const auto interval = std::chrono::duration<double>(config.interval_s);
+      cv.wait_for(lock, interval, [&] { return stop_requested; });
+      if (stop_requested) break;
+      lock.unlock();
+      sample();
+      lock.lock();
+    }
+  }
+};
+
+ResourceSampler::ResourceSampler(Config config)
+    : impl_(std::make_unique<Impl>(config)) {}
+
+ResourceSampler::~ResourceSampler() { stop(); }
+
+void ResourceSampler::sample_once() { impl_->sample(); }
+
+void ResourceSampler::start() {
+  if (impl_->running.load(std::memory_order_acquire)) return;
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stop_requested = false;
+  }
+  impl_->thread = std::thread([this] { impl_->loop(); });
+  impl_->running.store(true, std::memory_order_release);
+}
+
+void ResourceSampler::stop() {
+  if (!impl_->running.load(std::memory_order_acquire)) return;
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stop_requested = true;
+  }
+  impl_->cv.notify_all();
+  if (impl_->thread.joinable()) impl_->thread.join();
+  impl_->running.store(false, std::memory_order_release);
+}
+
+bool ResourceSampler::running() const {
+  return impl_->running.load(std::memory_order_acquire);
+}
+
+}  // namespace gansec::obs

@@ -1,0 +1,604 @@
+#include "gansec/obs/prof.hpp"
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <elf.h>
+#include <execinfo.h>
+#include <signal.h>
+#include <sys/syscall.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gansec/error.hpp"
+#include "gansec/obs/json.hpp"
+#include "gansec/obs/metrics.hpp"
+#include "gansec/obs/trace.hpp"
+
+namespace gansec::obs::prof {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Sample storage. Slots are claimed by the signal handler with a single
+// fetch_add and committed by a release store of `depth`; readers
+// acquire-load `depth` and skip zero (unclaimed or still being filled).
+// Committed slots are immutable, so concurrent snapshot_report() reads
+// need no locking against the handler.
+// ---------------------------------------------------------------------------
+
+struct RawSample {
+  std::uint64_t ts_us = 0;
+  std::atomic<std::uint32_t> depth{0};  ///< 0 = uncommitted; else frame count
+  void* pcs[kMaxDepth];  ///< pcs[0] is the leaf (innermost) frame
+};
+
+// Global profiler state. Everything the handler touches is set up before
+// the timer is armed and torn down only after it is disarmed and all
+// in-flight handlers have drained. The slot array lives behind a raw
+// array (atomics are immovable, so no std::vector).
+std::unique_ptr<RawSample[]> g_slots;           ///< sized at start()
+std::size_t g_slot_count = 0;
+std::atomic<std::uint64_t> g_cursor{0};         ///< next slot to claim
+std::atomic<std::uint32_t> g_in_handler{0};     ///< in-flight handler count
+std::atomic<bool> g_armed{false};               ///< handler does work only when set
+std::atomic<int> g_max_depth{kMaxDepth};
+std::atomic<bool> g_use_frame_pointer{false};
+bool g_handler_installed = false;               ///< guarded by g_state_mu
+std::mutex g_state_mu;                          ///< serializes start/stop
+std::atomic<bool> g_running{false};
+std::uint64_t g_start_us = 0;                   ///< written under g_state_mu
+double g_hz = 0.0;                              ///< written under g_state_mu
+
+// Registry references cached before the timer is armed: Counter::add is
+// a relaxed fetch_add, which is async-signal-safe on a cached reference.
+Counter* g_samples_counter = nullptr;
+Counter* g_dropped_counter = nullptr;
+
+struct StackFrameLink {
+  StackFrameLink* next;
+  void* ret;
+};
+
+// gansec-lint: signal-context
+// Frame-pointer chain walk. Only used when explicitly requested; the
+// sanity checks (pointer alignment, strict monotonic growth, bounded
+// stride) make a walk over an FP-omitting frame stop early instead of
+// dereferencing garbage. Best effort by design.
+int unwind_frame_pointer(void** pcs, int max_depth) {
+  StackFrameLink* fp =
+      static_cast<StackFrameLink*>(__builtin_frame_address(0));
+  int depth = 0;
+  std::uintptr_t prev = 0;
+  while (fp != nullptr && depth < max_depth) {
+    const std::uintptr_t addr = reinterpret_cast<std::uintptr_t>(fp);
+    if (addr <= prev || (addr & (sizeof(void*) - 1)) != 0 ||
+        (prev != 0 && addr - prev > (1u << 24))) {
+      break;
+    }
+    if (fp->ret == nullptr) break;
+    pcs[depth++] = fp->ret;
+    prev = addr;
+    fp = fp->next;
+  }
+  return depth;
+}
+
+// The SIGPROF handler. Everything here must be async-signal-safe: slot
+// claim is one relaxed fetch_add, the clock is clock_gettime under
+// trace_now_us() (initialized before arming), backtrace(3) is warmed at
+// start() so libgcc's lazy init never runs here, and the commit is one
+// release store. No allocation, no locks, no iostreams.
+void handle_sigprof(int /*signum*/) {
+  if (!g_armed.load(std::memory_order_acquire)) return;
+  // The interrupted code may be between a syscall and its errno check;
+  // backtrace/clock_gettime below can clobber errno, so save/restore.
+  const int saved_errno = errno;
+  g_in_handler.fetch_add(1, std::memory_order_acquire);
+  const std::uint64_t index = g_cursor.fetch_add(1, std::memory_order_relaxed);
+  if (index >= g_slot_count) {
+    if (g_dropped_counter != nullptr) g_dropped_counter->add();
+    g_in_handler.fetch_sub(1, std::memory_order_release);
+    errno = saved_errno;
+    return;
+  }
+  RawSample& slot = g_slots[index];
+  slot.ts_us = trace_now_us();
+  const int max_depth = g_max_depth.load(std::memory_order_relaxed);
+  int depth;
+  if (g_use_frame_pointer.load(std::memory_order_relaxed)) {
+    depth = unwind_frame_pointer(slot.pcs, max_depth);
+  } else {
+    depth = backtrace(slot.pcs, max_depth);
+  }
+  if (depth <= 0) {
+    // Nothing unwound: record the handler itself so the sample is not
+    // silently lost — it will fold into the "(unknown)" frame.
+    slot.pcs[0] = nullptr;
+    depth = 1;
+  }
+  if (g_samples_counter != nullptr) g_samples_counter->add();
+  slot.depth.store(static_cast<std::uint32_t>(depth),
+                   std::memory_order_release);
+  g_in_handler.fetch_sub(1, std::memory_order_release);
+  errno = saved_errno;
+}
+// gansec-lint: end-signal-context
+
+// ---------------------------------------------------------------------------
+// Offline side: symbolization and aggregation. Runs on normal threads.
+// ---------------------------------------------------------------------------
+
+/// Leaf frames the profiler itself contributes to every backtrace: the
+/// return address inside handle_sigprof (backtrace's caller) and the
+/// kernel signal trampoline (__restore_rt). Dropped at aggregation so
+/// folded stacks start at the interrupted function.
+constexpr std::uint32_t kProfilerLeafFrames = 2;
+
+/// Function symbols from the main executable's .symtab — the fallback
+/// for what dladdr cannot see. dladdr resolves through .dynsym only, so
+/// even with -rdynamic (ENABLE_EXPORTS) every internal-linkage function
+/// (anonymous namespaces, file statics, lambdas) comes back nameless;
+/// .symtab has them all unless the binary was stripped. Loaded lazily
+/// from /proc/self/exe on the first offline symbolization pass.
+class ElfSymbolTable {
+ public:
+  static const ElfSymbolTable& instance() {
+    static const ElfSymbolTable table;
+    return table;
+  }
+
+  /// Base address of the main executable's mapping (what dladdr reports
+  /// as dli_fbase for its addresses); the table only covers that module.
+  const void* module_base() const { return module_base_; }
+
+  /// Mangled name of the function covering `addr` (a runtime address),
+  /// or nullptr. `bias_` converts runtime to link-time addresses.
+  const char* lookup(std::uintptr_t addr) const {
+    if (symbols_.empty()) return nullptr;
+    const std::uintptr_t link_addr = addr - bias_;
+    auto it = std::upper_bound(
+        symbols_.begin(), symbols_.end(), link_addr,
+        [](std::uintptr_t a, const Symbol& s) { return a < s.addr; });
+    if (it == symbols_.begin()) return nullptr;
+    --it;
+    // Respect the symbol's size when it has one; zero-size symbols
+    // cover up to the next symbol's start (already implied by the
+    // upper_bound pick).
+    if (it->size != 0 && link_addr >= it->addr + it->size) return nullptr;
+    return names_.data() + it->name_offset;
+  }
+
+ private:
+  struct Symbol {
+    std::uintptr_t addr;
+    std::uintptr_t size;
+    std::size_t name_offset;  ///< into names_
+  };
+
+  ElfSymbolTable() {
+    std::ifstream exe("/proc/self/exe", std::ios::binary);
+    if (!exe) return;
+    std::vector<char> image((std::istreambuf_iterator<char>(exe)),
+                            std::istreambuf_iterator<char>());
+    const auto in_bounds = [&](std::size_t off, std::size_t len) {
+      return off <= image.size() && len <= image.size() - off;
+    };
+    if (!in_bounds(0, sizeof(Elf64_Ehdr))) return;
+    Elf64_Ehdr ehdr;
+    std::memcpy(&ehdr, image.data(), sizeof ehdr);
+    if (std::memcmp(ehdr.e_ident, ELFMAG, SELFMAG) != 0 ||
+        ehdr.e_ident[EI_CLASS] != ELFCLASS64) {
+      return;
+    }
+    // PIE (ET_DYN) executables relocate: runtime = link + base. The
+    // base is dladdr's dli_fbase for any address inside ourselves. The
+    // base also identifies the main module, so lookups never apply this
+    // table to a shared library's addresses.
+    Dl_info self;
+    if (dladdr(reinterpret_cast<void*>(&ElfSymbolTable::instance), &self) !=
+        0) {
+      module_base_ = self.dli_fbase;
+      if (ehdr.e_type == ET_DYN) {
+        bias_ = reinterpret_cast<std::uintptr_t>(self.dli_fbase);
+      }
+    }
+    if (ehdr.e_shentsize != sizeof(Elf64_Shdr)) return;
+    std::vector<Elf64_Shdr> sections(ehdr.e_shnum);
+    if (!in_bounds(ehdr.e_shoff, sections.size() * sizeof(Elf64_Shdr))) return;
+    std::memcpy(sections.data(), image.data() + ehdr.e_shoff,
+                sections.size() * sizeof(Elf64_Shdr));
+    for (const Elf64_Shdr& sh : sections) {
+      if (sh.sh_type != SHT_SYMTAB) continue;
+      if (sh.sh_link >= sections.size()) continue;
+      const Elf64_Shdr& str = sections[sh.sh_link];
+      if (!in_bounds(sh.sh_offset, sh.sh_size) ||
+          !in_bounds(str.sh_offset, str.sh_size)) {
+        continue;
+      }
+      names_.assign(image.data() + str.sh_offset,
+                    image.data() + str.sh_offset + str.sh_size);
+      const std::size_t count = sh.sh_size / sizeof(Elf64_Sym);
+      symbols_.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        Elf64_Sym sym;
+        std::memcpy(&sym, image.data() + sh.sh_offset + i * sizeof(Elf64_Sym),
+                    sizeof sym);
+        if (ELF64_ST_TYPE(sym.st_info) != STT_FUNC) continue;
+        if (sym.st_value == 0 || sym.st_name >= names_.size()) continue;
+        symbols_.push_back({sym.st_value, sym.st_size,
+                            static_cast<std::size_t>(sym.st_name)});
+      }
+      break;
+    }
+    std::sort(symbols_.begin(), symbols_.end(),
+              [](const Symbol& a, const Symbol& b) { return a.addr < b.addr; });
+  }
+
+  std::uintptr_t bias_ = 0;
+  const void* module_base_ = nullptr;
+  std::vector<Symbol> symbols_;
+  std::vector<char> names_;  ///< the whole strtab, NUL-separated
+};
+
+std::string demangle(const char* mangled) {
+  int status = 0;
+  char* demangled = abi::__cxa_demangle(mangled, nullptr, nullptr, &status);
+  if (status == 0 && demangled != nullptr) {
+    std::string out(demangled);
+    std::free(demangled);
+    return out;
+  }
+  if (demangled != nullptr) std::free(demangled);
+  return mangled;
+}
+
+/// dladdr (dynamic symbols) with an ELF .symtab fallback for
+/// internal-linkage functions in the main executable, memoized across a
+/// collection pass. Yields the demangled symbol, "module`+0xOFFSET"
+/// when only the containing object is known, or "(unknown)".
+Frame symbolize_pc(void* pc) {
+  Frame frame;
+  frame.name = "(unknown)";
+  if (pc == nullptr) return frame;
+  // The sampled PC is the return address — one past the call — so
+  // resolve pc-1 to land inside the calling instruction's symbol.
+  const std::uintptr_t lookup = reinterpret_cast<std::uintptr_t>(pc) - 1;
+  Dl_info info;
+  if (dladdr(reinterpret_cast<void*>(lookup), &info) == 0) {
+    return frame;
+  }
+  if (info.dli_fname != nullptr) {
+    const char* base = std::strrchr(info.dli_fname, '/');
+    frame.module = base != nullptr ? base + 1 : info.dli_fname;
+  }
+  if (info.dli_sname != nullptr) {
+    frame.symbolized = true;
+    frame.name = demangle(info.dli_sname);
+    return frame;
+  }
+  const ElfSymbolTable& symtab = ElfSymbolTable::instance();
+  if (info.dli_fbase == symtab.module_base()) {
+    if (const char* name = symtab.lookup(lookup)) {
+      frame.symbolized = true;
+      frame.name = demangle(name);
+      return frame;
+    }
+  }
+  if (!frame.module.empty()) {
+    const auto offset = reinterpret_cast<std::uintptr_t>(pc) -
+                        reinterpret_cast<std::uintptr_t>(info.dli_fbase);
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "+0x%zx", static_cast<std::size_t>(offset));
+    frame.name = frame.module + "`" + buf;
+  }
+  return frame;
+}
+
+/// Innermost trace span covering `ts_us`, or nullptr. Spans are closed
+/// intervals [ts, ts+dur); "innermost" = smallest duration among covers.
+const TraceEvent* covering_span(const std::vector<TraceEvent>& events,
+                                std::uint64_t ts_us) {
+  const TraceEvent* best = nullptr;
+  for (const TraceEvent& ev : events) {
+    if (ev.ts_us <= ts_us && ts_us < ev.ts_us + ev.dur_us) {
+      if (best == nullptr || ev.dur_us < best->dur_us) best = &ev;
+    }
+  }
+  return best;
+}
+
+/// Folds the committed slots into the aggregated report. `committed`
+/// bounds the scan; slots past the array or still uncommitted are
+/// skipped (they count as neither samples nor drops here — the drop
+/// counter tracks overflow separately).
+ProfileReport aggregate(std::uint64_t claimed, double hz, double duration_s) {
+  ProfileReport report;
+  report.hz = hz;
+  report.duration_s = duration_s;
+  const std::uint64_t scan =
+      std::min<std::uint64_t>(claimed, g_slot_count);
+  report.dropped = claimed > g_slot_count ? claimed - g_slot_count : 0;
+
+  std::unordered_map<void*, Frame> symbol_cache;
+  std::map<std::string, std::uint64_t> stacks;
+  std::map<std::string, std::uint64_t> phases;
+  const std::vector<TraceEvent> events = trace_events();
+
+  for (std::uint64_t i = 0; i < scan; ++i) {
+    const RawSample& slot = g_slots[i];
+    const std::uint32_t depth = slot.depth.load(std::memory_order_acquire);
+    if (depth == 0) continue;  // claimed but not committed (in-flight)
+    ++report.samples;
+
+    // Fold root-first: pcs[depth-1] is the outermost frame. The leaf
+    // end always starts with the profiler's own frames (handler +
+    // signal trampoline) — trim those so stacks begin at the
+    // interrupted function, unless the unwind was so shallow that
+    // trimming would erase the sample.
+    const std::uint32_t trim =
+        depth > kProfilerLeafFrames ? kProfilerLeafFrames : 0;
+    std::vector<Frame> frames;
+    frames.reserve(depth - trim);
+    for (std::uint32_t f = depth; f > trim; --f) {
+      void* pc = slot.pcs[f - 1];
+      auto it = symbol_cache.find(pc);
+      if (it == symbol_cache.end()) {
+        it = symbol_cache.emplace(pc, symbolize_pc(pc)).first;
+      }
+      frames.push_back(it->second);
+    }
+    frames = tidy_frames(std::move(frames));
+    std::string folded;
+    for (const Frame& frame : frames) {
+      ++report.frames;
+      if (frame.symbolized) ++report.symbolized_frames;
+      if (!folded.empty()) folded += ';';
+      folded += frame.name;
+    }
+    ++stacks[folded];
+
+    const TraceEvent* span = covering_span(events, slot.ts_us);
+    ++phases[span != nullptr ? span->name : "(untraced)"];
+  }
+
+  report.symbolized_fraction =
+      report.frames > 0
+          ? static_cast<double>(report.symbolized_frames) /
+                static_cast<double>(report.frames)
+          : 0.0;
+  report.stacks.assign(stacks.begin(), stacks.end());
+  std::stable_sort(report.stacks.begin(), report.stacks.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+  report.phases.assign(phases.begin(), phases.end());
+  std::stable_sort(report.phases.begin(), report.phases.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+  return report;
+}
+
+}  // namespace
+
+std::vector<Frame> tidy_frames(std::vector<Frame> frames) {
+  // Root trim: drop process/thread startup scaffolding — every frame
+  // outer than the first symbolized frame that is not _start /
+  // __libc_start_main. Covers both the main thread (_start,
+  // __libc_start_main, then libc's unexported __libc_start_call_main)
+  // and pool threads (libc's unexported clone3/start_thread roots).
+  std::size_t begin = 0;
+  while (begin < frames.size()) {
+    const Frame& frame = frames[begin];
+    const bool scaffolding = !frame.symbolized || frame.name == "_start" ||
+                             frame.name == "__libc_start_main";
+    if (!scaffolding) break;
+    ++begin;
+  }
+  // A stack that is scaffolding end to end carries no attribution to
+  // protect; keep it verbatim rather than erasing the sample.
+  if (begin == frames.size()) begin = 0;
+
+  std::vector<Frame> out;
+  out.reserve(frames.size() - begin);
+  for (std::size_t i = begin; i < frames.size(); ++i) {
+    Frame& frame = frames[i];
+    // Module collapse: fold a run of >= 2 consecutive unresolved frames
+    // from the same shared object into one "[module]" placeholder (the
+    // library shipped without symbols; per-frame offsets are noise). A
+    // lone unresolved frame keeps its precise "module`+0xOFF" name.
+    if (!frame.symbolized && !frame.module.empty() && !out.empty() &&
+        !out.back().symbolized && out.back().module == frame.module) {
+      out.back().name = "[" + frame.module + "]";
+      continue;
+    }
+    out.push_back(std::move(frame));
+  }
+  return out;
+}
+
+std::string to_folded(const ProfileReport& report) {
+  std::string out;
+  for (const auto& [stack, count] : report.stacks) {
+    out += stack;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string to_json(const ProfileReport& report) {
+  std::string out = "{\n  \"schema\": \"gansec.profile.v1\",\n";
+  out += "  \"hz\": " + json_number(report.hz) + ",\n";
+  out += "  \"duration_s\": " + json_number(report.duration_s) + ",\n";
+  out += "  \"samples\": " + std::to_string(report.samples) + ",\n";
+  out += "  \"dropped\": " + std::to_string(report.dropped) + ",\n";
+  out += "  \"frames\": " + std::to_string(report.frames) + ",\n";
+  out += "  \"symbolized_frames\": " + std::to_string(report.symbolized_frames) +
+         ",\n";
+  out += "  \"symbolized_fraction\": " +
+         json_number(report.symbolized_fraction) + ",\n";
+  out += "  \"phases\": [";
+  for (std::size_t i = 0; i < report.phases.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "\n    {\"phase\": \"" + json_escape(report.phases[i].first) +
+           "\", \"samples\": " + std::to_string(report.phases[i].second) + "}";
+  }
+  out += report.phases.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"stacks\": [";
+  for (std::size_t i = 0; i < report.stacks.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "\n    {\"stack\": \"" + json_escape(report.stacks[i].first) +
+           "\", \"count\": " + std::to_string(report.stacks[i].second) + "}";
+  }
+  out += report.stacks.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+SamplingProfiler& SamplingProfiler::instance() {
+  static SamplingProfiler profiler;
+  return profiler;
+}
+
+void SamplingProfiler::start(const ProfileConfig& config) {
+  if (!(config.hz >= 1.0 && config.hz <= 1000.0)) {
+    throw gansec::InvalidArgumentError(
+        "profiler hz must be in [1, 1000], got " + std::to_string(config.hz));
+  }
+  if (config.max_samples == 0) {
+    throw gansec::InvalidArgumentError("profiler max_samples must be > 0");
+  }
+  const std::lock_guard<std::mutex> lock(g_state_mu);
+  if (g_running.load(std::memory_order_acquire)) {
+    throw gansec::InvalidArgumentError("profiler already running");
+  }
+
+  // Everything the handler needs, initialized before arming:
+  g_slots = std::make_unique<RawSample[]>(config.max_samples);
+  g_slot_count = config.max_samples;
+  g_cursor.store(0, std::memory_order_relaxed);
+  g_max_depth.store(std::clamp(config.max_depth, 1, kMaxDepth),
+                    std::memory_order_relaxed);
+  g_use_frame_pointer.store(
+      config.unwinder == ProfileConfig::Unwinder::kFramePointer,
+      std::memory_order_relaxed);
+  g_samples_counter = &obs::counter("prof.samples");
+  g_dropped_counter = &obs::counter("prof.samples_dropped");
+  obs::gauge("prof.hz").set(config.hz);
+
+  // Warm-ups so the handler never takes a lazy-init path: the first
+  // backtrace() call dlopens libgcc (allocates, takes loader locks) and
+  // the first trace_now_us() initializes the trace epoch.
+  void* warmup[4];
+  (void)backtrace(warmup, 4);
+  g_start_us = trace_now_us();
+  g_hz = config.hz;
+
+  if (!g_handler_installed) {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = &handle_sigprof;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    if (sigaction(SIGPROF, &sa, nullptr) != 0) {
+      throw gansec::IoError("sigaction(SIGPROF) failed");
+    }
+    g_handler_installed = true;
+  }
+
+  g_armed.store(true, std::memory_order_release);
+  const double period_s = 1.0 / config.hz;
+  struct itimerval timer;
+  timer.it_interval.tv_sec = static_cast<time_t>(period_s);
+  timer.it_interval.tv_usec =
+      static_cast<suseconds_t>((period_s - timer.it_interval.tv_sec) * 1e6);
+  if (timer.it_interval.tv_sec == 0 && timer.it_interval.tv_usec == 0) {
+    timer.it_interval.tv_usec = 1000;  // floor: 1ms
+  }
+  timer.it_value = timer.it_interval;
+  if (setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+    g_armed.store(false, std::memory_order_release);
+    throw gansec::IoError("setitimer(ITIMER_PROF) failed");
+  }
+  g_running.store(true, std::memory_order_release);
+}
+
+ProfileReport SamplingProfiler::stop() {
+  const std::lock_guard<std::mutex> lock(g_state_mu);
+  if (!g_running.load(std::memory_order_acquire)) {
+    throw gansec::InvalidArgumentError("profiler not running");
+  }
+  struct itimerval off;
+  std::memset(&off, 0, sizeof off);
+  setitimer(ITIMER_PROF, &off, nullptr);
+  g_armed.store(false, std::memory_order_release);
+  // Drain: a signal already delivered on another thread may still be in
+  // the handler; committed-slot reads below must not race its writes.
+  while (g_in_handler.load(std::memory_order_acquire) != 0) {
+  }
+  const double duration_s =
+      static_cast<double>(trace_now_us() - g_start_us) * 1e-6;
+  ProfileReport report = aggregate(
+      g_cursor.load(std::memory_order_acquire), g_hz, duration_s);
+  g_running.store(false, std::memory_order_release);
+  return report;
+}
+
+ProfileReport SamplingProfiler::snapshot_report() const {
+  const std::lock_guard<std::mutex> lock(g_state_mu);
+  if (!g_running.load(std::memory_order_acquire)) return {};
+  const double duration_s =
+      static_cast<double>(trace_now_us() - g_start_us) * 1e-6;
+  return aggregate(g_cursor.load(std::memory_order_acquire), g_hz,
+                   duration_s);
+}
+
+bool SamplingProfiler::running() const {
+  return g_running.load(std::memory_order_acquire);
+}
+
+std::uint64_t SamplingProfiler::samples_captured() const {
+  return std::min<std::uint64_t>(g_cursor.load(std::memory_order_acquire),
+                                 g_slot_count);
+}
+
+void write_profile_files(const ProfileReport& report,
+                         const std::string& folded_path,
+                         const std::string& json_path) {
+  {
+    std::ofstream out(folded_path);
+    if (!out) {
+      throw gansec::IoError("cannot open profile output: " + folded_path);
+    }
+    out << to_folded(report);
+    if (!out.good()) {
+      throw gansec::IoError("failed writing profile output: " + folded_path);
+    }
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      throw gansec::IoError("cannot open profile artifact: " + json_path);
+    }
+    out << to_json(report);
+    if (!out.good()) {
+      throw gansec::IoError("failed writing profile artifact: " + json_path);
+    }
+  }
+}
+
+}  // namespace gansec::obs::prof

@@ -200,6 +200,12 @@ std::string RunReport::to_json() const {
   }
   os << '}';
 
+  // Operational summary: anomalies an operator should notice without
+  // digging through the full metrics dump. Read live (not at
+  // capture_metrics() time) so drops during teardown still show up.
+  os << ",\"summary\":{\"series_dropped_points\":"
+     << counter("obs.series.dropped_points").value() << '}';
+
   os << ",\"metrics\":"
      << (metrics_json_.empty() ? "null" : metrics_json_);
   os << '}';
@@ -221,10 +227,10 @@ namespace {
 std::mutex g_flush_mu;
 ArtifactPaths g_flush_paths;
 bool g_flush_registered = false;
+// Once flag: claimed (exchanged to true) by whichever flush path gets
+// there first — normal exit, atexit, or signal. Doubles as the
+// reentrancy guard for a signal landing while atexit runs.
 std::atomic<bool> g_flushed{false};
-// Reentrancy guard shared by the atexit and signal paths (a signal can
-// land while atexit runs).
-std::atomic_flag g_flush_in_progress = ATOMIC_FLAG_INIT;
 
 void flush_for_exit() noexcept {
   // Swallow everything: this runs during teardown, possibly from a signal
@@ -247,11 +253,17 @@ extern "C" void gansec_obs_signal_flush(int sig) {
 
 }  // namespace
 
+bool claim_artifact_flush() {
+  // One exchange both checks and sets: exactly one caller per
+  // register_artifact_flush() cycle sees false->true. A signal landing
+  // between a competitor's claim and its writes loses the claim here and
+  // backs off — the old load-then-store-after-writing protocol left a
+  // window where signal-then-exit (or exit-then-signal) wrote twice.
+  return !g_flushed.exchange(true, std::memory_order_acq_rel);
+}
+
 bool flush_artifacts_now() {
-  if (g_flushed.load(std::memory_order_acquire)) return false;
-  if (g_flush_in_progress.test_and_set(std::memory_order_acquire)) {
-    return false;
-  }
+  if (!claim_artifact_flush()) return false;
   ArtifactPaths paths;
   {
     const std::lock_guard<std::mutex> lock(g_flush_mu);
@@ -274,8 +286,6 @@ bool flush_artifacts_now() {
     } catch (...) {  // gansec-lint: allow(error-swallow)
     }
   }
-  g_flushed.store(true, std::memory_order_release);
-  g_flush_in_progress.clear(std::memory_order_release);
   return wrote;
 }
 

@@ -1,0 +1,24 @@
+// Fixture: every async-signal-unsafe construct the lint must catch
+// inside a signal-context region. Expected: signal-unsafe at lines
+// 14, 15, 16, 17, 18, 19, 20, 21.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+struct Oops {};
+inline std::mutex g_mu;  // declared outside the region on purpose
+
+// gansec-lint: signal-context
+inline void bad_handler(int, char* buf) {
+  int* leak = new int(7);
+  if (leak == nullptr) throw Oops{};
+  void* heap = std::malloc(32);
+  auto owned = std::make_unique<int>(3);
+  g_mu.lock();
+  std::mutex local;
+  GANSEC_LOG_INFO("tick from a signal handler");
+  std::snprintf(buf, 8, "x");
+  static_cast<void>(heap);
+}
+// gansec-lint: end-signal-context

@@ -1,0 +1,27 @@
+// Fixture: a compliant signal-context region — preallocated slots,
+// atomics, errno save/restore, and the async-signal-safe libc subset.
+// Expected diagnostics: none.
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <execinfo.h>
+
+namespace fixture {
+
+inline std::atomic<std::uint64_t> g_cursor{0};
+inline std::uint64_t g_slots[256];
+
+// gansec-lint: signal-context
+inline void handler(int) {
+  const int saved_errno = errno;
+  const std::uint64_t slot = g_cursor.fetch_add(1, std::memory_order_relaxed);
+  if (slot < 256) {
+    void* frames[8];
+    const int depth = backtrace(frames, 8);
+    g_slots[slot] = static_cast<std::uint64_t>(depth);
+  }
+  errno = saved_errno;
+}
+// gansec-lint: end-signal-context
+
+}  // namespace fixture

@@ -208,6 +208,68 @@ TEST(LintObs, MalformedManifestIsFlagged) {
   EXPECT_EQ(diags[1].line, 4U);
 }
 
+// ---- Signal-context async-signal-safety -------------------------------------
+
+TEST(LintSignal, CompliantHandlerIsClean) {
+  const Linter linter = lint_fixtures({"good/signal_ok.cpp"});
+  expect_exact(linter, {}, "");
+}
+
+TEST(LintSignal, UnsafeConstructsAreFlagged) {
+  const Linter linter = lint_fixtures({"bad/signal_unsafe.cpp"});
+  expect_exact(linter,
+               {{"signal-unsafe", 14},
+                {"signal-unsafe", 15},
+                {"signal-unsafe", 16},
+                {"signal-unsafe", 17},
+                {"signal-unsafe", 18},
+                {"signal-unsafe", 19},
+                {"signal-unsafe", 20},
+                {"signal-unsafe", 21}},
+               "signal_unsafe.cpp");
+}
+
+TEST(LintSignal, SameConstructOutsideRegionIsClean) {
+  Linter linter(Options{});
+  // Allocation is only a violation between the region markers.
+  linter.check_file("src/obs/sample.cpp",
+                    "inline int* before() { return new int(1); }\n"
+                    "// gansec-lint: signal-context\n"
+                    "inline void handler(int) {}\n"
+                    "// gansec-lint: end-signal-context\n"
+                    "inline int* after() { return new int(2); }\n");
+  linter.finish();
+  EXPECT_TRUE(linter.diagnostics().empty());
+}
+
+TEST(LintSignal, UnclosedRegionIsFlagged) {
+  Linter linter(Options{});
+  linter.check_file("src/obs/sample.cpp",
+                    "// gansec-lint: signal-context\n"
+                    "inline void handler(int) {}\n");
+  linter.finish();
+  const auto& diags = linter.diagnostics();
+  ASSERT_EQ(diags.size(), 1U);
+  EXPECT_EQ(diags[0].rule, "lint-directive");
+  EXPECT_NE(diags[0].message.find("never closed"), std::string::npos);
+}
+
+TEST(LintSignal, AllowSuppressesInsideRegion) {
+  Linter linter(Options{});
+  linter.check_file(
+      "src/obs/sample.cpp",
+      "// gansec-lint: signal-context\n"
+      "inline void handler(int) {\n"
+      "  // gansec-lint: allow(signal-unsafe)\n"
+      "  int* p = new int(1);\n"
+      "  static_cast<void>(p);\n"
+      "}\n"
+      "// gansec-lint: end-signal-context\n");
+  linter.finish();
+  EXPECT_TRUE(linter.diagnostics().empty());
+  EXPECT_EQ(linter.suppressions_used(), 1U);
+}
+
 // ---- Error discipline -------------------------------------------------------
 
 TEST(LintErrors, RethrowingCatchAllIsClean) {

@@ -1,0 +1,121 @@
+// MetricsServer tests: route behavior, ephemeral-port binding, stop
+// idempotence, and the /metrics OpenMetrics round trip while other
+// threads are hammering the registry (the TSan-relevant case).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gansec/error.hpp"
+#include "gansec/obs/http.hpp"
+#include "gansec/obs/metrics.hpp"
+#include "gansec/obs/openmetrics.hpp"
+
+namespace {
+
+namespace obs = gansec::obs;
+using gansec::IoError;
+
+TEST(MetricsServer, BindsEphemeralPortAndServesRoutes) {
+  obs::MetricsServer server({});
+  ASSERT_NE(server.port(), 0);
+
+  EXPECT_EQ(obs::http_get("127.0.0.1", server.port(), "/healthz"), "ok\n");
+
+  obs::counter("test.http.hits").add(3);
+  const std::string metrics =
+      obs::http_get("127.0.0.1", server.port(), "/metrics");
+  const auto families = obs::parse_openmetrics(metrics);
+  EXPECT_GE(obs::openmetrics_value(families, "test_http_hits_total"), 3.0);
+  // The server counts its own traffic.
+  EXPECT_GE(obs::openmetrics_value(families, "obs_http_requests_total"), 1.0);
+
+  // Profiler off -> /profilez serves an empty collapsed-stack body.
+  EXPECT_EQ(obs::http_get("127.0.0.1", server.port(), "/profilez"), "");
+
+  // Unknown route -> 404 -> http_get throws, but the request still counts.
+  EXPECT_THROW(obs::http_get("127.0.0.1", server.port(), "/nope"), IoError);
+  EXPECT_GE(server.requests_served(), 4U);
+}
+
+TEST(MetricsServer, RejectsPortInUseAndStopsIdempotently) {
+  obs::MetricsServer first({});
+  EXPECT_THROW(obs::MetricsServer({"127.0.0.1", first.port()}), IoError);
+  first.stop();
+  first.stop();  // idempotent
+  // A stopped server no longer answers.
+  EXPECT_THROW(obs::http_get("127.0.0.1", first.port(), "/healthz"), IoError);
+}
+
+TEST(MetricsServer, HttpGetReportsConnectFailure) {
+  // Nothing listens on the ephemeral port a just-stopped server used.
+  std::uint16_t dead_port = 0;
+  {
+    obs::MetricsServer server({});
+    dead_port = server.port();
+  }
+  EXPECT_THROW(obs::http_get("127.0.0.1", dead_port, "/healthz"), IoError);
+}
+
+TEST(MetricsServer, MetricsRoundTripWhileRegistryIsHot) {
+  // The acceptance case: scrape /metrics repeatedly while writer threads
+  // update counters/gauges/histograms — every response must parse.
+  obs::MetricsServer server({});
+  // Register up front so the first scrape already sees the families
+  // (writer threads would otherwise race the lazy registration).
+  obs::counter("test.http.storm.count");
+  obs::gauge("test.http.storm.gauge");
+  obs::histogram("test.http.storm.h", {0.5, 1.0, 2.0});
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  writers.reserve(3);
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&stop, t] {
+      obs::Counter& c = obs::counter("test.http.storm.count");
+      obs::Gauge& g = obs::gauge("test.http.storm.gauge");
+      obs::Histogram& h =
+          obs::histogram("test.http.storm.h", {0.5, 1.0, 2.0});
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        c.add();
+        g.set(static_cast<double>(i % 97));
+        h.observe(static_cast<double>((t + 1) * (i % 5)) * 0.25);
+        ++i;
+      }
+    });
+  }
+
+  double last_count = 0.0;
+  for (int scrape = 0; scrape < 10; ++scrape) {
+    const std::string body =
+        obs::http_get("127.0.0.1", server.port(), "/metrics");
+    const auto families = obs::parse_openmetrics(body);  // throws on tear
+    const double count =
+        obs::openmetrics_value(families, "test_http_storm_count_total");
+    EXPECT_GE(count, last_count);  // counters are monotonic across scrapes
+    last_count = count;
+    const double h_count =
+        obs::openmetrics_value(families, "test_http_storm_h_count");
+    const double inf_bucket = [&] {
+      for (const auto& family : families) {
+        for (const auto& sample : family.samples) {
+          if (sample.name != "test_http_storm_h_bucket") continue;
+          for (const auto& [k, v] : sample.labels) {
+            if (k == "le" && v == "+Inf") return sample.value;
+          }
+        }
+      }
+      return -1.0;
+    }();
+    // Cumulative histogram invariant holds in every snapshot.
+    EXPECT_GE(inf_bucket, 0.0);
+    EXPECT_DOUBLE_EQ(inf_bucket, h_count);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& w : writers) w.join();
+  EXPECT_GT(last_count, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+// OpenMetrics exposition tests: name mapping, rendering of every metric
+// kind, the parser, and the render -> parse -> compare round trip that
+// /metrics consumers (gansec_top, the quickcheck profile step) rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "gansec/error.hpp"
+#include "gansec/obs/metrics.hpp"
+#include "gansec/obs/openmetrics.hpp"
+
+namespace {
+
+namespace obs = gansec::obs;
+using gansec::ParseError;
+
+TEST(OpenMetricsName, MapsDotsAndInvalidCharacters) {
+  EXPECT_EQ(obs::openmetrics_name("gan.train.iterations"),
+            "gan_train_iterations");
+  EXPECT_EQ(obs::openmetrics_name("proc.rss_bytes"), "proc_rss_bytes");
+  EXPECT_EQ(obs::openmetrics_name("weird-name!x"), "weird_name_x");
+  // A leading digit is not a valid OpenMetrics name start.
+  EXPECT_EQ(obs::openmetrics_name("9lives"), "_9lives");
+  // Colons are legal in OpenMetrics names and pass through.
+  EXPECT_EQ(obs::openmetrics_name("a:b"), "a:b");
+}
+
+TEST(OpenMetrics, RendersCountersGaugesAndHistograms) {
+  obs::RegistrySnapshot snap;
+  snap.counters.emplace_back("test.om.hits", 42U);
+  snap.gauges.emplace_back("test.om.level", 1.5);
+  obs::Histogram::Snapshot h;
+  h.bounds = {1.0, 2.0};
+  h.counts = {3, 1, 2};  // two bounds + overflow
+  h.count = 6;
+  h.sum = 9.0;
+  h.min = 0.5;
+  h.max = 5.0;
+  snap.histograms.emplace_back("test.om.lat", h);
+  // Series are not representable in OpenMetrics and must be skipped.
+  snap.series.emplace_back(
+      "test.om.series",
+      std::vector<std::pair<double, double>>{{0.0, 1.0}});
+
+  const std::string text = obs::render_openmetrics(snap);
+  EXPECT_NE(text.find("# TYPE test_om_hits counter\n"), std::string::npos);
+  EXPECT_NE(text.find("test_om_hits_total 42\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_om_level gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("test_om_level 1.5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_om_lat histogram\n"), std::string::npos);
+  // Buckets are cumulative and end with +Inf == _count.
+  EXPECT_NE(text.find("test_om_lat_bucket{le=\"1\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("test_om_lat_bucket{le=\"2\"} 4\n"), std::string::npos);
+  EXPECT_NE(text.find("test_om_lat_bucket{le=\"+Inf\"} 6\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_om_lat_sum 9\n"), std::string::npos);
+  EXPECT_NE(text.find("test_om_lat_count 6\n"), std::string::npos);
+  EXPECT_EQ(text.find("test_om_series"), std::string::npos);
+  // The exposition must terminate with the mandatory EOF marker.
+  EXPECT_EQ(text.rfind("# EOF\n"), text.size() - 6);
+}
+
+TEST(OpenMetrics, RendersNonFiniteGaugesAsLiterals) {
+  obs::RegistrySnapshot snap;
+  snap.gauges.emplace_back("test.om.nan",
+                           std::numeric_limits<double>::quiet_NaN());
+  snap.gauges.emplace_back("test.om.inf",
+                           std::numeric_limits<double>::infinity());
+  snap.gauges.emplace_back("test.om.ninf",
+                           -std::numeric_limits<double>::infinity());
+  const std::string text = obs::render_openmetrics(snap);
+  EXPECT_NE(text.find("test_om_nan NaN\n"), std::string::npos);
+  EXPECT_NE(text.find("test_om_inf +Inf\n"), std::string::npos);
+  EXPECT_NE(text.find("test_om_ninf -Inf\n"), std::string::npos);
+
+  const auto families = obs::parse_openmetrics(text);
+  EXPECT_TRUE(std::isnan(obs::openmetrics_value(families, "test_om_nan")));
+  EXPECT_TRUE(std::isinf(obs::openmetrics_value(families, "test_om_inf")));
+}
+
+TEST(OpenMetrics, RenderParseRoundTripPreservesValues) {
+  obs::RegistrySnapshot snap;
+  snap.counters.emplace_back("test.om.rt.count", 123456789U);
+  snap.gauges.emplace_back("test.om.rt.gauge", 0.1234567890123456789);
+  obs::Histogram::Snapshot h;
+  h.bounds = {0.5};
+  h.counts = {2, 1};
+  h.count = 3;
+  h.sum = 1.75;
+  h.min = 0.25;
+  h.max = 1.0;
+  snap.histograms.emplace_back("test.om.rt.h", h);
+
+  const auto families = obs::parse_openmetrics(obs::render_openmetrics(snap));
+  EXPECT_DOUBLE_EQ(
+      obs::openmetrics_value(families, "test_om_rt_count_total"),
+      123456789.0);
+  EXPECT_DOUBLE_EQ(obs::openmetrics_value(families, "test_om_rt_gauge"),
+                   0.1234567890123456789);
+  EXPECT_DOUBLE_EQ(obs::openmetrics_value(families, "test_om_rt_h_sum"),
+                   1.75);
+  EXPECT_DOUBLE_EQ(obs::openmetrics_value(families, "test_om_rt_h_count"),
+                   3.0);
+  // Absent sample -> fallback.
+  EXPECT_DOUBLE_EQ(obs::openmetrics_value(families, "nope", -1.0), -1.0);
+}
+
+TEST(OpenMetrics, ParserReadsLabelsAndFamilies) {
+  const std::string text =
+      "# TYPE http_requests counter\n"
+      "http_requests_total{method=\"get\",code=\"200\"} 7\n"
+      "http_requests_total{method=\"post\"} 2\n"
+      "# TYPE up gauge\n"
+      "up 1\n"
+      "# EOF\n";
+  const auto families = obs::parse_openmetrics(text);
+  ASSERT_EQ(families.size(), 2U);
+  EXPECT_EQ(families[0].name, "http_requests");
+  EXPECT_EQ(families[0].type, "counter");
+  ASSERT_EQ(families[0].samples.size(), 2U);
+  ASSERT_EQ(families[0].samples[0].labels.size(), 2U);
+  EXPECT_EQ(families[0].samples[0].labels[0].first, "method");
+  EXPECT_EQ(families[0].samples[0].labels[0].second, "get");
+  EXPECT_DOUBLE_EQ(families[0].samples[0].value, 7.0);
+  EXPECT_EQ(families[1].type, "gauge");
+}
+
+TEST(OpenMetrics, ParserRejectsMalformedInput) {
+  // Missing the terminal # EOF.
+  EXPECT_THROW(obs::parse_openmetrics("# TYPE x gauge\nx 1\n"), ParseError);
+  // Unparseable value.
+  EXPECT_THROW(obs::parse_openmetrics("x pancake\n# EOF\n"), ParseError);
+  // Unterminated label set.
+  EXPECT_THROW(obs::parse_openmetrics("x{a=\"b\" 1\n# EOF\n"), ParseError);
+  // Sample with no value at all.
+  EXPECT_THROW(obs::parse_openmetrics("lonely\n# EOF\n"), ParseError);
+}
+
+TEST(OpenMetrics, LiveRegistryRoundTrips) {
+  obs::counter("test.om.live.counter").add(5);
+  obs::gauge("test.om.live.gauge").set(2.25);
+  obs::histogram("test.om.live.h", {1.0, 2.0}).observe(1.5);
+  const auto families = obs::parse_openmetrics(
+      obs::render_openmetrics(obs::MetricsRegistry::instance().snapshot()));
+  EXPECT_GE(obs::openmetrics_value(families, "test_om_live_counter_total"),
+            5.0);
+  EXPECT_DOUBLE_EQ(obs::openmetrics_value(families, "test_om_live_gauge"),
+                   2.25);
+  EXPECT_GE(obs::openmetrics_value(families, "test_om_live_h_count"), 1.0);
+}
+
+}  // namespace

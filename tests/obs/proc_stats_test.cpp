@@ -1,0 +1,106 @@
+// Resource-telemetry tests: /proc/self/stat parsing (including the
+// comm-with-spaces-and-parens trap), the live read on Linux, and the
+// ResourceSampler's gauge/series publication.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "gansec/obs/metrics.hpp"
+#include "gansec/obs/proc_stats.hpp"
+
+namespace {
+
+namespace obs = gansec::obs;
+
+double clk_tck() {
+  const long v = ::sysconf(_SC_CLK_TCK);
+  return v > 0 ? static_cast<double>(v) : 100.0;
+}
+
+std::uint64_t page_bytes() {
+  const long v = ::sysconf(_SC_PAGESIZE);
+  return v > 0 ? static_cast<std::uint64_t>(v) : 4096u;
+}
+
+// One stat line with every field the parser reads, using a comm that
+// contains both spaces and a ')' — the classic /proc parsing trap.
+//            state ppid pgrp sess tty tpgid flags minflt cminflt majflt
+//            cmajflt utime stime cutime cstime prio nice nthreads itreal
+//            start vsize rss
+const char* kStatLine =
+    "1234 (tricky (comm) x) R 1 2 3 4 5 6 777 8 9 10 200 100 0 0 20 0 7 0 "
+    "12345 1048576 256";
+
+TEST(ProcStats, ParsesFieldsPastTrickyComm) {
+  const obs::ProcSnapshot snap = obs::parse_proc_stat_line(kStatLine);
+  ASSERT_TRUE(snap.valid);
+  EXPECT_EQ(snap.minor_faults, 777U);
+  EXPECT_EQ(snap.major_faults, 9U);
+  EXPECT_DOUBLE_EQ(snap.utime_seconds, 200.0 / clk_tck());
+  EXPECT_DOUBLE_EQ(snap.stime_seconds, 100.0 / clk_tck());
+  EXPECT_EQ(snap.threads, 7L);
+  EXPECT_EQ(snap.vm_bytes, 1048576U);
+  EXPECT_EQ(snap.rss_bytes, 256U * page_bytes());
+}
+
+TEST(ProcStats, MalformedLinesAreInvalid) {
+  EXPECT_FALSE(obs::parse_proc_stat_line("").valid);
+  EXPECT_FALSE(obs::parse_proc_stat_line("1234 no-comm-parens R 1").valid);
+  // Too few fields after the comm.
+  EXPECT_FALSE(obs::parse_proc_stat_line("1234 (x) R 1 2 3").valid);
+}
+
+TEST(ProcStats, ReadProcSelfReportsThisProcess) {
+#if defined(__linux__)
+  const obs::ProcSnapshot snap = obs::read_proc_self();
+  ASSERT_TRUE(snap.valid);
+  EXPECT_GT(snap.rss_bytes, 0U);
+  EXPECT_GT(snap.vm_bytes, snap.rss_bytes / 4);  // vm >= rss in practice
+  EXPECT_GE(snap.threads, 1L);
+#else
+  EXPECT_FALSE(obs::read_proc_self().valid);
+#endif
+}
+
+#if defined(__linux__)
+TEST(ResourceSampler, SampleOncePublishesGaugesAndSeries) {
+  obs::Series& rss_series = obs::series("proc.rss_bytes");
+  const std::size_t points_before = rss_series.size();
+
+  obs::ResourceSampler sampler({/*interval_s=*/0.05});
+  sampler.sample_once();
+  EXPECT_GT(obs::gauge("proc.rss_bytes").value(), 0.0);
+  EXPECT_GE(obs::gauge("proc.threads").value(), 1.0);
+  EXPECT_GE(obs::gauge("proc.utime_seconds").value(), 0.0);
+  EXPECT_EQ(rss_series.size(), points_before + 1);
+
+  // Rate gauges need a second sample; burn a little CPU in between so
+  // cpu_percent has something to measure (exact value is host noise).
+  volatile double sink = 1.0;
+  for (int i = 0; i < 2000000; ++i) sink = sink * 1.0000001 + 0.5;
+  sampler.sample_once();
+  EXPECT_GE(obs::gauge("proc.cpu_percent").value(), 0.0);
+  EXPECT_GE(obs::gauge("proc.alloc_bytes_per_s").value(), 0.0);
+  EXPECT_EQ(rss_series.size(), points_before + 2);
+}
+
+TEST(ResourceSampler, StartStopIsIdempotent) {
+  obs::ResourceSampler sampler({/*interval_s=*/0.01});
+  EXPECT_FALSE(sampler.running());
+  sampler.start();
+  EXPECT_TRUE(sampler.running());
+  sampler.start();  // second start is a no-op
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+  sampler.stop();  // second stop is a no-op
+  // The background loop sampled at least once (the immediate sample).
+  EXPECT_GT(obs::gauge("proc.rss_bytes").value(), 0.0);
+}
+#endif
+
+}  // namespace

@@ -1,0 +1,225 @@
+// Sampling-profiler tests: config validation, capture + symbolization of
+// a CPU-burning loop, folded/JSON artifact shape, the lock-free
+// mid-flight snapshot, and trace-span phase attribution.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "gansec/error.hpp"
+#include "gansec/obs/json.hpp"
+#include "gansec/obs/prof.hpp"
+#include "gansec/obs/trace.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+namespace obs = gansec::obs;
+namespace prof = gansec::obs::prof;
+using gansec::InvalidArgumentError;
+using gansec::IoError;
+
+/// Burns CPU (not wall) time until the profiler has captured at least
+/// `min_samples`, bounded by a generous wall-clock timeout so a loaded
+/// CI box cannot hang the test.
+void burn_until_samples(std::uint64_t min_samples) {
+  volatile double sink = 1.0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (prof::SamplingProfiler::instance().samples_captured() < min_samples &&
+         std::chrono::steady_clock::now() < deadline) {
+    for (int i = 0; i < 50000; ++i) sink = sink * 1.0000001 + 0.5;
+  }
+}
+
+prof::Frame make_frame(std::string name, bool symbolized,
+                       std::string module) {
+  prof::Frame frame;
+  frame.name = std::move(name);
+  frame.symbolized = symbolized;
+  frame.module = std::move(module);
+  return frame;
+}
+
+TEST(TidyFrames, TrimsStartupScaffoldingDownToMain) {
+  std::vector<prof::Frame> frames;
+  frames.push_back(make_frame("_start", true, "app"));
+  frames.push_back(make_frame("__libc_start_main", true, "libc.so.6"));
+  frames.push_back(make_frame("libc.so.6`+0x2724a", false, "libc.so.6"));
+  frames.push_back(make_frame("main", true, "app"));
+  frames.push_back(make_frame("work()", true, "app"));
+  const auto tidy = prof::tidy_frames(frames);
+  ASSERT_EQ(tidy.size(), 2U);
+  EXPECT_EQ(tidy[0].name, "main");
+  EXPECT_EQ(tidy[1].name, "work()");
+}
+
+TEST(TidyFrames, CollapsesConsecutiveUnresolvedSameModuleRuns) {
+  std::vector<prof::Frame> frames;
+  frames.push_back(make_frame("main", true, "app"));
+  frames.push_back(make_frame("libfoo.so`+0x10", false, "libfoo.so"));
+  frames.push_back(make_frame("libfoo.so`+0x20", false, "libfoo.so"));
+  frames.push_back(make_frame("libfoo.so`+0x30", false, "libfoo.so"));
+  frames.push_back(make_frame("callback()", true, "app"));
+  // A lone unresolved frame keeps its precise offset name.
+  frames.push_back(make_frame("libbar.so`+0x40", false, "libbar.so"));
+  frames.push_back(make_frame("leaf()", true, "app"));
+  const auto tidy = prof::tidy_frames(frames);
+  ASSERT_EQ(tidy.size(), 5U);
+  EXPECT_EQ(tidy[0].name, "main");
+  EXPECT_EQ(tidy[1].name, "[libfoo.so]");
+  EXPECT_FALSE(tidy[1].symbolized);
+  EXPECT_EQ(tidy[2].name, "callback()");
+  EXPECT_EQ(tidy[3].name, "libbar.so`+0x40");
+  EXPECT_EQ(tidy[4].name, "leaf()");
+}
+
+TEST(TidyFrames, AllScaffoldingStackIsKeptVerbatim) {
+  std::vector<prof::Frame> frames;
+  frames.push_back(make_frame("libc.so.6`+0x1", false, "libc.so.6"));
+  frames.push_back(make_frame("libc.so.6`+0x2", false, "libc.so.6"));
+  const auto tidy = prof::tidy_frames(frames);
+  // Nothing to attribute to: kept (collapse still applies to the run).
+  ASSERT_EQ(tidy.size(), 1U);
+  EXPECT_EQ(tidy[0].name, "[libc.so.6]");
+}
+
+TEST(TidyFrames, EmptyInputYieldsEmptyOutput) {
+  EXPECT_TRUE(prof::tidy_frames({}).empty());
+}
+
+TEST(Profiler, RejectsBadConfigAndDoubleStart) {
+  prof::SamplingProfiler& p = prof::SamplingProfiler::instance();
+  prof::ProfileConfig bad;
+  bad.hz = 0.0;
+  EXPECT_THROW(p.start(bad), InvalidArgumentError);
+  bad.hz = 5000.0;
+  EXPECT_THROW(p.start(bad), InvalidArgumentError);
+  bad.hz = 99.0;
+  bad.max_samples = 0;
+  EXPECT_THROW(p.start(bad), InvalidArgumentError);
+
+  EXPECT_FALSE(p.running());
+  EXPECT_THROW(p.stop(), InvalidArgumentError);
+
+  prof::ProfileConfig ok;
+  ok.hz = 250.0;
+  p.start(ok);
+  EXPECT_TRUE(p.running());
+  EXPECT_THROW(p.start(ok), InvalidArgumentError);
+  const prof::ProfileReport report = p.stop();
+  EXPECT_FALSE(p.running());
+  EXPECT_DOUBLE_EQ(report.hz, 250.0);
+}
+
+TEST(Profiler, CapturesAndSymbolizesBusyLoop) {
+  prof::SamplingProfiler& p = prof::SamplingProfiler::instance();
+  prof::ProfileConfig config;
+  config.hz = 500.0;
+  p.start(config);
+  burn_until_samples(10);
+  const prof::ProfileReport report = p.stop();
+
+  EXPECT_GE(report.samples, 10U);
+  EXPECT_GT(report.frames, 0U);
+  EXPECT_GT(report.duration_s, 0.0);
+  ASSERT_FALSE(report.stacks.empty());
+  // Stacks are sorted by sample count, descending.
+  for (std::size_t i = 1; i < report.stacks.size(); ++i) {
+    EXPECT_GE(report.stacks[i - 1].second, report.stacks[i].second);
+  }
+  // The offline symbolizer (dladdr + .symtab fallback) resolves at
+  // least some frames even in a stripped-ish test binary.
+  EXPECT_GT(report.symbolized_fraction, 0.0);
+
+  // Folded output: every line is "stack count".
+  const std::string folded = prof::to_folded(report);
+  ASSERT_FALSE(folded.empty());
+  EXPECT_NE(folded.find(' '), std::string::npos);
+  EXPECT_EQ(folded.back(), '\n');
+
+  // JSON artifact: valid, schema-versioned, and self-consistent.
+  const auto root = obs::parse_json(prof::to_json(report));
+  EXPECT_EQ(root.find("schema")->as_string(), "gansec.profile.v1");
+  EXPECT_DOUBLE_EQ(root.find("hz")->as_number(), 500.0);
+  EXPECT_DOUBLE_EQ(root.find("samples")->as_number(),
+                   static_cast<double>(report.samples));
+  EXPECT_TRUE(root.find("stacks")->is_array());
+  EXPECT_TRUE(root.find("phases")->is_array());
+}
+
+TEST(Profiler, SnapshotWhileRunningDoesNotStop) {
+  prof::SamplingProfiler& p = prof::SamplingProfiler::instance();
+  // Not running -> empty report, no throw.
+  const prof::ProfileReport idle = p.snapshot_report();
+  EXPECT_EQ(idle.samples, 0U);
+
+  prof::ProfileConfig config;
+  config.hz = 500.0;
+  p.start(config);
+  burn_until_samples(5);
+  const prof::ProfileReport mid = p.snapshot_report();
+  EXPECT_TRUE(p.running());
+  EXPECT_GE(mid.samples, 5U);
+  burn_until_samples(mid.samples + 5);
+  const prof::ProfileReport fin = p.stop();
+  EXPECT_GE(fin.samples, mid.samples);
+}
+
+TEST(Profiler, AttributesSamplesToInnermostSpan) {
+  obs::set_tracing(true);
+  obs::clear_trace();
+  prof::SamplingProfiler& p = prof::SamplingProfiler::instance();
+  prof::ProfileConfig config;
+  config.hz = 500.0;
+  p.start(config);
+  {
+    GANSEC_SPAN("prof_test.burn");
+    burn_until_samples(10);
+  }
+  const prof::ProfileReport report = p.stop();
+  obs::set_tracing(false);
+
+  ASSERT_FALSE(report.phases.empty());
+  bool saw_burn = false;
+  std::uint64_t attributed = 0;
+  for (const auto& [phase, count] : report.phases) {
+    attributed += count;
+    if (phase == "prof_test.burn") saw_burn = true;
+  }
+  EXPECT_TRUE(saw_burn);
+  // Every sample lands somewhere (a span or "(untraced)").
+  EXPECT_EQ(attributed, report.samples);
+}
+
+TEST(Profiler, WriteProfileFilesRoundTripsAndReportsIoErrors) {
+  prof::ProfileReport report;
+  report.hz = 99.0;
+  report.samples = 2;
+  report.stacks.emplace_back("main;work", 2);
+  report.phases.emplace_back("(untraced)", 2);
+
+  const fs::path dir = fs::temp_directory_path();
+  const fs::path folded = dir / "gansec_prof_test.folded";
+  const fs::path json = dir / "gansec_prof_test.folded.json";
+  prof::write_profile_files(report, folded.string(), json.string());
+  {
+    std::ifstream in(folded);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line, "main;work 2");
+  }
+  EXPECT_NO_THROW(obs::parse_json_file(json.string()));
+  fs::remove(folded);
+  fs::remove(json);
+
+  EXPECT_THROW(prof::write_profile_files(
+                   report, "/nonexistent-dir-xyz/p.folded", ""),
+               IoError);
+}
+
+}  // namespace

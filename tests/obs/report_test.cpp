@@ -128,6 +128,51 @@ TEST(HistogramPercentile, ClampsToObservedRangeAndHandlesEmpty) {
   EXPECT_LE(s.p99, 1.6);
 }
 
+TEST(HistogramPercentile, SingleBucketInterpolatesInsideObservedRange) {
+  obs::Histogram& h = obs::histogram("test.report.pctl3", {10.0});
+  h.reset();
+  h.observe(3.0);
+  h.observe(7.0);
+  const auto snap = h.snapshot();
+  EXPECT_DOUBLE_EQ(obs::histogram_percentile(snap, 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_percentile(snap, 1.0), 7.0);
+  const double p50 = obs::histogram_percentile(snap, 0.5);
+  EXPECT_GE(p50, 3.0);
+  EXPECT_LE(p50, 7.0);
+}
+
+TEST(HistogramPercentile, AllOverflowClampsToObservedRange) {
+  // Every observation above the last bound: the open-ended overflow
+  // bucket must still yield finite estimates inside [min, max].
+  obs::Histogram& h = obs::histogram("test.report.pctl4", {1.0, 2.0});
+  h.reset();
+  h.observe(100.0);
+  h.observe(150.0);
+  h.observe(200.0);
+  const auto snap = h.snapshot();
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const double est = obs::histogram_percentile(snap, q);
+    EXPECT_GE(est, 100.0) << "q=" << q;
+    EXPECT_LE(est, 200.0) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(obs::histogram_percentile(snap, 0.0), 100.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_percentile(snap, 1.0), 200.0);
+}
+
+TEST(HistogramPercentile, SummarizeEmptySnapshotIsAllZeros) {
+  obs::Histogram& h = obs::histogram("test.report.pctl5", {1.0});
+  h.reset();
+  const obs::HistogramSummary s = obs::summarize(h.snapshot());
+  EXPECT_EQ(s.count, 0U);
+  EXPECT_DOUBLE_EQ(s.sum, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+  EXPECT_DOUBLE_EQ(s.p95, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
 // ---------------------------------------------------------------------------
 // Ring-buffer series.
 
@@ -231,6 +276,10 @@ TEST(RunReport, EmitsValidSchemaVersionedJson) {
   EXPECT_EQ(root.find_path({"results", "per_condition"})->as_array().size(),
             3U);
   EXPECT_TRUE(root.find("metrics")->is_object());
+  // The summary block surfaces series-ring data loss even to readers
+  // that never open the metrics object.
+  EXPECT_GE(root.find_path({"summary", "series_dropped_points"})->as_number(),
+            0.0);
 
   // Phase aggregation: phase_a ran twice, phase_b once.
   const auto& phases = root.find("phases")->as_array();
@@ -288,6 +337,27 @@ TEST(ArtifactFlush, MarkFlushedSuppressesTheExitWrite) {
   obs::mark_artifacts_flushed();
   EXPECT_FALSE(obs::flush_artifacts_now());
   EXPECT_FALSE(fs::exists(trace_path));
+}
+
+TEST(ArtifactFlush, ClaimIsExactlyOncePerRegistration) {
+  // Regression for the signal-then-exit double flush: whichever path
+  // (normal exit, atexit, signal handler) claims first wins, every later
+  // claim and flush must be a no-op.
+  const fs::path trace_path = scratch_file("claim-trace.json");
+  obs::register_artifact_flush({trace_path.string(), ""});
+  EXPECT_TRUE(obs::claim_artifact_flush());
+  EXPECT_FALSE(obs::claim_artifact_flush());
+  // The claim holder writes; everyone else (including a concurrent
+  // flush_artifacts_now) must not re-enter.
+  EXPECT_FALSE(obs::flush_artifacts_now());
+  EXPECT_FALSE(fs::exists(trace_path));
+
+  // A fresh registration re-arms exactly one claim.
+  obs::register_artifact_flush({trace_path.string(), ""});
+  EXPECT_TRUE(obs::flush_artifacts_now());
+  EXPECT_TRUE(fs::exists(trace_path));
+  EXPECT_FALSE(obs::claim_artifact_flush());
+  fs::remove(trace_path);
 }
 
 // ---------------------------------------------------------------------------

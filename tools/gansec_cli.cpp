@@ -17,6 +17,11 @@
 // stderr; result output stays on stdout, byte-identical at any thread
 // count. An atexit + SIGINT/SIGTERM flusher writes the trace/metrics
 // artifacts even when a run dies early.
+//
+// Live introspection flags: --expose PORT (OpenMetrics on 127.0.0.1 +
+// /proc resource telemetry), --profile out.folded --profile-hz N
+// (sampling CPU profiler; collapsed stacks + gansec.profile.v1 JSON).
+// See DESIGN.md "Live introspection".
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -33,8 +38,11 @@
 #include "gansec/model/checkpoint.hpp"
 #include "gansec/model/registry.hpp"
 #include "gansec/model/serialize.hpp"
+#include "gansec/obs/http.hpp"
 #include "gansec/obs/log.hpp"
 #include "gansec/obs/metrics.hpp"
+#include "gansec/obs/proc_stats.hpp"
+#include "gansec/obs/prof.hpp"
 #include "gansec/obs/report.hpp"
 #include "gansec/obs/trace.hpp"
 #include "gansec/security/detector.hpp"
@@ -48,7 +56,8 @@ using namespace gansec;
 const std::set<std::string> kFlags = {
     "model", "registry", "samples", "bins", "window", "iterations", "seed",
     "h", "scaler", "attack-fraction", "threads", "log-level", "trace-out",
-    "metrics-out", "report-out", "progress"};
+    "metrics-out", "report-out", "progress", "expose", "profile",
+    "profile-hz"};
 
 const std::set<std::string> kBoolFlags = {"log-json"};
 
@@ -77,22 +86,75 @@ void apply_observability(const core::Args& args) {
   }
 }
 
-// Writes the trace / metrics artifacts after the command finishes, then
-// disarms the abnormal-exit flusher.
+// Writes the trace / metrics artifacts after the command finishes. The
+// flush claim comes FIRST: whoever wins the atomic claim (this normal
+// path, atexit, or a signal handler) is the only writer, so a SIGINT
+// landing mid-write here can no longer produce a second flush on the
+// way out (and vice versa).
 void finish_observability(const core::Args& args) {
   const std::string trace_path = args.get("trace-out", "");
+  const std::string metrics_path = args.get("metrics-out", "");
+  if (trace_path.empty() && metrics_path.empty()) return;
+  if (!obs::claim_artifact_flush()) return;  // a signal path already wrote
   if (!trace_path.empty()) {
     obs::write_chrome_trace_file(trace_path);
     GANSEC_LOG_INFO("trace.written", {"path", trace_path},
                     {"events", obs::trace_events().size()});
   }
-  const std::string metrics_path = args.get("metrics-out", "");
   if (!metrics_path.empty()) {
     obs::write_metrics_json_file(metrics_path);
     GANSEC_LOG_INFO("metrics.written", {"path", metrics_path});
   }
-  obs::mark_artifacts_flushed();
 }
+
+// Live introspection (--expose / --profile / --profile-hz): the metrics
+// server and resource sampler run for the whole command; the profiler is
+// stopped and its artifacts written in finish().
+struct LiveIntrospection {
+  std::unique_ptr<obs::MetricsServer> server;
+  std::unique_ptr<obs::ResourceSampler> sampler;
+  std::string profile_path;
+
+  void start(const core::Args& args) {
+    if (args.has("expose")) {
+      obs::MetricsServer::Config config;
+      config.port = static_cast<std::uint16_t>(args.get_int("expose", 0));
+      server = std::make_unique<obs::MetricsServer>(config);
+      GANSEC_LOG_INFO("obs.expose.listening",
+                      {"address", config.bind_address},
+                      {"port", static_cast<unsigned>(server->port())});
+      sampler = std::make_unique<obs::ResourceSampler>(
+          obs::ResourceSampler::Config{});
+      sampler->start();
+    }
+    profile_path = args.get("profile", "");
+    if (!profile_path.empty()) {
+      obs::prof::ProfileConfig config;
+      config.hz = args.get_double("profile-hz", 99.0);
+      obs::prof::SamplingProfiler::instance().start(config);
+      GANSEC_LOG_INFO("prof.started", {"hz", config.hz},
+                      {"out", profile_path});
+    }
+  }
+
+  void finish() {
+    auto& profiler = obs::prof::SamplingProfiler::instance();
+    if (!profile_path.empty() && profiler.running()) {
+      const obs::prof::ProfileReport report = profiler.stop();
+      obs::prof::write_profile_files(report, profile_path,
+                                     profile_path + ".json");
+      GANSEC_LOG_INFO("prof.written", {"path", profile_path},
+                      {"samples", report.samples},
+                      {"symbolized_fraction", report.symbolized_fraction});
+      profile_path.clear();
+    }
+    if (sampler != nullptr) {
+      sampler->stop();
+      sampler.reset();
+    }
+    server.reset();
+  }
+};
 
 // Echoes the shared dataset/training flags into the report; commands with
 // a pipeline instead call GanSecPipeline::describe() for the full set.
@@ -383,7 +445,17 @@ int usage() {
                "                                 (seeds, config, git SHA,\n"
                "                                 phase times, percentiles)\n"
                "       --progress S              progress log line every S\n"
-               "                                 seconds during training\n";
+               "                                 seconds during training\n"
+               "live introspection:\n"
+               "       --expose PORT             serve OpenMetrics on\n"
+               "                                 127.0.0.1:PORT (/metrics,\n"
+               "                                 /healthz, /profilez; 0 =\n"
+               "                                 ephemeral) + /proc telemetry\n"
+               "       --profile out.folded      sampling CPU profiler;\n"
+               "                                 writes flamegraph.pl input\n"
+               "                                 and out.folded.json\n"
+               "                                 (gansec.profile.v1)\n"
+               "       --profile-hz N            sampling rate (default 99)\n";
   return 2;
 }
 
@@ -395,6 +467,8 @@ int main(int argc, char** argv) {
     const std::string command = argv[1];
     const core::Args args(argc - 2, argv + 2, kFlags, kBoolFlags);
     apply_observability(args);
+    LiveIntrospection live;
+    live.start(args);
 
     const std::string report_path = args.get("report-out", "");
     std::unique_ptr<obs::RunReport> report;
@@ -423,6 +497,9 @@ int main(int argc, char** argv) {
       return usage();
     }
     progress.reset();
+    // Stop the profiler and take the final resource sample before the
+    // report captures metrics, so prof.samples / proc.* land in it.
+    live.finish();
     if (report != nullptr) {
       report->capture_phases_from_trace();
       report->capture_metrics();

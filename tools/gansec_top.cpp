@@ -1,0 +1,257 @@
+// gansec_top — live terminal dashboard for a running `gansec` process
+// started with `--expose PORT`.
+//
+// Polls http://HOST:PORT/metrics (OpenMetrics) and /profilez (collapsed
+// stacks, when --profile is active) and renders a refreshing table:
+// training iterations/s, generator/discriminator loss p50, RSS, CPU%,
+// thread count, workspace allocation rate, and the top-5 hottest stacks.
+//
+// usage: gansec_top --port P [--host H] [--interval S] [--count N]
+//                   [--no-ansi]
+//   --count N     exit after N refreshes (0 = run until ^C); the smoke
+//                 tests use --count 1
+//   --no-ansi     plain append-only output (no clear-screen escapes)
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gansec/error.hpp"
+#include "gansec/obs/http.hpp"
+#include "gansec/obs/openmetrics.hpp"
+
+namespace {
+
+using gansec::obs::OpenMetricsFamily;
+using gansec::obs::http_get;
+using gansec::obs::openmetrics_value;
+using gansec::obs::parse_openmetrics;
+
+struct Options {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  double interval_s = 1.0;
+  std::uint64_t count = 0;  ///< 0 = forever
+  bool ansi = true;
+};
+
+int usage() {
+  std::cerr << "usage: gansec_top --port P [--host H] [--interval S]"
+               " [--count N] [--no-ansi]\n";
+  return 2;
+}
+
+bool parse_options(int argc, char** argv, Options& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--port") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opts.port = static_cast<std::uint16_t>(std::atoi(v));
+    } else if (arg == "--host") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opts.host = v;
+    } else if (arg == "--interval") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opts.interval_s = std::atof(v);
+    } else if (arg == "--count") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opts.count = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--no-ansi") {
+      opts.ansi = false;
+    } else {
+      return false;
+    }
+  }
+  return opts.port != 0;
+}
+
+std::string human_bytes(double bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int unit = 0;
+  while (bytes >= 1024.0 && unit < 4) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f %s", bytes, units[unit]);
+  return buf;
+}
+
+/// p50 estimate from an OpenMetrics histogram family: reads the
+/// cumulative _bucket samples, finds the bucket holding rank count/2,
+/// and interpolates linearly inside it.
+double histogram_p50(const std::vector<OpenMetricsFamily>& families,
+                     const std::string& family_name) {
+  for (const auto& family : families) {
+    if (family.name != family_name) continue;
+    std::vector<std::pair<double, double>> buckets;  // (le, cumulative)
+    for (const auto& sample : family.samples) {
+      if (sample.name != family_name + "_bucket") continue;
+      for (const auto& [key, val] : sample.labels) {
+        if (key != "le") continue;
+        const double le = val == "+Inf"
+                              ? std::numeric_limits<double>::infinity()
+                              : std::atof(val.c_str());
+        buckets.emplace_back(le, sample.value);
+      }
+    }
+    if (buckets.empty()) return 0.0;
+    std::sort(buckets.begin(), buckets.end());
+    const double total = buckets.back().second;
+    if (total <= 0.0) return 0.0;
+    const double rank = total / 2.0;
+    double lower_edge = 0.0;
+    double lower_cum = 0.0;
+    for (const auto& [le, cum] : buckets) {
+      if (cum >= rank) {
+        if (std::isinf(le)) return lower_edge;  // mass in overflow bucket
+        const double in_bucket = cum - lower_cum;
+        if (in_bucket <= 0.0) return le;
+        return lower_edge + (le - lower_edge) * (rank - lower_cum) / in_bucket;
+      }
+      lower_edge = le;
+      lower_cum = cum;
+    }
+    return lower_edge;
+  }
+  return 0.0;
+}
+
+/// Top-N hottest stacks from a /profilez collapsed-stack body. Each
+/// line is "frame;frame;...;leaf count"; returns (leaf frame, count)
+/// sorted by count descending.
+std::vector<std::pair<std::string, std::uint64_t>> top_stacks(
+    const std::string& folded, std::size_t n) {
+  std::vector<std::pair<std::string, std::uint64_t>> stacks;
+  std::size_t start = 0;
+  while (start < folded.size()) {
+    std::size_t end = folded.find('\n', start);
+    if (end == std::string::npos) end = folded.size();
+    const std::string line = folded.substr(start, end - start);
+    start = end + 1;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    const std::uint64_t count =
+        static_cast<std::uint64_t>(std::atoll(line.c_str() + space + 1));
+    std::string stack = line.substr(0, space);
+    const std::size_t leaf = stack.rfind(';');
+    if (leaf != std::string::npos) stack = stack.substr(leaf + 1);
+    stacks.emplace_back(std::move(stack), count);
+  }
+  std::stable_sort(stacks.begin(), stacks.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+  if (stacks.size() > n) stacks.resize(n);
+  return stacks;
+}
+
+void render(const Options& opts, std::uint64_t tick,
+            const std::vector<OpenMetricsFamily>& families,
+            const std::string& folded, double iters_per_s) {
+  if (opts.ansi) std::cout << "\033[2J\033[H";
+  std::cout << "gansec_top — " << opts.host << ':' << opts.port << "  (tick "
+            << tick << ", " << opts.interval_s << "s interval)\n\n";
+
+  const double iterations =
+      openmetrics_value(families, "gan_train_iterations_total");
+  const double rss = openmetrics_value(families, "proc_rss_bytes");
+  const double cpu = openmetrics_value(families, "proc_cpu_percent");
+  const double threads = openmetrics_value(families, "proc_threads");
+  const double alloc_rate =
+      openmetrics_value(families, "proc_alloc_bytes_per_s");
+  const double dropped =
+      openmetrics_value(families, "obs_series_dropped_points_total");
+  const double requests =
+      openmetrics_value(families, "obs_http_requests_total");
+  const double prof_samples =
+      openmetrics_value(families, "prof_samples_total");
+
+  char line[160];
+  std::snprintf(line, sizeof line, "  %-14s %12.0f   %-14s %12.1f\n",
+                "iterations", iterations, "iters/s", iters_per_s);
+  std::cout << line;
+  std::snprintf(line, sizeof line, "  %-14s %12.4f   %-14s %12.4f\n",
+                "g_loss p50", histogram_p50(families, "gan_train_g_loss"),
+                "d_loss p50", histogram_p50(families, "gan_train_d_loss"));
+  std::cout << line;
+  std::snprintf(line, sizeof line, "  %-14s %12s   %-14s %11.1f%%\n", "rss",
+                human_bytes(rss).c_str(), "cpu", cpu);
+  std::cout << line;
+  std::snprintf(line, sizeof line, "  %-14s %12.0f   %-14s %10s/s\n",
+                "threads", threads, "workspace", human_bytes(alloc_rate).c_str());
+  std::cout << line;
+  std::snprintf(line, sizeof line, "  %-14s %12.0f   %-14s %12.0f\n",
+                "http requests", requests, "series dropped", dropped);
+  std::cout << line;
+
+  const auto stacks = top_stacks(folded, 5);
+  if (!stacks.empty()) {
+    std::uint64_t total = 0;
+    for (const auto& [stack, count] : stacks) total += count;
+    (void)total;
+    std::cout << "\n  hottest stacks (" << static_cast<std::uint64_t>(
+                     prof_samples) << " samples):\n";
+    for (const auto& [stack, count] : stacks) {
+      const double pct = prof_samples > 0
+                             ? 100.0 * static_cast<double>(count) /
+                                   prof_samples
+                             : 0.0;
+      std::snprintf(line, sizeof line, "  %6.1f%%  %.120s\n", pct,
+                    stack.c_str());
+      std::cout << line;
+    }
+  }
+  std::cout.flush();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse_options(argc, argv, opts)) return usage();
+
+  double prev_iterations = -1.0;
+  std::uint64_t tick = 0;
+  for (;;) {
+    ++tick;
+    try {
+      const std::string metrics = http_get(opts.host, opts.port, "/metrics");
+      const auto families = parse_openmetrics(metrics);
+      std::string folded;
+      try {
+        folded = http_get(opts.host, opts.port, "/profilez");
+      } catch (const gansec::Error&) {
+        // Profiler not running (or endpoint racing shutdown): fine.
+      }
+      const double iterations =
+          openmetrics_value(families, "gan_train_iterations_total");
+      const double iters_per_s =
+          prev_iterations >= 0.0 && opts.interval_s > 0.0
+              ? (iterations - prev_iterations) / opts.interval_s
+              : 0.0;
+      prev_iterations = iterations;
+      render(opts, tick, families, folded, iters_per_s);
+    } catch (const gansec::Error& e) {
+      std::cerr << "gansec_top: " << e.what() << "\n";
+      if (tick == 1) return 1;  // first poll failing = nothing to watch
+    }
+    if (opts.count != 0 && tick >= opts.count) break;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(opts.interval_s));
+  }
+  return 0;
+}

@@ -136,12 +136,34 @@ const std::set<std::string_view> kUnorderedTypes = {
 const std::set<std::string_view> kMetricFns = {"counter", "gauge",
                                                "histogram", "series"};
 
+// Calls that are not async-signal-safe (POSIX signal-safety(7)): heap
+// allocation, stdio, and lock acquisition. Banned inside
+// `// gansec-lint: signal-context` regions (the SIGPROF handler path).
+const std::set<std::string_view> kSignalUnsafeCalls = {
+    "malloc",   "calloc",  "realloc",     "free",    "aligned_alloc",
+    "strdup",   "make_unique", "make_shared",
+    "printf",   "fprintf", "sprintf",     "snprintf", "vsnprintf",
+    "puts",     "fputs",   "fwrite",      "fopen",   "fclose",
+};
+
+// Lock/stream/owning std:: types whose mere use in a signal context is a
+// bug: taking a lock can deadlock against the interrupted thread, and
+// stream/string/container operations allocate.
+const std::set<std::string_view> kSignalUnsafeStdTypes = {
+    "mutex",         "recursive_mutex", "shared_mutex", "timed_mutex",
+    "lock_guard",    "unique_lock",     "scoped_lock",  "shared_lock",
+    "condition_variable", "condition_variable_any",
+    "cout",          "cerr",            "clog",
+    "string",        "ostringstream",   "stringstream", "vector",
+    "function",
+};
+
 const char* const kKnownRules[] = {
     "layering",        "layer-cycle",      "hotpath-alloc",
     "hotpath-function", "hotpath-kernel",  "determinism-rng",
     "determinism-unordered", "obs-name-literal", "obs-name-format",
     "obs-manifest",    "error-swallow",    "error-type",
-    "lint-directive",
+    "signal-unsafe",   "lint-directive",
 };
 
 /// Dot-namespaced lowercase: [a-z0-9_]+(\.[a-z0-9_]+)+ — at least two
@@ -206,6 +228,7 @@ void Linter::check_file(const std::string& path, std::string_view source) {
   // ---- Pass 0: directives (allow map, hot-path regions) --------------------
   std::map<std::size_t, std::set<std::string>> allows;  // line -> rules
   std::vector<HotRegion> regions;
+  std::vector<HotRegion> signal_regions;
   std::vector<Diagnostic> pending;
   const auto emit = [&](const char* rule, std::size_t line,
                         std::string message) {
@@ -213,6 +236,7 @@ void Linter::check_file(const std::string& path, std::string_view source) {
   };
 
   bool region_open = false;
+  bool signal_open = false;
   for (const Token& tok : tokens) {
     if (tok.kind != TokKind::kComment) continue;
     const std::size_t at = tok.text.find("gansec-lint:");
@@ -239,6 +263,23 @@ void Linter::check_file(const std::string& path, std::string_view source) {
         regions.back().end_line = tok.line;
         region_open = false;
       }
+    } else if (body == "signal-context") {
+      if (signal_open) {
+        emit("lint-directive", tok.line,
+             "signal-context region opened while the previous one is still "
+             "open");
+      } else {
+        signal_regions.push_back({tok.line, static_cast<std::size_t>(-1)});
+        signal_open = true;
+      }
+    } else if (body == "end-signal-context") {
+      if (!signal_open) {
+        emit("lint-directive", tok.line,
+             "end-signal-context without a matching signal-context");
+      } else {
+        signal_regions.back().end_line = tok.line;
+        signal_open = false;
+      }
     } else if (body.size() > 7 && body.substr(0, 6) == "allow(" &&
                body.back() == ')') {
       std::stringstream list(body.substr(6, body.size() - 7));
@@ -261,8 +302,19 @@ void Linter::check_file(const std::string& path, std::string_view source) {
     emit("lint-directive", regions.back().begin_line,
          "hot-path region is never closed (missing end-hot-path)");
   }
+  if (signal_open) {
+    emit("lint-directive", signal_regions.back().begin_line,
+         "signal-context region is never closed (missing "
+         "end-signal-context)");
+  }
   const auto in_hot_region = [&](std::size_t line) {
     for (const HotRegion& r : regions) {
+      if (line >= r.begin_line && line <= r.end_line) return true;
+    }
+    return false;
+  };
+  const auto in_signal_region = [&](std::size_t line) {
+    for (const HotRegion& r : signal_regions) {
       if (line >= r.begin_line && line <= r.end_line) return true;
     }
     return false;
@@ -405,6 +457,44 @@ void Linter::check_file(const std::string& path, std::string_view source) {
         emit("hotpath-kernel", tok.line,
              "allocating Matrix value call '" + std::string(id) +
                  "' inside a hot-path region (use the '_into' kernel)");
+      }
+    }
+
+    // Async-signal-safety: a signal-context region (the profiler's
+    // SIGPROF path) may only touch preallocated memory, atomics, and
+    // the signal-safe libc subset — no allocation, stdio, locks,
+    // exceptions, or logging.
+    if (in_signal_region(tok.line)) {
+      if (id == "new" && prev != "operator") {
+        emit("signal-unsafe", tok.line,
+             "operator new inside a signal-context region (allocation is "
+             "not async-signal-safe)");
+      } else if (id == "throw") {
+        emit("signal-unsafe", tok.line,
+             "throwing inside a signal-context region (unwinding through "
+             "a signal frame is undefined)");
+      } else if (kSignalUnsafeCalls.count(id) != 0 &&
+                 (next == "(" || next == "<")) {
+        emit("signal-unsafe", tok.line,
+             "call '" + std::string(id) +
+                 "' inside a signal-context region is not "
+                 "async-signal-safe");
+      } else if ((id == "lock" || id == "unlock" || id == "try_lock") &&
+                 (prev == "." || prev == "->") && next == "(") {
+        emit("signal-unsafe", tok.line,
+             "lock operation '" + std::string(id) +
+                 "' inside a signal-context region can deadlock against "
+                 "the interrupted thread");
+      } else if (id == "std" && next == "::" &&
+                 kSignalUnsafeStdTypes.count(text(i + 2)) != 0) {
+        emit("signal-unsafe", tok.line,
+             "std::" + std::string(text(i + 2)) +
+                 " inside a signal-context region is not "
+                 "async-signal-safe");
+      } else if (id.size() > 10 && id.substr(0, 11) == "GANSEC_LOG_") {
+        emit("signal-unsafe", tok.line,
+             "logging inside a signal-context region (sinks allocate and "
+             "take locks)");
       }
     }
 

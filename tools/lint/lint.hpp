@@ -29,13 +29,19 @@
 //                         std::current_exception
 //   error-type            throwing a std:: type or a literal instead of a
 //                         gansec::Error subclass
+//   signal-unsafe         non-async-signal-safe construct (allocation,
+//                         stdio, locks, throw, logging, owning std::
+//                         types) inside a `// gansec-lint: signal-context`
+//                         region — the profiler's SIGPROF handler path
 //   lint-directive        malformed `// gansec-lint:` directive (unknown
 //                         verb or unknown rule name in allow())
 //
 // Any diagnostic is suppressible at its site with
 // `// gansec-lint: allow(<rule>[, <rule>...])` on the same or preceding
 // line. Hot-path regions open with `// gansec-lint: hot-path` and close
-// with `// gansec-lint: end-hot-path`.
+// with `// gansec-lint: end-hot-path`; signal-context regions open with
+// `// gansec-lint: signal-context` and close with
+// `// gansec-lint: end-signal-context`.
 #pragma once
 
 #include <cstddef>

@@ -5,10 +5,12 @@
 #
 # Runs, per preset (release, asan, tsan): configure, build, and the full
 # ctest suite; then the `lint` and `bench-smoke` ctest labels on the
-# release tree and the `ckpt` checkpoint-format battery on the asan tree
-# (the format's corruption guarantees are proven under ASan). Prints a
-# pass/fail summary table and exits non-zero if anything failed. Designed
-# to be what you run before pushing.
+# release tree, the full-scale profiler overhead/symbolization gate with
+# a benchdiff against the committed baseline, and the `ckpt`
+# checkpoint-format battery on the asan tree (the format's corruption
+# guarantees are proven under ASan). Prints a pass/fail summary table and
+# exits non-zero if anything failed. Designed to be what you run before
+# pushing.
 set -u
 
 cd "$(dirname "$0")/.."
@@ -61,6 +63,69 @@ preset_suite release
 # Label gates run on the release tree (the lint and bench binaries there).
 run_step "lint-label" ctest --test-dir build -L lint --output-on-failure
 run_step "bench-smoke" ctest --test-dir build -L bench-smoke --output-on-failure
+
+# Live-introspection gate, two legs.
+#
+# Leg 1: smoke-run the CLI with the profiler on and the OpenMetrics
+# endpoint up; scrape /healthz + /metrics while it runs and validate the
+# profile artifact's schema afterwards.
+#
+# Leg 2: the profiled train-step pair at full scale. bench_perf_core
+# itself exits non-zero when profiling overhead exceeds 2% or fewer than
+# 80% of frames symbolize; the fresh artifact is then schema-checked and
+# diffed against the committed baseline (generous threshold — hosts
+# differ; the gate numbers themselves are absolute).
+profile_gate() {
+  local out=build/profile-out port=19464
+  mkdir -p "${out}"
+  build/tools/gansec sweep --samples 6 --bins 8 --window 0.05 \
+    --iterations 40 --threads 2 \
+    --expose "${port}" --profile "${out}/sweep.folded" \
+    > "${out}/sweep.stdout" 2> "${out}/sweep.stderr" &
+  local cli_pid=$!
+  local scraped=""
+  for _ in $(seq 1 100); do
+    if curl -sf "http://127.0.0.1:${port}/healthz" >/dev/null 2>&1; then
+      scraped="$(curl -sf "http://127.0.0.1:${port}/metrics")" && break
+    fi
+    kill -0 "${cli_pid}" 2>/dev/null || break
+    sleep 0.1
+  done
+  if ! wait "${cli_pid}"; then
+    echo "profile: CLI smoke run failed" >&2
+    cat "${out}/sweep.stderr" >&2
+    return 1
+  fi
+  if [ -z "${scraped}" ]; then
+    echo "profile: never scraped /metrics from the live CLI" >&2
+    return 1
+  fi
+  case "${scraped}" in
+    *"# EOF"*) : ;;
+    *) echo "profile: /metrics is missing the OpenMetrics terminator" >&2
+       return 1 ;;
+  esac
+  case "${scraped}" in
+    *proc_rss_bytes*) : ;;
+    *) echo "profile: /metrics is missing proc_rss_bytes" >&2; return 1 ;;
+  esac
+  [ -s "${out}/sweep.folded" ] || {
+    echo "profile: empty folded profile" >&2; return 1; }
+  jq -e '.schema == "gansec.profile.v1" and .samples >= 0' \
+    "${out}/sweep.folded.json" >/dev/null || {
+    echo "profile: sweep.folded.json is not a gansec.profile.v1 artifact" >&2
+    return 1; }
+
+  GANSEC_BENCH_OUT="${out}" GANSEC_BENCH_CACHE_DIR=build/profile-cache \
+    build/bench/bench_perf_core \
+    "--benchmark_filter=^BM_CganTrainStep(Profiled)?\$" \
+    --benchmark_min_time=2 || return 1
+  build/tools/gansec_benchdiff --check "${out}/BENCH_perf_core.json" \
+    || return 1
+  build/tools/gansec_benchdiff --threshold 0.5 \
+    bench/baselines/BENCH_perf_core.json "${out}/BENCH_perf_core.json"
+}
+run_step "profile" profile_gate
 # The checkpoint battery's acceptance bar is "typed errors, never UB" —
 # run it under ASan when that tree exists, else fall back to release.
 if [ "${RUN_ASAN}" = 1 ]; then
