@@ -1,0 +1,152 @@
+// bench_serve — streaming monitor saturation bench.
+//
+// Proves the serve runtime's headline numbers: how many windows/s the
+// sharded scoring path sustains, how many real-time machine streams that
+// buys per core (each live stream emits one window per window_s), and the
+// tail latency while saturated. Traffic is pre-synthesized so the measured
+// phase is the per-window scoring path (CWT plan + scaler + Parzen), not
+// the acoustic simulator; ingest is lossless (push_blocking), so the ring
+// bounds the queue depth and therefore p99.
+//
+// gansec_benchdiff gates BENCH_serve.json against bench/baselines.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "gansec/math/stats.hpp"
+#include "gansec/security/attacks.hpp"
+#include "gansec/security/stream_detector.hpp"
+#include "gansec/serve/loadgen.hpp"
+#include "gansec/serve/service.hpp"
+
+int main() {
+  using namespace gansec;
+  try {
+    bench::BenchReporter reporter("serve");
+    bench::Experiment& exp = bench::experiment();
+
+    security::DetectorConfig detector_config;
+    detector_config.generator_samples = bench::smoke() ? 32 : 128;
+    const auto scoring = std::make_shared<const security::ScoringModel>(
+        exp.model, detector_config);
+
+    // Calibrate the alarm threshold on benign injector windows, exactly
+    // like the batch detector.
+    security::AttackInjector injector(exp.builder, 71);
+    std::vector<double> benign_scores;
+    const std::size_t calibrate_n = bench::smoke() ? 3 : 10;
+    for (const auto& obs : injector.generate(calibrate_n, 0.0,
+                                             security::AttackKind::kNone)) {
+      benign_scores.push_back(
+          scoring->score_row(obs.features, obs.expected_label));
+    }
+    security::StreamDetectorConfig detector;
+    detector.threshold = math::percentile(
+        std::move(benign_scores), detector_config.false_alarm_percentile);
+
+    constexpr std::size_t kStreams = 8;
+    const std::size_t windows_per_stream = bench::smoke() ? 4 : 48;
+    serve::LoadGenConfig lg;
+    lg.streams = kStreams;
+    lg.windows_per_stream = windows_per_stream;
+    lg.attack_fraction = 0.25;
+    lg.attack_kind = security::AttackKind::kIntegrity;
+    lg.seed = exp.builder.config().seed;
+
+    // Pre-synthesize every stream's traffic up front.
+    std::fprintf(stderr, "[bench] synthesizing %zu streams x %zu windows\n",
+                 kStreams, windows_per_stream);
+    std::vector<std::vector<serve::StreamSource::Window>> traffic(kStreams);
+    for (std::size_t s = 0; s < kStreams; ++s) {
+      serve::StreamSource source(exp.builder, lg, s);
+      traffic[s].reserve(windows_per_stream);
+      for (std::size_t j = 0; j < windows_per_stream; ++j) {
+        traffic[s].push_back(source.next());
+      }
+    }
+
+    serve::DetectorService::Config config;
+    config.streams = kStreams;
+    config.workers =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    config.ring_capacity = 64;
+    config.window_length = serve::window_sample_count(exp.builder.config());
+    config.detector = detector;
+    config.keep_results = true;
+    config.expected_windows = windows_per_stream;
+    serve::DetectorService service(scoring, exp.builder, config);
+
+    service.start();
+    const auto t0 = std::chrono::steady_clock::now();
+    // One ingest thread round-robins the streams (still exactly one
+    // producer per ring, as the SPSC contract requires).
+    for (std::size_t j = 0; j < windows_per_stream; ++j) {
+      for (std::size_t s = 0; s < kStreams; ++s) {
+        serve::StreamSource::Window& w = traffic[s][j];
+        service.push_blocking(s, w.expected_label, std::move(w.samples));
+      }
+    }
+    service.stop();
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    std::uint64_t scored = 0;
+    std::uint64_t dropped = 0;
+    std::vector<double> latencies;
+    latencies.reserve(kStreams * windows_per_stream);
+    for (std::size_t s = 0; s < kStreams; ++s) {
+      const serve::StreamTotals totals = service.totals(s);
+      scored += totals.scored;
+      dropped += totals.dropped;
+      for (const serve::WindowResult& r : service.results(s)) {
+        latencies.push_back(r.latency_us);
+      }
+    }
+    const double windows_per_s =
+        wall_s > 0.0 ? static_cast<double>(scored) / wall_s : 0.0;
+    // A live stream emits 1/window_s windows per second; streams_per_core
+    // is how many such streams one core keeps up with.
+    const double realtime_rate = 1.0 / exp.builder.config().window_s;
+    const double cores = static_cast<double>(
+        std::max<unsigned>(1, std::thread::hardware_concurrency()));
+    const double streams_per_core = windows_per_s / realtime_rate / cores;
+    const double p50 = math::percentile(latencies, 50.0);
+    const double p99 = math::percentile(latencies, 99.0);
+
+    std::printf("streams          %zu\n", kStreams);
+    std::printf("windows scored   %llu (dropped %llu)\n",
+                static_cast<unsigned long long>(scored),
+                static_cast<unsigned long long>(dropped));
+    std::printf("windows/s        %.1f\n", windows_per_s);
+    std::printf("streams/core     %.2f (real-time rate %.1f w/s/stream)\n",
+                streams_per_core, realtime_rate);
+    std::printf("latency p50/p99  %.0f / %.0f us\n", p50, p99);
+
+    reporter.add_metric("windows_per_s", windows_per_s,
+                        bench::Direction::kHigherIsBetter);
+    reporter.add_metric("streams_per_core", streams_per_core,
+                        bench::Direction::kHigherIsBetter);
+    reporter.add_metric("p50_latency_us", p50,
+                        bench::Direction::kLowerIsBetter);
+    reporter.add_metric("p99_latency_us", p99,
+                        bench::Direction::kLowerIsBetter);
+    reporter.add_check("all_windows_scored",
+                       scored == kStreams * windows_per_stream);
+    reporter.add_check("zero_dropped_lossless", dropped == 0);
+    // The acceptance bar: 8 concurrent streams at real-time rate...
+    reporter.add_check("sustains_8_streams",
+                       windows_per_s >= 8.0 * realtime_rate);
+    // ...with the ring (not an unbounded queue) bounding tail latency.
+    reporter.add_check("p99_bounded", p99 < 5.0e6);
+    reporter.write();
+    return 0;
+  } catch (const gansec::Error& e) {
+    std::fprintf(stderr, "bench_serve: %s\n", e.what());
+    return 1;
+  }
+}

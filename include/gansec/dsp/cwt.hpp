@@ -7,6 +7,7 @@
 // frequency-domain multiplication: W(s, t) = ifft(X(w) * conj(psihat(s w))).
 #pragma once
 
+#include <complex>
 #include <cstddef>
 #include <vector>
 
@@ -45,6 +46,51 @@ class MorletCwt {
   double wavelet_fourier(double scale, double angular_frequency) const;
 
   CwtConfig config_;
+
+  friend class CwtWindowPlan;
+};
+
+/// Precomputed per-window CWT state for the streaming scoring path.
+///
+/// The batch `band_energies` re-derives the wavelet frequency response for
+/// every call; a long-running monitor scores the same (window length,
+/// frequency grid) thousands of times per stream. The plan evaluates the
+/// Morlet response table once at construction and keeps FFT scratch as
+/// members, so `band_energies_into` performs zero allocations per window
+/// and produces bit-identical values to `MorletCwt::band_energies` on the
+/// same samples (same operations in the same order).
+///
+/// Not thread-safe: the scratch buffers make each plan single-stream.
+/// Give every worker shard its own plan (they are cheap: two complex
+/// buffers plus the response table).
+class CwtWindowPlan {
+ public:
+  /// `window_length` is the exact sample count every window must have;
+  /// `frequencies_hz` is the target grid (e.g. FrequencyBinner::centers()).
+  CwtWindowPlan(const MorletCwt& cwt, std::size_t window_length,
+                std::vector<double> frequencies_hz);
+
+  std::size_t window_length() const { return window_length_; }
+  const std::vector<double>& frequencies() const { return frequencies_; }
+
+  /// Mean |W(s_f, t)| per target frequency written to `out` (one value per
+  /// frequency). `length` must equal window_length(); `out` must hold
+  /// frequencies().size() doubles. No allocation.
+  void band_energies_into(const double* window, std::size_t length,
+                          double* out);
+
+  /// Convenience allocation form for tests and one-shot callers.
+  std::vector<double> band_energies(const std::vector<double>& window);
+
+ private:
+  std::size_t window_length_;
+  std::size_t padded_;  ///< next_power_of_two(window_length_)
+  std::vector<double> frequencies_;
+  /// Row-major [frequency][padded_] Morlet responses; negative-frequency
+  /// bins (k > padded_/2) are zero, mirroring the batch path.
+  std::vector<double> response_;
+  std::vector<std::complex<double>> spectrum_;
+  std::vector<std::complex<double>> work_;
 };
 
 }  // namespace gansec::dsp

@@ -33,6 +33,13 @@ class MinMaxScaler {
   /// clamped to [0,1].
   math::Matrix transform(const math::Matrix& data) const;
 
+  /// Destination-passing single-row transform for the streaming path:
+  /// scales `count` raw values into `out` with the exact float operations
+  /// of transform() (bit-identical results), no allocation. `count` must
+  /// equal the fitted column count.
+  void transform_row_into(const float* row, std::size_t count,
+                          float* out) const;
+
   math::Matrix fit_transform(const math::Matrix& data);
 
   /// Maps scaled values back to the original units.

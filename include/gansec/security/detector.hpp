@@ -43,10 +43,13 @@ struct DetectionReport {
   std::size_t benign = 0;
 };
 
+class ScoringModel;  // stream_detector.hpp: the shareable Parzen model
+
 class AttackDetector {
  public:
-  /// Builds per-(condition, feature) Parzen models from the trained
-  /// generator. The model reference must stay valid while detecting.
+  /// Builds the per-(condition, feature) Parzen scoring model from the
+  /// trained generator (sampling happens here; the CGAN reference is not
+  /// retained afterwards).
   AttackDetector(gan::Cgan& model, DetectorConfig config,
                  std::uint64_t seed = 0xDE7EC7);
 
@@ -75,10 +78,13 @@ class AttackDetector {
   /// Scores a mixed benign/attacked set and reports detection quality.
   DetectionReport evaluate(const std::vector<Observation>& observations) const;
 
+  /// The underlying immutable scoring model — shared with streaming
+  /// detectors (security::StreamDetector) so batch and online paths score
+  /// through the very same estimators.
+  std::shared_ptr<const ScoringModel> scoring_model() const { return model_; }
+
  private:
-  DetectorConfig config_;
-  std::vector<std::vector<stats::ParzenKde>> models_;  // [cond][feature-pos]
-  std::vector<std::size_t> indices_;
+  std::shared_ptr<const ScoringModel> model_;
   double threshold_ = 0.0;
   bool calibrated_ = false;
 };

@@ -1,0 +1,86 @@
+// Deterministic synthetic-printer load generator for the streaming
+// detector: N independent machine streams, each producing observation
+// windows from the `am` acoustic simulator exactly the way the dataset
+// builder does (same G-code -> motion -> emission path), with optional
+// integrity / availability attack injection mirroring
+// security::AttackInjector.
+//
+// Determinism: stream i draws from math::split_seed(seed, i), so every
+// stream's (label, attack, feedrate, waveform) sequence is a pure
+// function of (config, stream index) — independent of worker counts,
+// pacing, or which streams run concurrently. That is what makes the
+// batch-vs-streaming bit-identity test (and reproducible benches)
+// possible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gansec/am/acoustic.hpp"
+#include "gansec/am/dataset.hpp"
+#include "gansec/math/rng.hpp"
+#include "gansec/security/attacks.hpp"
+
+namespace gansec::serve {
+
+struct LoadGenConfig {
+  std::size_t streams = 4;
+  std::size_t windows_per_stream = 64;
+  /// Windows per second per stream; 0 = as fast as possible. Pacing is
+  /// applied by the driver (CLI), not by the source itself.
+  double rate_per_stream = 0.0;
+  /// Fraction of windows carrying an attack (per-window Bernoulli draw).
+  double attack_fraction = 0.0;
+  /// Which attack the adversarial fraction carries.
+  security::AttackKind attack_kind = security::AttackKind::kIntegrity;
+  std::uint64_t seed = 2019;
+};
+
+/// One synthetic printer stream. Not thread-safe; one source per
+/// producer. Construction is cheap — sources hold only RNG + simulator
+/// state.
+class StreamSource {
+ public:
+  struct Window {
+    std::size_t expected_label = 0;        ///< commanded condition
+    security::AttackKind truth =
+        security::AttackKind::kNone;       ///< ground-truth injection
+    std::vector<double> samples;
+  };
+
+  /// `builder` supplies the machine/acoustic configuration (only its
+  /// config and gcode_for_label are used; the builder is not retained
+  /// mutably). Requires the exclusive XYZ condition scheme.
+  StreamSource(const am::DatasetBuilder& builder, const LoadGenConfig& config,
+               std::size_t stream_index);
+
+  /// Synthesizes the next window. `buffer` (optional) is reused as the
+  /// sample destination when its capacity allows, so a recycled buffer
+  /// avoids the allocation.
+  Window next(std::vector<double>&& buffer = {});
+
+  std::size_t stream_index() const { return stream_index_; }
+  /// Samples per window for this configuration (llround(window_s * rate)).
+  std::size_t window_length() const { return window_length_; }
+  std::uint64_t windows_generated() const { return generated_; }
+  std::uint64_t attacks_injected() const { return attacks_; }
+
+ private:
+  const am::DatasetBuilder& builder_;
+  LoadGenConfig config_;
+  std::size_t stream_index_;
+  std::size_t window_length_;
+  math::Rng rng_;
+  am::AcousticSimulator acoustics_;
+  std::uint64_t generated_ = 0;
+  std::uint64_t attacks_ = 0;
+};
+
+/// Samples per observation window for a dataset configuration.
+std::size_t window_sample_count(const am::DatasetConfig& config);
+
+/// FNV-1a over the raw waveform bytes of every window a stream source
+/// would produce — the deterministic fingerprint `gansec loadgen` prints.
+std::uint64_t stream_checksum(StreamSource& source, std::size_t windows);
+
+}  // namespace gansec::serve

@@ -1,0 +1,156 @@
+// Streaming detector runtime: N machine streams scored online.
+//
+// Topology: one SpscRing<StreamWindow> per stream (ingest thread ->
+// worker), a sharded worker pool on top of core::ThreadPool (stream i is
+// owned by shard i % workers, so every window of a stream is scored in
+// order by one worker — verdict sequences are a pure function of the
+// window sequence, independent of the worker count), and one
+// security::StreamDetector per stream sharing an immutable
+// security::ScoringModel that can be hot-swapped between windows.
+//
+// Per-window the scoring path allocates nothing: the CWT plan, scratch
+// energy/feature buffers and Parzen estimators are preallocated, and
+// spent sample buffers are recycled back to the producer through a second
+// ring. Backpressure is drop-oldest (stale windows describe machine state
+// that has already passed) counted in serve.windows_dropped with a
+// once-per-stream warning — loss is observable, never silent.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "gansec/am/dataset.hpp"
+#include "gansec/core/thread_pool.hpp"
+#include "gansec/dsp/cwt.hpp"
+#include "gansec/dsp/features.hpp"
+#include "gansec/security/stream_detector.hpp"
+#include "gansec/serve/spsc_ring.hpp"
+
+namespace gansec::obs {
+class Counter;
+class Histogram;
+}  // namespace gansec::obs
+
+namespace gansec::serve {
+
+/// One acoustic observation window in flight from ingest to a worker.
+struct StreamWindow {
+  std::uint64_t sequence = 0;      ///< per-stream ingest order
+  std::size_t expected_label = 0;  ///< commanded condition (cyber side)
+  std::uint64_t enqueued_us = 0;   ///< trace clock at push
+  std::vector<double> samples;     ///< raw waveform, exactly window_length
+};
+
+/// One scored window (recorded when Config::keep_results is set).
+struct WindowResult {
+  std::uint64_t sequence = 0;
+  std::size_t expected_label = 0;
+  double score = 0.0;
+  double mean_feature = 0.0;
+  security::StreamVerdict verdict = security::StreamVerdict::kBenign;
+  double latency_us = 0.0;  ///< enqueue -> verdict, trace clock
+};
+
+/// Monotonic per-stream totals, readable while the service runs.
+struct StreamTotals {
+  std::uint64_t ingested = 0;
+  std::uint64_t scored = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t benign = 0;
+  std::uint64_t integrity = 0;
+  std::uint64_t availability = 0;
+};
+
+class DetectorService {
+ public:
+  struct Config {
+    std::size_t streams = 1;
+    std::size_t workers = 1;
+    /// Per-stream ring capacity (rounded up to a power of two).
+    std::size_t ring_capacity = 64;
+    /// Samples per window; every pushed window must have exactly this
+    /// length (the CWT plan is precomputed for it).
+    std::size_t window_length = 0;
+    security::StreamDetectorConfig detector;
+    /// Record every WindowResult per stream (tests / summaries). Result
+    /// storage is preallocated with `expected_windows` when given.
+    bool keep_results = false;
+    std::size_t expected_windows = 0;
+  };
+
+  /// `builder` supplies the feature pipeline (CWT config, frequency grid,
+  /// fitted scaler); it is only read during construction.
+  DetectorService(std::shared_ptr<const security::ScoringModel> model,
+                  const am::DatasetBuilder& builder, Config config);
+  ~DetectorService();
+
+  DetectorService(const DetectorService&) = delete;
+  DetectorService& operator=(const DetectorService&) = delete;
+
+  /// Launches the worker shards. Call once.
+  void start();
+
+  /// Drains every ring, then stops the workers. Producers must have
+  /// stopped pushing. Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  std::size_t streams() const { return config_.streams; }
+  std::size_t window_length() const { return config_.window_length; }
+
+  /// A recycled (or fresh) sample buffer for the producer to fill.
+  std::vector<double> acquire_buffer(std::size_t stream);
+
+  /// Drop-oldest enqueue: never blocks; overflow discards the oldest
+  /// queued window (counted + warned). Returns the number dropped.
+  std::size_t push(std::size_t stream, std::size_t expected_label,
+                   std::vector<double>&& samples);
+
+  /// Lossless enqueue: spins (with backoff) until the ring has space.
+  void push_blocking(std::size_t stream, std::size_t expected_label,
+                     std::vector<double>&& samples);
+
+  /// Installs a new scoring model; every stream picks it up before its
+  /// next window. The model must match the current shape.
+  void install_model(std::shared_ptr<const security::ScoringModel> model);
+
+  /// Generation counter bumped by install_model (starts at 0).
+  std::uint64_t model_generation() const {
+    return model_generation_.load(std::memory_order_acquire);
+  }
+
+  StreamTotals totals(std::size_t stream) const;
+
+  /// Recorded results for one stream, in window order. Only meaningful
+  /// after stop() and only when Config::keep_results is set.
+  const std::vector<WindowResult>& results(std::size_t stream) const;
+
+ private:
+  struct StreamState;
+  struct ShardContext;
+
+  void shard_loop(std::size_t shard);
+  void process_window(ShardContext& ctx, StreamState& state, StreamWindow& w);
+  StreamState& stream_at(std::size_t stream);
+  const StreamState& stream_at(std::size_t stream) const;
+
+  Config config_;
+  dsp::MinMaxScaler scaler_;
+  std::vector<std::unique_ptr<StreamState>> states_;
+  std::vector<std::unique_ptr<ShardContext>> shards_;
+  std::unique_ptr<core::ThreadPool> pool_;
+
+  std::mutex model_mu_;
+  std::shared_ptr<const security::ScoringModel> model_;
+  std::atomic<std::uint64_t> model_generation_{0};
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> live_shards_{0};
+};
+
+}  // namespace gansec::serve

@@ -1,0 +1,136 @@
+// Lock-free bounded single-producer/single-consumer ring.
+//
+// One ring per machine stream carries windows from the ingest thread to
+// the worker shard that owns the stream. The implementation is the
+// classic bounded queue with a per-slot sequence number: each slot
+// publishes its state through an atomic counter, so push and pop
+// synchronize only through that slot (acquire/release) and the head/tail
+// indices — no locks, no spurious data races under TSan.
+//
+// Backpressure policy: `try_push` refuses when full; `push_overwrite`
+// drops the *oldest* queued element instead (the monitor wants the most
+// recent windows — stale windows describe a state the machine has already
+// left). Drops are returned to the caller so they can be counted and
+// warned about, never silent. `push_overwrite` makes the producer briefly
+// act as a second consumer, which the sequence-number protocol supports.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "gansec/error.hpp"
+
+namespace gansec::serve {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two; must be positive.
+  explicit SpscRing(std::size_t capacity) {
+    if (capacity == 0) {
+      throw InvalidArgumentError("SpscRing: capacity must be positive");
+    }
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1U;
+    capacity_ = cap;
+    mask_ = cap - 1;
+    slots_ = std::make_unique<Slot[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      slots_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Queued element count; exact in quiescence, approximate mid-flight.
+  std::size_t size_estimate() const {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? static_cast<std::size_t>(tail - head) : 0;
+  }
+
+  bool empty() const { return size_estimate() == 0; }
+
+  // gansec-lint: hot-path
+  /// Enqueues `value`; returns false (value untouched) when full.
+  bool try_push(T&& value) {
+    Slot* slot = nullptr;
+    std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      slot = &slots_[pos & mask_];
+      const std::uint64_t seq = slot->sequence.load(std::memory_order_acquire);
+      const std::int64_t dif =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // slot still holds an unconsumed element: full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    slot->value = std::move(value);
+    slot->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Dequeues into `out`; returns false when empty.
+  bool try_pop(T& out) {
+    Slot* slot = nullptr;
+    std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      slot = &slots_[pos & mask_];
+      const std::uint64_t seq = slot->sequence.load(std::memory_order_acquire);
+      const std::int64_t dif = static_cast<std::int64_t>(seq) -
+                               static_cast<std::int64_t>(pos + 1);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // slot not yet published: empty
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    out = std::move(slot->value);
+    slot->sequence.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Enqueues `value`, discarding the oldest queued element(s) when full.
+  /// Returns the number of elements dropped (0 on a clean push). The
+  /// caller owns counting/warning about the loss.
+  std::size_t push_overwrite(T&& value) {
+    std::size_t dropped = 0;
+    while (!try_push(std::move(value))) {
+      T discarded;
+      if (try_pop(discarded)) {
+        ++dropped;
+      }
+    }
+    return dropped;
+  }
+  // gansec-lint: end-hot-path
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> sequence{0};
+    T value{};
+  };
+
+  std::size_t capacity_ = 0;
+  std::uint64_t mask_ = 0;
+  std::unique_ptr<Slot[]> slots_;
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< next push position
+  alignas(64) std::atomic<std::uint64_t> head_{0};  ///< next pop position
+};
+
+}  // namespace gansec::serve

@@ -95,4 +95,68 @@ std::vector<double> MorletCwt::band_energies(
   return energies;
 }
 
+CwtWindowPlan::CwtWindowPlan(const MorletCwt& cwt, std::size_t window_length,
+                             std::vector<double> frequencies_hz)
+    : window_length_(window_length),
+      padded_(next_power_of_two(window_length)),
+      frequencies_(std::move(frequencies_hz)) {
+  if (window_length_ == 0) {
+    throw InvalidArgumentError(
+        "CwtWindowPlan: window_length must be positive");
+  }
+  if (frequencies_.empty()) {
+    throw InvalidArgumentError("CwtWindowPlan: no target frequencies");
+  }
+  response_.resize(frequencies_.size() * padded_);
+  spectrum_.resize(padded_);
+  work_.resize(padded_);
+  const double sample_rate = cwt.config().sample_rate;
+  for (std::size_t f = 0; f < frequencies_.size(); ++f) {
+    const double s = cwt.scale_for_frequency(frequencies_[f]);
+    double* row = &response_[f * padded_];
+    for (std::size_t k = 0; k < padded_; ++k) {
+      // Same bin-frequency convention as MorletCwt::scalogram: bins above
+      // padded_/2 are negative frequencies, zeroed by the analytic wavelet.
+      double w = 2.0 * std::numbers::pi * static_cast<double>(k) *
+                 sample_rate / static_cast<double>(padded_);
+      if (k > padded_ / 2) w = 0.0;
+      row[k] = cwt.wavelet_fourier(s, w);
+    }
+  }
+}
+
+// gansec-lint: hot-path
+void CwtWindowPlan::band_energies_into(const double* window,
+                                       std::size_t length, double* out) {
+  if (length != window_length_) {
+    throw InvalidArgumentError(
+        "CwtWindowPlan::band_energies_into: window length does not match "
+        "the plan");
+  }
+  for (std::size_t k = 0; k < padded_; ++k) {
+    spectrum_[k] = Complex(k < length ? window[k] : 0.0, 0.0);
+  }
+  fft_in_place(spectrum_);
+  for (std::size_t f = 0; f < frequencies_.size(); ++f) {
+    const double* row = &response_[f * padded_];
+    for (std::size_t k = 0; k < padded_; ++k) {
+      work_[k] = spectrum_[k] * row[k];
+    }
+    ifft_in_place(work_);
+    double acc = 0.0;
+    for (std::size_t t = 0; t < length; ++t) {
+      acc += std::abs(work_[t]);
+    }
+    out[f] = acc / static_cast<double>(length);
+  }
+}
+// gansec-lint: end-hot-path
+
+std::vector<double> CwtWindowPlan::band_energies(
+    const std::vector<double>& window) {
+  std::vector<double> out(frequencies_.size());
+  band_energies_into(window.data(), window.size(), out.data());
+  return out;
+}
+
 }  // namespace gansec::dsp

@@ -67,6 +67,27 @@ Matrix MinMaxScaler::transform(const Matrix& data) const {
   return out;
 }
 
+// gansec-lint: hot-path
+void MinMaxScaler::transform_row_into(const float* row, std::size_t count,
+                                      float* out) const {
+  if (!fitted()) {
+    throw InvalidArgumentError("MinMaxScaler::transform_row_into: not fitted");
+  }
+  if (count != mins_.size()) {
+    throw DimensionError(
+        "MinMaxScaler::transform_row_into: column count mismatch");
+  }
+  for (std::size_t c = 0; c < count; ++c) {
+    const float range = maxs_[c] - mins_[c];
+    if (range <= 0.0F) {
+      out[c] = 0.5F;
+    } else {
+      out[c] = std::clamp((row[c] - mins_[c]) / range, 0.0F, 1.0F);
+    }
+  }
+}
+// gansec-lint: end-hot-path
+
 Matrix MinMaxScaler::fit_transform(const Matrix& data) {
   fit(data);
   return transform(data);

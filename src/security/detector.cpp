@@ -5,6 +5,7 @@
 
 #include "gansec/error.hpp"
 #include "gansec/math/stats.hpp"
+#include "gansec/security/stream_detector.hpp"
 
 namespace gansec::security {
 
@@ -12,67 +13,11 @@ using math::Matrix;
 
 AttackDetector::AttackDetector(gan::Cgan& model, DetectorConfig config,
                                std::uint64_t seed)
-    : config_(std::move(config)) {
-  if (config_.generator_samples == 0) {
-    throw InvalidArgumentError(
-        "DetectorConfig: generator_samples must be positive");
-  }
-  if (config_.parzen_h <= 0.0) {
-    throw InvalidArgumentError("DetectorConfig: parzen_h must be positive");
-  }
-  if (config_.false_alarm_percentile < 0.0 ||
-      config_.false_alarm_percentile > 100.0) {
-    throw InvalidArgumentError(
-        "DetectorConfig: false_alarm_percentile must be in [0,100]");
-  }
-  const auto& topology = model.topology();
-  indices_ = config_.feature_indices;
-  if (indices_.empty()) {
-    indices_.resize(topology.data_dim);
-    std::iota(indices_.begin(), indices_.end(), 0);
-  }
-  for (const std::size_t idx : indices_) {
-    if (idx >= topology.data_dim) {
-      throw InvalidArgumentError("AttackDetector: feature index out of range");
-    }
-  }
-
-  math::Rng rng(seed);
-  models_.reserve(topology.cond_dim);
-  for (std::size_t ci = 0; ci < topology.cond_dim; ++ci) {
-    Matrix cond(1, topology.cond_dim, 0.0F);
-    cond(0, ci) = 1.0F;
-    const Matrix generated =
-        model.generate_for_condition(cond, config_.generator_samples, rng);
-    std::vector<stats::ParzenKde> per_feature;
-    per_feature.reserve(indices_.size());
-    for (const std::size_t ft : indices_) {
-      std::vector<double> samples(config_.generator_samples);
-      for (std::size_t r = 0; r < samples.size(); ++r) {
-        samples[r] = static_cast<double>(generated(r, ft));
-      }
-      per_feature.emplace_back(std::move(samples), config_.parzen_h);
-    }
-    models_.push_back(std::move(per_feature));
-  }
-}
+    : model_(std::make_shared<ScoringModel>(model, std::move(config), seed)) {}
 
 double AttackDetector::score(const Matrix& features,
                              std::size_t expected_label) const {
-  if (expected_label >= models_.size()) {
-    throw InvalidArgumentError("AttackDetector::score: label out of range");
-  }
-  if (features.rows() != 1) {
-    throw DimensionError("AttackDetector::score: expected a single row");
-  }
-  const auto& per_feature = models_[expected_label];
-  double acc = 0.0;
-  for (std::size_t fpos = 0; fpos < indices_.size(); ++fpos) {
-    const double log_like = per_feature[fpos].log_density(
-        static_cast<double>(features(0, indices_[fpos])));
-    acc += std::max(log_like, kLogFloor);
-  }
-  return acc / static_cast<double>(indices_.size());
+  return model_->score_row(features, expected_label);
 }
 
 void AttackDetector::calibrate(const std::vector<Observation>& benign) {
@@ -89,8 +34,8 @@ void AttackDetector::calibrate(const std::vector<Observation>& benign) {
     }
     scores.push_back(score(obs.features, obs.expected_label));
   }
-  threshold_ =
-      math::percentile(std::move(scores), config_.false_alarm_percentile);
+  threshold_ = math::percentile(std::move(scores),
+                                model_->config().false_alarm_percentile);
   calibrated_ = true;
 }
 

@@ -1,0 +1,176 @@
+#include "gansec/security/stream_detector.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "gansec/error.hpp"
+#include "gansec/math/rng.hpp"
+
+namespace gansec::security {
+
+using math::Matrix;
+
+ScoringModel::ScoringModel(gan::Cgan& model, DetectorConfig config,
+                           std::uint64_t seed)
+    : config_(std::move(config)) {
+  if (config_.generator_samples == 0) {
+    throw InvalidArgumentError(
+        "DetectorConfig: generator_samples must be positive");
+  }
+  if (config_.parzen_h <= 0.0) {
+    throw InvalidArgumentError("DetectorConfig: parzen_h must be positive");
+  }
+  if (config_.false_alarm_percentile < 0.0 ||
+      config_.false_alarm_percentile > 100.0) {
+    throw InvalidArgumentError(
+        "DetectorConfig: false_alarm_percentile must be in [0,100]");
+  }
+  const auto& topology = model.topology();
+  conditions_ = topology.cond_dim;
+  data_dim_ = topology.data_dim;
+  indices_ = config_.feature_indices;
+  if (indices_.empty()) {
+    indices_.resize(topology.data_dim);
+    std::iota(indices_.begin(), indices_.end(), 0);
+  }
+  for (const std::size_t idx : indices_) {
+    if (idx >= topology.data_dim) {
+      throw InvalidArgumentError("ScoringModel: feature index out of range");
+    }
+  }
+
+  // Replays the batch AttackDetector sampling sequence exactly: one RNG
+  // stream, conditions in order, features in scoring order.
+  const std::size_t gsize = config_.generator_samples;
+  samples_.resize(conditions_ * indices_.size() * gsize);
+  math::Rng rng(seed);
+  for (std::size_t ci = 0; ci < conditions_; ++ci) {
+    Matrix cond(1, topology.cond_dim, 0.0F);
+    cond(0, ci) = 1.0F;
+    const Matrix generated = model.generate_for_condition(cond, gsize, rng);
+    for (std::size_t fpos = 0; fpos < indices_.size(); ++fpos) {
+      double* dst = &samples_[(ci * indices_.size() + fpos) * gsize];
+      const std::size_t ft = indices_[fpos];
+      for (std::size_t r = 0; r < gsize; ++r) {
+        dst[r] = static_cast<double>(generated(r, ft));
+      }
+    }
+  }
+  scorers_.reserve(conditions_ * indices_.size());
+  for (std::size_t m = 0; m < conditions_ * indices_.size(); ++m) {
+    scorers_.emplace_back(&samples_[m * gsize], gsize, config_.parzen_h);
+  }
+}
+
+// gansec-lint: hot-path
+double ScoringModel::score(const float* features, std::size_t count,
+                           std::size_t expected_label) const {
+  if (expected_label >= conditions_) {
+    throw InvalidArgumentError("ScoringModel::score: label out of range");
+  }
+  if (count != data_dim_) {
+    throw DimensionError("ScoringModel::score: feature width mismatch");
+  }
+  const stats::ParzenScorer* per = &scorers_[expected_label * indices_.size()];
+  double acc = 0.0;
+  for (std::size_t fpos = 0; fpos < indices_.size(); ++fpos) {
+    const double log_like = per[fpos].log_density(
+        static_cast<double>(features[indices_[fpos]]));
+    acc += std::max(log_like, kLogFloor);
+  }
+  return acc / static_cast<double>(indices_.size());
+}
+// gansec-lint: end-hot-path
+
+double ScoringModel::score_row(const Matrix& features,
+                               std::size_t expected_label) const {
+  if (features.rows() != 1) {
+    throw DimensionError("ScoringModel::score_row: expected a single row");
+  }
+  if (expected_label >= conditions_) {
+    throw InvalidArgumentError("ScoringModel::score_row: label out of range");
+  }
+  if (features.cols() != data_dim_) {
+    throw DimensionError("ScoringModel::score_row: feature width mismatch");
+  }
+  // Same operations in the same order as score(): float -> double cast,
+  // floored log-density, serial accumulation.
+  const stats::ParzenScorer* per = &scorers_[expected_label * indices_.size()];
+  double acc = 0.0;
+  for (std::size_t fpos = 0; fpos < indices_.size(); ++fpos) {
+    const double log_like = per[fpos].log_density(
+        static_cast<double>(features(0, indices_[fpos])));
+    acc += std::max(log_like, kLogFloor);
+  }
+  return acc / static_cast<double>(indices_.size());
+}
+
+const char* stream_verdict_name(StreamVerdict verdict) {
+  switch (verdict) {
+    case StreamVerdict::kBenign: return "benign";
+    case StreamVerdict::kIntegrity: return "integrity";
+    case StreamVerdict::kAvailability: return "availability";
+  }
+  return "unknown";
+}
+
+StreamDetector::StreamDetector(std::shared_ptr<const ScoringModel> model,
+                               StreamDetectorConfig config)
+    : model_(std::move(model)), config_(config) {
+  if (!model_) {
+    throw InvalidArgumentError("StreamDetector: null scoring model");
+  }
+  if (config_.consecutive_to_alarm == 0) {
+    throw InvalidArgumentError(
+        "StreamDetector: consecutive_to_alarm must be positive");
+  }
+  if (config_.availability_floor < 0.0 || config_.availability_floor > 1.0) {
+    throw InvalidArgumentError(
+        "StreamDetector: availability_floor must be in [0,1]");
+  }
+}
+
+// gansec-lint: hot-path
+WindowVerdict StreamDetector::score_window(const float* features,
+                                           std::size_t count,
+                                           std::size_t expected_label) {
+  WindowVerdict out;
+  out.sequence = windows_;
+  out.score = model_->score(features, count, expected_label);
+  const std::vector<std::size_t>& indices = model_->feature_indices();
+  double acc = 0.0;
+  for (const std::size_t idx : indices) {
+    acc += static_cast<double>(features[idx]);
+  }
+  out.mean_feature = acc / static_cast<double>(indices.size());
+  const bool anomalous = out.score < config_.threshold;
+  anomaly_run_ = anomalous ? anomaly_run_ + 1 : 0;
+  if (anomalous && anomaly_run_ >= config_.consecutive_to_alarm) {
+    out.verdict = out.mean_feature < config_.availability_floor
+                      ? StreamVerdict::kAvailability
+                      : StreamVerdict::kIntegrity;
+  }
+  ++windows_;
+  return out;
+}
+// gansec-lint: end-hot-path
+
+void StreamDetector::swap_model(std::shared_ptr<const ScoringModel> model) {
+  if (!model) {
+    throw InvalidArgumentError("StreamDetector::swap_model: null model");
+  }
+  if (model->data_dim() != model_->data_dim() ||
+      model->condition_count() != model_->condition_count()) {
+    throw DimensionError(
+        "StreamDetector::swap_model: incompatible model shape");
+  }
+  model_ = std::move(model);
+}
+
+void StreamDetector::reset() {
+  windows_ = 0;
+  anomaly_run_ = 0;
+}
+
+}  // namespace gansec::security

@@ -1,0 +1,109 @@
+#include "gansec/serve/loadgen.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "gansec/am/gcode.hpp"
+#include "gansec/am/machine.hpp"
+#include "gansec/error.hpp"
+
+namespace gansec::serve {
+
+std::size_t window_sample_count(const am::DatasetConfig& config) {
+  // Must match AcousticSimulator::synthesize_channel's rounding so pushed
+  // windows always fit the service's precomputed CWT plan.
+  return static_cast<std::size_t>(
+      std::llround(config.window_s * config.acoustic.sample_rate));
+}
+
+StreamSource::StreamSource(const am::DatasetBuilder& builder,
+                           const LoadGenConfig& config,
+                           std::size_t stream_index)
+    : builder_(builder),
+      config_(config),
+      stream_index_(stream_index),
+      window_length_(window_sample_count(builder.config())),
+      rng_(math::split_seed(config.seed, stream_index)),
+      acoustics_(builder.config().acoustic,
+                 math::split_seed(config.seed, stream_index) ^ 0x5151ULL) {
+  if (builder_.config().scheme != am::ConditionScheme::kExclusiveXyz) {
+    throw InvalidArgumentError(
+        "StreamSource: only the exclusive XYZ scheme is supported");
+  }
+  if (config_.attack_fraction < 0.0 || config_.attack_fraction > 1.0) {
+    throw InvalidArgumentError(
+        "StreamSource: attack_fraction must be in [0,1]");
+  }
+  if (config_.attack_kind == security::AttackKind::kNone &&
+      config_.attack_fraction > 0.0) {
+    throw InvalidArgumentError(
+        "StreamSource: attack_fraction > 0 needs an attack kind");
+  }
+}
+
+StreamSource::Window StreamSource::next(std::vector<double>&& buffer) {
+  const am::DatasetConfig& cfg = builder_.config();
+  Window out;
+  out.expected_label = static_cast<std::size_t>(rng_.randint(0, 2));
+  const bool attacked = config_.attack_fraction > 0.0 &&
+                        rng_.bernoulli(config_.attack_fraction);
+  out.truth = attacked ? config_.attack_kind : security::AttackKind::kNone;
+
+  // Mirrors AttackInjector::make_observation: integrity runs one of the
+  // two wrong motors, availability stalls the commanded one.
+  std::size_t executed = out.expected_label;
+  if (out.truth == security::AttackKind::kIntegrity) {
+    const auto offset = static_cast<std::size_t>(rng_.randint(1, 2));
+    executed = (out.expected_label + offset) % 3;
+  }
+
+  std::vector<double> wave;
+  if (out.truth == security::AttackKind::kAvailability) {
+    wave = acoustics_.synthesize_idle(cfg.window_s);
+  } else {
+    const auto& range = cfg.feed_mm_s[executed];
+    const double feed = rng_.uniform(range.first, range.second);
+    const double distance = feed * cfg.window_s * 2.0;
+    am::MachineSimulator machine(cfg.printer);
+    const am::GcodeCommand cmd = am::parse_gcode_line(
+        builder_.gcode_for_label(executed, feed, distance));
+    const am::MotionSegment segment = machine.apply(cmd);
+    wave = acoustics_.synthesize_channel(segment, cfg.channel, cfg.window_s);
+  }
+
+  // Reuse the recycled buffer's heap allocation when it is big enough
+  // (assign copies into existing capacity); otherwise keep the fresh
+  // waveform vector.
+  if (buffer.capacity() >= wave.size()) {
+    buffer.assign(wave.begin(), wave.end());
+    out.samples = std::move(buffer);
+  } else {
+    out.samples = std::move(wave);
+  }
+
+  ++generated_;
+  if (attacked) ++attacks_;
+  return out;
+}
+
+std::uint64_t stream_checksum(StreamSource& source, std::size_t windows) {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  for (std::size_t i = 0; i < windows; ++i) {
+    const StreamSource::Window w = source.next();
+    hash ^= static_cast<std::uint64_t>(w.expected_label);
+    hash *= 0x100000001B3ULL;
+    for (const double sample : w.samples) {
+      std::uint64_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(sample));
+      std::memcpy(&bits, &sample, sizeof(bits));
+      for (std::size_t b = 0; b < sizeof(bits); ++b) {
+        hash ^= (bits >> (8 * b)) & 0xFFULL;
+        hash *= 0x100000001B3ULL;
+      }
+    }
+  }
+  return hash;
+}
+
+}  // namespace gansec::serve

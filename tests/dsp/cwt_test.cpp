@@ -170,5 +170,53 @@ INSTANTIATE_TEST_SUITE_P(Tones, CwtToneSweep,
                          ::testing::Values(80.0, 160.0, 320.0, 640.0, 1280.0,
                                            2560.0, 4500.0));
 
+// ---- CwtWindowPlan (streaming per-window path) ------------------------------
+
+TEST(CwtWindowPlan, BitIdenticalToBatchBandEnergies) {
+  const double fs = 8000.0;
+  const MorletCwt cwt(CwtConfig{fs, 6.0});
+  const std::vector<double> freqs{125.0, 500.0, 1000.0, 2000.0};
+  CwtWindowPlan plan(cwt, 1500, freqs);
+  math::Rng rng(17);
+  std::vector<double> window(1500);
+  for (int pass = 0; pass < 3; ++pass) {
+    for (double& v : window) v = rng.normal();
+    const auto batch = cwt.band_energies(window, freqs);
+    const auto streamed = plan.band_energies(window);
+    ASSERT_EQ(streamed.size(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      // EXPECT_EQ, not NEAR: the plan precomputes the identical wavelet
+      // responses and applies the same FP ops in the same order, so the
+      // streaming path must match the batch path to the last bit.
+      EXPECT_EQ(streamed[i], batch[i]) << "pass " << pass << " band " << i;
+    }
+  }
+}
+
+TEST(CwtWindowPlan, IntoFormReusesCallerBuffer) {
+  const MorletCwt cwt(CwtConfig{8000.0, 6.0});
+  const std::vector<double> freqs{250.0, 1000.0};
+  CwtWindowPlan plan(cwt, 1024, freqs);
+  const auto x = tone(1000.0, 8000.0, 1024);
+  std::vector<double> out(freqs.size(), -1.0);
+  plan.band_energies_into(x.data(), x.size(), out.data());
+  const auto batch = cwt.band_energies(x, freqs);
+  EXPECT_EQ(out[0], batch[0]);
+  EXPECT_EQ(out[1], batch[1]);
+}
+
+TEST(CwtWindowPlan, Validation) {
+  const MorletCwt cwt(CwtConfig{8000.0, 6.0});
+  EXPECT_THROW(CwtWindowPlan(cwt, 0, {100.0}), InvalidArgumentError);
+  EXPECT_THROW(CwtWindowPlan(cwt, 1024, {}), InvalidArgumentError);
+  EXPECT_THROW(CwtWindowPlan(cwt, 1024, {4000.0}), InvalidArgumentError);
+  CwtWindowPlan plan(cwt, 1024, {100.0});
+  const std::vector<double> wrong(512, 0.0);
+  std::vector<double> out(1);
+  EXPECT_THROW(plan.band_energies_into(wrong.data(), wrong.size(),
+                                       out.data()),
+               InvalidArgumentError);
+}
+
 }  // namespace
 }  // namespace gansec::dsp

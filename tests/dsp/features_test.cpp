@@ -117,5 +117,38 @@ TEST(MinMaxScaler, LoadTruncatedThrows) {
   EXPECT_THROW(MinMaxScaler::load(ss), IoError);
 }
 
+TEST(MinMaxScaler, TransformRowIntoBitIdenticalToTransform) {
+  math::Rng rng(7);
+  MinMaxScaler scaler;
+  scaler.fit(rng.uniform_matrix(12, 6, -3.0F, 3.0F));
+  // Probe in-range, clamped, and constant-column paths in one row set.
+  const Matrix probe = rng.uniform_matrix(4, 6, -5.0F, 5.0F);
+  const Matrix batch = scaler.transform(probe);
+  std::vector<float> out(probe.cols());
+  for (std::size_t r = 0; r < probe.rows(); ++r) {
+    scaler.transform_row_into(&probe.data()[r * probe.cols()], probe.cols(),
+                              out.data());
+    for (std::size_t c = 0; c < probe.cols(); ++c) {
+      // Bit-identical, not approximately equal: the streaming path must
+      // run the exact float ops of the batch path.
+      EXPECT_EQ(out[c], batch(r, c)) << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(MinMaxScaler, TransformRowIntoValidation) {
+  MinMaxScaler scaler;
+  std::vector<float> out(3);
+  const std::vector<float> row(3, 0.0F);
+  EXPECT_THROW(scaler.transform_row_into(row.data(), row.size(), out.data()),
+               InvalidArgumentError);
+  scaler.fit(Matrix(2, 3, 1.0F));
+  EXPECT_THROW(scaler.transform_row_into(row.data(), 2, out.data()),
+               DimensionError);
+  EXPECT_NO_THROW(
+      scaler.transform_row_into(row.data(), row.size(), out.data()));
+  EXPECT_FLOAT_EQ(out[0], 0.5F);  // constant column maps to 1/2
+}
+
 }  // namespace
 }  // namespace gansec::dsp

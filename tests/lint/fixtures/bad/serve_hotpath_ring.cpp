@@ -1,0 +1,18 @@
+// Fixture: a serve-style ring pop that allocates per window — the exact
+// regression the streaming runtime's hot-path regions exist to prevent.
+// Expected: hotpath-alloc at lines 12, 13.
+#include <vector>
+
+namespace fixture {
+
+// gansec-lint: hot-path
+inline bool pop_window(const double* slot, std::size_t length,
+                       std::vector<std::vector<double>>& sink) {
+  // Copying the window into a fresh vector heap-allocates every pop.
+  std::vector<double> window(slot, slot + length);
+  sink.push_back(window);
+  return true;
+}
+// gansec-lint: end-hot-path
+
+}  // namespace fixture

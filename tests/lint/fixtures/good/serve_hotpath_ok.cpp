@@ -1,0 +1,32 @@
+// Fixture: a compliant serve-style hot path — the SPSC ring's push/pop
+// shape: atomic sequence handshakes and moves into preallocated slots,
+// no heap traffic. Expected diagnostics: none.
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+namespace fixture {
+
+struct Slot {
+  std::atomic<std::uint64_t> sequence{0};
+  double value = 0.0;
+};
+
+// gansec-lint: hot-path
+inline bool try_push(Slot* slots, std::uint64_t mask,
+                     std::atomic<std::uint64_t>& tail, double&& value) {
+  std::uint64_t pos = tail.load(std::memory_order_relaxed);
+  Slot& slot = slots[pos & mask];
+  const std::uint64_t seq = slot.sequence.load(std::memory_order_acquire);
+  if (seq != pos) return false;
+  if (!tail.compare_exchange_weak(pos, pos + 1,
+                                  std::memory_order_relaxed)) {
+    return false;
+  }
+  slot.value = std::move(value);
+  slot.sequence.store(pos + 1, std::memory_order_release);
+  return true;
+}
+// gansec-lint: end-hot-path
+
+}  // namespace fixture

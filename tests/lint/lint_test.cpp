@@ -141,6 +141,19 @@ TEST(LintHotPath, ValueKernelCallsAreFlagged) {
                "hotpath_kernel.cpp");
 }
 
+TEST(LintHotPath, ServeRingShapeIsClean) {
+  // The streaming runtime's per-window path (atomic sequence handshakes +
+  // moves into preallocated ring slots) must lint clean as written.
+  const Linter linter = lint_fixtures({"good/serve_hotpath_ok.cpp"});
+  expect_exact(linter, {}, "");
+}
+
+TEST(LintHotPath, ServeRingAllocationsAreFlagged) {
+  const Linter linter = lint_fixtures({"bad/serve_hotpath_ring.cpp"});
+  expect_exact(linter, {{"hotpath-alloc", 12}, {"hotpath-alloc", 13}},
+               "serve_hotpath_ring.cpp");
+}
+
 // ---- Determinism ------------------------------------------------------------
 
 TEST(LintDeterminism, SeededRngIsClean) {

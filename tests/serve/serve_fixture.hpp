@@ -1,0 +1,50 @@
+// Shared trained-model fixture for the serve test binary.
+//
+// The streaming tests prove bit-identity against the batch detector, not
+// detection quality, so the CGAN here is tiny and briefly trained — just
+// enough for the generator to be a fixed deterministic function.
+#pragma once
+
+#include "gansec/am/dataset.hpp"
+#include "gansec/gan/trainer.hpp"
+
+namespace gansec::serve::testing {
+
+struct ServeSetup {
+  am::DatasetConfig dataset_config;
+  am::DatasetBuilder builder;
+  gan::Cgan model;
+};
+
+inline am::DatasetConfig small_dataset_config() {
+  am::DatasetConfig config;
+  config.samples_per_condition = 24;
+  config.window_s = 0.15;
+  config.bins = 16;
+  config.f_max = 3000.0;
+  config.acoustic.sample_rate = 8000.0;
+  config.seed = 13;
+  return config;
+}
+
+/// Lazily built singleton: dataset (scaler fitted) + a briefly trained CGAN.
+inline ServeSetup& serve_setup() {
+  static ServeSetup* setup = [] {
+    am::DatasetConfig config = small_dataset_config();
+    auto* s = new ServeSetup{
+        config, am::DatasetBuilder(config),
+        gan::Cgan(gan::CganTopology{config.bins, 3, 8, {32, 32}, {32, 32},
+                                    0.2F, 0.0F},
+                  7)};
+    const am::LabeledDataset data = s->builder.build();
+    gan::TrainConfig train_config;
+    train_config.iterations = 150;
+    train_config.batch_size = 24;
+    gan::CganTrainer trainer(s->model, train_config, 23);
+    trainer.train(data.features, data.conditions);
+    return s;
+  }();
+  return *setup;
+}
+
+}  // namespace gansec::serve::testing

@@ -22,12 +22,16 @@
 // /proc resource telemetry), --profile out.folded --profile-hz N
 // (sampling CPU profiler; collapsed stacks + gansec.profile.v1 JSON).
 // See DESIGN.md "Live introspection".
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "gansec/am/printer_arch.hpp"
 #include "gansec/core/args.hpp"
@@ -45,8 +49,12 @@
 #include "gansec/obs/prof.hpp"
 #include "gansec/obs/report.hpp"
 #include "gansec/obs/trace.hpp"
+#include "gansec/math/stats.hpp"
 #include "gansec/security/detector.hpp"
 #include "gansec/security/report.hpp"
+#include "gansec/security/stream_detector.hpp"
+#include "gansec/serve/loadgen.hpp"
+#include "gansec/serve/service.hpp"
 #include "gansec/version.hpp"
 
 namespace {
@@ -57,7 +65,9 @@ const std::set<std::string> kFlags = {
     "model", "registry", "samples", "bins", "window", "iterations", "seed",
     "h", "scaler", "attack-fraction", "threads", "log-level", "trace-out",
     "metrics-out", "report-out", "progress", "expose", "profile",
-    "profile-hz"};
+    "profile-hz", "streams", "windows", "workers", "ring", "rate",
+    "attack-kind", "availability-floor", "calibrate", "swap-registry",
+    "swap-interval"};
 
 const std::set<std::string> kBoolFlags = {"log-json"};
 
@@ -366,6 +376,289 @@ int cmd_detect(const core::Args& args, obs::RunReport* report) {
   return 0;
 }
 
+security::AttackKind parse_attack_kind(const std::string& name) {
+  if (name == "integrity") return security::AttackKind::kIntegrity;
+  if (name == "availability") return security::AttackKind::kAvailability;
+  throw InvalidArgumentError(
+      "--attack-kind must be integrity or availability, got " + name);
+}
+
+serve::LoadGenConfig loadgen_config_from(const core::Args& args,
+                                         std::uint64_t seed) {
+  serve::LoadGenConfig lg;
+  lg.streams = static_cast<std::size_t>(args.get_int("streams", 4));
+  lg.windows_per_stream =
+      static_cast<std::size_t>(args.get_int("windows", 32));
+  lg.rate_per_stream = args.get_double("rate", 0.0);
+  lg.attack_fraction = args.get_double("attack-fraction", 0.0);
+  lg.attack_kind = parse_attack_kind(args.get("attack-kind", "integrity"));
+  lg.seed = seed;
+  if (lg.streams == 0 || lg.windows_per_stream == 0) {
+    throw InvalidArgumentError(
+        "--streams and --windows must both be positive");
+  }
+  return lg;
+}
+
+// `gansec loadgen`: synthesize the serve traffic without scoring it —
+// prints one deterministic FNV-1a fingerprint per stream (byte-identical
+// across runs and machines for the same flags) plus the synthesis rate.
+int cmd_loadgen(const core::Args& args, obs::RunReport* report) {
+  core::PipelineConfig config = config_from(args);
+  am::DatasetBuilder builder(config.dataset);
+  const serve::LoadGenConfig lg =
+      loadgen_config_from(args, config.dataset.seed);
+  std::cout << "loadgen: " << lg.streams << " streams x "
+            << lg.windows_per_stream << " windows ("
+            << serve::window_sample_count(config.dataset)
+            << " samples/window, attack_fraction=" << lg.attack_fraction
+            << ")\n";
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t attacks = 0;
+  for (std::size_t s = 0; s < lg.streams; ++s) {
+    serve::StreamSource source(builder, lg, s);
+    const std::uint64_t checksum =
+        serve::stream_checksum(source, lg.windows_per_stream);
+    attacks += source.attacks_injected();
+    std::printf("stream %3zu  fnv1a=%016llx  attacks=%llu\n", s,
+                static_cast<unsigned long long>(checksum),
+                static_cast<unsigned long long>(source.attacks_injected()));
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const auto total = lg.streams * lg.windows_per_stream;
+  GANSEC_LOG_INFO("cli.loadgen.done", {"windows", total},
+                  {"wall_s", wall_s},
+                  {"windows_per_s",
+                   wall_s > 0.0 ? static_cast<double>(total) / wall_s : 0.0});
+  if (report != nullptr) {
+    describe_common_config(args, *report);
+    report->add_result("windows", static_cast<double>(total));
+    report->add_result("attacks_injected", static_cast<double>(attacks));
+    report->add_result("synthesis_windows_per_s",
+                       wall_s > 0.0 ? static_cast<double>(total) / wall_s
+                                    : 0.0);
+  }
+  return 0;
+}
+
+// `gansec serve`: the online monitor. N synthetic printers push acoustic
+// windows into per-stream rings; a sharded worker pool scores each window
+// through the shared ScoringModel and emits integrity / availability
+// verdicts. --rate R paces each stream at R windows/s with drop-oldest
+// backpressure; --rate 0 runs lossless at full speed. --swap-registry DIR
+// polls a ModelRegistry and hot-swaps the newest generation in between
+// windows.
+int cmd_serve(const core::Args& args, obs::RunReport* report) {
+  const std::string model_path = args.get("model", "gansec-model.cgan");
+  const std::string scaler_path = args.get("scaler", model_path + ".scaler");
+  gan::Cgan model = load_model(model_path);
+  core::PipelineConfig config = config_from(args);
+  const core::ScopedExecution scoped(config.execution);
+  config.dataset.bins = model.topology().data_dim;
+  am::DatasetBuilder builder(config.dataset);
+  if (std::ifstream scaler_in(scaler_path); scaler_in) {
+    builder.restore_scaler(dsp::MinMaxScaler::load(scaler_in));
+    GANSEC_LOG_INFO("cli.serve.scaler_loaded", {"path", scaler_path});
+  } else {
+    GANSEC_LOG_WARN("cli.serve.scaler_missing", {"path", scaler_path},
+                    {"note", "refitting; detection quality may degrade"});
+    builder.build();
+  }
+
+  // The shared immutable scoring model — the very same estimators the
+  // batch AttackDetector would build (same sampling sequence).
+  security::DetectorConfig detector_config;
+  auto scoring = std::make_shared<const security::ScoringModel>(
+      model, detector_config);
+
+  // Calibrate the alarm threshold on benign injector windows, exactly as
+  // `detect` does.
+  const auto calibrate_n =
+      static_cast<std::size_t>(args.get_int("calibrate", 25));
+  security::AttackInjector injector(builder);
+  std::vector<double> benign_scores;
+  for (const auto& obs :
+       injector.generate(calibrate_n, 0.0, security::AttackKind::kNone)) {
+    benign_scores.push_back(
+        scoring->score_row(obs.features, obs.expected_label));
+  }
+  security::StreamDetectorConfig detector;
+  detector.threshold = math::percentile(
+      std::move(benign_scores), detector_config.false_alarm_percentile);
+  detector.availability_floor = args.get_double("availability-floor", 0.05);
+
+  const serve::LoadGenConfig lg =
+      loadgen_config_from(args, config.dataset.seed);
+  serve::DetectorService::Config service_config;
+  service_config.streams = lg.streams;
+  const auto workers = static_cast<std::size_t>(args.get_int("workers", 0));
+  service_config.workers =
+      workers > 0 ? workers
+                  : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  service_config.ring_capacity =
+      static_cast<std::size_t>(args.get_int("ring", 64));
+  service_config.window_length = serve::window_sample_count(config.dataset);
+  service_config.detector = detector;
+  service_config.keep_results = true;
+  service_config.expected_windows = lg.windows_per_stream;
+
+  serve::DetectorService service(scoring, builder, service_config);
+
+  // Optional hot-swap loop: poll the registry; whenever a newer generation
+  // appears, rebuild the scoring model from it and install it live.
+  std::atomic<bool> poll_stop{false};
+  std::thread poller;
+  if (args.has("swap-registry")) {
+    const std::string dir = args.get("swap-registry", "");
+    const double interval_s = args.get_double("swap-interval", 1.0);
+    poller = std::thread([&service, &poll_stop, dir, interval_s,
+                          detector_config] {
+      std::uint64_t seen = 0;
+      while (!poll_stop.load(std::memory_order_acquire)) {
+        try {
+          model::ModelRegistry registry(dir);
+          std::uint64_t newest = 0;
+          cpps::FlowPair pair;
+          for (const auto& entry : registry.entries()) {
+            if (entry.generation >= newest) {
+              newest = entry.generation;
+              pair = entry.pair;
+            }
+          }
+          if (newest > seen) {
+            gan::Cgan swapped = registry.load_latest(pair);
+            service.install_model(
+                std::make_shared<const security::ScoringModel>(
+                    swapped, detector_config));
+            seen = newest;
+          }
+        } catch (const gansec::Error& e) {
+          GANSEC_LOG_WARN("cli.serve.swap_failed", {"what", e.what()});
+        }
+        const auto until = std::chrono::steady_clock::now() +
+                           std::chrono::duration_cast<
+                               std::chrono::steady_clock::duration>(
+                               std::chrono::duration<double>(interval_s));
+        while (!poll_stop.load(std::memory_order_acquire) &&
+               std::chrono::steady_clock::now() < until) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+      }
+    });
+  }
+
+  std::cout << "online monitor: " << lg.streams << " streams x "
+            << lg.windows_per_stream << " windows, "
+            << service_config.workers << " workers, ring "
+            << service_config.ring_capacity << ", "
+            << (lg.rate_per_stream > 0.0
+                    ? std::to_string(lg.rate_per_stream) + " windows/s"
+                    : std::string("full rate (lossless)"))
+            << "\nthreshold=" << detector.threshold
+            << " availability_floor=" << detector.availability_floor << "\n";
+
+  service.start();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::uint64_t> injected(lg.streams, 0);
+  std::vector<std::thread> producers;
+  producers.reserve(lg.streams);
+  for (std::size_t s = 0; s < lg.streams; ++s) {
+    producers.emplace_back([&service, &builder, &lg, &injected, s] {
+      try {
+        serve::StreamSource source(builder, lg, s);
+        const auto start = std::chrono::steady_clock::now();
+        for (std::size_t j = 0; j < lg.windows_per_stream; ++j) {
+          if (lg.rate_per_stream > 0.0) {
+            std::this_thread::sleep_until(
+                start + std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(
+                                static_cast<double>(j) /
+                                lg.rate_per_stream)));
+          }
+          serve::StreamSource::Window w =
+              source.next(service.acquire_buffer(s));
+          if (lg.rate_per_stream > 0.0) {
+            service.push(s, w.expected_label, std::move(w.samples));
+          } else {
+            service.push_blocking(s, w.expected_label,
+                                  std::move(w.samples));
+          }
+        }
+        injected[s] = source.attacks_injected();
+      } catch (const gansec::Error& e) {
+        GANSEC_LOG_ERROR("cli.serve.producer_failed", {"stream", s},
+                         {"what", e.what()});
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  service.stop();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  poll_stop.store(true, std::memory_order_release);
+  if (poller.joinable()) poller.join();
+
+  std::printf(
+      "\nstream   scored  dropped   benign    integ    avail injected  "
+      "p50_us    p95_us    p99_us\n");
+  std::uint64_t scored = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t alarms = 0;
+  for (std::size_t s = 0; s < lg.streams; ++s) {
+    const serve::StreamTotals totals = service.totals(s);
+    scored += totals.scored;
+    dropped += totals.dropped;
+    alarms += totals.integrity + totals.availability;
+    std::vector<double> latencies;
+    latencies.reserve(service.results(s).size());
+    for (const serve::WindowResult& r : service.results(s)) {
+      latencies.push_back(r.latency_us);
+    }
+    const double p50 =
+        latencies.empty() ? 0.0 : math::percentile(latencies, 50.0);
+    const double p95 =
+        latencies.empty() ? 0.0 : math::percentile(latencies, 95.0);
+    const double p99 =
+        latencies.empty() ? 0.0 : math::percentile(latencies, 99.0);
+    std::printf(
+        "%6zu %8llu %8llu %8llu %8llu %8llu %8llu %9.0f %9.0f %9.0f\n", s,
+        static_cast<unsigned long long>(totals.scored),
+        static_cast<unsigned long long>(totals.dropped),
+        static_cast<unsigned long long>(totals.benign),
+        static_cast<unsigned long long>(totals.integrity),
+        static_cast<unsigned long long>(totals.availability),
+        static_cast<unsigned long long>(injected[s]), p50, p95, p99);
+  }
+  const double windows_per_s =
+      wall_s > 0.0 ? static_cast<double>(scored) / wall_s : 0.0;
+  std::printf("total: %llu scored, %llu dropped, %.1f windows/s, %llu "
+              "alarms, %llu model swaps\n",
+              static_cast<unsigned long long>(scored),
+              static_cast<unsigned long long>(dropped), windows_per_s,
+              static_cast<unsigned long long>(alarms),
+              static_cast<unsigned long long>(service.model_generation()));
+
+  if (report != nullptr) {
+    describe_common_config(args, *report);
+    report->add_config("model", model_path);
+    report->add_config("streams", static_cast<std::uint64_t>(lg.streams));
+    report->add_config("workers",
+                       static_cast<std::uint64_t>(service_config.workers));
+    report->add_result("threshold", detector.threshold);
+    report->add_result("windows_scored", static_cast<double>(scored));
+    report->add_result("windows_dropped", static_cast<double>(dropped));
+    report->add_result("windows_per_s", windows_per_s);
+    report->add_result("alarms", static_cast<double>(alarms));
+    report->add_result("model_swaps",
+                       static_cast<double>(service.model_generation()));
+  }
+  return 0;
+}
+
 int cmd_sweep(const core::Args& args, obs::RunReport* report) {
   core::GanSecPipeline pipeline(config_from(args));
   const core::FlowPairSweep sweep = pipeline.run_flow_pairs();
@@ -420,13 +713,18 @@ int cmd_sweep(const core::Args& args, obs::RunReport* report) {
 int usage() {
   std::cout << "gansec " << kVersionString
             << " — CGAN-based CPPS security analysis\n"
-               "usage: gansec <graph|train|analyze|detect|sweep> [flags]\n"
+               "usage: gansec "
+               "<graph|train|analyze|detect|sweep|serve|loadgen> [flags]\n"
                "  graph                     print G_CPPS + flow pairs + DOT\n"
                "  train   --model out.cgan  train and persist the CGAN\n"
                "  analyze --model m.cgan    Algorithm 3 + confidentiality\n"
                "  detect  --model m.cgan    attack-detection evaluation\n"
                "  sweep                     one CGAN per Algorithm 1 pair,\n"
                "                            leakage margin table\n"
+               "  serve   --model m.cgan    streaming online monitor: N\n"
+               "                            synthetic printers scored live\n"
+               "  loadgen                   synth-only traffic generator,\n"
+               "                            prints per-stream fingerprints\n"
                "model files: *.gsm selects the gansec.model.v1 binary\n"
                "  checkpoint; other extensions use the legacy text format.\n"
                "  analyze/detect auto-detect the format by magic.\n"
@@ -436,6 +734,16 @@ int usage() {
                "       --seed N  --h W  --scaler PATH  --attack-fraction F\n"
                "       --threads N  (0 = all cores; results are identical\n"
                "                     at any thread count)\n"
+               "streaming (serve / loadgen):\n"
+               "       --streams N  --windows M  --workers K  --ring C\n"
+               "       --rate R                  windows/s per stream with\n"
+               "                                 drop-oldest backpressure\n"
+               "                                 (0 = lossless full rate)\n"
+               "       --attack-kind integrity|availability\n"
+               "       --availability-floor F  --calibrate N\n"
+               "       --swap-registry DIR --swap-interval S   poll a model\n"
+               "                                 registry and hot-swap the\n"
+               "                                 newest generation live\n"
                "observability:\n"
                "       --log-level trace|debug|info|warn|error|off\n"
                "       --log-json                JSON-lines logs on stderr\n"
@@ -493,6 +801,10 @@ int main(int argc, char** argv) {
       rc = cmd_detect(args, report.get());
     } else if (command == "sweep") {
       rc = cmd_sweep(args, report.get());
+    } else if (command == "serve") {
+      rc = cmd_serve(args, report.get());
+    } else if (command == "loadgen") {
+      rc = cmd_loadgen(args, report.get());
     } else {
       return usage();
     }

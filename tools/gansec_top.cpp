@@ -5,6 +5,9 @@
 // stacks, when --profile is active) and renders a refreshing table:
 // training iterations/s, generator/discriminator loss p50, RSS, CPU%,
 // thread count, workspace allocation rate, and the top-5 hottest stacks.
+// When the process is running the streaming monitor (`gansec serve`), an
+// extra panel shows windows/s, the verdict mix, and per-stream latency
+// p50/p95/p99 from the serve.* instruments.
 //
 // usage: gansec_top --port P [--host H] [--interval S] [--count N]
 //                   [--no-ansi]
@@ -90,11 +93,11 @@ std::string human_bytes(double bytes) {
   return buf;
 }
 
-/// p50 estimate from an OpenMetrics histogram family: reads the
-/// cumulative _bucket samples, finds the bucket holding rank count/2,
-/// and interpolates linearly inside it.
-double histogram_p50(const std::vector<OpenMetricsFamily>& families,
-                     const std::string& family_name) {
+/// Percentile estimate from an OpenMetrics histogram family: reads the
+/// cumulative _bucket samples, finds the bucket holding rank
+/// count * q / 100, and interpolates linearly inside it.
+double histogram_percentile(const std::vector<OpenMetricsFamily>& families,
+                            const std::string& family_name, double q) {
   for (const auto& family : families) {
     if (family.name != family_name) continue;
     std::vector<std::pair<double, double>> buckets;  // (le, cumulative)
@@ -112,7 +115,7 @@ double histogram_p50(const std::vector<OpenMetricsFamily>& families,
     std::sort(buckets.begin(), buckets.end());
     const double total = buckets.back().second;
     if (total <= 0.0) return 0.0;
-    const double rank = total / 2.0;
+    const double rank = total * q / 100.0;
     double lower_edge = 0.0;
     double lower_cum = 0.0;
     for (const auto& [le, cum] : buckets) {
@@ -159,9 +162,63 @@ std::vector<std::pair<std::string, std::uint64_t>> top_stacks(
   return stacks;
 }
 
+/// The streaming-monitor panel, shown whenever the scraped process has
+/// scored serve windows: global throughput + verdict mix, then one row
+/// per stream with windows and latency p50/p95/p99 read from the
+/// dynamic serve.stream.<i>.* instruments.
+void render_serve(const std::vector<OpenMetricsFamily>& families,
+                  double windows_per_s) {
+  const double scored =
+      openmetrics_value(families, "serve_windows_scored_total");
+  if (scored <= 0.0) return;
+  const double dropped =
+      openmetrics_value(families, "serve_windows_dropped_total");
+  const double benign =
+      openmetrics_value(families, "serve_verdict_benign_total");
+  const double integrity =
+      openmetrics_value(families, "serve_verdict_integrity_total");
+  const double availability =
+      openmetrics_value(families, "serve_verdict_availability_total");
+  const double swaps = openmetrics_value(families, "serve_model_swaps_total");
+  const auto streams = static_cast<std::uint64_t>(
+      openmetrics_value(families, "serve_streams"));
+  const double workers = openmetrics_value(families, "serve_workers");
+
+  char line[160];
+  std::cout << "\n  streaming monitor (" << streams << " streams, "
+            << static_cast<std::uint64_t>(workers) << " workers):\n";
+  std::snprintf(line, sizeof line, "  %-14s %12.0f   %-14s %12.1f\n",
+                "scored", scored, "windows/s", windows_per_s);
+  std::cout << line;
+  std::snprintf(line, sizeof line, "  %-14s %12.0f   %-14s %12.0f\n",
+                "dropped", dropped, "model swaps", swaps);
+  std::cout << line;
+  std::snprintf(line, sizeof line,
+                "  %-14s %12.0f   integ/avail %6.0f/%6.0f\n", "benign",
+                benign, integrity, availability);
+  std::cout << line;
+  std::snprintf(line, sizeof line, "  %6s %10s %10s %10s %10s\n", "stream",
+                "windows", "p50_us", "p95_us", "p99_us");
+  std::cout << line;
+  for (std::uint64_t s = 0; s < streams; ++s) {
+    const std::string scope = "serve_stream_" + std::to_string(s);
+    const double windows =
+        openmetrics_value(families, scope + "_windows_total");
+    const std::string hist = scope + "_latency_us";
+    std::snprintf(line, sizeof line,
+                  "  %6llu %10.0f %10.0f %10.0f %10.0f\n",
+                  static_cast<unsigned long long>(s), windows,
+                  histogram_percentile(families, hist, 50.0),
+                  histogram_percentile(families, hist, 95.0),
+                  histogram_percentile(families, hist, 99.0));
+    std::cout << line;
+  }
+}
+
 void render(const Options& opts, std::uint64_t tick,
             const std::vector<OpenMetricsFamily>& families,
-            const std::string& folded, double iters_per_s) {
+            const std::string& folded, double iters_per_s,
+            double windows_per_s) {
   if (opts.ansi) std::cout << "\033[2J\033[H";
   std::cout << "gansec_top — " << opts.host << ':' << opts.port << "  (tick "
             << tick << ", " << opts.interval_s << "s interval)\n\n";
@@ -185,8 +242,10 @@ void render(const Options& opts, std::uint64_t tick,
                 "iterations", iterations, "iters/s", iters_per_s);
   std::cout << line;
   std::snprintf(line, sizeof line, "  %-14s %12.4f   %-14s %12.4f\n",
-                "g_loss p50", histogram_p50(families, "gan_train_g_loss"),
-                "d_loss p50", histogram_p50(families, "gan_train_d_loss"));
+                "g_loss p50",
+                histogram_percentile(families, "gan_train_g_loss", 50.0),
+                "d_loss p50",
+                histogram_percentile(families, "gan_train_d_loss", 50.0));
   std::cout << line;
   std::snprintf(line, sizeof line, "  %-14s %12s   %-14s %11.1f%%\n", "rss",
                 human_bytes(rss).c_str(), "cpu", cpu);
@@ -197,6 +256,8 @@ void render(const Options& opts, std::uint64_t tick,
   std::snprintf(line, sizeof line, "  %-14s %12.0f   %-14s %12.0f\n",
                 "http requests", requests, "series dropped", dropped);
   std::cout << line;
+
+  render_serve(families, windows_per_s);
 
   const auto stacks = top_stacks(folded, 5);
   if (!stacks.empty()) {
@@ -225,6 +286,7 @@ int main(int argc, char** argv) {
   if (!parse_options(argc, argv, opts)) return usage();
 
   double prev_iterations = -1.0;
+  double prev_scored = -1.0;
   std::uint64_t tick = 0;
   for (;;) {
     ++tick;
@@ -244,7 +306,14 @@ int main(int argc, char** argv) {
               ? (iterations - prev_iterations) / opts.interval_s
               : 0.0;
       prev_iterations = iterations;
-      render(opts, tick, families, folded, iters_per_s);
+      const double scored =
+          openmetrics_value(families, "serve_windows_scored_total");
+      const double windows_per_s =
+          prev_scored >= 0.0 && opts.interval_s > 0.0
+              ? (scored - prev_scored) / opts.interval_s
+              : 0.0;
+      prev_scored = scored;
+      render(opts, tick, families, folded, iters_per_s, windows_per_s);
     } catch (const gansec::Error& e) {
       std::cerr << "gansec_top: " << e.what() << "\n";
       if (tick == 1) return 1;  // first poll failing = nothing to watch

@@ -18,7 +18,7 @@ namespace {
 // The declared module DAG (DESIGN.md "Static analysis & invariants"):
 //
 //   obs -> exec -> math -> {nn, stats, dsp} -> {gan, cpps, am}
-//       -> {security, baseline, model} -> core
+//       -> {security, baseline, model} -> {core, serve}
 //
 // A module may include its own headers and any strictly lower layer.
 // Lateral includes (same layer, different module) and upward includes are
@@ -36,7 +36,7 @@ constexpr LayerEntry kLayers[] = {
     {"obs", 0},     {"exec", 1},     {"math", 2},     {"nn", 3},
     {"stats", 3},   {"dsp", 3},      {"gan", 4},      {"cpps", 4},
     {"am", 4},      {"security", 5}, {"baseline", 5}, {"model", 5},
-    {"core", 6},
+    {"core", 6},    {"serve", 6},
 };
 
 // Declared intra-layer edges the DAG text above cannot express. am -> cpps

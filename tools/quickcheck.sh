@@ -126,6 +126,78 @@ profile_gate() {
     bench/baselines/BENCH_perf_core.json "${out}/BENCH_perf_core.json"
 }
 run_step "profile" profile_gate
+
+# Streaming-monitor gate, two legs.
+#
+# Leg 1: smoke-run `gansec serve` (train a tiny model first, then drive a
+# rate-limited loadgen through the online monitor) with the OpenMetrics
+# endpoint up; scrape /healthz + /metrics while it runs and require the
+# serve.* instruments to be present.
+#
+# Leg 2: the saturation bench in smoke mode, schema-checked and diffed
+# against the committed baseline (generous threshold — hosts differ; the
+# bench's own checks, e.g. sustains_8_streams, are absolute).
+serve_gate() {
+  local out=build/serve-out port=19465
+  mkdir -p "${out}"
+  build/tools/gansec train --model "${out}/serve.gsm" \
+    --samples 6 --bins 8 --window 0.05 --iterations 20 \
+    > "${out}/train.stdout" 2> "${out}/train.stderr" || {
+    echo "serve: tiny training run failed" >&2
+    cat "${out}/train.stderr" >&2
+    return 1; }
+  build/tools/gansec serve --model "${out}/serve.gsm" \
+    --samples 6 --bins 8 --window 0.05 \
+    --streams 3 --windows 30 --rate 10 --calibrate 5 \
+    --expose "${port}" \
+    > "${out}/serve.stdout" 2> "${out}/serve.stderr" &
+  local cli_pid=$!
+  local scraped=""
+  for _ in $(seq 1 100); do
+    if curl -sf "http://127.0.0.1:${port}/healthz" >/dev/null 2>&1; then
+      scraped="$(curl -sf "http://127.0.0.1:${port}/metrics")" \
+        && case "${scraped}" in
+             *serve_windows_scored_total*) break ;;
+           esac
+    fi
+    kill -0 "${cli_pid}" 2>/dev/null || break
+    sleep 0.1
+  done
+  if ! wait "${cli_pid}"; then
+    echo "serve: online monitor run failed" >&2
+    cat "${out}/serve.stderr" >&2
+    return 1
+  fi
+  if [ -z "${scraped}" ]; then
+    echo "serve: never scraped /metrics from the live monitor" >&2
+    return 1
+  fi
+  case "${scraped}" in
+    *"# EOF"*) : ;;
+    *) echo "serve: /metrics is missing the OpenMetrics terminator" >&2
+       return 1 ;;
+  esac
+  case "${scraped}" in
+    *serve_windows_scored_total*) : ;;
+    *) echo "serve: /metrics is missing serve_windows_scored_total" >&2
+       return 1 ;;
+  esac
+  case "${scraped}" in
+    *serve_latency_us*) : ;;
+    *) echo "serve: /metrics is missing serve_latency_us" >&2; return 1 ;;
+  esac
+  grep -q "total:" "${out}/serve.stdout" || {
+    echo "serve: summary table missing from stdout" >&2; return 1; }
+
+  GANSEC_BENCH_SMOKE=1 GANSEC_BENCH_OUT="${out}" \
+    GANSEC_BENCH_CACHE_DIR=build/serve-cache \
+    build/bench/bench_serve || return 1
+  build/tools/gansec_benchdiff --check "${out}/BENCH_serve.json" || return 1
+  build/tools/gansec_benchdiff --threshold 0.5 \
+    bench/baselines/BENCH_serve.json "${out}/BENCH_serve.json"
+}
+run_step "serve" serve_gate
+
 # The checkpoint battery's acceptance bar is "typed errors, never UB" —
 # run it under ASan when that tree exists, else fall back to release.
 if [ "${RUN_ASAN}" = 1 ]; then
