@@ -1,0 +1,122 @@
+// Flight recorder — the runtime's always-on black box.
+//
+// Every thread that calls `record()` owns a fixed-capacity ring of
+// structured events (window scored, verdict flip, model swap, train step,
+// phase marker, ...). Recording is wait-free: a relaxed cursor bump claims
+// a slot, a seqlock-style odd/even commit stamp brackets the field stores,
+// and every field is a relaxed atomic word so a concurrent `snapshot()` —
+// or the crash handler walking the rings after SIGSEGV — can read the
+// slots without locks, tears, or TSan complaints. Storage is preallocated
+// when a thread first records (never from a signal handler), so the dump
+// path in obs/incident.cpp touches nothing but atomics and write(2).
+//
+// Tags must be string literals (or otherwise immortal), exactly like span
+// and metric names: slots store the pointer, not the bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gansec::obs::flight {
+
+/// What happened. Values are part of the gansec.incident.v1 wire format —
+/// append only, never renumber.
+enum class EventKind : std::uint16_t {
+  kMark = 0,          ///< free-form marker (CLI, tests)
+  kPhaseBegin = 1,    ///< pipeline/bench phase entered
+  kPhaseEnd = 2,      ///< pipeline/bench phase left
+  kWindowScored = 3,  ///< serve: one window through the detector
+  kWindowDropped = 4, ///< serve: ring overwrote the oldest window
+  kVerdictFlip = 5,   ///< serve: a stream's verdict changed
+  kModelSwap = 6,     ///< serve: hot-swap installed a new generation
+  kTrainStep = 7,     ///< gan: one adversarial iteration
+  kDetectorRun = 8,   ///< security: anomaly run opened/closed
+  kQueueDepth = 9,    ///< serve: ring occupancy sample at ingest
+  kTrigger = 10,      ///< incident: a bundle trigger fired
+};
+
+const char* event_kind_name(EventKind kind);
+
+/// One decoded event, as returned by snapshot(). `tag` points at the
+/// immortal string the recording site passed in.
+struct EventView {
+  std::uint64_t ts_us = 0;   ///< trace clock (obs::trace_now_us)
+  std::uint64_t seq = 0;     ///< site-defined sequence (window id, iteration)
+  std::uint64_t a = 0;       ///< site-defined id (stream, generation, signo)
+  double v1 = 0.0;           ///< site-defined value (score, d_loss, depth)
+  double v2 = 0.0;           ///< site-defined value (threshold, g_loss)
+  std::uint32_t thread = 0;  ///< recorder thread-slot index
+  EventKind kind = EventKind::kMark;
+  std::uint16_t code = 0;    ///< site-defined small code (verdict, phase)
+  const char* tag = nullptr;
+};
+
+/// Aggregate accounting across every thread ring.
+struct Stats {
+  std::size_t threads = 0;            ///< thread slots ever claimed
+  std::size_t events_per_thread = 0;  ///< ring capacity per thread
+  std::uint64_t recorded = 0;         ///< total record() calls committed
+  std::uint64_t overwritten = 0;      ///< events lost to ring wraparound
+};
+
+/// Records one event into the calling thread's ring. Wait-free after the
+/// thread's first call (which allocates its ring); safe from any number of
+/// threads concurrently; a no-op when disabled or when every thread slot
+/// is taken. `tag` must outlive the process (string literal).
+void record(EventKind kind, const char* tag, std::uint64_t seq = 0,
+            std::uint64_t a = 0, double v1 = 0.0, double v2 = 0.0,
+            std::uint16_t code = 0);
+
+/// RAII phase marker: records kPhaseBegin now and kPhaseEnd on scope exit.
+class PhaseMark {
+ public:
+  explicit PhaseMark(const char* tag);
+  ~PhaseMark();
+  PhaseMark(const PhaseMark&) = delete;
+  PhaseMark& operator=(const PhaseMark&) = delete;
+
+ private:
+  const char* tag_;
+};
+
+/// Recording on/off. Defaults to on (the recorder is the black box; its
+/// cost is gated at <=2% by bench_perf_core/bench_serve). The benches flip
+/// it off to measure that overhead.
+bool enabled();
+void set_enabled(bool on);
+
+/// Consistent point-in-time copy of every committed event across all
+/// thread rings, sorted by trace-clock timestamp. Safe to call while
+/// writers are recording: slots caught mid-write are skipped.
+std::vector<EventView> snapshot();
+
+Stats stats();
+
+namespace detail {
+// The crash handler's view of the rings: everything here is
+// async-signal-safe (atomic loads only, no allocation). One raw slot is
+// eight atomic words; `RawEvent` is the plain decoded copy.
+struct RawEvent {
+  std::uint64_t ts_us;
+  std::uint64_t seq;
+  std::uint64_t a;
+  std::uint64_t v1_bits;
+  std::uint64_t v2_bits;
+  std::uint64_t tag_ptr;
+  std::uint32_t thread;
+  std::uint16_t kind;
+  std::uint16_t code;
+};
+
+std::size_t max_events() noexcept;  ///< threads * events_per_thread bound
+
+/// Copies every committed slot into `out` (capacity `cap`), returning the
+/// count. Async-signal-safe: no locks, no allocation. Events arrive in
+/// ring order, NOT time order; the caller sorts.
+std::size_t collect(RawEvent* out, std::size_t cap) noexcept;
+
+std::uint64_t overwritten_total() noexcept;
+}  // namespace detail
+
+}  // namespace gansec::obs::flight

@@ -4,6 +4,8 @@
 //   GET /healthz   "ok" (liveness)
 //   GET /profilez  collapsed-stack snapshot of the running profiler
 //                  (empty body when the profiler is off)
+//   GET /incidentz on-demand gansec.incident.v1 bundle: the flight
+//                  recorder's recent events plus metrics/profile dumps
 //
 // Scope: one accept thread handling one connection at a time, bound to
 // 127.0.0.1 by default — this is an operator scrape endpoint for

@@ -1,0 +1,59 @@
+// Incident forensics: turns the flight recorder's rings into durable,
+// schema-versioned `gansec.incident.v1` bundles.
+//
+// Two dump paths with very different freedoms (DESIGN.md §16):
+//
+//  * Normal context (CLI demand, /incidentz, verdict flip): render a full
+//    bundle — merged event timeline, metrics dump, live profiler stacks,
+//    build/host provenance — with ordinary heap machinery.
+//  * Fatal signal (SIGSEGV/SIGABRT/SIGFPE/SIGBUS): `signal_dump()` writes
+//    a minimal-but-valid bundle using only preallocated storage, atomic
+//    loads, and write(2). Everything it needs (output path, provenance
+//    JSON, sort scratch) is preformatted/preallocated by `arm()`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gansec::obs::incident {
+
+inline constexpr const char* kIncidentSchema = "gansec.incident.v1";
+
+/// Preallocates the crash-dump scratch and preformats the static parts of
+/// the bundle (path, build/host provenance) so `signal_dump()` never
+/// allocates. Idempotent; re-arming replaces the output path. Must be
+/// called from normal context. Does NOT install signal handlers — that is
+/// `register_fatal_signal_dump()` in obs/report.hpp, which claims the
+/// artifact flush and re-raises after dumping.
+void arm(std::string_view bundle_path);
+
+bool armed();
+
+/// The armed bundle path ("" when unarmed).
+std::string bundle_path();
+
+/// Renders a full bundle now (normal context): events + metrics +
+/// profiler stacks (when sampling) + provenance. `trigger` and `detail`
+/// name why ("cli", "http", "verdict_flip", ...).
+std::string render_bundle(std::string_view trigger, std::string_view detail);
+
+/// Renders and writes a full bundle to the armed path (or `path` when
+/// given). Returns the path written. Throws IoError on write failure.
+std::string write_bundle(std::string_view trigger, std::string_view detail,
+                         std::string_view path = {});
+
+/// Rate-limited trigger for hot-path callers (the serve verdict-flip
+/// site): writes a full bundle at most once per `kMinTriggerGapUs`, drops
+/// the rest. No-op when unarmed. Never throws (a forensics failure must
+/// not take down the monitor). Returns true when a bundle was written.
+inline constexpr std::uint64_t kMinTriggerGapUs = 5'000'000;
+bool maybe_trigger(const char* trigger, const char* detail) noexcept;
+
+/// Async-signal-safe crash dump: writes a minimal schema-valid bundle
+/// (events timeline + preformatted provenance, `"metrics":null`,
+/// `"profile":null`) to the armed path via write(2). Safe to call from a
+/// SIGSEGV handler; a silent no-op when unarmed.
+void signal_dump(int sig) noexcept;
+
+}  // namespace gansec::obs::incident

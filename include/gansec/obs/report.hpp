@@ -127,6 +127,15 @@ struct ArtifactPaths {
 void register_artifact_flush(ArtifactPaths paths);
 void mark_artifacts_flushed();
 
+/// Installs SIGSEGV/SIGABRT/SIGFPE/SIGBUS handlers that claim the
+/// artifact flush (so the non-signal-safe JSON writers stay out of a
+/// corrupt process), write the async-signal-safe incident bundle via
+/// obs::incident::signal_dump(), and re-raise with the default
+/// disposition. Only dispositions still at SIG_DFL are taken over —
+/// sanitizer runtimes and debuggers keep theirs. Idempotent; call
+/// obs::incident::arm() first or the dump is a no-op.
+void register_fatal_signal_dump();
+
 /// Atomically claims the one permitted flush (an exchange on the once
 /// flag). Returns true exactly once per register_artifact_flush() cycle;
 /// the winner is responsible for writing the artifacts. This is what

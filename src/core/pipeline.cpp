@@ -6,6 +6,7 @@
 
 #include "gansec/cpps/graph.hpp"
 #include "gansec/error.hpp"
+#include "gansec/obs/flight_recorder.hpp"
 #include "gansec/obs/log.hpp"
 #include "gansec/obs/metrics.hpp"
 #include "gansec/obs/trace.hpp"
@@ -105,12 +106,14 @@ gan::CganTopology GanSecPipeline::topology() const {
 PipelineResult GanSecPipeline::run() {
   const ScopedExecution scoped(config_.execution);
   GANSEC_SPAN("pipeline.run");
+  const obs::flight::PhaseMark flight_phase("pipeline.run");
   GANSEC_LOG_INFO("pipeline.run.start",
                   {"threads", resolved_threads(config_.execution)},
                   {"iterations", config_.train.iterations},
                   {"seed", config_.seed});
   // Step 1 — Algorithm 1 on the case-study architecture.
   obs::Span span_alg1("pipeline.algorithm1");
+  obs::flight::record(obs::flight::EventKind::kPhaseBegin, "pipeline.algorithm1");
   cpps::Architecture arch = am::make_printer_architecture();
   const cpps::CppsGraph graph(arch);
   const cpps::HistoricalData data = am::make_printer_historical_data();
@@ -125,11 +128,13 @@ PipelineResult GanSecPipeline::run() {
 
   // Step 2 — dataset generation on the simulated testbed.
   obs::Span span_dataset("pipeline.dataset");
+  obs::flight::record(obs::flight::EventKind::kPhaseBegin, "pipeline.dataset");
   auto [train_set, test_set] = builder_.build_split(config_.train_fraction);
   span_dataset.end();
 
   // Step 3 — Algorithm 2: CGAN training.
   obs::Span span_train("pipeline.train");
+  obs::flight::record(obs::flight::EventKind::kPhaseBegin, "pipeline.train");
   gan::Cgan model(topology(), config_.seed);
   gan::CganTrainer trainer(model, config_.train, config_.seed ^ 0x7EA1);
   trainer.train(train_set.features, train_set.conditions);
@@ -137,6 +142,7 @@ PipelineResult GanSecPipeline::run() {
 
   // Step 4 — Algorithm 3 + confidentiality analysis on held-out data.
   obs::Span span_analyze("pipeline.analyze");
+  obs::flight::record(obs::flight::EventKind::kPhaseBegin, "pipeline.analyze");
   const security::LikelihoodAnalyzer analyzer(config_.likelihood,
                                               config_.seed ^ 0xA3);
   security::LikelihoodResult likelihood = analyzer.analyze(model, test_set);
@@ -163,6 +169,7 @@ PipelineResult GanSecPipeline::run() {
 FlowPairSweep GanSecPipeline::run_flow_pairs() {
   const ScopedExecution scoped(config_.execution);
   GANSEC_SPAN("pipeline.flow_pair_sweep");
+  const obs::flight::PhaseMark flight_phase("pipeline.flow_pair_sweep");
   // Steps 1-2 as in run(): Algorithm 1 + one shared labeled dataset. The
   // case-study testbed observes a single mixed emission channel, so every
   // pair's CGAN trains against the same (condition, spectrum) corpus; what

@@ -8,6 +8,7 @@
 #include "gansec/math/kernels.hpp"
 #include "gansec/math/workspace.hpp"
 #include "gansec/nn/loss.hpp"
+#include "gansec/obs/flight_recorder.hpp"
 #include "gansec/obs/log.hpp"
 #include "gansec/obs/trace.hpp"
 
@@ -183,6 +184,8 @@ void CganTrainer::train_iterations(const Matrix& samples,
     iterations_counter().add();
     samples_counter().add(config_.batch_size *
                           (config_.discriminator_steps + 1));
+    obs::flight::record(obs::flight::EventKind::kTrainStep, "gan.iteration",
+                        record.iteration, 0, record.d_loss, record.g_loss);
     iter_us_histogram().observe(
         std::chrono::duration<double, std::micro>(
             std::chrono::steady_clock::now() - iter_start)

@@ -1,0 +1,276 @@
+#include "gansec/obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+#include "gansec/obs/metrics.hpp"
+#include "gansec/obs/trace.hpp"
+
+namespace gansec::obs::flight {
+namespace {
+
+// Sized so the black box holds the last few seconds of a saturated serve
+// run (8 streams x ~200 windows/s x 3 events/window) per worker thread
+// while costing 64 KiB/thread — small enough to stay always-on.
+constexpr std::size_t kMaxThreads = 64;
+constexpr std::size_t kEventsPerThread = 1024;
+
+// One event slot: eight atomic words (one cache line). `commit` is the
+// seqlock stamp — 0 never written, odd mid-write, even committed; the
+// stamp encodes the claim index so a wrapped rewrite always changes it.
+struct Slot {
+  std::atomic<std::uint64_t> commit{0};
+  std::atomic<std::uint64_t> ts_us{0};
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<std::uint64_t> a{0};
+  std::atomic<std::uint64_t> v1_bits{0};
+  std::atomic<std::uint64_t> v2_bits{0};
+  std::atomic<std::uint64_t> tag_ptr{0};
+  std::atomic<std::uint64_t> kind_code{0};
+};
+
+struct ThreadRing {
+  std::atomic<std::uint64_t> cursor{0};  ///< claims ever made (never reset)
+  Slot slots[kEventsPerThread];
+};
+
+// Fixed registry: rings are allocated lazily the first time a thread
+// records (always from normal context) and published with a release
+// store; they are never freed, so the crash handler can walk `g_rings`
+// with acquire loads at any moment. `g_in_use` is the reuse freelist —
+// a thread that exits releases its index for the next new thread, which
+// inherits the ring (and its history) rather than reallocating.
+std::atomic<ThreadRing*> g_rings[kMaxThreads];
+std::atomic<bool> g_in_use[kMaxThreads];
+std::atomic<std::uint32_t> g_high_water{0};
+std::atomic<bool> g_enabled{true};
+
+Counter* dropped_counter() {
+  static Counter* c = &obs::counter("incident.events_dropped");
+  return c;
+}
+
+struct ThreadSlot {
+  std::uint32_t index = kMaxThreads;  ///< kMaxThreads => no slot available
+  ThreadRing* ring = nullptr;
+
+  ThreadSlot() {
+    for (std::uint32_t i = 0; i < kMaxThreads; ++i) {
+      if (g_in_use[i].exchange(true, std::memory_order_acq_rel)) continue;
+      index = i;
+      ring = g_rings[i].load(std::memory_order_acquire);
+      if (ring == nullptr) {
+        ring = new ThreadRing();
+        g_rings[i].store(ring, std::memory_order_release);
+      }
+      std::uint32_t hw = g_high_water.load(std::memory_order_relaxed);
+      while (hw < i + 1 && !g_high_water.compare_exchange_weak(
+                               hw, i + 1, std::memory_order_relaxed)) {
+      }
+      break;
+    }
+  }
+
+  ~ThreadSlot() {
+    if (index < kMaxThreads) {
+      g_in_use[index].store(false, std::memory_order_release);
+    }
+  }
+};
+
+ThreadRing* this_thread_ring(std::uint32_t& index_out) {
+  thread_local ThreadSlot slot;
+  index_out = slot.index;
+  return slot.ring;
+}
+
+std::uint64_t pack_kind_code(EventKind kind, std::uint16_t code) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint16_t>(kind))
+          << 16U) |
+         static_cast<std::uint64_t>(code);
+}
+
+std::uint64_t double_bits(double x) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &x, sizeof(bits));
+  return bits;
+}
+
+double bits_double(std::uint64_t bits) {
+  double x = 0.0;
+  std::memcpy(&x, &bits, sizeof(x));
+  return x;
+}
+
+}  // namespace
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kMark:
+      return "mark";
+    case EventKind::kPhaseBegin:
+      return "phase_begin";
+    case EventKind::kPhaseEnd:
+      return "phase_end";
+    case EventKind::kWindowScored:
+      return "window_scored";
+    case EventKind::kWindowDropped:
+      return "window_dropped";
+    case EventKind::kVerdictFlip:
+      return "verdict_flip";
+    case EventKind::kModelSwap:
+      return "model_swap";
+    case EventKind::kTrainStep:
+      return "train_step";
+    case EventKind::kDetectorRun:
+      return "detector_run";
+    case EventKind::kQueueDepth:
+      return "queue_depth";
+    case EventKind::kTrigger:
+      return "trigger";
+  }
+  return "unknown";
+}
+
+void record(EventKind kind, const char* tag, std::uint64_t seq,
+            std::uint64_t a, double v1, double v2, std::uint16_t code) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  std::uint32_t thread_index = kMaxThreads;
+  ThreadRing* ring = this_thread_ring(thread_index);
+  if (ring == nullptr) return;  // all thread slots taken: drop silently
+
+  const std::uint64_t idx =
+      ring->cursor.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = ring->slots[idx % kEventsPerThread];
+  if (idx >= kEventsPerThread) dropped_counter()->add();
+
+  // Seqlock write: odd stamp, release fence, relaxed field stores, even
+  // stamp with release. A reader that sees the same even stamp before and
+  // after its field loads got a consistent event.
+  slot.commit.store(2 * idx + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.ts_us.store(trace_now_us(), std::memory_order_relaxed);
+  slot.seq.store(seq, std::memory_order_relaxed);
+  slot.a.store(a, std::memory_order_relaxed);
+  slot.v1_bits.store(double_bits(v1), std::memory_order_relaxed);
+  slot.v2_bits.store(double_bits(v2), std::memory_order_relaxed);
+  slot.tag_ptr.store(reinterpret_cast<std::uint64_t>(tag),
+                     std::memory_order_relaxed);
+  slot.kind_code.store(pack_kind_code(kind, code),
+                       std::memory_order_relaxed);
+  slot.commit.store(2 * idx + 2, std::memory_order_release);
+}
+
+PhaseMark::PhaseMark(const char* tag) : tag_(tag) {
+  record(EventKind::kPhaseBegin, tag_);
+}
+
+PhaseMark::~PhaseMark() { record(EventKind::kPhaseEnd, tag_); }
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+std::size_t max_events() noexcept { return kMaxThreads * kEventsPerThread; }
+
+// gansec-lint: signal-context
+std::size_t collect(RawEvent* out, std::size_t cap) noexcept {
+  std::size_t n = 0;
+  const std::uint32_t threads =
+      g_high_water.load(std::memory_order_acquire);
+  for (std::uint32_t t = 0; t < threads && t < kMaxThreads; ++t) {
+    const ThreadRing* ring = g_rings[t].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    for (std::size_t i = 0; i < kEventsPerThread && n < cap; ++i) {
+      const Slot& slot = ring->slots[i];
+      const std::uint64_t s1 = slot.commit.load(std::memory_order_acquire);
+      if (s1 == 0 || (s1 & 1U) != 0) continue;  // never written / mid-write
+      RawEvent ev;
+      ev.ts_us = slot.ts_us.load(std::memory_order_relaxed);
+      ev.seq = slot.seq.load(std::memory_order_relaxed);
+      ev.a = slot.a.load(std::memory_order_relaxed);
+      ev.v1_bits = slot.v1_bits.load(std::memory_order_relaxed);
+      ev.v2_bits = slot.v2_bits.load(std::memory_order_relaxed);
+      ev.tag_ptr = slot.tag_ptr.load(std::memory_order_relaxed);
+      const std::uint64_t kc =
+          slot.kind_code.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      const std::uint64_t s2 = slot.commit.load(std::memory_order_relaxed);
+      if (s1 != s2) continue;  // overwritten underneath us: discard
+      ev.thread = t;
+      ev.kind = static_cast<std::uint16_t>((kc >> 16U) & 0xffffU);
+      ev.code = static_cast<std::uint16_t>(kc & 0xffffU);
+      out[n++] = ev;
+    }
+  }
+  return n;
+}
+
+std::uint64_t overwritten_total() noexcept {
+  std::uint64_t lost = 0;
+  const std::uint32_t threads =
+      g_high_water.load(std::memory_order_acquire);
+  for (std::uint32_t t = 0; t < threads && t < kMaxThreads; ++t) {
+    const ThreadRing* ring = g_rings[t].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    const std::uint64_t cursor =
+        ring->cursor.load(std::memory_order_relaxed);
+    if (cursor > kEventsPerThread) lost += cursor - kEventsPerThread;
+  }
+  return lost;
+}
+// gansec-lint: end-signal-context
+
+}  // namespace detail
+
+std::vector<EventView> snapshot() {
+  std::vector<detail::RawEvent> raw(detail::max_events());
+  const std::size_t n = detail::collect(raw.data(), raw.size());
+  raw.resize(n);
+  std::vector<EventView> events;
+  events.reserve(n);
+  for (const detail::RawEvent& r : raw) {
+    EventView ev;
+    ev.ts_us = r.ts_us;
+    ev.seq = r.seq;
+    ev.a = r.a;
+    ev.v1 = bits_double(r.v1_bits);
+    ev.v2 = bits_double(r.v2_bits);
+    ev.thread = r.thread;
+    ev.kind = static_cast<EventKind>(r.kind);
+    ev.code = r.code;
+    ev.tag = reinterpret_cast<const char*>(r.tag_ptr);
+    events.push_back(ev);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const EventView& x, const EventView& y) {
+              if (x.ts_us != y.ts_us) return x.ts_us < y.ts_us;
+              if (x.thread != y.thread) return x.thread < y.thread;
+              return x.seq < y.seq;
+            });
+  return events;
+}
+
+Stats stats() {
+  Stats s;
+  s.events_per_thread = kEventsPerThread;
+  const std::uint32_t threads =
+      g_high_water.load(std::memory_order_acquire);
+  for (std::uint32_t t = 0; t < threads && t < kMaxThreads; ++t) {
+    const ThreadRing* ring = g_rings[t].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    ++s.threads;
+    const std::uint64_t cursor =
+        ring->cursor.load(std::memory_order_relaxed);
+    s.recorded += cursor;
+    if (cursor > kEventsPerThread) s.overwritten += cursor - kEventsPerThread;
+  }
+  return s;
+}
+
+}  // namespace gansec::obs::flight

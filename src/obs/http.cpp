@@ -14,6 +14,7 @@
 #include <thread>
 
 #include "gansec/error.hpp"
+#include "gansec/obs/incident.hpp"
 #include "gansec/obs/metrics.hpp"
 #include "gansec/obs/openmetrics.hpp"
 #include "gansec/obs/prof.hpp"
@@ -103,6 +104,12 @@ struct MetricsServer::Impl {
           prof::SamplingProfiler::instance().snapshot_report();
       response = build_response(200, "OK", "text/plain; charset=utf-8",
                                 prof::to_folded(report));
+    } else if (path == "/incidentz") {
+      // Live forensics pull: a full gansec.incident.v1 bundle rendered on
+      // demand (events + metrics + profile), without touching the armed
+      // crash-bundle file.
+      response = build_response(200, "OK", "application/json; charset=utf-8",
+                                incident::render_bundle("http", "/incidentz"));
     } else if (path.empty()) {
       response = build_response(400, "Bad Request",
                                 "text/plain; charset=utf-8", "bad request\n");

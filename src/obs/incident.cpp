@@ -1,0 +1,381 @@
+#include "gansec/obs/incident.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+#include "gansec/error.hpp"
+#include "gansec/obs/flight_recorder.hpp"
+#include "gansec/obs/json.hpp"
+#include "gansec/obs/metrics.hpp"
+#include "gansec/obs/prof.hpp"
+#include "gansec/obs/report.hpp"
+#include "gansec/obs/trace.hpp"
+
+namespace gansec::obs::incident {
+namespace {
+
+constexpr std::size_t kPathMax = 512;
+constexpr std::size_t kProvenanceMax = 2048;
+
+// Everything signal_dump() touches lives here, fully prepared by arm():
+// the output path and the provenance fragment are preformatted NUL-
+// terminated buffers, the event scratch is preallocated, and the counters
+// are cached raw pointers (Counter::add is a relaxed fetch_add).
+char g_path[kPathMax];
+char g_provenance[kProvenanceMax];
+flight::detail::RawEvent* g_scratch = nullptr;
+std::atomic<bool> g_armed{false};
+std::atomic<std::uint64_t> g_last_trigger_us{0};
+Counter* g_triggers = nullptr;
+Counter* g_bundles = nullptr;
+Histogram* g_dump_us = nullptr;
+
+std::mutex& state_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+void ensure_instruments() {
+  static const bool once = [] {
+    g_triggers = &obs::counter("incident.triggers");
+    g_bundles = &obs::counter("incident.bundles_written");
+    g_dump_us = &obs::histogram(
+        "incident.dump_us",
+        {100.0, 1000.0, 10000.0, 100000.0, 1.0e6, 1.0e7});
+    return true;
+  }();
+  (void)once;
+}
+
+std::string host_json() {
+  const HostInfo host = host_info();
+  std::ostringstream os;
+  os << "{\"hostname\":\"" << json_escape(host.hostname) << "\",\"os\":\""
+     << json_escape(host.os) << "\",\"hardware_concurrency\":"
+     << host.hardware_concurrency << '}';
+  return os.str();
+}
+
+void append_event_json(std::string& out, const flight::EventView& ev) {
+  out += "{\"ts_us\":";
+  out += std::to_string(ev.ts_us);
+  out += ",\"thread\":";
+  out += std::to_string(ev.thread);
+  out += ",\"kind\":\"";
+  out += flight::event_kind_name(ev.kind);
+  out += "\",\"code\":";
+  out += std::to_string(ev.code);
+  out += ",\"tag\":\"";
+  out += json_escape(ev.tag != nullptr ? ev.tag : "");
+  out += "\",\"seq\":";
+  out += std::to_string(ev.seq);
+  out += ",\"a\":";
+  out += std::to_string(ev.a);
+  out += ",\"v1\":";
+  out += json_number(ev.v1);
+  out += ",\"v2\":";
+  out += json_number(ev.v2);
+  out += '}';
+}
+
+// ---------------------------------------------------------------------
+// Async-signal-safe crash writer. Nothing below this banner may allocate,
+// lock, format via stdio, or touch C++ iostreams: only atomic loads,
+// arithmetic on preallocated buffers, and open/write/close. The lint
+// signal-context rule enforces the ban mechanically.
+// ---------------------------------------------------------------------
+// gansec-lint: signal-context
+
+struct RawWriter {
+  int fd = -1;
+  char buf[4096];
+  std::size_t len = 0;
+
+  void flush() noexcept {
+    std::size_t off = 0;
+    while (off < len) {
+      const ssize_t n = ::write(fd, buf + off, len - off);
+      if (n <= 0) break;  // best effort: we are crashing
+      off += static_cast<std::size_t>(n);
+    }
+    len = 0;
+  }
+  void put(char c) noexcept {
+    if (len == sizeof(buf)) flush();
+    buf[len++] = c;
+  }
+  void str(const char* s) noexcept {
+    for (; *s != '\0'; ++s) put(*s);
+  }
+  void strn(const char* s, std::size_t cap) noexcept {
+    for (std::size_t i = 0; i < cap && s[i] != '\0'; ++i) put(s[i]);
+  }
+  void u64(std::uint64_t v) noexcept {
+    char digits[20];
+    std::size_t n = 0;
+    do {
+      digits[n++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    while (n > 0) put(digits[--n]);
+  }
+  void dbl(double x) noexcept {
+    // Manual fixed-point rendering (6 fractional digits): snprintf is not
+    // async-signal-safe. Non-finite and absurd magnitudes become null.
+    if (!(x == x) || x > 1.0e18 || x < -1.0e18) {
+      str("null");
+      return;
+    }
+    if (x < 0.0) {
+      put('-');
+      x = -x;
+    }
+    const std::uint64_t ip = static_cast<std::uint64_t>(x);
+    std::uint64_t frac = static_cast<std::uint64_t>(
+        (x - static_cast<double>(ip)) * 1.0e6 + 0.5);
+    std::uint64_t whole = ip;
+    if (frac >= 1000000) {
+      whole += 1;
+      frac = 0;
+    }
+    u64(whole);
+    put('.');
+    std::uint64_t scale = 100000;
+    for (int i = 0; i < 6; ++i) {
+      put(static_cast<char>('0' + (frac / scale) % 10));
+      scale /= 10;
+    }
+  }
+};
+
+const char* signal_name(int sig) noexcept {
+  switch (sig) {
+    case 4:
+      return "SIGILL";
+    case 6:
+      return "SIGABRT";
+    case 7:
+      return "SIGBUS";
+    case 8:
+      return "SIGFPE";
+    case 11:
+      return "SIGSEGV";
+    default:
+      return "SIGNAL";
+  }
+}
+
+// In-place heapsort by (ts_us, thread, seq): qsort takes a callback but
+// std::sort may allocate, and we need deterministic stack-only ordering.
+bool raw_less(const flight::detail::RawEvent& x,
+              const flight::detail::RawEvent& y) noexcept {
+  if (x.ts_us != y.ts_us) return x.ts_us < y.ts_us;
+  if (x.thread != y.thread) return x.thread < y.thread;
+  return x.seq < y.seq;
+}
+
+void sift_down(flight::detail::RawEvent* a, std::size_t start,
+               std::size_t end) noexcept {
+  std::size_t root = start;
+  while (2 * root + 1 < end) {
+    std::size_t child = 2 * root + 1;
+    if (child + 1 < end && raw_less(a[child], a[child + 1])) ++child;
+    if (!raw_less(a[root], a[child])) return;
+    const flight::detail::RawEvent tmp = a[root];
+    a[root] = a[child];
+    a[child] = tmp;
+    root = child;
+  }
+}
+
+void heapsort_events(flight::detail::RawEvent* a, std::size_t n) noexcept {
+  if (n < 2) return;
+  for (std::size_t start = n / 2; start > 0; --start) {
+    sift_down(a, start - 1, n);
+  }
+  for (std::size_t end = n - 1; end > 0; --end) {
+    const flight::detail::RawEvent tmp = a[0];
+    a[0] = a[end];
+    a[end] = tmp;
+    sift_down(a, 0, end);
+  }
+}
+
+void write_raw_event(RawWriter& w, const flight::detail::RawEvent& ev) noexcept {
+  double v1 = 0.0;
+  double v2 = 0.0;
+  std::memcpy(&v1, &ev.v1_bits, sizeof(v1));
+  std::memcpy(&v2, &ev.v2_bits, sizeof(v2));
+  w.str("{\"ts_us\":");
+  w.u64(ev.ts_us);
+  w.str(",\"thread\":");
+  w.u64(ev.thread);
+  w.str(",\"kind\":\"");
+  w.str(flight::event_kind_name(static_cast<flight::EventKind>(ev.kind)));
+  w.str("\",\"code\":");
+  w.u64(ev.code);
+  w.str(",\"tag\":\"");
+  const char* tag = reinterpret_cast<const char*>(ev.tag_ptr);
+  if (tag != nullptr) w.strn(tag, 128);
+  w.str("\",\"seq\":");
+  w.u64(ev.seq);
+  w.str(",\"a\":");
+  w.u64(ev.a);
+  w.str(",\"v1\":");
+  w.dbl(v1);
+  w.str(",\"v2\":");
+  w.dbl(v2);
+  w.put('}');
+}
+
+}  // namespace
+
+void signal_dump(int sig) noexcept {
+  if (!g_armed.load(std::memory_order_acquire)) return;
+  if (g_triggers != nullptr) g_triggers->add();
+  RawWriter w;
+  w.fd = ::open(g_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (w.fd < 0) return;
+  const std::size_t n =
+      flight::detail::collect(g_scratch, flight::detail::max_events());
+  heapsort_events(g_scratch, n);
+  w.str("{\"schema\":\"gansec.incident.v1\",\"trigger\":{\"kind\":\"signal\"");
+  w.str(",\"detail\":\"");
+  w.str(signal_name(sig));
+  w.str("\",\"signo\":");
+  w.u64(static_cast<std::uint64_t>(sig > 0 ? sig : 0));
+  w.str(",\"ts_us\":");
+  w.u64(trace_now_us());
+  w.str("},");
+  w.str(g_provenance);  // "build":{...},"host":{...}
+  w.str(",\"events_dropped\":");
+  w.u64(flight::detail::overwritten_total());
+  w.str(",\"events\":[");
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0) w.put(',');
+    write_raw_event(w, g_scratch[i]);
+  }
+  w.str("],\"metrics\":null,\"profile\":null}\n");
+  w.flush();
+  ::close(w.fd);
+  if (g_bundles != nullptr) g_bundles->add();
+}
+// gansec-lint: end-signal-context
+
+void arm(std::string_view path) {
+  if (path.empty() || path.size() >= kPathMax) {
+    throw InvalidArgumentError(
+        "incident::arm: bundle path empty or longer than 511 bytes");
+  }
+  ensure_instruments();
+  const std::string provenance = "\"build\":" +
+                                 build_info_json(build_info()) +
+                                 ",\"host\":" + host_json();
+  if (provenance.size() >= kProvenanceMax) {
+    throw InvalidArgumentError("incident::arm: provenance too large");
+  }
+  std::lock_guard<std::mutex> lock(state_mu());
+  if (g_scratch == nullptr) {
+    g_scratch = new flight::detail::RawEvent[flight::detail::max_events()];
+  }
+  std::memcpy(g_path, path.data(), path.size());
+  g_path[path.size()] = '\0';
+  std::memcpy(g_provenance, provenance.c_str(), provenance.size() + 1);
+  g_armed.store(true, std::memory_order_release);
+}
+
+bool armed() { return g_armed.load(std::memory_order_acquire); }
+
+std::string bundle_path() {
+  if (!armed()) return {};
+  std::lock_guard<std::mutex> lock(state_mu());
+  return std::string(g_path);
+}
+
+std::string render_bundle(std::string_view trigger,
+                          std::string_view detail) {
+  ensure_instruments();
+  g_triggers->add();
+  const std::vector<flight::EventView> events = flight::snapshot();
+  std::string out;
+  out.reserve(4096 + events.size() * 160);
+  out += "{\"schema\":\"";
+  out += kIncidentSchema;
+  out += "\",\"trigger\":{\"kind\":\"";
+  out += json_escape(trigger);
+  out += "\",\"detail\":\"";
+  out += json_escape(detail);
+  out += "\",\"signo\":0,\"ts_us\":";
+  out += std::to_string(trace_now_us());
+  out += "},\"build\":";
+  out += build_info_json(build_info());
+  out += ",\"host\":";
+  out += host_json();
+  out += ",\"events_dropped\":";
+  out += std::to_string(flight::detail::overwritten_total());
+  out += ",\"events\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) out += ',';
+    append_event_json(out, events[i]);
+  }
+  out += "],\"metrics\":";
+  out += MetricsRegistry::instance().to_json();
+  out += ",\"profile\":";
+  const prof::SamplingProfiler& profiler = prof::SamplingProfiler::instance();
+  if (profiler.running()) {
+    out += prof::to_json(profiler.snapshot_report());
+  } else {
+    out += "null";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string write_bundle(std::string_view trigger, std::string_view detail,
+                         std::string_view path) {
+  const std::uint64_t t0 = trace_now_us();
+  std::string target(path);
+  if (target.empty()) target = bundle_path();
+  if (target.empty()) {
+    throw InvalidArgumentError(
+        "incident::write_bundle: no path given and not armed");
+  }
+  const std::string body = render_bundle(trigger, detail);
+  std::ofstream out(target, std::ios::binary | std::ios::trunc);
+  out.write(body.data(), static_cast<std::streamsize>(body.size()));
+  out.flush();
+  if (!out) {
+    throw IoError("incident::write_bundle: cannot write " + target);
+  }
+  g_bundles->add();
+  g_dump_us->observe(static_cast<double>(trace_now_us() - t0));
+  return target;
+}
+
+bool maybe_trigger(const char* trigger, const char* detail) noexcept {
+  if (!armed()) return false;
+  const std::uint64_t now = trace_now_us();
+  std::uint64_t last = g_last_trigger_us.load(std::memory_order_relaxed);
+  do {
+    if (last != 0 && now - last < kMinTriggerGapUs) return false;
+  } while (!g_last_trigger_us.compare_exchange_weak(
+      last, now, std::memory_order_acq_rel, std::memory_order_relaxed));
+  try {
+    write_bundle(trigger != nullptr ? trigger : "unknown",
+                 detail != nullptr ? detail : "");
+    return true;
+  } catch (const Error&) {
+    // Forensics must never kill the monitor; the rate limiter already
+    // recorded the attempt.
+    return false;
+  }
+}
+
+}  // namespace gansec::obs::incident

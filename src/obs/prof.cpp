@@ -379,16 +379,17 @@ ProfileReport aggregate(std::uint64_t claimed, double hz, double duration_s) {
           ? static_cast<double>(report.symbolized_frames) /
                 static_cast<double>(report.frames)
           : 0.0;
+  // Count-descending with a name tie-break: deterministic without
+  // stable_sort, whose libstdc++ temporary buffer trips ASan's
+  // alloc-dealloc-mismatch check on this toolchain.
+  const auto by_count_then_name = [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  };
   report.stacks.assign(stacks.begin(), stacks.end());
-  std::stable_sort(report.stacks.begin(), report.stacks.end(),
-                   [](const auto& a, const auto& b) {
-                     return a.second > b.second;
-                   });
+  std::sort(report.stacks.begin(), report.stacks.end(), by_count_then_name);
   report.phases.assign(phases.begin(), phases.end());
-  std::stable_sort(report.phases.begin(), report.phases.end(),
-                   [](const auto& a, const auto& b) {
-                     return a.second > b.second;
-                   });
+  std::sort(report.phases.begin(), report.phases.end(), by_count_then_name);
   return report;
 }
 

@@ -1,5 +1,6 @@
 #include "gansec/obs/report.hpp"
 
+#include <signal.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -15,6 +16,7 @@
 #include <thread>
 
 #include "gansec/error.hpp"
+#include "gansec/obs/incident.hpp"
 #include "gansec/obs/json.hpp"
 #include "gansec/obs/log.hpp"
 #include "gansec/obs/metrics.hpp"
@@ -251,6 +253,24 @@ extern "C" void gansec_obs_signal_flush(int sig) {
   std::raise(sig);
 }
 
+// Fatal-fault path (SIGSEGV/SIGABRT/SIGFPE/SIGBUS). Unlike the
+// SIGINT/SIGTERM handler above, this must assume the heap and every lock
+// may be corrupt mid-fault, so it must not run the JSON trace/metrics
+// writers. Claiming the flush makes the atexit hook (which WILL still run
+// for SIGABRT-after-abort and keeps running on the re-raise path) a
+// no-op; the incident dump is the one artifact engineered for this moment
+// (atomic ring reads + write(2) only — see obs/incident.cpp).
+// gansec-lint: signal-context
+extern "C" void gansec_obs_fatal_flush(int sig) {
+  claim_artifact_flush();
+  incident::signal_dump(sig);
+  // Re-deliver with the default disposition so the parent still sees
+  // "killed by signal".
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+// gansec-lint: end-signal-context
+
 }  // namespace
 
 bool claim_artifact_flush() {
@@ -308,6 +328,26 @@ void register_artifact_flush(ArtifactPaths paths) {
 
 void mark_artifacts_flushed() {
   g_flushed.store(true, std::memory_order_release);
+}
+
+void register_fatal_signal_dump() {
+  static std::atomic<bool> installed{false};
+  if (installed.exchange(true, std::memory_order_acq_rel)) return;
+  for (const int sig : {SIGSEGV, SIGABRT, SIGFPE, SIGBUS}) {
+    // Query first with sigaction: a sanitizer runtime or debugger owns
+    // the fault signals via SA_SIGINFO handlers that std::signal() would
+    // silently flatten. Only take over true SIG_DFL dispositions.
+    struct sigaction current = {};
+    if (::sigaction(sig, nullptr, &current) != 0) continue;
+    const bool untouched = (current.sa_flags & SA_SIGINFO) == 0 &&
+                           current.sa_handler == SIG_DFL;
+    if (!untouched) continue;
+    struct sigaction action = {};
+    action.sa_handler = gansec_obs_fatal_flush;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;
+    ::sigaction(sig, &action, nullptr);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -5,6 +5,7 @@
 
 #include "gansec/error.hpp"
 #include "gansec/math/stats.hpp"
+#include "gansec/obs/flight_recorder.hpp"
 #include "gansec/security/stream_detector.hpp"
 
 namespace gansec::security {
@@ -56,6 +57,7 @@ DetectionReport AttackDetector::evaluate(
   if (observations.empty()) {
     throw InvalidArgumentError("AttackDetector::evaluate: empty set");
   }
+  const obs::flight::PhaseMark phase("security.evaluate");
   DetectionReport report;
   std::vector<double> attack_scores;  // higher = more suspicious
   std::vector<bool> attack_labels;

@@ -6,6 +6,7 @@
 
 #include "gansec/error.hpp"
 #include "gansec/math/rng.hpp"
+#include "gansec/obs/flight_recorder.hpp"
 
 namespace gansec::security {
 
@@ -145,6 +146,14 @@ WindowVerdict StreamDetector::score_window(const float* features,
   }
   out.mean_feature = acc / static_cast<double>(indices.size());
   const bool anomalous = out.score < config_.threshold;
+  // Flight-record only the run boundaries (a sub-threshold streak opening
+  // or closing), not every window — the serve layer records per-window.
+  if (anomalous != (anomaly_run_ > 0)) {
+    obs::flight::record(obs::flight::EventKind::kDetectorRun,
+                        "security.anomaly_run", windows_, anomaly_run_,
+                        out.score, config_.threshold,
+                        anomalous ? std::uint16_t{1} : std::uint16_t{0});
+  }
   anomaly_run_ = anomalous ? anomaly_run_ + 1 : 0;
   if (anomalous && anomaly_run_ >= config_.consecutive_to_alarm) {
     out.verdict = out.mean_feature < config_.availability_floor

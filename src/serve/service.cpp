@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "gansec/error.hpp"
+#include "gansec/obs/flight_recorder.hpp"
+#include "gansec/obs/incident.hpp"
 #include "gansec/obs/log.hpp"
 #include "gansec/obs/metrics.hpp"
 #include "gansec/obs/trace.hpp"
@@ -75,8 +77,12 @@ struct DetectorService::StreamState {
   SpscRing<StreamWindow> ring;
   SpscRing<std::vector<double>> recycle;
   security::StreamDetector detector;
+  std::size_t index = 0;            ///< stream id, for flight events
   std::uint64_t next_sequence = 0;  ///< ingest thread only
   std::uint64_t model_gen = 0;      ///< owning shard only
+  bool has_verdict = false;         ///< owning shard only
+  security::StreamVerdict last_verdict =
+      security::StreamVerdict::kBenign;  ///< owning shard only
   std::atomic<bool> drop_warned{false};
   std::atomic<std::uint64_t> ingested{0};
   std::atomic<std::uint64_t> scored{0};
@@ -149,6 +155,7 @@ DetectorService::DetectorService(
   for (std::size_t i = 0; i < config_.streams; ++i) {
     auto state = std::make_unique<StreamState>(config_.ring_capacity, model_,
                                                config_.detector);
+    state->index = i;
     const std::string scope = "serve.stream." + std::to_string(i);
     // Per-stream metric names are derived from the stream index; each
     // stream has exactly one scoring shard, so writes never contend
@@ -234,12 +241,24 @@ std::size_t DetectorService::push(std::size_t stream,
   w.expected_label = expected_label;
   w.enqueued_us = obs::trace_now_us();
   w.samples = std::move(samples);
+  const std::uint64_t sequence = w.sequence;
   const std::size_t dropped = st.ring.push_overwrite(std::move(w));
   st.ingested.fetch_add(1, std::memory_order_relaxed);
   ingested_counter().add(1);
+  // Black-box queue-depth sample every 64 windows: cheap enough for the
+  // ingest path, dense enough to reconstruct the backlog after the fact.
+  if ((sequence & 63U) == 0) {
+    obs::flight::record(obs::flight::EventKind::kQueueDepth, "serve.ring",
+                        sequence, stream,
+                        static_cast<double>(st.ring.size_estimate()),
+                        static_cast<double>(st.ring.capacity()));
+  }
   if (dropped > 0) {
     st.dropped.fetch_add(dropped, std::memory_order_relaxed);
     dropped_counter().add(dropped);
+    obs::flight::record(obs::flight::EventKind::kWindowDropped, "serve.ring",
+                        sequence, stream, static_cast<double>(dropped),
+                        static_cast<double>(st.ring.capacity()));
     // First-drop warning per stream (mirrors the Series ring policy):
     // the counter carries the ongoing loss, the log carries the event.
     if (!st.drop_warned.exchange(true, std::memory_order_relaxed)) {
@@ -297,6 +316,8 @@ void DetectorService::install_model(
   }
   model_generation_.fetch_add(1, std::memory_order_acq_rel);
   swaps_counter().add(1);
+  obs::flight::record(obs::flight::EventKind::kModelSwap, "serve.model_swap",
+                      model_generation_.load(std::memory_order_relaxed));
   GANSEC_LOG_INFO("serve.model_swap",
                   {"generation", model_generation_.load()});
 }
@@ -363,6 +384,23 @@ void DetectorService::process_window(ShardContext& ctx, StreamState& state,
   scored_counter().add(1);
   verdict_counter(verdict.verdict).add(1);
   state.scored.fetch_add(1, std::memory_order_relaxed);
+  obs::flight::record(obs::flight::EventKind::kWindowScored, "serve.window",
+                      w.sequence, state.index, verdict.score,
+                      config_.detector.threshold,
+                      static_cast<std::uint16_t>(verdict.verdict));
+  if (state.has_verdict && verdict.verdict != state.last_verdict) {
+    // A verdict flip is the forensic moment the black box exists for:
+    // record it, and (rate-limited) snapshot a full incident bundle while
+    // the surrounding windows are still in the rings.
+    obs::flight::record(obs::flight::EventKind::kVerdictFlip, "serve.verdict",
+                        w.sequence, state.index, verdict.score,
+                        config_.detector.threshold,
+                        static_cast<std::uint16_t>(verdict.verdict));
+    obs::incident::maybe_trigger(
+        "verdict_flip", security::stream_verdict_name(verdict.verdict));
+  }
+  state.has_verdict = true;
+  state.last_verdict = verdict.verdict;
   switch (verdict.verdict) {
     case security::StreamVerdict::kBenign:
       state.benign.fetch_add(1, std::memory_order_relaxed);

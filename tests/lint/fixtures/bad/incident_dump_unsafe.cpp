@@ -1,0 +1,21 @@
+// Fixture: a naive crash dump — everything the incident signal path
+// must never do: strings, locks, stdio. Expected: signal-unsafe at
+// lines 13, 14, 15, 16, 17, 18, 19.
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+inline std::mutex g_dump_mu;  // declared outside the region on purpose
+
+// gansec-lint: signal-context
+inline void naive_crash_dump(int sig) {
+  char buf[64];
+  std::string path = "incident.json";
+  g_dump_mu.lock();
+  std::snprintf(buf, sizeof buf, "%d", sig);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fprintf(f, "{\"signo\":%d}", sig);
+  std::fclose(f);
+  g_dump_mu.unlock();
+}
+// gansec-lint: end-signal-context

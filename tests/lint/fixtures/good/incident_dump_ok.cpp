@@ -1,0 +1,40 @@
+// Fixture: the incident crash-dump pattern — preallocated path and
+// provenance buffers, atomic ring reads, manual digit formatting, and
+// raw write(2). Mirrors obs/incident.cpp's signal path. Expected
+// diagnostics: none.
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+inline char g_path[256];
+inline char g_provenance[512];
+inline std::atomic<bool> g_armed{false};
+inline std::atomic<std::uint64_t> g_events[64];
+
+// gansec-lint: signal-context
+inline void crash_dump(int sig) {
+  if (!g_armed.load(std::memory_order_acquire)) return;
+  const int fd = ::open(g_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return;
+  ::write(fd, g_provenance, sizeof(g_provenance));
+  char digits[20];
+  int n = 0;
+  auto v = static_cast<std::uint64_t>(sig);
+  do {
+    digits[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  while (n > 0) ::write(fd, &digits[--n], 1);
+  for (const std::atomic<std::uint64_t>& slot : g_events) {
+    const std::uint64_t bits = slot.load(std::memory_order_relaxed);
+    ::write(fd, &bits, sizeof(bits));
+  }
+  ::close(fd);
+}
+// gansec-lint: end-signal-context
+
+}  // namespace fixture

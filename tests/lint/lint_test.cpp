@@ -242,6 +242,29 @@ TEST(LintSignal, UnsafeConstructsAreFlagged) {
                "signal_unsafe.cpp");
 }
 
+TEST(LintSignal, IncidentDumpPatternIsClean) {
+  // The obs/incident.cpp crash path: preallocated buffers, atomics,
+  // manual formatting, raw write(2) — nothing for the rule to flag.
+  const Linter linter = lint_fixtures({"good/incident_dump_ok.cpp"});
+  expect_exact(linter, {}, "");
+}
+
+TEST(LintSignal, NaiveIncidentDumpIsFlagged) {
+  // A crash dump written the obvious way: std::string for the path, a
+  // lock around the file, stdio to format — every line is a bug in a
+  // signal context and every line must be flagged.
+  const Linter linter = lint_fixtures({"bad/incident_dump_unsafe.cpp"});
+  expect_exact(linter,
+               {{"signal-unsafe", 13},
+                {"signal-unsafe", 14},
+                {"signal-unsafe", 15},
+                {"signal-unsafe", 16},
+                {"signal-unsafe", 17},
+                {"signal-unsafe", 18},
+                {"signal-unsafe", 19}},
+               "incident_dump_unsafe.cpp");
+}
+
 TEST(LintSignal, SameConstructOutsideRegionIsClean) {
   Linter linter(Options{});
   // Allocation is only a violation between the region markers.

@@ -1,0 +1,173 @@
+// Incident-bundle battery: gansec.incident.v1 rendering, the benchdiff
+// --check contract, the rate-limited trigger, and the headline crash
+// regression — a child process that dies of SIGSEGV must leave a
+// schema-valid bundle behind (satellite of the flight-recorder PR).
+#include "gansec/obs/incident.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "gansec/obs/flight_recorder.hpp"
+#include "gansec/obs/json.hpp"
+#include "gansec/obs/report.hpp"
+
+// The crash regression needs the default SIGSEGV disposition in the
+// child; sanitizer runtimes install their own handlers, which
+// register_fatal_signal_dump() deliberately refuses to displace.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define GANSEC_UNDER_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define GANSEC_UNDER_SANITIZER 1
+#endif
+#endif
+
+namespace gansec::obs::incident {
+namespace {
+
+std::string unique_path(const char* stem) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string(stem) + "_" + std::to_string(::getpid()) + ".json"))
+      .string();
+}
+
+int benchdiff_check(const std::string& path) {
+  const std::string cmd =
+      std::string(GANSEC_BENCHDIFF_PATH) + " --check " + path + " > /dev/null";
+  return std::system(cmd.c_str());
+}
+
+/// Structural assertions shared by every bundle source: schema tag,
+/// trigger object, provenance, and a non-empty trace-clock-ordered
+/// event timeline.
+void expect_valid_bundle(const JsonValue& doc, const std::string& kind) {
+  const JsonValue* schema = doc.find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->as_string(), kIncidentSchema);
+  const JsonValue* trigger = doc.find("trigger");
+  ASSERT_NE(trigger, nullptr);
+  EXPECT_EQ(trigger->find("kind")->as_string(), kind);
+  ASSERT_NE(doc.find_path({"build", "git_sha"}), nullptr);
+  const JsonValue* events = doc.find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_FALSE(events->as_array().empty());
+  double prev = 0.0;
+  for (const JsonValue& ev : events->as_array()) {
+    const JsonValue* ts = ev.find("ts_us");
+    ASSERT_NE(ts, nullptr);
+    EXPECT_GE(ts->as_number(), prev);
+    prev = ts->as_number();
+  }
+}
+
+TEST(IncidentTest, RenderBundleIsValidAndOrdered) {
+  arm(unique_path("gansec_incident_render"));
+  flight::record(flight::EventKind::kMark, "test.incident.render", 1);
+  const JsonValue doc = parse_json(render_bundle("test", "unit"));
+  expect_valid_bundle(doc, "test");
+  EXPECT_EQ(doc.find("trigger")->find("detail")->as_string(), "unit");
+  // Normal-context bundles carry the full metrics dump (the crash path
+  // writes "metrics":null instead).
+  const JsonValue* metrics = doc.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_TRUE(metrics->is_object());
+}
+
+TEST(IncidentTest, WriteBundlePassesBenchdiffCheck) {
+  const std::string path = unique_path("gansec_incident_write");
+  flight::record(flight::EventKind::kMark, "test.incident.write", 2);
+  EXPECT_EQ(write_bundle("test", "benchdiff", path), path);
+  EXPECT_EQ(benchdiff_check(path), 0);
+  std::filesystem::remove(path);
+}
+
+TEST(IncidentTest, BenchdiffRejectsMalformedBundles) {
+  const std::string path = unique_path("gansec_incident_bad");
+  // Out-of-order timeline: --check validates trace-clock ordering.
+  {
+    std::ofstream out(path);
+    out << "{\"schema\":\"gansec.incident.v1\","
+           "\"trigger\":{\"kind\":\"test\"},"
+           "\"build\":{\"git_sha\":\"abc\"},"
+           "\"events\":[{\"ts_us\":2},{\"ts_us\":1}]}";
+  }
+  EXPECT_NE(benchdiff_check(path), 0);
+  // Missing events array entirely.
+  {
+    std::ofstream out(path);
+    out << "{\"schema\":\"gansec.incident.v1\","
+           "\"trigger\":{\"kind\":\"test\"},"
+           "\"build\":{\"git_sha\":\"abc\"}}";
+  }
+  EXPECT_NE(benchdiff_check(path), 0);
+  std::filesystem::remove(path);
+}
+
+TEST(IncidentTest, MaybeTriggerIsRateLimited) {
+  const std::string path = unique_path("gansec_incident_trigger");
+  arm(path);
+  // The bundle contract requires a non-empty timeline; give the ring
+  // something to dump (each ctest case runs in a fresh process).
+  flight::record(flight::EventKind::kMark, "test.incident.trigger", 3);
+  const bool first = maybe_trigger("verdict_flip", "integrity");
+  const bool second = maybe_trigger("verdict_flip", "integrity");
+  // Back-to-back triggers land inside kMinTriggerGapUs, so at most one
+  // may write (the first can itself be suppressed by an earlier test).
+  EXPECT_FALSE(first && second);
+  if (first) {
+    EXPECT_TRUE(std::filesystem::exists(path));
+    const JsonValue doc = parse_json_file(path);
+    expect_valid_bundle(doc, "verdict_flip");
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(IncidentTest, FatalSignalLeavesValidBundle) {
+#ifdef GANSEC_UNDER_SANITIZER
+  GTEST_SKIP() << "sanitizer owns the fatal-signal dispositions";
+#else
+  const std::string path = unique_path("gansec_incident_crash");
+  // Arm BEFORE forking: the child inherits the preallocated scratch and
+  // preformatted provenance, exactly like a crash in a live process.
+  arm(path);
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: install the dump handlers, leave a recognizable trail in
+    // the ring, then die the way a real bug would.
+    register_fatal_signal_dump();
+    for (std::uint64_t n = 0; n < 5; ++n) {
+      flight::record(flight::EventKind::kMark, "test.incident.crash", n);
+    }
+    std::raise(SIGSEGV);
+    _exit(0);  // unreachable when the dump-and-reraise path works
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  // The handler must re-raise with the default disposition so the exit
+  // status still says "killed by SIGSEGV" to supervisors and core dumps.
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGSEGV);
+  ASSERT_TRUE(std::filesystem::exists(path));
+  const JsonValue doc = parse_json_file(path);
+  expect_valid_bundle(doc, "signal");
+  EXPECT_EQ(doc.find("trigger")->find("detail")->as_string(), "SIGSEGV");
+  EXPECT_EQ(doc.find("trigger")->find("signo")->as_number(), SIGSEGV);
+  // Crash-path bundles are minimal-but-valid: no metrics, no profile.
+  EXPECT_TRUE(doc.find("metrics")->is_null());
+  EXPECT_TRUE(doc.find("profile")->is_null());
+  std::filesystem::remove(path);
+#endif
+}
+
+}  // namespace
+}  // namespace gansec::obs::incident

@@ -1,0 +1,99 @@
+// Backpressure-warning contract: when a stream's ring overwrites its
+// first window, the service logs serve.stream.backpressure exactly once
+// for that stream — the counter carries the ongoing loss, the log line
+// carries the event. Per-stream: a second stream drops, a second line.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gansec/obs/log.hpp"
+#include "gansec/security/detector.hpp"
+#include "gansec/serve/loadgen.hpp"
+#include "gansec/serve/service.hpp"
+#include "serve_fixture.hpp"
+
+namespace gansec::serve {
+namespace {
+
+using gansec::serve::testing::serve_setup;
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+class DropWarnTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_level_ = obs::log_level();
+    saved_sink_ = obs::log_sink();
+    obs::set_log_level(obs::LogLevel::kWarn);
+    obs::set_log_sink(std::make_shared<obs::TextSink>(captured_));
+  }
+  void TearDown() override {
+    obs::set_log_sink(saved_sink_);
+    obs::set_log_level(saved_level_);
+  }
+
+  std::ostringstream captured_;
+  obs::LogLevel saved_level_ = obs::LogLevel::kInfo;
+  std::shared_ptr<obs::LogSink> saved_sink_;
+};
+
+TEST_F(DropWarnTest, FirstDropWarnsOncePerStream) {
+  auto& setup = serve_setup();
+  security::DetectorConfig detector_config;
+  detector_config.generator_samples = 16;
+  const auto scoring = std::make_shared<const security::ScoringModel>(
+      setup.model, detector_config);
+
+  DetectorService::Config config;
+  config.streams = 2;
+  config.workers = 1;
+  config.ring_capacity = 2;
+  config.window_length = window_sample_count(setup.builder.config());
+  // Workers are never started: every push lands in the ring, so the
+  // third push on a capacity-2 ring is the first overwrite.
+  DetectorService service(scoring, setup.builder, config);
+
+  const std::vector<double> window(config.window_length, 0.0);
+  std::size_t dropped0 = 0;
+  for (int i = 0; i < 6; ++i) {
+    dropped0 += service.push(0, 0, std::vector<double>(window));
+  }
+  EXPECT_GE(dropped0, 4U);
+  EXPECT_EQ(service.totals(0).dropped, dropped0);
+  const std::string after_stream0 = captured_.str();
+  EXPECT_EQ(count_occurrences(after_stream0, "serve.stream.backpressure"),
+            1U);
+  EXPECT_EQ(count_occurrences(after_stream0, "stream=0"), 1U);
+
+  // Stream 1 has not dropped yet — no second line until it does.
+  EXPECT_EQ(count_occurrences(after_stream0, "stream=1"), 0U);
+  std::size_t dropped1 = 0;
+  for (int i = 0; i < 6; ++i) {
+    dropped1 += service.push(1, 0, std::vector<double>(window));
+  }
+  EXPECT_GE(dropped1, 4U);
+  const std::string after_stream1 = captured_.str();
+  EXPECT_EQ(count_occurrences(after_stream1, "serve.stream.backpressure"),
+            2U);
+  EXPECT_EQ(count_occurrences(after_stream1, "stream=1"), 1U);
+  // More drops on stream 0 stay silent: the warning is once per stream.
+  for (int i = 0; i < 4; ++i) {
+    service.push(0, 0, std::vector<double>(window));
+  }
+  EXPECT_EQ(count_occurrences(captured_.str(), "serve.stream.backpressure"),
+            2U);
+}
+
+}  // namespace
+}  // namespace gansec::serve

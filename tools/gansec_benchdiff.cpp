@@ -9,9 +9,12 @@
 // binary (schema "gansec.bench.v1"), two lint artifacts ("gansec.lint.v1",
 // same metric shape as bench — file/violation/suppression counts), two
 // checkpoint-verification artifacts ("gansec.ckpt.v1", emitted by
-// gansec_ckpt verify, same metric shape), or two run reports
+// gansec_ckpt verify, same metric shape), two run reports
 // ("gansec.run_report.v1", whose scalar "results" entries are compared
-// two-sided). Each bench metric carries its own regression direction:
+// two-sided), or two incident bundles ("gansec.incident.v1", compared by
+// event/drop counts; --check additionally validates trigger/provenance
+// members and trace-clock event ordering). Each bench metric carries its
+// own regression direction:
 //
 //   lower_is_better  — regression when candidate > baseline * (1 + R)
 //   higher_is_better — regression when candidate < baseline * (1 - R)
@@ -43,6 +46,7 @@ constexpr const char* kBenchSchema = "gansec.bench.v1";
 constexpr const char* kLintSchema = "gansec.lint.v1";
 constexpr const char* kCkptSchema = "gansec.ckpt.v1";
 constexpr const char* kRunReportSchema = "gansec.run_report.v1";
+constexpr const char* kIncidentSchema = "gansec.incident.v1";
 
 struct Metric {
   std::string key;
@@ -122,10 +126,28 @@ std::vector<Metric> extract_metrics(const JsonValue& root,
     }
     return metrics;
   }
+  if (schema == kIncidentSchema) {
+    // Incident bundles are forensic, not perf artifacts: the comparable
+    // facts are how much the black box captured and lost.
+    const JsonValue* events = root.find("events");
+    if (events == nullptr || !events->is_array()) {
+      throw gansec::ParseError(path + ": missing array member \"events\"");
+    }
+    metrics.push_back({"events",
+                       static_cast<double>(events->as_array().size()),
+                       "two_sided"});
+    const JsonValue* dropped = root.find("events_dropped");
+    if (dropped != nullptr && dropped->is_number()) {
+      metrics.push_back({"events_dropped", dropped->as_number(),
+                         "two_sided"});
+    }
+    return metrics;
+  }
   throw gansec::ParseError(path + ": unsupported schema \"" + schema +
                            "\" (expected " + kBenchSchema + ", " +
-                           kLintSchema + ", " + kCkptSchema + " or " +
-                           kRunReportSchema + ')');
+                           kLintSchema + ", " + kCkptSchema + ", " +
+                           kRunReportSchema + " or " + kIncidentSchema +
+                           ')');
 }
 
 /// Structural validation beyond extract_metrics: the provenance members
@@ -151,6 +173,38 @@ void check_artifact(const JsonValue& root, const std::string& schema,
         throw gansec::ParseError(path + ": missing member \"" +
                                  std::string(member) + '"');
       }
+    }
+  } else if (schema == kIncidentSchema) {
+    for (const char* member : {"trigger", "build", "events"}) {
+      if (root.find(member) == nullptr) {
+        throw gansec::ParseError(path + ": missing member \"" +
+                                 std::string(member) + '"');
+      }
+    }
+    const JsonValue* kind = root.find_path({"trigger", "kind"});
+    if (kind == nullptr || !kind->is_string()) {
+      throw gansec::ParseError(path + ": missing trigger.kind");
+    }
+    const JsonValue* sha = root.find_path({"build", "git_sha"});
+    if (sha == nullptr || !sha->is_string()) {
+      throw gansec::ParseError(path + ": missing build.git_sha");
+    }
+    // The timeline contract: events must be trace-clock ordered.
+    const JsonValue* events = root.find("events");
+    if (!events->is_array()) {
+      throw gansec::ParseError(path + ": \"events\" is not an array");
+    }
+    double prev = -1.0;
+    for (const JsonValue& ev : events->as_array()) {
+      const JsonValue* ts = ev.find("ts_us");
+      if (ts == nullptr || !ts->is_number()) {
+        throw gansec::ParseError(path + ": event missing numeric ts_us");
+      }
+      if (ts->as_number() < prev) {
+        throw gansec::ParseError(
+            path + ": events are not trace-clock ordered");
+      }
+      prev = ts->as_number();
     }
   }
 }

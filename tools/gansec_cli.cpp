@@ -43,6 +43,7 @@
 #include "gansec/model/registry.hpp"
 #include "gansec/model/serialize.hpp"
 #include "gansec/obs/http.hpp"
+#include "gansec/obs/incident.hpp"
 #include "gansec/obs/log.hpp"
 #include "gansec/obs/metrics.hpp"
 #include "gansec/obs/proc_stats.hpp"
@@ -67,9 +68,9 @@ const std::set<std::string> kFlags = {
     "metrics-out", "report-out", "progress", "expose", "profile",
     "profile-hz", "streams", "windows", "workers", "ring", "rate",
     "attack-kind", "availability-floor", "calibrate", "swap-registry",
-    "swap-interval"};
+    "swap-interval", "incident-out"};
 
-const std::set<std::string> kBoolFlags = {"log-json"};
+const std::set<std::string> kBoolFlags = {"log-json", "incident-dump"};
 
 core::PipelineConfig config_from(const core::Args& args);
 
@@ -94,6 +95,15 @@ void apply_observability(const core::Args& args) {
   if (!trace_path.empty() || !metrics_path.empty()) {
     obs::register_artifact_flush({trace_path, metrics_path});
   }
+  // The flight recorder is always on; arm the crash-dump side of it so a
+  // fatal fault leaves a black-box bundle behind. --incident-out "" opts
+  // out; --incident-out PATH moves it.
+  const std::string incident_path =
+      args.get("incident-out", "gansec-incident.json");
+  if (!incident_path.empty()) {
+    obs::incident::arm(incident_path);
+    obs::register_fatal_signal_dump();
+  }
 }
 
 // Writes the trace / metrics artifacts after the command finishes. The
@@ -102,6 +112,11 @@ void apply_observability(const core::Args& args) {
 // landing mid-write here can no longer produce a second flush on the
 // way out (and vice versa).
 void finish_observability(const core::Args& args) {
+  if (args.get_bool("incident-dump", false)) {
+    const std::string path =
+        obs::incident::write_bundle("cli", "--incident-dump");
+    GANSEC_LOG_INFO("incident.written", {"path", path});
+  }
   const std::string trace_path = args.get("trace-out", "");
   const std::string metrics_path = args.get("metrics-out", "");
   if (trace_path.empty() && metrics_path.empty()) return;
@@ -763,7 +778,16 @@ int usage() {
                "                                 writes flamegraph.pl input\n"
                "                                 and out.folded.json\n"
                "                                 (gansec.profile.v1)\n"
-               "       --profile-hz N            sampling rate (default 99)\n";
+               "       --profile-hz N            sampling rate (default 99)\n"
+               "incident forensics (flight recorder is always on):\n"
+               "       --incident-out b.json     crash-dump bundle path\n"
+               "                                 (gansec.incident.v1; default\n"
+               "                                 gansec-incident.json, \"\" to\n"
+               "                                 disarm). /incidentz on the\n"
+               "                                 --expose server serves live\n"
+               "                                 bundles.\n"
+               "       --incident-dump           also write a bundle after a\n"
+               "                                 successful run\n";
   return 2;
 }
 

@@ -1,0 +1,220 @@
+// gansec_incident — inspector for gansec.incident.v1 flight-recorder
+// bundles (the crash/anomaly black box written by obs/incident.cpp).
+//
+//   gansec_incident summarize BUNDLE.json
+//       trigger, provenance, event counts per kind/tag, time range, drops
+//   gansec_incident timeline BUNDLE.json [--limit N] [--kind K]
+//       the merged trace-clock-ordered event timeline, one line per event
+//   gansec_incident diff A.json B.json
+//       side-by-side trigger/build/event-mix comparison of two bundles
+//
+// Exit codes: 0 ok, 1 not a valid incident bundle, 2 usage / IO error.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gansec/error.hpp"
+#include "gansec/obs/incident.hpp"
+#include "gansec/obs/json.hpp"
+
+namespace {
+
+using gansec::obs::JsonValue;
+
+struct Bundle {
+  std::string path;
+  std::string trigger_kind;
+  std::string trigger_detail;
+  double trigger_ts_us = 0.0;
+  std::string git_sha;
+  std::string version;
+  std::string hostname;
+  double events_dropped = 0.0;
+  const JsonValue* events = nullptr;  ///< points into `doc`
+  JsonValue doc;
+};
+
+std::string string_at(const JsonValue* v, const char* fallback = "?") {
+  return v != nullptr && v->is_string() ? v->as_string() : fallback;
+}
+
+double number_at(const JsonValue* v, double fallback = 0.0) {
+  return v != nullptr && v->is_number() ? v->as_number() : fallback;
+}
+
+/// Loads and structurally validates one bundle; prints the reason and
+/// returns false when `path` is not a gansec.incident.v1 artifact.
+bool load_bundle(const std::string& path, Bundle& out) {
+  out.path = path;
+  out.doc = gansec::obs::parse_json_file(path);
+  const JsonValue* schema = out.doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != gansec::obs::incident::kIncidentSchema) {
+    std::fprintf(stderr, "%s: not a %s artifact\n", path.c_str(),
+                 gansec::obs::incident::kIncidentSchema);
+    return false;
+  }
+  const JsonValue* trigger = out.doc.find("trigger");
+  if (trigger == nullptr || !trigger->is_object()) {
+    std::fprintf(stderr, "%s: missing trigger object\n", path.c_str());
+    return false;
+  }
+  out.trigger_kind = string_at(trigger->find("kind"));
+  out.trigger_detail = string_at(trigger->find("detail"), "");
+  out.trigger_ts_us = number_at(trigger->find("ts_us"));
+  out.events = out.doc.find("events");
+  if (out.events == nullptr || !out.events->is_array()) {
+    std::fprintf(stderr, "%s: missing events array\n", path.c_str());
+    return false;
+  }
+  out.git_sha = string_at(out.doc.find_path({"build", "git_sha"}));
+  out.version = string_at(out.doc.find_path({"build", "version"}));
+  out.hostname = string_at(out.doc.find_path({"host", "hostname"}));
+  out.events_dropped = number_at(out.doc.find("events_dropped"));
+  return true;
+}
+
+std::map<std::string, std::size_t> kind_histogram(const Bundle& b) {
+  std::map<std::string, std::size_t> kinds;
+  for (const JsonValue& ev : b.events->as_array()) {
+    ++kinds[string_at(ev.find("kind"))];
+  }
+  return kinds;
+}
+
+int cmd_summarize(const std::string& path) {
+  Bundle b;
+  if (!load_bundle(path, b)) return 1;
+  const auto& events = b.events->as_array();
+  std::printf("bundle     %s\n", b.path.c_str());
+  std::printf("trigger    %s%s%s\n", b.trigger_kind.c_str(),
+              b.trigger_detail.empty() ? "" : ": ",
+              b.trigger_detail.c_str());
+  std::printf("build      %s (%s) on %s\n", b.version.c_str(),
+              b.git_sha.c_str(), b.hostname.c_str());
+  std::printf("events     %zu (%.0f overwritten before capture)\n",
+              events.size(), b.events_dropped);
+  if (!events.empty()) {
+    const double t0 = number_at(events.front().find("ts_us"));
+    const double t1 = number_at(events.back().find("ts_us"));
+    std::printf("time span  %.3f ms (ts_us %.0f .. %.0f)\n",
+                (t1 - t0) / 1000.0, t0, t1);
+  }
+  std::map<std::string, std::size_t> kinds = kind_histogram(b);
+  for (const auto& [kind, count] : kinds) {
+    std::printf("  %-16s %zu\n", kind.c_str(), count);
+  }
+  std::printf("metrics    %s\n",
+              b.doc.find("metrics") != nullptr &&
+                      !b.doc.find("metrics")->is_null()
+                  ? "present"
+                  : "null (crash-path bundle)");
+  std::printf("profile    %s\n",
+              b.doc.find("profile") != nullptr &&
+                      !b.doc.find("profile")->is_null()
+                  ? "present"
+                  : "null");
+  return 0;
+}
+
+int cmd_timeline(const std::string& path, std::size_t limit,
+                 const std::string& kind_filter) {
+  Bundle b;
+  if (!load_bundle(path, b)) return 1;
+  const auto& events = b.events->as_array();
+  std::size_t shown = 0;
+  for (const JsonValue& ev : events) {
+    const std::string kind = string_at(ev.find("kind"));
+    if (!kind_filter.empty() && kind != kind_filter) continue;
+    if (limit != 0 && shown >= limit) {
+      std::printf("... (%zu more)\n", events.size() - shown);
+      break;
+    }
+    ++shown;
+    std::printf("%12.0f t%02.0f %-14s %-22s seq=%-8.0f a=%-4.0f "
+                "v1=%-12.4f v2=%-12.4f code=%.0f\n",
+                number_at(ev.find("ts_us")), number_at(ev.find("thread")),
+                kind.c_str(), string_at(ev.find("tag"), "").c_str(),
+                number_at(ev.find("seq")), number_at(ev.find("a")),
+                number_at(ev.find("v1")), number_at(ev.find("v2")),
+                number_at(ev.find("code")));
+  }
+  if (shown == 0) std::printf("(no events%s)\n",
+                              kind_filter.empty() ? "" : " match filter");
+  return 0;
+}
+
+int cmd_diff(const std::string& path_a, const std::string& path_b) {
+  Bundle a;
+  Bundle b;
+  if (!load_bundle(path_a, a)) return 1;
+  if (!load_bundle(path_b, b)) return 1;
+  std::printf("%-18s %-28s %-28s\n", "", "A", "B");
+  std::printf("%-18s %-28s %-28s\n", "bundle", a.path.c_str(),
+              b.path.c_str());
+  std::printf("%-18s %-28s %-28s\n", "trigger", a.trigger_kind.c_str(),
+              b.trigger_kind.c_str());
+  std::printf("%-18s %-28s %-28s%s\n", "git_sha", a.git_sha.c_str(),
+              b.git_sha.c_str(), a.git_sha == b.git_sha ? "" : "  <- differs");
+  std::printf("%-18s %-28zu %-28zu\n", "events",
+              a.events->as_array().size(), b.events->as_array().size());
+  std::printf("%-18s %-28.0f %-28.0f\n", "events_dropped", a.events_dropped,
+              b.events_dropped);
+  std::map<std::string, std::size_t> ka = kind_histogram(a);
+  std::map<std::string, std::size_t> kb = kind_histogram(b);
+  std::map<std::string, std::pair<std::size_t, std::size_t>> merged;
+  for (const auto& [kind, n] : ka) merged[kind].first = n;
+  for (const auto& [kind, n] : kb) merged[kind].second = n;
+  for (const auto& [kind, counts] : merged) {
+    std::printf("  %-16s %-28zu %-28zu%s\n", kind.c_str(), counts.first,
+                counts.second,
+                counts.first == counts.second ? "" : "  <- differs");
+  }
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: gansec_incident summarize BUNDLE.json\n"
+               "       gansec_incident timeline  BUNDLE.json "
+               "[--limit N] [--kind K]\n"
+               "       gansec_incident diff      A.json B.json\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 3) return usage();
+    const std::string command = argv[1];
+    if (command == "summarize") {
+      return cmd_summarize(argv[2]);
+    }
+    if (command == "timeline") {
+      std::size_t limit = 0;
+      std::string kind;
+      for (int i = 3; i + 1 < argc; i += 2) {
+        const std::string flag = argv[i];
+        if (flag == "--limit") {
+          limit = static_cast<std::size_t>(std::stoul(argv[i + 1]));
+        } else if (flag == "--kind") {
+          kind = argv[i + 1];
+        } else {
+          return usage();
+        }
+      }
+      return cmd_timeline(argv[2], limit, kind);
+    }
+    if (command == "diff") {
+      if (argc < 4) return usage();
+      return cmd_diff(argv[2], argv[3]);
+    }
+    return usage();
+  } catch (const gansec::Error& e) {
+    std::fprintf(stderr, "gansec_incident: %s\n", e.what());
+    return 2;
+  }
+}

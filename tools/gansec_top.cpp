@@ -154,10 +154,13 @@ std::vector<std::pair<std::string, std::uint64_t>> top_stacks(
     if (leaf != std::string::npos) stack = stack.substr(leaf + 1);
     stacks.emplace_back(std::move(stack), count);
   }
-  std::stable_sort(stacks.begin(), stacks.end(),
-                   [](const auto& a, const auto& b) {
-                     return a.second > b.second;
-                   });
+  // Count-descending, name tie-break: deterministic without stable_sort
+  // (whose temporary buffer trips ASan alloc-dealloc-mismatch here).
+  std::sort(stacks.begin(), stacks.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
   if (stacks.size() > n) stacks.resize(n);
   return stacks;
 }
@@ -215,6 +218,29 @@ void render_serve(const std::vector<OpenMetricsFamily>& families,
   }
 }
 
+/// Incident-forensics panel, shown once the flight recorder has seen a
+/// trigger (verdict flip, /incidentz pull, CLI dump) or wrapped its
+/// rings: trigger/bundle counts, events lost to wraparound, and the dump
+/// latency tail.
+void render_incident(const std::vector<OpenMetricsFamily>& families) {
+  const double triggers =
+      openmetrics_value(families, "incident_triggers_total");
+  const double bundles =
+      openmetrics_value(families, "incident_bundles_written_total");
+  const double lost =
+      openmetrics_value(families, "incident_events_dropped_total");
+  if (triggers <= 0.0 && bundles <= 0.0 && lost <= 0.0) return;
+  char line[160];
+  std::cout << "\n  incident forensics:\n";
+  std::snprintf(line, sizeof line, "  %-14s %12.0f   %-14s %12.0f\n",
+                "triggers", triggers, "bundles", bundles);
+  std::cout << line;
+  std::snprintf(line, sizeof line, "  %-14s %12.0f   %-14s %10.0fus\n",
+                "ring overwrites", lost, "dump p99",
+                histogram_percentile(families, "incident_dump_us", 99.0));
+  std::cout << line;
+}
+
 void render(const Options& opts, std::uint64_t tick,
             const std::vector<OpenMetricsFamily>& families,
             const std::string& folded, double iters_per_s,
@@ -258,6 +284,7 @@ void render(const Options& opts, std::uint64_t tick,
   std::cout << line;
 
   render_serve(families, windows_per_s);
+  render_incident(families);
 
   const auto stacks = top_stacks(folded, 5);
   if (!stacks.empty()) {

@@ -6,11 +6,13 @@
 # Runs, per preset (release, asan, tsan): configure, build, and the full
 # ctest suite; then the `lint` and `bench-smoke` ctest labels on the
 # release tree, the full-scale profiler overhead/symbolization gate with
-# a benchdiff against the committed baseline, and the `ckpt`
-# checkpoint-format battery on the asan tree (the format's corruption
-# guarantees are proven under ASan). Prints a pass/fail summary table and
-# exits non-zero if anything failed. Designed to be what you run before
-# pushing.
+# a benchdiff against the committed baseline, the streaming-monitor
+# gate, the incident-forensics gate (live /incidentz plus a kill -SEGV
+# crash that must leave a valid gansec.incident.v1 bundle), and the
+# `ckpt` checkpoint-format battery on the asan tree (the format's
+# corruption guarantees are proven under ASan). Prints a pass/fail
+# summary table and exits non-zero if anything failed. Designed to be
+# what you run before pushing.
 set -u
 
 cd "$(dirname "$0")/.."
@@ -197,6 +199,63 @@ serve_gate() {
     bench/baselines/BENCH_serve.json "${out}/BENCH_serve.json"
 }
 run_step "serve" serve_gate
+
+# Incident-forensics gate, two legs.
+#
+# Leg 1: /incidentz on a live run — the monitor serves an on-demand
+# gansec.incident.v1 bundle over HTTP while working.
+#
+# Leg 2: the black-box contract itself — kill -SEGV mid-run and require
+# a schema-valid bundle with a non-empty trace-clock-ordered timeline,
+# accepted by both gansec_benchdiff --check and gansec_incident.
+incident_gate() {
+  local out=build/incident-out port=19466
+  mkdir -p "${out}"
+  build/tools/gansec sweep --samples 6 --bins 8 --window 0.05 \
+    --iterations 40 --threads 2 \
+    --expose "${port}" --incident-out "${out}/demand.json" \
+    > "${out}/live.stdout" 2> "${out}/live.stderr" &
+  local cli_pid=$!
+  local live=""
+  for _ in $(seq 1 100); do
+    if curl -sf "http://127.0.0.1:${port}/healthz" >/dev/null 2>&1; then
+      live="$(curl -sf "http://127.0.0.1:${port}/incidentz")" && break
+    fi
+    kill -0 "${cli_pid}" 2>/dev/null || break
+    sleep 0.1
+  done
+  if ! wait "${cli_pid}"; then
+    echo "incident: live CLI run failed" >&2
+    cat "${out}/live.stderr" >&2
+    return 1
+  fi
+  [ -n "${live}" ] || {
+    echo "incident: never fetched /incidentz from the live run" >&2
+    return 1; }
+  printf '%s' "${live}" | jq -e \
+    '.schema == "gansec.incident.v1" and (.events | length) > 0' \
+    >/dev/null || {
+    echo "incident: /incidentz is not a gansec.incident.v1 bundle" >&2
+    return 1; }
+
+  rm -f "${out}/crash.json"
+  build/tools/gansec sweep --samples 6 --bins 8 --window 0.05 \
+    --iterations 2000 --threads 2 --incident-out "${out}/crash.json" \
+    > "${out}/crash.stdout" 2> "${out}/crash.stderr" &
+  local crash_pid=$!
+  sleep 2
+  kill -SEGV "${crash_pid}" 2>/dev/null
+  wait "${crash_pid}"
+  local rc=$?
+  [ "${rc}" -eq 139 ] || {
+    echo "incident: expected SIGSEGV death (139), got ${rc}" >&2
+    return 1; }
+  [ -s "${out}/crash.json" ] || {
+    echo "incident: crash left no bundle behind" >&2; return 1; }
+  build/tools/gansec_benchdiff --check "${out}/crash.json" || return 1
+  build/tools/gansec_incident summarize "${out}/crash.json" || return 1
+}
+run_step "incident" incident_gate
 
 # The checkpoint battery's acceptance bar is "typed errors, never UB" —
 # run it under ASan when that tree exists, else fall back to release.
