@@ -8,13 +8,17 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <new>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common.hpp"
@@ -36,6 +40,7 @@
 #include "gansec/obs/trace.hpp"
 #include "gansec/security/analyzer.hpp"
 #include "gansec/stats/kde.hpp"
+#include "lint.hpp"
 
 // Process-wide heap instrumentation for the allocation benchmarks below.
 // Replacing the global operator new/delete pair lets BM_CganTrainStep
@@ -448,6 +453,51 @@ void BM_ObsLogEnabledNullSink(benchmark::State& state) {
 }
 BENCHMARK(BM_ObsLogEnabledNullSink);
 
+// Whole-repo gansec_lint wall time. The interprocedural upgrade re-lexes
+// every translation unit, builds the call graph, and propagates hot-path
+// and signal-context constraints, so lint cost is perf-gated like any
+// kernel: main() turns this measurement into the lint.repo_under_5s
+// check (the acceptance budget for the tier-1 gansec_lint_repo gate).
+// Sources are read once up front; the loop times lexing + rules +
+// propagation only.
+void BM_LintRepo(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  static const auto* sources = [] {
+    auto* files = new std::vector<std::pair<std::string, std::string>>();
+    const fs::path root(GANSEC_REPO_ROOT);
+    for (const char* dir : {"include", "src"}) {
+      for (const auto& entry :
+           fs::recursive_directory_iterator(root / dir)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string ext = entry.path().extension().string();
+        if (ext != ".hpp" && ext != ".h" && ext != ".cpp" && ext != ".cc") {
+          continue;
+        }
+        std::ifstream in(entry.path(), std::ios::binary);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        files->emplace_back(entry.path().generic_string(), buffer.str());
+      }
+    }
+    std::sort(files->begin(), files->end());
+    return files;
+  }();
+  std::size_t files_checked = 0;
+  for (auto _ : state) {
+    gansec::lint::Linter linter(gansec::lint::Options{
+        std::string(GANSEC_REPO_ROOT) + "/tools/metrics_manifest.txt"});
+    for (const auto& [path, source] : *sources) {
+      linter.check_file(path, source);
+    }
+    linter.finish();
+    files_checked = linter.files_checked();
+    benchmark::DoNotOptimize(files_checked);
+  }
+  state.counters["lint_files"] =
+      benchmark::Counter(static_cast<double>(files_checked));
+}
+BENCHMARK(BM_LintRepo)->Unit(benchmark::kMillisecond);
+
 void BM_Algorithm1(benchmark::State& state) {
   const cpps::Architecture arch = am::make_printer_architecture();
   const cpps::HistoricalData data = am::make_printer_historical_data();
@@ -540,7 +590,7 @@ int main(int argc, char** argv) {
       "CganTrainStepFlightOff|CganTrainStepProfiled|"
       "ParzenScore/100|CheckpointSave|CheckpointLoad|"
       "ObsLogDisabled|ObsSpanDisabled|ObsCounterAdd|"
-      "ObsHistogramObserve|ObsLogEnabledNullSink|Algorithm1)$";
+      "ObsHistogramObserve|ObsLogEnabledNullSink|Algorithm1|LintRepo)$";
   if (gansec::bench::smoke()) {
     bool has_min_time = false;
     bool has_filter = false;
@@ -564,6 +614,7 @@ int main(int argc, char** argv) {
 
   double base_ns = 0.0;
   double profiled_ns = 0.0;
+  double lint_ns = 0.0;
   double symbolized_fraction = -1.0;
   for (const auto& run : reporter.runs()) {
     const std::string name = run.benchmark_name();
@@ -574,6 +625,7 @@ int main(int argc, char** argv) {
                         gansec::bench::Direction::kLowerIsBetter);
     if (name == "BM_CganTrainStep") base_ns = ns_per_iter;
     if (name == "BM_CganTrainStepProfiled") profiled_ns = ns_per_iter;
+    if (name == "BM_LintRepo") lint_ns = ns_per_iter;
     for (const auto& [counter_name, counter] : run.counters) {
       // prof_samples scales with run duration and prof_symbolized_fraction
       // is covered by the directional profiler.* metrics below; exporting
@@ -636,6 +688,18 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "[bench] FAIL: flight recorder gate (overhead %.2f%%)\n",
                    overhead_pct);
+      gate_failed = true;
+    }
+  }
+  // Whole-repo lint budget gate: the acceptance criterion for the
+  // interprocedural linter is < 5 s per full run on the CI machine.
+  // Cheap enough to gate even in smoke mode.
+  if (lint_ns > 0.0) {
+    const bool lint_ok = lint_ns <= 5e9;
+    artifact.add_check("lint.repo_under_5s", lint_ok);
+    if (!lint_ok) {
+      std::fprintf(stderr, "[bench] FAIL: lint gate (%.0f ms per repo run)\n",
+                   lint_ns / 1e6);
       gate_failed = true;
     }
   }

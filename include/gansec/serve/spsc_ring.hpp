@@ -56,6 +56,7 @@ class SpscRing {
 
   // gansec-lint: hot-path
   /// Enqueues `value`; returns false (value untouched) when full.
+  // gansec-lint: seqlock(writer)
   bool try_push(T&& value) {
     Slot* slot = nullptr;
     std::uint64_t pos = tail_.load(std::memory_order_relaxed);
@@ -79,8 +80,10 @@ class SpscRing {
     slot->sequence.store(pos + 1, std::memory_order_release);
     return true;
   }
+  // gansec-lint: end-seqlock
 
   /// Dequeues into `out`; returns false when empty.
+  // gansec-lint: seqlock(reader)
   bool try_pop(T& out) {
     Slot* slot = nullptr;
     std::uint64_t pos = head_.load(std::memory_order_relaxed);
@@ -104,6 +107,7 @@ class SpscRing {
     slot->sequence.store(pos + mask_ + 1, std::memory_order_release);
     return true;
   }
+  // gansec-lint: end-seqlock
 
   /// Enqueues `value`, discarding the oldest queued element(s) when full.
   /// Returns the number of elements dropped (0 on a clean push). The

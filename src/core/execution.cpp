@@ -21,6 +21,9 @@ ThreadPool& pool_locked() {
   const std::size_t want = resolved_threads(g_config) - 1;  // caller lane
   if (!g_pool || g_pool->worker_count() != want) {
     g_pool.reset();  // join old workers before spawning replacements
+    // Rebuilds only when the resolved worker count changes; steady-state
+    // dispatches reuse the live pool, so this never recurs on a hot pass.
+    // gansec-lint: allow(hotpath-alloc)
     g_pool = std::make_unique<ThreadPool>(want);
   }
   return *g_pool;

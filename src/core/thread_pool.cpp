@@ -87,6 +87,10 @@ void ThreadPool::submit(std::function<void()> task) {
     if (stop_) {
       throw InvalidArgumentError("ThreadPool::submit: pool is shut down");
     }
+    // Task queue growth is inherent to pool dispatch and amortized: the
+    // deque reuses its blocks once warm, and submit() is the slow lane
+    // guarded by kSmallGemmThreshold on the matmul path.
+    // gansec-lint: allow(hotpath-alloc)
     queue_.push_back(Pending{std::move(task), obs::trace_now_us()});
   }
   cv_.notify_one();
@@ -125,6 +129,10 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     std::exception_ptr error;  // first failure wins; guarded by mu
     ChunkFn body;
   };
+  // One control-block allocation per pool dispatch, amortized across
+  // grain x chunks of work; small loops never reach here (the caller
+  // runs them inline).
+  // gansec-lint: allow(hotpath-alloc)
   auto state = std::make_shared<LoopState>();
   state->begin = begin;
   state->end = end;

@@ -59,6 +59,9 @@ void Workspace::note_growth(std::size_t grown_bytes) {
 Matrix& Workspace::acquire(std::size_t rows, std::size_t cols, bool zeroed) {
   acquires_counter().add();
   if (matrix_cursor_ == matrices_.size()) {
+    // Arena warm-up: the slot vector grows only until the deepest pass
+    // has run once, then every acquire reuses an existing slot.
+    // gansec-lint: allow(hotpath-alloc)
     matrices_.emplace_back();
   }
   Matrix& slot = matrices_[matrix_cursor_++];

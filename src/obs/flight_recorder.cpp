@@ -148,6 +148,7 @@ void record(EventKind kind, const char* tag, std::uint64_t seq,
   // Seqlock write: odd stamp, release fence, relaxed field stores, even
   // stamp with release. A reader that sees the same even stamp before and
   // after its field loads got a consistent event.
+  // gansec-lint: seqlock(writer)
   slot.commit.store(2 * idx + 1, std::memory_order_relaxed);
   std::atomic_thread_fence(std::memory_order_release);
   slot.ts_us.store(trace_now_us(), std::memory_order_relaxed);
@@ -160,6 +161,7 @@ void record(EventKind kind, const char* tag, std::uint64_t seq,
   slot.kind_code.store(pack_kind_code(kind, code),
                        std::memory_order_relaxed);
   slot.commit.store(2 * idx + 2, std::memory_order_release);
+  // gansec-lint: end-seqlock
 }
 
 PhaseMark::PhaseMark(const char* tag) : tag_(tag) {
@@ -186,6 +188,7 @@ std::size_t collect(RawEvent* out, std::size_t cap) noexcept {
   for (std::uint32_t t = 0; t < threads && t < kMaxThreads; ++t) {
     const ThreadRing* ring = g_rings[t].load(std::memory_order_acquire);
     if (ring == nullptr) continue;
+    // gansec-lint: seqlock(reader)
     for (std::size_t i = 0; i < kEventsPerThread && n < cap; ++i) {
       const Slot& slot = ring->slots[i];
       const std::uint64_t s1 = slot.commit.load(std::memory_order_acquire);
@@ -207,6 +210,7 @@ std::size_t collect(RawEvent* out, std::size_t cap) noexcept {
       ev.code = static_cast<std::uint16_t>(kc & 0xffffU);
       out[n++] = ev;
     }
+    // gansec-lint: end-seqlock
   }
   return n;
 }

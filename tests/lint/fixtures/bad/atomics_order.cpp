@@ -1,0 +1,34 @@
+// atomics-ordering: a seqlock writer publishing with a relaxed commit
+// store, a reader that never acquires, and a consume order.
+#include <atomic>
+
+namespace fx {
+
+std::atomic<unsigned> stamp{0};
+std::atomic<unsigned> payload{0};
+
+void publish(unsigned value) {
+  // gansec-lint: seqlock(writer)
+  stamp.store(1, std::memory_order_relaxed);
+  payload.store(value, std::memory_order_release);
+  stamp.store(2, std::memory_order_relaxed);
+  // gansec-lint: end-seqlock
+}
+
+unsigned racy_snapshot() {
+  // gansec-lint: seqlock(reader)
+  const unsigned s1 = stamp.load(std::memory_order_relaxed);
+  const unsigned value = payload.load(std::memory_order_relaxed);
+  const unsigned s2 = stamp.load(std::memory_order_relaxed);
+  // gansec-lint: end-seqlock
+  return s1 == s2 ? value : 0U;
+}
+
+unsigned consume_snapshot() {
+  // gansec-lint: seqlock(reader)
+  const unsigned s = stamp.load(std::memory_order_consume);
+  // gansec-lint: end-seqlock
+  return s;
+}
+
+}  // namespace fx

@@ -1,0 +1,8 @@
+// unused-allow: a suppression that matches no diagnostic is itself
+// flagged, so stale allows cannot accumulate silently.
+namespace fx {
+
+// gansec-lint: allow(hotpath-alloc)
+int identity(int value) { return value; }
+
+}  // namespace fx

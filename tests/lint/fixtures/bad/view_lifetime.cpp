@@ -1,0 +1,37 @@
+// view-lifetime: returning a borrow whose backing storage dies with the
+// returning frame (by-value parameter, body-declared local, or a
+// Workspace::Scope about to pop).
+namespace fx {
+
+struct Series {
+  const float* data_view() const { return buffer; }
+  float buffer[8] = {};
+};
+
+struct Arena {
+  Series& acquire() { return slot; }
+  Series slot;
+};
+
+struct Scope {
+  explicit Scope(Arena& arena) : arena_(arena) {}
+  Arena& arena_;
+};
+
+const float* by_value_receiver(Series series) {
+  return series.data_view();
+}
+
+const float* local_receiver() {
+  Series series;
+  const float* view = series.data_view();
+  return view;
+}
+
+const float* scope_escape(Arena& arena) {
+  Scope scope(arena);
+  Series& series = arena.acquire();
+  return series.data_view();
+}
+
+}  // namespace fx

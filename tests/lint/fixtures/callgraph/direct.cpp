@@ -1,0 +1,18 @@
+// Call-graph fixture: direct propagation. The hot-path region in
+// driver() calls helper(), defined outside any region; helper's
+// allocation must be reported with a one-hop call chain.
+#include <vector>
+
+namespace fx {
+
+void helper(std::vector<int>& sink) {
+  sink.push_back(1);
+}
+
+void driver(std::vector<int>& sink) {
+  // gansec-lint: hot-path
+  helper(sink);
+  // gansec-lint: end-hot-path
+}
+
+}  // namespace fx

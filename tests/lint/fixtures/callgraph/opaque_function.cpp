@@ -1,0 +1,20 @@
+// Call-graph fixture: a call through a std::function object is opaque.
+// grow() allocates, but the thunk's target is a runtime value; the edge
+// is recorded as evidence and never traversed.
+#include <functional>
+#include <vector>
+
+namespace fx {
+
+void grow(std::vector<int>& sink) {
+  sink.push_back(3);
+}
+
+void driver(std::vector<int>& sink) {
+  const std::function<void()> thunk = [&sink] { grow(sink); };
+  // gansec-lint: hot-path
+  thunk();
+  // gansec-lint: end-hot-path
+}
+
+}  // namespace fx

@@ -1,0 +1,28 @@
+// Call-graph fixture: virtual dispatch is an opaque edge. The override
+// allocates, but the linter cannot prove which override runs, so the
+// edge is recorded as evidence and never traversed.
+#include <vector>
+
+namespace fx {
+
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void consume(int value) = 0;
+};
+
+class Buffering : public Sink {
+ public:
+  void consume(int value) override { values_.push_back(value); }
+
+ private:
+  std::vector<int> values_;
+};
+
+void driver(Buffering& sink) {
+  // gansec-lint: hot-path
+  sink.consume(9);
+  // gansec-lint: end-hot-path
+}
+
+}  // namespace fx

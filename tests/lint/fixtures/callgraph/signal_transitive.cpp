@@ -1,0 +1,23 @@
+// Call-graph fixture: signal-context propagation. The handler's region
+// calls log_state(), whose lock acquisition is only visible through the
+// call graph.
+#include <mutex>
+
+namespace fx {
+
+std::mutex g_mu;
+int g_state = 0;
+
+void log_state(int value) {
+  g_mu.lock();
+  g_state = value;
+  g_mu.unlock();
+}
+
+void handler() {
+  // gansec-lint: signal-context
+  log_state(4);
+  // gansec-lint: end-signal-context
+}
+
+}  // namespace fx

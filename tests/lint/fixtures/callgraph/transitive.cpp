@@ -1,0 +1,19 @@
+// Call-graph fixture: two-hop propagation. driver()'s hot-path region
+// reaches leaf() only through middle(); the chain must name both hops.
+namespace fx {
+
+int* leaf() {
+  return new int(7);
+}
+
+int* middle() {
+  return leaf();
+}
+
+void driver(int** out) {
+  // gansec-lint: hot-path
+  *out = middle();
+  // gansec-lint: end-hot-path
+}
+
+}  // namespace fx

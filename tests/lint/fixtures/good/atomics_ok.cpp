@@ -1,0 +1,29 @@
+// atomics-ordering clean shape: odd stamp, release fence, relaxed
+// payload stores, release commit store; reader acquires the stamp.
+#include <atomic>
+
+namespace fx {
+
+std::atomic<unsigned> stamp{0};
+std::atomic<unsigned> payload{0};
+
+void publish(unsigned value) {
+  // gansec-lint: seqlock(writer)
+  stamp.store(1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  payload.store(value, std::memory_order_relaxed);
+  stamp.store(2, std::memory_order_release);
+  // gansec-lint: end-seqlock
+}
+
+unsigned snapshot() {
+  // gansec-lint: seqlock(reader)
+  const unsigned s1 = stamp.load(std::memory_order_acquire);
+  const unsigned value = payload.load(std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  const unsigned s2 = stamp.load(std::memory_order_relaxed);
+  // gansec-lint: end-seqlock
+  return s1 == s2 ? value : 0U;
+}
+
+}  // namespace fx

@@ -1,0 +1,19 @@
+// view-lifetime clean shapes: a producer returning its own borrow (its
+// contract), and views of caller-owned storage leaving the frame.
+namespace fx {
+
+struct Series {
+  const float* data_view() const { return buffer; }
+  float buffer[8] = {};
+};
+
+const float* caller_owned(Series& series) {
+  return series.data_view();
+}
+
+const float* pass_through(Series& series) {
+  const float* view = series.data_view();
+  return view;
+}
+
+}  // namespace fx

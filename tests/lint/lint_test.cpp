@@ -352,6 +352,191 @@ TEST(LintDirectives, DirectiveInsideStringLiteralIsIgnored) {
   EXPECT_TRUE(linter.diagnostics().empty());
 }
 
+// ---- Lexer regressions ------------------------------------------------------
+
+TEST(LintLexer, PrefixedRawStringLexesAsOneLiteral) {
+  const auto tokens = gansec::lint::tokenize(
+      "const char* k = u8R\"(new int inside \" quotes)\";");
+  std::size_t strings = 0;
+  for (const auto& t : tokens) {
+    if (t.kind == gansec::lint::TokKind::kString) ++strings;
+    EXPECT_NE(t.text, "new") << "raw-string body leaked into the stream";
+  }
+  EXPECT_EQ(strings, 1U);
+}
+
+TEST(LintLexer, DigitSeparatorsStayInOneNumber) {
+  const auto tokens = gansec::lint::tokenize("const long n = 1'000'000;");
+  bool found = false;
+  for (const auto& t : tokens) {
+    if (t.kind == gansec::lint::TokKind::kNumber && t.text == "1'000'000") {
+      found = true;
+    }
+    EXPECT_NE(t.kind, gansec::lint::TokKind::kChar)
+        << "separator swallowed as a char literal: " << t.text;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LintLexer, SplicedLineCommentSwallowsNextLine) {
+  const auto tokens = gansec::lint::tokenize(
+      "int a = 1; // spliced \\\nint* leak = new int(3);\nint c = 2;");
+  for (const auto& t : tokens) {
+    EXPECT_NE(t.text, "new") << "spliced comment line reached the rules";
+    EXPECT_NE(t.text, "leak");
+  }
+}
+
+TEST(LintLexer, HotPathRuleIgnoresRawStringContents) {
+  Linter linter{Options{}};
+  linter.check_file("src/nn/raw.cpp",
+                    "// gansec-lint: hot-path\n"
+                    "const char* k = R\"(v.push_back(new int))\";\n"
+                    "// gansec-lint: end-hot-path\n");
+  linter.finish();
+  EXPECT_TRUE(linter.diagnostics().empty());
+}
+
+// ---- Interprocedural call-graph propagation ---------------------------------
+
+TEST(LintCallGraph, DirectCalleeViolationCarriesChain) {
+  const Linter linter = lint_fixtures({"callgraph/direct.cpp"});
+  const auto& diags = linter.diagnostics();
+  ASSERT_EQ(diags.size(), 1U);
+  EXPECT_EQ(diags[0].rule, "hotpath-alloc");
+  EXPECT_EQ(diags[0].line, 9U);
+  ASSERT_EQ(diags[0].chain.size(), 2U);
+  EXPECT_NE(diags[0].chain[0].find("fx::driver"), std::string::npos);
+  EXPECT_NE(diags[0].chain[0].find(":14"), std::string::npos);
+  EXPECT_NE(diags[0].chain[1].find("fx::helper"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("call chain: fx::driver"),
+            std::string::npos);
+}
+
+TEST(LintCallGraph, TwoHopChainNamesEveryHop) {
+  const Linter linter = lint_fixtures({"callgraph/transitive.cpp"});
+  const auto& diags = linter.diagnostics();
+  ASSERT_EQ(diags.size(), 1U);
+  EXPECT_EQ(diags[0].rule, "hotpath-alloc");
+  EXPECT_EQ(diags[0].line, 6U);
+  ASSERT_EQ(diags[0].chain.size(), 3U);
+  EXPECT_NE(diags[0].chain[0].find("fx::driver"), std::string::npos);
+  EXPECT_NE(diags[0].chain[0].find(":15"), std::string::npos);
+  EXPECT_NE(diags[0].chain[1].find("fx::middle"), std::string::npos);
+  EXPECT_NE(diags[0].chain[1].find(":10"), std::string::npos);
+  EXPECT_NE(diags[0].chain[2].find("fx::leaf"), std::string::npos);
+}
+
+TEST(LintCallGraph, VirtualEdgeIsOpaqueAndNotTraversed) {
+  const Linter linter = lint_fixtures({"callgraph/opaque_virtual.cpp"});
+  expect_exact(linter, {}, "");
+  bool recorded = false;
+  for (const auto& e : linter.call_edges()) {
+    if (e.callee == "fx::Buffering::consume" && e.opaque &&
+        e.opaque_reason == "virtual") {
+      recorded = true;
+    }
+  }
+  EXPECT_TRUE(recorded) << "virtual edge missing from evidence";
+}
+
+TEST(LintCallGraph, FunctionObjectEdgeIsOpaqueAndNotTraversed) {
+  const Linter linter = lint_fixtures({"callgraph/opaque_function.cpp"});
+  expect_exact(linter, {}, "");
+  bool recorded = false;
+  for (const auto& e : linter.call_edges()) {
+    if (e.caller == "fx::driver" && e.callee == "thunk" && e.opaque &&
+        e.opaque_reason == "std::function") {
+      recorded = true;
+    }
+  }
+  EXPECT_TRUE(recorded) << "std::function edge missing from evidence";
+}
+
+TEST(LintCallGraph, SignalContextPropagatesWithChains) {
+  const Linter linter = lint_fixtures({"callgraph/signal_transitive.cpp"});
+  const auto& diags = linter.diagnostics();
+  ASSERT_EQ(diags.size(), 2U);
+  for (const auto& d : diags) {
+    EXPECT_EQ(d.rule, "signal-unsafe");
+    ASSERT_EQ(d.chain.size(), 2U);
+    EXPECT_NE(d.chain[0].find("fx::handler"), std::string::npos);
+    EXPECT_NE(d.chain[0].find(":19"), std::string::npos);
+    EXPECT_NE(d.chain[1].find("fx::log_state"), std::string::npos);
+  }
+  EXPECT_EQ(diags[0].line, 12U);
+  EXPECT_EQ(diags[1].line, 14U);
+}
+
+TEST(LintCallGraph, ReachabilityEvidenceIsExported) {
+  const Linter linter = lint_fixtures({"callgraph/direct.cpp"});
+  bool reached = false;
+  for (const auto& r : linter.reachability()) {
+    if (r.constraint == "hot-path" && r.function == "fx::helper") {
+      reached = true;
+      ASSERT_EQ(r.chain.size(), 1U);
+      EXPECT_NE(r.chain[0].find("fx::driver"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(reached);
+  bool helper_hot = false;
+  for (const auto& f : linter.functions()) {
+    if (f.qualified == "fx::helper") helper_hot = f.hot;
+  }
+  EXPECT_TRUE(helper_hot);
+}
+
+// ---- view-lifetime ----------------------------------------------------------
+
+TEST(LintViewLifetime, CompliantShapesAreClean) {
+  const Linter linter = lint_fixtures({"good/view_lifetime_ok.cpp"});
+  expect_exact(linter, {}, "");
+}
+
+TEST(LintViewLifetime, EscapingViewsAreFlagged) {
+  const Linter linter = lint_fixtures({"bad/view_lifetime.cpp"});
+  expect_exact(linter,
+               {{"view-lifetime", 22},
+                {"view-lifetime", 28},
+                {"view-lifetime", 34}},
+               "view_lifetime.cpp");
+}
+
+// ---- atomics-ordering -------------------------------------------------------
+
+TEST(LintAtomics, CompliantSeqlockIsClean) {
+  const Linter linter = lint_fixtures({"good/atomics_ok.cpp"});
+  expect_exact(linter, {}, "");
+}
+
+TEST(LintAtomics, OrderingViolationsAreFlagged) {
+  const Linter linter = lint_fixtures({"bad/atomics_order.cpp"});
+  expect_exact(linter,
+               {{"atomics-ordering", 14},
+                {"atomics-ordering", 19},
+                {"atomics-ordering", 29}},
+               "atomics_order.cpp");
+}
+
+// ---- unused-allow -----------------------------------------------------------
+
+TEST(LintUnusedAllow, StaleSuppressionIsFlagged) {
+  const Linter linter = lint_fixtures({"bad/unused_allow.cpp"});
+  expect_exact(linter, {{"unused-allow", 5}}, "unused_allow.cpp");
+}
+
+TEST(LintUnusedAllow, EarnedSuppressionIsNotFlagged) {
+  Linter linter{Options{}};
+  linter.check_file("src/nn/allowed.cpp",
+                    "// gansec-lint: hot-path\n"
+                    "// gansec-lint: allow(hotpath-alloc)\n"
+                    "int* keep = new int(1);\n"
+                    "// gansec-lint: end-hot-path\n");
+  linter.finish();
+  EXPECT_TRUE(linter.diagnostics().empty());
+  EXPECT_EQ(linter.suppressions_used(), 1U);
+}
+
 // ---- CLI + artifact round trip ----------------------------------------------
 
 std::string temp_path(const std::string& name) {

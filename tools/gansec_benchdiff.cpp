@@ -8,6 +8,8 @@
 // Compares the named metrics of two artifacts produced by the same bench
 // binary (schema "gansec.bench.v1"), two lint artifacts ("gansec.lint.v1",
 // same metric shape as bench — file/violation/suppression counts), two
+// lint call-graph databases ("gansec.lintdb.v1", emitted by gansec_lint
+// --lintdb — function/edge/reachability counts), two
 // checkpoint-verification artifacts ("gansec.ckpt.v1", emitted by
 // gansec_ckpt verify, same metric shape), two run reports
 // ("gansec.run_report.v1", whose scalar "results" entries are compared
@@ -44,6 +46,7 @@ using gansec::obs::JsonValue;
 
 constexpr const char* kBenchSchema = "gansec.bench.v1";
 constexpr const char* kLintSchema = "gansec.lint.v1";
+constexpr const char* kLintDbSchema = "gansec.lintdb.v1";
 constexpr const char* kCkptSchema = "gansec.ckpt.v1";
 constexpr const char* kRunReportSchema = "gansec.run_report.v1";
 constexpr const char* kIncidentSchema = "gansec.incident.v1";
@@ -83,10 +86,11 @@ std::vector<Metric> extract_metrics(const JsonValue& root,
                                     const std::string& schema,
                                     const std::string& path) {
   std::vector<Metric> metrics;
-  // Lint and checkpoint-verification artifacts deliberately share the
-  // bench metric shape so the same extraction (and diffing) applies.
+  // Lint, lint-database and checkpoint-verification artifacts
+  // deliberately share the bench metric shape so the same extraction
+  // (and diffing) applies.
   if (schema == kBenchSchema || schema == kLintSchema ||
-      schema == kCkptSchema) {
+      schema == kLintDbSchema || schema == kCkptSchema) {
     const JsonValue* map = root.find("metrics");
     if (map == nullptr || !map->is_object()) {
       throw gansec::ParseError(path + ": missing object member \"metrics\"");
@@ -145,7 +149,8 @@ std::vector<Metric> extract_metrics(const JsonValue& root,
   }
   throw gansec::ParseError(path + ": unsupported schema \"" + schema +
                            "\" (expected " + kBenchSchema + ", " +
-                           kLintSchema + ", " + kCkptSchema + ", " +
+                           kLintSchema + ", " + kLintDbSchema + ", " +
+                           kCkptSchema + ", " +
                            kRunReportSchema + " or " + kIncidentSchema +
                            ')');
 }
@@ -155,7 +160,7 @@ std::vector<Metric> extract_metrics(const JsonValue& root,
 void check_artifact(const JsonValue& root, const std::string& schema,
                     const std::string& path) {
   if (schema == kBenchSchema || schema == kLintSchema ||
-      schema == kCkptSchema) {
+      schema == kLintDbSchema || schema == kCkptSchema) {
     for (const char* member : {"name", "build", "host", "wall_ms"}) {
       if (root.find(member) == nullptr) {
         throw gansec::ParseError(path + ": missing member \"" +

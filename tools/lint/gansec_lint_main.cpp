@@ -1,7 +1,8 @@
 // gansec_lint — project-invariant static analysis over the gansec tree.
 //
 // Usage:
-//   gansec_lint [--manifest FILE] [--json OUT] [--quiet] <path>...
+//   gansec_lint [--manifest FILE] [--json OUT] [--lintdb OUT] [--quiet]
+//               <path>...
 //
 // Paths are files or directories (recursed for .hpp/.h/.cpp/.cc/.cxx).
 // Diagnostics print as "file:line: [rule] message". With --json, the run
@@ -9,7 +10,12 @@
 // same provenance members as bench artifacts (build, host, wall_ms) plus
 // the full violations list — gansec_benchdiff --check validates it, and
 // two lint artifacts diff like bench artifacts (violations are
-// lower_is_better).
+// lower_is_better). With --lintdb, the run additionally writes a
+// "gansec.lintdb.v1" artifact: the repo call graph (functions, edges
+// with opaque markers) and the hot-path/signal-context reachability
+// evidence with full root -> function call chains, so a finding's chain
+// can be traced without re-running the analysis. benchdiff --check
+// accepts it too.
 //
 // Exit codes: 0 = clean, 1 = violations, 2 = usage/IO error.
 #include <algorithm>
@@ -35,8 +41,8 @@ using gansec::lint::Linter;
 [[noreturn]] void usage_error(const char* message) {
   std::fprintf(stderr,
                "gansec_lint: %s\n"
-               "usage: gansec_lint [--manifest FILE] [--json OUT] [--quiet] "
-               "<path>...\n",
+               "usage: gansec_lint [--manifest FILE] [--json OUT] "
+               "[--lintdb OUT] [--quiet] <path>...\n",
                message);
   std::exit(2);
 }
@@ -126,11 +132,103 @@ std::string artifact_json(const Linter& linter, double wall_ms) {
   return json;
 }
 
+std::string lintdb_json(const Linter& linter, double wall_ms) {
+  using gansec::obs::json_escape;
+  using gansec::obs::json_number;
+  const auto unix_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  std::size_t opaque_edges = 0;
+  for (const auto& e : linter.call_edges()) {
+    if (e.opaque) ++opaque_edges;
+  }
+  std::size_t hot_reachable = 0;
+  std::size_t signal_reachable = 0;
+  for (const auto& r : linter.reachability()) {
+    if (r.constraint == "hot-path") {
+      ++hot_reachable;
+    } else {
+      ++signal_reachable;
+    }
+  }
+  std::string json = "{\"schema\":\"gansec.lintdb.v1\"";
+  json += ",\"name\":\"gansec_lint\"";
+  json += ",\"created_unix_ms\":" + std::to_string(unix_ms);
+  json += ",\"build\":" +
+          gansec::obs::build_info_json(gansec::obs::build_info());
+  const gansec::obs::HostInfo host = gansec::obs::host_info();
+  json += ",\"host\":{\"hostname\":\"" + json_escape(host.hostname) +
+          "\",\"os\":\"" + json_escape(host.os) +
+          "\",\"hardware_concurrency\":" +
+          std::to_string(host.hardware_concurrency) + '}';
+  json += ",\"wall_ms\":" + json_number(wall_ms);
+  json += ",\"metrics\":{";
+  const auto metric = [&](const char* key, std::size_t value, bool first) {
+    json += first ? "" : ",";
+    json += "\"" + std::string(key) + "\":{\"value\":" +
+            std::to_string(value) + ",\"direction\":\"two_sided\"}";
+  };
+  metric("lintdb.functions", linter.functions().size(), true);
+  metric("lintdb.call_edges", linter.call_edges().size(), false);
+  metric("lintdb.opaque_edges", opaque_edges, false);
+  metric("lintdb.hot_reachable", hot_reachable, false);
+  metric("lintdb.signal_reachable", signal_reachable, false);
+  json += "},\"checks\":{\"clean\":";
+  json += linter.diagnostics().empty() ? "true" : "false";
+  json += "},\"functions\":[";
+  for (std::size_t i = 0; i < linter.functions().size(); ++i) {
+    const auto& f = linter.functions()[i];
+    if (i != 0) json += ',';
+    json += "{\"qualified\":\"" + json_escape(f.qualified) +
+            "\",\"file\":\"" + json_escape(f.file) +
+            "\",\"line\":" + std::to_string(f.line) +
+            ",\"virtual\":" + (f.is_virtual ? "true" : "false") +
+            ",\"hot\":" + (f.hot ? "true" : "false") +
+            ",\"signal\":" + (f.signal ? "true" : "false") + '}';
+  }
+  json += "],\"edges\":[";
+  for (std::size_t i = 0; i < linter.call_edges().size(); ++i) {
+    const auto& e = linter.call_edges()[i];
+    if (i != 0) json += ',';
+    json += "{\"caller\":\"" + json_escape(e.caller) +
+            "\",\"callee\":\"" + json_escape(e.callee) +
+            "\",\"file\":\"" + json_escape(e.file) +
+            "\",\"line\":" + std::to_string(e.line) +
+            ",\"opaque\":" + (e.opaque ? "true" : "false");
+    if (e.opaque) {
+      json += ",\"opaque_reason\":\"" + json_escape(e.opaque_reason) + '"';
+    }
+    json += '}';
+  }
+  json += "],\"reachability\":[";
+  for (std::size_t i = 0; i < linter.reachability().size(); ++i) {
+    const auto& r = linter.reachability()[i];
+    if (i != 0) json += ',';
+    json += "{\"constraint\":\"" + json_escape(r.constraint) +
+            "\",\"function\":\"" + json_escape(r.function) +
+            "\",\"chain\":[";
+    for (std::size_t h = 0; h < r.chain.size(); ++h) {
+      if (h != 0) json += ',';
+      json += '"' + json_escape(r.chain[h]) + '"';
+    }
+    json += "]}";
+  }
+  json += "]}";
+  std::string error;
+  if (!gansec::obs::json_valid(json, &error)) {
+    throw gansec::InvalidArgumentError(
+        "gansec_lint: lintdb artifact is not valid JSON: " + error);
+  }
+  return json;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string manifest_path;
   std::string json_path;
+  std::string lintdb_path;
   bool quiet = false;
   std::vector<std::string> roots;
   for (int i = 1; i < argc; ++i) {
@@ -141,6 +239,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--json") {
       if (i + 1 >= argc) usage_error("--json needs a file");
       json_path = argv[++i];
+    } else if (arg == "--lintdb") {
+      if (i + 1 >= argc) usage_error("--lintdb needs a file");
+      lintdb_path = argv[++i];
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -183,6 +284,15 @@ int main(int argc, char** argv) {
         throw gansec::IoError("gansec_lint: cannot write " + json_path);
       }
       file << artifact_json(linter, wall_ms) << '\n';
+    }
+    if (!lintdb_path.empty()) {
+      const fs::path out(lintdb_path);
+      if (out.has_parent_path()) fs::create_directories(out.parent_path());
+      std::ofstream file(out);
+      if (!file) {
+        throw gansec::IoError("gansec_lint: cannot write " + lintdb_path);
+      }
+      file << lintdb_json(linter, wall_ms) << '\n';
     }
     return linter.diagnostics().empty() ? 0 : 1;
   } catch (const gansec::Error& e) {

@@ -78,12 +78,27 @@ inline std::vector<Token> tokenize(std::string_view source) {
       continue;
     }
     const std::size_t tok_line = line;
-    // Comments.
+    // Comments. A line comment ending in a backslash splices the next
+    // physical line into itself (translation phase 2 runs before comment
+    // recognition), so the "code" on that next line never reaches the
+    // compiler — the lexer must agree or rules fire on dead text.
     if (c == '/' && peek(1) == '/') {
       std::size_t j = i;
-      while (j < n && source[j] != '\n') ++j;
-      tokens.push_back({TokKind::kComment,
-                        std::string(source.substr(i, j - i)), tok_line});
+      while (j < n) {
+        if (source[j] == '\n') {
+          std::size_t back = j;
+          while (back > i && source[back - 1] == '\r') --back;
+          if (back > i && source[back - 1] == '\\') {
+            ++j;  // spliced: the comment continues on the next line
+            continue;
+          }
+          break;
+        }
+        ++j;
+      }
+      std::string_view text = source.substr(i, j - i);
+      tokens.push_back({TokKind::kComment, std::string(text), tok_line});
+      count_lines(text);
       i = j;
       continue;
     }
@@ -112,25 +127,55 @@ inline std::vector<Token> tokenize(std::string_view source) {
       continue;
     }
     at_line_start = false;
-    // Raw string literal: R"delim( ... )delim".
-    if (c == 'R' && peek(1) == '"') {
-      std::size_t j = i + 2;
-      std::string delim;
-      while (j < n && source[j] != '(' && source[j] != '\n' &&
-             delim.size() < 16) {
-        delim += source[j++];
+    // String literals with encoding prefixes (u8R"(...)", LR"(...)",
+    // u8"...", L"...", ...). The prefix must be consumed together with the
+    // literal: lexed separately, the prefixed raw string's body would be
+    // scanned as an ordinary quoted string and terminate at the first '"'
+    // inside it, leaking raw-string content into the token stream.
+    {
+      std::size_t prefix = 0;  // length of the encoding prefix, if any
+      if ((c == 'u' && peek(1) == '8')) {
+        prefix = 2;
+      } else if (c == 'u' || c == 'U' || c == 'L') {
+        prefix = 1;
       }
-      if (j < n && source[j] == '(') {
-        const std::string closer = ")" + delim + "\"";
-        const std::size_t end = source.find(closer, j + 1);
-        j = end == std::string_view::npos ? n : end + closer.size();
-        std::string_view text = source.substr(i, j - i);
-        tokens.push_back({TokKind::kString, std::string(text), tok_line});
-        count_lines(text);
-        i = j;
-        continue;
+      const bool raw = peek(prefix) == 'R' && peek(prefix + 1) == '"';
+      const bool plain = prefix > 0 && peek(prefix) == '"';
+      if ((c == 'R' && peek(1) == '"') || raw || plain) {
+        const std::size_t rp = (c == 'R') ? 0 : prefix;
+        if (raw || c == 'R') {
+          // Raw string literal: [prefix]R"delim( ... )delim".
+          std::size_t j = i + rp + 2;
+          std::string delim;
+          while (j < n && source[j] != '(' && source[j] != '\n' &&
+                 delim.size() < 16) {
+            delim += source[j++];
+          }
+          if (j < n && source[j] == '(') {
+            const std::string closer = ")" + delim + "\"";
+            const std::size_t end = source.find(closer, j + 1);
+            j = end == std::string_view::npos ? n : end + closer.size();
+            std::string_view text = source.substr(i, j - i);
+            tokens.push_back({TokKind::kString, std::string(text), tok_line});
+            count_lines(text);
+            i = j;
+            continue;
+          }
+          // Not actually a raw string (R then junk); fall through as ident.
+        } else {
+          // Prefixed ordinary literal: consume the prefix, then scan the
+          // quoted body below exactly like an unprefixed one.
+          std::size_t j = i + prefix + 1;
+          while (j < n && source[j] != '"' && source[j] != '\n') {
+            j += (source[j] == '\\' && j + 1 < n) ? 2 : 1;
+          }
+          if (j < n && source[j] == '"') ++j;
+          tokens.push_back({TokKind::kString,
+                            std::string(source.substr(i, j - i)), tok_line});
+          i = j;
+          continue;
+        }
       }
-      // Not actually a raw string ("R" then junk); fall through as ident.
     }
     if (c == '"' || c == '\'') {
       const char quote = c;
@@ -154,9 +199,14 @@ inline std::vector<Token> tokenize(std::string_view source) {
     }
     if (c >= '0' && c <= '9') {
       std::size_t j = i + 1;
-      // pp-number: digits, idents, dots, and exponent signs glue together.
+      // pp-number: digits, idents, dots, exponent signs, and digit
+      // separators (1'000'000) glue together. A separator only counts
+      // when a digit/ident char follows — otherwise 1' starts a char
+      // literal and must not be swallowed.
       while (j < n &&
              (is_ident_char(source[j]) || source[j] == '.' ||
+              (source[j] == '\'' && j + 1 < n &&
+               is_ident_char(source[j + 1])) ||
               ((source[j] == '+' || source[j] == '-') &&
                (source[j - 1] == 'e' || source[j - 1] == 'E' ||
                 source[j - 1] == 'p' || source[j - 1] == 'P')))) {

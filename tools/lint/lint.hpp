@@ -10,11 +10,15 @@
 //   layer-cycle           cyclic include edges between modules the DAG
 //                         does not rank (fixture/unknown modules)
 //   hotpath-alloc         heap allocation inside a `// gansec-lint:
-//                         hot-path` region (new/malloc/make_unique, owning
+//                         hot-path` region OR inside any function
+//                         transitively reachable from one through the
+//                         call graph (new/malloc/make_unique, owning
 //                         container construction, push_back/emplace_back)
-//   hotpath-function      std::function inside a hot-path region
+//   hotpath-function      std::function inside a hot-path region or a
+//                         hot-path-reachable function
 //   hotpath-kernel        allocating Matrix value-API call (no `_into`
-//                         sibling used) inside a hot-path region
+//                         sibling used) inside a hot-path region or a
+//                         hot-path-reachable function
 //   determinism-rng       std::random_device, rand()/srand(), time()-based
 //                         seeding anywhere in library code
 //   determinism-unordered iteration over std::unordered_{map,set} (their
@@ -32,22 +36,48 @@
 //   signal-unsafe         non-async-signal-safe construct (allocation,
 //                         stdio, locks, throw, logging, owning std::
 //                         types) inside a `// gansec-lint: signal-context`
-//                         region — the profiler's SIGPROF handler path
+//                         region or a signal-context-reachable function
+//   view-lifetime         a non-owning view (`*_view` producer result)
+//                         returned out of the function that owns its
+//                         storage — a local receiver, a by-value
+//                         parameter, or a local Workspace::Scope
+//   atomics-ordering      a `// gansec-lint: seqlock(writer|reader)`
+//                         region whose commit store is relaxed, that
+//                         lacks its release/acquire half, or that uses
+//                         memory_order_consume
+//   unused-allow          an `allow(rule)` directive that suppresses
+//                         nothing (stale suppression)
 //   lint-directive        malformed `// gansec-lint:` directive (unknown
 //                         verb or unknown rule name in allow())
+//
+// Interprocedural analysis: check_file() additionally builds a
+// per-translation-unit symbol table (function definitions with
+// namespace/class-qualified names) and records every call site;
+// finish() links them into a repo-level call graph, marks
+// virtual/std::function edges opaque, and transitively propagates the
+// hot-path and signal-context constraints from annotated regions through
+// all reachable callees. Violations found in a reachable-but-unannotated
+// helper carry the full root -> violation call chain in
+// Diagnostic::chain.
 //
 // Any diagnostic is suppressible at its site with
 // `// gansec-lint: allow(<rule>[, <rule>...])` on the same or preceding
 // line. Hot-path regions open with `// gansec-lint: hot-path` and close
 // with `// gansec-lint: end-hot-path`; signal-context regions open with
 // `// gansec-lint: signal-context` and close with
-// `// gansec-lint: end-signal-context`.
+// `// gansec-lint: end-signal-context`; seqlock regions open with
+// `// gansec-lint: seqlock(writer)` or `// gansec-lint: seqlock(reader)`
+// and close with `// gansec-lint: end-seqlock`.
 #pragma once
 
 #include <cstddef>
+#include <map>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "lexer.hpp"
 
 namespace gansec::lint {
 
@@ -56,6 +86,39 @@ struct Diagnostic {
   std::string file;
   std::size_t line = 0;
   std::string message;
+  /// For interprocedural findings: the root -> violation call chain,
+  /// outermost (annotated region) first. Empty for lexical findings.
+  std::vector<std::string> chain;
+};
+
+/// One function definition in the repo-level symbol table.
+struct FunctionInfo {
+  std::string qualified;  ///< namespace/class-qualified ("a::B::f")
+  std::string file;
+  std::size_t line = 0;
+  bool is_virtual = false;
+  bool hot = false;     ///< hot-path constrained (lexical or inherited)
+  bool signal = false;  ///< signal-context constrained
+};
+
+/// One observed call edge. Opaque edges (virtual dispatch, calls through
+/// std::function objects) are recorded as evidence but never traversed
+/// by the propagation.
+struct CallEdge {
+  std::string caller;  ///< qualified caller, or "<file-scope>" fallback
+  std::string callee;  ///< callee text as written ("a::f" or "f")
+  std::string file;
+  std::size_t line = 0;
+  bool opaque = false;
+  std::string opaque_reason;  ///< "virtual" | "std::function" when opaque
+};
+
+/// Why a function is constrained: the chain of call sites from an
+/// annotated region down to it.
+struct ReachEntry {
+  std::string constraint;  ///< "hot-path" | "signal-context"
+  std::string function;    ///< qualified name of the constrained function
+  std::vector<std::string> chain;  ///< "qualified (file:line)" hops
 };
 
 struct Options {
@@ -72,13 +135,21 @@ class Linter {
   /// the command line); `source` is the file contents.
   void check_file(const std::string& path, std::string_view source);
 
-  /// Cross-file checks: manifest reconciliation and module-cycle
-  /// detection. Call once, after the last check_file().
+  /// Cross-file checks: call-graph construction, transitive hot-path /
+  /// signal-context propagation, unused-suppression detection, manifest
+  /// reconciliation and module-cycle detection. Call once, after the
+  /// last check_file().
   void finish();
 
   const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
   std::size_t files_checked() const { return files_checked_; }
   std::size_t suppressions_used() const { return suppressions_used_; }
+
+  /// Call-graph evidence for the gansec.lintdb.v1 artifact. Valid after
+  /// finish().
+  const std::vector<FunctionInfo>& functions() const { return function_infos_; }
+  const std::vector<CallEdge>& call_edges() const { return call_edge_infos_; }
+  const std::vector<ReachEntry>& reachability() const { return reach_entries_; }
 
   /// True when `rule` is one of the rule ids listed above.
   static bool known_rule(std::string_view rule);
@@ -96,11 +167,80 @@ class Linter {
     std::string file;
     std::size_t line = 0;
   };
+  struct Region {
+    std::size_t begin_line = 0;
+    std::size_t end_line = 0;  // inclusive; SIZE_MAX when unclosed
+  };
+  struct SeqRegion {
+    std::size_t begin_line = 0;
+    std::size_t end_line = 0;
+    bool writer = false;
+  };
+  struct FileState {  // everything finish() needs to re-visit a file
+    std::string path;
+    std::vector<Token> sig;  ///< significant tokens (no comments/preproc)
+    std::vector<Region> hot_regions;
+    std::vector<Region> signal_regions;
+    std::map<std::size_t, std::map<std::string, bool>> allows;  // line->rule->used
+  };
+  struct FunctionDef {
+    std::string name;       ///< unqualified (last identifier)
+    std::string qualified;  ///< scope-qualified
+    std::size_t file_index = 0;
+    std::size_t line = 0;
+    std::size_t body_begin = 0;  ///< sig index of the opening '{'
+    std::size_t body_end = 0;    ///< sig index of the matching '}'
+    bool is_virtual = false;
+    bool returns_indirection = false;  ///< return type carries & or *
+    /// Declared [[noreturn]]: the function is an error path by
+    /// construction (it throws or aborts), so hot-path propagation does
+    /// not descend into it. Signal-context propagation still does —
+    /// reaching a thrower from a handler is itself the bug.
+    bool is_noreturn = false;
+  };
+  struct CallSite {
+    std::size_t caller = static_cast<std::size_t>(-1);  ///< functions_ index
+    std::string callee_text;  ///< as written, "a::b::f" or "f"
+    std::size_t file_index = 0;
+    std::size_t line = 0;
+    bool via_function_object = false;  ///< call through a std::function var
+    /// For member calls: the receiver's declared type when the scanner
+    /// could recover it ("Counter" for `clamps.add()` where `clamps` is an
+    /// `obs::Counter&`). Empty means unknown — resolution falls back to
+    /// matching every definition with the same unqualified name.
+    std::string receiver_type;
+    /// Call appears in a `static` local's initializer: it executes once,
+    /// so hot-path propagation does not traverse it (signal-context still
+    /// does — the init guard can take a lock inside a handler).
+    bool in_static_init = false;
+    /// Call through `.` or `->`. When the receiver's type is unknown and
+    /// the name resolves into more than one class, the edge is ambiguous
+    /// and treated as opaque rather than fanned out to every candidate.
+    bool member_call = false;
+  };
+
+  void scan_symbols(std::size_t file_index, std::vector<Diagnostic>& pending);
+  void check_atomics(std::size_t file_index,
+                     const std::vector<SeqRegion>& seq_regions,
+                     std::vector<Diagnostic>& pending);
+  void propagate_constraints();
+  void emit_unused_allows();
+  void check_manifest();
+  void check_cycles();
+  bool apply_suppression(FileState& state, Diagnostic& d);
 
   Options options_;
   std::vector<Diagnostic> diagnostics_;
   std::vector<Registration> registrations_;
   std::vector<IncludeEdge> edges_;
+  std::vector<FileState> files_;
+  std::vector<FunctionDef> functions_;
+  std::vector<CallSite> calls_;
+  std::set<std::string> virtual_names_;  ///< names ever declared virtual
+  std::set<std::string> class_names_;    ///< class/struct/union names seen
+  std::vector<FunctionInfo> function_infos_;
+  std::vector<CallEdge> call_edge_infos_;
+  std::vector<ReachEntry> reach_entries_;
   std::size_t files_checked_ = 0;
   std::size_t suppressions_used_ = 0;
 };

@@ -5,7 +5,10 @@
 #
 # Runs, per preset (release, asan, tsan): configure, build, and the full
 # ctest suite; then the `lint` and `bench-smoke` ctest labels on the
-# release tree, the full-scale profiler overhead/symbolization gate with
+# release tree (plus the lint artifact gate: the repo-wide run must emit
+# schema-valid gansec.lint.v1 and gansec.lintdb.v1 artifacts accepted by
+# gansec_benchdiff --check), the full-scale profiler
+# overhead/symbolization gate with
 # a benchdiff against the committed baseline, the streaming-monitor
 # gate, the incident-forensics gate (live /incidentz plus a kill -SEGV
 # crash that must leave a valid gansec.incident.v1 bundle), and the
@@ -64,6 +67,39 @@ preset_suite release
 
 # Label gates run on the release tree (the lint and bench binaries there).
 run_step "lint-label" ctest --test-dir build -L lint --output-on-failure
+
+# Lint artifact gate: one repo-wide run emitting both the violations
+# artifact and the interprocedural call-graph database. The jq probes pin
+# the members downstream tooling keys on: a clean check, and call-graph
+# evidence that actually reached both constraint families (opaque edges
+# included), so an engine regression that silently stops propagating
+# fails here rather than by linting "clean".
+lint_artifact_gate() {
+  local out=build/lint-out
+  mkdir -p "${out}"
+  build/tools/gansec_lint --manifest tools/metrics_manifest.txt \
+    --json "${out}/lint.json" --lintdb "${out}/lintdb.json" --quiet \
+    include src || return 1
+  jq -e '.schema == "gansec.lint.v1" and .checks.clean == true' \
+    "${out}/lint.json" >/dev/null || {
+    echo "lint: lint.json is not a clean gansec.lint.v1 artifact" >&2
+    return 1; }
+  jq -e '.schema == "gansec.lintdb.v1"
+         and .checks.clean == true
+         and (.functions | length) > 0
+         and (.edges | length) > 0
+         and ([.edges[] | select(.opaque)] | length) > 0
+         and ([.reachability[] | select(.constraint == "hot-path")]
+              | length) > 0
+         and ([.reachability[] | select(.constraint == "signal-context")]
+              | length) > 0' \
+    "${out}/lintdb.json" >/dev/null || {
+    echo "lint: lintdb.json is not a populated gansec.lintdb.v1 artifact" >&2
+    return 1; }
+  build/tools/gansec_benchdiff --check "${out}/lint.json" || return 1
+  build/tools/gansec_benchdiff --check "${out}/lintdb.json" || return 1
+}
+run_step "lint-artifacts" lint_artifact_gate
 run_step "bench-smoke" ctest --test-dir build -L bench-smoke --output-on-failure
 
 # Live-introspection gate, two legs.
